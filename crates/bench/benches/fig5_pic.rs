@@ -1,0 +1,73 @@
+//! Criterion benches for Fig. 5b/5c/5d: the cost of the PIC model on
+//! cached-I/O and syscall-heavy paths.
+
+use adelie_workloads::{pic_matrix, DriverSet, FileIoMode, Testbed};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn bench_dd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5b_dd_64k");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (label, opts) in pic_matrix() {
+        let tb = Testbed::new(opts, DriverSet::storage());
+        let fd = tb.kernel.vfs.open("dd.dat", false).unwrap();
+        let buf = tb.kernel.heap.kmalloc(&tb.kernel.space, &tb.kernel.phys, 64 * 1024);
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let mut vm = tb.kernel.vm();
+                let t0 = Instant::now();
+                for i in 0..iters {
+                    let off = (i % 32) * 64 * 1024;
+                    tb.kernel.vfs.pread(&mut vm, fd, buf, 64 * 1024, off).unwrap();
+                }
+                t0.elapsed()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fileio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5c_fileio_rndrd");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (label, opts) in [
+        ("linux", adelie_plugin::TransformOptions::vanilla(true)),
+        ("pic+retpoline", adelie_plugin::TransformOptions::pic(true)),
+    ] {
+        let tb = Testbed::new(opts, DriverSet::storage());
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters.max(1) {
+                    adelie_workloads::run_fileio(&tb, FileIoMode::RndRead, Duration::from_millis(20));
+                }
+                t0.elapsed()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernbench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5d_kernbench_c4");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, opts) in [
+        ("linux", adelie_plugin::TransformOptions::vanilla(true)),
+        ("pic+retpoline", adelie_plugin::TransformOptions::pic(true)),
+    ] {
+        let tb = Testbed::new(opts, DriverSet::storage());
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters.max(1) {
+                    adelie_workloads::run_kernbench(&tb, 4, 8);
+                }
+                t0.elapsed()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dd, bench_fileio, bench_kernbench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Fig. 6: NVMe O_DIRECT reads under continuous
+//! re-randomization.
+
+use adelie_kernel::SECTOR_SIZE;
+use adelie_plugin::TransformOptions;
+use adelie_workloads::{DriverSet, Testbed};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn direct_read_batch(tb: &Testbed, iters: u64) -> Duration {
+    let fd = tb.kernel.vfs.open("nvme.dat", true).unwrap();
+    let buf = tb.kernel.heap.kmalloc(&tb.kernel.space, &tb.kernel.phys, SECTOR_SIZE);
+    let mut vm = tb.kernel.vm();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        tb.kernel.vfs.pread(&mut vm, fd, buf, SECTOR_SIZE, 0).unwrap();
+    }
+    let d = t0.elapsed();
+    tb.kernel.vfs.close(fd);
+    d
+}
+
+fn bench_nvme(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_nvme_direct_512b");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    {
+        let tb = Testbed::new(TransformOptions::vanilla(true), DriverSet::storage());
+        g.bench_function("linux", |b| b.iter_custom(|n| direct_read_batch(&tb, n)));
+    }
+    {
+        let tb = Testbed::new(TransformOptions::rerandomizable(true), DriverSet::storage());
+        g.bench_function("adelie_no_rerand", |b| b.iter_custom(|n| direct_read_batch(&tb, n)));
+    }
+    for period_ms in [5u64, 1] {
+        let tb = Testbed::new(TransformOptions::rerandomizable(true), DriverSet::storage());
+        let rr = tb.start_rerand(Duration::from_millis(period_ms));
+        g.bench_function(format!("adelie_{period_ms}ms"), |b| {
+            b.iter_custom(|n| direct_read_batch(&tb, n))
+        });
+        rr.stop();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nvme);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Fig. 7: OLTP transaction latency with
+//! re-randomizing network + storage drivers.
+
+use adelie_plugin::TransformOptions;
+use adelie_workloads::{run_oltp, DriverSet, Testbed};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn bench_oltp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_oltp_c4");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let cases: Vec<(&str, Option<u64>)> = vec![("linux", None), ("adelie_5ms", Some(5)), ("adelie_1ms", Some(1))];
+    for (label, period) in cases {
+        let opts = if period.is_some() {
+            TransformOptions::rerandomizable(true)
+        } else {
+            TransformOptions::vanilla(true)
+        };
+        let tb = Testbed::new(opts, DriverSet::full());
+        let rr = period.map(|ms| tb.start_rerand(Duration::from_millis(ms)));
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters.max(1) {
+                    run_oltp(&tb, 4, 2, Duration::from_millis(50));
+                }
+                t0.elapsed()
+            })
+        });
+        if let Some(rr) = rr {
+            rr.stop();
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_oltp);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for Fig. 8: ApacheBench-style serving with five
+//! re-randomizing modules.
+
+use adelie_plugin::TransformOptions;
+use adelie_workloads::{run_apache, DriverSet, Testbed};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn bench_apache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_apache_1k_c4");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let cases: Vec<(&str, Option<u64>)> = vec![
+        ("linux", None),
+        ("adelie_20ms", Some(20)),
+        ("adelie_5ms", Some(5)),
+        ("adelie_1ms", Some(1)),
+    ];
+    for (label, period) in cases {
+        let opts = if period.is_some() {
+            TransformOptions::rerandomizable(true)
+        } else {
+            TransformOptions::vanilla(true)
+        };
+        let tb = Testbed::new(opts, DriverSet::full());
+        let rr = period.map(|ms| tb.start_rerand(Duration::from_millis(ms)));
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters.max(1) {
+                    run_apache(&tb, 1024, 4, 2, Duration::from_millis(50));
+                }
+                t0.elapsed()
+            })
+        });
+        if let Some(rr) = rr {
+            rr.stop();
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apache);
+criterion_main!(benches);

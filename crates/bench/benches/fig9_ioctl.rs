@@ -1,0 +1,45 @@
+//! Criterion bench for Fig. 9: per-ioctl cost across wrapper/stack
+//! configurations — the paper's ~4% / ~6% ablation.
+
+use adelie_drivers::specs::DUMMY_MINOR;
+use adelie_plugin::TransformOptions;
+use adelie_workloads::{DriverSet, Testbed};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn bench_ioctl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_ioctl");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut wrappers_only = TransformOptions::rerandomizable(true);
+    wrappers_only.stack_rerand = false;
+    wrappers_only.encrypt_ret = false;
+    let cases: Vec<(&str, TransformOptions, Option<u64>)> = vec![
+        ("linux", TransformOptions::vanilla(true), None),
+        ("wrappers_only", wrappers_only, None),
+        ("wrappers_stack_encrypt", TransformOptions::rerandomizable(true), None),
+        ("rerand_1ms", TransformOptions::rerandomizable(true), Some(1)),
+    ];
+    for (label, opts, period) in cases {
+        let tb = Testbed::new(opts, DriverSet::dummy_only());
+        let rr = period.map(|ms| tb.start_rerand(Duration::from_millis(ms)));
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let mut vm = tb.kernel.vm();
+                // Warm the stack pool so allocation isn't in the loop.
+                tb.kernel.ioctl(&mut vm, DUMMY_MINOR, 0, 0).unwrap();
+                let t0 = Instant::now();
+                for i in 0..iters {
+                    tb.kernel.ioctl(&mut vm, DUMMY_MINOR, 0, i).unwrap();
+                }
+                t0.elapsed()
+            })
+        });
+        if let Some(rr) = rr {
+            rr.stop();
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ioctl);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: Hyaline vs EBR reclamation cost (the paper cites
+//! "performance very similar to EBR" as part of why Hyaline was chosen;
+//! the other part is context-agnosticism).
+
+use adelie_reclaim::{Ebr, Hyaline, Reclaimer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn bench_enter_leave(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reclaim_enter_leave");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    let hyaline = Hyaline::new(8);
+    let ebr = Ebr::new(8);
+    g.bench_function("hyaline", |b| {
+        b.iter(|| {
+            hyaline.enter(0);
+            hyaline.leave(0);
+        })
+    });
+    g.bench_function("ebr", |b| {
+        b.iter(|| {
+            ebr.enter(0);
+            ebr.leave(0);
+        })
+    });
+    g.finish();
+}
+
+fn bench_retire_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reclaim_retire_under_load");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    fn run(dom: &dyn Reclaimer, iters: u64) -> Duration {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            dom.enter(1);
+            dom.retire(Box::new(|| {}));
+            dom.leave(1);
+            dom.flush();
+        }
+        t0.elapsed()
+    }
+    let hyaline = Hyaline::new(8);
+    let ebr = Ebr::new(8);
+    g.bench_function("hyaline", |b| b.iter_custom(|n| run(&hyaline, n)));
+    g.bench_function("ebr", |b| b.iter_custom(|n| run(&ebr, n)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_enter_leave, bench_retire_drain);
+criterion_main!(benches);

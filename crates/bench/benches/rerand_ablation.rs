@@ -1,0 +1,61 @@
+//! The cost of one full re-randomization cycle (what the randomizer
+//! thread pays every period), by module size and by reclaimer.
+
+use adelie_core::{rerandomize_module, ModuleRegistry};
+use adelie_gadget::synth_module;
+use adelie_kernel::{Kernel, KernelConfig, ReclaimerKind};
+use adelie_plugin::{transform, TransformOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn bench_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rerand_cycle");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    let opts = TransformOptions::rerandomizable(true);
+    for (label, bytes) in [("module_8k", 8 * 1024), ("module_64k", 64 * 1024)] {
+        let kernel = Kernel::new(KernelConfig::default());
+        let registry = ModuleRegistry::new(&kernel);
+        let spec = synth_module("m", bytes, 5);
+        let obj = transform(&spec, &opts).unwrap();
+        let module = registry.load(&obj, &opts).unwrap();
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    rerandomize_module(&kernel, &registry, &module).unwrap();
+                }
+                t0.elapsed()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cycle_reclaimers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rerand_cycle_reclaimer");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let opts = TransformOptions::rerandomizable(true);
+    for (label, kind) in [("hyaline", ReclaimerKind::Hyaline), ("ebr", ReclaimerKind::Ebr)] {
+        let kernel = Kernel::new(KernelConfig {
+            reclaimer: kind,
+            ..KernelConfig::default()
+        });
+        let registry = ModuleRegistry::new(&kernel);
+        let spec = synth_module("m", 16 * 1024, 6);
+        let obj = transform(&spec, &opts).unwrap();
+        let module = registry.load(&obj, &opts).unwrap();
+        g.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    rerandomize_module(&kernel, &registry, &module).unwrap();
+                }
+                t0.elapsed()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cycle, bench_cycle_reclaimers);
+criterion_main!(benches);

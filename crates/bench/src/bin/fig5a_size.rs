@@ -1,0 +1,76 @@
+//! Fig. 5a — module memory footprint: PIC vs non-PIC.
+//!
+//! The paper samples 16 named Ubuntu modules (4–100 KB). We generate
+//! synthetic stand-ins with matching names and size classes through the
+//! same plugin pipeline, load each under both code models, and report
+//! the loaded footprint ("the overhead is negligible for all modules").
+
+use adelie_bench::print_header;
+use adelie_core::ModuleRegistry;
+use adelie_gadget::synth_module;
+use adelie_kernel::{Kernel, KernelConfig};
+use adelie_plugin::{transform, TransformOptions};
+
+/// The Fig. 5a module sample: (name, approximate non-PIC size in KB).
+const MODULES: [(&str, usize); 16] = [
+    ("sysimgblt", 4),
+    ("dca", 6),
+    ("async_memcpy", 6),
+    ("iscsi_tcp", 12),
+    ("acpi_power_meter", 12),
+    ("intel_cstate", 14),
+    ("ipmi_devintf", 14),
+    ("wmi", 18),
+    ("x_tables", 26),
+    ("iw_cm", 30),
+    ("ioatdma", 40),
+    ("libiscsi", 44),
+    ("snd_hda_core", 52),
+    ("snd_pcm", 76),
+    ("raid6_pq", 90),
+    ("snd_hda_codec", 100),
+];
+
+fn main() {
+    print_header("Fig. 5a", "module size, Linux (non-PIC) vs PIC");
+    // The paper's metric is the module's byte footprint: section payload
+    // plus (for PIC) GOT/PLT bytes. Page-rounded mapped size is shown
+    // separately — our loader gives GOTs dedicated pages so they can be
+    // remapped/sealed independently, which taxes small modules by a page.
+    println!(
+        "{:<18} {:>9} {:>9} {:>7}  {:>9} {:>6} {:>6} {:>5}",
+        "module", "linux KB", "pic KB", "delta%", "mapped KB", "lGOT", "fGOT", "PLT"
+    );
+    let mut worst: f64 = 0.0;
+    for (i, (name, kb)) in MODULES.iter().enumerate() {
+        let spec = synth_module(name, kb * 1024, 0xF15A + i as u64);
+        let mut bytes_row = Vec::new();
+        let mut stats_pic = None;
+        for opts in [TransformOptions::vanilla(false), TransformOptions::pic(true)] {
+            let kernel = Kernel::new(KernelConfig::default());
+            let registry = ModuleRegistry::new(&kernel);
+            let obj = transform(&spec, &opts).expect("transform");
+            let module = registry.load(&obj, &opts).expect("load");
+            bytes_row
+                .push((module.stats.payload_bytes + module.stats.got_plt_bytes) as f64 / 1024.0);
+            if opts.model == adelie_plugin::CodeModel::Pic {
+                stats_pic = Some(module.stats);
+            }
+        }
+        let delta = (bytes_row[1] - bytes_row[0]) / bytes_row[0] * 100.0;
+        worst = worst.max(delta);
+        let s = stats_pic.unwrap();
+        println!(
+            "{:<18} {:>9.1} {:>9.1} {:>6.1}%  {:>9.1} {:>6} {:>6} {:>5}",
+            name,
+            bytes_row[0],
+            bytes_row[1],
+            delta,
+            s.mapped_bytes as f64 / 1024.0,
+            s.local_got_entries,
+            s.fixed_got_entries,
+            s.plt_stubs
+        );
+    }
+    println!("\nworst-case PIC byte-footprint growth: {worst:.1}% (paper: \"negligible for all modules\")");
+}

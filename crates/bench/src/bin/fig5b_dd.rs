@@ -1,0 +1,29 @@
+//! Fig. 5b — the `dd` cached-read microbenchmark across the four
+//! {vanilla, PIC} × {retpoline, no-retpoline} configurations.
+
+use adelie_bench::{point_duration, print_header, print_row, Unit};
+use adelie_workloads::{pic_matrix, run_dd, DriverSet, Testbed};
+
+fn main() {
+    print_header("Fig. 5b", "dd cached reads, PIC vs non-PIC modules");
+    let dur = point_duration();
+    for bs in [4 * 1024, 64 * 1024, 1024 * 1024] {
+        println!("\nblock size {} KB:", bs / 1024);
+        let mut base = None;
+        for (label, opts) in pic_matrix() {
+            let tb = Testbed::new(opts, DriverSet::storage());
+            let m = run_dd(&tb, bs, dur);
+            print_row(&format!("  {label}"), &m, Unit::MbPerSec);
+            match base {
+                None => base = Some(m.mb_per_sec()),
+                Some(b) => {
+                    let d = adelie_bench::overhead_pct(b, m.mb_per_sec());
+                    if label == "pic+retpoline" {
+                        println!("    → overhead vs plain linux: {d:.1}%");
+                    }
+                }
+            }
+        }
+    }
+    println!("\npaper shape: PIC ≈ non-PIC without retpoline; small hit with retpoline (PLT stubs)");
+}

@@ -1,0 +1,18 @@
+//! Fig. 5c — sysbench file_io (cached) random/sequential reads.
+
+use adelie_bench::{point_duration, print_header, print_row, Unit};
+use adelie_workloads::{pic_matrix, run_fileio, DriverSet, FileIoMode, Testbed};
+
+fn main() {
+    print_header("Fig. 5c", "sysbench file_io on RAM-cached files");
+    let dur = point_duration();
+    for (mode, label) in [(FileIoMode::SeqRead, "seqrd"), (FileIoMode::RndRead, "rndrd")] {
+        println!("\n{label}:");
+        for (cfg, opts) in pic_matrix() {
+            let tb = Testbed::new(opts, DriverSet::storage());
+            let m = run_fileio(&tb, mode, dur);
+            print_row(&format!("  {cfg}"), &m, Unit::MbPerSec);
+        }
+    }
+    println!("\npaper shape: PIC and non-PIC nearly identical");
+}

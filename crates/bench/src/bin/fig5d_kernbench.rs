@@ -1,0 +1,22 @@
+//! Fig. 5d — kernbench-style kernel-time comparison at three
+//! concurrency levels.
+
+use adelie_bench::{print_header, print_row, Unit};
+use adelie_workloads::{pic_matrix, run_kernbench, DriverSet, Testbed};
+
+fn main() {
+    print_header("Fig. 5d", "kernbench: kernel time at 3 concurrency levels");
+    let jobs: usize = std::env::var("ADELIE_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
+    for conc in [2usize, 4, 8] {
+        println!("\nconcurrency {conc} ({jobs} jobs):");
+        for (cfg, opts) in pic_matrix() {
+            let tb = Testbed::new(opts, DriverSet::storage());
+            let m = run_kernbench(&tb, conc, jobs);
+            print_row(&format!("  {cfg}"), &m, Unit::Seconds);
+        }
+    }
+    println!("\npaper shape: no substantial difference across configurations");
+}

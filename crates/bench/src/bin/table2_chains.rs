@@ -1,0 +1,39 @@
+//! Table 2 — ROP chain categories: how many modules carry a gadget set
+//! sufficient to disable NX.
+
+use adelie_bench::print_header;
+use adelie_gadget::{chain_verdict, generate_corpus, scan, ChainVerdict, CorpusModule};
+
+fn main() {
+    print_header("Table 2", "ROP chain categories over the module corpus");
+    let count: usize = std::env::var("ADELIE_CORPUS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let corpus = generate_corpus(count, 4 * 1024, 64 * 1024, 0x7AB2);
+    let mut tally = |pic: bool| -> (usize, usize, usize) {
+        let (mut clean, mut side, mut none) = (0, 0, 0);
+        for m in &corpus {
+            let obj = if pic { &m.pic } else { &m.vanilla };
+            let gadgets = scan(&CorpusModule::code_bytes(obj));
+            match chain_verdict(&gadgets) {
+                ChainVerdict::CleanChain => clean += 1,
+                ChainVerdict::ChainWithSideEffects => side += 1,
+                ChainVerdict::NoChain => none += 1,
+            }
+        }
+        (clean, side, none)
+    };
+    let v = tally(false);
+    let p = tally(true);
+    println!("{:<38} {:>8} {:>8}", "", "Non-PIC", "PIC");
+    println!("{:<38} {:>8} {:>8}", "With ROP chain, no side-effect", v.0, p.0);
+    println!("{:<38} {:>8} {:>8}", "With ROP chain, with side-effect", v.1, p.1);
+    println!("{:<38} {:>8} {:>8}", "Without ROP chain", v.2, p.2);
+    println!("{:<38} {:>8} {:>8}", "Number of modules", count, count);
+    println!(
+        "\nfraction with a chain: non-PIC {:.0}%, PIC {:.0}% (paper: ~80% of 5,329)",
+        (v.0 + v.1) as f64 / count as f64 * 100.0,
+        (p.0 + p.1) as f64 / count as f64 * 100.0
+    );
+}

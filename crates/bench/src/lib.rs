@@ -1,0 +1,67 @@
+//! # adelie-bench — benchmark harness shared helpers
+//!
+//! The Criterion benches (`benches/`) time the paper's workloads; the
+//! figure binaries (`src/bin/fig*.rs`, `table2_chains`, `scalability`,
+//! `security_analysis`) regenerate each table and figure of the
+//! evaluation section as text tables, recorded in EXPERIMENTS.md.
+
+use adelie_workloads::Measurement;
+use std::time::Duration;
+
+/// Measurement window for figure binaries; override with
+/// `ADELIE_SECS=<float>` (default 0.5 s per data point).
+pub fn point_duration() -> Duration {
+    let secs: f64 = std::env::var("ADELIE_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    Duration::from_secs_f64(secs)
+}
+
+/// Concurrency scale for the macro workloads; override with
+/// `ADELIE_CONC` (default 8 — the interpreter is ~100× slower than
+/// silicon, so the paper's 25–100 clients are scaled down; shapes, not
+/// absolutes, carry over).
+pub fn concurrency_levels() -> Vec<usize> {
+    if let Ok(v) = std::env::var("ADELIE_CONC") {
+        if let Ok(n) = v.parse::<usize>() {
+            return vec![n];
+        }
+    }
+    vec![2, 4, 8]
+}
+
+/// A formatted figure row.
+pub fn print_row(label: &str, m: &Measurement, unit: Unit) {
+    let value = match unit {
+        Unit::OpsPerSec => format!("{:>12.0} ops/s", m.ops_per_sec()),
+        Unit::MopsPerSec => format!("{:>12.3} Mops/s", m.ops_per_sec() / 1e6),
+        Unit::MbPerSec => format!("{:>12.2} MB/s", m.mb_per_sec()),
+        Unit::Seconds => format!("{:>12.3} s", m.wall.as_secs_f64()),
+    };
+    println!("{label:<44} {value}   cpu {:>5.1}%", m.cpu_percent());
+}
+
+/// Throughput unit for a row.
+#[derive(Copy, Clone, Debug)]
+pub enum Unit {
+    /// Operations per second.
+    OpsPerSec,
+    /// Millions of operations per second (Fig. 9).
+    MopsPerSec,
+    /// Megabytes per second (Fig. 8).
+    MbPerSec,
+    /// Elapsed seconds (Fig. 5d).
+    Seconds,
+}
+
+/// Print a figure header.
+pub fn print_header(figure: &str, caption: &str) {
+    println!("\n=== {figure}: {caption} ===");
+}
+
+/// Relative delta of `new` vs `base` in percent (positive = slower /
+/// fewer ops).
+pub fn overhead_pct(base: f64, new: f64) -> f64 {
+    (base - new) / base * 100.0
+}

@@ -1,0 +1,653 @@
+//! # adelie-core — Adelie itself
+//!
+//! The paper's contribution, implemented over the simulated substrate:
+//!
+//! * [`Loader`] — loads PIC relocatable modules anywhere in the 57-bit
+//!   address space (64-bit KASLR), builds the four GOTs of Fig. 2b,
+//!   emits retpoline PLT stubs, applies the Fig. 4 run-time patches, and
+//!   seals GOT pages; also provides the non-PIC legacy mode (vanilla
+//!   Linux baseline, 2 GiB window),
+//! * [`rerandomize_module`] / [`Rerandomizer`] — continuous zero-copy
+//!   re-randomization with local-GOT rebuilds, key rotation, pointer
+//!   adjustment, and SMR-delayed unmapping (§4.2),
+//! * [`StackPool`] — per-CPU pools of randomly-placed kernel stacks
+//!   (§3.4),
+//! * [`ModuleRegistry`] — insmod/rmmod: load, init, unload.
+//!
+//! # Example
+//!
+//! ```
+//! use adelie_core::ModuleRegistry;
+//! use adelie_kernel::{Kernel, KernelConfig};
+//! use adelie_plugin::{transform, FuncSpec, MOp, ModuleSpec, TransformOptions};
+//!
+//! let kernel = Kernel::new(KernelConfig::default());
+//! let registry = ModuleRegistry::new(&kernel);
+//!
+//! // A one-function driver, transformed to a re-randomizable module.
+//! let mut spec = ModuleSpec::new("noop");
+//! spec.funcs.push(FuncSpec::exported("noop_run", vec![MOp::Ret]));
+//! let opts = TransformOptions::rerandomizable(true);
+//! let obj = transform(&spec, &opts).unwrap();
+//! let module = registry.load(&obj, &opts).unwrap();
+//!
+//! // Call it through its kernel-facing wrapper, then move it and call
+//! // again: the wrapper address never changes, the code underneath does.
+//! let entry = module.export("noop_run").unwrap();
+//! let mut vm = kernel.vm();
+//! vm.call(entry, &[]).unwrap();
+//! adelie_core::rerandomize_module(&kernel, &registry, &module).unwrap();
+//! vm.call(entry, &[]).unwrap();
+//! ```
+
+mod loader;
+mod module;
+mod rerand;
+mod stacks;
+
+pub use loader::{LoadError, Loader};
+pub use module::{AdjustSlot, LoadStats, LoadedModule, LocalGotEntry, PageGroup, Part, PartImage};
+pub use rerand::{log_stats, rerandomize_module, RerandStats, Rerandomizer};
+pub use stacks::{StackPool, StackStats};
+
+use adelie_kernel::{layout, Kernel};
+use adelie_obj::ObjectFile;
+use adelie_plugin::TransformOptions;
+use adelie_vmem::PAGE_SIZE;
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// The module registry — insmod/rmmod plus the allocation state shared
+/// by the loader and the re-randomizer.
+pub struct ModuleRegistry {
+    kernel: Arc<Kernel>,
+    modules: RwLock<HashMap<String, Arc<LoadedModule>>>,
+    /// The per-CPU randomized stack pools (shared by all modules).
+    pub stacks: Arc<StackPool>,
+    va_lock: Mutex<()>,
+    legacy_cursor: AtomicU64,
+}
+
+impl ModuleRegistry {
+    /// Create the registry and register the stack-pool natives. One
+    /// registry per kernel (natives can only be registered once).
+    pub fn new(kernel: &Arc<Kernel>) -> Arc<ModuleRegistry> {
+        let stacks = StackPool::new(kernel.config.cpus);
+        stacks.register_natives(kernel);
+        // Vanilla Linux randomizes the legacy module base per boot
+        // inside the 2 GiB window (31-12 = 19 bits of entropy, §6).
+        let boot_offset = kernel.rng_below(1 << 18) * PAGE_SIZE as u64;
+        Arc::new(ModuleRegistry {
+            kernel: kernel.clone(),
+            modules: RwLock::new(HashMap::new()),
+            stacks,
+            va_lock: Mutex::new(()),
+            legacy_cursor: AtomicU64::new(layout::LEGACY_MODULE_BASE + boot_offset),
+        })
+    }
+
+    /// The kernel this registry serves.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// Load a module and run its init entry point (insmod).
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] from the loader, or [`LoadError::MissingEntry`]
+    /// wrapping an init failure.
+    pub fn load(
+        &self,
+        obj: &ObjectFile,
+        opts: &TransformOptions,
+    ) -> Result<Arc<LoadedModule>, LoadError> {
+        let loader = Loader::new(&self.kernel, &self.va_lock, &self.legacy_cursor);
+        let module = loader.load(obj, opts)?;
+        self.modules
+            .write()
+            .insert(module.name.clone(), module.clone());
+        if let Some(init) = module.init_va {
+            let mut vm = self.kernel.vm();
+            if let Err(e) = vm.call(init, &[]) {
+                self.modules.write().remove(&module.name);
+                return Err(LoadError::MissingEntry(format!(
+                    "{} init failed: {e}",
+                    module.name
+                )));
+            }
+        }
+        Ok(module)
+    }
+
+    /// Look up a loaded module.
+    pub fn get(&self, name: &str) -> Option<Arc<LoadedModule>> {
+        self.modules.read().get(name).cloned()
+    }
+
+    /// Names of all loaded modules.
+    pub fn list(&self) -> Vec<String> {
+        self.modules.read().keys().cloned().collect()
+    }
+
+    /// Unload a module (rmmod): runs its exit entry point, unpublishes
+    /// exports, unmaps both parts, and frees the frames.
+    ///
+    /// Stop any [`Rerandomizer`] driving the module first.
+    ///
+    /// # Errors
+    ///
+    /// Textual error for unknown modules or a failing exit function.
+    pub fn unload(&self, name: &str) -> Result<(), String> {
+        let module = self
+            .modules
+            .write()
+            .remove(name)
+            .ok_or_else(|| format!("no module `{name}`"))?;
+        if let Some(exit) = module.exit_va {
+            let mut vm = self.kernel.vm();
+            vm.call(exit, &[]).map_err(|e| format!("exit failed: {e}"))?;
+        }
+        let _guard = module.move_lock.lock();
+        for (sym, _) in &module.exports {
+            self.kernel.symbols.undefine(sym);
+        }
+        // Unmap the current movable mapping and free its frames. The
+        // original PartImage frame list is correct except for the local
+        // GOT pages, whose *current* frames live in the mutexed list.
+        let base = module
+            .movable_base
+            .load(std::sync::atomic::Ordering::Acquire);
+        let lgot_start = (module.movable.lgot_off / PAGE_SIZE as u64) as usize;
+        let lgot_pages = module.movable.lgot_pages();
+        self.kernel
+            .space
+            .unmap_sparse(base, module.movable.total_pages);
+        for (i, &pfn) in module.movable.frames.iter().enumerate() {
+            let is_lgot = lgot_pages > 0 && i >= lgot_start && i < lgot_start + lgot_pages;
+            if !is_lgot {
+                self.kernel.phys.free(pfn);
+            }
+        }
+        for pfn in module.movable_lgot_frames.lock().drain(..) {
+            self.kernel.phys.free(pfn);
+        }
+        if let Some(imm) = &module.immovable {
+            let ilgot_start = (imm.lgot_off / PAGE_SIZE as u64) as usize;
+            let ilgot_pages = imm.lgot_pages();
+            self.kernel.space.unmap_sparse(imm.base, imm.total_pages);
+            for (i, &pfn) in imm.frames.iter().enumerate() {
+                let is_lgot = ilgot_pages > 0 && i >= ilgot_start && i < ilgot_start + ilgot_pages;
+                if !is_lgot {
+                    self.kernel.phys.free(pfn);
+                }
+            }
+            for pfn in module.immovable_lgot_frames.lock().drain(..) {
+                self.kernel.phys.free(pfn);
+            }
+        }
+        self.kernel
+            .printk
+            .log(format!("module {name}: unloaded"));
+        Ok(())
+    }
+
+    /// Pick a random free base while holding the allocation lock; the
+    /// guard keeps other placements out until the caller finishes
+    /// mapping (used by the re-randomizer).
+    pub(crate) fn pick_base_locked(
+        &self,
+        pages: usize,
+    ) -> Result<(u64, MutexGuard<'_, ()>), String> {
+        let guard = self.va_lock.lock();
+        let loader = Loader::new(&self.kernel, &self.va_lock, &self.legacy_cursor);
+        let base = loader
+            .pick_random_base(pages)
+            .map_err(|e| format!("no space for re-randomization: {e}"))?;
+        Ok((base, guard))
+    }
+}
+
+impl std::fmt::Debug for ModuleRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModuleRegistry")
+            .field("modules", &self.list())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adelie_isa::{AluOp, Insn, Reg};
+    use adelie_kernel::{KernelConfig, VmError};
+    use adelie_plugin::{
+        transform, CodeModel, DataInit, DataSpec, FuncSpec, MOp, ModuleSpec, TransformOptions,
+    };
+    use std::sync::atomic::Ordering;
+
+    /// A small arithmetic driver: `calc(x) = helper(x) * 2` where
+    /// `helper(x) = x + 5`, plus a pointer table and a kmalloc touch.
+    fn demo_spec() -> ModuleSpec {
+        let mut spec = ModuleSpec::new("demo");
+        spec.funcs.push(FuncSpec::exported(
+            "demo_calc",
+            vec![
+                MOp::CallLocal("demo_helper".into()),
+                MOp::Insn(Insn::Alu {
+                    op: AluOp::Add,
+                    dst: Reg::Rax,
+                    src: Reg::Rax,
+                }),
+                MOp::Ret,
+            ],
+        ));
+        spec.funcs.push(FuncSpec {
+            name: "demo_helper".into(),
+            exported: false,
+            is_static: false,
+            body: vec![
+                MOp::Insn(Insn::MovRR {
+                    dst: Reg::Rax,
+                    src: Reg::Rdi,
+                }),
+                MOp::Insn(Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: Reg::Rax,
+                    imm: 5,
+                }),
+                MOp::Ret,
+            ],
+        });
+        // An exported allocator exercise: rax = kmalloc(64); kfree(rax).
+        spec.funcs.push(FuncSpec::exported(
+            "demo_alloc",
+            vec![
+                MOp::Insn(Insn::MovImm32(Reg::Rdi, 64)),
+                MOp::CallKernel("kmalloc".into()),
+                MOp::Insn(Insn::MovRR {
+                    dst: Reg::Rdi,
+                    src: Reg::Rax,
+                }),
+                MOp::Insn(Insn::MovRR {
+                    dst: Reg::Rbx,
+                    src: Reg::Rax,
+                }),
+                MOp::CallKernel("kfree".into()),
+                MOp::Insn(Insn::MovRR {
+                    dst: Reg::Rax,
+                    src: Reg::Rbx,
+                }),
+                MOp::Ret,
+            ],
+        ));
+        spec.data.push(DataSpec {
+            name: "demo_ops".into(),
+            readonly: false,
+            init: DataInit::PtrTable(vec!["demo_calc".into(), "demo_helper".into()]),
+        });
+        spec
+    }
+
+    fn setup(opts: &TransformOptions) -> (Arc<Kernel>, Arc<ModuleRegistry>, Arc<LoadedModule>) {
+        let kernel = Kernel::new(KernelConfig::default());
+        let registry = ModuleRegistry::new(&kernel);
+        let obj = transform(&demo_spec(), opts).unwrap();
+        let module = registry.load(&obj, opts).unwrap();
+        (kernel, registry, module)
+    }
+
+    fn all_option_sets() -> Vec<TransformOptions> {
+        vec![
+            TransformOptions::vanilla(false),
+            TransformOptions::vanilla(true),
+            TransformOptions::pic(false),
+            TransformOptions::pic(true),
+            TransformOptions::rerandomizable(false),
+            TransformOptions::rerandomizable(true),
+        ]
+    }
+
+    #[test]
+    fn demo_module_computes_under_every_configuration() {
+        for opts in all_option_sets() {
+            let (kernel, _registry, module) = setup(&opts);
+            let mut vm = kernel.vm();
+            let calc = module.export("demo_calc").unwrap();
+            assert_eq!(
+                vm.call(calc, &[16]).unwrap(),
+                42,
+                "wrong result under {opts:?}"
+            );
+            let alloc = module.export("demo_alloc").unwrap();
+            let ptr = vm.call(alloc, &[]).unwrap();
+            assert!(ptr >= adelie_kernel::layout::HEAP_BASE, "{opts:?}");
+        }
+    }
+
+    #[test]
+    fn legacy_modules_sit_in_the_2gib_window() {
+        let opts = TransformOptions::vanilla(false);
+        let (_kernel, _registry, module) = setup(&opts);
+        let base = module.movable_base.load(Ordering::Relaxed);
+        assert!(base >= layout::LEGACY_MODULE_BASE);
+        assert!(base < layout::LEGACY_MODULE_BASE + layout::LEGACY_MODULE_SIZE);
+    }
+
+    #[test]
+    fn pic_modules_land_in_the_full_arena() {
+        let opts = TransformOptions::pic(true);
+        let (_kernel, _registry, module) = setup(&opts);
+        let base = module.movable_base.load(Ordering::Relaxed);
+        assert!(base < layout::MODULE_CEILING);
+    }
+
+    #[test]
+    fn patching_happens_for_local_references() {
+        // The Fig. 4 relaxations fire for intra-part calls and loads.
+        let opts = TransformOptions::pic(false);
+        let (_k, _r, module) = setup(&opts);
+        assert!(
+            module.stats.patched_calls >= 1,
+            "local call patched: {:?}",
+            module.stats
+        );
+        // Kernel imports stay in the fixed GOT.
+        assert!(module.stats.fixed_got_entries >= 2, "{:?}", module.stats);
+    }
+
+    #[test]
+    fn rerandomizable_module_has_four_gots_and_wrappers() {
+        let opts = TransformOptions::rerandomizable(true);
+        let (_k, _r, module) = setup(&opts);
+        assert!(module.immovable.is_some());
+        // The immovable local GOT holds the real-function pointers that
+        // get rewritten every period.
+        assert!(!module.lgot_immovable.is_empty());
+        // The movable local GOT holds (at least) the key slot.
+        assert!(module
+            .lgot_movable
+            .iter()
+            .any(|e| matches!(e, LocalGotEntry::Key)));
+        // The pointer table produced adjustable slots.
+        assert!(!module.adjust_slots.is_empty());
+    }
+
+    #[test]
+    fn rerandomization_moves_code_and_keeps_it_working() {
+        for retpoline in [false, true] {
+            let opts = TransformOptions::rerandomizable(retpoline);
+            let (kernel, registry, module) = setup(&opts);
+            let calc = module.export("demo_calc").unwrap();
+            let mut vm = kernel.vm();
+            assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+            let base0 = module.movable_base.load(Ordering::Relaxed);
+            let key0 = module.current_key.load(Ordering::Relaxed);
+            for _ in 0..5 {
+                rerandomize_module(&kernel, &registry, &module).unwrap();
+                assert_eq!(vm.call(calc, &[16]).unwrap(), 42, "retpoline={retpoline}");
+            }
+            assert_ne!(module.movable_base.load(Ordering::Relaxed), base0);
+            assert_ne!(module.current_key.load(Ordering::Relaxed), key0);
+            assert_eq!(module.times_randomized(), 5);
+        }
+    }
+
+    #[test]
+    fn old_range_is_unmapped_after_drain() {
+        let opts = TransformOptions::rerandomizable(false);
+        let (kernel, registry, module) = setup(&opts);
+        let base0 = module.movable_base.load(Ordering::Relaxed);
+        // No pending calls → retire runs immediately.
+        rerandomize_module(&kernel, &registry, &module).unwrap();
+        let err = kernel
+            .space
+            .translate(base0, adelie_vmem::Access::Read)
+            .unwrap_err();
+        assert!(matches!(err, adelie_vmem::Fault::Unmapped { .. }));
+        assert_eq!(kernel.reclaim.stats().delta(), 0);
+    }
+
+    #[test]
+    fn pending_call_delays_unmap() {
+        let opts = TransformOptions::rerandomizable(false);
+        let (kernel, registry, module) = setup(&opts);
+        let base0 = module.movable_base.load(Ordering::Relaxed);
+        // Simulate a pending call (mr_start without mr_finish).
+        kernel.reclaim.enter(3);
+        rerandomize_module(&kernel, &registry, &module).unwrap();
+        assert!(
+            kernel
+                .space
+                .translate(base0, adelie_vmem::Access::Read)
+                .is_ok(),
+            "old range must stay mapped while a call is pending"
+        );
+        assert_eq!(kernel.reclaim.stats().delta(), 1);
+        kernel.reclaim.leave(3);
+        assert!(kernel
+            .space
+            .translate(base0, adelie_vmem::Access::Read)
+            .is_err());
+        assert_eq!(kernel.reclaim.stats().delta(), 0);
+    }
+
+    #[test]
+    fn adjustable_data_slots_follow_the_module() {
+        let opts = TransformOptions::rerandomizable(false);
+        let (kernel, registry, module) = setup(&opts);
+        let slot = &module.adjust_slots[0];
+        let read_slot = |m: &LoadedModule| {
+            let frames = match slot.part {
+                Part::Movable => &m.movable.frames,
+                Part::Immovable => &m.immovable.as_ref().unwrap().frames,
+            };
+            let page = (slot.slot_off / PAGE_SIZE as u64) as usize;
+            kernel
+                .phys
+                .read_u64(frames[page], (slot.slot_off % PAGE_SIZE as u64) as usize)
+        };
+        let before = read_slot(&module);
+        rerandomize_module(&kernel, &registry, &module).unwrap();
+        let after = read_slot(&module);
+        assert_ne!(before, after);
+        assert_eq!(
+            after,
+            module.movable_base.load(Ordering::Relaxed) + slot.target_off
+        );
+    }
+
+    #[test]
+    fn stale_text_address_faults_after_rerand() {
+        // The JIT-ROP defence in action: a leaked code address dies with
+        // the next cycle.
+        let opts = TransformOptions::rerandomizable(false);
+        let (kernel, registry, module) = setup(&opts);
+        let leaked = module.movable_base.load(Ordering::Relaxed)
+            + module.movable_syms["demo_calc__real"];
+        let mut vm = kernel.vm();
+        // (Direct call to the real function works pre-move.)
+        assert_eq!(vm.call(leaked, &[16]).unwrap(), 42);
+        rerandomize_module(&kernel, &registry, &module).unwrap();
+        match vm.call(leaked, &[16]) {
+            Err(VmError::Fault(adelie_vmem::Fault::Unmapped { .. })) => {}
+            other => panic!("stale address should fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn got_pages_are_write_protected() {
+        let opts = TransformOptions::rerandomizable(false);
+        let (kernel, _r, module) = setup(&opts);
+        let imm = module.immovable.as_ref().unwrap();
+        let got_va = imm.base + imm.lgot_off;
+        let err = kernel.space.write_u64(&kernel.phys, got_va, 0xdead).unwrap_err();
+        assert!(matches!(err, adelie_vmem::Fault::NotWritable { .. }));
+    }
+
+    #[test]
+    fn return_address_encryption_uses_rotating_key() {
+        let opts = TransformOptions::rerandomizable(false);
+        let (kernel, registry, module) = setup(&opts);
+        let k0 = module.current_key.load(Ordering::Relaxed);
+        rerandomize_module(&kernel, &registry, &module).unwrap();
+        let k1 = module.current_key.load(Ordering::Relaxed);
+        assert_ne!(k0, k1, "key must rotate every period");
+        // The movable local GOT's key slot holds the current key.
+        let key_idx = module
+            .lgot_movable
+            .iter()
+            .position(|e| matches!(e, LocalGotEntry::Key))
+            .unwrap();
+        let got_va = module.movable_base.load(Ordering::Relaxed)
+            + module.movable.lgot_off
+            + (key_idx * 8) as u64;
+        assert_eq!(kernel.space.read_u64(&kernel.phys, got_va).unwrap(), k1);
+    }
+
+    #[test]
+    fn stack_rerand_round_trips_through_the_pool() {
+        let opts = TransformOptions::rerandomizable(false);
+        let (kernel, registry, module) = setup(&opts);
+        let calc = module.export("demo_calc").unwrap();
+        let mut vm = kernel.vm();
+        for _ in 0..10 {
+            assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+        }
+        let st = registry.stacks.stats();
+        assert_eq!(st.allocated, 1, "one stack allocated then pooled: {st:?}");
+        // Rotation retires pooled stacks.
+        registry.stacks.rotate(&kernel);
+        let st = registry.stacks.stats();
+        assert_eq!(st.delta(), 0, "{st:?}");
+        // And the next call simply allocates a fresh one.
+        assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+        assert_eq!(registry.stacks.stats().allocated, 2);
+    }
+
+    #[test]
+    fn unload_removes_everything() {
+        let opts = TransformOptions::rerandomizable(true);
+        let (kernel, registry, module) = setup(&opts);
+        let base = module.movable_base.load(Ordering::Relaxed);
+        let imm_base = module.immovable.as_ref().unwrap().base;
+        drop(module);
+        registry.unload("demo").unwrap();
+        assert!(registry.get("demo").is_none());
+        assert!(kernel.space.translate(base, adelie_vmem::Access::Read).is_err());
+        assert!(kernel
+            .space
+            .translate(imm_base, adelie_vmem::Access::Read)
+            .is_err());
+        assert!(kernel.symbols.lookup("demo_calc").is_none());
+    }
+
+    #[test]
+    fn rerandomizer_thread_drives_cycles() {
+        let opts = TransformOptions::rerandomizable(false);
+        let (kernel, registry, module) = setup(&opts);
+        let rr = Rerandomizer::spawn(
+            kernel.clone(),
+            registry.clone(),
+            &["demo"],
+            std::time::Duration::from_millis(1),
+        );
+        let calc = module.export("demo_calc").unwrap();
+        let mut vm = kernel.vm();
+        let t0 = std::time::Instant::now();
+        let mut calls = 0u64;
+        while t0.elapsed() < std::time::Duration::from_millis(100) {
+            assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+            calls += 1;
+        }
+        let stats = rr.stop();
+        assert!(stats.randomized >= 5, "cycles: {}", stats.randomized);
+        assert!(calls > 100, "driver kept serving during rerand: {calls}");
+        assert_eq!(kernel.reclaim.stats().delta(), 0, "all old ranges freed");
+        log_stats(&kernel, stats.randomized, &registry.stacks);
+        assert!(!kernel.printk.grep("Randomized").is_empty());
+    }
+
+    #[test]
+    fn concurrent_callers_survive_rerandomization() {
+        let opts = TransformOptions::rerandomizable(true);
+        let (kernel, registry, module) = setup(&opts);
+        let rr = Rerandomizer::spawn(
+            kernel.clone(),
+            registry.clone(),
+            &["demo"],
+            std::time::Duration::from_millis(1),
+        );
+        let calc = module.export("demo_calc").unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let kernel = kernel.clone();
+                s.spawn(move || {
+                    let mut vm = kernel.vm();
+                    let t0 = std::time::Instant::now();
+                    while t0.elapsed() < std::time::Duration::from_millis(200) {
+                        assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+                    }
+                });
+            }
+        });
+        let stats = rr.stop();
+        assert!(stats.randomized >= 10);
+        assert_eq!(kernel.reclaim.stats().delta(), 0);
+    }
+
+    #[test]
+    fn legacy_mode_rejects_pic_relocs() {
+        // A PIC-transformed object cannot be loaded as legacy.
+        let kernel = Kernel::new(KernelConfig::default());
+        let registry = ModuleRegistry::new(&kernel);
+        let pic_obj = transform(&demo_spec(), &TransformOptions::pic(false)).unwrap();
+        let err = registry
+            .load(&pic_obj, &TransformOptions::vanilla(false))
+            .unwrap_err();
+        assert!(matches!(err, LoadError::UnexpectedReloc(_)), "{err:?}");
+    }
+
+    #[test]
+    fn unresolved_import_fails_load() {
+        let kernel = Kernel::new(KernelConfig::default());
+        let registry = ModuleRegistry::new(&kernel);
+        let mut spec = ModuleSpec::new("bad");
+        spec.funcs.push(FuncSpec::exported(
+            "bad_fn",
+            vec![MOp::CallKernel("nonexistent_symbol".into()), MOp::Ret],
+        ));
+        let opts = TransformOptions::pic(false);
+        let obj = transform(&spec, &opts).unwrap();
+        match registry.load(&obj, &opts) {
+            Err(LoadError::Unresolved(s)) => assert_eq!(s, "nonexistent_symbol"),
+            other => panic!("expected unresolved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn module_bases_differ_across_kernels_with_different_seeds() {
+        let opts = TransformOptions::pic(false);
+        let mut bases = Vec::new();
+        for seed in [1u64, 2, 3] {
+            let kernel = Kernel::new(KernelConfig {
+                seed,
+                ..KernelConfig::default()
+            });
+            let registry = ModuleRegistry::new(&kernel);
+            let obj = transform(&demo_spec(), &opts).unwrap();
+            let m = registry.load(&obj, &opts).unwrap();
+            bases.push(m.movable_base.load(Ordering::Relaxed));
+        }
+        bases.sort_unstable();
+        bases.dedup();
+        assert_eq!(bases.len(), 3, "KASLR placement must vary with the seed");
+    }
+
+    #[test]
+    fn model_mismatch_is_caught() {
+        let _ = CodeModel::Pic; // silence unused import in some cfgs
+    }
+}

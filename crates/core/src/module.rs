@@ -1,0 +1,196 @@
+//! Loaded-module representation (paper Fig. 2b).
+//!
+//! A re-randomizable module has a **movable** part (`.text`, `.data`,
+//! `.bss`, its PLT, and its pair of GOTs) and an **immovable** part
+//! (`.fixed.text` wrappers, `.rodata`, its PLT and GOT pair). Plain PIC
+//! and legacy modules collapse into a single (non-moving) part.
+
+use adelie_vmem::{Pfn, PteFlags};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which half of the module an item lives in.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Part {
+    /// Relocated on every re-randomization period.
+    Movable,
+    /// Pinned for the module's lifetime (wrappers, `.rodata`).
+    Immovable,
+}
+
+/// A run of pages with uniform permissions within a part.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct PageGroup {
+    /// First page index within the part.
+    pub page_start: usize,
+    /// Number of pages.
+    pub pages: usize,
+    /// Mapping permissions.
+    pub flags: PteFlags,
+}
+
+/// One entry of a *local* GOT — the table that must be rebuilt when the
+/// movable part moves (paper §4.2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LocalGotEntry {
+    /// Address of a movable-part symbol: rebuilt as `new_base + offset`.
+    Sym {
+        /// Symbol name (diagnostics).
+        name: String,
+        /// Offset from the movable base.
+        offset: u64,
+    },
+    /// The return-address encryption key slot: refreshed with a new
+    /// random key every cycle (§3.4).
+    Key,
+}
+
+/// An 8-byte data slot holding an absolute pointer into the movable
+/// part — adjusted by the re-randomizer (paper §6: "pointers are also
+/// adjusted when re-randomizing by adding an offset").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AdjustSlot {
+    /// Which part the slot itself lives in.
+    pub part: Part,
+    /// Byte offset of the slot from its part's base.
+    pub slot_off: u64,
+    /// Offset of the pointed-to symbol from the movable base.
+    pub target_off: u64,
+}
+
+/// The placed image of one module part.
+#[derive(Debug)]
+pub struct PartImage {
+    /// Base virtual address at load time (for the movable part, the
+    /// *current* base lives in [`LoadedModule::movable_base`]).
+    pub base: u64,
+    /// Total pages.
+    pub total_pages: usize,
+    /// Backing frames in page order (shared across aliases; only local
+    /// GOT frames are replaced over time).
+    pub frames: Vec<Pfn>,
+    /// Permission groups covering all pages.
+    pub groups: Vec<PageGroup>,
+    /// Byte offset of the local GOT (page-aligned).
+    pub lgot_off: u64,
+    /// Local GOT slot count.
+    pub lgot_slots: usize,
+    /// Byte offset of the fixed GOT (page-aligned).
+    pub fgot_off: u64,
+    /// Fixed GOT slot count.
+    pub fgot_slots: usize,
+    /// Byte offset of the PLT.
+    pub plt_off: u64,
+    /// PLT stub count.
+    pub plt_stubs: usize,
+}
+
+impl PartImage {
+    /// Pages occupied by the local GOT.
+    pub fn lgot_pages(&self) -> usize {
+        (self.lgot_slots * 8).div_ceil(adelie_vmem::PAGE_SIZE)
+    }
+}
+
+/// Per-load statistics (feeds Fig. 5a and the §4.1 patching discussion).
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct LoadStats {
+    /// Section payload bytes (what a non-PIC module would map).
+    pub payload_bytes: usize,
+    /// Bytes added by GOTs and PLTs (the PIC overhead of Fig. 5a).
+    pub got_plt_bytes: usize,
+    /// Total mapped bytes (both parts).
+    pub mapped_bytes: usize,
+    /// `call *GOT` sites relaxed to direct `call; nop` (Fig. 4).
+    pub patched_calls: usize,
+    /// `mov sym@GOT` sites relaxed to `lea` (Fig. 4).
+    pub patched_movs: usize,
+    /// GOT entries eliminated by the relaxations above.
+    pub got_entries_eliminated: usize,
+    /// Local GOT entries (both parts).
+    pub local_got_entries: usize,
+    /// Fixed GOT entries (both parts).
+    pub fixed_got_entries: usize,
+    /// PLT stubs emitted (retpoline mode).
+    pub plt_stubs: usize,
+}
+
+/// A module resident in the simulated kernel.
+#[derive(Debug)]
+pub struct LoadedModule {
+    /// Module name.
+    pub name: String,
+    /// Whether the re-randomizer may move it.
+    pub rerandomizable: bool,
+    /// The movable (or only) part.
+    pub movable: PartImage,
+    /// The immovable part (re-randomizable modules only).
+    pub immovable: Option<PartImage>,
+    /// Current movable base (starts at `movable.base`).
+    pub movable_base: AtomicU64,
+    /// Times re-randomized.
+    pub generation: AtomicU64,
+    /// Current encryption key (exposed for tests and attack simulations;
+    /// the defence does not depend on its secrecy from *us*).
+    pub current_key: AtomicU64,
+    /// Movable-part symbol offsets (from the movable base).
+    pub movable_syms: HashMap<String, u64>,
+    /// Immovable/absolute symbol addresses.
+    pub immovable_syms: HashMap<String, u64>,
+    /// Local GOT layout of the movable part (rebuild recipe).
+    pub lgot_movable: Vec<LocalGotEntry>,
+    /// Local GOT layout of the immovable part.
+    pub lgot_immovable: Vec<LocalGotEntry>,
+    /// Current frames behind the movable part's local GOT pages.
+    pub movable_lgot_frames: Mutex<Vec<Pfn>>,
+    /// Current frames behind the immovable part's local GOT pages.
+    pub immovable_lgot_frames: Mutex<Vec<Pfn>>,
+    /// Data slots that hold movable pointers.
+    pub adjust_slots: Vec<AdjustSlot>,
+    /// Kernel-visible exports: `(name, address)`.
+    pub exports: Vec<(String, u64)>,
+    /// Entry points (wrapper addresses for re-randomizable modules).
+    pub init_va: Option<u64>,
+    /// Exit entry point.
+    pub exit_va: Option<u64>,
+    /// Pointer-refresh callback (called after each move).
+    pub update_pointers_va: Option<u64>,
+    /// Load-time statistics.
+    pub stats: LoadStats,
+    /// Serializes re-randomization against unload.
+    pub move_lock: Mutex<()>,
+}
+
+impl LoadedModule {
+    /// Resolve an exported entry point by name.
+    pub fn export(&self, name: &str) -> Option<u64> {
+        self.exports
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, va)| *va)
+    }
+
+    /// The current virtual address of a module symbol (moves with the
+    /// module if the symbol is movable).
+    pub fn symbol_va(&self, name: &str) -> Option<u64> {
+        if let Some(&off) = self.movable_syms.get(name) {
+            return Some(self.movable_base.load(Ordering::Acquire) + off);
+        }
+        self.immovable_syms.get(name).copied()
+    }
+
+    /// Total mapped footprint in bytes.
+    pub fn mapped_bytes(&self) -> usize {
+        let mut pages = self.movable.total_pages;
+        if let Some(imm) = &self.immovable {
+            pages += imm.total_pages;
+        }
+        pages * adelie_vmem::PAGE_SIZE
+    }
+
+    /// Times this module has been re-randomized.
+    pub fn times_randomized(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,323 @@
+//! The re-randomizer: the "randomizer kernel thread" of paper §4.2.
+//!
+//! Every period, for every re-randomizable module:
+//!
+//! 1. pick a fresh random base for the movable part,
+//! 2. alias every movable page (same frames) at the new base —
+//!    *zero-copy* movement (Fig. 2a),
+//! 3. build **new local GOTs** for both parts with entries rebased to
+//!    the new addresses and a fresh encryption key; the new mapping's
+//!    local-GOT pages point at the new frames, and the immovable part's
+//!    local-GOT page is atomically swapped onto its new frame,
+//! 4. adjust absolute data slots that point into the movable part,
+//! 5. invoke the module's `update_pointers` callback if it has one,
+//! 6. `mr_retire` the old range: it is unmapped (and the old local-GOT
+//!    frames freed) as soon as the last pending call drains,
+//! 7. rotate the per-CPU stack pools.
+//!
+//! Pending calls keep executing at the old addresses with the old GOTs
+//! and the old key until they return — consistency by construction.
+
+use crate::module::{LoadedModule, LocalGotEntry, Part};
+use crate::stacks::StackPool;
+use crate::ModuleRegistry;
+use adelie_kernel::Kernel;
+use adelie_vmem::{PteFlags, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cycle counters (the dmesg block of the artifact appendix).
+#[derive(Copy, Clone, Default, Debug)]
+pub struct RerandStats {
+    /// Completed re-randomization cycles (sum over modules).
+    pub randomized: u64,
+    /// Cumulative wall time spent inside cycles.
+    pub busy: Duration,
+}
+
+/// Re-randomize `module` once. Returns the new movable base.
+///
+/// # Errors
+///
+/// A textual error if no free address range can be found or a remap
+/// fails; callers treat this as a fatal kernel bug.
+pub fn rerandomize_module(
+    kernel: &Arc<Kernel>,
+    registry: &ModuleRegistry,
+    module: &LoadedModule,
+) -> Result<u64, String> {
+    if !module.rerandomizable {
+        return Err(format!("module {} is not re-randomizable", module.name));
+    }
+    let _move_guard = module.move_lock.lock();
+    let pages = module.movable.total_pages;
+    let old_base = module.movable_base.load(Ordering::Acquire);
+
+    // (1) Fresh base + key.
+    let (new_base, _va_guard) = registry.pick_base_locked(pages)?;
+    let new_key = kernel.rng_u64();
+
+    // (2) Zero-copy alias of every movable page group, except the local
+    // GOT pages which get fresh frames.
+    let lgot_page_start = (module.movable.lgot_off / PAGE_SIZE as u64) as usize;
+    let lgot_pages = module.movable.lgot_pages();
+    for g in &module.movable.groups {
+        for i in 0..g.pages {
+            let page = g.page_start + i;
+            if lgot_pages > 0 && page >= lgot_page_start && page < lgot_page_start + lgot_pages {
+                continue; // handled in step (3)
+            }
+            let va = new_base + (page * PAGE_SIZE) as u64;
+            kernel
+                .space
+                .map(va, module.movable.frames[page], g.flags)
+                .map_err(|e| format!("rerand alias failed: {e}"))?;
+        }
+    }
+
+    // (3) New local GOTs.
+    let build_lgot = |entries: &[LocalGotEntry]| -> Vec<u8> {
+        let mut bytes = vec![0u8; (entries.len() * 8).next_multiple_of(PAGE_SIZE).max(PAGE_SIZE)];
+        for (i, e) in entries.iter().enumerate() {
+            let v = match e {
+                LocalGotEntry::Sym { offset, .. } => new_base + offset,
+                LocalGotEntry::Key => new_key,
+            };
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        bytes
+    };
+    let mut doomed_frames = Vec::new();
+    if lgot_pages > 0 {
+        let img = build_lgot(&module.lgot_movable);
+        let new_frames = kernel.phys.alloc_n(lgot_pages);
+        for (i, &pfn) in new_frames.iter().enumerate() {
+            kernel
+                .phys
+                .write(pfn, 0, &img[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
+        }
+        kernel
+            .space
+            .map_range(
+                new_base + module.movable.lgot_off,
+                &new_frames,
+                PteFlags::RO_DATA, // sealed from birth
+            )
+            .map_err(|e| format!("rerand lgot map failed: {e}"))?;
+        let mut cur = module.movable_lgot_frames.lock();
+        doomed_frames.append(&mut std::mem::replace(&mut *cur, new_frames));
+    }
+    if let Some(imm) = &module.immovable {
+        let imm_lgot_pages = imm.lgot_pages();
+        if imm_lgot_pages > 0 {
+            let img = build_lgot(&module.lgot_immovable);
+            let new_frames = kernel.phys.alloc_n(imm_lgot_pages);
+            for (i, &pfn) in new_frames.iter().enumerate() {
+                kernel
+                    .phys
+                    .write(pfn, 0, &img[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
+            }
+            // Atomic PTE swap: pending calls read either the old or the
+            // new table, never a hole (§4.2 "GOT pages in the new address
+            // space are remapped to point to the new GOTs").
+            for (i, &pfn) in new_frames.iter().enumerate() {
+                kernel
+                    .space
+                    .replace(
+                        imm.base + imm.lgot_off + (i * PAGE_SIZE) as u64,
+                        pfn,
+                        PteFlags::RO_DATA,
+                    )
+                    .map_err(|e| format!("rerand imm lgot swap failed: {e}"))?;
+            }
+            let mut cur = module.immovable_lgot_frames.lock();
+            doomed_frames.append(&mut std::mem::replace(&mut *cur, new_frames));
+        }
+    }
+    drop(_va_guard);
+
+    // (4) Adjust movable pointers in data (paper §6: "pointers are also
+    // adjusted when re-randomizing"). Direct frame writes: the slots may
+    // live on sealed (read-only-mapped) pages.
+    for slot in &module.adjust_slots {
+        let frames = match slot.part {
+            Part::Movable => &module.movable.frames,
+            Part::Immovable => &module.immovable.as_ref().unwrap().frames,
+        };
+        let page = (slot.slot_off / PAGE_SIZE as u64) as usize;
+        let off = (slot.slot_off % PAGE_SIZE as u64) as usize;
+        kernel
+            .phys
+            .write_u64(frames[page], off, new_base + slot.target_off);
+    }
+
+    // (5) Publish, then let the module refresh any run-time pointers.
+    module.movable_base.store(new_base, Ordering::Release);
+    module.current_key.store(new_key, Ordering::Release);
+    module.generation.fetch_add(1, Ordering::Relaxed);
+    if let Some(up) = module.update_pointers_va {
+        let mut vm = kernel.vm();
+        vm.call(up, &[new_base])
+            .map_err(|e| format!("update_pointers failed: {e}"))?;
+    }
+
+    // (6) Retire the old range — unmapped when pending calls drain.
+    let kernel2 = kernel.clone();
+    let total_pages = pages;
+    kernel.reclaim.retire(Box::new(move || {
+        // Batched unmap: one TLB shootdown for the whole stale range.
+        kernel2.space.unmap_sparse(old_base, total_pages);
+        for pfn in doomed_frames {
+            kernel2.phys.free(pfn);
+        }
+    }));
+
+    // (7) Rotate the per-CPU randomized stack pools so stack addresses
+    // go stale on the same cadence as code addresses (§3.4).
+    registry.stacks.rotate(kernel);
+    Ok(new_base)
+}
+
+/// The background randomizer thread driving a set of modules — the
+/// `randmod` kernel module of the artifact
+/// (`modprobe randmod module_names=e1000,nvme rand_period=20`).
+pub struct Rerandomizer {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    cycles: Arc<AtomicU64>,
+    busy_ns: Arc<AtomicU64>,
+}
+
+impl Rerandomizer {
+    /// Start re-randomizing `module_names` every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any named module is missing or not re-randomizable.
+    pub fn spawn(
+        kernel: Arc<Kernel>,
+        registry: Arc<ModuleRegistry>,
+        module_names: &[&str],
+        period: Duration,
+    ) -> Rerandomizer {
+        let modules: Vec<Arc<LoadedModule>> = module_names
+            .iter()
+            .map(|n| {
+                let m = registry
+                    .get(n)
+                    .unwrap_or_else(|| panic!("randmod: no module `{n}`"));
+                assert!(m.rerandomizable, "randmod: `{n}` is not re-randomizable");
+                m
+            })
+            .collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let cycles = Arc::new(AtomicU64::new(0));
+        let busy_ns = Arc::new(AtomicU64::new(0));
+        kernel.printk.log("Randomize: kthread started");
+        let handle = {
+            let stop = stop.clone();
+            let cycles = cycles.clone();
+            let busy_ns = busy_ns.clone();
+            std::thread::Builder::new()
+                .name("randomizer".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let t0 = Instant::now();
+                        for m in &modules {
+                            if let Err(e) = rerandomize_module(&kernel, &registry, m) {
+                                kernel.printk.log(format!("Randomize: ERROR {e}"));
+                                return;
+                            }
+                            cycles.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let spent = t0.elapsed();
+                        busy_ns.fetch_add(spent.as_nanos() as u64, Ordering::Relaxed);
+                        // Account the randomizer thread's CPU use on the
+                        // modeled machine (it occupies one core).
+                        kernel.percpu.account(0, spent);
+                        if spent < period {
+                            std::thread::sleep(period - spent);
+                        }
+                    }
+                })
+                .expect("spawn randomizer")
+        };
+        Rerandomizer {
+            stop,
+            handle: Some(handle),
+            cycles,
+            busy_ns,
+        }
+    }
+
+    /// Completed module-cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RerandStats {
+        RerandStats {
+            randomized: self.cycles(),
+            busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Stop the thread and wait for it.
+    pub fn stop(mut self) -> RerandStats {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Rerandomizer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Rerandomizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rerandomizer")
+            .field("cycles", &self.cycles())
+            .finish()
+    }
+}
+
+/// Print the artifact-style statistics block to the kernel log:
+///
+/// ```text
+/// Randomized 53 times
+/// SMR Retire: 106 / SMR Free: 106 / SMR Delta: 0
+/// Stack Alloc: 530 / Stack Free: 530 / Stack Delta: 0
+/// ```
+pub fn log_stats(kernel: &Kernel, cycles: u64, stacks: &StackPool) {
+    let smr = kernel.reclaim.stats();
+    let st = stacks.stats();
+    kernel.printk.log("-----".to_string());
+    kernel.printk.log(format!("Randomized {cycles} times"));
+    kernel.printk.log(format!("SMR Retire: {}", smr.retired));
+    kernel.printk.log(format!("SMR Free: {}", smr.freed));
+    kernel.printk.log(format!("SMR Delta: {}", smr.delta()));
+    kernel.printk.log(format!("Stack Alloc: {}", st.allocated));
+    kernel.printk.log(format!("Stack Free: {}", st.freed));
+    kernel.printk.log(format!("Stack Delta: {}", st.delta()));
+}
+
+/// Guard against stats types drifting from the dmesg format.
+#[allow(dead_code)]
+fn _stats_shape(s: &RerandStats) -> (u64, Duration) {
+    (s.randomized, s.busy)
+}
+
+/// Mutex re-exported for doc purposes.
+#[allow(unused)]
+type _M = Mutex<()>;

@@ -1,0 +1,201 @@
+//! Per-CPU pools of re-randomized kernel stacks (paper §3.4, Fig. 3b).
+//!
+//! Wrappers switch to a stack drawn from the calling CPU's LIFO pool;
+//! stacks are allocated at *random* virtual addresses, and the
+//! re-randomizer periodically swaps every CPU's pool for a fresh one,
+//! retiring the old stacks through the SMR domain so they are unmapped
+//! only after in-flight calls drain.
+//!
+//! The paper uses per-CPU lock-free LIFO lists; contention here is a
+//! single CPU's wrapper push/pop racing the rotate swap, so this
+//! implementation uses a short per-CPU mutex around a `Vec` — the same
+//! LIFO semantics with negligible contention (documented simplification,
+//! DESIGN.md §3).
+
+use adelie_kernel::{layout, Kernel, Vm, VmError};
+use adelie_vmem::{Access, Pfn, PteFlags, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Pages per randomized stack.
+const STACK_PAGES: usize = 8;
+
+/// Counters mirrored in the artifact's dmesg output
+/// (`Stack Alloc` / `Stack Free` / `Stack Delta`).
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct StackStats {
+    /// Stacks allocated on demand.
+    pub allocated: u64,
+    /// Stacks torn down by rotation.
+    pub freed: u64,
+}
+
+impl StackStats {
+    /// Live stacks.
+    pub fn delta(&self) -> u64 {
+        self.allocated - self.freed
+    }
+}
+
+/// The per-CPU stack pools.
+pub struct StackPool {
+    pools: Vec<Mutex<Vec<u64>>>,
+    /// Backing frames per stack top (moved into the retire closure on
+    /// rotation).
+    frames: Mutex<HashMap<u64, Vec<Pfn>>>,
+    allocated: AtomicU64,
+    /// Shared with rotation closures living in the SMR domain, which may
+    /// outlive the pool.
+    freed: Arc<AtomicU64>,
+}
+
+impl StackPool {
+    /// Pools for `cpus` CPUs.
+    pub fn new(cpus: usize) -> Arc<StackPool> {
+        Arc::new(StackPool {
+            pools: (0..cpus).map(|_| Mutex::new(Vec::new())).collect(),
+            frames: Mutex::new(HashMap::new()),
+            allocated: AtomicU64::new(0),
+            freed: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Register the wrapper-support natives (`pop_stack_this_cpu`,
+    /// `push_stack_this_cpu`, `alloc_stack`).
+    pub fn register_natives(self: &Arc<Self>, kernel: &Arc<Kernel>) {
+        let pool = self.clone();
+        kernel
+            .symbols
+            .register_native("pop_stack_this_cpu", move |vm| Ok(pool.pop(vm.cpu())));
+        let pool = self.clone();
+        kernel
+            .symbols
+            .register_native("push_stack_this_cpu", move |vm| {
+                pool.push(vm.cpu(), vm.arg(0));
+                Ok(0)
+            });
+        let pool = self.clone();
+        kernel.symbols.register_native("alloc_stack", move |vm| {
+            pool.alloc(vm.kernel).map_err(VmError::Native)
+        });
+    }
+
+    /// Pop a stack top for `cpu` (0 when the pool is empty — the wrapper
+    /// then calls `alloc_stack`).
+    pub fn pop(&self, cpu: usize) -> u64 {
+        self.pools[cpu].lock().pop().unwrap_or(0)
+    }
+
+    /// Return a stack to `cpu`'s pool.
+    pub fn push(&self, cpu: usize, top: u64) {
+        self.pools[cpu].lock().push(top);
+    }
+
+    /// Allocate a stack at a random virtual address; returns its top.
+    ///
+    /// # Errors
+    ///
+    /// A textual error when no free range is found (propagated as a
+    /// native-handler failure).
+    pub fn alloc(&self, kernel: &Kernel) -> Result<u64, String> {
+        let span = (STACK_PAGES * PAGE_SIZE) as u64;
+        for _ in 0..256 {
+            let base = (kernel.rng_below(layout::MODULE_CEILING / PAGE_SIZE as u64 - STACK_PAGES as u64 - 1)
+                + 1)
+                * PAGE_SIZE as u64;
+            let free = (0..STACK_PAGES).all(|i| {
+                kernel
+                    .space
+                    .translate(base + (i * PAGE_SIZE) as u64, Access::Read)
+                    .is_err()
+            });
+            if !free {
+                continue;
+            }
+            let pfns = kernel.phys.alloc_n(STACK_PAGES);
+            match kernel.space.map_range(base, &pfns, PteFlags::DATA) {
+                Ok(()) => {
+                    let top = base + span;
+                    self.frames.lock().insert(top, pfns);
+                    self.allocated.fetch_add(1, Ordering::Relaxed);
+                    return Ok(top);
+                }
+                Err(_) => {
+                    // Lost a race for the range: roll back and retry.
+                    for (i, pfn) in pfns.into_iter().enumerate() {
+                        let va = base + (i * PAGE_SIZE) as u64;
+                        if kernel.space.unmap(va).is_err() {
+                            kernel.phys.free(pfn);
+                        } else {
+                            kernel.phys.free(pfn);
+                        }
+                    }
+                }
+            }
+        }
+        Err("alloc_stack: no free range".into())
+    }
+
+    /// Swap every CPU's pool for a fresh empty one; old stacks are
+    /// retired and unmapped once pending calls drain (the rotation step
+    /// of each re-randomization cycle).
+    pub fn rotate(&self, kernel: &Arc<Kernel>) {
+        let mut old_tops = Vec::new();
+        for pool in &self.pools {
+            old_tops.append(&mut *pool.lock());
+        }
+        if old_tops.is_empty() {
+            return;
+        }
+        let mut frames = self.frames.lock();
+        let doomed: Vec<(u64, Vec<Pfn>)> = old_tops
+            .into_iter()
+            .filter_map(|top| frames.remove(&top).map(|f| (top, f)))
+            .collect();
+        drop(frames);
+        let n = doomed.len() as u64;
+        let kernel2 = kernel.clone();
+        let freed = self.freed.clone();
+        kernel.reclaim.retire(Box::new(move || {
+            for (top, pfns) in doomed {
+                let base = top - (STACK_PAGES * PAGE_SIZE) as u64;
+                let _ = kernel2.space.unmap_range(base, STACK_PAGES);
+                for pfn in pfns {
+                    kernel2.phys.free(pfn);
+                }
+            }
+            freed.fetch_add(n, Ordering::Relaxed);
+        }));
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StackStats {
+        StackStats {
+            allocated: self.allocated.load(Ordering::Relaxed),
+            freed: self.freed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run one wrapper-style pop/alloc-push round on the calling CPU
+    /// (test helper exercising the same paths as wrapper code).
+    pub fn checkout(&self, vm: &mut Vm<'_>) -> Result<u64, String> {
+        let cpu = vm.cpu();
+        let top = match self.pop(cpu) {
+            0 => self.alloc(vm.kernel)?,
+            t => t,
+        };
+        Ok(top)
+    }
+}
+
+
+impl std::fmt::Debug for StackPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StackPool")
+            .field("cpus", &self.pools.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

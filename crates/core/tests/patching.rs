@@ -1,0 +1,168 @@
+//! Loader patch verification: read back the *loaded* text bytes and
+//! check the Fig. 4 rewrites and PLT/GOT machinery at the byte level —
+//! the same inspection an auditor would do with objdump on a live
+//! system.
+
+use adelie_core::ModuleRegistry;
+use adelie_isa::{decode_all, Insn, Mem, Reg};
+use adelie_kernel::{Kernel, KernelConfig};
+use adelie_plugin::{transform, FuncSpec, MOp, ModuleSpec, TransformOptions};
+use adelie_vmem::PAGE_SIZE;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn spec_with_local_call() -> ModuleSpec {
+    let mut spec = ModuleSpec::new("patchdemo");
+    spec.funcs.push(FuncSpec::exported(
+        "entry",
+        vec![
+            MOp::CallLocal("helper".into()),
+            MOp::CallKernel("kmalloc".into()),
+            MOp::LoadLocalSym(Reg::Rdi, "entry".into()),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::local(
+        "helper",
+        vec![
+            MOp::Insn(Insn::MovImm32(Reg::Rax, 1)),
+            MOp::Ret,
+        ],
+    ));
+    spec
+}
+
+fn loaded_text(kernel: &Arc<Kernel>, module: &adelie_core::LoadedModule) -> Vec<u8> {
+    let base = module.movable_base.load(Ordering::Relaxed);
+    let pages = module.movable.groups[0].pages;
+    let mut text = vec![0u8; pages * PAGE_SIZE];
+    kernel
+        .space
+        .read_bytes(&kernel.phys, base, &mut text)
+        .unwrap();
+    text
+}
+
+#[test]
+fn fig4_call_patch_bytes() {
+    // PIC without retpoline: the compiler emitted `FF 15` (call *GOT);
+    // the loader must have rewritten local calls to `E8 rel32; 90`.
+    let opts = TransformOptions::pic(false);
+    let kernel = Kernel::new(KernelConfig::default());
+    let registry = ModuleRegistry::new(&kernel);
+    let obj = transform(&spec_with_local_call(), &opts).unwrap();
+    // Pre-link: the object byte stream holds the indirect form.
+    let pre = &obj.section(adelie_obj::SectionKind::Text).unwrap().bytes;
+    assert!(
+        pre.windows(2).any(|w| w == [0xFF, 0x15]),
+        "object should contain call *GOTPCREL sites"
+    );
+    let module = registry.load(&obj, &opts).unwrap();
+    assert_eq!(module.stats.patched_calls, 1, "{:?}", module.stats);
+    assert_eq!(module.stats.patched_movs, 1);
+    let text = loaded_text(&kernel, &module);
+    let entry_off = module.immovable_syms["entry"]
+        - module.movable_base.load(Ordering::Relaxed);
+    // Disassemble the entry function: first insn must now be a direct
+    // call followed by the Fig. 4 nop pad.
+    let stream = decode_all(&text[entry_off as usize..entry_off as usize + 6]).unwrap();
+    assert!(
+        matches!(stream[0].1, Insn::CallRel(_)),
+        "local call patched to direct: {:?}",
+        stream[0].1
+    );
+    assert_eq!(stream[1].1, Insn::Nop, "nop pad after patched call");
+    // The kernel call stays indirect through the GOT (64-bit target).
+    let rest = &text[entry_off as usize + 6..entry_off as usize + 12];
+    assert_eq!(&rest[..2], &[0xFF, 0x15], "kernel import stays via GOT");
+}
+
+#[test]
+fn fig4_mov_to_lea_patch() {
+    let opts = TransformOptions::pic(false);
+    let kernel = Kernel::new(KernelConfig::default());
+    let registry = ModuleRegistry::new(&kernel);
+    let obj = transform(&spec_with_local_call(), &opts).unwrap();
+    let module = registry.load(&obj, &opts).unwrap();
+    let text = loaded_text(&kernel, &module);
+    let entry_off = (module.immovable_syms["entry"]
+        - module.movable_base.load(Ordering::Relaxed)) as usize;
+    // Layout: call(5)+nop(1) + FF15(6) + [patched lea (7)] + ret.
+    let lea_bytes = &text[entry_off + 12..entry_off + 19];
+    let (insn, _) = adelie_isa::decode(lea_bytes).unwrap();
+    match insn {
+        Insn::Lea {
+            dst: Reg::Rdi,
+            addr: Mem::RipRel(_),
+        } => {}
+        other => panic!("LoadLocalSym should relax to lea, got {other}"),
+    }
+}
+
+#[test]
+fn retpoline_plt_stub_shape() {
+    // With retpoline, kernel calls go through a stub: mov rax,[GOT];
+    // jmp thunk — and the thunk ends in mov [rsp],rax; ret.
+    let opts = TransformOptions::pic(true);
+    let kernel = Kernel::new(KernelConfig::default());
+    let registry = ModuleRegistry::new(&kernel);
+    let obj = transform(&spec_with_local_call(), &opts).unwrap();
+    let module = registry.load(&obj, &opts).unwrap();
+    assert!(module.stats.plt_stubs >= 1);
+    let text = loaded_text(&kernel, &module);
+    let plt_off = module.movable.plt_off as usize;
+    let (first, len) = adelie_isa::decode(&text[plt_off..]).unwrap();
+    assert!(
+        matches!(
+            first,
+            Insn::MovLoad {
+                dst: Reg::Rax,
+                src: Mem::RipRel(_)
+            }
+        ),
+        "stub loads the GOT slot into rax: {first}"
+    );
+    let (second, _) = adelie_isa::decode(&text[plt_off + len..]).unwrap();
+    assert!(matches!(second, Insn::JmpRel(_)), "stub jumps to the thunk");
+}
+
+#[test]
+fn patched_code_still_correct_after_rerand() {
+    // The relaxed (rip-relative) forms must stay correct when the whole
+    // part moves — that is the point of patching only same-part refs.
+    let opts = TransformOptions::rerandomizable(false);
+    let kernel = Kernel::new(KernelConfig::default());
+    let registry = ModuleRegistry::new(&kernel);
+    let mut spec = spec_with_local_call();
+    spec.init = None;
+    let obj = transform(&spec, &opts).unwrap();
+    let module = registry.load(&obj, &opts).unwrap();
+    let entry = module.export("entry").unwrap();
+    let mut vm = kernel.vm();
+    // entry: helper() then kmalloc(rdi) — returns a fresh heap pointer.
+    let heap_base = adelie_kernel::layout::HEAP_BASE;
+    assert!(vm.call(entry, &[64]).unwrap() >= heap_base);
+    for _ in 0..4 {
+        adelie_core::rerandomize_module(&kernel, &registry, &module).unwrap();
+        assert!(vm.call(entry, &[64]).unwrap() >= heap_base);
+    }
+}
+
+#[test]
+fn got_slot_contents_point_at_kernel_symbols() {
+    let opts = TransformOptions::pic(false);
+    let kernel = Kernel::new(KernelConfig::default());
+    let registry = ModuleRegistry::new(&kernel);
+    let obj = transform(&spec_with_local_call(), &opts).unwrap();
+    let module = registry.load(&obj, &opts).unwrap();
+    let base = module.movable_base.load(Ordering::Relaxed);
+    let kmalloc = kernel.symbols.lookup("kmalloc").unwrap();
+    let mut found = false;
+    for i in 0..module.movable.fgot_slots {
+        let slot = base + module.movable.fgot_off + (i * 8) as u64;
+        if kernel.space.read_u64(&kernel.phys, slot).unwrap() == kmalloc {
+            found = true;
+        }
+    }
+    assert!(found, "fixed GOT must hold the kmalloc kernel address");
+}

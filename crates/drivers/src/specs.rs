@@ -1,0 +1,393 @@
+//! Driver module sources, written in the plugin IR.
+//!
+//! These are the re-randomizable modules of the paper's evaluation:
+//! network (E1000E / E1000 / ENA), storage (NVMe), the null-ioctl dummy
+//! driver of the Fig. 9 CPU-bound test, the ext4-analog block-mapping
+//! module, and the xHCI / FUSE extra-load modules. Each function body
+//! is mid-level IR that the plugin lowers per configuration (PIC or
+//! legacy, retpoline or not, wrapped or not) — mirroring how the same
+//! driver C source builds into every kernel flavor.
+
+use crate::devices::{nic_regs, nvme_regs};
+use adelie_isa::{AluOp, Cond, Insn, Mem, Reg};
+use adelie_plugin::{DataInit, DataSpec, FuncSpec, MOp, ModuleSpec};
+
+fn ins(i: Insn) -> MOp {
+    MOp::Insn(i)
+}
+
+fn store(base: Reg, disp: u64, src: Reg) -> MOp {
+    ins(Insn::MovStore {
+        dst: Mem::base_disp(base, disp as i32),
+        src,
+    })
+}
+
+fn load(dst: Reg, base: Reg, disp: u64) -> MOp {
+    ins(Insn::MovLoad {
+        dst,
+        src: Mem::base_disp(base, disp as i32),
+    })
+}
+
+/// The NVMe-analog storage driver. `mmio_base` is the device BAR (a real
+/// driver reads it from PCI config space; the simulation bakes it in).
+pub fn nvme_spec(mmio_base: u64) -> ModuleSpec {
+    let mut spec = ModuleSpec::new("nvme");
+    let rw_body = |doorbell: i32| {
+        vec![
+            // (lba=rdi, buf=rsi, count=rdx)
+            ins(Insn::MovImm64(Reg::Rax, mmio_base)),
+            store(Reg::Rax, nvme_regs::LBA, Reg::Rdi),
+            store(Reg::Rax, nvme_regs::BUF, Reg::Rsi),
+            store(Reg::Rax, nvme_regs::COUNT, Reg::Rdx),
+            ins(Insn::MovImm32(Reg::Rcx, doorbell)),
+            store(Reg::Rax, nvme_regs::DOORBELL, Reg::Rcx),
+            load(Reg::Rax, Reg::Rax, nvme_regs::STATUS),
+            MOp::Ret,
+        ]
+    };
+    spec.funcs
+        .push(FuncSpec::exported("nvme_read_block", rw_body(1)));
+    spec.funcs
+        .push(FuncSpec::exported("nvme_write_block", rw_body(2)));
+    spec.funcs.push(FuncSpec::exported(
+        "nvme_init",
+        vec![
+            MOp::LoadLocalSym(Reg::Rdi, "nvme_read_block".into()),
+            MOp::LoadLocalSym(Reg::Rsi, "nvme_write_block".into()),
+            MOp::LoadLocalSym(Reg::Rdx, "nvme_name".into()),
+            MOp::CallKernel("register_blkdev".into()),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::exported(
+        "nvme_exit",
+        vec![MOp::CallKernel("unregister_blkdev".into()), MOp::Ret],
+    ));
+    spec.data.push(DataSpec {
+        name: "nvme_name".into(),
+        readonly: true,
+        init: DataInit::Bytes(b"nvme\0".to_vec()),
+    });
+    spec.init = Some("nvme_init".into());
+    spec.exit = Some("nvme_exit".into());
+    spec
+}
+
+/// NIC driver flavors — the three network drivers the paper exercises
+/// (E1000E on the testbed, E1000 under VirtualBox, ENA on AWS).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum NicFlavor {
+    /// Intel E1000E (the testbed NIC).
+    E1000e,
+    /// Intel E1000 (the artifact-VM NIC).
+    E1000,
+    /// Amazon ENA (the SAVIOR deployment NIC).
+    Ena,
+}
+
+impl NicFlavor {
+    /// Module/driver name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NicFlavor::E1000e => "e1000e",
+            NicFlavor::E1000 => "e1000",
+            NicFlavor::Ena => "ena",
+        }
+    }
+}
+
+/// The NIC driver: TX through doorbell registers, RX by polling the
+/// ring and delivering frames via `netif_rx`.
+pub fn nic_spec(flavor: NicFlavor, mmio_base: u64) -> ModuleSpec {
+    let n = flavor.name();
+    let sym = |s: &str| format!("{n}_{s}");
+    let mut spec = ModuleSpec::new(n);
+    spec.funcs.push(FuncSpec::exported(
+        &sym("xmit"),
+        vec![
+            // (buf=rdi, len=rsi)
+            ins(Insn::MovImm64(Reg::Rax, mmio_base)),
+            store(Reg::Rax, nic_regs::TX_BUF, Reg::Rdi),
+            store(Reg::Rax, nic_regs::TX_LEN, Reg::Rsi),
+            ins(Insn::MovImm32(Reg::Rcx, 1)),
+            store(Reg::Rax, nic_regs::TX_DB, Reg::Rcx),
+            ins(Insn::MovImm32(Reg::Rax, 0)),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::exported(
+        &sym("poll"),
+        vec![
+            ins(Insn::MovImm64(Reg::R8, mmio_base)),
+            ins(Insn::MovImm32(Reg::Rcx, 1)),
+            store(Reg::R8, nic_regs::RX_DB, Reg::Rcx),
+            load(Reg::Rsi, Reg::R8, nic_regs::RX_LEN),
+            ins(Insn::Test(Reg::Rsi, Reg::Rsi)),
+            MOp::Jcc(Cond::Ne, "got".into()),
+            ins(Insn::MovImm32(Reg::Rax, 0)),
+            MOp::Ret,
+            MOp::Label("got".into()),
+            MOp::LoadLocalSym(Reg::Rdi, sym("rx_buf")),
+            load(Reg::Rdi, Reg::Rdi, 0),
+            MOp::CallKernel("netif_rx".into()),
+            ins(Insn::MovImm32(Reg::Rax, 1)),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::exported(
+        &sym("init"),
+        vec![
+            // rx_buf = kmalloc(2048); program the device; register.
+            ins(Insn::MovImm32(Reg::Rdi, 2048)),
+            MOp::CallKernel("kmalloc".into()),
+            MOp::LoadLocalSym(Reg::Rcx, sym("rx_buf")),
+            store(Reg::Rcx, 0, Reg::Rax),
+            ins(Insn::MovImm64(Reg::Rdx, mmio_base)),
+            store(Reg::Rdx, nic_regs::RX_BUF, Reg::Rax),
+            MOp::LoadLocalSym(Reg::Rdi, sym("xmit")),
+            MOp::LoadLocalSym(Reg::Rsi, sym("poll")),
+            MOp::LoadLocalSym(Reg::Rdx, sym("name")),
+            MOp::CallKernel("register_netdev".into()),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::exported(
+        &sym("exit"),
+        vec![
+            MOp::LoadLocalSym(Reg::Rdi, sym("rx_buf")),
+            load(Reg::Rdi, Reg::Rdi, 0),
+            MOp::CallKernel("kfree".into()),
+            MOp::CallKernel("unregister_netdev".into()),
+            MOp::Ret,
+        ],
+    ));
+    spec.data.push(DataSpec {
+        name: sym("rx_buf"),
+        readonly: false,
+        init: DataInit::Zero(8),
+    });
+    spec.data.push(DataSpec {
+        name: sym("name"),
+        readonly: true,
+        init: DataInit::Bytes(format!("{n}\0").into_bytes()),
+    });
+    spec.init = Some(sym("init"));
+    spec.exit = Some(sym("exit"));
+    spec
+}
+
+/// Minor number of the dummy ioctl device (Fig. 9).
+pub const DUMMY_MINOR: u32 = 42;
+/// Minor number of the xHCI extra-load device.
+pub const XHCI_MINOR: u32 = 43;
+/// Minor number of the FUSE-analog extra-load device.
+pub const FUSE_MINOR: u32 = 44;
+
+/// The dummy driver of the Fig. 9 CPU-bound test: a null ioctl that
+/// just returns its argument. The benchmark hammers it in a tight loop,
+/// so the *wrapper* cost (mr bracket + stack switch + GOT hop) dominates
+/// — exactly what the paper isolates.
+pub fn dummy_spec() -> ModuleSpec {
+    let mut spec = ModuleSpec::new("dummy");
+    spec.funcs.push(FuncSpec::exported(
+        "dummy_ioctl",
+        vec![
+            // (minor=rdi, cmd=rsi, arg=rdx) → arg
+            ins(Insn::MovRR {
+                dst: Reg::Rax,
+                src: Reg::Rdx,
+            }),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::exported(
+        "dummy_init",
+        vec![
+            ins(Insn::MovImm32(Reg::Rdi, DUMMY_MINOR as i32)),
+            MOp::LoadLocalSym(Reg::Rsi, "dummy_ioctl".into()),
+            ins(Insn::MovImm32(Reg::Rdx, 0)),
+            ins(Insn::MovImm32(Reg::Rcx, 0)),
+            MOp::LoadLocalSym(Reg::R8, "dummy_name".into()),
+            MOp::CallKernel("register_chrdev".into()),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::exported(
+        "dummy_exit",
+        vec![
+            ins(Insn::MovImm32(Reg::Rdi, DUMMY_MINOR as i32)),
+            MOp::CallKernel("unregister_chrdev".into()),
+            MOp::Ret,
+        ],
+    ));
+    spec.data.push(DataSpec {
+        name: "dummy_name".into(),
+        readonly: true,
+        init: DataInit::Bytes(b"randmod_test\0".to_vec()),
+    });
+    spec.init = Some("dummy_init".into());
+    spec.exit = Some("dummy_exit".into());
+    spec
+}
+
+/// The ext4-analog filesystem module: maps a file block index to an LBA
+/// (affine here, like a contiguous extent) and keeps per-mount stats in
+/// movable `.data` so every mapping touches re-randomized data.
+pub fn extfs_spec() -> ModuleSpec {
+    let mut spec = ModuleSpec::new("extfs");
+    spec.funcs.push(FuncSpec::exported(
+        "extfs_map_block",
+        vec![
+            // (first=rdi, idx=rsi) → first + idx
+            ins(Insn::MovRR {
+                dst: Reg::Rax,
+                src: Reg::Rdi,
+            }),
+            ins(Insn::Alu {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                src: Reg::Rsi,
+            }),
+            MOp::LoadLocalSym(Reg::Rcx, "extfs_stats".into()),
+            ins(Insn::MovImm32(Reg::R9, 1)),
+            ins(Insn::AluStore {
+                op: AluOp::Add,
+                dst: Mem::base(Reg::Rcx),
+                src: Reg::R9,
+            }),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::exported(
+        "extfs_init",
+        vec![
+            MOp::LoadLocalSym(Reg::Rdi, "extfs_map_block".into()),
+            MOp::LoadLocalSym(Reg::Rsi, "extfs_name".into()),
+            MOp::CallKernel("register_fs".into()),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::exported(
+        "extfs_exit",
+        vec![MOp::CallKernel("unregister_fs".into()), MOp::Ret],
+    ));
+    spec.data.push(DataSpec {
+        name: "extfs_stats".into(),
+        readonly: false,
+        init: DataInit::Bytes(vec![0u8; 8]),
+    });
+    spec.data.push(DataSpec {
+        name: "extfs_name".into(),
+        readonly: true,
+        init: DataInit::Bytes(b"extfs\0".to_vec()),
+    });
+    spec.init = Some("extfs_init".into());
+    spec.exit = Some("extfs_exit".into());
+    spec
+}
+
+/// The xHCI-analog extra-load module: an ioctl that reads the
+/// controller's port status (MMIO) and returns it.
+pub fn xhci_spec(mmio_base: u64) -> ModuleSpec {
+    let mut spec = ModuleSpec::new("xhci");
+    spec.funcs.push(FuncSpec::exported(
+        "xhci_ioctl",
+        vec![
+            ins(Insn::MovImm64(Reg::Rax, mmio_base)),
+            load(Reg::Rax, Reg::Rax, 0x8), // event counter
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::exported(
+        "xhci_init",
+        vec![
+            ins(Insn::MovImm32(Reg::Rdi, XHCI_MINOR as i32)),
+            MOp::LoadLocalSym(Reg::Rsi, "xhci_ioctl".into()),
+            ins(Insn::MovImm32(Reg::Rdx, 0)),
+            ins(Insn::MovImm32(Reg::Rcx, 0)),
+            MOp::LoadLocalSym(Reg::R8, "xhci_name".into()),
+            MOp::CallKernel("register_chrdev".into()),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::exported(
+        "xhci_exit",
+        vec![
+            ins(Insn::MovImm32(Reg::Rdi, XHCI_MINOR as i32)),
+            MOp::CallKernel("unregister_chrdev".into()),
+            MOp::Ret,
+        ],
+    ));
+    spec.data.push(DataSpec {
+        name: "xhci_name".into(),
+        readonly: true,
+        init: DataInit::Bytes(b"xhci_hcd\0".to_vec()),
+    });
+    spec.init = Some("xhci_init".into());
+    spec.exit = Some("xhci_exit".into());
+    spec
+}
+
+/// The FUSE-analog extra-load module: a passthrough ioctl with a local
+/// helper (so the module has both exported and static functions).
+pub fn fuse_spec() -> ModuleSpec {
+    let mut spec = ModuleSpec::new("fuse");
+    spec.funcs.push(FuncSpec::exported(
+        "fuse_ioctl",
+        vec![
+            ins(Insn::MovRR {
+                dst: Reg::Rdi,
+                src: Reg::Rdx,
+            }),
+            MOp::CallLocal("fuse_transform".into()),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::local(
+        "fuse_transform",
+        vec![
+            // A little "request translation" work: rot-add over the arg.
+            ins(Insn::MovRR {
+                dst: Reg::Rax,
+                src: Reg::Rdi,
+            }),
+            ins(Insn::ShlImm(Reg::Rax, 1)),
+            ins(Insn::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 3,
+            }),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::exported(
+        "fuse_init",
+        vec![
+            ins(Insn::MovImm32(Reg::Rdi, FUSE_MINOR as i32)),
+            MOp::LoadLocalSym(Reg::Rsi, "fuse_ioctl".into()),
+            ins(Insn::MovImm32(Reg::Rdx, 0)),
+            ins(Insn::MovImm32(Reg::Rcx, 0)),
+            MOp::LoadLocalSym(Reg::R8, "fuse_name".into()),
+            MOp::CallKernel("register_chrdev".into()),
+            MOp::Ret,
+        ],
+    ));
+    spec.funcs.push(FuncSpec::exported(
+        "fuse_exit",
+        vec![
+            ins(Insn::MovImm32(Reg::Rdi, FUSE_MINOR as i32)),
+            MOp::CallKernel("unregister_chrdev".into()),
+            MOp::Ret,
+        ],
+    ));
+    spec.data.push(DataSpec {
+        name: "fuse_name".into(),
+        readonly: true,
+        init: DataInit::Bytes(b"fuse\0".to_vec()),
+    });
+    spec.init = Some("fuse_init".into());
+    spec.exit = Some("fuse_exit".into());
+    spec
+}

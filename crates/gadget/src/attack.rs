@@ -1,0 +1,159 @@
+//! Attack models — the §6 security-analysis arithmetic, executable.
+//!
+//! Two quantitative models from the paper:
+//!
+//! * **Traditional (brute-force) ROP**: the attacker injects absolute
+//!   gadget addresses and must guess the module base. Success
+//!   probability per guess is `2^-entropy_bits` (page-aligned guesses);
+//!   the paper contrasts Adelie's 2⁻⁴⁴ against 32-bit schemes' 2⁻¹⁹.
+//! * **JIT ROP vs. continuous re-randomization**: the attacker leaks a
+//!   pointer, scans for gadgets, builds and fires a chain — taking
+//!   `attack_time` in total. The chain only works if the module has not
+//!   moved in between, i.e. the whole attack fits inside the remaining
+//!   part of the current period ("the entire attack must be performed
+//!   within several milliseconds; all known attacks need several
+//!   seconds").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Success probability of a single absolute-address guess given
+/// `entropy_bits` of page-aligned placement entropy.
+pub fn guess_probability(entropy_bits: u32) -> f64 {
+    0.5f64.powi(entropy_bits as i32)
+}
+
+/// Probability that at least one of `attempts` independent guesses
+/// lands (each failed guess crashes a kernel thread — the paper's
+/// footnote 1 brute-force scenario).
+pub fn brute_force_success(entropy_bits: u32, attempts: u64) -> f64 {
+    let p = guess_probability(entropy_bits);
+    1.0 - (1.0 - p).powf(attempts as f64)
+}
+
+/// Expected number of guesses until success (geometric mean).
+pub fn expected_attempts(entropy_bits: u32) -> f64 {
+    2f64.powi(entropy_bits as i32)
+}
+
+/// Monte-Carlo brute force: draw a hidden base among `2^entropy_bits`
+/// slots and guess `budget` times. Returns attempts used on success.
+pub fn simulate_brute_force(entropy_bits: u32, budget: u64, seed: u64) -> Option<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let slots: u64 = 1 << entropy_bits.min(62);
+    let hidden = rng.gen_range(0..slots);
+    for attempt in 1..=budget {
+        if rng.gen_range(0..slots) == hidden {
+            return Some(attempt);
+        }
+    }
+    None
+}
+
+/// Probability a JIT-ROP attack of duration `attack_secs` completes
+/// within one re-randomization period of `period_secs`, assuming the
+/// attack starts uniformly at random within the period. The chain dies
+/// at the next boundary (code moved, key rotated, stacks swapped).
+pub fn jit_rop_success(attack_secs: f64, period_secs: f64) -> f64 {
+    if period_secs <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - attack_secs / period_secs).max(0.0)
+}
+
+/// Monte-Carlo JIT-ROP race: the module re-randomizes every
+/// `period_secs`; the attacker starts at a random phase and needs
+/// `attack_secs`. Returns the fraction of `trials` that succeed.
+pub fn simulate_jit_rop(attack_secs: f64, period_secs: f64, trials: u32, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut wins = 0u32;
+    for _ in 0..trials {
+        let phase: f64 = rng.gen_range(0.0..period_secs);
+        if phase + attack_secs < period_secs {
+            wins += 1;
+        }
+    }
+    wins as f64 / trials as f64
+}
+
+/// The paper's headline numbers, as a struct benches print.
+#[derive(Copy, Clone, Debug)]
+pub struct EntropyComparison {
+    /// Adelie/PIC placement entropy (page-aligned), ~44 bits.
+    pub pic_bits: u32,
+    /// 32-bit-scheme entropy (Shuffler/CodeArmor), 19 bits.
+    pub legacy_bits: u32,
+}
+
+impl EntropyComparison {
+    /// Expected brute-force attempts under each scheme.
+    pub fn expected(&self) -> (f64, f64) {
+        (
+            expected_attempts(self.pic_bits),
+            expected_attempts(self.legacy_bits),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_probabilities() {
+        // §6: 2^-(56-12) = 2^-44 for Adelie; 2^-(31-12) = 2^-19 for
+        // 32-bit schemes.
+        assert!((guess_probability(44) - 2f64.powi(-44)).abs() < 1e-30);
+        assert!((guess_probability(19) - 2f64.powi(-19)).abs() < 1e-12);
+        // The gap is a factor of 2^25.
+        let ratio = guess_probability(19) / guess_probability(44);
+        assert!((ratio - 2f64.powi(25)).abs() / 2f64.powi(25) < 1e-9);
+    }
+
+    #[test]
+    fn legacy_brute_force_is_feasible_pic_is_not() {
+        // Paper footnote 1: ≤ 512K attempts for the 2 GiB window.
+        let half_million = 512 * 1024;
+        assert!(brute_force_success(19, half_million) > 0.6);
+        // The same budget against the PIC arena is hopeless.
+        assert!(brute_force_success(44, half_million) < 1e-6);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytics() {
+        // With a 10-bit toy space and a 2^12 budget, success is ~98 %.
+        let mut wins = 0;
+        for seed in 0..200 {
+            if simulate_brute_force(10, 1 << 12, seed).is_some() {
+                wins += 1;
+            }
+        }
+        let rate = wins as f64 / 200.0;
+        let expect = brute_force_success(10, 1 << 12);
+        assert!((rate - expect).abs() < 0.08, "rate {rate} vs {expect}");
+    }
+
+    #[test]
+    fn jit_rop_window_shapes() {
+        // Shuffler's observation: all known JIT-ROP attacks need seconds;
+        // with millisecond periods the success probability is zero.
+        assert_eq!(jit_rop_success(2.0, 0.005), 0.0);
+        assert_eq!(jit_rop_success(2.0, 0.020), 0.0);
+        // A hypothetical sub-millisecond attack against 5 ms periods.
+        let p = jit_rop_success(0.001, 0.005);
+        assert!((p - 0.8).abs() < 1e-12);
+        let sim = simulate_jit_rop(0.001, 0.005, 20_000, 9);
+        assert!((sim - 0.8).abs() < 0.02, "{sim}");
+    }
+
+    #[test]
+    fn expected_attempts_match_entropy() {
+        let cmp = EntropyComparison {
+            pic_bits: 44,
+            legacy_bits: 19,
+        };
+        let (pic, legacy) = cmp.expected();
+        assert_eq!(legacy, 524_288.0);
+        assert!(pic > 1.7e13);
+    }
+}

@@ -1,0 +1,239 @@
+//! ROP-chain construction — the Table 2 experiment.
+//!
+//! The paper's "specific example with NX" checks whether a module's
+//! gadget set suffices to call a kernel function that disables NX
+//! (`set_memory_x`-style: address in `rdi`, page count in `rsi`, plus a
+//! third argument in `rdx`). A module qualifies when the attacker can
+//! load all three System-V argument registers from the stack and then
+//! return into the target — i.e. a `pop rdi; ret` / `pop rsi; ret` /
+//! `pop rdx; ret` trio. Gadgets that load the register but execute
+//! extra instructions on the way to `ret` still work but have *side
+//! effects* (Table 2's middle row).
+
+use crate::scan::{Gadget, GadgetEnd};
+use adelie_isa::{Insn, Reg};
+
+/// How a needed register can be loaded from this module's gadgets.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RegLoad {
+    /// A clean `pop reg; ret` exists.
+    Clean,
+    /// Only a longer `pop reg; …; ret` with benign extra instructions.
+    SideEffect,
+    /// No usable gadget.
+    Missing,
+}
+
+/// Table 2 membership for one module.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ChainVerdict {
+    /// "With ROP Chain, no side-effect".
+    CleanChain,
+    /// "With ROP Chain, with side-effect".
+    ChainWithSideEffects,
+    /// "Without ROP Chain".
+    NoChain,
+}
+
+/// The argument registers the NX-disable call needs.
+pub const CHAIN_REGS: [Reg; 3] = [Reg::Rdi, Reg::Rsi, Reg::Rdx];
+
+/// Whether an instruction ruins a gadget for chain use (clobbers the
+/// stack pointer or leaves the chain).
+fn disqualifies(insn: &Insn, target: Reg) -> bool {
+    match insn {
+        // Touching rsp derails the chain.
+        Insn::Pop(Reg::Rsp) | Insn::Push(_) => true,
+        Insn::MovRR { dst: Reg::Rsp, .. } => true,
+        Insn::AluImm { dst: Reg::Rsp, .. } | Insn::Alu { dst: Reg::Rsp, .. } => true,
+        // Mid-gadget calls leave the chain.
+        Insn::CallRel(_) | Insn::CallReg(_) | Insn::CallMem(_) => true,
+        // A later pop of the same register undoes our load.
+        Insn::Pop(r) if *r == target => true,
+        // Overwriting the freshly-loaded register undoes the load.
+        Insn::MovRR { dst, .. } | Insn::MovImm64(dst, _) | Insn::MovImm32(dst, _)
+        | Insn::MovLoad { dst, .. } | Insn::Lea { dst, .. }
+            if *dst == target =>
+        {
+            true
+        }
+        // Memory stores may fault at attacker-chosen register values —
+        // count as disqualifying (conservative, like the paper's "no
+        // side-effect" chain quality bar)…
+        _ => false,
+    }
+}
+
+/// Judge how well `reg` can be loaded from the gadget set.
+pub fn reg_load_quality(gadgets: &[Gadget], reg: Reg) -> RegLoad {
+    let mut best = RegLoad::Missing;
+    for g in gadgets {
+        if g.end != GadgetEnd::Ret {
+            continue;
+        }
+        // Find `pop reg` in the body.
+        let Some(pos) = g.insns.iter().position(|i| *i == Insn::Pop(reg)) else {
+            continue;
+        };
+        let tail = &g.insns[pos + 1..g.insns.len() - 1];
+        // Everything before the pop must also be harmless for the chain
+        // to *start* at the gadget's entry (pops consume stack slots but
+        // that only costs filler words — allowed, counts as side effect).
+        let pre = &g.insns[..pos];
+        if tail.iter().any(|i| disqualifies(i, reg))
+            || pre.iter().any(|i| disqualifies(i, reg))
+        {
+            continue;
+        }
+        if pos == 0 && tail.is_empty() {
+            return RegLoad::Clean;
+        }
+        best = RegLoad::SideEffect;
+    }
+    best
+}
+
+/// Classify a module's gadget set (one Table 2 row contribution).
+pub fn chain_verdict(gadgets: &[Gadget]) -> ChainVerdict {
+    let loads: Vec<RegLoad> = CHAIN_REGS
+        .iter()
+        .map(|&r| reg_load_quality(gadgets, r))
+        .collect();
+    if loads.iter().any(|l| *l == RegLoad::Missing) {
+        return ChainVerdict::NoChain;
+    }
+    if loads.iter().all(|l| *l == RegLoad::Clean) {
+        ChainVerdict::CleanChain
+    } else {
+        ChainVerdict::ChainWithSideEffects
+    }
+}
+
+/// A concrete chain: the stack image an attacker would inject.
+#[derive(Clone, Debug)]
+pub struct RopChain {
+    /// Stack words, bottom (first-popped) first: alternating gadget
+    /// addresses and data.
+    pub words: Vec<u64>,
+    /// Human-readable plan.
+    pub plan: Vec<String>,
+}
+
+/// Build an actual NX-disable-style chain against a module image mapped
+/// at `base`: sets `rdi=arg0, rsi=arg1, rdx=arg2` then returns into
+/// `target`. Returns `None` when the gadget set is insufficient.
+pub fn build_chain(
+    gadgets: &[Gadget],
+    base: u64,
+    args: [u64; 3],
+    target: u64,
+) -> Option<RopChain> {
+    let mut words = Vec::new();
+    let mut plan = Vec::new();
+    for (reg, arg) in CHAIN_REGS.iter().zip(args) {
+        // Prefer the clean pop; fall back to any qualifying gadget.
+        let g = gadgets
+            .iter()
+            .filter(|g| g.end == GadgetEnd::Ret)
+            .filter(|g| {
+                let Some(pos) = g.insns.iter().position(|i| *i == Insn::Pop(*reg)) else {
+                    return false;
+                };
+                let pre = &g.insns[..pos];
+                let tail = &g.insns[pos + 1..g.insns.len() - 1];
+                !pre.iter().any(|i| disqualifies(i, *reg))
+                    && !tail.iter().any(|i| disqualifies(i, *reg))
+            })
+            .min_by_key(|g| g.insns.len())?;
+        let pos = g.insns.iter().position(|i| *i == Insn::Pop(*reg)).unwrap();
+        words.push(base + g.offset as u64);
+        plan.push(format!("{:#x}: {}", base + g.offset as u64, g.text()));
+        // Filler for pops before ours, then our value, then filler for
+        // pops after ours (other registers' side-effect pops).
+        for i in &g.insns[..pos] {
+            if matches!(i, Insn::Pop(_)) {
+                words.push(0xFFFF_FFFF_DEAD_0000);
+            }
+        }
+        words.push(arg);
+        for i in &g.insns[pos + 1..g.insns.len() - 1] {
+            if matches!(i, Insn::Pop(_)) {
+                words.push(0xFFFF_FFFF_DEAD_0001);
+            }
+        }
+    }
+    words.push(target);
+    plan.push(format!("{target:#x}: target (disable-NX call)"));
+    Some(RopChain { words, plan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adelie_isa::encode_into;
+
+    fn image(insns: &[Insn]) -> Vec<u8> {
+        let mut v = Vec::new();
+        for i in insns {
+            encode_into(i, &mut v);
+        }
+        v
+    }
+
+    #[test]
+    fn clean_chain_found() {
+        let bytes = image(&[
+            Insn::Pop(Reg::Rdi),
+            Insn::Ret,
+            Insn::Pop(Reg::Rsi),
+            Insn::Ret,
+            Insn::Pop(Reg::Rdx),
+            Insn::Ret,
+        ]);
+        let gadgets = crate::scan::scan(&bytes);
+        assert_eq!(chain_verdict(&gadgets), ChainVerdict::CleanChain);
+        let chain = build_chain(&gadgets, 0x1000, [1, 2, 3], 0x01F0_0000_0000_0100).unwrap();
+        assert_eq!(chain.words.len(), 7); // 3×(gadget,value) + target
+    }
+
+    #[test]
+    fn side_effect_chain() {
+        let bytes = image(&[
+            Insn::Pop(Reg::Rdi),
+            Insn::Nop,
+            Insn::Ret,
+            Insn::Pop(Reg::Rsi),
+            Insn::Ret,
+            Insn::Pop(Reg::Rdx),
+            Insn::Ret,
+        ]);
+        let gadgets = crate::scan::scan(&bytes);
+        assert_eq!(chain_verdict(&gadgets), ChainVerdict::ChainWithSideEffects);
+    }
+
+    #[test]
+    fn missing_register_means_no_chain() {
+        let bytes = image(&[Insn::Pop(Reg::Rdi), Insn::Ret, Insn::Pop(Reg::Rsi), Insn::Ret]);
+        let gadgets = crate::scan::scan(&bytes);
+        assert_eq!(chain_verdict(&gadgets), ChainVerdict::NoChain);
+    }
+
+    #[test]
+    fn clobbered_load_rejected() {
+        // pop rdx; mov rdx, rax; ret — the load is destroyed.
+        let bytes = image(&[
+            Insn::Pop(Reg::Rdi),
+            Insn::Ret,
+            Insn::Pop(Reg::Rsi),
+            Insn::Ret,
+            Insn::Pop(Reg::Rdx),
+            Insn::MovRR {
+                dst: Reg::Rdx,
+                src: Reg::Rax,
+            },
+            Insn::Ret,
+        ]);
+        let gadgets = crate::scan::scan(&bytes);
+        assert_eq!(chain_verdict(&gadgets), ChainVerdict::NoChain);
+    }
+}

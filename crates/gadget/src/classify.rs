@@ -1,0 +1,176 @@
+//! Gadget classification by instruction type (paper Fig. 10 buckets).
+
+use crate::scan::Gadget;
+use adelie_isa::{AluOp, Insn};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The Fig. 10 gadget classes ("classified according to the type of
+/// their instructions" — keyed on the first instruction, the one the
+/// attacker's chain lands on).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum GadgetClass {
+    /// Register/memory moves.
+    Mov,
+    /// Stack pops (the argument-loading workhorses).
+    Pop,
+    /// Stack pushes.
+    Push,
+    /// add/sub arithmetic.
+    AddSub,
+    /// xor/and/or logic.
+    Logic,
+    /// Comparisons and tests.
+    Cmp,
+    /// Address computation.
+    Lea,
+    /// Shifts and multiplies.
+    Shift,
+    /// Direct or indirect calls.
+    Call,
+    /// Jumps.
+    Jmp,
+    /// A bare return.
+    Ret,
+    /// Everything else (nops, fences, …).
+    Other,
+}
+
+impl GadgetClass {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            GadgetClass::Mov => "mov",
+            GadgetClass::Pop => "pop",
+            GadgetClass::Push => "push",
+            GadgetClass::AddSub => "add/sub",
+            GadgetClass::Logic => "xor/and/or",
+            GadgetClass::Cmp => "cmp/test",
+            GadgetClass::Lea => "lea",
+            GadgetClass::Shift => "shift/mul",
+            GadgetClass::Call => "call",
+            GadgetClass::Jmp => "jmp",
+            GadgetClass::Ret => "ret",
+            GadgetClass::Other => "other",
+        }
+    }
+
+    /// All classes in display order.
+    pub const ALL: [GadgetClass; 12] = [
+        GadgetClass::Mov,
+        GadgetClass::Pop,
+        GadgetClass::Push,
+        GadgetClass::AddSub,
+        GadgetClass::Logic,
+        GadgetClass::Cmp,
+        GadgetClass::Lea,
+        GadgetClass::Shift,
+        GadgetClass::Call,
+        GadgetClass::Jmp,
+        GadgetClass::Ret,
+        GadgetClass::Other,
+    ];
+}
+
+impl fmt::Display for GadgetClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classify a single instruction.
+pub fn class_of_insn(insn: &Insn) -> GadgetClass {
+    match insn {
+        Insn::MovImm64(..)
+        | Insn::MovImm32(..)
+        | Insn::MovRR { .. }
+        | Insn::MovLoad { .. }
+        | Insn::MovStore { .. } => GadgetClass::Mov,
+        Insn::Pop(_) => GadgetClass::Pop,
+        Insn::Push(_) => GadgetClass::Push,
+        Insn::Alu { op, .. } | Insn::AluImm { op, .. } | Insn::AluLoad { op, .. }
+        | Insn::AluStore { op, .. } => match op {
+            AluOp::Add | AluOp::Sub => GadgetClass::AddSub,
+            AluOp::Xor | AluOp::And | AluOp::Or => GadgetClass::Logic,
+            AluOp::Cmp => GadgetClass::Cmp,
+        },
+        Insn::Test(..) => GadgetClass::Cmp,
+        Insn::Lea { .. } => GadgetClass::Lea,
+        Insn::ShlImm(..) | Insn::ShrImm(..) | Insn::Imul { .. } => GadgetClass::Shift,
+        Insn::CallRel(_) | Insn::CallReg(_) | Insn::CallMem(_) => GadgetClass::Call,
+        Insn::JmpRel(_) | Insn::JmpReg(_) | Insn::JmpMem(_) | Insn::Jcc(..) => GadgetClass::Jmp,
+        Insn::Ret => GadgetClass::Ret,
+        _ => GadgetClass::Other,
+    }
+}
+
+/// Classify a gadget by its first instruction.
+pub fn classify(g: &Gadget) -> GadgetClass {
+    class_of_insn(&g.insns[0])
+}
+
+/// Histogram of gadget classes (a Fig. 10 column).
+pub fn histogram(gadgets: &[Gadget]) -> BTreeMap<GadgetClass, usize> {
+    let mut h = BTreeMap::new();
+    for g in gadgets {
+        *h.entry(classify(g)).or_insert(0) += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::GadgetEnd;
+    use adelie_isa::Reg;
+
+    fn g(insns: Vec<Insn>) -> Gadget {
+        Gadget {
+            offset: 0,
+            insns,
+            end: GadgetEnd::Ret,
+        }
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(
+            classify(&g(vec![Insn::Pop(Reg::Rdi), Insn::Ret])),
+            GadgetClass::Pop
+        );
+        assert_eq!(classify(&g(vec![Insn::Ret])), GadgetClass::Ret);
+        assert_eq!(
+            classify(&g(vec![
+                Insn::MovRR {
+                    dst: Reg::Rax,
+                    src: Reg::Rdi
+                },
+                Insn::Ret
+            ])),
+            GadgetClass::Mov
+        );
+        assert_eq!(
+            classify(&g(vec![
+                Insn::Alu {
+                    op: AluOp::Xor,
+                    dst: Reg::Rax,
+                    src: Reg::Rax
+                },
+                Insn::Ret
+            ])),
+            GadgetClass::Logic
+        );
+    }
+
+    #[test]
+    fn histogram_sums_to_total() {
+        let gs = vec![
+            g(vec![Insn::Ret]),
+            g(vec![Insn::Pop(Reg::Rax), Insn::Ret]),
+            g(vec![Insn::Pop(Reg::Rbx), Insn::Ret]),
+        ];
+        let h = histogram(&gs);
+        assert_eq!(h.values().sum::<usize>(), 3);
+        assert_eq!(h[&GadgetClass::Pop], 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # adelie-gadget — ROP gadget analysis and attack models
+//!
+//! The measurement half of the paper's security story:
+//!
+//! * [`scan`](scan()) — a Ropper-style gadget finder over raw text bytes
+//!   (decodes from every offset; mis-aligned gadgets included), used for
+//!   Fig. 10's distribution,
+//! * [`classify`]/[`histogram`] — the Fig. 10 instruction-type buckets,
+//! * [`chain_verdict`]/[`build_chain`] — the Table 2 "can this module's
+//!   gadgets disable NX" experiment, including constructing the actual
+//!   chain an attacker would inject,
+//! * [`corpus`] — a seeded synthetic-module generator standing in for
+//!   Ubuntu's ~5,300 modules (substitution documented in DESIGN.md),
+//! * [`attack`] — the §6 entropy and JIT-ROP-race arithmetic, analytic
+//!   and Monte-Carlo.
+//!
+//! # Example
+//!
+//! ```
+//! use adelie_gadget::{scan, classify::histogram, chain::chain_verdict};
+//! use adelie_isa::{encode_into, Insn, Reg};
+//!
+//! let mut text = Vec::new();
+//! for i in [Insn::Pop(Reg::Rdi), Insn::Ret] {
+//!     encode_into(&i, &mut text);
+//! }
+//! let gadgets = scan(&text);
+//! assert!(!gadgets.is_empty());
+//! let classes = histogram(&gadgets);
+//! assert!(classes.values().sum::<usize>() == gadgets.len());
+//! let _ = chain_verdict(&gadgets);
+//! ```
+
+pub mod attack;
+pub mod chain;
+pub mod classify;
+pub mod corpus;
+pub mod scan;
+
+pub use chain::{build_chain, chain_verdict, ChainVerdict, RopChain};
+pub use classify::{classify, histogram, GadgetClass};
+pub use corpus::{generate_corpus, synth_kernel_text, synth_module, CorpusModule};
+pub use scan::{count_by_end, scan, Gadget, GadgetEnd, MAX_GADGET_LEN};

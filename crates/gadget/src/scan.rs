@@ -1,0 +1,184 @@
+//! Ropper-style ROP gadget scanner.
+//!
+//! Decodes from *every* byte offset of a text image (gadgets routinely
+//! start mid-instruction on x86) and records short instruction sequences
+//! ending in a control transfer usable by an attacker: `ret` (classic
+//! ROP), or indirect `jmp`/`call` (JOP, §2.1).
+
+use adelie_isa::{decode, Insn};
+
+/// Maximum instructions per gadget (Ropper's default depth is 6).
+pub const MAX_GADGET_LEN: usize = 6;
+
+/// How a gadget transfers control.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum GadgetEnd {
+    /// Ends in `ret` — a classic ROP gadget.
+    Ret,
+    /// Ends in `jmp reg` / `jmp [mem]` — a JOP gadget.
+    Jmp,
+    /// Ends in `call reg` / `call [mem]` — a call-oriented gadget.
+    Call,
+}
+
+/// One discovered gadget.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Gadget {
+    /// Byte offset within the scanned image.
+    pub offset: usize,
+    /// The instruction sequence (terminator included).
+    pub insns: Vec<Insn>,
+    /// Terminator kind.
+    pub end: GadgetEnd,
+}
+
+impl Gadget {
+    /// Instructions before the terminator.
+    pub fn body(&self) -> &[Insn] {
+        &self.insns[..self.insns.len() - 1]
+    }
+
+    /// Render as Ropper-style text (`pop rdi; ret`).
+    pub fn text(&self) -> String {
+        self.insns
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+fn end_of(insn: &Insn) -> Option<GadgetEnd> {
+    match insn {
+        Insn::Ret => Some(GadgetEnd::Ret),
+        Insn::JmpReg(_) | Insn::JmpMem(_) => Some(GadgetEnd::Jmp),
+        Insn::CallReg(_) | Insn::CallMem(_) => Some(GadgetEnd::Call),
+        _ => None,
+    }
+}
+
+/// Scan `bytes` for gadgets.
+///
+/// Every offset that decodes into a valid sequence of at most
+/// [`MAX_GADGET_LEN`] instructions ending in a usable control transfer
+/// yields one gadget (suffixes of longer gadgets are themselves gadgets,
+/// exactly as Ropper counts them).
+pub fn scan(bytes: &[u8]) -> Vec<Gadget> {
+    let mut out = Vec::new();
+    for start in 0..bytes.len() {
+        let mut insns = Vec::new();
+        let mut pos = start;
+        for _ in 0..MAX_GADGET_LEN {
+            let Ok((insn, len)) = decode(&bytes[pos..]) else {
+                break;
+            };
+            pos += len;
+            let done = end_of(&insn);
+            insns.push(insn);
+            if let Some(end) = done {
+                out.push(Gadget {
+                    offset: start,
+                    insns: insns.clone(),
+                    end,
+                });
+                break;
+            }
+            // Direct control flow mid-sequence makes the tail
+            // unreachable from this entry; stop extending.
+            if matches!(
+                insns.last(),
+                Some(Insn::JmpRel(_)) | Some(Insn::Jcc(..)) | Some(Insn::Hlt) | Some(Insn::Ud2)
+            ) {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Count gadgets per terminator kind.
+pub fn count_by_end(gadgets: &[Gadget]) -> (usize, usize, usize) {
+    let mut ret = 0;
+    let mut jmp = 0;
+    let mut call = 0;
+    for g in gadgets {
+        match g.end {
+            GadgetEnd::Ret => ret += 1,
+            GadgetEnd::Jmp => jmp += 1,
+            GadgetEnd::Call => call += 1,
+        }
+    }
+    (ret, jmp, call)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adelie_isa::{encode_into, Reg};
+
+    fn bytes_of(insns: &[Insn]) -> Vec<u8> {
+        let mut v = Vec::new();
+        for i in insns {
+            encode_into(i, &mut v);
+        }
+        v
+    }
+
+    #[test]
+    fn finds_pop_ret() {
+        let bytes = bytes_of(&[Insn::Pop(Reg::Rdi), Insn::Ret]);
+        let gadgets = scan(&bytes);
+        assert!(gadgets
+            .iter()
+            .any(|g| g.text() == "pop rdi; ret" && g.offset == 0));
+        // The bare `ret` suffix is also a gadget.
+        assert!(gadgets.iter().any(|g| g.insns == vec![Insn::Ret]));
+    }
+
+    #[test]
+    fn finds_misaligned_gadgets() {
+        // movabs rax, 0x5FC3 — contains `pop rdi (0x5F); ret (0xC3)`
+        // starting inside the immediate.
+        let bytes = bytes_of(&[Insn::MovImm64(Reg::Rax, 0xC35F)]);
+        let gadgets = scan(&bytes);
+        assert!(
+            gadgets.iter().any(|g| g.text() == "pop rdi; ret"),
+            "hidden gadget in immediate: {:?}",
+            gadgets.iter().map(Gadget::text).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn jop_gadgets_detected() {
+        let bytes = bytes_of(&[Insn::Pop(Reg::Rax), Insn::JmpReg(Reg::Rax)]);
+        let gadgets = scan(&bytes);
+        assert!(gadgets.iter().any(|g| g.end == GadgetEnd::Jmp));
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let mut seq = vec![Insn::Nop; MAX_GADGET_LEN];
+        seq.push(Insn::Ret);
+        let bytes = bytes_of(&seq);
+        let gadgets = scan(&bytes);
+        // From offset 0 the ret is MAX_GADGET_LEN+1 instructions away —
+        // no gadget can start there.
+        assert!(gadgets.iter().all(|g| g.offset != 0));
+        assert!(gadgets.iter().any(|g| g.insns.len() == MAX_GADGET_LEN));
+    }
+
+    #[test]
+    fn direct_branches_cut_gadgets() {
+        let bytes = bytes_of(&[Insn::JmpRel(100), Insn::Ret]);
+        let gadgets = scan(&bytes);
+        // No gadget starts at the jmp (control leaves the sequence).
+        assert!(gadgets.iter().all(|g| g.offset != 0));
+    }
+
+    #[test]
+    fn empty_and_garbage_input() {
+        assert!(scan(&[]).is_empty());
+        let garbage = vec![0x06u8; 64]; // invalid opcode bytes
+        assert!(scan(&garbage).is_empty());
+    }
+}

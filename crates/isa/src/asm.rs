@@ -1,0 +1,584 @@
+//! A two-pass assembler with labels and symbolic operands.
+//!
+//! The assembler lowers to concrete bytes plus [`Fixup`]s — relocation
+//! requests against named symbols that `adelie-obj` turns into section
+//! relocations and the loader finalises at run time (exactly the paper's
+//! "relocatable format adapted for PIC", §4.1).
+
+use crate::{encode_into, Cond, Insn, Mem, Reg};
+use crate::AluOp;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The relocation kinds our object format supports — a subset of the
+/// x86-64 psABI relocations Linux modules actually use.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FixupKind {
+    /// `R_X86_64_PC32`: `S + A - P` into a 32-bit field.
+    Pc32,
+    /// `R_X86_64_PLT32`: like PC32 but the linker may route through a PLT
+    /// stub (used in retpoline mode, paper §4.1).
+    Plt32,
+    /// `R_X86_64_GOTPCREL`: `GOT(S) + A - P` — RIP-relative reference to
+    /// the symbol's GOT slot.
+    GotPcRel,
+    /// `R_X86_64_64`: absolute 64-bit address (data, or legacy movabs).
+    Abs64,
+    /// `R_X86_64_32S`: absolute sign-extended 32-bit — only valid when the
+    /// target lives in the legacy ±2 GB module region (the vanilla-Linux
+    /// baseline; this is precisely the constraint PIC removes).
+    Abs32S,
+}
+
+impl fmt::Display for FixupKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FixupKind::Pc32 => "PC32",
+            FixupKind::Plt32 => "PLT32",
+            FixupKind::GotPcRel => "GOTPCREL",
+            FixupKind::Abs64 => "ABS64",
+            FixupKind::Abs32S => "ABS32S",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A relocation request produced by the assembler.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Fixup {
+    /// Byte offset of the *field* within the assembled output.
+    pub offset: usize,
+    /// Relocation kind.
+    pub kind: FixupKind,
+    /// Target symbol name.
+    pub symbol: String,
+    /// Addend (`-4` for PC-relative fields whose value is measured from
+    /// the end of the field, per the psABI convention).
+    pub addend: i64,
+}
+
+/// Result of assembling: bytes, outstanding fixups, and label offsets.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AsmOutput {
+    /// Raw machine code (fixup fields still hold zeros).
+    pub bytes: Vec<u8>,
+    /// Relocation requests to be resolved by the linker/loader.
+    pub fixups: Vec<Fixup>,
+    /// Offsets of every label defined in the stream.
+    pub labels: HashMap<String, usize>,
+}
+
+/// Errors surfaced by [`Asm::assemble`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A branch references a label that was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Clone, Debug)]
+enum Item {
+    Insn(Insn),
+    Bytes(Vec<u8>),
+    Label(String),
+    JmpLabel(String),
+    JccLabel(Cond, String),
+    CallLabel(String),
+    /// `call sym` → `E8 rel32` + PLT32 (retpoline PIC) or PC32 (non-PIC).
+    CallSymRel(String, FixupKind),
+    /// `call *sym@GOTPCREL(%rip)` → `FF 15 disp32` + GOTPCREL.
+    CallGot(String),
+    /// `jmp *sym@GOTPCREL(%rip)` → `FF 25 disp32` + GOTPCREL.
+    JmpGot(String),
+    /// `mov reg, sym@GOTPCREL(%rip)` → GOT slot load.
+    LoadGot(Reg, String),
+    /// `lea reg, sym(%rip)` → PC32.
+    LeaSym(Reg, String),
+    /// `movabs reg, $sym` → ABS64 (legacy/non-PIC only).
+    MovAbsSym(Reg, String),
+    /// `mov reg, $sym` 32-bit sign-extended → ABS32S (legacy/non-PIC only).
+    MovImmSym32(Reg, String),
+    /// 8 bytes of data holding the absolute address of `sym`.
+    QuadSym(String),
+}
+
+fn item_len(item: &Item, scratch: &mut Vec<u8>) -> usize {
+    match item {
+        Item::Insn(i) => {
+            scratch.clear();
+            encode_into(i, scratch)
+        }
+        Item::Bytes(b) => b.len(),
+        Item::Label(_) => 0,
+        Item::JmpLabel(_) => 5,
+        Item::JccLabel(..) => 6,
+        Item::CallLabel(_) | Item::CallSymRel(..) => 5,
+        Item::CallGot(_) | Item::JmpGot(_) => 6,
+        Item::LoadGot(..) | Item::LeaSym(..) => 7,
+        Item::MovAbsSym(..) => 10,
+        Item::MovImmSym32(..) => 7,
+        Item::QuadSym(_) => 8,
+    }
+}
+
+/// The assembler. Instructions are appended through the builder methods;
+/// [`Asm::assemble`] resolves labels in a second pass.
+///
+/// # Example
+///
+/// ```
+/// use adelie_isa::{Asm, Reg, AluOp, Cond};
+///
+/// let mut a = Asm::new();
+/// a.mov_imm32(Reg::Rax, 0);
+/// a.label("loop");
+/// a.alu_imm(AluOp::Add, Reg::Rax, 1);
+/// a.alu_imm(AluOp::Cmp, Reg::Rax, 10);
+/// a.jcc_label(Cond::Ne, "loop");
+/// a.ret();
+/// let out = a.assemble()?;
+/// assert!(out.bytes.len() > 10);
+/// # Ok::<(), adelie_isa::AsmError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    items: Vec<Item>,
+}
+
+impl Asm {
+    /// Create an empty assembler.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Append a concrete instruction.
+    pub fn insn(&mut self, i: Insn) -> &mut Self {
+        self.items.push(Item::Insn(i));
+        self
+    }
+
+    /// Append raw bytes (data or pre-encoded code).
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.items.push(Item::Bytes(b.to_vec()));
+        self
+    }
+
+    // ---- plain instruction conveniences -------------------------------
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.insn(Insn::Nop)
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.insn(Insn::Ret)
+    }
+
+    /// `push reg`.
+    pub fn push(&mut self, r: Reg) -> &mut Self {
+        self.insn(Insn::Push(r))
+    }
+
+    /// `pop reg`.
+    pub fn pop(&mut self, r: Reg) -> &mut Self {
+        self.insn(Insn::Pop(r))
+    }
+
+    /// `movabs reg, imm64`.
+    pub fn mov_imm64(&mut self, r: Reg, v: u64) -> &mut Self {
+        self.insn(Insn::MovImm64(r, v))
+    }
+
+    /// `mov reg, imm32` (sign-extended).
+    pub fn mov_imm32(&mut self, r: Reg, v: i32) -> &mut Self {
+        self.insn(Insn::MovImm32(r, v))
+    }
+
+    /// `mov dst, src`.
+    pub fn mov_rr(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.insn(Insn::MovRR { dst, src })
+    }
+
+    /// `mov dst, [mem]`.
+    pub fn mov_load(&mut self, dst: Reg, src: Mem) -> &mut Self {
+        self.insn(Insn::MovLoad { dst, src })
+    }
+
+    /// `mov [mem], src`.
+    pub fn mov_store(&mut self, dst: Mem, src: Reg) -> &mut Self {
+        self.insn(Insn::MovStore { dst, src })
+    }
+
+    /// `lea dst, [mem]`.
+    pub fn lea(&mut self, dst: Reg, addr: Mem) -> &mut Self {
+        self.insn(Insn::Lea { dst, addr })
+    }
+
+    /// `op dst, src`.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, src: Reg) -> &mut Self {
+        self.insn(Insn::Alu { op, dst, src })
+    }
+
+    /// `op dst, imm32`.
+    pub fn alu_imm(&mut self, op: AluOp, dst: Reg, imm: i32) -> &mut Self {
+        self.insn(Insn::AluImm { op, dst, imm })
+    }
+
+    /// `op dst, [mem]`.
+    pub fn alu_load(&mut self, op: AluOp, dst: Reg, src: Mem) -> &mut Self {
+        self.insn(Insn::AluLoad { op, dst, src })
+    }
+
+    /// `op [mem], src`.
+    pub fn alu_store(&mut self, op: AluOp, dst: Mem, src: Reg) -> &mut Self {
+        self.insn(Insn::AluStore { op, dst, src })
+    }
+
+    /// `test a, b`.
+    pub fn test(&mut self, a: Reg, b: Reg) -> &mut Self {
+        self.insn(Insn::Test(a, b))
+    }
+
+    /// `call reg`.
+    pub fn call_reg(&mut self, r: Reg) -> &mut Self {
+        self.insn(Insn::CallReg(r))
+    }
+
+    /// `jmp reg`.
+    pub fn jmp_reg(&mut self, r: Reg) -> &mut Self {
+        self.insn(Insn::JmpReg(r))
+    }
+
+    // ---- labels & branches --------------------------------------------
+
+    /// Define a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.items.push(Item::Label(name.to_string()));
+        self
+    }
+
+    /// `jmp label` (intra-stream).
+    pub fn jmp_label(&mut self, name: &str) -> &mut Self {
+        self.items.push(Item::JmpLabel(name.to_string()));
+        self
+    }
+
+    /// `jcc label` (intra-stream).
+    pub fn jcc_label(&mut self, c: Cond, name: &str) -> &mut Self {
+        self.items.push(Item::JccLabel(c, name.to_string()));
+        self
+    }
+
+    /// `call label` (intra-stream).
+    pub fn call_label(&mut self, name: &str) -> &mut Self {
+        self.items.push(Item::CallLabel(name.to_string()));
+        self
+    }
+
+    // ---- symbolic operands (lower to fixups) --------------------------
+
+    /// `call sym` as `E8 rel32` with a PLT32 fixup — the linker resolves
+    /// it directly for local symbols or through a PLT stub in retpoline
+    /// mode (paper Fig. 4, "with PLT" row).
+    pub fn call_plt(&mut self, sym: &str) -> &mut Self {
+        self.items
+            .push(Item::CallSymRel(sym.to_string(), FixupKind::Plt32));
+        self
+    }
+
+    /// `call sym` as `E8 rel32` with a plain PC32 fixup (non-PIC baseline:
+    /// the target must end up within ±2 GB).
+    pub fn call_pc32(&mut self, sym: &str) -> &mut Self {
+        self.items
+            .push(Item::CallSymRel(sym.to_string(), FixupKind::Pc32));
+        self
+    }
+
+    /// `call *sym@GOTPCREL(%rip)` — the PIC form the compiler emits when
+    /// the symbol's location is unknown (paper Fig. 4, "no PLT" row).
+    pub fn call_got(&mut self, sym: &str) -> &mut Self {
+        self.items.push(Item::CallGot(sym.to_string()));
+        self
+    }
+
+    /// `jmp *sym@GOTPCREL(%rip)`.
+    pub fn jmp_got(&mut self, sym: &str) -> &mut Self {
+        self.items.push(Item::JmpGot(sym.to_string()));
+        self
+    }
+
+    /// `mov reg, sym@GOTPCREL(%rip)` — load the symbol's address from its
+    /// GOT slot (how modules obtain 64-bit addresses, paper §2.6).
+    pub fn load_got(&mut self, reg: Reg, sym: &str) -> &mut Self {
+        self.items.push(Item::LoadGot(reg, sym.to_string()));
+        self
+    }
+
+    /// `lea reg, sym(%rip)` — direct PC-relative address of a local symbol.
+    pub fn lea_sym(&mut self, reg: Reg, sym: &str) -> &mut Self {
+        self.items.push(Item::LeaSym(reg, sym.to_string()));
+        self
+    }
+
+    /// `movabs reg, $sym` — absolute 64-bit address (legacy loader only).
+    pub fn movabs_sym(&mut self, reg: Reg, sym: &str) -> &mut Self {
+        self.items.push(Item::MovAbsSym(reg, sym.to_string()));
+        self
+    }
+
+    /// `mov reg, $sym` with a sign-extended 32-bit immediate (ABS32S) —
+    /// valid only in the legacy ±2 GB layout.
+    pub fn mov_imm_sym32(&mut self, reg: Reg, sym: &str) -> &mut Self {
+        self.items.push(Item::MovImmSym32(reg, sym.to_string()));
+        self
+    }
+
+    /// Emit 8 data bytes holding the absolute address of `sym` (for
+    /// function-pointer tables in `.data`, like `ext4_file_inode_ops`).
+    pub fn quad_sym(&mut self, sym: &str) -> &mut Self {
+        self.items.push(Item::QuadSym(sym.to_string()));
+        self
+    }
+
+    /// Number of items queued (labels included).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no items have been queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Run the two-pass assembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if a label is missing or doubly defined.
+    pub fn assemble(&self) -> Result<AsmOutput, AsmError> {
+        let mut scratch = Vec::with_capacity(16);
+        // Pass 1: label offsets.
+        let mut labels: HashMap<String, usize> = HashMap::new();
+        let mut off = 0usize;
+        for item in &self.items {
+            if let Item::Label(name) = item {
+                if labels.insert(name.clone(), off).is_some() {
+                    return Err(AsmError::DuplicateLabel(name.clone()));
+                }
+            }
+            off += item_len(item, &mut scratch);
+        }
+        // Pass 2: emit.
+        let mut out = AsmOutput {
+            labels,
+            ..AsmOutput::default()
+        };
+        let resolve = |labels: &HashMap<String, usize>, name: &str, end: usize| {
+            labels
+                .get(name)
+                .map(|&target| (target as i64 - end as i64) as i32)
+                .ok_or_else(|| AsmError::UndefinedLabel(name.to_string()))
+        };
+        for item in &self.items {
+            let start = out.bytes.len();
+            match item {
+                Item::Insn(i) => {
+                    encode_into(i, &mut out.bytes);
+                }
+                Item::Bytes(b) => out.bytes.extend_from_slice(b),
+                Item::Label(_) => {}
+                Item::JmpLabel(name) => {
+                    let rel = resolve(&out.labels, name, start + 5)?;
+                    encode_into(&Insn::JmpRel(rel), &mut out.bytes);
+                }
+                Item::JccLabel(c, name) => {
+                    let rel = resolve(&out.labels, name, start + 6)?;
+                    encode_into(&Insn::Jcc(*c, rel), &mut out.bytes);
+                }
+                Item::CallLabel(name) => {
+                    let rel = resolve(&out.labels, name, start + 5)?;
+                    encode_into(&Insn::CallRel(rel), &mut out.bytes);
+                }
+                Item::CallSymRel(sym, kind) => {
+                    encode_into(&Insn::CallRel(0), &mut out.bytes);
+                    out.fixups.push(Fixup {
+                        offset: start + 1,
+                        kind: *kind,
+                        symbol: sym.clone(),
+                        addend: -4,
+                    });
+                }
+                Item::CallGot(sym) => {
+                    encode_into(&Insn::CallMem(Mem::RipRel(0)), &mut out.bytes);
+                    out.fixups.push(Fixup {
+                        offset: start + 2,
+                        kind: FixupKind::GotPcRel,
+                        symbol: sym.clone(),
+                        addend: -4,
+                    });
+                }
+                Item::JmpGot(sym) => {
+                    encode_into(&Insn::JmpMem(Mem::RipRel(0)), &mut out.bytes);
+                    out.fixups.push(Fixup {
+                        offset: start + 2,
+                        kind: FixupKind::GotPcRel,
+                        symbol: sym.clone(),
+                        addend: -4,
+                    });
+                }
+                Item::LoadGot(reg, sym) => {
+                    encode_into(
+                        &Insn::MovLoad {
+                            dst: *reg,
+                            src: Mem::RipRel(0),
+                        },
+                        &mut out.bytes,
+                    );
+                    out.fixups.push(Fixup {
+                        offset: start + 3,
+                        kind: FixupKind::GotPcRel,
+                        symbol: sym.clone(),
+                        addend: -4,
+                    });
+                }
+                Item::LeaSym(reg, sym) => {
+                    encode_into(
+                        &Insn::Lea {
+                            dst: *reg,
+                            addr: Mem::RipRel(0),
+                        },
+                        &mut out.bytes,
+                    );
+                    out.fixups.push(Fixup {
+                        offset: start + 3,
+                        kind: FixupKind::Pc32,
+                        symbol: sym.clone(),
+                        addend: -4,
+                    });
+                }
+                Item::MovAbsSym(reg, sym) => {
+                    encode_into(&Insn::MovImm64(*reg, 0), &mut out.bytes);
+                    out.fixups.push(Fixup {
+                        offset: start + 2,
+                        kind: FixupKind::Abs64,
+                        symbol: sym.clone(),
+                        addend: 0,
+                    });
+                }
+                Item::MovImmSym32(reg, sym) => {
+                    encode_into(&Insn::MovImm32(*reg, 0), &mut out.bytes);
+                    out.fixups.push(Fixup {
+                        offset: start + 3,
+                        kind: FixupKind::Abs32S,
+                        symbol: sym.clone(),
+                        addend: 0,
+                    });
+                }
+                Item::QuadSym(sym) => {
+                    out.bytes.extend_from_slice(&[0u8; 8]);
+                    out.fixups.push(Fixup {
+                        offset: start,
+                        kind: FixupKind::Abs64,
+                        symbol: sym.clone(),
+                        addend: 0,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode_all;
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut a = Asm::new();
+        a.label("top");
+        a.mov_imm32(Reg::Rax, 5);
+        a.jcc_label(Cond::E, "done");
+        a.jmp_label("top");
+        a.label("done");
+        a.ret();
+        let out = a.assemble().unwrap();
+        let stream = decode_all(&out.bytes).unwrap();
+        // jmp top: backward over mov(7)+jcc(6)+jmp(5) = -18
+        let jmp = stream.iter().find_map(|(_, i)| match i {
+            Insn::JmpRel(d) => Some(*d),
+            _ => None,
+        });
+        assert_eq!(jmp, Some(-18));
+        let jcc = stream.iter().find_map(|(_, i)| match i {
+            Insn::Jcc(_, d) => Some(*d),
+            _ => None,
+        });
+        assert_eq!(jcc, Some(5)); // skips the 5-byte jmp
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let mut a = Asm::new();
+        a.jmp_label("nowhere");
+        assert_eq!(
+            a.assemble(),
+            Err(AsmError::UndefinedLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let mut a = Asm::new();
+        a.label("x").label("x");
+        assert_eq!(a.assemble(), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn fixup_offsets() {
+        let mut a = Asm::new();
+        a.call_got("kmalloc"); // FF 15 [field @2]
+        a.load_got(Reg::R11, "key"); // REX 8B modrm [field @3]
+        a.lea_sym(Reg::Rdi, "buf"); // REX 8D modrm [field @3]
+        a.call_plt("printk"); // E8 [field @1]
+        a.quad_sym("handler");
+        let out = a.assemble().unwrap();
+        assert_eq!(out.fixups.len(), 5);
+        assert_eq!(out.fixups[0].offset, 2);
+        assert_eq!(out.fixups[0].kind, FixupKind::GotPcRel);
+        assert_eq!(out.fixups[1].offset, 6 + 3);
+        assert_eq!(out.fixups[2].offset, 6 + 7 + 3);
+        assert_eq!(out.fixups[3].offset, 6 + 7 + 7 + 1);
+        assert_eq!(out.fixups[3].kind, FixupKind::Plt32);
+        assert_eq!(out.fixups[4].kind, FixupKind::Abs64);
+        assert_eq!(out.fixups[4].addend, 0);
+    }
+
+    #[test]
+    fn call_label_encodes_direct_call() {
+        let mut a = Asm::new();
+        a.call_label("f");
+        a.ret();
+        a.label("f");
+        a.ret();
+        let out = a.assemble().unwrap();
+        assert_eq!(out.bytes[0], 0xE8);
+        // rel = target(6) - end_of_call(5) = 1
+        assert_eq!(&out.bytes[1..5], &1i32.to_le_bytes());
+        assert_eq!(out.labels["f"], 6);
+    }
+}

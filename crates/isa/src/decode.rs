@@ -1,0 +1,451 @@
+//! Instruction decoder.
+//!
+//! The decoder is deliberately tolerant of being pointed at *arbitrary*
+//! offsets: gadget scanning (paper §6, Fig. 10) decodes from every byte
+//! offset in a text section, most of which are not instruction boundaries.
+//! Anything that is not a valid encoding of the supported subset yields
+//! [`DecodeError::Unknown`] rather than a panic.
+
+use crate::{AluOp, Cond, Insn, Mem, Reg};
+use std::fmt;
+
+/// Why a byte sequence failed to decode.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The bytes do not form an instruction in the supported subset.
+    Unknown,
+    /// The instruction is truncated (ran off the end of the buffer).
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Unknown => write!(f, "unknown or unsupported encoding"),
+            DecodeError::Truncated => write!(f, "truncated instruction"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 4;
+        Ok(i32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 8)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+}
+
+struct Rex {
+    w: bool,
+    r: bool,
+    b: bool,
+}
+
+impl Rex {
+    const NONE: Rex = Rex {
+        w: false,
+        r: false,
+        b: false,
+    };
+}
+
+/// Decoded ModRM operand: either a register or a memory reference.
+enum Rm {
+    Reg(Reg),
+    Mem(Mem),
+}
+
+/// Parse ModRM (+SIB+disp). Returns `(reg_field_value, rm_operand)`.
+fn parse_modrm(cur: &mut Cursor<'_>, rex: &Rex) -> Result<(u8, Rm), DecodeError> {
+    let m = cur.u8()?;
+    let mode = m >> 6;
+    let reg_field = ((m >> 3) & 7) | (u8::from(rex.r) << 3);
+    let rm_low = m & 7;
+    if mode == 0b11 {
+        let reg = Reg::from_index(rm_low | (u8::from(rex.b) << 3)).unwrap();
+        return Ok((reg_field, Rm::Reg(reg)));
+    }
+    // Memory forms.
+    if mode == 0b00 && rm_low == 0b101 {
+        // RIP-relative.
+        let disp = cur.i32()?;
+        return Ok((reg_field, Rm::Mem(Mem::RipRel(disp))));
+    }
+    let base = if rm_low == 0b100 {
+        // SIB byte; we only support the "no index" form (index=100).
+        let sib = cur.u8()?;
+        if (sib >> 6) != 0 || ((sib >> 3) & 7) != 0b100 {
+            return Err(DecodeError::Unknown);
+        }
+        let base_low = sib & 7;
+        if mode == 0b00 && base_low == 0b101 {
+            // disp32 with no base — unsupported.
+            return Err(DecodeError::Unknown);
+        }
+        Reg::from_index(base_low | (u8::from(rex.b) << 3)).unwrap()
+    } else {
+        Reg::from_index(rm_low | (u8::from(rex.b) << 3)).unwrap()
+    };
+    let disp = match mode {
+        0b00 => 0,
+        0b01 => cur.u8()? as i8 as i32,
+        0b10 => cur.i32()?,
+        _ => unreachable!(),
+    };
+    Ok((reg_field, Rm::Mem(Mem::Base { base, disp })))
+}
+
+fn reg_of(field: u8) -> Reg {
+    Reg::from_index(field).expect("4-bit register field")
+}
+
+/// Decode one instruction from the start of `bytes`.
+///
+/// Returns the instruction and its encoded length.
+///
+/// # Errors
+///
+/// [`DecodeError::Unknown`] if the bytes are not in the supported subset,
+/// [`DecodeError::Truncated`] if the buffer ends mid-instruction.
+pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let mut b = cur.u8()?;
+
+    // F3 prefix: only `pause` (F3 90) in our subset.
+    if b == 0xF3 {
+        return if cur.u8()? == 0x90 {
+            Ok((Insn::Pause, cur.pos))
+        } else {
+            Err(DecodeError::Unknown)
+        };
+    }
+
+    let mut rex = Rex::NONE;
+    if (0x40..=0x4F).contains(&b) {
+        rex = Rex {
+            w: b & 8 != 0,
+            r: b & 4 != 0,
+            b: b & 1 != 0,
+        };
+        if b & 2 != 0 {
+            // REX.X — we never encode an index register.
+            return Err(DecodeError::Unknown);
+        }
+        b = cur.u8()?;
+    }
+
+    let insn = match b {
+        0x90 => Insn::Nop,
+        0xC3 => Insn::Ret,
+        0xCC => Insn::Int3,
+        0xF4 => Insn::Hlt,
+        0xE8 => Insn::CallRel(cur.i32()?),
+        0xE9 => Insn::JmpRel(cur.i32()?),
+        0x0F => {
+            let b2 = cur.u8()?;
+            match b2 {
+                0x0B => Insn::Ud2,
+                0xAE => {
+                    if cur.u8()? == 0xE8 {
+                        Insn::Lfence
+                    } else {
+                        return Err(DecodeError::Unknown);
+                    }
+                }
+                0xAF => {
+                    if !rex.w {
+                        return Err(DecodeError::Unknown);
+                    }
+                    let (reg_field, rm) = parse_modrm(&mut cur, &rex)?;
+                    match rm {
+                        Rm::Reg(src) => Insn::Imul {
+                            dst: reg_of(reg_field),
+                            src,
+                        },
+                        Rm::Mem(_) => return Err(DecodeError::Unknown),
+                    }
+                }
+                0x80..=0x8F => {
+                    let cond = Cond::from_code(b2 & 0xF).ok_or(DecodeError::Unknown)?;
+                    Insn::Jcc(cond, cur.i32()?)
+                }
+                _ => return Err(DecodeError::Unknown),
+            }
+        }
+        0x50..=0x57 => Insn::Push(reg_of((b - 0x50) | (u8::from(rex.b) << 3))),
+        0x58..=0x5F => Insn::Pop(reg_of((b - 0x58) | (u8::from(rex.b) << 3))),
+        0xB8..=0xBF if rex.w => Insn::MovImm64(reg_of((b - 0xB8) | (u8::from(rex.b) << 3)), cur.u64()?),
+        0xC7 if rex.w => {
+            let (digit, rm) = parse_modrm(&mut cur, &rex)?;
+            if digit & 7 != 0 {
+                return Err(DecodeError::Unknown);
+            }
+            match rm {
+                Rm::Reg(r) => Insn::MovImm32(r, cur.i32()?),
+                Rm::Mem(_) => return Err(DecodeError::Unknown),
+            }
+        }
+        0x89 if rex.w => {
+            let (reg_field, rm) = parse_modrm(&mut cur, &rex)?;
+            let src = reg_of(reg_field);
+            match rm {
+                Rm::Reg(dst) => Insn::MovRR { dst, src },
+                Rm::Mem(dst) => Insn::MovStore { dst, src },
+            }
+        }
+        0x8B if rex.w => {
+            let (reg_field, rm) = parse_modrm(&mut cur, &rex)?;
+            let dst = reg_of(reg_field);
+            match rm {
+                // 8B with a register operand is the alternate encoding of
+                // `mov dst, src`; canonicalise to the same MovRR variant.
+                Rm::Reg(src) => Insn::MovRR { dst, src },
+                Rm::Mem(src) => Insn::MovLoad { dst, src },
+            }
+        }
+        0x8D if rex.w => {
+            let (reg_field, rm) = parse_modrm(&mut cur, &rex)?;
+            match rm {
+                Rm::Mem(addr) => Insn::Lea {
+                    dst: reg_of(reg_field),
+                    addr,
+                },
+                Rm::Reg(_) => return Err(DecodeError::Unknown),
+            }
+        }
+        0x85 if rex.w => {
+            let (reg_field, rm) = parse_modrm(&mut cur, &rex)?;
+            match rm {
+                Rm::Reg(a) => Insn::Test(a, reg_of(reg_field)),
+                Rm::Mem(_) => return Err(DecodeError::Unknown),
+            }
+        }
+        0x81 if rex.w => {
+            let (digit, rm) = parse_modrm(&mut cur, &rex)?;
+            let op = AluOp::from_imm_digit(digit & 7).ok_or(DecodeError::Unknown)?;
+            match rm {
+                Rm::Reg(dst) => Insn::AluImm {
+                    op,
+                    dst,
+                    imm: cur.i32()?,
+                },
+                Rm::Mem(_) => return Err(DecodeError::Unknown),
+            }
+        }
+        0xC1 if rex.w => {
+            let (digit, rm) = parse_modrm(&mut cur, &rex)?;
+            let r = match rm {
+                Rm::Reg(r) => r,
+                Rm::Mem(_) => return Err(DecodeError::Unknown),
+            };
+            let n = cur.u8()?;
+            match digit & 7 {
+                4 => Insn::ShlImm(r, n),
+                5 => Insn::ShrImm(r, n),
+                _ => return Err(DecodeError::Unknown),
+            }
+        }
+        0xFF => {
+            let (digit, rm) = parse_modrm(&mut cur, &rex)?;
+            match (digit & 7, rm) {
+                (2, Rm::Reg(r)) => Insn::CallReg(r),
+                (2, Rm::Mem(m)) => Insn::CallMem(m),
+                (4, Rm::Reg(r)) => Insn::JmpReg(r),
+                (4, Rm::Mem(m)) => Insn::JmpMem(m),
+                _ => return Err(DecodeError::Unknown),
+            }
+        }
+        op if rex.w && AluOp::from_mr_opcode(op).is_some() => {
+            let alu = AluOp::from_mr_opcode(op).unwrap();
+            let (reg_field, rm) = parse_modrm(&mut cur, &rex)?;
+            let src = reg_of(reg_field);
+            match rm {
+                Rm::Reg(dst) => Insn::Alu { op: alu, dst, src },
+                Rm::Mem(dst) => Insn::AluStore { op: alu, dst, src },
+            }
+        }
+        op if rex.w && AluOp::from_rm_opcode(op).is_some() => {
+            let alu = AluOp::from_rm_opcode(op).unwrap();
+            let (reg_field, rm) = parse_modrm(&mut cur, &rex)?;
+            let dst = reg_of(reg_field);
+            match rm {
+                Rm::Reg(_) => return Err(DecodeError::Unknown), // encoder uses MR form
+                Rm::Mem(src) => Insn::AluLoad { op: alu, dst, src },
+            }
+        }
+        _ => return Err(DecodeError::Unknown),
+    };
+    Ok((insn, cur.pos))
+}
+
+/// Decode a linear instruction stream until the buffer is exhausted.
+///
+/// # Errors
+///
+/// Propagates the first decode failure together with its offset.
+pub fn decode_all(bytes: &[u8]) -> Result<Vec<(usize, Insn)>, (usize, DecodeError)> {
+    let mut out = Vec::new();
+    let mut off = 0;
+    while off < bytes.len() {
+        let (insn, len) = decode(&bytes[off..]).map_err(|e| (off, e))?;
+        out.push((off, insn));
+        off += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    fn roundtrip(insn: Insn) {
+        let bytes = encode(&insn);
+        let (dec, len) = decode(&bytes).unwrap_or_else(|e| panic!("{insn}: {e}"));
+        assert_eq!(len, bytes.len(), "{insn}");
+        // `mov r, r` has two encodings (89/8B); the decoder canonicalises
+        // the 8B register form back into MovRR, so compare display text.
+        assert_eq!(dec.to_string(), insn.to_string());
+    }
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        use crate::{AluOp::*, Cond, Mem, Reg::*};
+        let mems = [
+            Mem::RipRel(0x1000),
+            Mem::RipRel(-8),
+            Mem::base(Rsp),
+            Mem::base(Rbp),
+            Mem::base(R12),
+            Mem::base(R13),
+            Mem::base_disp(Rdi, 8),
+            Mem::base_disp(Rsi, -0x200),
+            Mem::base_disp(Rsp, 0x48),
+        ];
+        let mut cases = vec![
+            Insn::Nop,
+            Insn::Ret,
+            Insn::Int3,
+            Insn::Ud2,
+            Insn::Hlt,
+            Insn::Pause,
+            Insn::Lfence,
+            Insn::CallRel(-5),
+            Insn::JmpRel(0x400),
+            Insn::Jcc(Cond::Ne, 16),
+            Insn::Jcc(Cond::G, -32),
+            Insn::CallReg(Rax),
+            Insn::CallReg(R11),
+            Insn::JmpReg(R15),
+            Insn::Push(Rbp),
+            Insn::Push(R9),
+            Insn::Pop(Rdi),
+            Insn::Pop(R14),
+            Insn::MovImm64(Rax, 0xdead_beef_cafe_f00d),
+            Insn::MovImm64(R10, 1),
+            Insn::MovImm32(Rcx, -1),
+            Insn::MovRR { dst: Rbp, src: Rsp },
+            Insn::MovRR { dst: R8, src: R15 },
+            Insn::Test(Rax, Rax),
+            Insn::Imul { dst: Rdx, src: R9 },
+            Insn::ShlImm(Rax, 12),
+            Insn::ShrImm(R11, 3),
+            Insn::AluImm {
+                op: Add,
+                dst: Rsp,
+                imm: 0x40,
+            },
+            Insn::AluImm {
+                op: Cmp,
+                dst: R12,
+                imm: -7,
+            },
+            Insn::Alu {
+                op: Xor,
+                dst: R11,
+                src: R11,
+            },
+            Insn::Alu {
+                op: Sub,
+                dst: Rax,
+                src: Rbx,
+            },
+        ];
+        for m in mems {
+            cases.push(Insn::CallMem(m));
+            cases.push(Insn::JmpMem(m));
+            cases.push(Insn::MovLoad { dst: R11, src: m });
+            cases.push(Insn::MovStore { dst: m, src: Rdx });
+            cases.push(Insn::Lea { dst: Rsi, addr: m });
+            cases.push(Insn::AluLoad {
+                op: Xor,
+                dst: Rax,
+                src: m,
+            });
+            cases.push(Insn::AluStore {
+                op: Xor,
+                dst: m,
+                src: R11,
+            });
+        }
+        for c in cases {
+            roundtrip(c);
+        }
+    }
+
+    #[test]
+    fn garbage_does_not_panic() {
+        for b in 0u8..=255 {
+            let _ = decode(&[b]);
+            let _ = decode(&[0x48, b]);
+            let _ = decode(&[b, 0x00, 0x11, 0x22, 0x33, 0x44]);
+        }
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0xE8, 0x01]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn decode_all_stream() {
+        let mut bytes = Vec::new();
+        for i in [Insn::Push(Reg::Rbp), Insn::Nop, Insn::Ret] {
+            crate::encode_into(&i, &mut bytes);
+        }
+        let stream = decode_all(&bytes).unwrap();
+        assert_eq!(stream.len(), 3);
+        assert_eq!(stream[2].1, Insn::Ret);
+    }
+
+    #[test]
+    fn misaligned_decode_finds_hidden_gadget() {
+        // Classic ROP trick: the imm64 of a movabs can contain `C3`.
+        let bytes = encode(&Insn::MovImm64(Reg::Rax, 0xC3));
+        // Offset 2 = start of the immediate → decodes as `ret`.
+        let (insn, _) = decode(&bytes[2..]).unwrap();
+        assert_eq!(insn, Insn::Ret);
+    }
+}

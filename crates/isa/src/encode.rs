@@ -1,0 +1,312 @@
+//! Instruction encoder — emits real x86-64 machine code for the subset.
+
+use crate::{Insn, Mem};
+#[cfg(test)]
+use crate::{AluOp, Reg};
+
+/// REX prefix builder. `w` selects 64-bit operand size, `r` extends the
+/// ModRM `reg` field, `x` the SIB index (unused — we never encode an index
+/// register), `b` the ModRM `rm` / opcode register field.
+#[inline]
+fn rex(w: bool, r: bool, x: bool, b: bool) -> u8 {
+    0x40 | (u8::from(w) << 3) | (u8::from(r) << 2) | (u8::from(x) << 1) | u8::from(b)
+}
+
+#[inline]
+fn modrm(mode: u8, reg: u8, rm: u8) -> u8 {
+    (mode << 6) | ((reg & 7) << 3) | (rm & 7)
+}
+
+/// Emit the ModRM (+ optional SIB + displacement) bytes for a memory
+/// operand, with `reg_field` as the `/r` or `/digit` value.
+fn put_mem(out: &mut Vec<u8>, reg_field: u8, mem: Mem) {
+    match mem {
+        Mem::RipRel(disp) => {
+            out.push(modrm(0b00, reg_field, 0b101));
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Mem::Base { base, disp } => {
+            let rm = base.low3();
+            let needs_sib = rm == 0b100; // rsp / r12
+            // rbp / r13 with mod=00 would mean rip-relative, so force disp8.
+            let force_disp8 = rm == 0b101 && disp == 0;
+            if disp == 0 && !force_disp8 {
+                out.push(modrm(0b00, reg_field, rm));
+                if needs_sib {
+                    out.push(0x24);
+                }
+            } else if i8::try_from(disp).is_ok() {
+                out.push(modrm(0b01, reg_field, rm));
+                if needs_sib {
+                    out.push(0x24);
+                }
+                out.push(disp as i8 as u8);
+            } else {
+                out.push(modrm(0b10, reg_field, rm));
+                if needs_sib {
+                    out.push(0x24);
+                }
+                out.extend_from_slice(&disp.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn mem_base_ext(mem: Mem) -> bool {
+    match mem {
+        Mem::RipRel(_) => false,
+        Mem::Base { base, .. } => base.is_extended(),
+    }
+}
+
+/// Emit a REX prefix if any bit is needed; always emitted when `w` is set.
+fn put_rex(out: &mut Vec<u8>, w: bool, r: bool, b: bool) {
+    if w || r || b {
+        out.push(rex(w, r, false, b));
+    }
+}
+
+/// Encode `insn` by appending its bytes to `out`. Returns the number of
+/// bytes emitted.
+pub fn encode_into(insn: &Insn, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    match *insn {
+        Insn::Nop => out.push(0x90),
+        Insn::Ret => out.push(0xC3),
+        Insn::Int3 => out.push(0xCC),
+        Insn::Ud2 => out.extend_from_slice(&[0x0F, 0x0B]),
+        Insn::Hlt => out.push(0xF4),
+        Insn::Pause => out.extend_from_slice(&[0xF3, 0x90]),
+        Insn::Lfence => out.extend_from_slice(&[0x0F, 0xAE, 0xE8]),
+        Insn::CallRel(d) => {
+            out.push(0xE8);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Insn::JmpRel(d) => {
+            out.push(0xE9);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Insn::Jcc(c, d) => {
+            out.push(0x0F);
+            out.push(0x80 | c.code());
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Insn::CallReg(r) => {
+            put_rex(out, false, false, r.is_extended());
+            out.push(0xFF);
+            out.push(modrm(0b11, 2, r.low3()));
+        }
+        Insn::JmpReg(r) => {
+            put_rex(out, false, false, r.is_extended());
+            out.push(0xFF);
+            out.push(modrm(0b11, 4, r.low3()));
+        }
+        Insn::CallMem(m) => {
+            put_rex(out, false, false, mem_base_ext(m));
+            out.push(0xFF);
+            put_mem(out, 2, m);
+        }
+        Insn::JmpMem(m) => {
+            put_rex(out, false, false, mem_base_ext(m));
+            out.push(0xFF);
+            put_mem(out, 4, m);
+        }
+        Insn::Push(r) => {
+            put_rex(out, false, false, r.is_extended());
+            out.push(0x50 + r.low3());
+        }
+        Insn::Pop(r) => {
+            put_rex(out, false, false, r.is_extended());
+            out.push(0x58 + r.low3());
+        }
+        Insn::MovImm64(r, v) => {
+            out.push(rex(true, false, false, r.is_extended()));
+            out.push(0xB8 + r.low3());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Insn::MovImm32(r, v) => {
+            out.push(rex(true, false, false, r.is_extended()));
+            out.push(0xC7);
+            out.push(modrm(0b11, 0, r.low3()));
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Insn::MovRR { dst, src } => {
+            out.push(rex(true, src.is_extended(), false, dst.is_extended()));
+            out.push(0x89);
+            out.push(modrm(0b11, src.low3(), dst.low3()));
+        }
+        Insn::MovLoad { dst, src } => {
+            out.push(rex(true, dst.is_extended(), false, mem_base_ext(src)));
+            out.push(0x8B);
+            put_mem(out, dst.low3(), src);
+        }
+        Insn::MovStore { dst, src } => {
+            out.push(rex(true, src.is_extended(), false, mem_base_ext(dst)));
+            out.push(0x89);
+            put_mem(out, src.low3(), dst);
+        }
+        Insn::Lea { dst, addr } => {
+            out.push(rex(true, dst.is_extended(), false, mem_base_ext(addr)));
+            out.push(0x8D);
+            put_mem(out, dst.low3(), addr);
+        }
+        Insn::Alu { op, dst, src } => {
+            out.push(rex(true, src.is_extended(), false, dst.is_extended()));
+            out.push(op.mr_opcode());
+            out.push(modrm(0b11, src.low3(), dst.low3()));
+        }
+        Insn::AluImm { op, dst, imm } => {
+            out.push(rex(true, false, false, dst.is_extended()));
+            out.push(0x81);
+            out.push(modrm(0b11, op.imm_digit(), dst.low3()));
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Insn::AluLoad { op, dst, src } => {
+            out.push(rex(true, dst.is_extended(), false, mem_base_ext(src)));
+            out.push(op.rm_opcode());
+            put_mem(out, dst.low3(), src);
+        }
+        Insn::AluStore { op, dst, src } => {
+            out.push(rex(true, src.is_extended(), false, mem_base_ext(dst)));
+            out.push(op.mr_opcode());
+            put_mem(out, src.low3(), dst);
+        }
+        Insn::Test(a, b) => {
+            out.push(rex(true, b.is_extended(), false, a.is_extended()));
+            out.push(0x85);
+            out.push(modrm(0b11, b.low3(), a.low3()));
+        }
+        Insn::Imul { dst, src } => {
+            out.push(rex(true, dst.is_extended(), false, src.is_extended()));
+            out.push(0x0F);
+            out.push(0xAF);
+            out.push(modrm(0b11, dst.low3(), src.low3()));
+        }
+        Insn::ShlImm(r, n) => {
+            out.push(rex(true, false, false, r.is_extended()));
+            out.push(0xC1);
+            out.push(modrm(0b11, 4, r.low3()));
+            out.push(n);
+        }
+        Insn::ShrImm(r, n) => {
+            out.push(rex(true, false, false, r.is_extended()));
+            out.push(0xC1);
+            out.push(modrm(0b11, 5, r.low3()));
+            out.push(n);
+        }
+    }
+    out.len() - start
+}
+
+/// Encode a single instruction into a fresh byte vector.
+pub fn encode(insn: &Insn) -> Vec<u8> {
+    let mut v = Vec::with_capacity(12);
+    encode_into(insn, &mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn got_call_is_six_bytes() {
+        // The paper's patch math relies on `call *foo@GOTPCREL(%rip)` being
+        // exactly one byte longer than `call foo` (Fig. 4: pad with nop).
+        let indirect = encode(&Insn::CallMem(Mem::RipRel(0x1234)));
+        assert_eq!(indirect, vec![0xFF, 0x15, 0x34, 0x12, 0x00, 0x00]);
+        let direct = encode(&Insn::CallRel(0x1234));
+        assert_eq!(direct.len() + 1, indirect.len());
+        assert_eq!(direct[0], 0xE8);
+    }
+
+    #[test]
+    fn got_load_and_lea_same_length() {
+        // `mov foo@GOTPCREL(%rip), %r` and `lea foo(%rip), %r` differ only
+        // in the opcode byte (8B vs 8D) — the in-place patch from Fig. 4.
+        let mov = encode(&Insn::MovLoad {
+            dst: Reg::R11,
+            src: Mem::RipRel(0x10),
+        });
+        let lea = encode(&Insn::Lea {
+            dst: Reg::R11,
+            addr: Mem::RipRel(0x10),
+        });
+        assert_eq!(mov.len(), lea.len());
+        assert_eq!(mov[0], lea[0]); // same REX
+        assert_eq!(mov[1], 0x8B);
+        assert_eq!(lea[1], 0x8D);
+        assert_eq!(mov[2..], lea[2..]);
+    }
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(encode(&Insn::Ret), vec![0xC3]);
+        assert_eq!(encode(&Insn::Push(Reg::Rbp)), vec![0x55]);
+        assert_eq!(encode(&Insn::Push(Reg::R11)), vec![0x41, 0x53]);
+        assert_eq!(encode(&Insn::Pop(Reg::Rax)), vec![0x58]);
+        // xor [rsp], r11 — the return-address encryption instruction.
+        assert_eq!(
+            encode(&Insn::AluStore {
+                op: AluOp::Xor,
+                dst: Mem::base(Reg::Rsp),
+                src: Reg::R11
+            }),
+            vec![0x4C, 0x31, 0x1C, 0x24]
+        );
+        // xor [rsp+8], rbp — the static-function variant (Fig. 3b).
+        assert_eq!(
+            encode(&Insn::AluStore {
+                op: AluOp::Xor,
+                dst: Mem::base_disp(Reg::Rsp, 8),
+                src: Reg::Rbp
+            }),
+            vec![0x48, 0x31, 0x6C, 0x24, 0x08]
+        );
+        assert_eq!(
+            encode(&Insn::MovRR {
+                dst: Reg::Rbp,
+                src: Reg::Rsp
+            }),
+            vec![0x48, 0x89, 0xE5]
+        );
+        assert_eq!(encode(&Insn::CallReg(Reg::Rax)), vec![0xFF, 0xD0]);
+        assert_eq!(encode(&Insn::JmpReg(Reg::Rax)), vec![0xFF, 0xE0]);
+        assert_eq!(encode(&Insn::Pause), vec![0xF3, 0x90]);
+        assert_eq!(encode(&Insn::Lfence), vec![0x0F, 0xAE, 0xE8]);
+    }
+
+    #[test]
+    fn rbp_base_needs_disp8() {
+        // [rbp] must encode as [rbp+0] (mod=01) — mod=00/rm=101 is RIP-rel.
+        let b = encode(&Insn::MovLoad {
+            dst: Reg::Rax,
+            src: Mem::base(Reg::Rbp),
+        });
+        assert_eq!(b, vec![0x48, 0x8B, 0x45, 0x00]);
+        // Same for r13.
+        let b = encode(&Insn::MovLoad {
+            dst: Reg::Rax,
+            src: Mem::base(Reg::R13),
+        });
+        assert_eq!(b, vec![0x49, 0x8B, 0x45, 0x00]);
+    }
+
+    #[test]
+    fn r12_base_needs_sib() {
+        let b = encode(&Insn::MovLoad {
+            dst: Reg::Rax,
+            src: Mem::base(Reg::R12),
+        });
+        assert_eq!(b, vec![0x49, 0x8B, 0x04, 0x24]);
+    }
+
+    #[test]
+    fn disp32_form() {
+        let b = encode(&Insn::MovStore {
+            dst: Mem::base_disp(Reg::Rdi, 0x1000),
+            src: Reg::Rsi,
+        });
+        assert_eq!(b, vec![0x48, 0x89, 0xB7, 0x00, 0x10, 0x00, 0x00]);
+    }
+}

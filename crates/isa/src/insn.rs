@@ -1,0 +1,399 @@
+//! Instruction structure: memory operands, ALU ops, conditions, and the
+//! [`Insn`] enum itself.
+
+use crate::Reg;
+use std::fmt;
+
+/// A memory operand.
+///
+/// Only the two addressing modes the Adelie transformations need are
+/// modelled: RIP-relative (the position-independent mode everything in the
+/// paper revolves around) and base-register + displacement (stack and
+/// structure accesses).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Mem {
+    /// `[rip + disp32]` — position-independent reference.
+    RipRel(i32),
+    /// `[base + disp]` — register-relative reference.
+    Base { base: Reg, disp: i32 },
+}
+
+impl Mem {
+    /// `[reg]` with no displacement.
+    pub fn base(base: Reg) -> Mem {
+        Mem::Base { base, disp: 0 }
+    }
+
+    /// `[reg + disp]`.
+    pub fn base_disp(base: Reg, disp: i32) -> Mem {
+        Mem::Base { base, disp }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mem::RipRel(d) => write!(f, "[rip{d:+#x}]"),
+            Mem::Base { base, disp: 0 } => write!(f, "[{base}]"),
+            Mem::Base { base, disp } => write!(f, "[{base}{disp:+#x}]"),
+        }
+    }
+}
+
+/// Two-operand ALU operations (64-bit forms).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    Add,
+    Or,
+    And,
+    Sub,
+    Xor,
+    Cmp,
+}
+
+impl AluOp {
+    /// The `/digit` used in the `81 /n` immediate group.
+    pub(crate) fn imm_digit(self) -> u8 {
+        match self {
+            AluOp::Add => 0,
+            AluOp::Or => 1,
+            AluOp::And => 4,
+            AluOp::Sub => 5,
+            AluOp::Xor => 6,
+            AluOp::Cmp => 7,
+        }
+    }
+
+    pub(crate) fn from_imm_digit(d: u8) -> Option<AluOp> {
+        Some(match d {
+            0 => AluOp::Add,
+            1 => AluOp::Or,
+            4 => AluOp::And,
+            5 => AluOp::Sub,
+            6 => AluOp::Xor,
+            7 => AluOp::Cmp,
+            _ => return None,
+        })
+    }
+
+    /// The MR-form (`op r/m64, r64`) opcode byte.
+    pub(crate) fn mr_opcode(self) -> u8 {
+        match self {
+            AluOp::Add => 0x01,
+            AluOp::Or => 0x09,
+            AluOp::And => 0x21,
+            AluOp::Sub => 0x29,
+            AluOp::Xor => 0x31,
+            AluOp::Cmp => 0x39,
+        }
+    }
+
+    pub(crate) fn from_mr_opcode(op: u8) -> Option<AluOp> {
+        Some(match op {
+            0x01 => AluOp::Add,
+            0x09 => AluOp::Or,
+            0x21 => AluOp::And,
+            0x29 => AluOp::Sub,
+            0x31 => AluOp::Xor,
+            0x39 => AluOp::Cmp,
+            _ => return None,
+        })
+    }
+
+    /// The RM-form (`op r64, r/m64`) opcode byte.
+    pub(crate) fn rm_opcode(self) -> u8 {
+        self.mr_opcode() + 2
+    }
+
+    pub(crate) fn from_rm_opcode(op: u8) -> Option<AluOp> {
+        op.checked_sub(2).and_then(AluOp::from_mr_opcode)
+    }
+
+    /// Mnemonic text.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Sub => "sub",
+            AluOp::Xor => "xor",
+            AluOp::Cmp => "cmp",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Branch conditions (the `Jcc` family), with hardware condition-code
+/// nibbles matching the `0F 8x` encodings.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Cond {
+    /// Below (unsigned `<`), CF=1.
+    B = 0x2,
+    /// Above-or-equal (unsigned `>=`), CF=0.
+    Ae = 0x3,
+    /// Equal / zero.
+    E = 0x4,
+    /// Not equal / not zero.
+    Ne = 0x5,
+    /// Below-or-equal (unsigned `<=`).
+    Be = 0x6,
+    /// Above (unsigned `>`).
+    A = 0x7,
+    /// Sign (negative).
+    S = 0x8,
+    /// No sign.
+    Ns = 0x9,
+    /// Less (signed `<`).
+    L = 0xC,
+    /// Greater-or-equal (signed `>=`).
+    Ge = 0xD,
+    /// Less-or-equal (signed `<=`).
+    Le = 0xE,
+    /// Greater (signed `>`).
+    G = 0xF,
+}
+
+impl Cond {
+    pub(crate) fn code(self) -> u8 {
+        self as u8
+    }
+
+    pub(crate) fn from_code(c: u8) -> Option<Cond> {
+        Some(match c {
+            0x2 => Cond::B,
+            0x3 => Cond::Ae,
+            0x4 => Cond::E,
+            0x5 => Cond::Ne,
+            0x6 => Cond::Be,
+            0x7 => Cond::A,
+            0x8 => Cond::S,
+            0x9 => Cond::Ns,
+            0xC => Cond::L,
+            0xD => Cond::Ge,
+            0xE => Cond::Le,
+            0xF => Cond::G,
+            _ => return None,
+        })
+    }
+
+    /// Mnemonic suffix (`e` in `je`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::B => "b",
+            Cond::Ae => "ae",
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+        }
+    }
+}
+
+/// A decoded (or to-be-encoded) instruction.
+///
+/// Every variant corresponds to a concrete x86-64 encoding; see
+/// [`crate::encode`] for the byte forms. Relative branch displacements are
+/// measured from the **end** of the instruction, exactly like hardware.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Insn {
+    /// `90`.
+    Nop,
+    /// `C3` — the gadget terminator.
+    Ret,
+    /// `CC` — breakpoint (used as a trap-on-execute filler).
+    Int3,
+    /// `0F 0B` — invalid-opcode trap.
+    Ud2,
+    /// `F4` — halt (interpreter stop marker in some tests).
+    Hlt,
+    /// `F3 90` — spin-loop hint inside retpoline speculation traps.
+    Pause,
+    /// `0F AE E8` — load fence inside retpoline speculation traps.
+    Lfence,
+    /// `E8 rel32` — direct near call.
+    CallRel(i32),
+    /// `E9 rel32` — direct near jump.
+    JmpRel(i32),
+    /// `0F 8x rel32` — conditional jump.
+    Jcc(Cond, i32),
+    /// `FF /2` with register operand — indirect call through a register.
+    CallReg(Reg),
+    /// `FF /4` with register operand — indirect jump through a register.
+    JmpReg(Reg),
+    /// `FF /2` with memory operand — e.g. `call *foo@GOTPCREL(%rip)`.
+    CallMem(Mem),
+    /// `FF /4` with memory operand — e.g. `jmp *foo@GOTPCREL(%rip)`.
+    JmpMem(Mem),
+    /// `50+r`.
+    Push(Reg),
+    /// `58+r`.
+    Pop(Reg),
+    /// `REX.W B8+r imm64` — `movabs`.
+    MovImm64(Reg, u64),
+    /// `REX.W C7 /0 imm32` — sign-extended 32-bit immediate move.
+    MovImm32(Reg, i32),
+    /// `REX.W 89 /r` — `mov dst, src` (dst ← src), register form.
+    MovRR { dst: Reg, src: Reg },
+    /// `REX.W 8B /r` — load: `mov dst, [mem]`.
+    MovLoad { dst: Reg, src: Mem },
+    /// `REX.W 89 /r` — store: `mov [mem], src`.
+    MovStore { dst: Mem, src: Reg },
+    /// `REX.W 8D /r` — `lea dst, [mem]`.
+    Lea { dst: Reg, addr: Mem },
+    /// MR-form ALU: `op dst, src` on registers.
+    Alu { op: AluOp, dst: Reg, src: Reg },
+    /// `REX.W 81 /n imm32` — ALU with immediate.
+    AluImm { op: AluOp, dst: Reg, imm: i32 },
+    /// RM-form ALU with memory source: `op dst, [mem]`.
+    AluLoad { op: AluOp, dst: Reg, src: Mem },
+    /// MR-form ALU with memory destination: `op [mem], src`
+    /// (return-address encryption is `xor [rsp], key_reg`).
+    AluStore { op: AluOp, dst: Mem, src: Reg },
+    /// `REX.W 85 /r` — `test dst, src`.
+    Test(Reg, Reg),
+    /// `REX.W 0F AF /r` — `imul dst, src`.
+    Imul { dst: Reg, src: Reg },
+    /// `REX.W C1 /4 imm8` — shift left.
+    ShlImm(Reg, u8),
+    /// `REX.W C1 /5 imm8` — logical shift right.
+    ShrImm(Reg, u8),
+}
+
+impl Insn {
+    /// Whether this instruction ends a basic block unconditionally.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Insn::Ret | Insn::JmpRel(_) | Insn::JmpReg(_) | Insn::JmpMem(_) | Insn::Hlt | Insn::Ud2
+        )
+    }
+
+    /// Whether this is an indirect control transfer (ROP/JOP pivot point).
+    pub fn is_indirect_branch(&self) -> bool {
+        matches!(
+            self,
+            Insn::CallReg(_) | Insn::JmpReg(_) | Insn::CallMem(_) | Insn::JmpMem(_)
+        )
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Insn::Nop => write!(f, "nop"),
+            Insn::Ret => write!(f, "ret"),
+            Insn::Int3 => write!(f, "int3"),
+            Insn::Ud2 => write!(f, "ud2"),
+            Insn::Hlt => write!(f, "hlt"),
+            Insn::Pause => write!(f, "pause"),
+            Insn::Lfence => write!(f, "lfence"),
+            Insn::CallRel(d) => write!(f, "call {d:+#x}"),
+            Insn::JmpRel(d) => write!(f, "jmp {d:+#x}"),
+            Insn::Jcc(c, d) => write!(f, "j{} {d:+#x}", c.suffix()),
+            Insn::CallReg(r) => write!(f, "call {r}"),
+            Insn::JmpReg(r) => write!(f, "jmp {r}"),
+            Insn::CallMem(m) => write!(f, "call {m}"),
+            Insn::JmpMem(m) => write!(f, "jmp {m}"),
+            Insn::Push(r) => write!(f, "push {r}"),
+            Insn::Pop(r) => write!(f, "pop {r}"),
+            Insn::MovImm64(r, v) => write!(f, "movabs {r}, {v:#x}"),
+            Insn::MovImm32(r, v) => write!(f, "mov {r}, {v:#x}"),
+            Insn::MovRR { dst, src } => write!(f, "mov {dst}, {src}"),
+            Insn::MovLoad { dst, src } => write!(f, "mov {dst}, {src}"),
+            Insn::MovStore { dst, src } => write!(f, "mov {dst}, {src}"),
+            Insn::Lea { dst, addr } => write!(f, "lea {dst}, {addr}"),
+            Insn::Alu { op, dst, src } => write!(f, "{op} {dst}, {src}"),
+            Insn::AluImm { op, dst, imm } => write!(f, "{op} {dst}, {imm:#x}"),
+            Insn::AluLoad { op, dst, src } => write!(f, "{op} {dst}, {src}"),
+            Insn::AluStore { op, dst, src } => write!(f, "{op} {dst}, {src}"),
+            Insn::Test(a, b) => write!(f, "test {a}, {b}"),
+            Insn::Imul { dst, src } => write!(f, "imul {dst}, {src}"),
+            Insn::ShlImm(r, n) => write!(f, "shl {r}, {n}"),
+            Insn::ShrImm(r, n) => write!(f, "shr {r}, {n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_codes_roundtrip() {
+        for c in [
+            Cond::B,
+            Cond::Ae,
+            Cond::E,
+            Cond::Ne,
+            Cond::Be,
+            Cond::A,
+            Cond::S,
+            Cond::Ns,
+            Cond::L,
+            Cond::Ge,
+            Cond::Le,
+            Cond::G,
+        ] {
+            assert_eq!(Cond::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Cond::from_code(0x0), None);
+    }
+
+    #[test]
+    fn alu_opcode_tables_roundtrip() {
+        for op in [
+            AluOp::Add,
+            AluOp::Or,
+            AluOp::And,
+            AluOp::Sub,
+            AluOp::Xor,
+            AluOp::Cmp,
+        ] {
+            assert_eq!(AluOp::from_mr_opcode(op.mr_opcode()), Some(op));
+            assert_eq!(AluOp::from_rm_opcode(op.rm_opcode()), Some(op));
+            assert_eq!(AluOp::from_imm_digit(op.imm_digit()), Some(op));
+        }
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Insn::Ret.is_terminator());
+        assert!(Insn::JmpReg(Reg::Rax).is_terminator());
+        assert!(!Insn::CallReg(Reg::Rax).is_terminator());
+        assert!(Insn::CallMem(Mem::RipRel(4)).is_indirect_branch());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Insn::Push(Reg::Rbp).to_string(), "push rbp");
+        assert_eq!(
+            Insn::MovLoad {
+                dst: Reg::R11,
+                src: Mem::RipRel(0x10)
+            }
+            .to_string(),
+            "mov r11, [rip+0x10]"
+        );
+        assert_eq!(
+            Insn::AluStore {
+                op: AluOp::Xor,
+                dst: Mem::base(Reg::Rsp),
+                src: Reg::R11
+            }
+            .to_string(),
+            "xor [rsp], r11"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # adelie-isa — x86-64 subset instruction set
+//!
+//! Adelie's mechanisms (run-time relocation patching, GOT/PLT indirection,
+//! return-address encryption, Ropper-style gadget scanning) are all
+//! *byte-level* phenomena. This crate models the subset of x86-64 that the
+//! Adelie paper's code transformations touch, using the **real x86-64
+//! encodings** so that:
+//!
+//! * the Figure-4 run-time patches are byte-faithful
+//!   (`call *foo@GOTPCREL(%rip)` = `FF 15 disp32` → `call foo; nop` =
+//!   `E8 rel32; 90`, and `mov foo@GOTPCREL(%rip), %r` → `lea foo(%rip), %r`
+//!   is the single-opcode-byte `8B` → `8D` rewrite real linkers perform),
+//! * gadget scanning over module text behaves like scanning a real `.ko`:
+//!   instruction density, mis-aligned decode, and `C3` (ret) byte frequency
+//!   all carry over.
+//!
+//! The crate has three layers:
+//!
+//! * [`Reg`], [`Mem`], [`Insn`] — the instruction structure,
+//! * [`encode`] / [`decode`] — byte-level codec,
+//! * [`Asm`] — a small assembler with labels and symbolic operands that
+//!   lowers to bytes plus [`Fixup`]s (the relocation requests consumed by
+//!   `adelie-obj`).
+//!
+//! # Example
+//!
+//! ```
+//! use adelie_isa::{Asm, Reg, AluOp};
+//!
+//! let mut a = Asm::new();
+//! a.mov_imm32(Reg::Rax, 1);
+//! a.alu_imm(AluOp::Add, Reg::Rax, 41);
+//! a.ret();
+//! let out = a.assemble().expect("labels resolve");
+//! assert!(out.fixups.is_empty());
+//! assert_eq!(*out.bytes.last().unwrap(), 0xC3); // ret
+//! ```
+
+mod asm;
+mod decode;
+mod encode;
+mod insn;
+mod reg;
+
+pub use asm::{Asm, AsmError, AsmOutput, Fixup, FixupKind};
+pub use decode::{decode, decode_all, DecodeError};
+pub use encode::{encode, encode_into};
+pub use insn::{AluOp, Cond, Insn, Mem};
+pub use reg::Reg;
+
+/// System-V argument registers, in order (`rdi, rsi, rdx, rcx, r8, r9`).
+pub const ARG_REGS: [Reg; 6] = [
+    Reg::Rdi,
+    Reg::Rsi,
+    Reg::Rdx,
+    Reg::Rcx,
+    Reg::R8,
+    Reg::R9,
+];

@@ -1,0 +1,129 @@
+//! General-purpose register model (the sixteen x86-64 GPRs).
+
+use std::fmt;
+
+/// A 64-bit general-purpose register.
+///
+/// The discriminants match the hardware register numbers used in ModRM/REX
+/// encoding (`rax`=0 … `r15`=15).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum Reg {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// All sixteen registers in encoding order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// The hardware encoding number (0–15).
+    #[inline]
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// The low three bits used in ModRM; the fourth bit goes into REX.
+    #[inline]
+    pub fn low3(self) -> u8 {
+        self.index() & 0x7
+    }
+
+    /// Whether the register needs a REX extension bit (r8–r15).
+    #[inline]
+    pub fn is_extended(self) -> bool {
+        self.index() >= 8
+    }
+
+    /// Look a register up by hardware number.
+    ///
+    /// Returns `None` for numbers above 15.
+    pub fn from_index(idx: u8) -> Option<Reg> {
+        Reg::ALL.get(idx as usize).copied()
+    }
+
+    /// Conventional AT&T-style name (without the `%` sigil).
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index()), Some(r));
+        }
+        assert_eq!(Reg::from_index(16), None);
+    }
+
+    #[test]
+    fn extension_bit() {
+        assert!(!Reg::Rdi.is_extended());
+        assert!(Reg::R8.is_extended());
+        assert_eq!(Reg::R11.low3(), 3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::Rsp.to_string(), "rsp");
+        assert_eq!(Reg::R15.to_string(), "r15");
+    }
+}

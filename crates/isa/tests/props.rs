@@ -1,0 +1,123 @@
+//! Property tests for the instruction codec.
+
+use adelie_isa::{decode, decode_all, encode, AluOp, Cond, Insn, Mem, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_mem() -> impl Strategy<Value = Mem> {
+    prop_oneof![
+        any::<i32>().prop_map(Mem::RipRel),
+        (arb_reg(), any::<i32>()).prop_map(|(base, disp)| Mem::Base { base, disp }),
+    ]
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Sub),
+        Just(AluOp::Xor),
+        Just(AluOp::Cmp),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::B),
+        Just(Cond::Ae),
+        Just(Cond::E),
+        Just(Cond::Ne),
+        Just(Cond::Be),
+        Just(Cond::A),
+        Just(Cond::S),
+        Just(Cond::Ns),
+        Just(Cond::L),
+        Just(Cond::Ge),
+        Just(Cond::Le),
+        Just(Cond::G),
+    ]
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        Just(Insn::Nop),
+        Just(Insn::Ret),
+        Just(Insn::Int3),
+        Just(Insn::Ud2),
+        Just(Insn::Hlt),
+        Just(Insn::Pause),
+        Just(Insn::Lfence),
+        any::<i32>().prop_map(Insn::CallRel),
+        any::<i32>().prop_map(Insn::JmpRel),
+        (arb_cond(), any::<i32>()).prop_map(|(c, d)| Insn::Jcc(c, d)),
+        arb_reg().prop_map(Insn::CallReg),
+        arb_reg().prop_map(Insn::JmpReg),
+        arb_mem().prop_map(Insn::CallMem),
+        arb_mem().prop_map(Insn::JmpMem),
+        arb_reg().prop_map(Insn::Push),
+        arb_reg().prop_map(Insn::Pop),
+        (arb_reg(), any::<u64>()).prop_map(|(r, v)| Insn::MovImm64(r, v)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, v)| Insn::MovImm32(r, v)),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::MovRR { dst, src }),
+        (arb_reg(), arb_mem()).prop_map(|(dst, src)| Insn::MovLoad { dst, src }),
+        (arb_mem(), arb_reg()).prop_map(|(dst, src)| Insn::MovStore { dst, src }),
+        (arb_reg(), arb_mem()).prop_map(|(dst, addr)| Insn::Lea { dst, addr }),
+        (arb_alu(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Insn::Alu { op, dst, src }),
+        (arb_alu(), arb_reg(), any::<i32>())
+            .prop_map(|(op, dst, imm)| Insn::AluImm { op, dst, imm }),
+        (arb_alu(), arb_reg(), arb_mem())
+            .prop_map(|(op, dst, src)| Insn::AluLoad { op, dst, src }),
+        (arb_alu(), arb_mem(), arb_reg())
+            .prop_map(|(op, dst, src)| Insn::AluStore { op, dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Test(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::Imul { dst, src }),
+        (arb_reg(), 0u8..64).prop_map(|(r, n)| Insn::ShlImm(r, n)),
+        (arb_reg(), 0u8..64).prop_map(|(r, n)| Insn::ShrImm(r, n)),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity (up to the dual mov encoding,
+    /// which canonicalises to the same variant).
+    #[test]
+    fn roundtrip(insn in arb_insn()) {
+        let bytes = encode(&insn);
+        let (dec, len) = decode(&bytes).expect("own encodings decode");
+        prop_assert_eq!(len, bytes.len());
+        prop_assert_eq!(dec.to_string(), insn.to_string());
+    }
+
+    /// The decoder never panics and never over-reads, no matter the
+    /// input — gadget scanning feeds it every byte offset of a module.
+    #[test]
+    fn decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok((_, len)) = decode(&bytes) {
+            prop_assert!(len <= bytes.len());
+            prop_assert!(len > 0);
+        }
+    }
+
+    /// Encoded instruction streams decode back to the same count.
+    #[test]
+    fn stream_roundtrip(insns in proptest::collection::vec(arb_insn(), 1..32)) {
+        let mut bytes = Vec::new();
+        for i in &insns {
+            adelie_isa::encode_into(i, &mut bytes);
+        }
+        let stream = decode_all(&bytes).expect("stream decodes");
+        prop_assert_eq!(stream.len(), insns.len());
+        for ((_, dec), orig) in stream.iter().zip(&insns) {
+            prop_assert_eq!(dec.to_string(), orig.to_string());
+        }
+    }
+
+    /// Instruction lengths are within x86's 15-byte limit.
+    #[test]
+    fn length_bounded(insn in arb_insn()) {
+        prop_assert!(encode(&insn).len() <= 15);
+    }
+}

@@ -1,0 +1,614 @@
+//! The instruction interpreter ("simulated CPU").
+//!
+//! Module code executes here, instruction by instruction, with every
+//! memory access translated through the kernel page tables (via a
+//! per-CPU [`Tlb`]). That makes Adelie's mechanics *real* in this
+//! reproduction rather than narrated:
+//!
+//! * a stale code pointer into a re-randomized-away range raises a page
+//!   fault ([`VmError::Fault`]),
+//! * GOT loads are RIP-relative reads through PTEs; writes to sealed GOT
+//!   pages fault,
+//! * return-address encryption XORs real stack slots, so a forged,
+//!   unencrypted return address decrypts to garbage and faults,
+//! * calls whose target lands in the native-dispatch region trap to the
+//!   registered kernel function — the exported-symbol mechanism.
+
+use crate::layout;
+use crate::Kernel;
+use adelie_isa::{decode, AluOp, Cond, DecodeError, Insn, Mem, Reg, ARG_REGS};
+use adelie_vmem::{page_base, page_offset, Access, Fault, PteKind, Tlb, Translation, PAGE_SIZE};
+use std::fmt;
+use std::time::Instant;
+
+/// Errors raised during interpreted execution.
+#[derive(Debug)]
+pub enum VmError {
+    /// Memory fault (page fault, NX, write-protection, …).
+    Fault(Fault),
+    /// Undecodable bytes at `rip` — e.g. a ROP chain that landed mid-
+    /// instruction after re-randomization.
+    Decode {
+        /// Faulting instruction pointer.
+        rip: u64,
+        /// Decoder diagnosis.
+        err: DecodeError,
+    },
+    /// An explicit trap instruction (`int3`, `ud2`, `hlt`).
+    Trap {
+        /// Address of the trap.
+        rip: u64,
+        /// Mnemonic.
+        what: &'static str,
+    },
+    /// Call into the native region with no registered handler.
+    UnknownNative {
+        /// The bad target.
+        va: u64,
+    },
+    /// The per-call instruction budget ran out (runaway loop guard).
+    OutOfFuel {
+        /// Where execution was when the budget died.
+        rip: u64,
+    },
+    /// A native handler rejected its arguments or failed.
+    Native(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Fault(e) => write!(f, "{e}"),
+            VmError::Decode { rip, err } => write!(f, "decode error at {rip:#x}: {err}"),
+            VmError::Trap { rip, what } => write!(f, "trap `{what}` at {rip:#x}"),
+            VmError::UnknownNative { va } => write!(f, "call to unregistered kernel text {va:#x}"),
+            VmError::OutOfFuel { rip } => write!(f, "instruction budget exhausted at {rip:#x}"),
+            VmError::Native(msg) => write!(f, "native handler error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<Fault> for VmError {
+    fn from(f: Fault) -> Self {
+        VmError::Fault(f)
+    }
+}
+
+#[derive(Copy, Clone, Default)]
+struct Flags {
+    zf: bool,
+    sf: bool,
+    cf: bool,
+    of: bool,
+}
+
+/// A simulated CPU executing kernel-module code.
+///
+/// One `Vm` per thread; create with [`Kernel::vm`]. Reentrant: native
+/// handlers may call back into interpreted code via [`Vm::call`].
+pub struct Vm<'k> {
+    /// The kernel this CPU belongs to.
+    pub kernel: &'k Kernel,
+    regs: [u64; 16],
+    flags: Flags,
+    tlb: Tlb,
+    cpu: usize,
+    stack_top: u64,
+    depth: u32,
+    insns_retired: u64,
+}
+
+impl<'k> Vm<'k> {
+    pub(crate) fn new(kernel: &'k Kernel, cpu: usize, stack_top: u64) -> Vm<'k> {
+        Vm {
+            kernel,
+            regs: [0; 16],
+            flags: Flags::default(),
+            tlb: Tlb::new(),
+            cpu,
+            stack_top,
+            depth: 0,
+            insns_retired: 0,
+        }
+    }
+
+    /// This CPU's id (the reclamation slot for `mr_start`/`mr_finish`).
+    pub fn cpu(&self) -> usize {
+        self.cpu
+    }
+
+    /// Total instructions retired by this CPU.
+    pub fn insns_retired(&self) -> u64 {
+        self.insns_retired
+    }
+
+    /// Read a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Write a register.
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.index() as usize] = v;
+    }
+
+    /// The n-th System-V argument register's value (n < 6).
+    pub fn arg(&self, n: usize) -> u64 {
+        self.reg(ARG_REGS[n])
+    }
+
+    /// Call interpreted code at `entry` with up to six arguments,
+    /// following the System-V convention. Returns `rax`.
+    ///
+    /// Reentrant: may be invoked from native handlers; the caller's
+    /// register file is saved and restored (except `rax`).
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] raised during execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than six arguments are supplied (the paper notes
+    /// no wrapped kernel function needs more, §3.4).
+    pub fn call(&mut self, entry: u64, args: &[u64]) -> Result<u64, VmError> {
+        assert!(args.len() <= 6, "System-V register args only");
+        let saved_regs = self.regs;
+        let saved_flags = self.flags;
+        if self.depth == 0 {
+            self.regs[Reg::Rsp.index() as usize] = self.stack_top;
+        }
+        for (i, &a) in args.iter().enumerate() {
+            self.set_reg(ARG_REGS[i], a);
+        }
+        self.depth += 1;
+        let start = (self.depth == 1).then(Instant::now);
+        // Push the sentinel return address and run to it.
+        let result = self
+            .push_u64(layout::RETURN_SENTINEL)
+            .map_err(VmError::from)
+            .and_then(|()| self.run(entry));
+        self.depth -= 1;
+        if let Some(t0) = start {
+            self.kernel.percpu.account(self.cpu, t0.elapsed());
+        }
+        let rax = self.reg(Reg::Rax);
+        self.regs = saved_regs;
+        self.flags = saved_flags;
+        self.set_reg(Reg::Rax, rax);
+        result.map(|()| rax)
+    }
+
+    fn run(&mut self, entry: u64) -> Result<(), VmError> {
+        let mut rip = entry;
+        let mut fuel = self.kernel.config.fuel;
+        loop {
+            if rip == layout::RETURN_SENTINEL {
+                return Ok(());
+            }
+            if layout::is_native(rip) {
+                let handler = self
+                    .kernel
+                    .symbols
+                    .native_at(rip)
+                    .ok_or(VmError::UnknownNative { va: rip })?;
+                let ret = handler(self)?;
+                self.set_reg(Reg::Rax, ret);
+                rip = self.pop_u64()?;
+                continue;
+            }
+            if fuel == 0 {
+                return Err(VmError::OutOfFuel { rip });
+            }
+            fuel -= 1;
+            self.insns_retired += 1;
+            let (insn, len) = self.fetch_decode(rip)?;
+            rip = self.step(rip, rip + len as u64, insn)?;
+        }
+    }
+
+    fn fetch_decode(&mut self, rip: u64) -> Result<(Insn, usize), VmError> {
+        let mut buf = [0u8; 16];
+        let mut got = 0usize;
+        while got < buf.len() {
+            let cur = rip + got as u64;
+            let off = page_offset(cur);
+            let n = (PAGE_SIZE - off).min(buf.len() - got);
+            let t = match self.translate(cur, Access::Exec) {
+                Ok(t) => t,
+                Err(_) if got > 0 => break, // short fetch at a mapping edge
+                Err(e) => return Err(e),
+            };
+            match t.pte.kind {
+                PteKind::Frame(pfn) => {
+                    self.kernel.phys.read(pfn, off, &mut buf[got..got + n]);
+                }
+                PteKind::Mmio { .. } => {
+                    return Err(VmError::Fault(Fault::MmioExec { va: cur }))
+                }
+            }
+            got += n;
+        }
+        decode(&buf[..got]).map_err(|err| VmError::Decode { rip, err })
+    }
+
+    fn translate(&mut self, va: u64, access: Access) -> Result<Translation, VmError> {
+        let space = &self.kernel.space;
+        let generation = space.generation();
+        let page_va = page_base(va);
+        if let Some(pte) = self.tlb.lookup(page_va, generation) {
+            pte.check(va, access)?;
+            return Ok(Translation { pte, page_va });
+        }
+        let t = space.translate(va, access)?;
+        self.tlb.insert(&t);
+        Ok(t)
+    }
+
+    /// Read `N ≤ 8` bytes of data at `va` (handles page crossings and
+    /// MMIO dispatch).
+    fn read_data(&mut self, va: u64, size: usize) -> Result<u64, VmError> {
+        debug_assert!(size <= 8);
+        let off = page_offset(va);
+        if off + size > PAGE_SIZE {
+            // Split access across the page boundary.
+            let first = PAGE_SIZE - off;
+            let lo = self.read_data(va, first)?;
+            let hi = self.read_data(va + first as u64, size - first)?;
+            return Ok(lo | (hi << (8 * first)));
+        }
+        let t = self.translate(va, Access::Read)?;
+        match t.pte.kind {
+            PteKind::Frame(pfn) => {
+                let mut buf = [0u8; 8];
+                self.kernel.phys.read(pfn, off, &mut buf[..size]);
+                Ok(u64::from_le_bytes(buf))
+            }
+            PteKind::Mmio { dev, page } => {
+                let dev = self
+                    .kernel
+                    .mmio
+                    .get(dev)
+                    .ok_or(VmError::Native(format!("MMIO read: no device {dev}")))?;
+                Ok(dev.mmio_read(page as u64 * PAGE_SIZE as u64 + off as u64, size))
+            }
+        }
+    }
+
+    fn write_data(&mut self, va: u64, value: u64, size: usize) -> Result<(), VmError> {
+        debug_assert!(size <= 8);
+        let off = page_offset(va);
+        if off + size > PAGE_SIZE {
+            let first = PAGE_SIZE - off;
+            self.write_data(va, value, first)?;
+            self.write_data(
+                va + first as u64,
+                value >> (8 * first),
+                size - first,
+            )?;
+            return Ok(());
+        }
+        let t = self.translate(va, Access::Write)?;
+        match t.pte.kind {
+            PteKind::Frame(pfn) => {
+                self.kernel
+                    .phys
+                    .write(pfn, off, &value.to_le_bytes()[..size]);
+                Ok(())
+            }
+            PteKind::Mmio { dev, page } => {
+                let dev = self
+                    .kernel
+                    .mmio
+                    .get(dev)
+                    .ok_or(VmError::Native(format!("MMIO write: no device {dev}")))?;
+                dev.mmio_write(page as u64 * PAGE_SIZE as u64 + off as u64, value, size);
+                Ok(())
+            }
+        }
+    }
+
+    /// Read a u64 at `va` through the MMU (public for native handlers).
+    ///
+    /// # Errors
+    ///
+    /// Translation faults.
+    pub fn read_u64(&mut self, va: u64) -> Result<u64, VmError> {
+        self.read_data(va, 8)
+    }
+
+    /// Write a u64 at `va` through the MMU (public for native handlers).
+    ///
+    /// # Errors
+    ///
+    /// Translation faults.
+    pub fn write_u64(&mut self, va: u64, v: u64) -> Result<(), VmError> {
+        self.write_data(va, v, 8)
+    }
+
+    /// Copy `len` bytes inside the simulated address space (the `memcpy`
+    /// native uses this; copies run at host speed like a real `rep movsb`).
+    ///
+    /// # Errors
+    ///
+    /// Translation faults on either range.
+    pub fn copy_bytes(&mut self, dst: u64, src: u64, len: usize) -> Result<(), VmError> {
+        // Page-at-a-time copy through the kernel's byte helpers.
+        let mut buf = vec![0u8; len.min(PAGE_SIZE)];
+        let mut done = 0;
+        while done < len {
+            let n = (len - done).min(buf.len());
+            self.kernel
+                .space
+                .read_bytes(&self.kernel.phys, src + done as u64, &mut buf[..n])?;
+            self.kernel
+                .space
+                .write_bytes(&self.kernel.phys, dst + done as u64, &buf[..n])?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Read a NUL-terminated string (for `printk`-style natives).
+    ///
+    /// # Errors
+    ///
+    /// Translation faults; strings are capped at 4 KiB.
+    pub fn read_cstr(&mut self, mut va: u64) -> Result<String, VmError> {
+        let mut out = Vec::new();
+        while out.len() < PAGE_SIZE {
+            let b = self.read_data(va, 1)? as u8;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+            va += 1;
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+
+    fn push_u64(&mut self, v: u64) -> Result<(), VmError> {
+        let rsp = self.reg(Reg::Rsp).wrapping_sub(8);
+        self.set_reg(Reg::Rsp, rsp);
+        self.write_data(rsp, v, 8)
+    }
+
+    fn pop_u64(&mut self) -> Result<u64, VmError> {
+        let rsp = self.reg(Reg::Rsp);
+        let v = self.read_data(rsp, 8)?;
+        self.set_reg(Reg::Rsp, rsp.wrapping_add(8));
+        Ok(v)
+    }
+
+    fn mem_addr(&mut self, m: Mem, next_rip: u64) -> u64 {
+        match m {
+            Mem::RipRel(d) => next_rip.wrapping_add(d as i64 as u64),
+            Mem::Base { base, disp } => self.reg(base).wrapping_add(disp as i64 as u64),
+        }
+    }
+
+    fn set_logic_flags(&mut self, result: u64) {
+        self.flags = Flags {
+            zf: result == 0,
+            sf: (result as i64) < 0,
+            cf: false,
+            of: false,
+        };
+    }
+
+    fn add_with_flags(&mut self, a: u64, b: u64) -> u64 {
+        let (r, c) = a.overflowing_add(b);
+        let o = ((a ^ r) & (b ^ r)) >> 63 != 0;
+        self.flags = Flags {
+            zf: r == 0,
+            sf: (r as i64) < 0,
+            cf: c,
+            of: o,
+        };
+        r
+    }
+
+    fn sub_with_flags(&mut self, a: u64, b: u64) -> u64 {
+        let (r, borrow) = a.overflowing_sub(b);
+        let o = ((a ^ b) & (a ^ r)) >> 63 != 0;
+        self.flags = Flags {
+            zf: r == 0,
+            sf: (r as i64) < 0,
+            cf: borrow,
+            of: o,
+        };
+        r
+    }
+
+    fn alu_apply(&mut self, op: AluOp, dst: u64, src: u64) -> Option<u64> {
+        match op {
+            AluOp::Add => Some(self.add_with_flags(dst, src)),
+            AluOp::Sub => Some(self.sub_with_flags(dst, src)),
+            AluOp::Cmp => {
+                self.sub_with_flags(dst, src);
+                None
+            }
+            AluOp::And => {
+                let r = dst & src;
+                self.set_logic_flags(r);
+                Some(r)
+            }
+            AluOp::Or => {
+                let r = dst | src;
+                self.set_logic_flags(r);
+                Some(r)
+            }
+            AluOp::Xor => {
+                let r = dst ^ src;
+                self.set_logic_flags(r);
+                Some(r)
+            }
+        }
+    }
+
+    fn cond(&self, c: Cond) -> bool {
+        let f = &self.flags;
+        match c {
+            Cond::E => f.zf,
+            Cond::Ne => !f.zf,
+            Cond::B => f.cf,
+            Cond::Ae => !f.cf,
+            Cond::Be => f.cf || f.zf,
+            Cond::A => !f.cf && !f.zf,
+            Cond::S => f.sf,
+            Cond::Ns => !f.sf,
+            Cond::L => f.sf != f.of,
+            Cond::Ge => f.sf == f.of,
+            Cond::Le => f.zf || (f.sf != f.of),
+            Cond::G => !f.zf && (f.sf == f.of),
+        }
+    }
+
+    /// Execute one instruction; returns the next `rip`.
+    fn step(&mut self, rip: u64, next: u64, insn: Insn) -> Result<u64, VmError> {
+        match insn {
+            Insn::Nop | Insn::Pause | Insn::Lfence => Ok(next),
+            Insn::Ret => self.pop_u64(),
+            Insn::Int3 => Err(VmError::Trap { rip, what: "int3" }),
+            Insn::Ud2 => Err(VmError::Trap { rip, what: "ud2" }),
+            Insn::Hlt => Err(VmError::Trap { rip, what: "hlt" }),
+            Insn::CallRel(d) => {
+                self.push_u64(next)?;
+                Ok(next.wrapping_add(d as i64 as u64))
+            }
+            Insn::JmpRel(d) => Ok(next.wrapping_add(d as i64 as u64)),
+            Insn::Jcc(c, d) => Ok(if self.cond(c) {
+                next.wrapping_add(d as i64 as u64)
+            } else {
+                next
+            }),
+            Insn::CallReg(r) => {
+                let target = self.reg(r);
+                self.push_u64(next)?;
+                Ok(target)
+            }
+            Insn::JmpReg(r) => Ok(self.reg(r)),
+            Insn::CallMem(m) => {
+                let addr = self.mem_addr(m, next);
+                let target = self.read_data(addr, 8)?;
+                self.push_u64(next)?;
+                Ok(target)
+            }
+            Insn::JmpMem(m) => {
+                let addr = self.mem_addr(m, next);
+                self.read_data(addr, 8).map(|t| t)
+            }
+            Insn::Push(r) => {
+                let v = self.reg(r);
+                self.push_u64(v)?;
+                Ok(next)
+            }
+            Insn::Pop(r) => {
+                let v = self.pop_u64()?;
+                self.set_reg(r, v);
+                Ok(next)
+            }
+            Insn::MovImm64(r, v) => {
+                self.set_reg(r, v);
+                Ok(next)
+            }
+            Insn::MovImm32(r, v) => {
+                self.set_reg(r, v as i64 as u64);
+                Ok(next)
+            }
+            Insn::MovRR { dst, src } => {
+                let v = self.reg(src);
+                self.set_reg(dst, v);
+                Ok(next)
+            }
+            Insn::MovLoad { dst, src } => {
+                let addr = self.mem_addr(src, next);
+                let v = self.read_data(addr, 8)?;
+                self.set_reg(dst, v);
+                Ok(next)
+            }
+            Insn::MovStore { dst, src } => {
+                let addr = self.mem_addr(dst, next);
+                let v = self.reg(src);
+                self.write_data(addr, v, 8)?;
+                Ok(next)
+            }
+            Insn::Lea { dst, addr } => {
+                let a = self.mem_addr(addr, next);
+                self.set_reg(dst, a);
+                Ok(next)
+            }
+            Insn::Alu { op, dst, src } => {
+                let (a, b) = (self.reg(dst), self.reg(src));
+                if let Some(r) = self.alu_apply(op, a, b) {
+                    self.set_reg(dst, r);
+                }
+                Ok(next)
+            }
+            Insn::AluImm { op, dst, imm } => {
+                let a = self.reg(dst);
+                if let Some(r) = self.alu_apply(op, a, imm as i64 as u64) {
+                    self.set_reg(dst, r);
+                }
+                Ok(next)
+            }
+            Insn::AluLoad { op, dst, src } => {
+                let addr = self.mem_addr(src, next);
+                let b = self.read_data(addr, 8)?;
+                let a = self.reg(dst);
+                if let Some(r) = self.alu_apply(op, a, b) {
+                    self.set_reg(dst, r);
+                }
+                Ok(next)
+            }
+            Insn::AluStore { op, dst, src } => {
+                let addr = self.mem_addr(dst, next);
+                let a = self.read_data(addr, 8)?;
+                let b = self.reg(src);
+                if let Some(r) = self.alu_apply(op, a, b) {
+                    self.write_data(addr, r, 8)?;
+                }
+                Ok(next)
+            }
+            Insn::Test(a, b) => {
+                let r = self.reg(a) & self.reg(b);
+                self.set_logic_flags(r);
+                Ok(next)
+            }
+            Insn::Imul { dst, src } => {
+                let r = self.reg(dst).wrapping_mul(self.reg(src));
+                self.set_logic_flags(r);
+                self.set_reg(dst, r);
+                Ok(next)
+            }
+            Insn::ShlImm(r, n) => {
+                let v = self.reg(r) << (n & 63);
+                self.set_logic_flags(v);
+                self.set_reg(r, v);
+                Ok(next)
+            }
+            Insn::ShrImm(r, n) => {
+                let v = self.reg(r) >> (n & 63);
+                self.set_logic_flags(v);
+                self.set_reg(r, v);
+                Ok(next)
+            }
+        }
+    }
+
+    /// TLB statistics for this CPU.
+    pub fn tlb_stats(&self) -> adelie_vmem::TlbStats {
+        self.tlb.stats()
+    }
+}
+
+impl fmt::Debug for Vm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vm")
+            .field("cpu", &self.cpu)
+            .field("insns_retired", &self.insns_retired)
+            .finish()
+    }
+}

@@ -1,0 +1,407 @@
+//! A small VFS with a page cache.
+//!
+//! Models the slice of the Linux I/O stack the paper's benchmarks
+//! exercise: cached reads (Fig. 5b's `dd` microbenchmark, Fig. 5c's
+//! sysbench `file_io` on RAM-cached files) and `O_DIRECT` reads that
+//! bypass the cache and go through the filesystem module's block mapping
+//! and the block driver on every request (Fig. 6's NVMe experiment).
+//!
+//! Layering on the uncached path, truest to the paper's setup:
+//! `vfs_read` → fs-module `map_block` (interpreted) → block-driver
+//! `read_block` wrapper (interpreted, re-randomizable) → device model.
+//! When no modules are loaded the VFS falls back to synthesizing block
+//! contents with [`disk_byte`], the same deterministic function device
+//! models use, so cached and direct paths always agree.
+
+use crate::exec::{Vm, VmError};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Disk sector size (NVMe-style 512 bytes; Fig. 6 reads single sectors).
+pub const SECTOR_SIZE: usize = 512;
+/// Page-cache granule.
+pub const CACHE_PAGE: usize = 4096;
+/// Sectors per cache page.
+pub const SECTORS_PER_PAGE: u64 = (CACHE_PAGE / SECTOR_SIZE) as u64;
+
+/// The deterministic content of a pristine disk sector: both the VFS
+/// fallback and device models use this, so every path returns identical
+/// bytes for unwritten data.
+pub fn disk_byte(lba: u64, off: usize) -> u8 {
+    (lba.wrapping_mul(0x9E37_79B9).wrapping_add(off as u64 * 7) >> 3) as u8
+}
+
+/// An on-"disk" file: a contiguous run of sectors.
+#[derive(Debug)]
+pub struct VfsFile {
+    /// File id (stable, used as the cache key).
+    pub id: u64,
+    /// Name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// First sector.
+    pub first_lba: u64,
+}
+
+#[derive(Debug)]
+struct OpenFile {
+    file: Arc<VfsFile>,
+    pos: u64,
+    direct: bool,
+}
+
+/// Cache hit/miss counters.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct CacheStats {
+    /// Page-cache hits.
+    pub hits: u64,
+    /// Page-cache misses (went to the block layer).
+    pub misses: u64,
+}
+
+/// The VFS: file table, open-file descriptors, page cache.
+pub struct Vfs {
+    files: RwLock<HashMap<String, Arc<VfsFile>>>,
+    open: RwLock<HashMap<u64, Arc<Mutex<OpenFile>>>>,
+    cache: RwLock<HashMap<(u64, u64), Arc<Vec<u8>>>>,
+    next_fd: AtomicU64,
+    next_lba: AtomicU64,
+    next_file_id: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Vfs {
+    /// Empty filesystem.
+    pub fn new() -> Vfs {
+        Vfs {
+            files: RwLock::new(HashMap::new()),
+            open: RwLock::new(HashMap::new()),
+            cache: RwLock::new(HashMap::new()),
+            next_fd: AtomicU64::new(3), // 0..2 reserved, like POSIX
+            next_lba: AtomicU64::new(64),
+            next_file_id: AtomicU64::new(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Create a file of `size` bytes (contents are the pristine-disk
+    /// pattern until written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name exists.
+    pub fn create(&self, name: &str, size: u64) -> Arc<VfsFile> {
+        let sectors = size.div_ceil(SECTOR_SIZE as u64).max(1);
+        // Align runs to cache pages so page-indexed caching is clean.
+        let sectors = sectors.next_multiple_of(SECTORS_PER_PAGE);
+        let first_lba = self.next_lba.fetch_add(sectors, Ordering::Relaxed);
+        let file = Arc::new(VfsFile {
+            id: self.next_file_id.fetch_add(1, Ordering::Relaxed),
+            name: name.to_string(),
+            size,
+            first_lba,
+        });
+        let prev = self.files.write().insert(name.to_string(), file.clone());
+        assert!(prev.is_none(), "file `{name}` already exists");
+        file
+    }
+
+    /// Look up a file.
+    pub fn stat(&self, name: &str) -> Option<Arc<VfsFile>> {
+        self.files.read().get(name).cloned()
+    }
+
+    /// Open a file; `direct` bypasses the page cache (`O_DIRECT|O_SYNC`).
+    ///
+    /// # Errors
+    ///
+    /// `None` if the file does not exist (callers map to `ENOENT`).
+    pub fn open(&self, name: &str, direct: bool) -> Option<u64> {
+        let file = self.stat(name)?;
+        let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
+        self.open.write().insert(
+            fd,
+            Arc::new(Mutex::new(OpenFile {
+                file,
+                pos: 0,
+                direct,
+            })),
+        );
+        Some(fd)
+    }
+
+    /// Close a descriptor. Returns whether it existed.
+    pub fn close(&self, fd: u64) -> bool {
+        self.open.write().remove(&fd).is_some()
+    }
+
+    fn handle(&self, fd: u64) -> Result<Arc<Mutex<OpenFile>>, VmError> {
+        self.open
+            .read()
+            .get(&fd)
+            .cloned()
+            .ok_or_else(|| VmError::Native(format!("bad fd {fd}")))
+    }
+
+    /// Sequential read at the descriptor's position.
+    ///
+    /// # Errors
+    ///
+    /// Bad descriptor, or faults while filling the caller's buffer.
+    pub fn read(&self, vm: &mut Vm<'_>, fd: u64, buf_va: u64, len: usize) -> Result<usize, VmError> {
+        let handle = self.handle(fd)?;
+        let (file, pos, direct) = {
+            let h = handle.lock();
+            (h.file.clone(), h.pos, h.direct)
+        };
+        let n = self.read_at(vm, &file, pos, buf_va, len, direct)?;
+        handle.lock().pos = pos + n as u64;
+        Ok(n)
+    }
+
+    /// Positional read (`pread`) — what Fig. 6's benchmark uses to hammer
+    /// the same 512-byte block.
+    ///
+    /// # Errors
+    ///
+    /// Bad descriptor, or faults while filling the caller's buffer.
+    pub fn pread(
+        &self,
+        vm: &mut Vm<'_>,
+        fd: u64,
+        buf_va: u64,
+        len: usize,
+        offset: u64,
+    ) -> Result<usize, VmError> {
+        let handle = self.handle(fd)?;
+        let (file, direct) = {
+            let h = handle.lock();
+            (h.file.clone(), h.direct)
+        };
+        self.read_at(vm, &file, offset, buf_va, len, direct)
+    }
+
+    /// Positional write. Cached mode writes to the page cache
+    /// (write-back, never flushed — the benchmarks only need read-your-
+    /// writes); direct mode goes through the block driver.
+    ///
+    /// # Errors
+    ///
+    /// Bad descriptor or faults reading the caller's buffer.
+    pub fn pwrite(
+        &self,
+        vm: &mut Vm<'_>,
+        fd: u64,
+        buf_va: u64,
+        len: usize,
+        offset: u64,
+    ) -> Result<usize, VmError> {
+        let handle = self.handle(fd)?;
+        let (file, direct) = {
+            let h = handle.lock();
+            (h.file.clone(), h.direct)
+        };
+        let len = len.min(file.size.saturating_sub(offset) as usize);
+        let mut data = vec![0u8; len];
+        vm.kernel
+            .space
+            .read_bytes(&vm.kernel.phys, buf_va, &mut data)?;
+        if direct {
+            if let Some(blk) = vm.kernel.devices.blkdev() {
+                if blk.write_block != 0 {
+                    // Sector-aligned direct writes only (like O_DIRECT).
+                    let bounce = vm.kernel.heap.kmalloc(
+                        &vm.kernel.space,
+                        &vm.kernel.phys,
+                        len.next_multiple_of(SECTOR_SIZE),
+                    );
+                    vm.kernel.space.write_bytes(&vm.kernel.phys, bounce, &data)?;
+                    let lba = self.map_block(vm, &file, offset / SECTOR_SIZE as u64)?;
+                    vm.call(
+                        blk.write_block,
+                        &[lba, bounce, (len / SECTOR_SIZE).max(1) as u64],
+                    )?;
+                    vm.kernel.heap.kfree(bounce);
+                    return Ok(len);
+                }
+            }
+        }
+        // Cached write: pull pages in, overlay the new bytes.
+        let mut done = 0usize;
+        while done < len {
+            let off = offset + done as u64;
+            let page_idx = off / CACHE_PAGE as u64;
+            let in_page = (off % CACHE_PAGE as u64) as usize;
+            let n = (CACHE_PAGE - in_page).min(len - done);
+            let page = self.page_in(vm, &file, page_idx)?;
+            let mut bytes = (*page).clone();
+            bytes[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
+            self.cache
+                .write()
+                .insert((file.id, page_idx), Arc::new(bytes));
+            done += n;
+        }
+        Ok(len)
+    }
+
+    /// Translate a file block index to an LBA, through the fs module if
+    /// one is registered (the ext4-analog interposition).
+    fn map_block(&self, vm: &mut Vm<'_>, file: &VfsFile, block_idx: u64) -> Result<u64, VmError> {
+        if let Some(fs) = vm.kernel.devices.fs_ops() {
+            vm.call(fs.map_block, &[file.first_lba, block_idx])
+        } else {
+            Ok(file.first_lba + block_idx)
+        }
+    }
+
+    /// Read one whole cache page's worth of sectors through the block
+    /// layer into a buffer.
+    fn read_page_from_disk(
+        &self,
+        vm: &mut Vm<'_>,
+        file: &VfsFile,
+        page_idx: u64,
+    ) -> Result<Vec<u8>, VmError> {
+        let lba0 = self.map_block(vm, file, page_idx * SECTORS_PER_PAGE)?;
+        if let Some(blk) = vm.kernel.devices.blkdev() {
+            let bounce = vm
+                .kernel
+                .heap
+                .kmalloc(&vm.kernel.space, &vm.kernel.phys, CACHE_PAGE);
+            vm.call(blk.read_block, &[lba0, bounce, SECTORS_PER_PAGE])?;
+            let mut out = vec![0u8; CACHE_PAGE];
+            vm.kernel
+                .space
+                .read_bytes(&vm.kernel.phys, bounce, &mut out)?;
+            vm.kernel.heap.kfree(bounce);
+            Ok(out)
+        } else {
+            // No block driver loaded: synthesize pristine content.
+            let mut out = vec![0u8; CACHE_PAGE];
+            for s in 0..SECTORS_PER_PAGE as usize {
+                let lba = lba0 + s as u64;
+                for i in 0..SECTOR_SIZE {
+                    out[s * SECTOR_SIZE + i] = disk_byte(lba, i);
+                }
+            }
+            Ok(out)
+        }
+    }
+
+    fn page_in(
+        &self,
+        vm: &mut Vm<'_>,
+        file: &Arc<VfsFile>,
+        page_idx: u64,
+    ) -> Result<Arc<Vec<u8>>, VmError> {
+        if let Some(page) = self.cache.read().get(&(file.id, page_idx)).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(page);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let bytes = Arc::new(self.read_page_from_disk(vm, file, page_idx)?);
+        self.cache
+            .write()
+            .insert((file.id, page_idx), bytes.clone());
+        Ok(bytes)
+    }
+
+    fn read_at(
+        &self,
+        vm: &mut Vm<'_>,
+        file: &Arc<VfsFile>,
+        offset: u64,
+        buf_va: u64,
+        len: usize,
+        direct: bool,
+    ) -> Result<usize, VmError> {
+        let len = len.min(file.size.saturating_sub(offset) as usize);
+        if len == 0 {
+            return Ok(0);
+        }
+        if direct {
+            // O_DIRECT: straight through the block layer, sector-aligned.
+            debug_assert_eq!(offset % SECTOR_SIZE as u64, 0, "O_DIRECT alignment");
+            let sectors = len.div_ceil(SECTOR_SIZE).max(1) as u64;
+            let lba = self.map_block(vm, file, offset / SECTOR_SIZE as u64)?;
+            if let Some(blk) = vm.kernel.devices.blkdev() {
+                vm.call(blk.read_block, &[lba, buf_va, sectors])?;
+            } else {
+                let mut out = vec![0u8; len];
+                for (i, b) in out.iter_mut().enumerate() {
+                    *b = disk_byte(lba + (i / SECTOR_SIZE) as u64, i % SECTOR_SIZE);
+                }
+                vm.kernel.space.write_bytes(&vm.kernel.phys, buf_va, &out)?;
+            }
+            return Ok(len);
+        }
+        // Cached path.
+        let mut done = 0usize;
+        while done < len {
+            let off = offset + done as u64;
+            let page_idx = off / CACHE_PAGE as u64;
+            let in_page = (off % CACHE_PAGE as u64) as usize;
+            let n = (CACHE_PAGE - in_page).min(len - done);
+            let page = self.page_in(vm, file, page_idx)?;
+            vm.kernel.space.write_bytes(
+                &vm.kernel.phys,
+                buf_va + done as u64,
+                &page[in_page..in_page + n],
+            )?;
+            done += n;
+        }
+        Ok(len)
+    }
+
+    /// Pre-populate the cache for a whole file (the paper caches files in
+    /// RAM before the Fig. 5b/5c experiments "to keep the results I/O
+    /// invariant").
+    ///
+    /// # Errors
+    ///
+    /// Propagates block-layer errors.
+    pub fn warm(&self, vm: &mut Vm<'_>, name: &str) -> Result<(), VmError> {
+        let file = self
+            .stat(name)
+            .ok_or_else(|| VmError::Native(format!("warm: no file `{name}`")))?;
+        let pages = file.size.div_ceil(CACHE_PAGE as u64);
+        for p in 0..pages {
+            self.page_in(vm, &file, p)?;
+        }
+        Ok(())
+    }
+
+    /// Drop the whole page cache (`echo 3 > drop_caches`).
+    pub fn drop_caches(&self) {
+        self.cache.write().clear();
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Vfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vfs")
+            .field("files", &self.files.read().len())
+            .field("cached_pages", &self.cache.read().len())
+            .field("stats", &self.cache_stats())
+            .finish()
+    }
+}

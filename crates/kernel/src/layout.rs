@@ -1,0 +1,110 @@
+//! Kernel virtual-address-space layout.
+//!
+//! The simulated machine resolves 57-bit virtual addresses (5-level
+//! paging, like recent Intel parts — the paper's §6 entropy arithmetic
+//! assumes this). Fixed kernel regions sit at the top of the space;
+//! everything below [`MODULE_CEILING`] is the randomization arena where
+//! PIC modules may land *anywhere* — the 64-bit KASLR the paper enables.
+//! The vanilla baseline instead confines modules to the 2 GiB
+//! [`LEGACY_MODULE_BASE`] window, reproducing mainline Linux's 32-bit
+//! KASLR limit (§1: "a paltry 2GB range").
+
+/// One past the highest canonical address (57-bit).
+pub const VA_TOP: u64 = 1 << 57;
+
+/// Legacy (vanilla Linux) module window: 2 GiB, reproducing the 32-bit
+/// KASLR range of mainline Linux on x86-64. The native ("kernel text")
+/// region is carved out of its top, mirroring Linux's top-2 GiB layout
+/// where modules and kernel text share one `call rel32`-reachable span.
+pub const LEGACY_MODULE_BASE: u64 = 0x01F0_0000_0000_0000;
+/// Size of the legacy window.
+pub const LEGACY_MODULE_SIZE: u64 = 2 << 30;
+
+/// Native-dispatch region: "kernel text". Interpreted code calling an
+/// address here traps into a registered Rust function — the analog of a
+/// module calling an exported kernel symbol.
+pub const NATIVE_BASE: u64 = LEGACY_MODULE_BASE + LEGACY_MODULE_SIZE - NATIVE_SIZE;
+/// Size of the native region.
+pub const NATIVE_SIZE: u64 = 16 << 20; // 16 MiB of symbol slots
+
+/// The sentinel return address pushed before entering module code; when
+/// `ret` lands here the interpreter stops.
+pub const RETURN_SENTINEL: u64 = 0x01EF_FFFF_FFFF_F000;
+
+/// kmalloc heap.
+pub const HEAP_BASE: u64 = 0x01E0_0000_0000_0000;
+
+/// Per-thread kernel stacks (the *non*-re-randomized ones; Adelie's
+/// randomized stacks are drawn from the full arena by `adelie-core`).
+pub const STACK_BASE: u64 = 0x01D0_0000_0000_0000;
+
+/// MMIO window; each device gets a [`MMIO_BAR_SIZE`] aperture.
+pub const MMIO_BASE: u64 = 0x01B0_0000_0000_0000;
+/// Per-device MMIO aperture.
+pub const MMIO_BAR_SIZE: u64 = 1 << 20;
+
+/// Exclusive upper bound for randomized module placement: everything
+/// below this is the 64-bit KASLR arena.
+pub const MODULE_CEILING: u64 = 0x01A0_0000_0000_0000;
+
+/// Whether `va` falls in the native-dispatch ("kernel text") region.
+pub fn is_native(va: u64) -> bool {
+    (NATIVE_BASE..NATIVE_BASE + NATIVE_SIZE).contains(&va)
+}
+
+/// log2 of the number of page-aligned module bases in the PIC arena —
+/// the entropy an attacker must brute-force under Adelie (paper §6 says
+/// 2^44 page-aligned guesses for a 56-bit kernel half).
+pub fn pic_entropy_bits() -> u32 {
+    // MODULE_CEILING ≈ 2^56.7; count page-aligned slots.
+    (MODULE_CEILING as f64).log2() as u32 - 12
+}
+
+/// log2 of the number of page-aligned module bases in the legacy window
+/// (paper §6: 2^(31-12) = 2^19 for Shuffler/CodeArmor-style 32-bit
+/// offsets).
+pub fn legacy_entropy_bits() -> u32 {
+    (LEGACY_MODULE_SIZE.trailing_zeros()) - 12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_canonical() {
+        let regions = [
+            (LEGACY_MODULE_BASE, LEGACY_MODULE_SIZE), // contains NATIVE
+            (HEAP_BASE, 0x1000_0000),
+            (STACK_BASE, 0x1000_0000),
+            (MMIO_BASE, MMIO_BAR_SIZE * 64),
+        ];
+        for (i, &(base, size)) in regions.iter().enumerate() {
+            assert!(base + size <= VA_TOP, "region {i} exceeds canonical space");
+            assert!(base >= MODULE_CEILING, "region {i} overlaps module arena");
+            for &(b2, s2) in &regions[i + 1..] {
+                assert!(base + size <= b2 || b2 + s2 <= base, "regions overlap");
+            }
+        }
+        assert!(is_native(NATIVE_BASE));
+        assert!(!is_native(NATIVE_BASE - 1));
+        assert!(!is_native(RETURN_SENTINEL));
+        // The native carve-out sits at the very top of the legacy window
+        // so every legacy module reaches kernel text with `call rel32`.
+        assert_eq!(
+            NATIVE_BASE + NATIVE_SIZE,
+            LEGACY_MODULE_BASE + LEGACY_MODULE_SIZE
+        );
+        let worst = (NATIVE_BASE + NATIVE_SIZE - 1) - LEGACY_MODULE_BASE;
+        assert!(worst <= i32::MAX as u64, "rel32 reach from legacy modules");
+    }
+
+    #[test]
+    fn entropy_gap_matches_paper_shape() {
+        // Paper §6: PIC gives ~2^44 page-aligned candidates vs 2^19 for
+        // 32-bit schemes — a ~25-bit entropy gap.
+        assert_eq!(legacy_entropy_bits(), 19);
+        assert!(pic_entropy_bits() >= 43);
+        assert!(pic_entropy_bits() - legacy_entropy_bits() >= 24);
+    }
+}

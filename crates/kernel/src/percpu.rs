@@ -1,0 +1,139 @@
+//! Per-CPU bookkeeping: thread→CPU assignment and CPU-time accounting.
+//!
+//! Like Linux, any thread may enter the kernel; each OS thread is pinned
+//! to a simulated CPU on first entry (round-robin). Busy time is
+//! accumulated per CPU so benchmarks can report utilization over a
+//! modeled `cpus`-core machine, the way the paper's figures report "CPU
+//! usage across all 20 cores".
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static CPU_ID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Per-CPU state holder.
+pub struct PerCpu {
+    cpus: usize,
+    next: AtomicUsize,
+    busy_ns: Vec<AtomicU64>,
+    boot: Instant,
+}
+
+impl PerCpu {
+    /// Create state for a machine with `cpus` simulated CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero.
+    pub fn new(cpus: usize) -> PerCpu {
+        assert!(cpus > 0);
+        PerCpu {
+            cpus,
+            next: AtomicUsize::new(0),
+            busy_ns: (0..cpus).map(|_| AtomicU64::new(0)).collect(),
+            boot: Instant::now(),
+        }
+    }
+
+    /// Number of simulated CPUs.
+    pub fn cpus(&self) -> usize {
+        self.cpus
+    }
+
+    /// The calling thread's CPU id, assigned round-robin on first use.
+    pub fn current(&self) -> usize {
+        CPU_ID.with(|c| {
+            if let Some(id) = c.get() {
+                return id;
+            }
+            let id = self.next.fetch_add(1, Ordering::Relaxed) % self.cpus;
+            c.set(Some(id));
+            id
+        })
+    }
+
+    /// Pin the calling thread to a specific CPU (benchmark setup).
+    pub fn pin(&self, cpu: usize) {
+        assert!(cpu < self.cpus);
+        CPU_ID.with(|c| c.set(Some(cpu)));
+    }
+
+    /// Account `busy` time to `cpu`.
+    pub fn account(&self, cpu: usize, busy: Duration) {
+        self.busy_ns[cpu].fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total busy nanoseconds across all CPUs.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy_ns.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Utilization (0..=1 per CPU, so 0..=cpus overall is normalized to
+    /// 0..=1) of the modeled machine between `since_busy_ns` (a previous
+    /// [`PerCpu::total_busy_ns`] reading) and now, over `wall` seconds.
+    pub fn usage_since(&self, since_busy_ns: u64, wall: Duration) -> f64 {
+        let busy = self.total_busy_ns().saturating_sub(since_busy_ns) as f64 / 1e9;
+        let capacity = wall.as_secs_f64() * self.cpus as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (busy / capacity).min(1.0)
+        }
+    }
+
+    /// Seconds since boot (jiffies analog).
+    pub fn uptime(&self) -> Duration {
+        self.boot.elapsed()
+    }
+}
+
+impl std::fmt::Debug for PerCpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerCpu")
+            .field("cpus", &self.cpus)
+            .field("total_busy_ns", &self.total_busy_ns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_sticky() {
+        let p = PerCpu::new(4);
+        let a = p.current();
+        let b = p.current();
+        assert_eq!(a, b, "same thread keeps its CPU");
+    }
+
+    #[test]
+    fn accounting_and_usage() {
+        let p = PerCpu::new(2);
+        p.account(0, Duration::from_millis(10));
+        p.account(1, Duration::from_millis(10));
+        // 20ms busy over 10ms wall on 2 CPUs = 100% usage.
+        let u = p.usage_since(0, Duration::from_millis(10));
+        assert!((u - 1.0).abs() < 1e-9);
+        // Over 100ms wall: 10%.
+        let u = p.usage_since(0, Duration::from_millis(100));
+        assert!((u - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_cpus() {
+        let p = std::sync::Arc::new(PerCpu::new(8));
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            let p = p.clone();
+            ids.push(std::thread::spawn(move || p.current()).join().unwrap());
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+}

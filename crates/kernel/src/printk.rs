@@ -1,0 +1,84 @@
+//! The kernel log (`printk`/dmesg analog).
+
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Ring buffer of kernel log lines with boot-relative timestamps,
+/// mirroring dmesg (the artifact appendix's re-randomization statistics
+/// are read from here).
+pub struct Printk {
+    boot: Instant,
+    lines: Mutex<Vec<(f64, String)>>,
+    echo: bool,
+}
+
+impl Printk {
+    /// Create a log; `echo` mirrors lines to stderr as they arrive.
+    pub fn new(echo: bool) -> Printk {
+        Printk {
+            boot: Instant::now(),
+            lines: Mutex::new(Vec::new()),
+            echo,
+        }
+    }
+
+    /// Append a line.
+    pub fn log(&self, msg: impl Into<String>) {
+        let t = self.boot.elapsed().as_secs_f64();
+        let msg = msg.into();
+        if self.echo {
+            eprintln!("[{t:>10.6}] {msg}");
+        }
+        self.lines.lock().push((t, msg));
+    }
+
+    /// All lines, dmesg-formatted.
+    pub fn dmesg(&self) -> String {
+        self.lines
+            .lock()
+            .iter()
+            .map(|(t, m)| format!("[{t:>10.6}] {m}\n"))
+            .collect()
+    }
+
+    /// Lines containing `needle` (test helper).
+    pub fn grep(&self, needle: &str) -> Vec<String> {
+        self.lines
+            .lock()
+            .iter()
+            .filter(|(_, m)| m.contains(needle))
+            .map(|(_, m)| m.clone())
+            .collect()
+    }
+
+    /// Number of lines logged.
+    pub fn len(&self) -> usize {
+        self.lines.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lines.lock().is_empty()
+    }
+}
+
+impl std::fmt::Debug for Printk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Printk").field("lines", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_and_grep() {
+        let p = Printk::new(false);
+        p.log("Randomize: kthread started");
+        p.log("Randomized 53 times");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.grep("Randomized").len(), 1);
+        assert!(p.dmesg().contains("kthread started"));
+    }
+}

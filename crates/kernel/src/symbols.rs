@@ -1,0 +1,166 @@
+//! The kernel symbol table (kallsyms analog) and native-function registry.
+//!
+//! Exported kernel API (kmalloc, printk, the `mr_*` reclamation calls,
+//! …) is implemented as native Rust functions. Each registration assigns
+//! a virtual address inside the native-dispatch region
+//! ([`crate::layout::NATIVE_BASE`]); module GOT entries hold those
+//! addresses, and the interpreter traps calls into the region back to
+//! the registered closure — exactly how a module's GOT slot holds the
+//! address of a kernel text symbol on real hardware.
+
+use crate::exec::{Vm, VmError};
+use crate::layout;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A native (kernel-implemented) function callable from module code.
+///
+/// Receives the interpreter so it can access registers, memory, and the
+/// kernel; returns the value placed in `rax`.
+pub type NativeFn = dyn Fn(&mut Vm<'_>) -> Result<u64, VmError> + Send + Sync;
+
+/// The kernel symbol table.
+pub struct SymbolTable {
+    by_name: RwLock<HashMap<String, u64>>,
+    natives: RwLock<HashMap<u64, Arc<NativeFn>>>,
+    next_native: AtomicU64,
+}
+
+impl SymbolTable {
+    /// Empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable {
+            by_name: RwLock::new(HashMap::new()),
+            natives: RwLock::new(HashMap::new()),
+            next_native: AtomicU64::new(layout::NATIVE_BASE),
+        }
+    }
+
+    /// Register a native function under `name`; returns its assigned
+    /// kernel-text address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already bound (kernel symbols are unique).
+    pub fn register_native(
+        &self,
+        name: &str,
+        f: impl Fn(&mut Vm<'_>) -> Result<u64, VmError> + Send + Sync + 'static,
+    ) -> u64 {
+        // 16-byte spacing: keeps addresses distinct and "function-like".
+        let va = self.next_native.fetch_add(16, Ordering::Relaxed);
+        assert!(va < layout::NATIVE_BASE + layout::NATIVE_SIZE);
+        let prev = self.by_name.write().insert(name.to_string(), va);
+        assert!(prev.is_none(), "kernel symbol `{name}` registered twice");
+        self.natives.write().insert(va, Arc::new(f));
+        va
+    }
+
+    /// Bind `name` to an arbitrary address (used for module exports that
+    /// other modules import, like real inter-module symbols).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rebinding an existing name to a *different* address.
+    pub fn define(&self, name: &str, va: u64) {
+        let mut map = self.by_name.write();
+        if let Some(&old) = map.get(name) {
+            assert_eq!(old, va, "symbol `{name}` rebound to a new address");
+            return;
+        }
+        map.insert(name.to_string(), va);
+    }
+
+    /// Remove a binding (module unload).
+    pub fn undefine(&self, name: &str) {
+        self.by_name.write().remove(name);
+    }
+
+    /// Resolve a name to its address.
+    pub fn lookup(&self, name: &str) -> Option<u64> {
+        self.by_name.read().get(name).copied()
+    }
+
+    /// Resolve a native-region address to its handler.
+    pub fn native_at(&self, va: u64) -> Option<Arc<NativeFn>> {
+        self.natives.read().get(&va).cloned()
+    }
+
+    /// Number of registered symbols.
+    pub fn len(&self) -> usize {
+        self.by_name.read().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.read().is_empty()
+    }
+
+    /// Snapshot of all `(name, address)` pairs (kallsyms dump).
+    pub fn dump(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .by_name
+            .read()
+            .iter()
+            .map(|(k, &a)| (k.clone(), a))
+            .collect();
+        v.sort_by_key(|(_, a)| *a);
+        v
+    }
+}
+
+impl Default for SymbolTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolTable")
+            .field("symbols", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let t = SymbolTable::new();
+        let va = t.register_native("kmalloc", |_vm| Ok(0));
+        assert!(layout::is_native(va));
+        assert_eq!(t.lookup("kmalloc"), Some(va));
+        assert!(t.native_at(va).is_some());
+        assert_eq!(t.lookup("missing"), None);
+    }
+
+    #[test]
+    fn addresses_are_distinct() {
+        let t = SymbolTable::new();
+        let a = t.register_native("a", |_| Ok(0));
+        let b = t.register_native("b", |_| Ok(0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_native_panics() {
+        let t = SymbolTable::new();
+        t.register_native("x", |_| Ok(0));
+        t.register_native("x", |_| Ok(0));
+    }
+
+    #[test]
+    fn define_and_undefine() {
+        let t = SymbolTable::new();
+        t.define("module_export", 0x1234_0000);
+        assert_eq!(t.lookup("module_export"), Some(0x1234_0000));
+        t.undefine("module_export");
+        assert_eq!(t.lookup("module_export"), None);
+    }
+}

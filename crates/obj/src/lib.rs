@@ -1,0 +1,683 @@
+//! # adelie-obj — the relocatable module object format
+//!
+//! Adelie keeps Linux's *relocatable* module format and adapts it for PIC
+//! (paper §4.1): relocations are finalized only at load time, which gives
+//! the loader the flexibility to build GOTs and PLTs, patch local
+//! references (Fig. 4), and split the module into movable and immovable
+//! parts (Fig. 2b). This crate is the ELF-`.ko` analog:
+//!
+//! * [`SectionKind`] — `.text` (movable code), `.fixed.text` (immovable
+//!   wrappers), `.data`, `.rodata` (immovable, §4.2), `.bss`,
+//! * [`Symbol`] — defined (section + offset) or undefined (a kernel
+//!   import, what `nm` would print as `U`),
+//! * [`Reloc`] — PC32 / PLT32 / GOTPCREL / ABS64 / ABS32S records
+//!   produced from assembler fixups,
+//! * [`ObjectBuilder`] — assembles functions and data into an
+//!   [`ObjectFile`].
+//!
+//! # Example
+//!
+//! ```
+//! use adelie_isa::{Asm, Reg};
+//! use adelie_obj::{ObjectBuilder, SectionKind, Binding};
+//!
+//! let mut b = ObjectBuilder::new("demo");
+//! let mut f = Asm::new();
+//! f.call_got("kmalloc");   // undefined → kernel import
+//! f.ret();
+//! b.add_function("demo_init", &f, SectionKind::Text, Binding::Global)?;
+//! let obj = b.finish();
+//! assert!(obj.undefined_symbols().any(|s| s.name == "kmalloc"));
+//! # Ok::<(), adelie_obj::ObjError>(())
+//! ```
+
+use adelie_isa::{Asm, AsmError};
+pub use adelie_isa::FixupKind as RelocKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The five section kinds a re-randomizable module uses (paper Fig. 2b).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SectionKind {
+    /// Movable code.
+    Text,
+    /// Immovable code: the kernel-facing wrappers (`.fixed.text`).
+    FixedText,
+    /// Movable initialized data.
+    Data,
+    /// Immovable read-only data (string literals handed to the kernel).
+    Rodata,
+    /// Movable zero-initialized data.
+    Bss,
+}
+
+impl SectionKind {
+    /// All section kinds in layout order.
+    pub const ALL: [SectionKind; 5] = [
+        SectionKind::Text,
+        SectionKind::FixedText,
+        SectionKind::Data,
+        SectionKind::Rodata,
+        SectionKind::Bss,
+    ];
+
+    /// Whether the section belongs to the *movable* part of the module —
+    /// the part the re-randomizer relocates (paper §4.2 keeps
+    /// `.fixed.text` and `.rodata` immovable).
+    pub fn is_movable(self) -> bool {
+        matches!(
+            self,
+            SectionKind::Text | SectionKind::Data | SectionKind::Bss
+        )
+    }
+
+    /// Whether the section holds executable code.
+    pub fn is_code(self) -> bool {
+        matches!(self, SectionKind::Text | SectionKind::FixedText)
+    }
+
+    /// Conventional name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::Text => ".text",
+            SectionKind::FixedText => ".fixed.text",
+            SectionKind::Data => ".data",
+            SectionKind::Rodata => ".rodata",
+            SectionKind::Bss => ".bss",
+        }
+    }
+}
+
+impl fmt::Display for SectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Symbol binding.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Binding {
+    /// Visible only within the module (a `static` function).
+    Local,
+    /// Visible to the linker across the module boundary.
+    Global,
+}
+
+/// Where a symbol is defined.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SymbolDef {
+    /// Inside this object, at `offset` within `section`.
+    Defined {
+        /// Containing section.
+        section: SectionKind,
+        /// Byte offset within the section.
+        offset: usize,
+    },
+    /// Imported — resolved against the kernel symbol table at load time
+    /// (what the paper calls addresses "marked as U (undefined)").
+    Undefined,
+}
+
+/// A symbol-table entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Definition site.
+    pub def: SymbolDef,
+    /// Binding.
+    pub binding: Binding,
+}
+
+impl Symbol {
+    /// Whether the symbol is defined in this object.
+    pub fn is_defined(&self) -> bool {
+        matches!(self.def, SymbolDef::Defined { .. })
+    }
+}
+
+/// A relocation record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Reloc {
+    /// Byte offset of the field within its section.
+    pub offset: usize,
+    /// Relocation kind.
+    pub kind: RelocKind,
+    /// Target symbol name.
+    pub symbol: String,
+    /// Addend.
+    pub addend: i64,
+}
+
+/// A section: bytes plus relocations.
+#[derive(Clone, Default, Debug)]
+pub struct Section {
+    /// Contents (empty for `.bss`).
+    pub bytes: Vec<u8>,
+    /// Size in bytes (≥ `bytes.len()`; larger only for `.bss`).
+    pub size: usize,
+    /// Relocations against this section.
+    pub relocs: Vec<Reloc>,
+}
+
+/// Errors from [`ObjectBuilder`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ObjError {
+    /// The assembler failed (bad labels).
+    Asm(AsmError),
+    /// A symbol was defined twice.
+    DuplicateSymbol(String),
+    /// Data added to `.bss` must be all-zero.
+    NonZeroBss(String),
+}
+
+impl fmt::Display for ObjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjError::Asm(e) => write!(f, "assembly failed: {e}"),
+            ObjError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            ObjError::NonZeroBss(s) => write!(f, "non-zero bytes for .bss symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+impl From<AsmError> for ObjError {
+    fn from(e: AsmError) -> Self {
+        ObjError::Asm(e)
+    }
+}
+
+/// A relocatable module object — the `.ko` analog.
+#[derive(Clone, Debug)]
+pub struct ObjectFile {
+    /// Module name.
+    pub name: String,
+    /// Sections by kind.
+    pub sections: BTreeMap<SectionKind, Section>,
+    /// Symbol table.
+    pub symbols: Vec<Symbol>,
+    /// Names of symbols exported to the kernel (the module's interface:
+    /// init/exit entry points, registered ops, …).
+    pub exports: Vec<String>,
+    /// Module init entry point (called at load).
+    pub init: Option<String>,
+    /// Module exit entry point (called at unload).
+    pub exit: Option<String>,
+    /// Optional callback the re-randomizer invokes after each move so the
+    /// module can refresh run-time function pointers (paper §4.2).
+    pub update_pointers: Option<String>,
+}
+
+impl ObjectFile {
+    /// Look up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// The section of the given kind (empty section if never populated).
+    pub fn section(&self, kind: SectionKind) -> Option<&Section> {
+        self.sections.get(&kind)
+    }
+
+    /// Iterate over imported (undefined) symbols.
+    pub fn undefined_symbols(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter().filter(|s| !s.is_defined())
+    }
+
+    /// Iterate over defined symbols in a given section.
+    pub fn symbols_in(&self, kind: SectionKind) -> impl Iterator<Item = (&Symbol, usize)> {
+        self.symbols.iter().filter_map(move |s| match s.def {
+            SymbolDef::Defined { section, offset } if section == kind => Some((s, offset)),
+            _ => None,
+        })
+    }
+
+    /// Total bytes of section payload (the non-GOT part of the module's
+    /// memory footprint, Fig. 5a).
+    pub fn payload_size(&self) -> usize {
+        self.sections.values().map(|s| s.size).sum()
+    }
+
+    /// Count relocations of each kind (used by the Fig. 5a/§4.1 GOT
+    /// pressure accounting).
+    pub fn reloc_histogram(&self) -> BTreeMap<RelocKind, usize> {
+        let mut h = BTreeMap::new();
+        for s in self.sections.values() {
+            for r in &s.relocs {
+                *h.entry(r.kind).or_insert(0) += 1;
+            }
+        }
+        h
+    }
+}
+
+impl fmt::Display for ObjectFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} ({} bytes)", self.name, self.payload_size())?;
+        for (kind, sec) in &self.sections {
+            writeln!(
+                f,
+                "  {:<12} {:6} bytes, {:3} relocs",
+                kind.name(),
+                sec.size,
+                sec.relocs.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Incrementally builds an [`ObjectFile`].
+#[derive(Debug)]
+pub struct ObjectBuilder {
+    name: String,
+    sections: BTreeMap<SectionKind, Section>,
+    symbols: Vec<Symbol>,
+    exports: Vec<String>,
+    init: Option<String>,
+    exit: Option<String>,
+    update_pointers: Option<String>,
+}
+
+/// Code alignment for function entries.
+const FUNC_ALIGN: usize = 16;
+/// Data object alignment.
+const DATA_ALIGN: usize = 8;
+
+impl ObjectBuilder {
+    /// Start building a module named `name`.
+    pub fn new(name: &str) -> ObjectBuilder {
+        ObjectBuilder {
+            name: name.to_string(),
+            sections: BTreeMap::new(),
+            symbols: Vec::new(),
+            exports: Vec::new(),
+            init: None,
+            exit: None,
+            update_pointers: None,
+        }
+    }
+
+    /// Declare the init entry point (must also be exported).
+    pub fn set_init(&mut self, name: &str) {
+        self.init = Some(name.to_string());
+    }
+
+    /// Declare the exit entry point (must also be exported).
+    pub fn set_exit(&mut self, name: &str) {
+        self.exit = Some(name.to_string());
+    }
+
+    /// Declare the pointer-refresh callback the re-randomizer calls.
+    pub fn set_update_pointers(&mut self, name: &str) {
+        self.update_pointers = Some(name.to_string());
+    }
+
+    fn section_mut(&mut self, kind: SectionKind) -> &mut Section {
+        self.sections.entry(kind).or_default()
+    }
+
+    fn define(&mut self, name: &str, def: SymbolDef, binding: Binding) -> Result<(), ObjError> {
+        if self.symbols.iter().any(|s| s.name == name && s.is_defined()) {
+            return Err(ObjError::DuplicateSymbol(name.to_string()));
+        }
+        // Upgrade a previously-recorded undefined reference.
+        if let Some(existing) = self
+            .symbols
+            .iter_mut()
+            .find(|s| s.name == name && !s.is_defined())
+        {
+            existing.def = def;
+            existing.binding = binding;
+            return Ok(());
+        }
+        self.symbols.push(Symbol {
+            name: name.to_string(),
+            def,
+            binding,
+        });
+        Ok(())
+    }
+
+    fn align(&mut self, kind: SectionKind, align: usize) {
+        let sec = self.section_mut(kind);
+        let pad = (align - sec.size % align) % align;
+        if kind != SectionKind::Bss {
+            // Pad code with int3 (trap on stray execution), data with 0.
+            let fill = if kind.is_code() { 0xCC } else { 0x00 };
+            sec.bytes.extend(std::iter::repeat(fill).take(pad));
+        }
+        sec.size += pad;
+    }
+
+    /// Assemble `asm` and place it in `section` under symbol `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjError::Asm`] for unresolved labels, or
+    /// [`ObjError::DuplicateSymbol`].
+    pub fn add_function(
+        &mut self,
+        name: &str,
+        asm: &Asm,
+        section: SectionKind,
+        binding: Binding,
+    ) -> Result<(), ObjError> {
+        debug_assert!(section.is_code(), "functions belong in code sections");
+        let out = asm.assemble()?;
+        self.align(section, FUNC_ALIGN);
+        let base = self.section_mut(section).size;
+        self.define(
+            name,
+            SymbolDef::Defined {
+                section,
+                offset: base,
+            },
+            binding,
+        )?;
+        let referenced: Vec<String> = out.fixups.iter().map(|f| f.symbol.clone()).collect();
+        {
+            let sec = self.section_mut(section);
+            sec.bytes.extend_from_slice(&out.bytes);
+            sec.size += out.bytes.len();
+            for fx in out.fixups {
+                sec.relocs.push(Reloc {
+                    offset: base + fx.offset,
+                    kind: fx.kind,
+                    symbol: fx.symbol,
+                    addend: fx.addend,
+                });
+            }
+        }
+        for sym in referenced {
+            self.reference(&sym);
+        }
+        Ok(())
+    }
+
+    /// Add a data object with initialized bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjError::DuplicateSymbol`]; [`ObjError::NonZeroBss`] for
+    /// non-zero `.bss` contents.
+    pub fn add_data(
+        &mut self,
+        name: &str,
+        bytes: &[u8],
+        section: SectionKind,
+        binding: Binding,
+    ) -> Result<(), ObjError> {
+        debug_assert!(!section.is_code(), "data belongs in data sections");
+        if section == SectionKind::Bss && bytes.iter().any(|&b| b != 0) {
+            return Err(ObjError::NonZeroBss(name.to_string()));
+        }
+        self.align(section, DATA_ALIGN);
+        let base = self.section_mut(section).size;
+        self.define(
+            name,
+            SymbolDef::Defined {
+                section,
+                offset: base,
+            },
+            binding,
+        )?;
+        let sec = self.section_mut(section);
+        if section != SectionKind::Bss {
+            sec.bytes.extend_from_slice(bytes);
+        }
+        sec.size += bytes.len();
+        Ok(())
+    }
+
+    /// Add a data object assembled from a data DSL stream (for
+    /// function-pointer tables: use [`Asm::quad_sym`] per entry, which
+    /// becomes an ABS64 relocation — the kind of static data the paper's
+    /// §6 "Address Hijacking" analysis discusses).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ObjectBuilder::add_function`].
+    pub fn add_data_asm(
+        &mut self,
+        name: &str,
+        asm: &Asm,
+        section: SectionKind,
+        binding: Binding,
+    ) -> Result<(), ObjError> {
+        debug_assert!(!section.is_code());
+        let out = asm.assemble()?;
+        self.align(section, DATA_ALIGN);
+        let base = self.section_mut(section).size;
+        self.define(
+            name,
+            SymbolDef::Defined {
+                section,
+                offset: base,
+            },
+            binding,
+        )?;
+        let referenced: Vec<String> = out.fixups.iter().map(|f| f.symbol.clone()).collect();
+        {
+            let sec = self.section_mut(section);
+            sec.bytes.extend_from_slice(&out.bytes);
+            sec.size += out.bytes.len();
+            for fx in out.fixups {
+                sec.relocs.push(Reloc {
+                    offset: base + fx.offset,
+                    kind: fx.kind,
+                    symbol: fx.symbol,
+                    addend: fx.addend,
+                });
+            }
+        }
+        for sym in referenced {
+            self.reference(&sym);
+        }
+        Ok(())
+    }
+
+    /// Reserve `len` zeroed bytes in `.bss` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjError::DuplicateSymbol`].
+    pub fn add_bss(&mut self, name: &str, len: usize, binding: Binding) -> Result<(), ObjError> {
+        self.align(SectionKind::Bss, DATA_ALIGN);
+        let base = self.section_mut(SectionKind::Bss).size;
+        self.define(
+            name,
+            SymbolDef::Defined {
+                section: SectionKind::Bss,
+                offset: base,
+            },
+            binding,
+        )?;
+        self.section_mut(SectionKind::Bss).size += len;
+        Ok(())
+    }
+
+    /// Record that `name` is referenced; creates an undefined entry if it
+    /// is not (yet) defined here.
+    pub fn reference(&mut self, name: &str) {
+        if !self.symbols.iter().any(|s| s.name == name) {
+            self.symbols.push(Symbol {
+                name: name.to_string(),
+                def: SymbolDef::Undefined,
+                binding: Binding::Global,
+            });
+        }
+    }
+
+    /// Mark a defined symbol as exported to the kernel.
+    pub fn export(&mut self, name: &str) {
+        if !self.exports.iter().any(|e| e == name) {
+            self.exports.push(name.to_string());
+        }
+    }
+
+    /// Finish and return the object.
+    pub fn finish(self) -> ObjectFile {
+        ObjectFile {
+            name: self.name,
+            sections: self.sections,
+            symbols: self.symbols,
+            exports: self.exports,
+            init: self.init,
+            exit: self.exit,
+            update_pointers: self.update_pointers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adelie_isa::Reg;
+
+    fn simple_fn() -> Asm {
+        let mut a = Asm::new();
+        a.mov_imm32(Reg::Rax, 7);
+        a.ret();
+        a
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let mut b = ObjectBuilder::new("m");
+        b.add_function("f", &simple_fn(), SectionKind::Text, Binding::Global)
+            .unwrap();
+        b.add_data("tbl", &[1, 2, 3, 4], SectionKind::Data, Binding::Local)
+            .unwrap();
+        b.export("f");
+        let obj = b.finish();
+        let f = obj.symbol("f").unwrap();
+        assert_eq!(
+            f.def,
+            SymbolDef::Defined {
+                section: SectionKind::Text,
+                offset: 0
+            }
+        );
+        assert_eq!(obj.exports, vec!["f".to_string()]);
+        assert_eq!(obj.section(SectionKind::Data).unwrap().size, 4);
+    }
+
+    #[test]
+    fn functions_are_aligned() {
+        let mut b = ObjectBuilder::new("m");
+        b.add_function("a", &simple_fn(), SectionKind::Text, Binding::Local)
+            .unwrap();
+        b.add_function("b", &simple_fn(), SectionKind::Text, Binding::Local)
+            .unwrap();
+        let obj = b.finish();
+        let (_, off) = obj
+            .symbols_in(SectionKind::Text)
+            .find(|(s, _)| s.name == "b")
+            .unwrap();
+        assert_eq!(off % 16, 0);
+        // Padding between functions is int3 (0xCC).
+        let text = obj.section(SectionKind::Text).unwrap();
+        assert_eq!(text.bytes[off - 1], 0xCC);
+    }
+
+    #[test]
+    fn undefined_reference_recorded() {
+        let mut b = ObjectBuilder::new("m");
+        let mut a = Asm::new();
+        a.call_got("printk");
+        a.ret();
+        b.add_function("f", &a, SectionKind::Text, Binding::Global)
+            .unwrap();
+        let obj = b.finish();
+        let u: Vec<_> = obj.undefined_symbols().map(|s| s.name.as_str()).collect();
+        assert_eq!(u, vec!["printk"]);
+        let text = obj.section(SectionKind::Text).unwrap();
+        assert_eq!(text.relocs.len(), 1);
+        assert_eq!(text.relocs[0].kind, RelocKind::GotPcRel);
+    }
+
+    #[test]
+    fn defining_after_reference_upgrades() {
+        let mut b = ObjectBuilder::new("m");
+        let mut a = Asm::new();
+        a.call_plt("helper");
+        a.ret();
+        b.add_function("f", &a, SectionKind::Text, Binding::Global)
+            .unwrap();
+        b.add_function("helper", &simple_fn(), SectionKind::Text, Binding::Local)
+            .unwrap();
+        let obj = b.finish();
+        assert!(obj.symbol("helper").unwrap().is_defined());
+        assert_eq!(obj.undefined_symbols().count(), 0);
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let mut b = ObjectBuilder::new("m");
+        b.add_function("f", &simple_fn(), SectionKind::Text, Binding::Global)
+            .unwrap();
+        let err = b
+            .add_function("f", &simple_fn(), SectionKind::Text, Binding::Global)
+            .unwrap_err();
+        assert_eq!(err, ObjError::DuplicateSymbol("f".into()));
+    }
+
+    #[test]
+    fn bss_holds_no_bytes() {
+        let mut b = ObjectBuilder::new("m");
+        b.add_bss("buffer", 4096, Binding::Local).unwrap();
+        let obj = b.finish();
+        let bss = obj.section(SectionKind::Bss).unwrap();
+        assert_eq!(bss.size, 4096);
+        assert!(bss.bytes.is_empty());
+        assert_eq!(obj.payload_size(), 4096);
+    }
+
+    #[test]
+    fn data_asm_pointer_table() {
+        let mut b = ObjectBuilder::new("m");
+        b.add_function("op_read", &simple_fn(), SectionKind::Text, Binding::Local)
+            .unwrap();
+        let mut tbl = Asm::new();
+        tbl.quad_sym("op_read");
+        tbl.quad_sym("op_write"); // undefined
+        b.add_data_asm("file_ops", &tbl, SectionKind::Data, Binding::Global)
+            .unwrap();
+        let obj = b.finish();
+        let data = obj.section(SectionKind::Data).unwrap();
+        assert_eq!(data.size, 16);
+        assert_eq!(data.relocs.len(), 2);
+        assert!(data.relocs.iter().all(|r| r.kind == RelocKind::Abs64));
+        assert!(obj.undefined_symbols().any(|s| s.name == "op_write"));
+    }
+
+    #[test]
+    fn movable_split_matches_paper() {
+        assert!(SectionKind::Text.is_movable());
+        assert!(SectionKind::Data.is_movable());
+        assert!(SectionKind::Bss.is_movable());
+        assert!(!SectionKind::FixedText.is_movable());
+        assert!(!SectionKind::Rodata.is_movable());
+    }
+
+    #[test]
+    fn reloc_histogram_counts() {
+        let mut b = ObjectBuilder::new("m");
+        let mut a = Asm::new();
+        a.call_got("kmalloc");
+        a.call_got("kfree");
+        a.lea_sym(Reg::Rdi, "msg");
+        a.ret();
+        b.add_function("f", &a, SectionKind::Text, Binding::Global)
+            .unwrap();
+        b.add_data("msg", b"hi\0", SectionKind::Rodata, Binding::Local)
+            .unwrap();
+        let obj = b.finish();
+        let h = obj.reloc_histogram();
+        assert_eq!(h[&RelocKind::GotPcRel], 2);
+        assert_eq!(h[&RelocKind::Pc32], 1);
+    }
+}

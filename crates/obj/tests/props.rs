@@ -1,0 +1,69 @@
+//! Property tests for the object builder.
+
+use adelie_isa::{Asm, Reg};
+use adelie_obj::{Binding, ObjectBuilder, SectionKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Function symbols never overlap and all stay 16-byte aligned.
+    #[test]
+    fn function_layout(sizes in proptest::collection::vec(1usize..40, 1..12)) {
+        let mut b = ObjectBuilder::new("m");
+        for (i, n) in sizes.iter().enumerate() {
+            let mut a = Asm::new();
+            for _ in 0..*n {
+                a.nop();
+            }
+            a.ret();
+            b.add_function(&format!("f{i}"), &a, SectionKind::Text, Binding::Local).unwrap();
+        }
+        let obj = b.finish();
+        let mut spans: Vec<(usize, usize)> = obj
+            .symbols_in(SectionKind::Text)
+            .map(|(s, off)| {
+                let idx: usize = s.name[1..].parse().unwrap();
+                (off, off + sizes[idx] + 1)
+            })
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "functions overlap: {spans:?}");
+        }
+        for (off, _) in &spans {
+            prop_assert_eq!(off % 16, 0);
+        }
+    }
+
+    /// Every fixup lands inside the section and survives as a reloc.
+    #[test]
+    fn relocs_in_bounds(calls in 1usize..20) {
+        let mut b = ObjectBuilder::new("m");
+        let mut a = Asm::new();
+        for i in 0..calls {
+            a.call_got(&format!("import_{}", i % 5));
+            a.load_got(Reg::Rax, &format!("import_{}", i % 3));
+        }
+        a.ret();
+        b.add_function("f", &a, SectionKind::Text, Binding::Global).unwrap();
+        let obj = b.finish();
+        let sec = obj.section(SectionKind::Text).unwrap();
+        prop_assert_eq!(sec.relocs.len(), calls * 2);
+        for r in &sec.relocs {
+            prop_assert!(r.offset + 4 <= sec.bytes.len());
+        }
+        // All imports recorded as undefined.
+        prop_assert_eq!(obj.undefined_symbols().count(), 5.min(calls).max(3.min(calls)));
+    }
+
+    /// Payload size equals the sum of section sizes.
+    #[test]
+    fn payload_accounting(data_len in 1usize..512, bss_len in 1usize..512) {
+        let mut b = ObjectBuilder::new("m");
+        b.add_data("d", &vec![7u8; data_len], SectionKind::Data, Binding::Local).unwrap();
+        b.add_bss("z", bss_len, Binding::Local).unwrap();
+        let obj = b.finish();
+        prop_assert!(obj.payload_size() >= data_len + bss_len);
+    }
+}

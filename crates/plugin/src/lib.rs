@@ -1,0 +1,635 @@
+//! # adelie-plugin — the GCC-plugin analog (module transformer)
+//!
+//! The paper's GCC plugin (≈1400 LoC) automatically converts existing
+//! kernel modules into re-randomizable modules: it detects functions and
+//! variables exposed to the kernel, renames them, emits wrappers into
+//! the immovable part, and injects the return-address
+//! encryption prologue/epilogue into every function (paper §4, Fig. 3).
+//!
+//! This crate performs the same transformation on our compiler-IR
+//! analog: a [`ModuleSpec`] describes a driver in mid-level ops
+//! ([`MOp`]) that are *code-model agnostic*; [`transform`] lowers them
+//! to concrete instructions for a chosen [`CodeModel`] and applies the
+//! Adelie rewrites:
+//!
+//! * **exported functions** are renamed `{name}__real` and a wrapper
+//!   with the original name is emitted into `.fixed.text`; the wrapper
+//!   brackets the call with `mr_start`/`mr_finish` and switches to a
+//!   stack from the per-CPU pool (Fig. 3a/3b),
+//! * **every function** in the movable part gets its return address
+//!   encrypted: `mov key@GOT, %r11; xor %r11, (%rsp); xor %r11, %r11`
+//!   on entry and before every `ret` (the static-function variant
+//!   recycles `%rbp` instead of `%r11`, Fig. 3b),
+//! * kernel calls lower to `call *sym@GOTPCREL(%rip)` (PIC), to
+//!   `call sym@PLT` (PIC + retpoline), or to direct `call` relocations
+//!   (the non-PIC vanilla baseline).
+
+use adelie_isa::{Asm, Cond, Insn, Reg};
+use adelie_obj::{Binding, ObjError, ObjectBuilder, ObjectFile, SectionKind};
+
+/// The GOT slot holding the per-module XOR key (paper §3.4: "the
+/// encryption key is randomly generated and stored in the local GOT").
+/// The loader recognizes this name and reserves a local-GOT slot whose
+/// *content* is the key value rather than a symbol address.
+pub const KEY_SYMBOL: &str = "__adelie_key";
+
+/// How module code is generated.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CodeModel {
+    /// Position-independent: GOT/PLT, loadable anywhere in the 57-bit
+    /// space (the paper's contribution).
+    Pic,
+    /// The vanilla-Linux baseline: absolute relocations, confined to the
+    /// legacy 2 GiB window.
+    Legacy,
+}
+
+/// Transformation switches (each maps to a paper configuration).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TransformOptions {
+    /// Code model.
+    pub model: CodeModel,
+    /// Spectre-V2 retpoline mitigation: global calls go through PLT
+    /// stubs with speculation-safe thunks (§4.1).
+    pub retpoline: bool,
+    /// Produce a re-randomizable module: wrappers + movable/immovable
+    /// split. Off = plain PIC module (still 64-bit KASLR).
+    pub rerandomize: bool,
+    /// Wrapper stack switching (Fig. 3b); requires `rerandomize`.
+    pub stack_rerand: bool,
+    /// Return-address encryption; requires `rerandomize`.
+    pub encrypt_ret: bool,
+}
+
+impl TransformOptions {
+    /// Vanilla Linux: non-PIC, no wrappers.
+    pub fn vanilla(retpoline: bool) -> TransformOptions {
+        TransformOptions {
+            model: CodeModel::Legacy,
+            retpoline,
+            rerandomize: false,
+            stack_rerand: false,
+            encrypt_ret: false,
+        }
+    }
+
+    /// Plain PIC module (contribution 1: 64-bit KASLR only).
+    pub fn pic(retpoline: bool) -> TransformOptions {
+        TransformOptions {
+            model: CodeModel::Pic,
+            retpoline,
+            rerandomize: false,
+            stack_rerand: false,
+            encrypt_ret: false,
+        }
+    }
+
+    /// Fully re-randomizable module (contributions 2+3).
+    pub fn rerandomizable(retpoline: bool) -> TransformOptions {
+        TransformOptions {
+            model: CodeModel::Pic,
+            retpoline,
+            rerandomize: true,
+            stack_rerand: true,
+            encrypt_ret: true,
+        }
+    }
+}
+
+/// Mid-level operations — what driver authors write. Code-model
+/// agnostic: symbolic references lower differently per [`CodeModel`].
+#[derive(Clone, Debug)]
+pub enum MOp {
+    /// A concrete instruction (register moves, ALU, stack ops, …).
+    Insn(Insn),
+    /// Define a local label.
+    Label(String),
+    /// Unconditional jump to a local label.
+    Jmp(String),
+    /// Conditional jump to a local label.
+    Jcc(Cond, String),
+    /// Call an exported kernel symbol (kmalloc, printk, register_*…).
+    CallKernel(String),
+    /// Call another function in this module.
+    CallLocal(String),
+    /// Load the address of a kernel symbol into a register.
+    LoadKernelSym(Reg, String),
+    /// Load the address of a module-local symbol into a register.
+    LoadLocalSym(Reg, String),
+    /// Return (the transformer injects the decryption epilogue here).
+    Ret,
+    /// Raw bytes (lookup tables embedded in text, padding…).
+    Bytes(Vec<u8>),
+}
+
+/// A function in the module IR.
+#[derive(Clone, Debug)]
+pub struct FuncSpec {
+    /// Name (the kernel-visible name if exported).
+    pub name: String,
+    /// Exposed to the kernel → gets wrapped when re-randomizable.
+    pub exported: bool,
+    /// `static` in the C sense: the prologue recycles `%rbp` because
+    /// custom calling conventions may use `%r11` (paper Fig. 3b).
+    pub is_static: bool,
+    /// Body.
+    pub body: Vec<MOp>,
+}
+
+impl FuncSpec {
+    /// A new exported function.
+    pub fn exported(name: &str, body: Vec<MOp>) -> FuncSpec {
+        FuncSpec {
+            name: name.to_string(),
+            exported: true,
+            is_static: false,
+            body,
+        }
+    }
+
+    /// A new module-internal (static) function.
+    pub fn local(name: &str, body: Vec<MOp>) -> FuncSpec {
+        FuncSpec {
+            name: name.to_string(),
+            exported: false,
+            is_static: true,
+            body,
+        }
+    }
+}
+
+/// Initialized data in the module IR.
+#[derive(Clone, Debug)]
+pub enum DataInit {
+    /// Plain bytes.
+    Bytes(Vec<u8>),
+    /// A table of 8-byte pointers to module symbols (like
+    /// `ext4_file_inode_operations` — the §6 static-data case).
+    PtrTable(Vec<String>),
+    /// `len` zero bytes (placed in `.bss`).
+    Zero(usize),
+}
+
+/// A data object in the module IR.
+#[derive(Clone, Debug)]
+pub struct DataSpec {
+    /// Symbol name.
+    pub name: String,
+    /// Read-only? (`.rodata`, immovable.)
+    pub readonly: bool,
+    /// Contents.
+    pub init: DataInit,
+}
+
+/// The module IR handed to [`transform`] — the analog of a driver's
+/// source tree entering the plugin-augmented compiler.
+#[derive(Clone, Debug, Default)]
+pub struct ModuleSpec {
+    /// Module name.
+    pub name: String,
+    /// Functions.
+    pub funcs: Vec<FuncSpec>,
+    /// Data objects.
+    pub data: Vec<DataSpec>,
+    /// Init entry point (must name an exported function).
+    pub init: Option<String>,
+    /// Exit entry point.
+    pub exit: Option<String>,
+    /// Pointer-refresh callback for the re-randomizer.
+    pub update_pointers: Option<String>,
+}
+
+impl ModuleSpec {
+    /// An empty module.
+    pub fn new(name: &str) -> ModuleSpec {
+        ModuleSpec {
+            name: name.to_string(),
+            ..ModuleSpec::default()
+        }
+    }
+}
+
+fn real_name(name: &str) -> String {
+    format!("{name}__real")
+}
+
+/// Lower a kernel call per the code model (the three Fig. 4 shapes).
+fn lower_kernel_call(a: &mut Asm, sym: &str, opts: &TransformOptions) {
+    match (opts.model, opts.retpoline) {
+        (CodeModel::Legacy, _) => {
+            // Vanilla module: direct call into the kernel (±2 GiB away).
+            a.call_pc32(sym);
+        }
+        (CodeModel::Pic, false) => {
+            // Inline indirect call through the GOT.
+            a.call_got(sym);
+        }
+        (CodeModel::Pic, true) => {
+            // Through a retpoline-safe PLT stub the loader builds.
+            a.call_plt(sym);
+        }
+    }
+}
+
+fn lower_local_call(a: &mut Asm, sym: &str, opts: &TransformOptions) {
+    match opts.model {
+        CodeModel::Legacy => {
+            a.call_pc32(sym);
+        }
+        CodeModel::Pic => {
+            // The compiler can't know the symbol stays local to the
+            // part, so it emits the general form; the loader patches it
+            // into a direct call (Fig. 4 "local calls").
+            if opts.retpoline {
+                a.call_plt(sym);
+            } else {
+                a.call_got(sym);
+            }
+        }
+    }
+}
+
+fn lower_sym_load(a: &mut Asm, reg: Reg, sym: &str, local: bool, opts: &TransformOptions) {
+    match opts.model {
+        CodeModel::Legacy => {
+            a.movabs_sym(reg, sym);
+        }
+        CodeModel::Pic => {
+            // GOT load; the loader relaxes it to `lea` for same-part
+            // symbols (Fig. 4 "local symbols").
+            let _ = local;
+            a.load_got(reg, sym);
+        }
+    }
+}
+
+/// Emit the return-address encryption/decryption sequence (Fig. 3b).
+/// `xor (%rsp), key` both encrypts and decrypts.
+fn emit_crypt(a: &mut Asm, is_static: bool) {
+    use adelie_isa::{AluOp, Mem};
+    if !is_static {
+        // mov key@GOTPCREL(%rip), %r11 ; xor %r11, (%rsp) ; xor %r11,%r11
+        a.load_got(Reg::R11, KEY_SYMBOL);
+        a.alu_store(AluOp::Xor, Mem::base(Reg::Rsp), Reg::R11);
+        a.alu(AluOp::Xor, Reg::R11, Reg::R11); // avoid key leakage
+    } else {
+        // Static functions may use custom conventions where %r11 is
+        // live; recycle %rbp instead (push/pop around it).
+        a.push(Reg::Rbp);
+        a.load_got(Reg::Rbp, KEY_SYMBOL);
+        a.alu_store(AluOp::Xor, Mem::base_disp(Reg::Rsp, 8), Reg::Rbp);
+        a.pop(Reg::Rbp);
+    }
+}
+
+/// Lower one function body to assembly. `renamed` holds the names of
+/// functions the transformer renamed (exported ones, when
+/// re-randomizing) so intra-module calls target the real code.
+fn lower_body(
+    f: &FuncSpec,
+    opts: &TransformOptions,
+    encrypt: bool,
+    renamed: &std::collections::HashSet<String>,
+) -> Asm {
+    let mut a = Asm::new();
+    if encrypt {
+        emit_crypt(&mut a, f.is_static);
+    }
+    for op in &f.body {
+        match op {
+            MOp::Insn(i) => {
+                debug_assert!(
+                    !matches!(i, Insn::Ret),
+                    "use MOp::Ret so the epilogue can be injected"
+                );
+                a.insn(*i);
+            }
+            MOp::Label(l) => {
+                a.label(l);
+            }
+            MOp::Jmp(l) => {
+                a.jmp_label(l);
+            }
+            MOp::Jcc(c, l) => {
+                a.jcc_label(*c, l);
+            }
+            MOp::CallKernel(sym) => lower_kernel_call(&mut a, sym, opts),
+            MOp::CallLocal(sym) => {
+                // Intra-module calls to a *renamed* (exported) function
+                // target the real code in the movable part, not the
+                // wrapper.
+                let target = if renamed.contains(sym) {
+                    real_name(sym)
+                } else {
+                    sym.clone()
+                };
+                lower_local_call(&mut a, &target, opts)
+            }
+            MOp::LoadKernelSym(r, sym) => lower_sym_load(&mut a, *r, sym, false, opts),
+            MOp::LoadLocalSym(r, sym) => lower_sym_load(&mut a, *r, sym, true, opts),
+            MOp::Ret => {
+                if encrypt {
+                    emit_crypt(&mut a, f.is_static);
+                }
+                a.ret();
+            }
+            MOp::Bytes(b) => {
+                a.bytes(b);
+            }
+        }
+    }
+    a
+}
+
+/// Emit the immovable wrapper for an exported function (Fig. 3a + 3b).
+fn emit_wrapper(name: &str, opts: &TransformOptions) -> Asm {
+    let mut a = Asm::new();
+    let kcall = |a: &mut Asm, sym: &str| {
+        if opts.retpoline {
+            a.call_plt(sym);
+        } else {
+            a.call_got(sym);
+        }
+    };
+    // mr_start(): lifetime-control bracket (natives preserve all
+    // registers except %rax, so argument registers survive).
+    kcall(&mut a, "mr_start");
+    if opts.stack_rerand {
+        // get_new_stack: %rbp = %rsp; stk = pop_stack_this_cpu();
+        // if (!stk) stk = alloc_stack(); %rsp = stk;
+        a.push(Reg::Rbp);
+        a.mov_rr(Reg::Rbp, Reg::Rsp);
+        kcall(&mut a, "pop_stack_this_cpu");
+        a.test(Reg::Rax, Reg::Rax);
+        a.jcc_label(Cond::Ne, "__have_stack");
+        kcall(&mut a, "alloc_stack");
+        a.label("__have_stack");
+        a.mov_rr(Reg::Rsp, Reg::Rax);
+    }
+    // Call the real (movable) function through the immovable-part local
+    // GOT — the slot the re-randomizer updates every period.
+    if opts.retpoline {
+        a.call_plt(&real_name(name));
+    } else {
+        a.call_got(&real_name(name));
+    }
+    // Preserve the return value across the teardown natives.
+    a.mov_rr(Reg::R10, Reg::Rax);
+    if opts.stack_rerand {
+        // return_old_stack: stk = %rsp; %rsp = %rbp; push_stack(stk).
+        a.mov_rr(Reg::Rdi, Reg::Rsp);
+        a.mov_rr(Reg::Rsp, Reg::Rbp);
+        a.pop(Reg::Rbp);
+        kcall(&mut a, "push_stack_this_cpu");
+    }
+    kcall(&mut a, "mr_finish");
+    a.mov_rr(Reg::Rax, Reg::R10);
+    a.ret();
+    a
+}
+
+/// Run the transformation: [`ModuleSpec`] → [`ObjectFile`].
+///
+/// # Errors
+///
+/// Propagates assembler/object errors (bad labels, duplicate symbols).
+pub fn transform(spec: &ModuleSpec, opts: &TransformOptions) -> Result<ObjectFile, ObjError> {
+    debug_assert!(
+        opts.rerandomize || (!opts.stack_rerand && !opts.encrypt_ret),
+        "stack re-randomization and encryption require a re-randomizable module"
+    );
+    debug_assert!(
+        opts.model == CodeModel::Pic || !opts.rerandomize,
+        "re-randomization requires the PIC model"
+    );
+    let mut b = ObjectBuilder::new(&spec.name);
+    let renamed: std::collections::HashSet<String> = if opts.rerandomize {
+        spec.funcs
+            .iter()
+            .filter(|f| f.exported)
+            .map(|f| f.name.clone())
+            .collect()
+    } else {
+        Default::default()
+    };
+    for f in &spec.funcs {
+        if opts.rerandomize && f.exported {
+            // Renamed real function in movable .text …
+            let body = lower_body(f, opts, opts.encrypt_ret, &renamed);
+            b.add_function(&real_name(&f.name), &body, SectionKind::Text, Binding::Local)?;
+            // … and the kernel-visible wrapper in immovable .fixed.text.
+            let wrapper = emit_wrapper(&f.name, opts);
+            b.add_function(&f.name, &wrapper, SectionKind::FixedText, Binding::Global)?;
+            b.export(&f.name);
+        } else {
+            let encrypt = opts.encrypt_ret;
+            let body = lower_body(f, opts, encrypt, &renamed);
+            let binding = if f.exported {
+                Binding::Global
+            } else {
+                Binding::Local
+            };
+            b.add_function(&f.name, &body, SectionKind::Text, binding)?;
+            if f.exported {
+                b.export(&f.name);
+            }
+        }
+    }
+    for d in &spec.data {
+        match &d.init {
+            DataInit::Bytes(bytes) => {
+                let section = if d.readonly {
+                    SectionKind::Rodata
+                } else {
+                    SectionKind::Data
+                };
+                b.add_data(&d.name, bytes, section, Binding::Local)?;
+            }
+            DataInit::Zero(len) => {
+                b.add_bss(&d.name, *len, Binding::Local)?;
+            }
+            DataInit::PtrTable(syms) => {
+                let mut t = Asm::new();
+                for s in syms {
+                    // Pointer tables reference the movable real function
+                    // when re-randomizing — these are exactly the
+                    // "adjusted during re-randomization" pointers of §6.
+                    let target = if opts.rerandomize
+                        && spec.funcs.iter().any(|f| f.name == *s && f.exported)
+                    {
+                        real_name(s)
+                    } else {
+                        s.clone()
+                    };
+                    t.quad_sym(&target);
+                }
+                let section = if d.readonly {
+                    SectionKind::Rodata
+                } else {
+                    SectionKind::Data
+                };
+                b.add_data_asm(&d.name, &t, section, Binding::Local)?;
+            }
+        }
+    }
+    if let Some(init) = &spec.init {
+        b.set_init(init);
+    }
+    if let Some(exit) = &spec.exit {
+        b.set_exit(exit);
+    }
+    if let Some(up) = &spec.update_pointers {
+        b.set_update_pointers(up);
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adelie_isa::AluOp;
+    use adelie_obj::RelocKind;
+
+    fn demo_spec() -> ModuleSpec {
+        let mut spec = ModuleSpec::new("demo");
+        spec.funcs.push(FuncSpec::exported(
+            "demo_ioctl",
+            vec![
+                MOp::Insn(Insn::MovRR {
+                    dst: Reg::Rax,
+                    src: Reg::Rdi,
+                }),
+                MOp::CallLocal("helper".into()),
+                MOp::Ret,
+            ],
+        ));
+        spec.funcs.push(FuncSpec::local(
+            "helper",
+            vec![
+                MOp::Insn(Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: Reg::Rax,
+                    imm: 1,
+                }),
+                MOp::Ret,
+            ],
+        ));
+        spec.data.push(DataSpec {
+            name: "demo_ops".into(),
+            readonly: false,
+            init: DataInit::PtrTable(vec!["demo_ioctl".into()]),
+        });
+        spec.init = Some("demo_ioctl".into());
+        spec
+    }
+
+    #[test]
+    fn vanilla_has_no_got_relocs_or_wrappers() {
+        let obj = transform(&demo_spec(), &TransformOptions::vanilla(false)).unwrap();
+        assert!(obj.section(SectionKind::FixedText).is_none());
+        let h = obj.reloc_histogram();
+        assert!(!h.contains_key(&RelocKind::GotPcRel));
+        assert!(obj.symbol("demo_ioctl").unwrap().is_defined());
+    }
+
+    #[test]
+    fn pic_uses_got() {
+        let obj = transform(&demo_spec(), &TransformOptions::pic(false)).unwrap();
+        let h = obj.reloc_histogram();
+        assert!(h[&RelocKind::GotPcRel] >= 1, "local call via GOT: {h:?}");
+        assert!(obj.section(SectionKind::FixedText).is_none());
+    }
+
+    #[test]
+    fn retpoline_uses_plt() {
+        let obj = transform(&demo_spec(), &TransformOptions::pic(true)).unwrap();
+        let h = obj.reloc_histogram();
+        assert!(h[&RelocKind::Plt32] >= 1, "{h:?}");
+    }
+
+    #[test]
+    fn rerandomizable_splits_and_wraps() {
+        let obj = transform(&demo_spec(), &TransformOptions::rerandomizable(false)).unwrap();
+        // Wrapper in .fixed.text under the original name.
+        let w = obj.symbol("demo_ioctl").unwrap();
+        assert!(matches!(
+            w.def,
+            adelie_obj::SymbolDef::Defined {
+                section: SectionKind::FixedText,
+                ..
+            }
+        ));
+        // Real function renamed into movable .text.
+        let r = obj.symbol("demo_ioctl__real").unwrap();
+        assert!(matches!(
+            r.def,
+            adelie_obj::SymbolDef::Defined {
+                section: SectionKind::Text,
+                ..
+            }
+        ));
+        // Wrapper references mr_start/mr_finish and the stack natives.
+        let fixed = obj.section(SectionKind::FixedText).unwrap();
+        let syms: Vec<&str> = fixed.relocs.iter().map(|r| r.symbol.as_str()).collect();
+        for needed in [
+            "mr_start",
+            "mr_finish",
+            "pop_stack_this_cpu",
+            "push_stack_this_cpu",
+            "alloc_stack",
+            "demo_ioctl__real",
+        ] {
+            assert!(syms.contains(&needed), "wrapper missing {needed}: {syms:?}");
+        }
+        // Encryption references the key GOT slot from movable text.
+        let text = obj.section(SectionKind::Text).unwrap();
+        assert!(
+            text.relocs.iter().any(|r| r.symbol == KEY_SYMBOL),
+            "missing key slot reference"
+        );
+        // The pointer table targets the real function (adjusted on move).
+        let data = obj.section(SectionKind::Data).unwrap();
+        assert!(data
+            .relocs
+            .iter()
+            .any(|r| r.symbol == "demo_ioctl__real" && r.kind == RelocKind::Abs64));
+    }
+
+    #[test]
+    fn encryption_sequence_shape() {
+        // The movable function's first instructions must be the Fig. 3b
+        // prologue: mov key@GOT, %r11 ; xor %r11,(%rsp) ; xor %r11,%r11.
+        let obj = transform(&demo_spec(), &TransformOptions::rerandomizable(false)).unwrap();
+        let text = obj.section(SectionKind::Text).unwrap();
+        let real = obj.symbol("demo_ioctl__real").unwrap();
+        let off = match real.def {
+            adelie_obj::SymbolDef::Defined { offset, .. } => offset,
+            _ => unreachable!(),
+        };
+        // First comes the GOT load of the key (REX.W 8B ..).
+        assert_eq!(text.bytes[off], 0x4C, "REX.WR for r11 load");
+        assert_eq!(text.bytes[off + 1], 0x8B);
+        // Then xor (%rsp)-form: 4C 31 1C 24.
+        assert_eq!(&text.bytes[off + 7..off + 11], &[0x4C, 0x31, 0x1C, 0x24]);
+    }
+
+    #[test]
+    fn static_functions_recycle_rbp() {
+        let spec = {
+            let mut s = ModuleSpec::new("m");
+            s.funcs.push(FuncSpec::local("sfn", vec![MOp::Ret]));
+            s
+        };
+        let obj = transform(&spec, &TransformOptions::rerandomizable(false)).unwrap();
+        let text = obj.section(SectionKind::Text).unwrap();
+        // push %rbp = 0x55 first.
+        assert_eq!(text.bytes[0], 0x55);
+    }
+
+    #[test]
+    fn metadata_flows_through() {
+        let obj = transform(&demo_spec(), &TransformOptions::rerandomizable(true)).unwrap();
+        assert_eq!(obj.init.as_deref(), Some("demo_ioctl"));
+        assert_eq!(obj.exports, vec!["demo_ioctl".to_string()]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Classic three-epoch reclamation (EBR) — the baseline scheme.
+//!
+//! The paper notes Hyaline's performance is "very similar to that of
+//! EBR" but that Hyaline integrates more easily because it is
+//! context-agnostic (§3.4). This implementation exists so the claim can
+//! be measured (see `bench/benches/reclaim.rs`) and so the re-randomizer
+//! can be instantiated with either scheme.
+//!
+//! Standard scheme: a global epoch, a per-slot `(active, local epoch)`
+//! word, and three limbo buckets. Objects retired in epoch *e* are freed
+//! once the global epoch has advanced twice past *e*, which requires all
+//! active slots to have observed each intermediate epoch.
+
+use crate::{Deferred, Reclaimer, SmrStats};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const ACTIVE: u64 = 1 << 63;
+const EPOCH_MASK: u64 = ACTIVE - 1;
+
+/// Epoch-based reclamation domain. See module docs.
+pub struct Ebr {
+    global: AtomicU64,
+    /// Per-slot word: `ACTIVE | epoch` when inside an operation, 0 when idle.
+    slot_words: Box<[AtomicU64]>,
+    limbo: [Mutex<Vec<Deferred>>; 3],
+    retired: AtomicU64,
+    freed: AtomicU64,
+}
+
+impl Ebr {
+    /// Create a domain with `nslots` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nslots` is zero.
+    pub fn new(nslots: usize) -> Ebr {
+        assert!(nslots > 0, "need at least one slot");
+        Ebr {
+            global: AtomicU64::new(0),
+            slot_words: (0..nslots).map(|_| AtomicU64::new(0)).collect(),
+            limbo: [
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+                Mutex::new(Vec::new()),
+            ],
+            retired: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to advance the global epoch once; on success, drain the bucket
+    /// that two-epochs-old garbage sits in.
+    fn try_advance(&self) {
+        let e = self.global.load(Ordering::SeqCst);
+        for w in self.slot_words.iter() {
+            let v = w.load(Ordering::SeqCst);
+            if v & ACTIVE != 0 && v & EPOCH_MASK != e {
+                return; // a straggler pins the epoch
+            }
+        }
+        if self
+            .global
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return; // someone else advanced
+        }
+        // Bucket ((e+1) % 3) holds garbage retired in epoch e-2: every
+        // operation from that epoch has since left. Drain it before epoch
+        // e+1 retirees start landing in it.
+        let drained: Vec<Deferred> = {
+            let mut bucket = self.limbo[((e + 1) % 3) as usize].lock();
+            std::mem::take(&mut *bucket)
+        };
+        let n = drained.len() as u64;
+        for action in drained {
+            action();
+        }
+        self.freed.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl Reclaimer for Ebr {
+    fn enter(&self, slot: usize) {
+        let w = &self.slot_words[slot];
+        debug_assert_eq!(
+            w.load(Ordering::Relaxed) & ACTIVE,
+            0,
+            "EBR slots admit one operation at a time (not context-agnostic)"
+        );
+        // Announce, then re-check the epoch to close the store-load race.
+        loop {
+            let e = self.global.load(Ordering::SeqCst);
+            w.store(ACTIVE | e, Ordering::SeqCst);
+            if self.global.load(Ordering::SeqCst) == e {
+                return;
+            }
+        }
+    }
+
+    fn leave(&self, slot: usize) {
+        self.slot_words[slot].store(0, Ordering::SeqCst);
+        self.try_advance();
+    }
+
+    fn retire(&self, action: Deferred) {
+        self.retired.fetch_add(1, Ordering::Relaxed);
+        let e = self.global.load(Ordering::SeqCst);
+        self.limbo[(e % 3) as usize].lock().push(action);
+        self.try_advance();
+    }
+
+    fn flush(&self) {
+        for _ in 0..3 {
+            self.try_advance();
+        }
+    }
+
+    fn slots(&self) -> usize {
+        self.slot_words.len()
+    }
+
+    fn stats(&self) -> SmrStats {
+        SmrStats {
+            retired: self.retired.load(Ordering::Relaxed),
+            freed: self.freed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Ebr {
+    fn drop(&mut self) {
+        // Run everything left; nothing can be active at teardown.
+        let mut n = 0u64;
+        for bucket in &self.limbo {
+            for action in std::mem::take(&mut *bucket.lock()) {
+                action();
+                n += 1;
+            }
+        }
+        self.freed.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Ebr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ebr")
+            .field("slots", &self.slot_words.len())
+            .field("epoch", &self.global.load(Ordering::Relaxed))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn straggler_pins_everything() {
+        // EBR's weakness vs Hyaline: a long-running op on ANY slot pins
+        // even garbage retired while it was idle-epoch-equal. Contrast
+        // with Hyaline's per-slot lists.
+        let dom = Ebr::new(2);
+        dom.enter(0); // straggler at epoch 0
+        let freed = Arc::new(AtomicBool::new(false));
+        let f = freed.clone();
+        dom.retire(Box::new(move || f.store(true, Ordering::SeqCst)));
+        // One advance is possible (straggler is at the current epoch)…
+        dom.flush();
+        // …but the second advance is pinned, so the object stays.
+        assert!(!freed.load(Ordering::SeqCst));
+        dom.leave(0);
+        dom.flush();
+        assert!(freed.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn drop_drains_limbo() {
+        let count = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        {
+            let dom = Ebr::new(2);
+            for _ in 0..10 {
+                let c = count.clone();
+                dom.retire(Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn concurrent_stress_no_premature_free() {
+        use std::sync::atomic::AtomicUsize;
+        const THREADS: usize = 4;
+        const OBJS: usize = 1000;
+        let dom = Arc::new(Ebr::new(THREADS));
+        let live = Arc::new((0..OBJS).map(|_| AtomicBool::new(true)).collect::<Vec<_>>());
+        let current = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut readers = Vec::new();
+        for t in 0..THREADS - 1 {
+            let dom = dom.clone();
+            let live = live.clone();
+            let current = current.clone();
+            let stop = stop.clone();
+            readers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    dom.enter(t);
+                    let idx = current.load(Ordering::Acquire);
+                    std::hint::spin_loop();
+                    assert!(
+                        live[idx].load(Ordering::Acquire),
+                        "object {idx} freed while reader inside critical section"
+                    );
+                    dom.leave(t);
+                }
+            }));
+        }
+        for next in 1..OBJS {
+            let prev = current.swap(next, Ordering::AcqRel);
+            let live2 = live.clone();
+            dom.retire(Box::new(move || {
+                live2[prev].store(false, Ordering::Release);
+            }));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        dom.flush();
+        dom.flush();
+        assert_eq!(dom.stats().delta(), 0);
+    }
+}

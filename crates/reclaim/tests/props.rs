@@ -1,0 +1,117 @@
+//! Property test: neither reclaimer ever frees early, under arbitrary
+//! enter/leave/retire schedules.
+
+use adelie_reclaim::{Ebr, Hyaline, Reclaimer};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Enter(usize),
+    Leave(usize),
+    Retire,
+}
+
+fn arb_schedule() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0usize..4, 0u8..3), 1..80).prop_map(|raw| {
+        // Keep enter/leave balanced per slot (at most one op in flight
+        // per slot so the schedule is valid for EBR too).
+        let mut active = [false; 4];
+        let mut out = Vec::new();
+        for (slot, kind) in raw {
+            match kind {
+                0 if !active[slot] => {
+                    active[slot] = true;
+                    out.push(Op::Enter(slot));
+                }
+                1 if active[slot] => {
+                    active[slot] = false;
+                    out.push(Op::Leave(slot));
+                }
+                _ => out.push(Op::Retire),
+            }
+        }
+        // Drain everything at the end.
+        for (slot, is_active) in active.iter().enumerate() {
+            if *is_active {
+                out.push(Op::Leave(slot));
+            }
+        }
+        out
+    })
+}
+
+fn check(dom: &dyn Reclaimer, schedule: &[Op]) -> Result<(), TestCaseError> {
+    // Ground truth: object i may be freed only after every op that was
+    // active at its retire time has left.
+    let freed: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut active: HashSet<(usize, usize)> = HashSet::new(); // (slot, op_id)
+    let mut op_counter = 0usize;
+    // For each retired object: the ops that were active at retire.
+    let mut pinned_by: Vec<HashSet<(usize, usize)>> = Vec::new();
+    let mut departed: HashSet<(usize, usize)> = HashSet::new();
+    let flag = Arc::new(AtomicBool::new(false));
+    let _ = flag;
+    for op in schedule {
+        match op {
+            Op::Enter(s) => {
+                op_counter += 1;
+                active.insert((*s, op_counter));
+                dom.enter(*s);
+            }
+            Op::Leave(s) => {
+                let id = *active
+                    .iter()
+                    .find(|(slot, _)| slot == s)
+                    .expect("balanced schedule");
+                active.remove(&id);
+                departed.insert(id);
+                dom.leave(*s);
+            }
+            Op::Retire => {
+                let idx = pinned_by.len();
+                pinned_by.push(active.clone());
+                let freed = freed.clone();
+                dom.retire(Box::new(move || {
+                    freed.lock().unwrap().push(idx);
+                }));
+            }
+        }
+        // Safety check after every step: anything freed so far must have
+        // had all its pinning ops depart first.
+        for &idx in freed.lock().unwrap().iter() {
+            for pin in &pinned_by[idx] {
+                prop_assert!(
+                    departed.contains(pin) || !active.contains(pin),
+                    "object {idx} freed while op {pin:?} still active"
+                );
+                prop_assert!(
+                    !active.contains(pin),
+                    "object {idx} freed while op {pin:?} still active"
+                );
+            }
+        }
+    }
+    dom.flush();
+    dom.flush();
+    dom.flush();
+    // Liveness: with no active ops, everything must eventually free.
+    prop_assert_eq!(dom.stats().delta(), 0, "all retired objects freed at quiescence");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hyaline_never_frees_early(schedule in arb_schedule()) {
+        check(&Hyaline::new(4), &schedule)?;
+    }
+
+    #[test]
+    fn ebr_never_frees_early(schedule in arb_schedule()) {
+        check(&Ebr::new(4), &schedule)?;
+    }
+}

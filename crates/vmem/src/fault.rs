@@ -1,0 +1,99 @@
+//! Typed memory faults.
+
+use std::fmt;
+
+/// The kind of access being attempted, for permission checks.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Exec,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Access::Read => "read",
+            Access::Write => "write",
+            Access::Exec => "execute",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A memory fault raised during translation or access.
+///
+/// These are the observable consequences of Adelie's defences: a stale
+/// (re-randomized away) code pointer raises [`Fault::Unmapped`]; a write
+/// to a write-protected GOT raises [`Fault::NotWritable`]; a data page
+/// executed as code raises [`Fault::NotExecutable`] (the NX bit).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Fault {
+    /// No mapping exists for the address.
+    Unmapped { va: u64 },
+    /// The page is mapped read-only (e.g. a write-protected GOT, §4.1).
+    NotWritable { va: u64 },
+    /// The page is mapped no-execute (the NX defence, §2.1).
+    NotExecutable { va: u64 },
+    /// Attempt to map a page that is already mapped.
+    AlreadyMapped { va: u64 },
+    /// Address has bits above the architecture's virtual-address width.
+    NonCanonical { va: u64 },
+    /// Instruction fetch from an MMIO region.
+    MmioExec { va: u64 },
+    /// Plain-memory access helper used on an MMIO page (device access
+    /// must go through the interpreter's MMIO dispatch instead).
+    MmioData { va: u64 },
+    /// The physical frame backing the page was freed (use-after-unmap at
+    /// the physical level — indicates a reclamation bug).
+    BadFrame { va: u64 },
+}
+
+impl Fault {
+    /// The faulting virtual address.
+    pub fn va(&self) -> u64 {
+        match *self {
+            Fault::Unmapped { va }
+            | Fault::NotWritable { va }
+            | Fault::NotExecutable { va }
+            | Fault::AlreadyMapped { va }
+            | Fault::NonCanonical { va }
+            | Fault::MmioExec { va }
+            | Fault::MmioData { va }
+            | Fault::BadFrame { va } => va,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Unmapped { va } => write!(f, "page fault: unmapped address {va:#x}"),
+            Fault::NotWritable { va } => write!(f, "protection fault: write to read-only {va:#x}"),
+            Fault::NotExecutable { va } => write!(f, "NX fault: execute of data page {va:#x}"),
+            Fault::AlreadyMapped { va } => write!(f, "mapping conflict at {va:#x}"),
+            Fault::NonCanonical { va } => write!(f, "non-canonical address {va:#x}"),
+            Fault::MmioExec { va } => write!(f, "instruction fetch from MMIO {va:#x}"),
+            Fault::MmioData { va } => write!(f, "plain memory access to MMIO {va:#x}"),
+            Fault::BadFrame { va } => write!(f, "freed frame behind mapping {va:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_reports_va() {
+        assert_eq!(Fault::Unmapped { va: 0x1000 }.va(), 0x1000);
+        assert_eq!(Fault::NotWritable { va: 7 }.va(), 7);
+        let msg = Fault::NotExecutable { va: 0x2000 }.to_string();
+        assert!(msg.contains("0x2000"));
+    }
+}

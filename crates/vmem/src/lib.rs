@@ -1,0 +1,88 @@
+//! # adelie-vmem — simulated physical memory, page tables, and TLB
+//!
+//! Adelie's continuous re-randomization is a *page-table* technique: the
+//! re-randomizer creates new virtual mappings that alias the same physical
+//! frames (zero-copy movement, paper Fig. 2a), write-protects GOT pages
+//! (§4.1), and unmaps stale ranges once pending calls drain (§3.4). This
+//! crate provides the substrate those mechanisms run on:
+//!
+//! * [`PhysMem`] — a physical frame store with byte-level access,
+//! * [`AddressSpace`] — a 5-level radix page table (57-bit virtual
+//!   addresses, matching the paper's §6 entropy arithmetic) supporting
+//!   aliased mappings, permission bits (writable / no-execute), and MMIO
+//!   leaf entries that trap to device models,
+//! * [`Tlb`] — a per-CPU translation cache with generation-based
+//!   shootdown, so re-randomization's TLB-flush cost (paper §4.3) is
+//!   observable,
+//! * typed [`Fault`]s — unmapped access, write to read-only (the GOT
+//!   write-protection defence), execute of NX data.
+//!
+//! # Example
+//!
+//! ```
+//! use adelie_vmem::{AddressSpace, PhysMem, PteFlags, PAGE_SIZE};
+//!
+//! let phys = PhysMem::new();
+//! let space = AddressSpace::new();
+//! let pfn = phys.alloc();
+//! space.map(0xff_8000_0000_0000, pfn, PteFlags::WRITABLE)?;
+//! space.write_u64(&phys, 0xff_8000_0000_0008, 0xdead_beef)?;
+//! assert_eq!(space.read_u64(&phys, 0xff_8000_0000_0008)?, 0xdead_beef);
+//!
+//! // Zero-copy alias: map the same frame at a second address.
+//! space.map(0xee_9000_0000_0000, pfn, PteFlags::WRITABLE)?;
+//! assert_eq!(space.read_u64(&phys, 0xee_9000_0000_0008)?, 0xdead_beef);
+//! # Ok::<(), adelie_vmem::Fault>(())
+//! ```
+
+mod fault;
+mod phys;
+mod space;
+mod tlb;
+
+pub use fault::{Access, Fault};
+pub use phys::{PhysMem, PhysStats, Pfn};
+pub use space::{AddressSpace, Pte, PteKind, PteFlags, SpaceStats, Translation};
+pub use tlb::{Tlb, TlbStats};
+
+/// Page size in bytes (4 KiB, like x86-64).
+pub const PAGE_SIZE: usize = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Number of radix levels (5-level paging → 57-bit virtual addresses).
+pub const LEVELS: u32 = 5;
+/// Total virtual-address bits resolved by the table.
+pub const VA_BITS: u32 = PAGE_SHIFT + 9 * LEVELS; // 57
+
+/// Mask selecting the valid virtual-address bits.
+pub const VA_MASK: u64 = (1u64 << VA_BITS) - 1;
+
+/// Round `len` up to whole pages.
+pub fn pages_for(len: usize) -> usize {
+    len.div_ceil(PAGE_SIZE)
+}
+
+/// Align an address down to its page base.
+pub fn page_base(va: u64) -> u64 {
+    va & !(PAGE_SIZE as u64 - 1)
+}
+
+/// Offset of `va` within its page.
+pub fn page_offset(va: u64) -> usize {
+    (va & (PAGE_SIZE as u64 - 1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers() {
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(4096), 1);
+        assert_eq!(pages_for(4097), 2);
+        assert_eq!(page_base(0x1234), 0x1000);
+        assert_eq!(page_offset(0x1234), 0x234);
+        assert_eq!(VA_BITS, 57);
+    }
+}

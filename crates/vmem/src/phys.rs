@@ -1,0 +1,259 @@
+//! Physical frame store.
+//!
+//! Frames are 4 KiB pages addressed by [`Pfn`]. The store supports
+//! concurrent access (per-frame reader/writer locks) because module code
+//! executes on many simulated CPUs while the re-randomizer builds new GOT
+//! frames in parallel.
+
+use crate::{PAGE_SIZE};
+use parking_lot::{Mutex, RwLock};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A physical frame number.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pfn(pub u64);
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+struct Frame {
+    data: RwLock<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Frame {
+    fn new_zeroed() -> Arc<Frame> {
+        Arc::new(Frame {
+            data: RwLock::new(Box::new([0u8; PAGE_SIZE])),
+        })
+    }
+}
+
+/// Counters exported by [`PhysMem::stats`].
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct PhysStats {
+    /// Frames currently allocated.
+    pub frames_live: u64,
+    /// Total allocations ever.
+    pub frames_allocated: u64,
+    /// Total frees ever.
+    pub frames_freed: u64,
+}
+
+/// The physical memory of the simulated machine.
+///
+/// Allocation is first-fit over a free list; frames are zeroed on
+/// allocation (like the kernel's `GFP_ZERO`).
+pub struct PhysMem {
+    frames: RwLock<Vec<Option<Arc<Frame>>>>,
+    free_list: Mutex<Vec<u64>>,
+    allocated: AtomicU64,
+    freed: AtomicU64,
+}
+
+impl Default for PhysMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhysMem {
+    /// Create an empty physical memory.
+    pub fn new() -> PhysMem {
+        PhysMem {
+            frames: RwLock::new(Vec::new()),
+            free_list: Mutex::new(Vec::new()),
+            allocated: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocate one zeroed frame.
+    pub fn alloc(&self) -> Pfn {
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        if let Some(idx) = self.free_list.lock().pop() {
+            let mut frames = self.frames.write();
+            frames[idx as usize] = Some(Frame::new_zeroed());
+            return Pfn(idx);
+        }
+        let mut frames = self.frames.write();
+        frames.push(Some(Frame::new_zeroed()));
+        Pfn(frames.len() as u64 - 1)
+    }
+
+    /// Allocate `n` zeroed frames.
+    pub fn alloc_n(&self, n: usize) -> Vec<Pfn> {
+        (0..n).map(|_| self.alloc()).collect()
+    }
+
+    /// Free a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free (freeing an unallocated pfn) — in the
+    /// simulated kernel that is always a reclamation bug worth surfacing
+    /// loudly.
+    pub fn free(&self, pfn: Pfn) {
+        let mut frames = self.frames.write();
+        let slot = frames
+            .get_mut(pfn.0 as usize)
+            .unwrap_or_else(|| panic!("free of out-of-range {pfn}"));
+        assert!(slot.take().is_some(), "double free of {pfn}");
+        drop(frames);
+        self.freed.fetch_add(1, Ordering::Relaxed);
+        self.free_list.lock().push(pfn.0);
+    }
+
+    fn frame(&self, pfn: Pfn) -> Option<Arc<Frame>> {
+        self.frames.read().get(pfn.0 as usize)?.clone()
+    }
+
+    /// Whether the frame is currently allocated.
+    pub fn is_live(&self, pfn: Pfn) -> bool {
+        self.frame(pfn).is_some()
+    }
+
+    /// Read bytes from within a single frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses the frame boundary or the frame is
+    /// free (callers go through [`crate::AddressSpace`], which reports a
+    /// typed fault first).
+    pub fn read(&self, pfn: Pfn, offset: usize, buf: &mut [u8]) {
+        assert!(offset + buf.len() <= PAGE_SIZE, "read crosses frame");
+        let frame = self.frame(pfn).unwrap_or_else(|| panic!("read of freed {pfn}"));
+        let data = frame.data.read();
+        buf.copy_from_slice(&data[offset..offset + buf.len()]);
+    }
+
+    /// Write bytes within a single frame.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PhysMem::read`].
+    pub fn write(&self, pfn: Pfn, offset: usize, bytes: &[u8]) {
+        assert!(offset + bytes.len() <= PAGE_SIZE, "write crosses frame");
+        let frame = self.frame(pfn).unwrap_or_else(|| panic!("write of freed {pfn}"));
+        let mut data = frame.data.write();
+        data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Read a little-endian u64 within one frame.
+    pub fn read_u64(&self, pfn: Pfn, offset: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(pfn, offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write a little-endian u64 within one frame.
+    pub fn write_u64(&self, pfn: Pfn, offset: usize, v: u64) {
+        self.write(pfn, offset, &v.to_le_bytes());
+    }
+
+    /// Copy a whole frame's contents into a new allocation.
+    pub fn clone_frame(&self, pfn: Pfn) -> Pfn {
+        let mut buf = [0u8; PAGE_SIZE];
+        self.read(pfn, 0, &mut buf);
+        let new = self.alloc();
+        self.write(new, 0, &buf);
+        new
+    }
+
+    /// Snapshot of allocation counters.
+    pub fn stats(&self) -> PhysStats {
+        let allocated = self.allocated.load(Ordering::Relaxed);
+        let freed = self.freed.load(Ordering::Relaxed);
+        PhysStats {
+            frames_live: allocated - freed,
+            frames_allocated: allocated,
+            frames_freed: freed,
+        }
+    }
+}
+
+impl fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysMem").field("stats", &self.stats()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_zeroed_and_rw() {
+        let pm = PhysMem::new();
+        let pfn = pm.alloc();
+        let mut buf = [0xFFu8; 16];
+        pm.read(pfn, 100, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        pm.write_u64(pfn, 8, 0x1122_3344_5566_7788);
+        assert_eq!(pm.read_u64(pfn, 8), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let pm = PhysMem::new();
+        let a = pm.alloc();
+        pm.write_u64(a, 0, 42);
+        pm.free(a);
+        assert!(!pm.is_live(a));
+        let b = pm.alloc();
+        // Free-list reuse gives back the same number, but zeroed.
+        assert_eq!(a, b);
+        assert_eq!(pm.read_u64(b, 0), 0);
+        assert_eq!(pm.stats().frames_live, 1);
+        assert_eq!(pm.stats().frames_allocated, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let pm = PhysMem::new();
+        let a = pm.alloc();
+        pm.free(a);
+        pm.free(a);
+    }
+
+    #[test]
+    fn clone_frame_copies() {
+        let pm = PhysMem::new();
+        let a = pm.alloc();
+        pm.write_u64(a, 16, 0xabcd);
+        let b = pm.clone_frame(a);
+        assert_ne!(a, b);
+        assert_eq!(pm.read_u64(b, 16), 0xabcd);
+        // Independent after copy.
+        pm.write_u64(a, 16, 1);
+        assert_eq!(pm.read_u64(b, 16), 0xabcd);
+    }
+
+    #[test]
+    fn concurrent_alloc() {
+        let pm = std::sync::Arc::new(PhysMem::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pm = pm.clone();
+            handles.push(std::thread::spawn(move || {
+                let pfns = pm.alloc_n(64);
+                for &p in &pfns {
+                    pm.write_u64(p, 0, p.0);
+                }
+                pfns
+            }));
+        }
+        let mut all: Vec<Pfn> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 8 * 64, "no pfn handed out twice");
+    }
+}

@@ -1,0 +1,812 @@
+//! The address space: a 5-level radix page table with permission bits,
+//! aliased (zero-copy) mappings, and MMIO leaves.
+
+use crate::{
+    page_base, page_offset, Access, Fault, PhysMem, Pfn, LEVELS, PAGE_SHIFT, PAGE_SIZE, VA_MASK,
+};
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Page permission flags.
+///
+/// A mapped page is always "present"; the two bits model the x86-64
+/// `W` and `NX` bits the paper's defences rely on (write-protected GOTs,
+/// non-executable data).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default, Debug)]
+pub struct PteFlags(u8);
+
+impl PteFlags {
+    /// Read-only, executable — the protection of text pages.
+    pub const TEXT: PteFlags = PteFlags(0);
+    /// Writable bit.
+    pub const WRITABLE: PteFlags = PteFlags(1);
+    /// No-execute bit.
+    pub const NX: PteFlags = PteFlags(2);
+    /// Writable and no-execute — the protection of data pages.
+    pub const DATA: PteFlags = PteFlags(1 | 2);
+    /// Read-only, no-execute — the protection of `.rodata` and sealed GOTs.
+    pub const RO_DATA: PteFlags = PteFlags(2);
+
+    /// Whether all bits of `other` are set in `self`.
+    pub fn contains(self, other: PteFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    pub fn union(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 | other.0)
+    }
+
+    /// Whether the page can be written.
+    pub fn writable(self) -> bool {
+        self.contains(PteFlags::WRITABLE)
+    }
+
+    /// Whether the page can be executed.
+    pub fn executable(self) -> bool {
+        !self.contains(PteFlags::NX)
+    }
+}
+
+impl std::ops::BitOr for PteFlags {
+    type Output = PteFlags;
+    fn bitor(self, rhs: PteFlags) -> PteFlags {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Display for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r{}{}",
+            if self.writable() { 'w' } else { '-' },
+            if self.executable() { 'x' } else { '-' }
+        )
+    }
+}
+
+/// What a leaf translation points at.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PteKind {
+    /// Ordinary memory frame.
+    Frame(Pfn),
+    /// Device register page: `dev` is the device id in the kernel's MMIO
+    /// registry, `page` the page index within the device's BAR.
+    Mmio { dev: u32, page: u32 },
+}
+
+/// A page-table leaf entry.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Pte {
+    /// Frame or MMIO target.
+    pub kind: PteKind,
+    /// Permissions.
+    pub flags: PteFlags,
+}
+
+impl Pte {
+    /// Check this entry against an access kind (used by TLBs re-checking
+    /// cached entries — permissions live in the entry, not the cache).
+    ///
+    /// # Errors
+    ///
+    /// The same faults [`AddressSpace::translate`] would raise.
+    pub fn check(&self, va: u64, access: Access) -> Result<(), Fault> {
+        check_access(va, self, access)
+    }
+}
+
+/// A successful translation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Translation {
+    /// The leaf entry.
+    pub pte: Pte,
+    /// Base virtual address of the page containing the query.
+    pub page_va: u64,
+}
+
+enum Entry {
+    Empty,
+    Table(Box<Node>),
+    Leaf(Pte),
+}
+
+struct Node {
+    slots: Box<[Entry; 512]>,
+}
+
+impl Node {
+    fn new() -> Node {
+        Node {
+            slots: Box::new(std::array::from_fn(|_| Entry::Empty)),
+        }
+    }
+
+    /// Whether every slot is empty (so the node can be pruned).
+    fn is_empty(&self) -> bool {
+        self.slots.iter().all(|e| matches!(e, Entry::Empty))
+    }
+}
+
+/// Snapshot of address-space activity counters.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct SpaceStats {
+    /// Pages mapped over the lifetime.
+    pub pages_mapped: u64,
+    /// Pages unmapped over the lifetime.
+    pub pages_unmapped: u64,
+    /// Permission changes.
+    pub protects: u64,
+    /// TLB shootdowns (generation bumps).
+    pub shootdowns: u64,
+    /// Page-table walks performed.
+    pub walks: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    pages_mapped: AtomicU64,
+    pages_unmapped: AtomicU64,
+    protects: AtomicU64,
+    shootdowns: AtomicU64,
+    walks: AtomicU64,
+}
+
+/// A single (kernel) address space.
+///
+/// All methods take `&self`; the table lives behind a reader/writer lock
+/// so translation (the hot path, used by every simulated instruction)
+/// proceeds concurrently while mapping changes serialize — the same
+/// discipline as kernel page-table locks.
+pub struct AddressSpace {
+    root: RwLock<Node>,
+    generation: AtomicU64,
+    stats: AtomicStats,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn level_index(va: u64, level: u32) -> usize {
+    // level 0 = top. Each level resolves 9 bits.
+    let shift = PAGE_SHIFT + 9 * (LEVELS - 1 - level);
+    ((va >> shift) & 0x1FF) as usize
+}
+
+impl AddressSpace {
+    /// Create an empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace {
+            root: RwLock::new(Node::new()),
+            generation: AtomicU64::new(0),
+            stats: AtomicStats::default(),
+        }
+    }
+
+    /// The current TLB generation. Cached translations from earlier
+    /// generations must be discarded (see [`crate::Tlb`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    fn shootdown(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.stats.shootdowns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn check(&self, va: u64) -> Result<(), Fault> {
+        if va & !VA_MASK != 0 {
+            return Err(Fault::NonCanonical { va });
+        }
+        debug_assert_eq!(page_offset(va), 0, "page-aligned address required");
+        Ok(())
+    }
+
+    /// Map one page at `va` (page-aligned) to `pfn`.
+    ///
+    /// Mapping the same frame at several addresses is allowed — that *is*
+    /// the paper's zero-copy mechanism.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::AlreadyMapped`] if `va` already has a mapping,
+    /// [`Fault::NonCanonical`] for out-of-range addresses.
+    pub fn map(&self, va: u64, pfn: Pfn, flags: PteFlags) -> Result<(), Fault> {
+        self.map_pte(
+            va,
+            Pte {
+                kind: PteKind::Frame(pfn),
+                flags,
+            },
+        )
+    }
+
+    /// Map a device register page.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AddressSpace::map`].
+    pub fn map_mmio(&self, va: u64, dev: u32, page: u32, flags: PteFlags) -> Result<(), Fault> {
+        self.map_pte(
+            va,
+            Pte {
+                kind: PteKind::Mmio { dev, page },
+                flags,
+            },
+        )
+    }
+
+    fn map_pte(&self, va: u64, pte: Pte) -> Result<(), Fault> {
+        self.check(va)?;
+        let mut node = self.root.write();
+        let mut cur: &mut Node = &mut node;
+        for level in 0..LEVELS - 1 {
+            let idx = level_index(va, level);
+            let slot = &mut cur.slots[idx];
+            match slot {
+                Entry::Empty => {
+                    *slot = Entry::Table(Box::new(Node::new()));
+                }
+                Entry::Table(_) => {}
+                Entry::Leaf(_) => return Err(Fault::AlreadyMapped { va }),
+            }
+            cur = match slot {
+                Entry::Table(t) => t,
+                _ => unreachable!(),
+            };
+        }
+        let idx = level_index(va, LEVELS - 1);
+        match &mut cur.slots[idx] {
+            slot @ Entry::Empty => {
+                *slot = Entry::Leaf(pte);
+                self.stats.pages_mapped.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            _ => Err(Fault::AlreadyMapped { va }),
+        }
+    }
+
+    /// Map a run of frames contiguously starting at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first conflicting page (earlier pages stay mapped).
+    pub fn map_range(&self, va: u64, pfns: &[Pfn], flags: PteFlags) -> Result<(), Fault> {
+        for (i, &pfn) in pfns.iter().enumerate() {
+            self.map(va + (i * PAGE_SIZE) as u64, pfn, flags)?;
+        }
+        Ok(())
+    }
+
+    /// Remove the mapping at `va`, returning the old leaf.
+    ///
+    /// Bumps the TLB generation (shootdown).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Unmapped`] if nothing is mapped there.
+    pub fn unmap(&self, va: u64) -> Result<Pte, Fault> {
+        let pte = self.unmap_quiet(va)?;
+        self.shootdown();
+        Ok(pte)
+    }
+
+    fn unmap_quiet(&self, va: u64) -> Result<Pte, Fault> {
+        self.check(va)?;
+        let mut node = self.root.write();
+        fn remove(cur: &mut Node, va: u64, level: u32) -> Result<Pte, Fault> {
+            let idx = level_index(va, level);
+            if level == LEVELS - 1 {
+                return match std::mem::replace(&mut cur.slots[idx], Entry::Empty) {
+                    Entry::Leaf(pte) => Ok(pte),
+                    other => {
+                        cur.slots[idx] = other;
+                        Err(Fault::Unmapped { va })
+                    }
+                };
+            }
+            match &mut cur.slots[idx] {
+                Entry::Table(t) => {
+                    let pte = remove(t, va, level + 1)?;
+                    if t.is_empty() {
+                        cur.slots[idx] = Entry::Empty;
+                    }
+                    Ok(pte)
+                }
+                _ => Err(Fault::Unmapped { va }),
+            }
+        }
+        let pte = remove(&mut node, va, 0)?;
+        self.stats.pages_unmapped.fetch_add(1, Ordering::Relaxed);
+        Ok(pte)
+    }
+
+    /// Unmap `n` consecutive pages, returning their leaves. One shootdown
+    /// covers the whole range (batched invalidation, like `flush_tlb_range`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unmapped page.
+    pub fn unmap_range(&self, va: u64, n: usize) -> Result<Vec<Pte>, Fault> {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.unmap_quiet(va + (i * PAGE_SIZE) as u64)?);
+        }
+        self.shootdown();
+        Ok(out)
+    }
+
+    /// Unmap every mapped page in `[va, va + n pages)`, skipping holes;
+    /// returns the removed leaves. One shootdown for the whole range —
+    /// what the re-randomizer's retire step uses, since alignment-tail
+    /// pages were never mapped.
+    pub fn unmap_sparse(&self, va: u64, n: usize) -> Vec<Pte> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            if let Ok(pte) = self.unmap_quiet(va + (i * PAGE_SIZE) as u64) {
+                out.push(pte);
+            }
+        }
+        self.shootdown();
+        out
+    }
+
+    /// Atomically swap the frame behind a mapped page, returning the old
+    /// leaf. This is how the re-randomizer swings a GOT page onto a
+    /// freshly built table (paper §4.2: "GOT pages … are remapped to
+    /// point to the new GOTs") without a window where the page is
+    /// unmapped. Bumps the TLB generation.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Unmapped`] if the page is not mapped.
+    pub fn replace(&self, va: u64, pfn: Pfn, flags: PteFlags) -> Result<Pte, Fault> {
+        self.check(va)?;
+        let old = {
+            let mut node = self.root.write();
+            let mut cur: &mut Node = &mut node;
+            for level in 0..LEVELS - 1 {
+                let idx = level_index(va, level);
+                cur = match &mut cur.slots[idx] {
+                    Entry::Table(t) => t,
+                    _ => return Err(Fault::Unmapped { va }),
+                };
+            }
+            match &mut cur.slots[level_index(va, LEVELS - 1)] {
+                Entry::Leaf(pte) => std::mem::replace(
+                    pte,
+                    Pte {
+                        kind: PteKind::Frame(pfn),
+                        flags,
+                    },
+                ),
+                _ => return Err(Fault::Unmapped { va }),
+            }
+        };
+        self.shootdown();
+        Ok(old)
+    }
+
+    /// Change the permissions of a mapped page (e.g. write-protecting a
+    /// GOT after initialization, §4.1). Bumps the TLB generation.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Unmapped`] if the page is not mapped.
+    pub fn protect(&self, va: u64, flags: PteFlags) -> Result<(), Fault> {
+        self.check(va)?;
+        {
+            let mut node = self.root.write();
+            let mut cur: &mut Node = &mut node;
+            for level in 0..LEVELS - 1 {
+                let idx = level_index(va, level);
+                cur = match &mut cur.slots[idx] {
+                    Entry::Table(t) => t,
+                    _ => return Err(Fault::Unmapped { va }),
+                };
+            }
+            match &mut cur.slots[level_index(va, LEVELS - 1)] {
+                Entry::Leaf(pte) => pte.flags = flags,
+                _ => return Err(Fault::Unmapped { va }),
+            }
+        }
+        self.stats.protects.fetch_add(1, Ordering::Relaxed);
+        self.shootdown();
+        Ok(())
+    }
+
+    /// [`AddressSpace::protect`] over `n` consecutive pages.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unmapped page.
+    pub fn protect_range(&self, va: u64, n: usize, flags: PteFlags) -> Result<(), Fault> {
+        for i in 0..n {
+            self.protect(va + (i * PAGE_SIZE) as u64, flags)?;
+        }
+        Ok(())
+    }
+
+    /// Translate `va` for the given access kind.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::Unmapped`], [`Fault::NotWritable`], [`Fault::NotExecutable`],
+    /// [`Fault::MmioExec`], or [`Fault::NonCanonical`].
+    pub fn translate(&self, va: u64, access: Access) -> Result<Translation, Fault> {
+        if va & !VA_MASK != 0 {
+            return Err(Fault::NonCanonical { va });
+        }
+        self.stats.walks.fetch_add(1, Ordering::Relaxed);
+        let node = self.root.read();
+        let mut cur: &Node = &node;
+        for level in 0..LEVELS - 1 {
+            let idx = level_index(va, level);
+            cur = match &cur.slots[idx] {
+                Entry::Table(t) => t,
+                _ => return Err(Fault::Unmapped { va }),
+            };
+        }
+        let pte = match &cur.slots[level_index(va, LEVELS - 1)] {
+            Entry::Leaf(pte) => *pte,
+            _ => return Err(Fault::Unmapped { va }),
+        };
+        check_access(va, &pte, access)?;
+        Ok(Translation {
+            pte,
+            page_va: page_base(va),
+        })
+    }
+
+    /// Collect the leaves backing `n` consecutive pages — the gather step
+    /// of the zero-copy remap.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any page in the range is unmapped.
+    pub fn leaves_of_range(&self, va: u64, n: usize) -> Result<Vec<Pte>, Fault> {
+        (0..n)
+            .map(|i| {
+                self.translate(va + (i * PAGE_SIZE) as u64, Access::Read)
+                    .map(|t| t.pte)
+            })
+            .collect()
+    }
+
+    /// Read `buf.len()` bytes starting at `va` (may cross pages).
+    ///
+    /// # Errors
+    ///
+    /// Translation faults, or [`Fault::MmioData`] if the range covers an
+    /// MMIO page (device access must go through the interpreter).
+    pub fn read_bytes(&self, phys: &PhysMem, va: u64, buf: &mut [u8]) -> Result<(), Fault> {
+        self.access_bytes(phys, va, Access::Read, buf.len(), |pfn, off, i, n, phys| {
+            phys.read(pfn, off, &mut buf[i..i + n]);
+        })
+    }
+
+    /// Write bytes starting at `va` (may cross pages).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AddressSpace::read_bytes`], plus [`Fault::NotWritable`].
+    pub fn write_bytes(&self, phys: &PhysMem, va: u64, bytes: &[u8]) -> Result<(), Fault> {
+        self.access_bytes(phys, va, Access::Write, bytes.len(), |pfn, off, i, n, phys| {
+            phys.write(pfn, off, &bytes[i..i + n]);
+        })
+    }
+
+    fn access_bytes(
+        &self,
+        phys: &PhysMem,
+        va: u64,
+        access: Access,
+        len: usize,
+        mut f: impl FnMut(Pfn, usize, usize, usize, &PhysMem),
+    ) -> Result<(), Fault> {
+        let mut done = 0usize;
+        while done < len {
+            let cur = va + done as u64;
+            let off = page_offset(cur);
+            let n = (PAGE_SIZE - off).min(len - done);
+            let t = self.translate(cur, access)?;
+            match t.pte.kind {
+                PteKind::Frame(pfn) => f(pfn, off, done, n, phys),
+                PteKind::Mmio { .. } => return Err(Fault::MmioData { va: cur }),
+            }
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Read a little-endian u64 at `va`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AddressSpace::read_bytes`].
+    pub fn read_u64(&self, phys: &PhysMem, va: u64) -> Result<u64, Fault> {
+        let mut b = [0u8; 8];
+        self.read_bytes(phys, va, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Write a little-endian u64 at `va`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AddressSpace::write_bytes`].
+    pub fn write_u64(&self, phys: &PhysMem, va: u64, v: u64) -> Result<(), Fault> {
+        self.write_bytes(phys, va, &v.to_le_bytes())
+    }
+
+    /// Fetch up to 16 instruction bytes at `va` with execute permission
+    /// checks. Returns how many bytes were fetched (short reads happen at
+    /// mapping boundaries, which the decoder reports as `Truncated`).
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::NotExecutable`] for NX pages, [`Fault::MmioExec`] for
+    /// device pages, [`Fault::Unmapped`] if the *first* page is missing.
+    pub fn fetch(&self, phys: &PhysMem, va: u64, buf: &mut [u8; 16]) -> Result<usize, Fault> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = va + done as u64;
+            let off = page_offset(cur);
+            let n = (PAGE_SIZE - off).min(buf.len() - done);
+            let t = match self.translate(cur, Access::Exec) {
+                Ok(t) => t,
+                Err(Fault::MmioExec { va }) | Err(Fault::MmioData { va }) => {
+                    return Err(Fault::MmioExec { va })
+                }
+                Err(e) if done > 0 => {
+                    // Short fetch at a mapping edge: let the decoder decide.
+                    let _ = e;
+                    return Ok(done);
+                }
+                Err(e) => return Err(e),
+            };
+            match t.pte.kind {
+                PteKind::Frame(pfn) => phys.read(pfn, off, &mut buf[done..done + n]),
+                PteKind::Mmio { .. } => return Err(Fault::MmioExec { va: cur }),
+            }
+            done += n;
+        }
+        Ok(done)
+    }
+
+    /// Snapshot of activity counters.
+    pub fn stats(&self) -> SpaceStats {
+        SpaceStats {
+            pages_mapped: self.stats.pages_mapped.load(Ordering::Relaxed),
+            pages_unmapped: self.stats.pages_unmapped.load(Ordering::Relaxed),
+            protects: self.stats.protects.load(Ordering::Relaxed),
+            shootdowns: self.stats.shootdowns.load(Ordering::Relaxed),
+            walks: self.stats.walks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn check_access(va: u64, pte: &Pte, access: Access) -> Result<(), Fault> {
+    match access {
+        Access::Read => Ok(()),
+        Access::Write => {
+            if pte.flags.writable() {
+                Ok(())
+            } else {
+                Err(Fault::NotWritable { va })
+            }
+        }
+        Access::Exec => {
+            if let PteKind::Mmio { .. } = pte.kind {
+                return Err(Fault::MmioExec { va });
+            }
+            if pte.flags.executable() {
+                Ok(())
+            } else {
+                Err(Fault::NotExecutable { va })
+            }
+        }
+    }
+}
+
+impl fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AddressSpace")
+            .field("generation", &self.generation())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VA: u64 = 0x00ab_cdef_0012_3000;
+
+    #[test]
+    fn map_translate_unmap() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let pfn = phys.alloc();
+        space.map(VA, pfn, PteFlags::DATA).unwrap();
+        let t = space.translate(VA + 0x123, Access::Read).unwrap();
+        assert_eq!(t.pte.kind, PteKind::Frame(pfn));
+        assert_eq!(t.page_va, VA);
+        assert_eq!(space.map(VA, pfn, PteFlags::DATA), Err(Fault::AlreadyMapped { va: VA }));
+        let pte = space.unmap(VA).unwrap();
+        assert_eq!(pte.kind, PteKind::Frame(pfn));
+        assert_eq!(space.translate(VA, Access::Read), Err(Fault::Unmapped { va: VA }));
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let pfn = phys.alloc();
+        space.map(VA, pfn, PteFlags::RO_DATA).unwrap();
+        assert!(space.translate(VA, Access::Read).is_ok());
+        assert_eq!(
+            space.translate(VA, Access::Write),
+            Err(Fault::NotWritable { va: VA })
+        );
+        assert_eq!(
+            space.translate(VA, Access::Exec),
+            Err(Fault::NotExecutable { va: VA })
+        );
+        // Text pages execute but don't write.
+        space.protect(VA, PteFlags::TEXT).unwrap();
+        assert!(space.translate(VA, Access::Exec).is_ok());
+        assert_eq!(
+            space.translate(VA, Access::Write),
+            Err(Fault::NotWritable { va: VA })
+        );
+    }
+
+    #[test]
+    fn zero_copy_alias_sees_same_bytes() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let pfn = phys.alloc();
+        space.map(VA, pfn, PteFlags::DATA).unwrap();
+        let alias = 0x0044_0000_0000_0000u64;
+        space.map(alias, pfn, PteFlags::DATA).unwrap();
+        space.write_u64(&phys, VA + 8, 77).unwrap();
+        assert_eq!(space.read_u64(&phys, alias + 8).unwrap(), 77);
+    }
+
+    #[test]
+    fn cross_page_rw() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        space.map_range(VA, &phys.alloc_n(2), PteFlags::DATA).unwrap();
+        let data: Vec<u8> = (0..100).collect();
+        let start = VA + PAGE_SIZE as u64 - 50;
+        space.write_bytes(&phys, start, &data).unwrap();
+        let mut back = vec![0u8; 100];
+        space.read_bytes(&phys, start, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn shootdown_generation() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let g0 = space.generation();
+        let pfn = phys.alloc();
+        space.map(VA, pfn, PteFlags::DATA).unwrap();
+        assert_eq!(space.generation(), g0, "map does not shoot down");
+        space.protect(VA, PteFlags::RO_DATA).unwrap();
+        assert!(space.generation() > g0, "protect shoots down");
+        let g1 = space.generation();
+        space.unmap(VA).unwrap();
+        assert!(space.generation() > g1, "unmap shoots down");
+    }
+
+    #[test]
+    fn unmap_range_batches_shootdown() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        space.map_range(VA, &phys.alloc_n(8), PteFlags::DATA).unwrap();
+        let g0 = space.generation();
+        let leaves = space.unmap_range(VA, 8).unwrap();
+        assert_eq!(leaves.len(), 8);
+        assert_eq!(space.generation(), g0 + 1, "one shootdown for the range");
+    }
+
+    #[test]
+    fn replace_swaps_frames_atomically() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let a = phys.alloc();
+        let b = phys.alloc();
+        phys.write_u64(a, 0, 1);
+        phys.write_u64(b, 0, 2);
+        space.map(VA, a, PteFlags::RO_DATA).unwrap();
+        assert_eq!(space.read_u64(&phys, VA).unwrap(), 1);
+        let g0 = space.generation();
+        let old = space.replace(VA, b, PteFlags::RO_DATA).unwrap();
+        assert_eq!(old.kind, PteKind::Frame(a));
+        assert_eq!(space.read_u64(&phys, VA).unwrap(), 2);
+        assert!(space.generation() > g0, "replace shoots down");
+        assert_eq!(
+            space.replace(VA + 0x1000, b, PteFlags::RO_DATA),
+            Err(Fault::Unmapped { va: VA + 0x1000 })
+        );
+    }
+
+    #[test]
+    fn mmio_leaves() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        space.map_mmio(VA, 3, 0, PteFlags::DATA).unwrap();
+        let t = space.translate(VA, Access::Write).unwrap();
+        assert_eq!(t.pte.kind, PteKind::Mmio { dev: 3, page: 0 });
+        assert_eq!(
+            space.read_u64(&phys, VA),
+            Err(Fault::MmioData { va: VA })
+        );
+        assert_eq!(
+            space.translate(VA, Access::Exec),
+            Err(Fault::MmioExec { va: VA })
+        );
+    }
+
+    #[test]
+    fn non_canonical_rejected() {
+        let space = AddressSpace::new();
+        let phys = PhysMem::new();
+        let bad = 1u64 << 60;
+        assert_eq!(
+            space.map(bad, phys.alloc(), PteFlags::DATA),
+            Err(Fault::NonCanonical { va: bad })
+        );
+        assert_eq!(
+            space.translate(bad, Access::Read),
+            Err(Fault::NonCanonical { va: bad })
+        );
+    }
+
+    #[test]
+    fn leaves_of_range_gathers() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let pfns = phys.alloc_n(4);
+        space.map_range(VA, &pfns, PteFlags::TEXT).unwrap();
+        let leaves = space.leaves_of_range(VA, 4).unwrap();
+        for (l, p) in leaves.iter().zip(&pfns) {
+            assert_eq!(l.kind, PteKind::Frame(*p));
+        }
+    }
+
+    #[test]
+    fn fetch_short_read_at_edge() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let pfn = phys.alloc();
+        space.map(VA, pfn, PteFlags::TEXT).unwrap();
+        let mut buf = [0u8; 16];
+        // Fetch 8 bytes before the end of the mapped page → short read.
+        let n = space.fetch(&phys, VA + PAGE_SIZE as u64 - 8, &mut buf).unwrap();
+        assert_eq!(n, 8);
+        // Fetch entirely outside → fault.
+        assert!(space.fetch(&phys, VA + PAGE_SIZE as u64, &mut buf).is_err());
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        space.map_range(VA, &phys.alloc_n(3), PteFlags::DATA).unwrap();
+        space.unmap(VA).unwrap();
+        let s = space.stats();
+        assert_eq!(s.pages_mapped, 3);
+        assert_eq!(s.pages_unmapped, 1);
+        assert!(s.walks > 0 || s.shootdowns > 0);
+    }
+}

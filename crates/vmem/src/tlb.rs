@@ -1,0 +1,143 @@
+//! A per-CPU TLB model.
+//!
+//! Re-randomization forces page-table updates, and page-table updates
+//! force TLB invalidations — the cost the paper discusses in §4.3. The
+//! model uses *generation-based shootdown*: [`crate::AddressSpace`] bumps
+//! its generation on unmap/protect, and a [`Tlb`] whose snapshot lags the
+//! space's generation flushes itself on the next lookup, counting the
+//! flush.
+
+use crate::{Pte, Translation};
+use std::collections::HashMap;
+
+/// TLB hit/miss/flush counters.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct TlbStats {
+    /// Lookups that hit a cached translation.
+    pub hits: u64,
+    /// Lookups that missed (caller must walk the page table).
+    pub misses: u64,
+    /// Whole-TLB flushes caused by generation bumps.
+    pub flushes: u64,
+}
+
+/// A single CPU's translation cache.
+///
+/// Not thread-safe by design: each simulated CPU owns one.
+#[derive(Debug, Default)]
+pub struct Tlb {
+    entries: HashMap<u64, Pte>,
+    generation: u64,
+    stats: TlbStats,
+    capacity: usize,
+}
+
+impl Tlb {
+    /// A TLB with the default capacity (1536 entries, Skylake-ish).
+    pub fn new() -> Tlb {
+        Tlb::with_capacity(1536)
+    }
+
+    /// A TLB bounded to `capacity` cached pages.
+    pub fn with_capacity(capacity: usize) -> Tlb {
+        Tlb {
+            entries: HashMap::new(),
+            generation: 0,
+            stats: TlbStats::default(),
+            capacity,
+        }
+    }
+
+    /// Look up the translation for the page containing `va`, flushing
+    /// first if `current_generation` moved past our snapshot.
+    pub fn lookup(&mut self, page_va: u64, current_generation: u64) -> Option<Pte> {
+        if self.generation != current_generation {
+            self.entries.clear();
+            self.generation = current_generation;
+            self.stats.flushes += 1;
+        }
+        match self.entries.get(&page_va) {
+            Some(pte) => {
+                self.stats.hits += 1;
+                Some(*pte)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Install a translation produced by a page-table walk.
+    pub fn insert(&mut self, t: &Translation) {
+        if self.entries.len() >= self.capacity {
+            // Cheap pseudo-random eviction: drop an arbitrary entry.
+            if let Some(&k) = self.entries.keys().next() {
+                self.entries.remove(&k);
+            }
+        }
+        self.entries.insert(t.page_va, t.pte);
+    }
+
+    /// Explicitly flush (e.g. on simulated context switch).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.stats.flushes += 1;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Access, AddressSpace, PhysMem, PteFlags};
+
+    const VA: u64 = 0x0012_3456_7800_0000;
+
+    #[test]
+    fn hit_after_insert() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        space.map(VA, phys.alloc(), PteFlags::DATA).unwrap();
+        let mut tlb = Tlb::new();
+        let g = space.generation();
+        assert_eq!(tlb.lookup(VA, g), None);
+        let t = space.translate(VA, Access::Read).unwrap();
+        tlb.insert(&t);
+        assert_eq!(tlb.lookup(VA, g), Some(t.pte));
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn generation_bump_flushes() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        space.map(VA, phys.alloc(), PteFlags::DATA).unwrap();
+        let mut tlb = Tlb::new();
+        let t = space.translate(VA, Access::Read).unwrap();
+        tlb.insert(&t);
+        // Unmap bumps the generation; the stale entry must not be served.
+        space.unmap(VA).unwrap();
+        assert_eq!(tlb.lookup(VA, space.generation()), None);
+        assert_eq!(tlb.stats().flushes, 1);
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut tlb = Tlb::with_capacity(4);
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        for i in 0..8u64 {
+            let va = VA + i * 4096;
+            space.map(va, phys.alloc(), PteFlags::DATA).unwrap();
+            let t = space.translate(va, Access::Read).unwrap();
+            tlb.insert(&t);
+        }
+        assert!(tlb.entries.len() <= 4);
+    }
+}

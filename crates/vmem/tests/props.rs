@@ -1,0 +1,96 @@
+//! Property tests for page-table invariants.
+
+use adelie_vmem::{Access, AddressSpace, Fault, PhysMem, PteFlags, PAGE_SIZE, VA_MASK};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_page() -> impl Strategy<Value = u64> {
+    // Spread pages across the whole canonical space.
+    (0u64..(VA_MASK >> 12)).prop_map(|p| p << 12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A model-based test: a HashMap mirror of the radix table must
+    /// agree with it after arbitrary map/unmap/protect sequences.
+    #[test]
+    fn matches_model(ops in proptest::collection::vec(
+        (arb_page(), 0u8..3), 1..64)) {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let mut model: HashMap<u64, PteFlags> = HashMap::new();
+        for (va, op) in ops {
+            match op {
+                0 => {
+                    let outcome = space.map(va, phys.alloc(), PteFlags::DATA);
+                    if model.contains_key(&va) {
+                        prop_assert_eq!(outcome, Err(Fault::AlreadyMapped { va }));
+                    } else {
+                        prop_assert!(outcome.is_ok());
+                        model.insert(va, PteFlags::DATA);
+                    }
+                }
+                1 => {
+                    let outcome = space.unmap(va);
+                    prop_assert_eq!(outcome.is_ok(), model.remove(&va).is_some());
+                }
+                _ => {
+                    let outcome = space.protect(va, PteFlags::RO_DATA);
+                    if let std::collections::hash_map::Entry::Occupied(mut e) = model.entry(va) {
+                        prop_assert!(outcome.is_ok());
+                        e.insert(PteFlags::RO_DATA);
+                    } else {
+                        prop_assert!(outcome.is_err());
+                    }
+                }
+            }
+        }
+        // Final agreement on every address the model knows about.
+        for (&va, &flags) in &model {
+            let t = space.translate(va, Access::Read);
+            prop_assert!(t.is_ok(), "model says {va:#x} mapped");
+            prop_assert_eq!(t.unwrap().pte.flags, flags);
+        }
+    }
+
+    /// Bytes written through one alias read back through another.
+    #[test]
+    fn aliases_are_coherent(a in arb_page(), b in arb_page(), val in any::<u64>()) {
+        prop_assume!(a != b);
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let pfn = phys.alloc();
+        space.map(a, pfn, PteFlags::DATA).unwrap();
+        space.map(b, pfn, PteFlags::DATA).unwrap();
+        space.write_u64(&phys, a + 40, val).unwrap();
+        prop_assert_eq!(space.read_u64(&phys, b + 40).unwrap(), val);
+    }
+
+    /// Cross-page reads stitch bytes correctly at every offset.
+    #[test]
+    fn cross_page_reads(off in 1usize..8) {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let base = 0x42u64 << 13;
+        space.map_range(base, &phys.alloc_n(2), PteFlags::DATA).unwrap();
+        let va = base + PAGE_SIZE as u64 - off as u64;
+        space.write_u64(&phys, va, 0x1122_3344_5566_7788).unwrap();
+        prop_assert_eq!(space.read_u64(&phys, va).unwrap(), 0x1122_3344_5566_7788);
+    }
+
+    /// Permissions are enforced for every flag combination.
+    #[test]
+    fn permission_matrix(writable in any::<bool>(), executable in any::<bool>()) {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let mut flags = PteFlags::TEXT;
+        if writable { flags = flags | PteFlags::WRITABLE; }
+        if !executable { flags = flags | PteFlags::NX; }
+        let va = 0x77u64 << 14;
+        space.map(va, phys.alloc(), flags).unwrap();
+        prop_assert!(space.translate(va, Access::Read).is_ok());
+        prop_assert_eq!(space.translate(va, Access::Write).is_ok(), writable);
+        prop_assert_eq!(space.translate(va, Access::Exec).is_ok(), executable);
+    }
+}

@@ -1,0 +1,101 @@
+//! The ApacheBench-like HTTP workload (Fig. 8).
+//!
+//! The paper serves static files of 512 B–8 KB with Apache while five
+//! modules re-randomize (E1000E on the critical path, NVMe occasionally,
+//! FUSE/ext4/xHCI as extra load). The model: clients request a document
+//! by size class over the NIC; the server reads it from the page cache
+//! (every Nth request touches NVMe directly, modelling cold objects) and
+//! streams it back through the driver's transmit path.
+
+use crate::net::{AppFn, NetHarness};
+use crate::{CpuMeter, Measurement, Testbed};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The document size classes of Fig. 8.
+pub const BLOCK_SIZES: [usize; 5] = [512, 1024, 2048, 4096, 8192];
+
+/// Every Nth request bypasses the cache (cold object via NVMe).
+pub const COLD_EVERY: u64 = 64;
+
+fn make_app(tb: &Testbed) -> AppFn {
+    let kernel = tb.kernel.clone();
+    let mut fds = std::collections::HashMap::new();
+    let mut direct_fds = std::collections::HashMap::new();
+    for &bs in &BLOCK_SIZES {
+        let name = format!("www_doc_{bs}");
+        fds.insert(bs, kernel.vfs.open(&name, false).expect("www doc"));
+        direct_fds.insert(bs, kernel.vfs.open(&name, true).expect("www doc"));
+    }
+    let counter = AtomicU64::new(0);
+    Arc::new(move |vm, req| {
+        // Request: "GET <bs>".
+        let bs: usize = std::str::from_utf8(req)
+            .ok()
+            .and_then(|s| s.strip_prefix("GET "))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(512);
+        let bs = if BLOCK_SIZES.contains(&bs) { bs } else { 512 };
+        let buf = kernel.heap.kmalloc(&kernel.space, &kernel.phys, bs.max(512));
+        let n = counter.fetch_add(1, Ordering::Relaxed);
+        let read = if n % COLD_EVERY == 0 {
+            kernel.vfs.pread(vm, direct_fds[&bs], buf, bs, 0)
+        } else {
+            kernel.vfs.pread(vm, fds[&bs], buf, bs, 0)
+        };
+        let n = read.unwrap_or(0);
+        let mut body = vec![0u8; n];
+        let _ = kernel.space.read_bytes(&kernel.phys, buf, &mut body);
+        kernel.heap.kfree(buf);
+        body
+    })
+}
+
+/// Run ApacheBench at one `(block_size, concurrency)` point. Throughput
+/// is response payload bytes over the wall clock — the MB/s series of
+/// Fig. 8.
+pub fn run_apache(
+    tb: &Testbed,
+    block_size: usize,
+    concurrency: usize,
+    server_threads: usize,
+    duration: Duration,
+) -> Measurement {
+    assert!(BLOCK_SIZES.contains(&block_size), "unknown size class");
+    let nic = tb.nic.as_ref().expect("testbed NIC").clone();
+    let app = make_app(tb);
+    let harness = NetHarness::start(tb.kernel.clone(), nic, server_threads, app);
+    let meter = CpuMeter::start(&tb.kernel);
+    let reqs = AtomicU64::new(0);
+    let bytes = AtomicU64::new(0);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let request = format!("GET {block_size}");
+    std::thread::scope(|s| {
+        for _ in 0..concurrency {
+            let harness = harness.clone();
+            let reqs = &reqs;
+            let bytes = &bytes;
+            let stop = &stop;
+            let request = request.as_bytes();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some(resp) = harness.request(request) {
+                        reqs.fetch_add(1, Ordering::Relaxed);
+                        bytes.fetch_add(resp.len() as u64, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let (wall, cpu) = meter.stop();
+    harness.shutdown();
+    Measurement {
+        ops: reqs.load(Ordering::Relaxed),
+        bytes: bytes.load(Ordering::Relaxed),
+        wall,
+        cpu,
+    }
+}

@@ -1,0 +1,376 @@
+//! # adelie-workloads — the paper's benchmark workloads
+//!
+//! One runner per evaluation workload, each returning a structured
+//! [`Measurement`] (ops, bytes, wall time, modeled CPU usage):
+//!
+//! | paper workload | runner |
+//! |---|---|
+//! | `dd` cached reads (Fig. 5b) | [`run_dd`] |
+//! | sysbench `file_io` (Fig. 5c) | [`run_fileio`] |
+//! | kernbench (Fig. 5d) | [`run_kernbench`] |
+//! | NVMe `O_DIRECT` loop (Fig. 6) | [`run_nvme_direct`] |
+//! | sysbench OLTP / mySQL (Fig. 7) | [`run_oltp`] |
+//! | ApacheBench (Fig. 8) | [`run_apache`] |
+//! | null-ioctl loop (Fig. 9) | [`run_ioctl`] |
+//!
+//! [`Testbed`] assembles the machine: kernel + drivers built under a
+//! given [`TransformOptions`] configuration + pre-created files, the
+//! way Table 1's server is provisioned before each experiment.
+
+mod apache;
+mod micro;
+mod net;
+mod oltp;
+
+pub use apache::{run_apache, BLOCK_SIZES};
+pub use micro::{run_dd, run_fileio, run_ioctl, run_kernbench, run_nvme_direct, FileIoMode};
+pub use net::{AppFn, NetHarness};
+pub use oltp::{run_oltp, TABLES, TABLE_BYTES};
+
+use adelie_core::ModuleRegistry;
+use adelie_drivers::{
+    install_dummy, install_extfs, install_fuse, install_nic, install_nvme, install_xhci,
+    NicDevice, NicFlavor, NvmeDevice,
+};
+use adelie_kernel::{Kernel, KernelConfig, ReclaimerKind};
+use adelie_plugin::TransformOptions;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A throughput/CPU measurement (one data point of one figure).
+#[derive(Copy, Clone, Debug)]
+pub struct Measurement {
+    /// Operations completed (reads, ioctls, transactions, requests…).
+    pub ops: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Wall-clock duration of the measurement window.
+    pub wall: Duration,
+    /// Modeled machine utilization over the window (0..=1).
+    pub cpu: f64,
+}
+
+impl Measurement {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Megabytes per second.
+    pub fn mb_per_sec(&self) -> f64 {
+        self.bytes as f64 / 1e6 / self.wall.as_secs_f64()
+    }
+
+    /// CPU usage in percent (the unit the paper's figures use).
+    pub fn cpu_percent(&self) -> f64 {
+        self.cpu * 100.0
+    }
+}
+
+/// Measures wall time and modeled CPU usage over a window.
+pub struct CpuMeter {
+    kernel: Arc<Kernel>,
+    busy0: u64,
+    t0: Instant,
+}
+
+impl CpuMeter {
+    /// Start measuring.
+    pub fn start(kernel: &Arc<Kernel>) -> CpuMeter {
+        CpuMeter {
+            kernel: kernel.clone(),
+            busy0: kernel.percpu.total_busy_ns(),
+            t0: Instant::now(),
+        }
+    }
+
+    /// Stop; returns `(wall, usage)`.
+    pub fn stop(self) -> (Duration, f64) {
+        let wall = self.t0.elapsed();
+        let usage = self.kernel.percpu.usage_since(self.busy0, wall);
+        (wall, usage)
+    }
+}
+
+/// Which driver set to install.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DriverSet {
+    /// E1000E-like NIC.
+    pub nic: bool,
+    /// NVMe-like storage.
+    pub nvme: bool,
+    /// ext4-analog block mapping.
+    pub extfs: bool,
+    /// Null-ioctl dummy driver.
+    pub dummy: bool,
+    /// xHCI + FUSE extra-load modules.
+    pub extras: bool,
+}
+
+impl DriverSet {
+    /// Everything (the Fig. 8 configuration).
+    pub fn full() -> DriverSet {
+        DriverSet {
+            nic: true,
+            nvme: true,
+            extfs: true,
+            dummy: true,
+            extras: true,
+        }
+    }
+
+    /// Storage-only (Fig. 6).
+    pub fn storage() -> DriverSet {
+        DriverSet {
+            nic: false,
+            nvme: true,
+            extfs: true,
+            dummy: false,
+            extras: false,
+        }
+    }
+
+    /// Dummy-only (Fig. 9).
+    pub fn dummy_only() -> DriverSet {
+        DriverSet {
+            nic: false,
+            nvme: false,
+            extfs: false,
+            dummy: true,
+            extras: false,
+        }
+    }
+}
+
+/// The provisioned machine for one experiment.
+pub struct Testbed {
+    /// The simulated kernel.
+    pub kernel: Arc<Kernel>,
+    /// Module registry (for spawning a re-randomizer).
+    pub registry: Arc<ModuleRegistry>,
+    /// NIC device handle (when installed).
+    pub nic: Option<Arc<NicDevice>>,
+    /// NVMe device handle (when installed).
+    pub nvme: Option<Arc<NvmeDevice>>,
+    /// The module configuration used.
+    pub opts: TransformOptions,
+    /// Names of installed re-randomizable modules.
+    pub module_names: Vec<String>,
+}
+
+impl Testbed {
+    /// Provision a testbed: boot, install `drivers` under `opts`, create
+    /// and warm the benchmark files.
+    pub fn new(opts: TransformOptions, drivers: DriverSet) -> Testbed {
+        Testbed::with_kernel_config(
+            opts,
+            drivers,
+            KernelConfig {
+                retpoline: opts.retpoline,
+                ..KernelConfig::default()
+            },
+        )
+    }
+
+    /// Provision with an explicit kernel configuration (reclaimer
+    /// ablations, CPU-count scaling).
+    pub fn with_kernel_config(
+        opts: TransformOptions,
+        drivers: DriverSet,
+        config: KernelConfig,
+    ) -> Testbed {
+        let kernel = Kernel::new(config);
+        let registry = ModuleRegistry::new(&kernel);
+        let mut names = Vec::new();
+        let nic = drivers.nic.then(|| {
+            let d = install_nic(&registry, &opts, NicFlavor::E1000e).expect("nic");
+            names.push(d.module.name.clone());
+            d.device
+        });
+        let nvme = drivers.nvme.then(|| {
+            let d = install_nvme(&registry, &opts).expect("nvme");
+            names.push(d.module.name.clone());
+            d.device
+        });
+        if drivers.extfs {
+            let d = install_extfs(&registry, &opts).expect("extfs");
+            names.push(d.module.name.clone());
+        }
+        if drivers.dummy {
+            let d = install_dummy(&registry, &opts).expect("dummy");
+            names.push(d.module.name.clone());
+        }
+        if drivers.extras {
+            let x = install_xhci(&registry, &opts).expect("xhci");
+            names.push(x.module.name.clone());
+            let f = install_fuse(&registry, &opts).expect("fuse");
+            names.push(f.module.name.clone());
+        }
+        let tb = Testbed {
+            kernel,
+            registry,
+            nic,
+            nvme,
+            opts,
+            module_names: names,
+        };
+        tb.provision_files();
+        tb
+    }
+
+    fn provision_files(&self) {
+        let mut vm = self.kernel.vm();
+        // dd microbenchmark file (cached).
+        self.kernel.vfs.create("dd.dat", 4 << 20);
+        self.kernel.vfs.warm(&mut vm, "dd.dat").unwrap();
+        // sysbench file_io files.
+        for i in 0..4 {
+            let name = format!("sb_file_{i}");
+            self.kernel.vfs.create(&name, 1 << 20);
+            self.kernel.vfs.warm(&mut vm, &name).unwrap();
+        }
+        // kernbench source tree.
+        for i in 0..8 {
+            let name = format!("src_{i}");
+            self.kernel.vfs.create(&name, 128 * 1024);
+            self.kernel.vfs.warm(&mut vm, &name).unwrap();
+        }
+        // NVMe O_DIRECT target.
+        self.kernel.vfs.create("nvme.dat", 1 << 20);
+        // OLTP tables (warm = the cached fraction).
+        for t in 0..TABLES {
+            let name = format!("sbtest{t}");
+            self.kernel.vfs.create(&name, TABLE_BYTES);
+            self.kernel.vfs.warm(&mut vm, &name).unwrap();
+        }
+        // Apache documents.
+        for bs in BLOCK_SIZES {
+            let name = format!("www_doc_{bs}");
+            self.kernel.vfs.create(&name, bs as u64);
+            self.kernel.vfs.warm(&mut vm, &name).unwrap();
+        }
+    }
+
+    /// Start continuous re-randomization of the installed modules at
+    /// `period` (no-op list when none are re-randomizable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the installed modules were not built re-randomizable.
+    pub fn start_rerand(&self, period: Duration) -> adelie_core::Rerandomizer {
+        let names: Vec<&str> = self.module_names.iter().map(|s| s.as_str()).collect();
+        adelie_core::Rerandomizer::spawn(
+            self.kernel.clone(),
+            self.registry.clone(),
+            &names,
+            period,
+        )
+    }
+}
+
+/// The four Fig. 5 system configurations.
+pub fn pic_matrix() -> Vec<(&'static str, TransformOptions)> {
+    vec![
+        ("linux", TransformOptions::vanilla(false)),
+        ("linux+retpoline", TransformOptions::vanilla(true)),
+        ("pic", TransformOptions::pic(false)),
+        ("pic+retpoline", TransformOptions::pic(true)),
+    ]
+}
+
+/// Convenience: testbed config with the EBR reclaimer (ablation).
+pub fn ebr_kernel_config(opts: &TransformOptions) -> KernelConfig {
+    KernelConfig {
+        retpoline: opts.retpoline,
+        reclaimer: ReclaimerKind::Ebr,
+        ..KernelConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHORT: Duration = Duration::from_millis(60);
+
+    #[test]
+    fn dd_runs_in_every_configuration() {
+        for (label, opts) in pic_matrix() {
+            let tb = Testbed::new(opts, DriverSet::storage());
+            let m = run_dd(&tb, 64 * 1024, SHORT);
+            assert!(m.ops > 0, "{label}: no ops");
+            assert!(m.mb_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn fileio_modes_run() {
+        let tb = Testbed::new(TransformOptions::pic(true), DriverSet::storage());
+        for mode in [FileIoMode::SeqRead, FileIoMode::RndRead] {
+            let m = run_fileio(&tb, mode, SHORT);
+            assert!(m.ops > 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn kernbench_scales_with_concurrency() {
+        let tb = Testbed::new(TransformOptions::pic(true), DriverSet::storage());
+        let m = run_kernbench(&tb, 4, 24);
+        assert_eq!(m.ops, 24);
+        assert!(m.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn nvme_direct_loop_hits_the_driver() {
+        let tb = Testbed::new(
+            TransformOptions::rerandomizable(true),
+            DriverSet::storage(),
+        );
+        let completed_before = tb.nvme.as_ref().unwrap().completed();
+        let m = run_nvme_direct(&tb, SHORT);
+        assert!(m.ops > 0);
+        assert!(tb.nvme.as_ref().unwrap().completed() > completed_before);
+    }
+
+    #[test]
+    fn ioctl_loop_under_rerand() {
+        let tb = Testbed::new(
+            TransformOptions::rerandomizable(true),
+            DriverSet::dummy_only(),
+        );
+        let rr = tb.start_rerand(Duration::from_millis(1));
+        let m = run_ioctl(&tb, SHORT);
+        let stats = rr.stop();
+        assert!(m.ops > 256);
+        assert!(stats.randomized > 0);
+        assert_eq!(tb.kernel.reclaim.stats().delta(), 0);
+    }
+
+    #[test]
+    fn oltp_transactions_flow() {
+        let tb = Testbed::new(TransformOptions::rerandomizable(true), DriverSet::full());
+        let m = run_oltp(&tb, 4, 2, Duration::from_millis(150));
+        assert!(m.ops > 0, "no transactions completed");
+    }
+
+    #[test]
+    fn apache_serves_bytes() {
+        let tb = Testbed::new(TransformOptions::rerandomizable(true), DriverSet::full());
+        let m = run_apache(&tb, 4096, 4, 2, Duration::from_millis(150));
+        assert!(m.ops > 0, "no requests served");
+        assert!(m.bytes >= m.ops * 4096, "responses carry the document");
+    }
+
+    #[test]
+    fn apache_under_full_rerand_fleet() {
+        // The Fig. 8 configuration: five modules re-randomizing while
+        // serving.
+        let tb = Testbed::new(TransformOptions::rerandomizable(true), DriverSet::full());
+        let rr = tb.start_rerand(Duration::from_millis(5));
+        let m = run_apache(&tb, 1024, 4, 2, Duration::from_millis(200));
+        let stats = rr.stop();
+        assert!(m.ops > 0);
+        assert!(stats.randomized >= 5, "fleet cycled: {}", stats.randomized);
+        assert_eq!(tb.kernel.reclaim.stats().delta(), 0);
+    }
+}

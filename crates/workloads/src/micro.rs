@@ -1,0 +1,195 @@
+//! Microbenchmark workloads: dd (Fig. 5b), sysbench file_io (Fig. 5c),
+//! kernbench (Fig. 5d), the NVMe O_DIRECT loop (Fig. 6), and the
+//! null-ioctl loop (Fig. 9).
+
+use crate::{CpuMeter, Measurement, Testbed};
+use adelie_drivers::specs::DUMMY_MINOR;
+use adelie_kernel::SECTOR_SIZE;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Fig. 5b — the `dd` microbenchmark: sequential cached reads of a warm
+/// file at the given block size ("CPU bound due to the use of the
+/// buffer cache").
+pub fn run_dd(tb: &Testbed, block_size: usize, duration: Duration) -> Measurement {
+    let file = tb.kernel.vfs.stat("dd.dat").expect("testbed file");
+    let fd = tb.kernel.vfs.open("dd.dat", false).unwrap();
+    let mut vm = tb.kernel.vm();
+    let buf = tb
+        .kernel
+        .heap
+        .kmalloc(&tb.kernel.space, &tb.kernel.phys, block_size);
+    let meter = CpuMeter::start(&tb.kernel);
+    let mut ops = 0u64;
+    let mut bytes = 0u64;
+    let mut off = 0u64;
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < duration {
+        let n = tb
+            .kernel
+            .vfs
+            .pread(&mut vm, fd, buf, block_size, off)
+            .unwrap();
+        bytes += n as u64;
+        ops += 1;
+        off += block_size as u64;
+        if off + block_size as u64 > file.size {
+            off = 0;
+        }
+    }
+    let (wall, cpu) = meter.stop();
+    tb.kernel.vfs.close(fd);
+    Measurement {
+        ops,
+        bytes,
+        wall,
+        cpu,
+    }
+}
+
+/// sysbench file_io access patterns (Fig. 5c).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FileIoMode {
+    /// `seqrd` — sequential reads.
+    SeqRead,
+    /// `rndrd` — random reads.
+    RndRead,
+}
+
+/// Fig. 5c — sysbench `file_io` over RAM-cached files.
+pub fn run_fileio(tb: &Testbed, mode: FileIoMode, duration: Duration) -> Measurement {
+    const BLOCK: usize = 16 * 1024; // sysbench default 16 KiB
+    let files: Vec<(u64, u64)> = (0..4)
+        .map(|i| {
+            let name = format!("sb_file_{i}");
+            let f = tb.kernel.vfs.stat(&name).expect("testbed file");
+            (tb.kernel.vfs.open(&name, false).unwrap(), f.size)
+        })
+        .collect();
+    let mut vm = tb.kernel.vm();
+    let buf = tb
+        .kernel
+        .heap
+        .kmalloc(&tb.kernel.space, &tb.kernel.phys, BLOCK);
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    let meter = CpuMeter::start(&tb.kernel);
+    let mut ops = 0u64;
+    let mut bytes = 0u64;
+    let mut seq_off = 0u64;
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < duration {
+        let (fd, size) = files[ops as usize % files.len()];
+        let off = match mode {
+            FileIoMode::SeqRead => {
+                let o = seq_off % (size - BLOCK as u64);
+                seq_off += BLOCK as u64;
+                o
+            }
+            FileIoMode::RndRead => rng.gen_range(0..(size - BLOCK as u64)),
+        };
+        let n = tb.kernel.vfs.pread(&mut vm, fd, buf, BLOCK, off).unwrap();
+        bytes += n as u64;
+        ops += 1;
+    }
+    let (wall, cpu) = meter.stop();
+    for (fd, _) in files {
+        tb.kernel.vfs.close(fd);
+    }
+    Measurement {
+        ops,
+        bytes,
+        wall,
+        cpu,
+    }
+}
+
+/// Fig. 5d — a kernbench-like model: `jobs` compile jobs at the given
+/// concurrency, each job a burst of open/read/close syscalls (header
+/// reads dominate a compiler's kernel time). Returns kernel-time-per-
+/// job via the wall measurement.
+pub fn run_kernbench(tb: &Testbed, concurrency: usize, jobs: usize) -> Measurement {
+    let meter = CpuMeter::start(&tb.kernel);
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..concurrency {
+            s.spawn(|| {
+                let mut vm = tb.kernel.vm();
+                let buf = tb.kernel.heap.kmalloc(&tb.kernel.space, &tb.kernel.phys, 4096);
+                loop {
+                    let j = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if j >= jobs {
+                        break;
+                    }
+                    // One "compilation unit": read 16 headers + 1 source.
+                    for h in 0..17u64 {
+                        let name = format!("src_{}", (j as u64 * 7 + h) % 8);
+                        let fd = tb.kernel.vfs.open(&name, false).unwrap();
+                        let _ = tb.kernel.vfs.pread(&mut vm, fd, buf, 4096, h * 4096);
+                        tb.kernel.vfs.close(fd);
+                    }
+                }
+            });
+        }
+    });
+    let (wall, cpu) = meter.stop();
+    Measurement {
+        ops: jobs as u64,
+        bytes: 0,
+        wall,
+        cpu,
+    }
+}
+
+/// Fig. 6 — the NVMe O_DIRECT loop: re-read the same 512-byte block
+/// "over and over again to leverage NVMe's internal DRAM cache".
+pub fn run_nvme_direct(tb: &Testbed, duration: Duration) -> Measurement {
+    let fd = tb.kernel.vfs.open("nvme.dat", true).expect("nvme.dat");
+    let mut vm = tb.kernel.vm();
+    let buf = tb
+        .kernel
+        .heap
+        .kmalloc(&tb.kernel.space, &tb.kernel.phys, SECTOR_SIZE);
+    let meter = CpuMeter::start(&tb.kernel);
+    let mut ops = 0u64;
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < duration {
+        tb.kernel
+            .vfs
+            .pread(&mut vm, fd, buf, SECTOR_SIZE, 0)
+            .unwrap();
+        ops += 1;
+    }
+    let (wall, cpu) = meter.stop();
+    tb.kernel.vfs.close(fd);
+    Measurement {
+        ops,
+        bytes: ops * SECTOR_SIZE as u64,
+        wall,
+        cpu,
+    }
+}
+
+/// Fig. 9 — the CPU-bound null-ioctl loop ("captures the impact of
+/// function wrappers and stack randomization").
+pub fn run_ioctl(tb: &Testbed, duration: Duration) -> Measurement {
+    let mut vm = tb.kernel.vm();
+    let meter = CpuMeter::start(&tb.kernel);
+    let mut ops = 0u64;
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < duration {
+        // Batch to keep Instant::now() out of the hot loop.
+        for i in 0..256u64 {
+            let r = tb.kernel.ioctl(&mut vm, DUMMY_MINOR, 0, i).unwrap();
+            debug_assert_eq!(r, i);
+        }
+        ops += 256;
+    }
+    let (wall, cpu) = meter.stop();
+    Measurement {
+        ops,
+        bytes: 0,
+        wall,
+        cpu,
+    }
+}

@@ -1,0 +1,111 @@
+//! The sysbench-OLTP/mySQL-like workload (Fig. 7).
+//!
+//! The paper runs `sysbench oltp` against mySQL over the network: a
+//! database of 10 tables × 1 M rows, partially cached in memory, with
+//! both the E1000E and NVMe drivers re-randomizing. The model here: 10
+//! table files; each transaction is a request over the NIC that makes
+//! ten 64-byte point reads (a fraction of them `O_DIRECT`, modelling the
+//! uncached portion) and returns a row.
+
+use crate::net::{AppFn, NetHarness};
+use crate::{CpuMeter, Measurement, Testbed};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of tables (paper: 10 tables, 1 M rows each).
+pub const TABLES: usize = 10;
+/// Point reads per transaction (sysbench oltp default mix).
+pub const READS_PER_TXN: usize = 10;
+/// Fraction of reads that miss the cache and hit NVMe (the database is
+/// "partially cached in memory").
+pub const DIRECT_EVERY: u64 = 10;
+
+/// Table file size in the testbed (a scaled-down 1 M-row table).
+pub const TABLE_BYTES: u64 = 1 << 22; // 4 MiB
+
+/// Create the mySQL application closure over the testbed's files.
+fn make_app(tb: &Testbed) -> AppFn {
+    // fds resolved once, shared by the server threads.
+    let mut cached = Vec::new();
+    let mut direct = Vec::new();
+    for t in 0..TABLES {
+        let name = format!("sbtest{t}");
+        cached.push(tb.kernel.vfs.open(&name, false).expect("table file"));
+        direct.push(tb.kernel.vfs.open(&name, true).expect("table file"));
+    }
+    let kernel = tb.kernel.clone();
+    let counter = AtomicU64::new(0);
+    Arc::new(move |vm, req| {
+        // Request: 8-byte transaction seed.
+        let seed = if req.len() >= 8 {
+            u64::from_le_bytes(req[..8].try_into().unwrap())
+        } else {
+            1
+        };
+        let buf = kernel.heap.kmalloc(&kernel.space, &kernel.phys, 512);
+        let mut row = [0u8; 64];
+        for k in 0..READS_PER_TXN as u64 {
+            let h = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(k * 0x1234_5678);
+            let table = (h % TABLES as u64) as usize;
+            let n = counter.fetch_add(1, Ordering::Relaxed);
+            if n % DIRECT_EVERY == 0 {
+                // Uncached row: sector-aligned O_DIRECT read via NVMe.
+                let off = (h >> 8) % (TABLE_BYTES - 512) & !511;
+                let _ = kernel.vfs.pread(vm, direct[table], buf, 512, off);
+            } else {
+                let off = (h >> 8) % (TABLE_BYTES - 64);
+                let _ = kernel.vfs.pread(vm, cached[table], buf, 64, off);
+            }
+            let mut tmp = [0u8; 8];
+            let _ = kernel.space.read_bytes(&kernel.phys, buf, &mut tmp);
+            row[(k as usize * 6) % 56..][..8].copy_from_slice(&tmp);
+        }
+        kernel.heap.kfree(buf);
+        row.to_vec()
+    })
+}
+
+/// Run the OLTP workload at the given client concurrency. Returns
+/// transactions (ops) per the measurement window.
+pub fn run_oltp(
+    tb: &Testbed,
+    concurrency: usize,
+    server_threads: usize,
+    duration: Duration,
+) -> Measurement {
+    let nic = tb.nic.as_ref().expect("testbed NIC").clone();
+    let app = make_app(tb);
+    let harness = NetHarness::start(tb.kernel.clone(), nic, server_threads, app);
+    let meter = CpuMeter::start(&tb.kernel);
+    let txns = AtomicU64::new(0);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for c in 0..concurrency {
+            let harness = harness.clone();
+            let txns = &txns;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut seed = 0x1000u64 + c as u64;
+                while !stop.load(Ordering::Relaxed) {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if harness.request(&seed.to_le_bytes()).is_some() {
+                        txns.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let (wall, cpu) = meter.stop();
+    harness.shutdown();
+    Measurement {
+        ops: txns.load(Ordering::Relaxed),
+        bytes: txns.load(Ordering::Relaxed) * 64,
+        wall,
+        cpu,
+    }
+}

@@ -1,0 +1,80 @@
+//! Gadget survey: run the Ropper-style scanner over the real driver
+//! modules of this repository plus a synthetic corpus, print the Fig. 10
+//! distribution and the per-module Table 2 verdicts — including the
+//! paper's observation that the *immovable* part of a re-randomizable
+//! module carries a negligible share of its gadgets.
+//!
+//! ```sh
+//! cargo run --release --example gadget_survey
+//! ```
+
+use adelie::gadget::{chain_verdict, classify::histogram, generate_corpus, scan, CorpusModule};
+use adelie::obj::SectionKind;
+use adelie::plugin::{transform, TransformOptions};
+
+fn main() {
+    // ---- the repository's real driver modules ----------------------
+    println!("real driver modules (PIC, re-randomizable):");
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>14}",
+        "module", "text B", "gadgets", "in movable", "in immovable"
+    );
+    let opts = TransformOptions::rerandomizable(true);
+    let specs = vec![
+        adelie::drivers::specs::nvme_spec(0x1000_0000),
+        adelie::drivers::specs::nic_spec(adelie::drivers::NicFlavor::E1000e, 0x1000_0000),
+        adelie::drivers::specs::dummy_spec(),
+        adelie::drivers::specs::extfs_spec(),
+        adelie::drivers::specs::fuse_spec(),
+    ];
+    for spec in specs {
+        let obj = transform(&spec, &opts).expect("transform");
+        let movable = obj
+            .section(SectionKind::Text)
+            .map(|s| scan(&s.bytes).len())
+            .unwrap_or(0);
+        let immovable = obj
+            .section(SectionKind::FixedText)
+            .map(|s| scan(&s.bytes).len())
+            .unwrap_or(0);
+        let text = obj.section(SectionKind::Text).map(|s| s.size).unwrap_or(0);
+        println!(
+            "{:<10} {:>8} {:>10} {:>11}% {:>13}%",
+            obj.name,
+            text,
+            movable + immovable,
+            movable * 100 / (movable + immovable).max(1),
+            immovable * 100 / (movable + immovable).max(1),
+        );
+    }
+    println!("(paper: \"the immovable part of PIC modules has a negligible amount of gadgets\")");
+
+    // ---- synthetic corpus distribution ------------------------------
+    let corpus = generate_corpus(40, 4 * 1024, 64 * 1024, 0x5EED);
+    let mut all = Vec::new();
+    for m in &corpus {
+        all.extend(scan(&CorpusModule::code_bytes(&m.pic)));
+    }
+    println!("\nsynthetic corpus ({} modules): {} gadgets", corpus.len(), all.len());
+    for (class, count) in histogram(&all) {
+        let bar = "#".repeat((count * 50 / all.len().max(1)).max(1));
+        println!("  {:<10} {count:>7} {bar}", class.label());
+    }
+
+    // ---- Table 2 verdicts -------------------------------------------
+    let mut clean = 0;
+    let mut side = 0;
+    let mut none = 0;
+    for m in &corpus {
+        match chain_verdict(&scan(&CorpusModule::code_bytes(&m.pic))) {
+            adelie::gadget::ChainVerdict::CleanChain => clean += 1,
+            adelie::gadget::ChainVerdict::ChainWithSideEffects => side += 1,
+            adelie::gadget::ChainVerdict::NoChain => none += 1,
+        }
+    }
+    println!(
+        "\nNX-disable chain verdicts: {clean} clean, {side} with side effects, {none} without \
+         (paper: ~80% of modules carry a chain — which is why gadget availability alone \
+         cannot be the defence; continuous re-randomization is)"
+    );
+}

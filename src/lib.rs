@@ -1,0 +1,33 @@
+//! # adelie — continuous address space layout re-randomization
+//!
+//! A from-scratch reproduction of *Adelie: Continuous Address Space
+//! Layout Re-randomization for Linux Drivers* (ASPLOS '22) over a
+//! simulated kernel substrate. This facade crate re-exports the
+//! workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`isa`] | x86-64 subset: encoder/decoder/assembler |
+//! | [`vmem`] | physical frames, 5-level page tables, TLB |
+//! | [`reclaim`] | Hyaline + EBR safe memory reclamation |
+//! | [`obj`] | relocatable module objects (the `.ko` analog) |
+//! | [`kernel`] | the simulated kernel: interpreter, kmalloc, VFS, MMIO |
+//! | [`core`] | Adelie: PIC loader, four GOTs, re-randomizer, stack pools |
+//! | [`plugin`] | the GCC-plugin analog (module transformer) |
+//! | [`drivers`] | device models + driver modules (NVMe, E1000E, …) |
+//! | [`gadget`] | ROP gadget scanning, chains, attack models |
+//! | [`workloads`] | the paper's benchmark workloads |
+//!
+//! See `examples/quickstart.rs` for the five-minute tour, DESIGN.md for
+//! the architecture, and EXPERIMENTS.md for paper-vs-measured results.
+
+pub use adelie_core as core;
+pub use adelie_drivers as drivers;
+pub use adelie_gadget as gadget;
+pub use adelie_isa as isa;
+pub use adelie_kernel as kernel;
+pub use adelie_obj as obj;
+pub use adelie_plugin as plugin;
+pub use adelie_reclaim as reclaim;
+pub use adelie_vmem as vmem;
+pub use adelie_workloads as workloads;
