@@ -11,14 +11,20 @@ fn bench_dd(c: &mut Criterion) {
     for (label, opts) in pic_matrix() {
         let tb = Testbed::new(opts, DriverSet::storage());
         let fd = tb.kernel.vfs.open("dd.dat", false).unwrap();
-        let buf = tb.kernel.heap.kmalloc(&tb.kernel.space, &tb.kernel.phys, 64 * 1024);
+        let buf = tb
+            .kernel
+            .heap
+            .kmalloc(&tb.kernel.space, &tb.kernel.phys, 64 * 1024);
         g.bench_function(label, |b| {
             b.iter_custom(|iters| {
                 let mut vm = tb.kernel.vm();
                 let t0 = Instant::now();
                 for i in 0..iters {
                     let off = (i % 32) * 64 * 1024;
-                    tb.kernel.vfs.pread(&mut vm, fd, buf, 64 * 1024, off).unwrap();
+                    tb.kernel
+                        .vfs
+                        .pread(&mut vm, fd, buf, 64 * 1024, off)
+                        .unwrap();
                 }
                 t0.elapsed()
             })
@@ -39,7 +45,11 @@ fn bench_fileio(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 let t0 = Instant::now();
                 for _ in 0..iters.max(1) {
-                    adelie_workloads::run_fileio(&tb, FileIoMode::RndRead, Duration::from_millis(20));
+                    adelie_workloads::run_fileio(
+                        &tb,
+                        FileIoMode::RndRead,
+                        Duration::from_millis(20),
+                    );
                 }
                 t0.elapsed()
             })

@@ -9,11 +9,17 @@ use std::time::{Duration, Instant};
 
 fn direct_read_batch(tb: &Testbed, iters: u64) -> Duration {
     let fd = tb.kernel.vfs.open("nvme.dat", true).unwrap();
-    let buf = tb.kernel.heap.kmalloc(&tb.kernel.space, &tb.kernel.phys, SECTOR_SIZE);
+    let buf = tb
+        .kernel
+        .heap
+        .kmalloc(&tb.kernel.space, &tb.kernel.phys, SECTOR_SIZE);
     let mut vm = tb.kernel.vm();
     let t0 = Instant::now();
     for _ in 0..iters {
-        tb.kernel.vfs.pread(&mut vm, fd, buf, SECTOR_SIZE, 0).unwrap();
+        tb.kernel
+            .vfs
+            .pread(&mut vm, fd, buf, SECTOR_SIZE, 0)
+            .unwrap();
     }
     let d = t0.elapsed();
     tb.kernel.vfs.close(fd);
@@ -29,7 +35,9 @@ fn bench_nvme(c: &mut Criterion) {
     }
     {
         let tb = Testbed::new(TransformOptions::rerandomizable(true), DriverSet::storage());
-        g.bench_function("adelie_no_rerand", |b| b.iter_custom(|n| direct_read_batch(&tb, n)));
+        g.bench_function("adelie_no_rerand", |b| {
+            b.iter_custom(|n| direct_read_batch(&tb, n))
+        });
     }
     for period_ms in [5u64, 1] {
         let tb = Testbed::new(TransformOptions::rerandomizable(true), DriverSet::storage());

@@ -9,7 +9,11 @@ use std::time::{Duration, Instant};
 fn bench_oltp(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_oltp_c4");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
-    let cases: Vec<(&str, Option<u64>)> = vec![("linux", None), ("adelie_5ms", Some(5)), ("adelie_1ms", Some(1))];
+    let cases: Vec<(&str, Option<u64>)> = vec![
+        ("linux", None),
+        ("adelie_5ms", Some(5)),
+        ("adelie_1ms", Some(1)),
+    ];
     for (label, period) in cases {
         let opts = if period.is_some() {
             TransformOptions::rerandomizable(true)

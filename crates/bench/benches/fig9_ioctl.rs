@@ -16,8 +16,16 @@ fn bench_ioctl(c: &mut Criterion) {
     let cases: Vec<(&str, TransformOptions, Option<u64>)> = vec![
         ("linux", TransformOptions::vanilla(true), None),
         ("wrappers_only", wrappers_only, None),
-        ("wrappers_stack_encrypt", TransformOptions::rerandomizable(true), None),
-        ("rerand_1ms", TransformOptions::rerandomizable(true), Some(1)),
+        (
+            "wrappers_stack_encrypt",
+            TransformOptions::rerandomizable(true),
+            None,
+        ),
+        (
+            "rerand_1ms",
+            TransformOptions::rerandomizable(true),
+            Some(1),
+        ),
     ];
     for (label, opts, period) in cases {
         let tb = Testbed::new(opts, DriverSet::dummy_only());

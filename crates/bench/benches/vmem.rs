@@ -19,7 +19,11 @@ fn bench_map_unmap(c: &mut Criterion) {
     });
     space.map(0x20_0000_0000, pfn, PteFlags::DATA).unwrap();
     g.bench_function("translate_walk", |b| {
-        b.iter(|| space.translate(0x20_0000_1234 - 0x1234, adelie_vmem::Access::Read).unwrap())
+        b.iter(|| {
+            space
+                .translate(0x20_0000_1234 - 0x1234, adelie_vmem::Access::Read)
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -34,7 +38,9 @@ fn bench_move_module(c: &mut Criterion) {
     let phys = PhysMem::new();
     let space = AddressSpace::new();
     let frames = phys.alloc_n(PAGES);
-    space.map_range(0x30_0000_0000, &frames, PteFlags::TEXT).unwrap();
+    space
+        .map_range(0x30_0000_0000, &frames, PteFlags::TEXT)
+        .unwrap();
     g.bench_function("zero_copy_remap", |b| {
         b.iter_custom(|iters| {
             let mut base = 0x40_0000_0000u64;

@@ -10,11 +10,16 @@ use adelie_vmem::PAGE_SIZE;
 
 /// Scan the *loaded* image (relocations applied, PLT stubs emitted) —
 /// what Ropper sees on a live system.
-fn loaded_gadget_scan(obj: &adelie_obj::ObjectFile, opts: &TransformOptions) -> Vec<adelie_gadget::Gadget> {
+fn loaded_gadget_scan(
+    obj: &adelie_obj::ObjectFile,
+    opts: &TransformOptions,
+) -> Vec<adelie_gadget::Gadget> {
     let kernel = Kernel::new(KernelConfig::default());
     let registry = ModuleRegistry::new(&kernel);
     let module = registry.load(obj, opts).expect("load corpus module");
-    let base = module.movable_base.load(std::sync::atomic::Ordering::Relaxed);
+    let base = module
+        .movable_base
+        .load(std::sync::atomic::Ordering::Relaxed);
     let text_pages = module.movable.groups[0].pages;
     let mut text = vec![0u8; text_pages * PAGE_SIZE];
     kernel
@@ -25,7 +30,10 @@ fn loaded_gadget_scan(obj: &adelie_obj::ObjectFile, opts: &TransformOptions) -> 
 }
 
 fn main() {
-    print_header("Fig. 10", "ROP gadget distribution (Ropper-style scan of loaded text)");
+    print_header(
+        "Fig. 10",
+        "ROP gadget distribution (Ropper-style scan of loaded text)",
+    );
     let modules: usize = std::env::var("ADELIE_CORPUS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -38,7 +46,10 @@ fn main() {
     let mut vanilla_all = Vec::new();
     let mut pic_all = Vec::new();
     for m in &corpus {
-        vanilla_all.extend(loaded_gadget_scan(&m.vanilla, &TransformOptions::vanilla(false)));
+        vanilla_all.extend(loaded_gadget_scan(
+            &m.vanilla,
+            &TransformOptions::vanilla(false),
+        ));
         pic_all.extend(loaded_gadget_scan(&m.pic, &TransformOptions::pic(true)));
     }
     let hk = histogram(&kernel_gadgets);

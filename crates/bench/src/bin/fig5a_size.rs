@@ -46,7 +46,10 @@ fn main() {
         let spec = synth_module(name, kb * 1024, 0xF15A + i as u64);
         let mut bytes_row = Vec::new();
         let mut stats_pic = None;
-        for opts in [TransformOptions::vanilla(false), TransformOptions::pic(true)] {
+        for opts in [
+            TransformOptions::vanilla(false),
+            TransformOptions::pic(true),
+        ] {
             let kernel = Kernel::new(KernelConfig::default());
             let registry = ModuleRegistry::new(&kernel);
             let obj = transform(&spec, &opts).expect("transform");

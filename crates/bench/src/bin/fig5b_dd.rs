@@ -25,5 +25,7 @@ fn main() {
             }
         }
     }
-    println!("\npaper shape: PIC ≈ non-PIC without retpoline; small hit with retpoline (PLT stubs)");
+    println!(
+        "\npaper shape: PIC ≈ non-PIC without retpoline; small hit with retpoline (PLT stubs)"
+    );
 }

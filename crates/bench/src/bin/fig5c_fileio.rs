@@ -6,7 +6,10 @@ use adelie_workloads::{pic_matrix, run_fileio, DriverSet, FileIoMode, Testbed};
 fn main() {
     print_header("Fig. 5c", "sysbench file_io on RAM-cached files");
     let dur = point_duration();
-    for (mode, label) in [(FileIoMode::SeqRead, "seqrd"), (FileIoMode::RndRead, "rndrd")] {
+    for (mode, label) in [
+        (FileIoMode::SeqRead, "seqrd"),
+        (FileIoMode::RndRead, "rndrd"),
+    ] {
         println!("\n{label}:");
         for (cfg, opts) in pic_matrix() {
             let tb = Testbed::new(opts, DriverSet::storage());

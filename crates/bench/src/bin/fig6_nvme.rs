@@ -23,8 +23,16 @@ fn main() {
         let rr = tb.start_rerand(Duration::from_millis(period_ms));
         let m = run_nvme_direct(&tb, dur);
         let stats = rr.stop();
-        print_row(&format!("adelie, {period_ms} ms period"), &m, Unit::OpsPerSec);
-        println!("    cycles: {}  SMR delta: {}", stats.randomized, tb.kernel.reclaim.stats().delta());
+        print_row(
+            &format!("adelie, {period_ms} ms period"),
+            &m,
+            Unit::OpsPerSec,
+        );
+        println!(
+            "    cycles: {}  SMR delta: {}",
+            stats.randomized,
+            tb.kernel.reclaim.stats().delta()
+        );
     }
     println!("\npaper shape: throughput unaffected; slight CPU increase at short periods");
 }

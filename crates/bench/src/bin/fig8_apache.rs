@@ -7,7 +7,10 @@ use adelie_workloads::{run_apache, DriverSet, Testbed};
 use std::time::Duration;
 
 fn main() {
-    print_header("Fig. 8", "ApacheBench MB/s and CPU, 5 modules re-randomizing");
+    print_header(
+        "Fig. 8",
+        "ApacheBench MB/s and CPU, 5 modules re-randomizing",
+    );
     let dur = point_duration();
     let conc = *concurrency_levels().last().unwrap();
     for bs in [512usize, 1024, 4096, 8192] {

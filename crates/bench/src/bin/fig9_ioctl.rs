@@ -25,9 +25,21 @@ fn main() {
     wrappers_only.stack_rerand = false;
     wrappers_only.encrypt_ret = false;
     run("wrappers only", wrappers_only, None);
-    run("wrappers + stack rerand + encryption", TransformOptions::rerandomizable(true), None);
-    run("  + continuous rerand 5 ms", TransformOptions::rerandomizable(true), Some(5));
-    run("  + continuous rerand 1 ms", TransformOptions::rerandomizable(true), Some(1));
+    run(
+        "wrappers + stack rerand + encryption",
+        TransformOptions::rerandomizable(true),
+        None,
+    );
+    run(
+        "  + continuous rerand 5 ms",
+        TransformOptions::rerandomizable(true),
+        Some(5),
+    );
+    run(
+        "  + continuous rerand 1 ms",
+        TransformOptions::rerandomizable(true),
+        Some(1),
+    );
     let base = results[0].1;
     println!("\noverheads vs vanilla:");
     for (label, ops) in &results[1..] {

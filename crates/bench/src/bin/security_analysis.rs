@@ -13,7 +13,10 @@ fn main() {
     let pic_bits = layout::pic_entropy_bits();
     let legacy_bits = layout::legacy_entropy_bits();
     println!("{:<34} {:>12} {:>14}", "", "32-bit KASLR", "Adelie (PIC)");
-    println!("{:<34} {:>12} {:>14}", "page-aligned entropy bits", legacy_bits, pic_bits);
+    println!(
+        "{:<34} {:>12} {:>14}",
+        "page-aligned entropy bits", legacy_bits, pic_bits
+    );
     println!(
         "{:<34} {:>12.3e} {:>14.3e}",
         "per-guess success probability",
@@ -44,7 +47,10 @@ fn main() {
     println!("\nMonte-Carlo: 32-bit KASLR fell in {wins}/50 trials with a 512K-guess budget");
 
     print_header("§6", "JIT ROP vs continuous re-randomization");
-    println!("{:<26} {:>10} {:>10} {:>10}", "attack duration", "1 ms", "5 ms", "20 ms");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}",
+        "attack duration", "1 ms", "5 ms", "20 ms"
+    );
     for (label, attack) in [
         ("0.5 ms (hypothetical)", 0.0005),
         ("2 ms (hypothetical)", 0.002),

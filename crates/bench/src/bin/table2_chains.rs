@@ -11,7 +11,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
     let corpus = generate_corpus(count, 4 * 1024, 64 * 1024, 0x7AB2);
-    let mut tally = |pic: bool| -> (usize, usize, usize) {
+    let tally = |pic: bool| -> (usize, usize, usize) {
         let (mut clean, mut side, mut none) = (0, 0, 0);
         for m in &corpus {
             let obj = if pic { &m.pic } else { &m.vanilla };
@@ -27,8 +27,14 @@ fn main() {
     let v = tally(false);
     let p = tally(true);
     println!("{:<38} {:>8} {:>8}", "", "Non-PIC", "PIC");
-    println!("{:<38} {:>8} {:>8}", "With ROP chain, no side-effect", v.0, p.0);
-    println!("{:<38} {:>8} {:>8}", "With ROP chain, with side-effect", v.1, p.1);
+    println!(
+        "{:<38} {:>8} {:>8}",
+        "With ROP chain, no side-effect", v.0, p.0
+    );
+    println!(
+        "{:<38} {:>8} {:>8}",
+        "With ROP chain, with side-effect", v.1, p.1
+    );
     println!("{:<38} {:>8} {:>8}", "Without ROP chain", v.2, p.2);
     println!("{:<38} {:>8} {:>8}", "Number of modules", count, count);
     println!(

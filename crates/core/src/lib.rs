@@ -7,9 +7,11 @@
 //!   emits retpoline PLT stubs, applies the Fig. 4 run-time patches, and
 //!   seals GOT pages; also provides the non-PIC legacy mode (vanilla
 //!   Linux baseline, 2 GiB window),
-//! * [`rerandomize_module`] / [`Rerandomizer`] — continuous zero-copy
-//!   re-randomization with local-GOT rebuilds, key rotation, pointer
-//!   adjustment, and SMR-delayed unmapping (§4.2),
+//! * [`rerandomize_module`] — one zero-copy re-randomization cycle with
+//!   local-GOT rebuilds, key rotation, pointer adjustment, and
+//!   SMR-delayed unmapping (§4.2); driven continuously by the
+//!   `adelie-sched` scheduler (worker pool, per-module policies, CPU
+//!   budget — see DESIGN.md §6),
 //! * [`StackPool`] — per-CPU pools of randomly-placed kernel stacks
 //!   (§3.4),
 //! * [`ModuleRegistry`] — insmod/rmmod: load, init, unload.
@@ -44,47 +46,47 @@ mod loader;
 mod module;
 mod rerand;
 mod stacks;
+mod va;
 
 pub use loader::{LoadError, Loader};
 pub use module::{AdjustSlot, LoadStats, LoadedModule, LocalGotEntry, PageGroup, Part, PartImage};
-pub use rerand::{log_stats, rerandomize_module, RerandStats, Rerandomizer};
+pub use rerand::{log_stats, rerandomize_module, RerandError};
 pub use stacks::{StackPool, StackStats};
 
 use adelie_kernel::{layout, Kernel};
 use adelie_obj::ObjectFile;
 use adelie_plugin::TransformOptions;
 use adelie_vmem::PAGE_SIZE;
-use parking_lot::{Mutex, MutexGuard, RwLock};
+use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+use va::{VaAllocator, VaReservation};
 
 /// The module registry — insmod/rmmod plus the allocation state shared
-/// by the loader and the re-randomizer.
+/// by the loader, the re-randomizer, and the stack pools.
 pub struct ModuleRegistry {
     kernel: Arc<Kernel>,
     modules: RwLock<HashMap<String, Arc<LoadedModule>>>,
     /// The per-CPU randomized stack pools (shared by all modules).
     pub stacks: Arc<StackPool>,
-    va_lock: Mutex<()>,
-    legacy_cursor: AtomicU64,
+    va: Arc<VaAllocator>,
 }
 
 impl ModuleRegistry {
     /// Create the registry and register the stack-pool natives. One
     /// registry per kernel (natives can only be registered once).
     pub fn new(kernel: &Arc<Kernel>) -> Arc<ModuleRegistry> {
-        let stacks = StackPool::new(kernel.config.cpus);
-        stacks.register_natives(kernel);
         // Vanilla Linux randomizes the legacy module base per boot
         // inside the 2 GiB window (31-12 = 19 bits of entropy, §6).
         let boot_offset = kernel.rng_below(1 << 18) * PAGE_SIZE as u64;
+        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE + boot_offset);
+        let stacks = StackPool::new(kernel.config.cpus, va.clone());
+        stacks.register_natives(kernel);
         Arc::new(ModuleRegistry {
             kernel: kernel.clone(),
             modules: RwLock::new(HashMap::new()),
             stacks,
-            va_lock: Mutex::new(()),
-            legacy_cursor: AtomicU64::new(layout::LEGACY_MODULE_BASE + boot_offset),
+            va,
         })
     }
 
@@ -104,7 +106,7 @@ impl ModuleRegistry {
         obj: &ObjectFile,
         opts: &TransformOptions,
     ) -> Result<Arc<LoadedModule>, LoadError> {
-        let loader = Loader::new(&self.kernel, &self.va_lock, &self.legacy_cursor);
+        let loader = Loader::new(&self.kernel, &self.va);
         let module = loader.load(obj, opts)?;
         self.modules
             .write()
@@ -148,7 +150,8 @@ impl ModuleRegistry {
             .ok_or_else(|| format!("no module `{name}`"))?;
         if let Some(exit) = module.exit_va {
             let mut vm = self.kernel.vm();
-            vm.call(exit, &[]).map_err(|e| format!("exit failed: {e}"))?;
+            vm.call(exit, &[])
+                .map_err(|e| format!("exit failed: {e}"))?;
         }
         let _guard = module.move_lock.lock();
         for (sym, _) in &module.exports {
@@ -188,25 +191,17 @@ impl ModuleRegistry {
                 self.kernel.phys.free(pfn);
             }
         }
-        self.kernel
-            .printk
-            .log(format!("module {name}: unloaded"));
+        self.kernel.printk.log(format!("module {name}: unloaded"));
         Ok(())
     }
 
-    /// Pick a random free base while holding the allocation lock; the
-    /// guard keeps other placements out until the caller finishes
-    /// mapping (used by the re-randomizer).
-    pub(crate) fn pick_base_locked(
-        &self,
-        pages: usize,
-    ) -> Result<(u64, MutexGuard<'_, ()>), String> {
-        let guard = self.va_lock.lock();
-        let loader = Loader::new(&self.kernel, &self.va_lock, &self.legacy_cursor);
-        let base = loader
-            .pick_random_base(pages)
-            .map_err(|e| format!("no space for re-randomization: {e}"))?;
-        Ok((base, guard))
+    /// Reserve a random free range of `pages`; the returned reservation
+    /// keeps concurrent placements out of the range until the caller has
+    /// mapped it and drops the guard (used by the re-randomizer — no
+    /// global lock is held while mapping, so cycles of independent
+    /// modules overlap).
+    pub(crate) fn reserve_va(&self, pages: usize) -> Option<VaReservation> {
+        self.va.reserve(&self.kernel, pages)
     }
 }
 
@@ -465,8 +460,8 @@ mod tests {
         // the next cycle.
         let opts = TransformOptions::rerandomizable(false);
         let (kernel, registry, module) = setup(&opts);
-        let leaked = module.movable_base.load(Ordering::Relaxed)
-            + module.movable_syms["demo_calc__real"];
+        let leaked =
+            module.movable_base.load(Ordering::Relaxed) + module.movable_syms["demo_calc__real"];
         let mut vm = kernel.vm();
         // (Direct call to the real function works pre-move.)
         assert_eq!(vm.call(leaked, &[16]).unwrap(), 42);
@@ -483,7 +478,10 @@ mod tests {
         let (kernel, _r, module) = setup(&opts);
         let imm = module.immovable.as_ref().unwrap();
         let got_va = imm.base + imm.lgot_off;
-        let err = kernel.space.write_u64(&kernel.phys, got_va, 0xdead).unwrap_err();
+        let err = kernel
+            .space
+            .write_u64(&kernel.phys, got_va, 0xdead)
+            .unwrap_err();
         assert!(matches!(err, adelie_vmem::Fault::NotWritable { .. }));
     }
 
@@ -536,7 +534,10 @@ mod tests {
         drop(module);
         registry.unload("demo").unwrap();
         assert!(registry.get("demo").is_none());
-        assert!(kernel.space.translate(base, adelie_vmem::Access::Read).is_err());
+        assert!(kernel
+            .space
+            .translate(base, adelie_vmem::Access::Read)
+            .is_err());
         assert!(kernel
             .space
             .translate(imm_base, adelie_vmem::Access::Read)
@@ -545,57 +546,72 @@ mod tests {
     }
 
     #[test]
-    fn rerandomizer_thread_drives_cycles() {
-        let opts = TransformOptions::rerandomizable(false);
+    fn typed_errors_name_the_module() {
+        let opts = TransformOptions::pic(false);
         let (kernel, registry, module) = setup(&opts);
-        let rr = Rerandomizer::spawn(
-            kernel.clone(),
-            registry.clone(),
-            &["demo"],
-            std::time::Duration::from_millis(1),
-        );
-        let calc = module.export("demo_calc").unwrap();
-        let mut vm = kernel.vm();
-        let t0 = std::time::Instant::now();
-        let mut calls = 0u64;
-        while t0.elapsed() < std::time::Duration::from_millis(100) {
-            assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
-            calls += 1;
+        match rerandomize_module(&kernel, &registry, &module) {
+            Err(RerandError::NotRerandomizable { module }) => assert_eq!(module, "demo"),
+            other => panic!("expected NotRerandomizable, got {other:?}"),
         }
-        let stats = rr.stop();
-        assert!(stats.randomized >= 5, "cycles: {}", stats.randomized);
-        assert!(calls > 100, "driver kept serving during rerand: {calls}");
-        assert_eq!(kernel.reclaim.stats().delta(), 0, "all old ranges freed");
-        log_stats(&kernel, stats.randomized, &registry.stacks);
-        assert!(!kernel.printk.grep("Randomized").is_empty());
     }
 
     #[test]
-    fn concurrent_callers_survive_rerandomization() {
-        let opts = TransformOptions::rerandomizable(true);
-        let (kernel, registry, module) = setup(&opts);
-        let rr = Rerandomizer::spawn(
-            kernel.clone(),
-            registry.clone(),
-            &["demo"],
-            std::time::Duration::from_millis(1),
-        );
-        let calc = module.export("demo_calc").unwrap();
+    fn concurrent_cycles_of_independent_modules_never_overlap() {
+        // Two modules re-randomized from racing threads: the
+        // reservation-based allocator must keep every placement
+        // disjoint, with no global lock serializing the mapping phase.
+        let kernel = Kernel::new(KernelConfig::default());
+        let registry = ModuleRegistry::new(&kernel);
+        let opts = TransformOptions::rerandomizable(false);
+        let modules: Vec<_> = (0..3)
+            .map(|i| {
+                let mut spec = ModuleSpec::new(&format!("demo{i}"));
+                spec.funcs.push(FuncSpec::exported(
+                    &format!("demo{i}_calc"),
+                    vec![
+                        MOp::Insn(Insn::MovRR {
+                            dst: Reg::Rax,
+                            src: Reg::Rdi,
+                        }),
+                        MOp::Insn(Insn::AluImm {
+                            op: AluOp::Add,
+                            dst: Reg::Rax,
+                            imm: 26,
+                        }),
+                        MOp::Ret,
+                    ],
+                ));
+                let obj = transform(&spec, &opts).unwrap();
+                registry.load(&obj, &opts).unwrap()
+            })
+            .collect();
         std::thread::scope(|s| {
-            for _ in 0..4 {
+            for m in &modules {
                 let kernel = kernel.clone();
+                let registry = registry.clone();
                 s.spawn(move || {
-                    let mut vm = kernel.vm();
-                    let t0 = std::time::Instant::now();
-                    while t0.elapsed() < std::time::Duration::from_millis(200) {
-                        assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+                    for _ in 0..20 {
+                        rerandomize_module(&kernel, &registry, m).unwrap();
                     }
                 });
             }
         });
-        let stats = rr.stop();
-        assert!(stats.randomized >= 10);
-        assert_eq!(kernel.reclaim.stats().delta(), 0);
+        // Every module still works and the final placements are
+        // pairwise disjoint.
+        let mut vm = kernel.vm();
+        let mut ranges = Vec::new();
+        for (i, m) in modules.iter().enumerate() {
+            let calc = m.export(&format!("demo{i}_calc")).unwrap();
+            assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+            assert_eq!(m.times_randomized(), 20);
+            let base = m.movable_base.load(Ordering::Relaxed);
+            ranges.push((base, base + (m.movable.total_pages * PAGE_SIZE) as u64));
+        }
+        for (i, &(ab, ae)) in ranges.iter().enumerate() {
+            for &(bb, be) in ranges.iter().skip(i + 1) {
+                assert!(ae <= bb || be <= ab, "module ranges overlap");
+            }
+        }
     }
 
     #[test]

@@ -10,17 +10,18 @@
 //! Linux: absolute relocations, single region in the 2 GiB window.
 
 use crate::module::{
-    AdjustSlot, LoadedModule, LoadStats, LocalGotEntry, PageGroup, Part, PartImage,
+    AdjustSlot, LoadStats, LoadedModule, LocalGotEntry, PageGroup, Part, PartImage,
 };
+use crate::va::{VaAllocator, VaReservation};
 use adelie_isa::{Asm, Reg};
 use adelie_kernel::{layout, Kernel};
 use adelie_obj::{ObjectFile, Reloc, RelocKind, SectionKind, SymbolDef};
 use adelie_plugin::{CodeModel, TransformOptions, KEY_SYMBOL};
-use adelie_vmem::{Access, PteFlags, PAGE_SIZE};
+use adelie_vmem::{PteFlags, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// Errors surfaced while loading a module.
@@ -142,8 +143,7 @@ fn site_kind(bytes: &[u8], field_off: usize) -> SiteKind {
         if op == 0xFF && modrm == 0x25 {
             return SiteKind::IndirectJmp;
         }
-        if op == 0x8B && (modrm & 0xC7) == 0x05 && field_off >= 3 && is_rex(bytes[field_off - 3])
-        {
+        if op == 0x8B && (modrm & 0xC7) == 0x05 && field_off >= 3 && is_rex(bytes[field_off - 3]) {
             return SiteKind::GotLoad;
         }
     }
@@ -229,7 +229,11 @@ impl PartPlan {
     }
 
     fn slot_off(&self, got: GotRef) -> u64 {
-        let base = if got.local { self.lgot_off } else { self.fgot_off };
+        let base = if got.local {
+            self.lgot_off
+        } else {
+            self.fgot_off
+        };
         base + (got.idx * 8) as u64
     }
 }
@@ -244,22 +248,13 @@ struct SymPlace {
 /// Loads object files into the simulated kernel.
 pub struct Loader<'k> {
     kernel: &'k Arc<Kernel>,
-    va_lock: &'k Mutex<()>,
-    legacy_cursor: &'k AtomicU64,
+    va: &'k Arc<VaAllocator>,
 }
 
 impl<'k> Loader<'k> {
     /// A loader bound to the kernel plus the registry's allocation state.
-    pub fn new(
-        kernel: &'k Arc<Kernel>,
-        va_lock: &'k Mutex<()>,
-        legacy_cursor: &'k AtomicU64,
-    ) -> Loader<'k> {
-        Loader {
-            kernel,
-            va_lock,
-            legacy_cursor,
-        }
+    pub(crate) fn new(kernel: &'k Arc<Kernel>, va: &'k Arc<VaAllocator>) -> Loader<'k> {
+        Loader { kernel, va }
     }
 
     /// Load `obj` under the given options (the same options that drove
@@ -304,9 +299,7 @@ impl<'k> Loader<'k> {
 
         // Which part is each symbol in?
         let part_of_sec = |sec: SectionKind| -> Part {
-            if single_part {
-                Part::Movable
-            } else if sec.is_movable() {
+            if single_part || sec.is_movable() {
                 Part::Movable
             } else {
                 Part::Immovable
@@ -329,8 +322,14 @@ impl<'k> Loader<'k> {
                     obj: &ObjectFile,
                     sym_place: &HashMap<String, SymPlace>|
          -> Result<(), LoadError> {
-            for &sec in &[plan.code_secs.clone(), plan.data_groups.iter().flat_map(|(s, _)| s.clone()).collect()]
-                .concat()
+            for &sec in &[
+                plan.code_secs.clone(),
+                plan.data_groups
+                    .iter()
+                    .flat_map(|(s, _)| s.clone())
+                    .collect(),
+            ]
+            .concat()
             {
                 let Some(s) = obj.section(sec) else { continue };
                 for r in &s.relocs {
@@ -473,8 +472,8 @@ impl<'k> Loader<'k> {
                         byte_cursor += s.size as u64;
                     }
                 }
-                let pages =
-                    (align_up(byte_cursor - start_byte, PAGE_SIZE as u64) / PAGE_SIZE as u64) as usize;
+                let pages = (align_up(byte_cursor - start_byte, PAGE_SIZE as u64)
+                    / PAGE_SIZE as u64) as usize;
                 if pages > 0 {
                     plan.groups.push(PageGroup {
                         page_start: page_cursor,
@@ -547,12 +546,20 @@ impl<'k> Loader<'k> {
         }
 
         // ---- base selection -----------------------------------------
-        let _va_guard = self.va_lock.lock();
+        // Reservations (not a held lock) keep other placements out of
+        // the chosen ranges while the images are built and mapped, so
+        // loads and re-randomization cycles can proceed concurrently.
+        let mut _mov_reservation: Option<VaReservation> = None;
         let movable_base = match opts.model {
-            CodeModel::Pic => self.pick_random_base(movable.total_pages)?,
+            CodeModel::Pic => {
+                let r = self.reserve(movable.total_pages)?;
+                let base = r.base();
+                _mov_reservation = Some(r);
+                base
+            }
             CodeModel::Legacy => {
                 let size = (movable.total_pages * PAGE_SIZE) as u64;
-                let base = self.legacy_cursor.fetch_add(size, Ordering::Relaxed);
+                let base = self.va.legacy_bump(size);
                 // The top of the window is kernel text; the window is
                 // full when the cursor reaches it.
                 if base + size > layout::NATIVE_BASE {
@@ -561,14 +568,13 @@ impl<'k> Loader<'k> {
                 base
             }
         };
-        let immovable_base = match immovable.as_ref() {
-            Some(imm) => Some(self.pick_random_base_excluding(
-                imm.total_pages,
-                movable_base,
-                movable.total_pages,
-            )?),
+        // The movable reservation is already recorded, so the immovable
+        // pick is disjoint from it by construction.
+        let _imm_reservation = match immovable.as_ref() {
+            Some(imm) => Some(self.reserve(imm.total_pages)?),
             None => None,
         };
+        let immovable_base = _imm_reservation.as_ref().map(VaReservation::base);
 
         // ---- materialize --------------------------------------------
         let key = self.kernel.rng_u64();
@@ -593,9 +599,9 @@ impl<'k> Loader<'k> {
         };
 
         let build_image = |plan: &PartPlan,
-                               base: u64,
-                               stats: &mut LoadStats,
-                               adjust: &mut Vec<AdjustSlot>|
+                           base: u64,
+                           stats: &mut LoadStats,
+                           adjust: &mut Vec<AdjustSlot>|
          -> Result<Vec<u8>, LoadError> {
             let mut img = vec![0u8; plan.total_pages * PAGE_SIZE];
             // Section payloads.
@@ -793,7 +799,10 @@ impl<'k> Loader<'k> {
         let immovable_img = immovable
             .as_ref()
             .map(|imm| map_part(imm, immovable_base.unwrap(), imm_img.as_ref().unwrap()));
-        drop(_va_guard);
+        // Both parts are mapped: the page tables exclude the ranges from
+        // future picks, so the reservations can be released.
+        drop(_mov_reservation);
+        drop(_imm_reservation);
 
         stats.mapped_bytes = (movable_img.total_pages
             + immovable_img.as_ref().map(|i| i.total_pages).unwrap_or(0))
@@ -890,40 +899,11 @@ impl<'k> Loader<'k> {
         Ok(module)
     }
 
-    /// Pick a random, free, page-aligned base anywhere in the 57-bit
+    /// Reserve a random, free, page-aligned range anywhere in the 57-bit
     /// arena — the 64-bit KASLR placement.
-    pub fn pick_random_base(&self, pages: usize) -> Result<u64, LoadError> {
-        self.pick_random_base_excluding(pages, 0, 0)
-    }
-
-    fn pick_random_base_excluding(
-        &self,
-        pages: usize,
-        avoid_base: u64,
-        avoid_pages: usize,
-    ) -> Result<u64, LoadError> {
-        let span = (pages * PAGE_SIZE) as u64;
-        let limit = layout::MODULE_CEILING - span;
-        for _ in 0..256 {
-            let base = (self.kernel.rng_below(limit / PAGE_SIZE as u64 - 1) + 1)
-                * PAGE_SIZE as u64;
-            let avoid_span = (avoid_pages * PAGE_SIZE) as u64;
-            if avoid_pages > 0 && base < avoid_base + avoid_span && avoid_base < base + span {
-                continue;
-            }
-            if self.range_is_free(base, pages) {
-                return Ok(base);
-            }
-        }
-        Err(LoadError::NoSpace)
-    }
-
-    fn range_is_free(&self, base: u64, pages: usize) -> bool {
-        (0..pages).all(|i| {
-            self.kernel
-                .space
-                .translate(base + (i * PAGE_SIZE) as u64, Access::Read)
-                .is_err()
-        })
+    fn reserve(&self, pages: usize) -> Result<VaReservation, LoadError> {
+        self.va
+            .reserve(self.kernel, pages)
+            .ok_or(LoadError::NoSpace)
     }
 }

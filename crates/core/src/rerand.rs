@@ -1,8 +1,10 @@
-//! The re-randomizer: the "randomizer kernel thread" of paper §4.2.
+//! One re-randomization cycle: the core move operation of paper §4.2.
 //!
-//! Every period, for every re-randomizable module:
+//! For the module being cycled:
 //!
-//! 1. pick a fresh random base for the movable part,
+//! 1. pick a fresh random base for the movable part (a contention-safe
+//!    [`VaAllocator`](crate::va) reservation, so independent modules can
+//!    cycle concurrently under `adelie-sched`'s worker pool),
 //! 2. alias every movable page (same frames) at the new base —
 //!    *zero-copy* movement (Fig. 2a),
 //! 3. build **new local GOTs** for both parts with entries rebased to
@@ -17,47 +19,152 @@
 //!
 //! Pending calls keep executing at the old addresses with the old GOTs
 //! and the old key until they return — consistency by construction.
+//!
+//! The background thread that used to live here (the artifact's
+//! `randmod` kthread) is superseded by `adelie-sched`: a multi-worker
+//! scheduler with per-module policies and a CPU budget. Its
+//! single-worker compatibility shim (`adelie_sched::Rerandomizer`)
+//! preserves the old `spawn`/`stop` API.
 
 use crate::module::{LoadedModule, LocalGotEntry, Part};
 use crate::stacks::StackPool;
 use crate::ModuleRegistry;
-use adelie_kernel::Kernel;
-use adelie_vmem::{PteFlags, PAGE_SIZE};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use adelie_kernel::{Kernel, VmError};
+use adelie_vmem::{Fault, Pfn, PteFlags, PAGE_SIZE};
+use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
-/// Cycle counters (the dmesg block of the artifact appendix).
-#[derive(Copy, Clone, Default, Debug)]
-pub struct RerandStats {
-    /// Completed re-randomization cycles (sum over modules).
-    pub randomized: u64,
-    /// Cumulative wall time spent inside cycles.
-    pub busy: Duration,
+/// Why one re-randomization cycle could not complete.
+///
+/// Cycle failures are *recoverable* from the scheduler's point of view:
+/// the module keeps running at its current base, and the failed cycle is
+/// counted and retried at the next deadline rather than killing the
+/// randomizer thread (the old stringly-typed path treated every error as
+/// fatal).
+#[derive(Debug)]
+pub enum RerandError {
+    /// The module was not built with `TransformOptions::rerandomizable`.
+    NotRerandomizable {
+        /// Module name.
+        module: String,
+    },
+    /// No free virtual range of the required size could be found.
+    NoSpace {
+        /// Module name.
+        module: String,
+        /// Pages requested.
+        pages: usize,
+    },
+    /// Mapping or swapping pages at the new base failed.
+    Remap {
+        /// Module name.
+        module: String,
+        /// Which remap step failed (alias, local GOT, immovable GOT).
+        what: &'static str,
+        /// The underlying page-table fault.
+        fault: Fault,
+    },
+    /// The module's `update_pointers` callback raised an error. Unlike
+    /// the other variants, the move itself *has* committed: the module
+    /// runs correctly at its new base and the old range was retired —
+    /// only the callback's own refresh work is in doubt.
+    UpdatePointers {
+        /// Module name.
+        module: String,
+        /// The interpreter error.
+        source: VmError,
+    },
+}
+
+impl fmt::Display for RerandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RerandError::NotRerandomizable { module } => {
+                write!(f, "module {module} is not re-randomizable")
+            }
+            RerandError::NoSpace { module, pages } => {
+                write!(f, "no free {pages}-page range to move {module} into")
+            }
+            RerandError::Remap {
+                module,
+                what,
+                fault,
+            } => write!(f, "{module}: {what} remap failed: {fault}"),
+            RerandError::UpdatePointers { module, source } => {
+                write!(f, "{module}: update_pointers failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RerandError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RerandError::Remap { fault, .. } => Some(fault),
+            RerandError::UpdatePointers { source, .. } => Some(source),
+            _ => None,
+        }
+    }
 }
 
 /// Re-randomize `module` once. Returns the new movable base.
 ///
+/// Safe to call concurrently for *different* modules: placement is
+/// reservation-based and each module's `move_lock` serializes cycles of
+/// the same module.
+///
 /// # Errors
 ///
-/// A textual error if no free address range can be found or a remap
-/// fails; callers treat this as a fatal kernel bug.
+/// [`RerandError`] — the module is left fully functional on any error
+/// and callers may simply retry later. Placement and mapping errors
+/// roll the cycle back completely (the module has not moved, nothing
+/// is leaked); a failing `update_pointers` callback is reported after
+/// the move has committed and the old range been retired (see
+/// [`RerandError::UpdatePointers`]).
 pub fn rerandomize_module(
     kernel: &Arc<Kernel>,
     registry: &ModuleRegistry,
     module: &LoadedModule,
-) -> Result<u64, String> {
+) -> Result<u64, RerandError> {
     if !module.rerandomizable {
-        return Err(format!("module {} is not re-randomizable", module.name));
+        return Err(RerandError::NotRerandomizable {
+            module: module.name.clone(),
+        });
     }
     let _move_guard = module.move_lock.lock();
     let pages = module.movable.total_pages;
     let old_base = module.movable_base.load(Ordering::Acquire);
 
-    // (1) Fresh base + key.
-    let (new_base, _va_guard) = registry.pick_base_locked(pages)?;
+    // (1) Fresh base + key. The reservation keeps concurrent cycles and
+    // loads out of this range until the pages are actually mapped.
+    let reservation = registry
+        .reserve_va(pages)
+        .ok_or_else(|| RerandError::NoSpace {
+            module: module.name.clone(),
+            pages,
+        })?;
+    let new_base = reservation.base();
     let new_key = kernel.rng_u64();
+    // Error constructor: clones the name only when a fault actually
+    // occurs, not once per mapped page.
+    let remap = |what: &'static str, fault: Fault| RerandError::Remap {
+        module: module.name.clone(),
+        what,
+        fault,
+    };
+    // Pre-publish rollback: unmap whatever was aliased at the new base
+    // and free frames allocated this cycle that the module never took
+    // ownership of. The reservation is still held while this runs, so
+    // no other placement can race into the half-torn-down range. After
+    // it, the module is genuinely untouched and the cycle can simply be
+    // retried.
+    let rollback = |fresh: &[Pfn]| {
+        kernel.space.unmap_sparse(new_base, pages);
+        for &pfn in fresh {
+            kernel.phys.free(pfn);
+        }
+    };
 
     // (2) Zero-copy alias of every movable page group, except the local
     // GOT pages which get fresh frames.
@@ -70,16 +177,21 @@ pub fn rerandomize_module(
                 continue; // handled in step (3)
             }
             let va = new_base + (page * PAGE_SIZE) as u64;
-            kernel
-                .space
-                .map(va, module.movable.frames[page], g.flags)
-                .map_err(|e| format!("rerand alias failed: {e}"))?;
+            if let Err(fault) = kernel.space.map(va, module.movable.frames[page], g.flags) {
+                rollback(&[]);
+                return Err(remap("alias", fault));
+            }
         }
     }
 
     // (3) New local GOTs.
     let build_lgot = |entries: &[LocalGotEntry]| -> Vec<u8> {
-        let mut bytes = vec![0u8; (entries.len() * 8).next_multiple_of(PAGE_SIZE).max(PAGE_SIZE)];
+        let mut bytes = vec![
+            0u8;
+            (entries.len() * 8)
+                .next_multiple_of(PAGE_SIZE)
+                .max(PAGE_SIZE)
+        ];
         for (i, e) in entries.iter().enumerate() {
             let v = match e {
                 LocalGotEntry::Sym { offset, .. } => new_base + offset,
@@ -89,54 +201,74 @@ pub fn rerandomize_module(
         }
         bytes
     };
-    let mut doomed_frames = Vec::new();
+    // All fallible mapping work happens before the module takes
+    // ownership of any fresh frame, so every error path above and below
+    // can restore the exact pre-cycle state.
+    let mut new_mov_lgot: Vec<Pfn> = Vec::new();
     if lgot_pages > 0 {
         let img = build_lgot(&module.lgot_movable);
-        let new_frames = kernel.phys.alloc_n(lgot_pages);
-        for (i, &pfn) in new_frames.iter().enumerate() {
+        new_mov_lgot = kernel.phys.alloc_n(lgot_pages);
+        for (i, &pfn) in new_mov_lgot.iter().enumerate() {
             kernel
                 .phys
                 .write(pfn, 0, &img[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
         }
-        kernel
-            .space
-            .map_range(
-                new_base + module.movable.lgot_off,
-                &new_frames,
-                PteFlags::RO_DATA, // sealed from birth
-            )
-            .map_err(|e| format!("rerand lgot map failed: {e}"))?;
-        let mut cur = module.movable_lgot_frames.lock();
-        doomed_frames.append(&mut std::mem::replace(&mut *cur, new_frames));
+        if let Err(fault) = kernel.space.map_range(
+            new_base + module.movable.lgot_off,
+            &new_mov_lgot,
+            PteFlags::RO_DATA, // sealed from birth
+        ) {
+            rollback(&new_mov_lgot);
+            return Err(remap("local GOT", fault));
+        }
     }
+    let mut new_imm_lgot: Vec<Pfn> = Vec::new();
     if let Some(imm) = &module.immovable {
         let imm_lgot_pages = imm.lgot_pages();
         if imm_lgot_pages > 0 {
             let img = build_lgot(&module.lgot_immovable);
-            let new_frames = kernel.phys.alloc_n(imm_lgot_pages);
-            for (i, &pfn) in new_frames.iter().enumerate() {
+            new_imm_lgot = kernel.phys.alloc_n(imm_lgot_pages);
+            for (i, &pfn) in new_imm_lgot.iter().enumerate() {
                 kernel
                     .phys
                     .write(pfn, 0, &img[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
             }
             // Atomic PTE swap: pending calls read either the old or the
             // new table, never a hole (§4.2 "GOT pages in the new address
-            // space are remapped to point to the new GOTs").
-            for (i, &pfn) in new_frames.iter().enumerate() {
-                kernel
-                    .space
-                    .replace(
-                        imm.base + imm.lgot_off + (i * PAGE_SIZE) as u64,
-                        pfn,
-                        PteFlags::RO_DATA,
-                    )
-                    .map_err(|e| format!("rerand imm lgot swap failed: {e}"))?;
+            // space are remapped to point to the new GOTs"). The frame
+            // list still holds the old frames, so a mid-loop failure
+            // swaps the completed pages straight back.
+            let cur = module.immovable_lgot_frames.lock();
+            for (i, &pfn) in new_imm_lgot.iter().enumerate() {
+                let va = imm.base + imm.lgot_off + (i * PAGE_SIZE) as u64;
+                if let Err(fault) = kernel.space.replace(va, pfn, PteFlags::RO_DATA) {
+                    for (j, &old) in cur.iter().enumerate().take(i) {
+                        let va_j = imm.base + imm.lgot_off + (j * PAGE_SIZE) as u64;
+                        let _ = kernel.space.replace(va_j, old, PteFlags::RO_DATA);
+                    }
+                    drop(cur);
+                    let fresh: Vec<Pfn> =
+                        new_mov_lgot.iter().chain(&new_imm_lgot).copied().collect();
+                    rollback(&fresh);
+                    return Err(remap("immovable GOT swap", fault));
+                }
             }
-            let mut cur = module.immovable_lgot_frames.lock();
-            doomed_frames.append(&mut std::mem::replace(&mut *cur, new_frames));
         }
     }
-    drop(_va_guard);
+    // Nothing can fail before publication now: hand the fresh GOT
+    // frames to the module and collect the ones they replace.
+    let mut doomed_frames = Vec::new();
+    if !new_mov_lgot.is_empty() {
+        let mut cur = module.movable_lgot_frames.lock();
+        doomed_frames.append(&mut std::mem::replace(&mut *cur, new_mov_lgot));
+    }
+    if !new_imm_lgot.is_empty() {
+        let mut cur = module.immovable_lgot_frames.lock();
+        doomed_frames.append(&mut std::mem::replace(&mut *cur, new_imm_lgot));
+    }
+    // The new range is fully mapped: the page tables now exclude it from
+    // other placements, so the reservation can go.
+    drop(reservation);
 
     // (4) Adjust movable pointers in data (paper §6: "pointers are also
     // adjusted when re-randomizing"). Direct frame writes: the slots may
@@ -157,13 +289,24 @@ pub fn rerandomize_module(
     module.movable_base.store(new_base, Ordering::Release);
     module.current_key.store(new_key, Ordering::Release);
     module.generation.fetch_add(1, Ordering::Relaxed);
-    if let Some(up) = module.update_pointers_va {
-        let mut vm = kernel.vm();
-        vm.call(up, &[new_base])
-            .map_err(|e| format!("update_pointers failed: {e}"))?;
-    }
+    let update_result = match module.update_pointers_va {
+        Some(up) => {
+            let mut vm = kernel.vm();
+            vm.call(up, &[new_base])
+                .map(|_| ())
+                .map_err(|source| RerandError::UpdatePointers {
+                    module: module.name.clone(),
+                    source,
+                })
+        }
+        None => Ok(()),
+    };
 
     // (6) Retire the old range — unmapped when pending calls drain.
+    // This runs even when the update_pointers callback failed: the move
+    // is already published at this point, and skipping retirement would
+    // leak the old mapping and the replaced GOT frames on every retried
+    // cycle.
     let kernel2 = kernel.clone();
     let total_pages = pages;
     kernel.reclaim.retire(Box::new(move || {
@@ -177,119 +320,7 @@ pub fn rerandomize_module(
     // (7) Rotate the per-CPU randomized stack pools so stack addresses
     // go stale on the same cadence as code addresses (§3.4).
     registry.stacks.rotate(kernel);
-    Ok(new_base)
-}
-
-/// The background randomizer thread driving a set of modules — the
-/// `randmod` kernel module of the artifact
-/// (`modprobe randmod module_names=e1000,nvme rand_period=20`).
-pub struct Rerandomizer {
-    stop: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
-    cycles: Arc<AtomicU64>,
-    busy_ns: Arc<AtomicU64>,
-}
-
-impl Rerandomizer {
-    /// Start re-randomizing `module_names` every `period`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any named module is missing or not re-randomizable.
-    pub fn spawn(
-        kernel: Arc<Kernel>,
-        registry: Arc<ModuleRegistry>,
-        module_names: &[&str],
-        period: Duration,
-    ) -> Rerandomizer {
-        let modules: Vec<Arc<LoadedModule>> = module_names
-            .iter()
-            .map(|n| {
-                let m = registry
-                    .get(n)
-                    .unwrap_or_else(|| panic!("randmod: no module `{n}`"));
-                assert!(m.rerandomizable, "randmod: `{n}` is not re-randomizable");
-                m
-            })
-            .collect();
-        let stop = Arc::new(AtomicBool::new(false));
-        let cycles = Arc::new(AtomicU64::new(0));
-        let busy_ns = Arc::new(AtomicU64::new(0));
-        kernel.printk.log("Randomize: kthread started");
-        let handle = {
-            let stop = stop.clone();
-            let cycles = cycles.clone();
-            let busy_ns = busy_ns.clone();
-            std::thread::Builder::new()
-                .name("randomizer".into())
-                .spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
-                        let t0 = Instant::now();
-                        for m in &modules {
-                            if let Err(e) = rerandomize_module(&kernel, &registry, m) {
-                                kernel.printk.log(format!("Randomize: ERROR {e}"));
-                                return;
-                            }
-                            cycles.fetch_add(1, Ordering::Relaxed);
-                        }
-                        let spent = t0.elapsed();
-                        busy_ns.fetch_add(spent.as_nanos() as u64, Ordering::Relaxed);
-                        // Account the randomizer thread's CPU use on the
-                        // modeled machine (it occupies one core).
-                        kernel.percpu.account(0, spent);
-                        if spent < period {
-                            std::thread::sleep(period - spent);
-                        }
-                    }
-                })
-                .expect("spawn randomizer")
-        };
-        Rerandomizer {
-            stop,
-            handle: Some(handle),
-            cycles,
-            busy_ns,
-        }
-    }
-
-    /// Completed module-cycles so far.
-    pub fn cycles(&self) -> u64 {
-        self.cycles.load(Ordering::Relaxed)
-    }
-
-    /// Counter snapshot.
-    pub fn stats(&self) -> RerandStats {
-        RerandStats {
-            randomized: self.cycles(),
-            busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
-        }
-    }
-
-    /// Stop the thread and wait for it.
-    pub fn stop(mut self) -> RerandStats {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-        self.stats()
-    }
-}
-
-impl Drop for Rerandomizer {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-impl std::fmt::Debug for Rerandomizer {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Rerandomizer")
-            .field("cycles", &self.cycles())
-            .finish()
-    }
+    update_result.map(|()| new_base)
 }
 
 /// Print the artifact-style statistics block to the kernel log:
@@ -311,13 +342,3 @@ pub fn log_stats(kernel: &Kernel, cycles: u64, stacks: &StackPool) {
     kernel.printk.log(format!("Stack Free: {}", st.freed));
     kernel.printk.log(format!("Stack Delta: {}", st.delta()));
 }
-
-/// Guard against stats types drifting from the dmesg format.
-#[allow(dead_code)]
-fn _stats_shape(s: &RerandStats) -> (u64, Duration) {
-    (s.randomized, s.busy)
-}
-
-/// Mutex re-exported for doc purposes.
-#[allow(unused)]
-type _M = Mutex<()>;

@@ -12,8 +12,9 @@
 //! LIFO semantics with negligible contention (documented simplification,
 //! DESIGN.md §3).
 
-use adelie_kernel::{layout, Kernel, Vm, VmError};
-use adelie_vmem::{Access, Pfn, PteFlags, PAGE_SIZE};
+use crate::va::VaAllocator;
+use adelie_kernel::{Kernel, Vm, VmError};
+use adelie_vmem::{Pfn, PteFlags, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,6 +46,11 @@ pub struct StackPool {
     /// Backing frames per stack top (moved into the retire closure on
     /// rotation).
     frames: Mutex<HashMap<u64, Vec<Pfn>>>,
+    /// Shared placement state: stacks draw from the same reservation-
+    /// based allocator as module loads and re-randomization cycles, so a
+    /// stack can never land inside a range another placement has picked
+    /// but not yet mapped.
+    va: Arc<VaAllocator>,
     allocated: AtomicU64,
     /// Shared with rotation closures living in the SMR domain, which may
     /// outlive the pool.
@@ -52,11 +58,12 @@ pub struct StackPool {
 }
 
 impl StackPool {
-    /// Pools for `cpus` CPUs.
-    pub fn new(cpus: usize) -> Arc<StackPool> {
+    /// Pools for `cpus` CPUs, placing stacks via `va`.
+    pub(crate) fn new(cpus: usize, va: Arc<VaAllocator>) -> Arc<StackPool> {
         Arc::new(StackPool {
             pools: (0..cpus).map(|_| Mutex::new(Vec::new())).collect(),
             frames: Mutex::new(HashMap::new()),
+            va,
             allocated: AtomicU64::new(0),
             freed: Arc::new(AtomicU64::new(0)),
         })
@@ -101,41 +108,20 @@ impl StackPool {
     /// native-handler failure).
     pub fn alloc(&self, kernel: &Kernel) -> Result<u64, String> {
         let span = (STACK_PAGES * PAGE_SIZE) as u64;
-        for _ in 0..256 {
-            let base = (kernel.rng_below(layout::MODULE_CEILING / PAGE_SIZE as u64 - STACK_PAGES as u64 - 1)
-                + 1)
-                * PAGE_SIZE as u64;
-            let free = (0..STACK_PAGES).all(|i| {
-                kernel
-                    .space
-                    .translate(base + (i * PAGE_SIZE) as u64, Access::Read)
-                    .is_err()
-            });
-            if !free {
-                continue;
-            }
-            let pfns = kernel.phys.alloc_n(STACK_PAGES);
-            match kernel.space.map_range(base, &pfns, PteFlags::DATA) {
-                Ok(()) => {
-                    let top = base + span;
-                    self.frames.lock().insert(top, pfns);
-                    self.allocated.fetch_add(1, Ordering::Relaxed);
-                    return Ok(top);
-                }
-                Err(_) => {
-                    // Lost a race for the range: roll back and retry.
-                    for (i, pfn) in pfns.into_iter().enumerate() {
-                        let va = base + (i * PAGE_SIZE) as u64;
-                        if kernel.space.unmap(va).is_err() {
-                            kernel.phys.free(pfn);
-                        } else {
-                            kernel.phys.free(pfn);
-                        }
-                    }
-                }
-            }
-        }
-        Err("alloc_stack: no free range".into())
+        let reservation = self
+            .va
+            .reserve(kernel, STACK_PAGES)
+            .ok_or_else(|| "alloc_stack: no free range".to_string())?;
+        let base = reservation.base();
+        let pfns = kernel.phys.alloc_n(STACK_PAGES);
+        kernel
+            .space
+            .map_range(base, &pfns, PteFlags::DATA)
+            .expect("reserved stack range collided");
+        let top = base + span;
+        self.frames.lock().insert(top, pfns);
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        Ok(top)
     }
 
     /// Swap every CPU's pool for a fresh empty one; old stacks are
@@ -189,7 +175,6 @@ impl StackPool {
         Ok(top)
     }
 }
-
 
 impl std::fmt::Debug for StackPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -1,0 +1,151 @@
+//! Contention-safe virtual-address allocation for module placement.
+//!
+//! Historically the registry held one big `va_lock` across *pick base →
+//! build image → map pages*, which serialized every load and every
+//! re-randomization cycle — a single randomizer thread was the only
+//! thing that could work under it. The scheduler's multi-worker pool
+//! overlaps cycles of independent modules, so placement is now
+//! *reservation*-based:
+//!
+//! 1. a candidate base is drawn from the kernel RNG,
+//! 2. under a short lock, the candidate is checked against both the
+//!    currently **reserved** ranges and the already **mapped** pages,
+//! 3. on success the range is recorded and a [`VaReservation`] guard is
+//!    returned; the caller maps at leisure and drops the guard once the
+//!    pages are live (at which point the page tables themselves exclude
+//!    the range from future picks).
+//!
+//! Any two in-flight placements — loads, re-randomization cycles, and
+//! randomized stack allocations, which all draw from this allocator —
+//! are therefore disjoint by construction, with no lock held during the
+//! expensive build/map phase.
+
+use adelie_kernel::{layout, Kernel};
+use adelie_vmem::{Access, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The registry's shared placement state.
+pub(crate) struct VaAllocator {
+    /// In-flight `(base, end)` ranges: picked but not fully mapped yet.
+    reserved: Mutex<Vec<(u64, u64)>>,
+    /// Bump cursor for the legacy 2 GiB window.
+    legacy_cursor: AtomicU64,
+}
+
+impl VaAllocator {
+    /// An allocator whose legacy window starts at `legacy_start`.
+    pub(crate) fn new(legacy_start: u64) -> Arc<VaAllocator> {
+        Arc::new(VaAllocator {
+            reserved: Mutex::new(Vec::new()),
+            legacy_cursor: AtomicU64::new(legacy_start),
+        })
+    }
+
+    /// Claim `size` bytes of the legacy window (vanilla Linux module
+    /// placement); returns the base of the claimed span.
+    pub(crate) fn legacy_bump(&self, size: u64) -> u64 {
+        self.legacy_cursor.fetch_add(size, Ordering::Relaxed)
+    }
+
+    /// Reserve a random, free, page-aligned range of `pages` anywhere in
+    /// the 57-bit arena (64-bit KASLR placement). Returns `None` when no
+    /// free range is found after bounded retries.
+    pub(crate) fn reserve(
+        self: &Arc<Self>,
+        kernel: &Kernel,
+        pages: usize,
+    ) -> Option<VaReservation> {
+        let span = (pages * PAGE_SIZE) as u64;
+        let limit = layout::MODULE_CEILING.checked_sub(span)?;
+        for _ in 0..256 {
+            // Draw outside the lock: the kernel RNG has its own.
+            let base = (kernel.rng_below(limit / PAGE_SIZE as u64 - 1) + 1) * PAGE_SIZE as u64;
+            let mut reserved = self.reserved.lock();
+            let clashes = reserved.iter().any(|&(b, e)| base < e && b < base + span);
+            if clashes || !range_is_free(kernel, base, pages) {
+                continue;
+            }
+            reserved.push((base, base + span));
+            return Some(VaReservation {
+                va: self.clone(),
+                base,
+                span,
+            });
+        }
+        None
+    }
+}
+
+fn range_is_free(kernel: &Kernel, base: u64, pages: usize) -> bool {
+    (0..pages).all(|i| {
+        kernel
+            .space
+            .translate(base + (i * PAGE_SIZE) as u64, Access::Read)
+            .is_err()
+    })
+}
+
+/// A claimed-but-not-yet-mapped address range. Hold it while mapping;
+/// drop it once the pages are live (the page tables then keep the range
+/// excluded from future picks).
+pub(crate) struct VaReservation {
+    va: Arc<VaAllocator>,
+    base: u64,
+    span: u64,
+}
+
+impl VaReservation {
+    /// Base address of the reserved range.
+    pub(crate) fn base(&self) -> u64 {
+        self.base
+    }
+}
+
+impl Drop for VaReservation {
+    fn drop(&mut self) {
+        let mut reserved = self.va.reserved.lock();
+        if let Some(pos) = reserved
+            .iter()
+            .position(|&(b, e)| b == self.base && e == self.base + self.span)
+        {
+            reserved.swap_remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adelie_kernel::KernelConfig;
+
+    #[test]
+    fn reservations_never_overlap() {
+        let kernel = Kernel::new(KernelConfig::default());
+        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+        let held: Vec<VaReservation> = (0..64)
+            .map(|_| va.reserve(&kernel, 8).expect("arena is huge"))
+            .collect();
+        for (i, a) in held.iter().enumerate() {
+            for b in held.iter().skip(i + 1) {
+                let (ab, ae) = (a.base, a.base + a.span);
+                let (bb, be) = (b.base, b.base + b.span);
+                assert!(
+                    ae <= bb || be <= ab,
+                    "overlap: {ab:#x}..{ae:#x} vs {bb:#x}..{be:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_a_reservation_frees_the_range() {
+        let kernel = Kernel::new(KernelConfig::default());
+        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+        let r = va.reserve(&kernel, 4).unwrap();
+        assert_eq!(va.reserved.lock().len(), 1);
+        drop(r);
+        assert!(va.reserved.lock().is_empty());
+    }
+}

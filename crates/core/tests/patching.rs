@@ -24,10 +24,7 @@ fn spec_with_local_call() -> ModuleSpec {
     ));
     spec.funcs.push(FuncSpec::local(
         "helper",
-        vec![
-            MOp::Insn(Insn::MovImm32(Reg::Rax, 1)),
-            MOp::Ret,
-        ],
+        vec![MOp::Insn(Insn::MovImm32(Reg::Rax, 1)), MOp::Ret],
     ));
     spec
 }
@@ -61,8 +58,7 @@ fn fig4_call_patch_bytes() {
     assert_eq!(module.stats.patched_calls, 1, "{:?}", module.stats);
     assert_eq!(module.stats.patched_movs, 1);
     let text = loaded_text(&kernel, &module);
-    let entry_off = module.immovable_syms["entry"]
-        - module.movable_base.load(Ordering::Relaxed);
+    let entry_off = module.immovable_syms["entry"] - module.movable_base.load(Ordering::Relaxed);
     // Disassemble the entry function: first insn must now be a direct
     // call followed by the Fig. 4 nop pad.
     let stream = decode_all(&text[entry_off as usize..entry_off as usize + 6]).unwrap();
@@ -85,8 +81,8 @@ fn fig4_mov_to_lea_patch() {
     let obj = transform(&spec_with_local_call(), &opts).unwrap();
     let module = registry.load(&obj, &opts).unwrap();
     let text = loaded_text(&kernel, &module);
-    let entry_off = (module.immovable_syms["entry"]
-        - module.movable_base.load(Ordering::Relaxed)) as usize;
+    let entry_off =
+        (module.immovable_syms["entry"] - module.movable_base.load(Ordering::Relaxed)) as usize;
     // Layout: call(5)+nop(1) + FF15(6) + [patched lea (7)] + ret.
     let lea_bytes = &text[entry_off + 12..entry_off + 19];
     let (insn, _) = adelie_isa::decode(lea_bytes).unwrap();

@@ -87,14 +87,22 @@ impl NvmeDevice {
                 1 => {
                     // Read: DMA the sector into the driver's buffer.
                     let data = self.sector(lba + s);
-                    if self.space.write_bytes(&self.phys, sector_va, &data).is_err() {
+                    if self
+                        .space
+                        .write_bytes(&self.phys, sector_va, &data)
+                        .is_err()
+                    {
                         status = 2; // DMA fault
                         break;
                     }
                 }
                 2 => {
                     let mut data = [0u8; SECTOR_SIZE];
-                    if self.space.read_bytes(&self.phys, sector_va, &mut data).is_err() {
+                    if self
+                        .space
+                        .read_bytes(&self.phys, sector_va, &mut data)
+                        .is_err()
+                    {
                         status = 2;
                         break;
                     }
@@ -338,7 +346,7 @@ mod tests {
     fn nvme_dma_fault_sets_status() {
         let (phys, space) = mem();
         let dev = NvmeDevice::new(phys, space);
-        dev.mmio_write(nvme_regs::BUF, 0xdead_000, 8); // unmapped
+        dev.mmio_write(nvme_regs::BUF, 0x0dea_d000, 8); // unmapped
         dev.mmio_write(nvme_regs::COUNT, 1, 8);
         dev.mmio_write(nvme_regs::DOORBELL, 1, 8);
         assert_eq!(dev.mmio_read(nvme_regs::STATUS, 8), 2);

@@ -215,11 +215,16 @@ mod tests {
             kernel.vfs.create("data.bin", 1 << 20);
             let fd = kernel.vfs.open("data.bin", true).unwrap();
             let mut vm = kernel.vm();
-            let buf = kernel.heap.kmalloc(&kernel.space, &kernel.phys, SECTOR_SIZE);
+            let buf = kernel
+                .heap
+                .kmalloc(&kernel.space, &kernel.phys, SECTOR_SIZE);
             let n = kernel.vfs.pread(&mut vm, fd, buf, SECTOR_SIZE, 0).unwrap();
             assert_eq!(n, SECTOR_SIZE);
             let mut got = vec![0u8; SECTOR_SIZE];
-            kernel.space.read_bytes(&kernel.phys, buf, &mut got).unwrap();
+            kernel
+                .space
+                .read_bytes(&kernel.phys, buf, &mut got)
+                .unwrap();
             let file = kernel.vfs.stat("data.bin").unwrap();
             assert_eq!(got, drv.device.sector(file.first_lba).to_vec());
             assert!(drv.device.completed() >= 1);
@@ -234,19 +239,23 @@ mod tests {
         kernel.vfs.create("w.bin", 1 << 16);
         let fd = kernel.vfs.open("w.bin", true).unwrap();
         let mut vm = kernel.vm();
-        let buf = kernel.heap.kmalloc(&kernel.space, &kernel.phys, SECTOR_SIZE);
+        let buf = kernel
+            .heap
+            .kmalloc(&kernel.space, &kernel.phys, SECTOR_SIZE);
         kernel
             .space
             .write_bytes(&kernel.phys, buf, &[0x5A; SECTOR_SIZE])
             .unwrap();
-        kernel
-            .vfs
-            .pwrite(&mut vm, fd, buf, SECTOR_SIZE, 0)
-            .unwrap();
-        let out = kernel.heap.kmalloc(&kernel.space, &kernel.phys, SECTOR_SIZE);
+        kernel.vfs.pwrite(&mut vm, fd, buf, SECTOR_SIZE, 0).unwrap();
+        let out = kernel
+            .heap
+            .kmalloc(&kernel.space, &kernel.phys, SECTOR_SIZE);
         kernel.vfs.pread(&mut vm, fd, out, SECTOR_SIZE, 0).unwrap();
         let mut got = vec![0u8; SECTOR_SIZE];
-        kernel.space.read_bytes(&kernel.phys, out, &mut got).unwrap();
+        kernel
+            .space
+            .read_bytes(&kernel.phys, out, &mut got)
+            .unwrap();
         assert_eq!(got, vec![0x5A; SECTOR_SIZE]);
     }
 
@@ -258,7 +267,9 @@ mod tests {
         kernel.vfs.create("r.bin", 1 << 20);
         let fd = kernel.vfs.open("r.bin", true).unwrap();
         let mut vm = kernel.vm();
-        let buf = kernel.heap.kmalloc(&kernel.space, &kernel.phys, SECTOR_SIZE);
+        let buf = kernel
+            .heap
+            .kmalloc(&kernel.space, &kernel.phys, SECTOR_SIZE);
         for _ in 0..8 {
             kernel.vfs.pread(&mut vm, fd, buf, SECTOR_SIZE, 0).unwrap();
             rerandomize_module(&kernel, &registry, &drv.module).unwrap();
@@ -328,11 +339,11 @@ mod tests {
         let (kernel, registry) = boot();
         let drv = install_nic(&registry, &opts, NicFlavor::E1000e).unwrap();
         kernel.devices.set_rx_handler(Box::new(|_| {}));
-        let rr = adelie_core::Rerandomizer::spawn(
+        let sched = adelie_sched::Scheduler::spawn(
             kernel.clone(),
             registry.clone(),
             &["e1000e"],
-            std::time::Duration::from_millis(1),
+            adelie_sched::SchedConfig::serial(std::time::Duration::from_millis(1)),
         );
         let mut vm = kernel.vm();
         for i in 0..300u64 {
@@ -340,8 +351,8 @@ mod tests {
             assert_eq!(kernel.net_poll(&mut vm).unwrap(), 1);
             kernel.net_xmit(&mut vm, &i.to_le_bytes()).unwrap();
         }
-        let stats = rr.stop();
-        assert!(stats.randomized >= 1);
+        let stats = sched.stop();
+        assert!(stats.cycles >= 1);
         assert_eq!(drv.device.counters().0, 300);
     }
 
@@ -372,15 +383,20 @@ mod tests {
         install_extfs(&registry, &opts).unwrap();
         install_xhci(&registry, &opts).unwrap();
         let names = ["e1000e", "nvme", "fuse", "extfs", "xhci"];
-        let rr = adelie_core::Rerandomizer::spawn(
+        // Two workers: independent drivers re-randomize concurrently.
+        let sched = adelie_sched::Scheduler::spawn(
             kernel.clone(),
             registry.clone(),
             &names,
-            std::time::Duration::from_millis(2),
+            adelie_sched::SchedConfig {
+                workers: 2,
+                policy: adelie_sched::Policy::FixedPeriod(std::time::Duration::from_millis(2)),
+                ..adelie_sched::SchedConfig::default()
+            },
         );
         std::thread::sleep(std::time::Duration::from_millis(50));
-        let stats = rr.stop();
-        assert!(stats.randomized >= names.len() as u64);
+        let stats = sched.stop();
+        assert!(stats.cycles >= names.len() as u64);
         for n in names {
             assert!(registry.get(n).unwrap().times_randomized() >= 1, "{n}");
         }

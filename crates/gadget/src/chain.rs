@@ -51,8 +51,11 @@ fn disqualifies(insn: &Insn, target: Reg) -> bool {
         // A later pop of the same register undoes our load.
         Insn::Pop(r) if *r == target => true,
         // Overwriting the freshly-loaded register undoes the load.
-        Insn::MovRR { dst, .. } | Insn::MovImm64(dst, _) | Insn::MovImm32(dst, _)
-        | Insn::MovLoad { dst, .. } | Insn::Lea { dst, .. }
+        Insn::MovRR { dst, .. }
+        | Insn::MovImm64(dst, _)
+        | Insn::MovImm32(dst, _)
+        | Insn::MovLoad { dst, .. }
+        | Insn::Lea { dst, .. }
             if *dst == target =>
         {
             true
@@ -80,9 +83,7 @@ pub fn reg_load_quality(gadgets: &[Gadget], reg: Reg) -> RegLoad {
         // to *start* at the gadget's entry (pops consume stack slots but
         // that only costs filler words — allowed, counts as side effect).
         let pre = &g.insns[..pos];
-        if tail.iter().any(|i| disqualifies(i, reg))
-            || pre.iter().any(|i| disqualifies(i, reg))
-        {
+        if tail.iter().any(|i| disqualifies(i, reg)) || pre.iter().any(|i| disqualifies(i, reg)) {
             continue;
         }
         if pos == 0 && tail.is_empty() {
@@ -99,7 +100,7 @@ pub fn chain_verdict(gadgets: &[Gadget]) -> ChainVerdict {
         .iter()
         .map(|&r| reg_load_quality(gadgets, r))
         .collect();
-    if loads.iter().any(|l| *l == RegLoad::Missing) {
+    if loads.contains(&RegLoad::Missing) {
         return ChainVerdict::NoChain;
     }
     if loads.iter().all(|l| *l == RegLoad::Clean) {
@@ -122,12 +123,7 @@ pub struct RopChain {
 /// Build an actual NX-disable-style chain against a module image mapped
 /// at `base`: sets `rdi=arg0, rsi=arg1, rdx=arg2` then returns into
 /// `target`. Returns `None` when the gadget set is insufficient.
-pub fn build_chain(
-    gadgets: &[Gadget],
-    base: u64,
-    args: [u64; 3],
-    target: u64,
-) -> Option<RopChain> {
+pub fn build_chain(gadgets: &[Gadget], base: u64, args: [u64; 3], target: u64) -> Option<RopChain> {
     let mut words = Vec::new();
     let mut plan = Vec::new();
     for (reg, arg) in CHAIN_REGS.iter().zip(args) {
@@ -213,7 +209,12 @@ mod tests {
 
     #[test]
     fn missing_register_means_no_chain() {
-        let bytes = image(&[Insn::Pop(Reg::Rdi), Insn::Ret, Insn::Pop(Reg::Rsi), Insn::Ret]);
+        let bytes = image(&[
+            Insn::Pop(Reg::Rdi),
+            Insn::Ret,
+            Insn::Pop(Reg::Rsi),
+            Insn::Ret,
+        ]);
         let gadgets = crate::scan::scan(&bytes);
         assert_eq!(chain_verdict(&gadgets), ChainVerdict::NoChain);
     }

@@ -88,7 +88,9 @@ pub fn class_of_insn(insn: &Insn) -> GadgetClass {
         | Insn::MovStore { .. } => GadgetClass::Mov,
         Insn::Pop(_) => GadgetClass::Pop,
         Insn::Push(_) => GadgetClass::Push,
-        Insn::Alu { op, .. } | Insn::AluImm { op, .. } | Insn::AluLoad { op, .. }
+        Insn::Alu { op, .. }
+        | Insn::AluImm { op, .. }
+        | Insn::AluLoad { op, .. }
         | Insn::AluStore { op, .. } => match op {
             AluOp::Add | AluOp::Sub => GadgetClass::AddSub,
             AluOp::Xor | AluOp::And | AluOp::Or => GadgetClass::Logic,

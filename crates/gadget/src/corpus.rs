@@ -68,8 +68,7 @@ fn statement(
         }
         79..=84 => {
             // Call a kernel API the real modules also import.
-            let api = ["kmalloc", "kfree", "printk", "memcpy", "jiffies"]
-                [rng.gen_range(0..5)];
+            let api = ["kmalloc", "kfree", "printk", "memcpy", "jiffies"][rng.gen_range(0..5)];
             body.push(MOp::CallKernel(api.into()));
         }
         85..=89 if n_funcs > 1 => {
@@ -271,12 +270,9 @@ mod tests {
             assert!(!CorpusModule::code_bytes(&m.vanilla).is_empty());
             assert!(!CorpusModule::code_bytes(&m.pic).is_empty());
             // PIC objects carry GOT relocations; vanilla must not.
-            assert!(m
-                .pic
-                .reloc_histogram()
-                .keys()
-                .any(|k| *k == adelie_obj::RelocKind::Plt32
-                    || *k == adelie_obj::RelocKind::GotPcRel));
+            assert!(m.pic.reloc_histogram().keys().any(
+                |k| *k == adelie_obj::RelocKind::Plt32 || *k == adelie_obj::RelocKind::GotPcRel
+            ));
         }
     }
 

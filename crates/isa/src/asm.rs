@@ -5,8 +5,8 @@
 //! relocations and the loader finalises at run time (exactly the paper's
 //! "relocatable format adapted for PIC", §4.1).
 
-use crate::{encode_into, Cond, Insn, Mem, Reg};
 use crate::AluOp;
+use crate::{encode_into, Cond, Insn, Mem, Reg};
 use std::collections::HashMap;
 use std::fmt;
 

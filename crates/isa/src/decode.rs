@@ -170,13 +170,7 @@ pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
             let b2 = cur.u8()?;
             match b2 {
                 0x0B => Insn::Ud2,
-                0xAE => {
-                    if cur.u8()? == 0xE8 {
-                        Insn::Lfence
-                    } else {
-                        return Err(DecodeError::Unknown);
-                    }
-                }
+                0xAE if cur.u8()? == 0xE8 => Insn::Lfence,
                 0xAF => {
                     if !rex.w {
                         return Err(DecodeError::Unknown);
@@ -199,7 +193,9 @@ pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
         }
         0x50..=0x57 => Insn::Push(reg_of((b - 0x50) | (u8::from(rex.b) << 3))),
         0x58..=0x5F => Insn::Pop(reg_of((b - 0x58) | (u8::from(rex.b) << 3))),
-        0xB8..=0xBF if rex.w => Insn::MovImm64(reg_of((b - 0xB8) | (u8::from(rex.b) << 3)), cur.u64()?),
+        0xB8..=0xBF if rex.w => {
+            Insn::MovImm64(reg_of((b - 0xB8) | (u8::from(rex.b) << 3)), cur.u64()?)
+        }
         0xC7 if rex.w => {
             let (digit, rm) = parse_modrm(&mut cur, &rex)?;
             if digit & 7 != 0 {

@@ -1,8 +1,8 @@
 //! Instruction encoder — emits real x86-64 machine code for the subset.
 
-use crate::{Insn, Mem};
 #[cfg(test)]
 use crate::{AluOp, Reg};
+use crate::{Insn, Mem};
 
 /// REX prefix builder. `w` selects 64-bit operand size, `r` extends the
 /// ModRM `reg` field, `x` the SIB index (unused — we never encode an index
@@ -28,7 +28,7 @@ fn put_mem(out: &mut Vec<u8>, reg_field: u8, mem: Mem) {
         Mem::Base { base, disp } => {
             let rm = base.low3();
             let needs_sib = rm == 0b100; // rsp / r12
-            // rbp / r13 with mod=00 would mean rip-relative, so force disp8.
+                                         // rbp / r13 with mod=00 would mean rip-relative, so force disp8.
             let force_disp8 = rm == 0b101 && disp == 0;
             if disp == 0 && !force_disp8 {
                 out.push(modrm(0b00, reg_field, rm));

@@ -49,11 +49,4 @@ pub use insn::{AluOp, Cond, Insn, Mem};
 pub use reg::Reg;
 
 /// System-V argument registers, in order (`rdi, rsi, rdx, rcx, r8, r9`).
-pub const ARG_REGS: [Reg; 6] = [
-    Reg::Rdi,
-    Reg::Rsi,
-    Reg::Rdx,
-    Reg::Rcx,
-    Reg::R8,
-    Reg::R9,
-];
+pub const ARG_REGS: [Reg; 6] = [Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::Rcx, Reg::R8, Reg::R9];

@@ -67,12 +67,17 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
         (arb_mem(), arb_reg()).prop_map(|(dst, src)| Insn::MovStore { dst, src }),
         (arb_reg(), arb_mem()).prop_map(|(dst, addr)| Insn::Lea { dst, addr }),
         (arb_alu(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Insn::Alu { op, dst, src }),
-        (arb_alu(), arb_reg(), any::<i32>())
-            .prop_map(|(op, dst, imm)| Insn::AluImm { op, dst, imm }),
-        (arb_alu(), arb_reg(), arb_mem())
-            .prop_map(|(op, dst, src)| Insn::AluLoad { op, dst, src }),
-        (arb_alu(), arb_mem(), arb_reg())
-            .prop_map(|(op, dst, src)| Insn::AluStore { op, dst, src }),
+        (arb_alu(), arb_reg(), any::<i32>()).prop_map(|(op, dst, imm)| Insn::AluImm {
+            op,
+            dst,
+            imm
+        }),
+        (arb_alu(), arb_reg(), arb_mem()).prop_map(|(op, dst, src)| Insn::AluLoad { op, dst, src }),
+        (arb_alu(), arb_mem(), arb_reg()).prop_map(|(op, dst, src)| Insn::AluStore {
+            op,
+            dst,
+            src
+        }),
         (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Test(a, b)),
         (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::Imul { dst, src }),
         (arb_reg(), 0u8..64).prop_map(|(r, n)| Insn::ShlImm(r, n)),

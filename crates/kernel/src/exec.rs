@@ -159,6 +159,9 @@ impl<'k> Vm<'k> {
         let saved_flags = self.flags;
         if self.depth == 0 {
             self.regs[Reg::Rsp.index() as usize] = self.stack_top;
+            // Telemetry for the re-randomization scheduler: outermost
+            // entries only, so nested calls don't double-count.
+            self.kernel.observe_call(entry);
         }
         for (i, &a) in args.iter().enumerate() {
             self.set_reg(ARG_REGS[i], a);
@@ -168,7 +171,6 @@ impl<'k> Vm<'k> {
         // Push the sentinel return address and run to it.
         let result = self
             .push_u64(layout::RETURN_SENTINEL)
-            .map_err(VmError::from)
             .and_then(|()| self.run(entry));
         self.depth -= 1;
         if let Some(t0) = start {
@@ -225,9 +227,7 @@ impl<'k> Vm<'k> {
                 PteKind::Frame(pfn) => {
                     self.kernel.phys.read(pfn, off, &mut buf[got..got + n]);
                 }
-                PteKind::Mmio { .. } => {
-                    return Err(VmError::Fault(Fault::MmioExec { va: cur }))
-                }
+                PteKind::Mmio { .. } => return Err(VmError::Fault(Fault::MmioExec { va: cur })),
             }
             got += n;
         }
@@ -283,11 +283,7 @@ impl<'k> Vm<'k> {
         if off + size > PAGE_SIZE {
             let first = PAGE_SIZE - off;
             self.write_data(va, value, first)?;
-            self.write_data(
-                va + first as u64,
-                value >> (8 * first),
-                size - first,
-            )?;
+            self.write_data(va + first as u64, value >> (8 * first), size - first)?;
             return Ok(());
         }
         let t = self.translate(va, Access::Write)?;
@@ -498,7 +494,7 @@ impl<'k> Vm<'k> {
             }
             Insn::JmpMem(m) => {
                 let addr = self.mem_addr(m, next);
-                self.read_data(addr, 8).map(|t| t)
+                self.read_data(addr, 8)
             }
             Insn::Push(r) => {
                 let v = self.reg(r);

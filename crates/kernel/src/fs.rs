@@ -63,10 +63,13 @@ pub struct CacheStats {
 }
 
 /// The VFS: file table, open-file descriptors, page cache.
+/// Page-cache index: `(file id, page index)` → cached page bytes.
+type PageCache = HashMap<(u64, u64), Arc<Vec<u8>>>;
+
 pub struct Vfs {
     files: RwLock<HashMap<String, Arc<VfsFile>>>,
     open: RwLock<HashMap<u64, Arc<Mutex<OpenFile>>>>,
-    cache: RwLock<HashMap<(u64, u64), Arc<Vec<u8>>>>,
+    cache: RwLock<PageCache>,
     next_fd: AtomicU64,
     next_lba: AtomicU64,
     next_file_id: AtomicU64,
@@ -153,7 +156,13 @@ impl Vfs {
     /// # Errors
     ///
     /// Bad descriptor, or faults while filling the caller's buffer.
-    pub fn read(&self, vm: &mut Vm<'_>, fd: u64, buf_va: u64, len: usize) -> Result<usize, VmError> {
+    pub fn read(
+        &self,
+        vm: &mut Vm<'_>,
+        fd: u64,
+        buf_va: u64,
+        len: usize,
+    ) -> Result<usize, VmError> {
         let handle = self.handle(fd)?;
         let (file, pos, direct) = {
             let h = handle.lock();
@@ -220,7 +229,9 @@ impl Vfs {
                         &vm.kernel.phys,
                         len.next_multiple_of(SECTOR_SIZE),
                     );
-                    vm.kernel.space.write_bytes(&vm.kernel.phys, bounce, &data)?;
+                    vm.kernel
+                        .space
+                        .write_bytes(&vm.kernel.phys, bounce, &data)?;
                     let lba = self.map_block(vm, &file, offset / SECTOR_SIZE as u64)?;
                     vm.call(
                         blk.write_block,

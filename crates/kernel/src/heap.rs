@@ -66,12 +66,7 @@ impl Heap {
     /// # Panics
     ///
     /// Panics if `size` is zero.
-    pub fn kmalloc(
-        &self,
-        space: &AddressSpace,
-        phys: &PhysMem,
-        size: usize,
-    ) -> u64 {
+    pub fn kmalloc(&self, space: &AddressSpace, phys: &PhysMem, size: usize) -> u64 {
         assert!(size > 0, "kmalloc(0)");
         let mut inner = self.inner.lock();
         let va = match class_of(size) {
@@ -134,10 +129,7 @@ impl Heap {
     /// `(live allocations, live bytes)`.
     pub fn live(&self) -> (usize, u64) {
         let inner = self.inner.lock();
-        (
-            inner.live.len(),
-            inner.bytes_allocated - inner.bytes_freed,
-        )
+        (inner.live.len(), inner.bytes_allocated - inner.bytes_freed)
     }
 }
 
@@ -196,7 +188,9 @@ mod tests {
         let (heap, space, phys) = setup();
         let a = heap.kmalloc(&space, &phys, 3 * PAGE_SIZE);
         // Whole range usable.
-        space.write_u64(&phys, a + (3 * PAGE_SIZE - 8) as u64, 9).unwrap();
+        space
+            .write_u64(&phys, a + (3 * PAGE_SIZE - 8) as u64, 9)
+            .unwrap();
         assert_eq!(heap.size_of(a), Some(3 * PAGE_SIZE));
         heap.kfree(a);
         assert_eq!(heap.live().1, 0);

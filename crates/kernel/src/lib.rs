@@ -38,7 +38,7 @@ mod symbols;
 
 pub use dev::{BlockDev, CharDev, DeviceTable, FsOps, NetDev, RxHandler};
 pub use exec::{Vm, VmError};
-pub use fs::{disk_byte, CacheStats, Vfs, VfsFile, CACHE_PAGE, SECTOR_SIZE, SECTORS_PER_PAGE};
+pub use fs::{disk_byte, CacheStats, Vfs, VfsFile, CACHE_PAGE, SECTORS_PER_PAGE, SECTOR_SIZE};
 pub use heap::Heap;
 pub use mmio::{MmioDevice, MmioRegistry};
 pub use percpu::PerCpu;
@@ -47,11 +47,16 @@ pub use symbols::{NativeFn, SymbolTable};
 
 use adelie_reclaim::{Ebr, Hyaline, Reclaimer};
 use adelie_vmem::{AddressSpace, PhysMem, PteFlags, PAGE_SIZE};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Callback invoked on every outermost [`Vm::call`] with the entry
+/// address — the hook `adelie-sched` uses to measure per-module call
+/// rates (entries resolve to modules by immovable-part address range).
+pub type CallObserver = Arc<dyn Fn(u64) + Send + Sync>;
 
 /// Which reclamation scheme backs `mr_start`/`mr_finish`/`mr_retire`.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -89,7 +94,7 @@ impl Default for KernelConfig {
             echo_printk: false,
             reclaimer: ReclaimerKind::Hyaline,
             fuel: 200_000_000,
-            seed: 0xADE1_1E,
+            seed: 0x00AD_E11E,
         }
     }
 }
@@ -126,6 +131,7 @@ pub struct Kernel {
     rng: Mutex<SmallRng>,
     next_stack: AtomicU64,
     next_mmio_bar: AtomicU64,
+    call_observer: RwLock<Option<CallObserver>>,
 }
 
 impl Kernel {
@@ -152,6 +158,7 @@ impl Kernel {
             rng: Mutex::new(SmallRng::seed_from_u64(config.seed)),
             next_stack: AtomicU64::new(layout::STACK_BASE),
             next_mmio_bar: AtomicU64::new(layout::MMIO_BASE),
+            call_observer: RwLock::new(None),
             config,
         });
         register_base_natives(&kernel);
@@ -175,9 +182,33 @@ impl Kernel {
         // +1 page: the guard page at `base` stays unmapped.
         let first_mapped = base + PAGE_SIZE as u64;
         self.space
-            .map_range(first_mapped, &self.phys.alloc_n(STACK_PAGES), PteFlags::DATA)
+            .map_range(
+                first_mapped,
+                &self.phys.alloc_n(STACK_PAGES),
+                PteFlags::DATA,
+            )
             .expect("stack region collision");
         first_mapped + (STACK_PAGES * PAGE_SIZE) as u64
+    }
+
+    /// Install the per-call observer (replacing any previous one). The
+    /// callback runs on every *outermost* interpreted call, on the
+    /// calling thread — keep it cheap (a counter bump).
+    pub fn set_call_observer(&self, observer: CallObserver) {
+        *self.call_observer.write() = Some(observer);
+    }
+
+    /// Remove the per-call observer.
+    pub fn clear_call_observer(&self) {
+        *self.call_observer.write() = None;
+    }
+
+    /// Invoke the observer, if any, for an outermost call to `entry`.
+    pub(crate) fn observe_call(&self, entry: u64) {
+        let observer = self.call_observer.read().clone();
+        if let Some(observer) = observer {
+            observer(entry);
+        }
     }
 
     /// A uniformly random u64 from the seeded kernel RNG.
@@ -200,12 +231,7 @@ impl Kernel {
             .fetch_add(layout::MMIO_BAR_SIZE, Ordering::Relaxed);
         for p in 0..pages {
             self.space
-                .map_mmio(
-                    base + (p * PAGE_SIZE) as u64,
-                    id,
-                    p as u32,
-                    PteFlags::DATA,
-                )
+                .map_mmio(base + (p * PAGE_SIZE) as u64, id, p as u32, PteFlags::DATA)
                 .expect("MMIO window collision");
         }
         (id, base)
@@ -259,7 +285,9 @@ impl Kernel {
             .devices
             .netdev()
             .ok_or_else(|| VmError::Native("net_xmit: no netdev".into()))?;
-        let buf = self.heap.kmalloc(&self.space, &self.phys, frame.len().max(1));
+        let buf = self
+            .heap
+            .kmalloc(&self.space, &self.phys, frame.len().max(1));
         self.space.write_bytes(&self.phys, buf, frame)?;
         let res = vm.call(dev.xmit, &[buf, frame.len() as u64]);
         self.heap.kfree(buf);
@@ -286,7 +314,10 @@ fn register_base_natives(kernel: &Arc<Kernel>) {
         if size == 0 {
             return Err(VmError::Native("kmalloc(0)".into()));
         }
-        Ok(vm.kernel.heap.kmalloc(&vm.kernel.space, &vm.kernel.phys, size))
+        Ok(vm
+            .kernel
+            .heap
+            .kmalloc(&vm.kernel.space, &vm.kernel.phys, size))
     });
 
     s.register_native("kfree", |vm| {
@@ -514,7 +545,9 @@ mod tests {
         let k = Kernel::new(KernelConfig::default());
         // Data page is NX.
         let data_va = 0x40_0000_0000;
-        k.space.map(data_va, k.phys.alloc(), PteFlags::DATA).unwrap();
+        k.space
+            .map(data_va, k.phys.alloc(), PteFlags::DATA)
+            .unwrap();
         let mut vm = k.vm();
         match vm.call(data_va, &[]) {
             Err(VmError::Fault(adelie_vmem::Fault::NotExecutable { .. })) => {}
@@ -559,9 +592,10 @@ mod tests {
 
     #[test]
     fn fuel_stops_runaway_loops() {
-        let mut config = KernelConfig::default();
-        config.fuel = 1000;
-        let k = Kernel::new(config);
+        let k = Kernel::new(KernelConfig {
+            fuel: 1000,
+            ..KernelConfig::default()
+        });
         let va = 0x70_0000_0000;
         let mut a = Asm::new();
         a.label("spin");

@@ -64,7 +64,9 @@ impl Printk {
 
 impl std::fmt::Debug for Printk {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Printk").field("lines", &self.len()).finish()
+        f.debug_struct("Printk")
+            .field("lines", &self.len())
+            .finish()
     }
 }
 

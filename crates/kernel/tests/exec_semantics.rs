@@ -16,7 +16,10 @@ fn run(kernel: &Arc<Kernel>, asm: &Asm, args: &[u64]) -> u64 {
         .map_range(va, &kernel.phys.alloc_n(pages), PteFlags::DATA)
         .unwrap();
     kernel.space.write_bytes(&kernel.phys, va, &bytes).unwrap();
-    kernel.space.protect_range(va, pages, PteFlags::TEXT).unwrap();
+    kernel
+        .space
+        .protect_range(va, pages, PteFlags::TEXT)
+        .unwrap();
     let mut vm = kernel.vm();
     vm.call(va, args).unwrap()
 }
@@ -88,7 +91,11 @@ fn stack_discipline_and_callee_balance() {
     asm.label("sum_top_two");
     // [rsp] = return addr, [rsp+8] = rsi, [rsp+16] = rdi
     asm.mov_load(Reg::Rax, adelie_isa::Mem::base_disp(Reg::Rsp, 8));
-    asm.alu_load(AluOp::Add, Reg::Rax, adelie_isa::Mem::base_disp(Reg::Rsp, 16));
+    asm.alu_load(
+        AluOp::Add,
+        Reg::Rax,
+        adelie_isa::Mem::base_disp(Reg::Rsp, 16),
+    );
     asm.ret();
     assert_eq!(run(&kernel, &asm, &[30, 12]), 42);
 }
@@ -141,8 +148,8 @@ fn retpoline_thunk_executes_architecturally() {
     let kernel = Kernel::new(KernelConfig::default());
     let mut asm = Asm::new();
     asm.mov_imm64(Reg::Rax, 0); // filled below: target = "landing"
-    // We can't compute the landing address before assembly, so instead
-    // load it pc-relatively.
+                                // We can't compute the landing address before assembly, so instead
+                                // load it pc-relatively.
     let mut asm = Asm::new();
     asm.lea_sym(Reg::Rax, "landing"); // PC32 — resolved at link… not here.
     let _ = asm;
@@ -164,15 +171,17 @@ fn retpoline_thunk_executes_architecturally() {
     let mut target = Asm::new();
     target.mov_imm32(Reg::Rax, 99);
     target.ret();
-    static NEXT: std::sync::atomic::AtomicU64 =
-        std::sync::atomic::AtomicU64::new(0x200_0000_0000);
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0x200_0000_0000);
     let tva = NEXT.fetch_add(0x10_0000, std::sync::atomic::Ordering::Relaxed);
     let tbytes = target.assemble().unwrap().bytes;
     kernel
         .space
         .map(tva, kernel.phys.alloc(), PteFlags::DATA)
         .unwrap();
-    kernel.space.write_bytes(&kernel.phys, tva, &tbytes).unwrap();
+    kernel
+        .space
+        .write_bytes(&kernel.phys, tva, &tbytes)
+        .unwrap();
     kernel.space.protect(tva, PteFlags::TEXT).unwrap();
     // thunk "returns" into rax=tva, runs the target, whose ret pops the
     // original `call thunk` return address… which then falls to our ret.

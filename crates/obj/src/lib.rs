@@ -31,8 +31,8 @@
 //! # Ok::<(), adelie_obj::ObjError>(())
 //! ```
 
-use adelie_isa::{Asm, AsmError};
 pub use adelie_isa::FixupKind as RelocKind;
+use adelie_isa::{Asm, AsmError};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -320,7 +320,11 @@ impl ObjectBuilder {
     }
 
     fn define(&mut self, name: &str, def: SymbolDef, binding: Binding) -> Result<(), ObjError> {
-        if self.symbols.iter().any(|s| s.name == name && s.is_defined()) {
+        if self
+            .symbols
+            .iter()
+            .any(|s| s.name == name && s.is_defined())
+        {
             return Err(ObjError::DuplicateSymbol(name.to_string()));
         }
         // Upgrade a previously-recorded undefined reference.
@@ -347,7 +351,7 @@ impl ObjectBuilder {
         if kind != SectionKind::Bss {
             // Pad code with int3 (trap on stray execution), data with 0.
             let fill = if kind.is_code() { 0xCC } else { 0x00 };
-            sec.bytes.extend(std::iter::repeat(fill).take(pad));
+            sec.bytes.extend(std::iter::repeat_n(fill, pad));
         }
         sec.size += pad;
     }

@@ -416,7 +416,12 @@ pub fn transform(spec: &ModuleSpec, opts: &TransformOptions) -> Result<ObjectFil
         if opts.rerandomize && f.exported {
             // Renamed real function in movable .text …
             let body = lower_body(f, opts, opts.encrypt_ret, &renamed);
-            b.add_function(&real_name(&f.name), &body, SectionKind::Text, Binding::Local)?;
+            b.add_function(
+                &real_name(&f.name),
+                &body,
+                SectionKind::Text,
+                Binding::Local,
+            )?;
             // … and the kernel-visible wrapper in immovable .fixed.text.
             let wrapper = emit_wrapper(&f.name, opts);
             b.add_function(&f.name, &wrapper, SectionKind::FixedText, Binding::Global)?;

@@ -4,7 +4,7 @@
 use adelie_reclaim::{Ebr, Hyaline, Reclaimer};
 use proptest::prelude::*;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
 
 #[derive(Clone, Debug)]
@@ -98,7 +98,11 @@ fn check(dom: &dyn Reclaimer, schedule: &[Op]) -> Result<(), TestCaseError> {
     dom.flush();
     dom.flush();
     // Liveness: with no active ops, everything must eventually free.
-    prop_assert_eq!(dom.stats().delta(), 0, "all retired objects freed at quiescence");
+    prop_assert_eq!(
+        dom.stats().delta(),
+        0,
+        "all retired objects freed at quiescence"
+    );
     Ok(())
 }
 

@@ -1,0 +1,75 @@
+//! # adelie-sched — adaptive, concurrent re-randomization scheduling
+//!
+//! The paper's artifact drives re-randomization with one kthread that
+//! walks every module serially on a single fixed period (§4.2,
+//! `modprobe randmod … rand_period=20`). That shape can't navigate the
+//! actual trade-off — re-randomization latency vs. attacker probe rate
+//! vs. CPU burned — so this crate replaces it with a real subsystem:
+//!
+//! * [`Scheduler`] — a **multi-worker randomizer pool** over a shared
+//!   deadline heap; cycles of independent modules overlap (placement in
+//!   `adelie-core` is reservation-based and per-module `move_lock`s
+//!   serialize same-module cycles),
+//! * [`Policy`] — **per-module policies**: `FixedPeriod` (the paper's
+//!   baseline), `Jittered` (unpredictable schedule, same mean cost),
+//!   and `Adaptive` (period tightens with observed call rate and with
+//!   gadget exposure measured by `adelie-gadget::scan`, loosens under
+//!   budget pressure),
+//! * [`BudgetController`] — a **global CPU budget**: caps the fraction
+//!   of modeled CPU (`kernel.percpu`) the pool may spend and applies
+//!   backpressure through deadlines and the adaptive policy,
+//! * [`SchedStats`] — **per-module telemetry**: cycle-latency
+//!   histograms, missed-deadline counts, per-policy period/rate/
+//!   exposure readouts, printed next to the artifact's dmesg block by
+//!   [`Scheduler::log_stats`].
+//!
+//! The old API survives as [`Rerandomizer`], a deprecated thin shim
+//! over a single-worker `Scheduler`. See DESIGN.md §6 for the
+//! architecture.
+//!
+//! # Example
+//!
+//! ```
+//! use adelie_core::ModuleRegistry;
+//! use adelie_kernel::{Kernel, KernelConfig};
+//! use adelie_plugin::{transform, FuncSpec, MOp, ModuleSpec, TransformOptions};
+//! use adelie_sched::{Policy, SchedConfig, Scheduler};
+//!
+//! let kernel = Kernel::new(KernelConfig::default());
+//! let registry = ModuleRegistry::new(&kernel);
+//! let mut spec = ModuleSpec::new("noop");
+//! spec.funcs.push(FuncSpec::exported("noop_run", vec![MOp::Ret]));
+//! let opts = TransformOptions::rerandomizable(true);
+//! let obj = transform(&spec, &opts).unwrap();
+//! let module = registry.load(&obj, &opts).unwrap();
+//!
+//! let sched = Scheduler::spawn(
+//!     kernel.clone(),
+//!     registry.clone(),
+//!     &["noop"],
+//!     SchedConfig {
+//!         workers: 2,
+//!         policy: Policy::default_adaptive(),
+//!         ..SchedConfig::default()
+//!     },
+//! );
+//! let entry = module.export("noop_run").unwrap();
+//! let mut vm = kernel.vm();
+//! vm.call(entry, &[]).unwrap();
+//! let stats = sched.stop();
+//! assert_eq!(stats.failures, 0);
+//! ```
+
+mod budget;
+mod policy;
+mod scheduler;
+mod shim;
+mod stats;
+
+pub use budget::BudgetController;
+pub use policy::{Policy, PolicyInputs};
+pub use scheduler::{SchedConfig, Scheduler};
+pub use shim::RerandStats;
+#[allow(deprecated)]
+pub use shim::Rerandomizer;
+pub use stats::{LatencyHistogram, LatencySnapshot, ModuleSchedStats, SchedStats};

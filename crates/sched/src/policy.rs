@@ -1,0 +1,258 @@
+//! Per-module re-randomization policies.
+//!
+//! The period between two moves of a module is the security knob of the
+//! whole system: §6 of the paper bounds the JIT-ROP attacker by the
+//! race between probe rate and re-randomization latency, so the value a
+//! cycle buys depends on how *hot* and how *gadget-rich* the module is.
+//! A fixed global period (the artifact's `rand_period=`) over-spends on
+//! idle, clean modules and under-protects busy, gadget-dense ones.
+//!
+//! Three policies, selectable per module:
+//!
+//! * [`Policy::FixedPeriod`] — the paper's behavior, kept as baseline,
+//! * [`Policy::Jittered`] — a fixed mean with uniform jitter, denying
+//!   the attacker a predictable move schedule to race against,
+//! * [`Policy::Adaptive`] — the period *tightens* with observed call
+//!   rate (more externally-driven entries → more addresses leaking into
+//!   stacks and telemetry) and with static gadget exposure (scanned via
+//!   `adelie-gadget`), and *loosens* under CPU-budget pressure reported
+//!   by the [`BudgetController`](crate::BudgetController).
+
+use std::time::Duration;
+
+/// The observations a policy turns into the next period.
+#[derive(Copy, Clone, Debug)]
+pub struct PolicyInputs {
+    /// Outermost calls per second hitting the module since the last
+    /// cycle (0 when unknown).
+    pub calls_per_sec: f64,
+    /// Gadget density of the movable text, in gadgets per KiB.
+    pub exposure: f64,
+    /// Budget pressure: ratio of modeled CPU spent re-randomizing to
+    /// the configured cap (1.0 = exactly at budget, >1 over).
+    pub pressure: f64,
+    /// A uniform sample in `[0, 1)` for jitter (supplied by the caller
+    /// from the kernel RNG so runs stay seed-deterministic).
+    pub jitter_u: f64,
+}
+
+impl Default for PolicyInputs {
+    fn default() -> Self {
+        PolicyInputs {
+            calls_per_sec: 0.0,
+            exposure: 0.0,
+            pressure: 0.0,
+            jitter_u: 0.0,
+        }
+    }
+}
+
+/// How one module's next re-randomization deadline is computed.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Policy {
+    /// Move every `period`, exactly (paper §4.2 / `randmod`).
+    FixedPeriod(Duration),
+    /// Move every `base ± base·jitter`, uniformly — same mean cost,
+    /// unpredictable schedule.
+    Jittered {
+        /// Mean period.
+        base: Duration,
+        /// Relative jitter amplitude in `[0, 1]` (0.25 → ±25%).
+        jitter: f64,
+    },
+    /// Demand-driven period in `[min, max]`.
+    ///
+    /// `urgency = 1 + calls_per_sec/rate_scale + exposure/exposure_scale`
+    /// and the period is `max / urgency`, clamped to `min` — then
+    /// stretched by budget pressure above 1.0 (bounded, so a module is
+    /// never starved forever).
+    Adaptive {
+        /// Floor — never move more often than this.
+        min: Duration,
+        /// Ceiling — a cold, clean module moves this often.
+        max: Duration,
+        /// Calls/sec adding one unit of urgency.
+        rate_scale: f64,
+        /// Gadgets/KiB adding one unit of urgency.
+        exposure_scale: f64,
+    },
+}
+
+/// How far budget pressure may stretch an adaptive period beyond `max`.
+const MAX_PRESSURE_STRETCH: f64 = 16.0;
+
+impl Policy {
+    /// The artifact's default: a fixed 20 ms period
+    /// (`modprobe randmod … rand_period=20`).
+    pub fn default_fixed() -> Policy {
+        Policy::FixedPeriod(Duration::from_millis(20))
+    }
+
+    /// A reasonable adaptive configuration: 1–50 ms, one urgency unit
+    /// per 10k calls/sec, one per 20 gadgets/KiB.
+    pub fn default_adaptive() -> Policy {
+        Policy::Adaptive {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(50),
+            rate_scale: 10_000.0,
+            exposure_scale: 20.0,
+        }
+    }
+
+    /// Short label for telemetry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::FixedPeriod(_) => "fixed",
+            Policy::Jittered { .. } => "jittered",
+            Policy::Adaptive { .. } => "adaptive",
+        }
+    }
+
+    /// Compute the period to wait before the module's next cycle.
+    pub fn next_period(&self, inputs: &PolicyInputs) -> Duration {
+        match *self {
+            Policy::FixedPeriod(period) => period,
+            Policy::Jittered { base, jitter } => {
+                let jitter = jitter.clamp(0.0, 1.0);
+                let u = inputs.jitter_u.clamp(0.0, 1.0);
+                let factor = 1.0 - jitter + 2.0 * jitter * u;
+                base.mul_f64(factor.max(0.0))
+            }
+            Policy::Adaptive {
+                min,
+                max,
+                rate_scale,
+                exposure_scale,
+            } => {
+                let rate_urgency = if rate_scale > 0.0 {
+                    (inputs.calls_per_sec / rate_scale).max(0.0)
+                } else {
+                    0.0
+                };
+                let exposure_urgency = if exposure_scale > 0.0 {
+                    (inputs.exposure / exposure_scale).max(0.0)
+                } else {
+                    0.0
+                };
+                let urgency = 1.0 + rate_urgency + exposure_urgency;
+                let mut period = max.div_f64(urgency).max(min);
+                // Loosen under budget pressure: above 1.0 the controller
+                // is over its cap and demand must yield — bounded so the
+                // module still cycles eventually.
+                if inputs.pressure > 1.0 {
+                    period = period.mul_f64(inputs.pressure.min(MAX_PRESSURE_STRETCH));
+                }
+                period.min(max.mul_f64(MAX_PRESSURE_STRETCH))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(calls_per_sec: f64, exposure: f64, pressure: f64, jitter_u: f64) -> PolicyInputs {
+        PolicyInputs {
+            calls_per_sec,
+            exposure,
+            pressure,
+            jitter_u,
+        }
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let p = Policy::FixedPeriod(Duration::from_millis(20));
+        assert_eq!(
+            p.next_period(&inputs(1e9, 1e9, 1e9, 0.99)),
+            Duration::from_millis(20),
+            "fixed period ignores every input"
+        );
+    }
+
+    #[test]
+    fn jitter_stays_within_band_and_varies() {
+        let p = Policy::Jittered {
+            base: Duration::from_millis(10),
+            jitter: 0.25,
+        };
+        let lo = p.next_period(&inputs(0.0, 0.0, 0.0, 0.0));
+        let hi = p.next_period(&inputs(0.0, 0.0, 0.0, 0.999));
+        assert_eq!(lo, Duration::from_micros(7_500));
+        assert!(hi > Duration::from_micros(12_480) && hi <= Duration::from_micros(12_500));
+        let mid = p.next_period(&inputs(0.0, 0.0, 0.0, 0.5));
+        assert_eq!(mid, Duration::from_millis(10), "u=0.5 is the mean");
+    }
+
+    fn adaptive() -> Policy {
+        Policy::Adaptive {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(50),
+            rate_scale: 1_000.0,
+            exposure_scale: 10.0,
+        }
+    }
+
+    #[test]
+    fn adaptive_idle_module_sits_at_max() {
+        assert_eq!(
+            adaptive().next_period(&inputs(0.0, 0.0, 0.0, 0.0)),
+            Duration::from_millis(50)
+        );
+    }
+
+    #[test]
+    fn adaptive_tightens_with_call_rate() {
+        let p = adaptive();
+        let idle = p.next_period(&inputs(0.0, 0.0, 0.0, 0.0));
+        let warm = p.next_period(&inputs(1_000.0, 0.0, 0.0, 0.0));
+        let hot = p.next_period(&inputs(9_000.0, 0.0, 0.0, 0.0));
+        assert!(warm < idle);
+        assert_eq!(warm, Duration::from_millis(25), "one urgency unit halves");
+        assert_eq!(hot, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn adaptive_tightens_with_gadget_exposure() {
+        let p = adaptive();
+        let clean = p.next_period(&inputs(0.0, 0.0, 0.0, 0.0));
+        let dense = p.next_period(&inputs(0.0, 30.0, 0.0, 0.0));
+        assert!(dense < clean);
+        assert_eq!(dense, Duration::from_micros(12_500)); // 50ms / 4
+    }
+
+    #[test]
+    fn adaptive_clamps_at_min() {
+        let p = adaptive();
+        assert_eq!(
+            p.next_period(&inputs(1e12, 1e12, 0.0, 0.0)),
+            Duration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn adaptive_loosens_under_pressure_but_stays_live() {
+        let p = adaptive();
+        let nominal = p.next_period(&inputs(1_000.0, 0.0, 0.0, 0.0));
+        let squeezed = p.next_period(&inputs(1_000.0, 0.0, 2.0, 0.0));
+        assert_eq!(squeezed, nominal.mul_f64(2.0));
+        // Pathological pressure is bounded: the module still cycles.
+        let worst = p.next_period(&inputs(1_000.0, 0.0, 1e9, 0.0));
+        assert!(worst <= Duration::from_millis(50).mul_f64(16.0));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Policy::default_fixed().name(), "fixed");
+        assert_eq!(adaptive().name(), "adaptive");
+        assert_eq!(
+            Policy::Jittered {
+                base: Duration::from_millis(1),
+                jitter: 0.1
+            }
+            .name(),
+            "jittered"
+        );
+    }
+}

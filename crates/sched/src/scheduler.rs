@@ -1,0 +1,526 @@
+//! The multi-worker re-randomization scheduler.
+//!
+//! A pool of `workers` randomizer threads shares one deadline heap.
+//! Each entry is one module; when its deadline comes due, whichever
+//! worker is free pops it, runs one [`rerandomize_module`] cycle
+//! (placement is reservation-based in `adelie-core`, so cycles of
+//! independent modules overlap), records telemetry, asks the module's
+//! [`Policy`] for the next period, folds in the
+//! [`BudgetController`]'s backpressure, and pushes the entry back.
+//!
+//! Because an entry is *out of the heap* while its cycle runs, a module
+//! is never cycled by two workers at once — `move_lock` never sees pool
+//! contention for the same module.
+//!
+//! Failures are non-fatal: a failed cycle is counted, logged to printk,
+//! and the module simply keeps running at its current base until the
+//! next deadline (the old single-thread `Rerandomizer` silently died on
+//! the first error, taking every other module's protection with it).
+
+use crate::budget::BudgetController;
+use crate::policy::{Policy, PolicyInputs};
+use crate::stats::{LatencyHistogram, ModuleSchedStats, SchedStats};
+use adelie_core::{log_stats, rerandomize_module, LoadedModule, ModuleRegistry};
+use adelie_kernel::Kernel;
+use adelie_vmem::{PteFlags, PAGE_SIZE};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scheduler configuration (the `SchedConfig` knob workloads expose).
+#[derive(Clone, Debug)]
+pub struct SchedConfig {
+    /// Randomizer pool size (concurrent cycles of *distinct* modules).
+    pub workers: usize,
+    /// Default policy for every module (override per module via
+    /// [`Scheduler::spawn_with_policies`]).
+    pub policy: Policy,
+    /// Cap on the fraction of modeled CPU the pool may consume
+    /// (`f64::INFINITY` = uncapped).
+    pub max_cpu_frac: f64,
+    /// Re-scan gadget exposure every N completed cycles per module
+    /// (0 = scan once at startup only).
+    pub exposure_refresh: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            workers: 2,
+            policy: Policy::default_fixed(),
+            max_cpu_frac: f64::INFINITY,
+            exposure_refresh: 64,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// One worker, fixed period — the exact shape of the legacy
+    /// randomizer kthread.
+    pub fn serial(period: Duration) -> SchedConfig {
+        SchedConfig {
+            workers: 1,
+            policy: Policy::FixedPeriod(period),
+            ..SchedConfig::default()
+        }
+    }
+
+    /// `workers` workers under the default adaptive policy.
+    pub fn adaptive(workers: usize) -> SchedConfig {
+        SchedConfig {
+            workers,
+            policy: Policy::default_adaptive(),
+            ..SchedConfig::default()
+        }
+    }
+}
+
+/// Per-module scheduling state.
+struct ModuleEntry {
+    module: Arc<LoadedModule>,
+    policy: Policy,
+    /// Outermost calls observed entering this module (bumped by the
+    /// kernel call observer via the immovable-part range).
+    calls: Arc<AtomicU64>,
+    /// `(instant, calls)` at the last rate sample.
+    rate_anchor: Mutex<(Instant, u64)>,
+    /// Last computed call rate (f64 bits).
+    calls_per_sec: AtomicU64,
+    /// Gadgets/KiB of movable text (f64 bits).
+    exposure: AtomicU64,
+    /// Current period in nanoseconds.
+    period_ns: AtomicU64,
+    cycles: AtomicU64,
+    failures: AtomicU64,
+    missed_deadlines: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl ModuleEntry {
+    fn load_f64(cell: &AtomicU64) -> f64 {
+        f64::from_bits(cell.load(Ordering::Relaxed))
+    }
+
+    fn store_f64(cell: &AtomicU64, v: f64) {
+        cell.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Scan the movable text for gadgets and update the exposure metric
+    /// (gadgets per KiB). Takes `move_lock` so the base can't move
+    /// mid-read.
+    fn refresh_exposure(&self, kernel: &Arc<Kernel>) {
+        let _guard = self.module.move_lock.lock();
+        let base = self.module.movable_base.load(Ordering::Acquire);
+        let text_pages: usize = self
+            .module
+            .movable
+            .groups
+            .iter()
+            .filter(|g| g.flags == PteFlags::TEXT)
+            .map(|g| g.pages)
+            .sum();
+        if text_pages == 0 {
+            return;
+        }
+        let mut text = vec![0u8; text_pages * PAGE_SIZE];
+        if kernel
+            .space
+            .read_bytes(&kernel.phys, base, &mut text)
+            .is_err()
+        {
+            return;
+        }
+        let gadgets = adelie_gadget::scan(&text).len();
+        let kib = (text.len() as f64) / 1024.0;
+        Self::store_f64(&self.exposure, gadgets as f64 / kib);
+    }
+
+    /// Sample call rate since the last cycle and assemble policy inputs.
+    fn sample_inputs(&self, kernel: &Arc<Kernel>, pressure: f64) -> PolicyInputs {
+        let now = Instant::now();
+        let calls_now = self.calls.load(Ordering::Relaxed);
+        let mut anchor = self.rate_anchor.lock().unwrap_or_else(|e| e.into_inner());
+        let dt = now.duration_since(anchor.0);
+        if dt >= Duration::from_micros(100) {
+            let rate = (calls_now - anchor.1) as f64 / dt.as_secs_f64();
+            Self::store_f64(&self.calls_per_sec, rate);
+            *anchor = (now, calls_now);
+        }
+        drop(anchor);
+        PolicyInputs {
+            calls_per_sec: Self::load_f64(&self.calls_per_sec),
+            exposure: Self::load_f64(&self.exposure),
+            pressure,
+            jitter_u: kernel.rng_below(1 << 20) as f64 / (1u64 << 20) as f64,
+        }
+    }
+
+    fn stats(&self) -> ModuleSchedStats {
+        ModuleSchedStats {
+            name: self.module.name.clone(),
+            policy: self.policy.name(),
+            cycles: self.cycles.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            missed_deadlines: self.missed_deadlines.load(Ordering::Relaxed),
+            current_period: Duration::from_nanos(self.period_ns.load(Ordering::Relaxed)),
+            calls_per_sec: Self::load_f64(&self.calls_per_sec),
+            exposure: Self::load_f64(&self.exposure),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// State shared between the handle and the workers.
+struct Shared {
+    /// Min-heap of `(deadline, entry index)`. An entry being cycled is
+    /// not in the heap.
+    queue: Mutex<BinaryHeap<Reverse<(Instant, usize)>>>,
+    wakeup: Condvar,
+    stop: AtomicBool,
+    entries: Vec<Arc<ModuleEntry>>,
+    busy_ns: AtomicU64,
+}
+
+/// The randomizer pool: the subsystem replacing the paper artifact's
+/// single `randmod` kthread.
+///
+/// Run at most one pool per kernel at a time: the kernel's per-call
+/// observer is a single slot, so a second concurrently-spawned pool
+/// would replace the first one's call-rate telemetry hook (cycling
+/// itself would still be correct, but `Adaptive` call-rate inputs of
+/// the first pool would freeze).
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    budget: Arc<BudgetController>,
+    kernel: Arc<Kernel>,
+    registry: Arc<ModuleRegistry>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Whether this pool installed the kernel call observer (and must
+    /// therefore remove it on shutdown — never someone else's).
+    installed_observer: bool,
+}
+
+impl Scheduler {
+    /// Start a pool over `module_names`, all under `config.policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named module is missing or not re-randomizable, or if
+    /// `config.workers` is zero.
+    pub fn spawn(
+        kernel: Arc<Kernel>,
+        registry: Arc<ModuleRegistry>,
+        module_names: &[&str],
+        config: SchedConfig,
+    ) -> Scheduler {
+        let with_policies: Vec<(&str, Policy)> = module_names
+            .iter()
+            .map(|&n| (n, config.policy.clone()))
+            .collect();
+        Scheduler::spawn_with_policies(kernel, registry, &with_policies, config)
+    }
+
+    /// Start a pool with an explicit policy per module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named module is missing or not re-randomizable, or if
+    /// `config.workers` is zero.
+    pub fn spawn_with_policies(
+        kernel: Arc<Kernel>,
+        registry: Arc<ModuleRegistry>,
+        modules: &[(&str, Policy)],
+        config: SchedConfig,
+    ) -> Scheduler {
+        assert!(config.workers > 0, "scheduler needs at least one worker");
+        let entries: Vec<Arc<ModuleEntry>> = modules
+            .iter()
+            .map(|(name, policy)| {
+                let module = registry
+                    .get(name)
+                    .unwrap_or_else(|| panic!("sched: no module `{name}`"));
+                assert!(
+                    module.rerandomizable,
+                    "sched: `{name}` is not re-randomizable"
+                );
+                let initial = policy.next_period(&PolicyInputs::default());
+                Arc::new(ModuleEntry {
+                    module,
+                    policy: policy.clone(),
+                    calls: Arc::new(AtomicU64::new(0)),
+                    rate_anchor: Mutex::new((Instant::now(), 0)),
+                    calls_per_sec: AtomicU64::new(0f64.to_bits()),
+                    exposure: AtomicU64::new(0f64.to_bits()),
+                    period_ns: AtomicU64::new(initial.as_nanos() as u64),
+                    cycles: AtomicU64::new(0),
+                    failures: AtomicU64::new(0),
+                    missed_deadlines: AtomicU64::new(0),
+                    latency: LatencyHistogram::new(),
+                })
+            })
+            .collect();
+
+        // Install the call-rate observer: outermost entries resolve to a
+        // module through its immovable part (wrappers and exports live
+        // there, and it never moves).
+        let mut ranges: Vec<(u64, u64, Arc<AtomicU64>)> = entries
+            .iter()
+            .filter_map(|e| {
+                e.module.immovable.as_ref().map(|imm| {
+                    (
+                        imm.base,
+                        imm.base + (imm.total_pages * PAGE_SIZE) as u64,
+                        e.calls.clone(),
+                    )
+                })
+            })
+            .collect();
+        ranges.sort_by_key(|&(start, _, _)| start);
+        let installed_observer = !ranges.is_empty();
+        if installed_observer {
+            let hook_ranges = Arc::new(ranges);
+            kernel.set_call_observer(Arc::new(move |entry_va| {
+                let i = hook_ranges.partition_point(|&(start, _, _)| start <= entry_va);
+                if i > 0 {
+                    let (_, end, ref counter) = hook_ranges[i - 1];
+                    if entry_va < end {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+
+        // Initial gadget-exposure scan, so the adaptive policy has a
+        // signal from the very first deadline.
+        for e in &entries {
+            e.refresh_exposure(&kernel);
+        }
+
+        let now = Instant::now();
+        let mut heap = BinaryHeap::new();
+        for (i, e) in entries.iter().enumerate() {
+            // Stagger initial deadlines so a fresh pool doesn't thundering-
+            // herd its first cycles.
+            let period = Duration::from_nanos(e.period_ns.load(Ordering::Relaxed));
+            heap.push(Reverse((
+                now + period.mul_f64((i + 1) as f64 / entries.len() as f64),
+                i,
+            )));
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(heap),
+            wakeup: Condvar::new(),
+            stop: AtomicBool::new(false),
+            entries,
+            busy_ns: AtomicU64::new(0),
+        });
+        let budget = Arc::new(BudgetController::new(
+            kernel.config.cpus,
+            config.max_cpu_frac,
+        ));
+        kernel.printk.log(format!(
+            "sched: pool started ({} workers, {} modules, policy={})",
+            config.workers,
+            shared.entries.len(),
+            config.policy.name(),
+        ));
+        let workers = (0..config.workers)
+            .map(|w| {
+                let shared = shared.clone();
+                let kernel = kernel.clone();
+                let registry = registry.clone();
+                let budget = budget.clone();
+                let refresh = config.exposure_refresh;
+                std::thread::Builder::new()
+                    .name(format!("randomizer-{w}"))
+                    .spawn(move || worker_loop(shared, kernel, registry, budget, refresh))
+                    .expect("spawn randomizer worker")
+            })
+            .collect();
+        Scheduler {
+            shared,
+            budget,
+            kernel,
+            registry,
+            workers,
+            installed_observer,
+        }
+    }
+
+    /// Completed module-cycles so far (sum over modules).
+    pub fn cycles(&self) -> u64 {
+        self.shared
+            .entries
+            .iter()
+            .map(|e| e.cycles.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Failed cycles so far (sum over modules).
+    pub fn failures(&self) -> u64 {
+        self.shared
+            .entries
+            .iter()
+            .map(|e| e.failures.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Full telemetry snapshot.
+    pub fn stats(&self) -> SchedStats {
+        let modules: Vec<ModuleSchedStats> =
+            self.shared.entries.iter().map(|e| e.stats()).collect();
+        SchedStats {
+            cycles: modules.iter().map(|m| m.cycles).sum(),
+            failures: modules.iter().map(|m| m.failures).sum(),
+            missed_deadlines: modules.iter().map(|m| m.missed_deadlines).sum(),
+            busy: Duration::from_nanos(self.shared.busy_ns.load(Ordering::Relaxed)),
+            cpu_pressure: self.budget.pressure(),
+            modules,
+        }
+    }
+
+    /// Print the artifact-style stats block plus one line per module to
+    /// the kernel log.
+    pub fn log_stats(&self) {
+        let stats = self.stats();
+        log_stats(&self.kernel, stats.cycles, &self.registry.stacks);
+        for m in &stats.modules {
+            self.kernel.printk.log(format!(
+                "sched: {} policy={} cycles={} failed={} missed={} period={:?} rate={:.0}/s \
+                 exposure={:.1}g/KiB p50={:?} p99={:?}",
+                m.name,
+                m.policy,
+                m.cycles,
+                m.failures,
+                m.missed_deadlines,
+                m.current_period,
+                m.calls_per_sec,
+                m.exposure,
+                m.latency.p50,
+                m.latency.p99,
+            ));
+        }
+    }
+
+    fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.wakeup.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if self.installed_observer {
+            self.kernel.clear_call_observer();
+        }
+    }
+
+    /// Stop all workers, wait for in-flight cycles, and return the final
+    /// snapshot.
+    pub fn stop(mut self) -> SchedStats {
+        self.shutdown();
+        self.stats()
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("workers", &self.workers.len())
+            .field("cycles", &self.cycles())
+            .field("failures", &self.failures())
+            .finish()
+    }
+}
+
+fn worker_loop(
+    shared: Arc<Shared>,
+    kernel: Arc<Kernel>,
+    registry: Arc<ModuleRegistry>,
+    budget: Arc<BudgetController>,
+    exposure_refresh: u64,
+) {
+    // Claim a simulated CPU for accounting (sticky per thread).
+    let cpu = kernel.percpu.current();
+    loop {
+        // Pop the next due entry, sleeping until its deadline.
+        let (deadline, idx) = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                match queue.peek().copied() {
+                    Some(Reverse((deadline, idx))) => {
+                        let now = Instant::now();
+                        if deadline <= now {
+                            queue.pop();
+                            break (deadline, idx);
+                        }
+                        let (q, _) = shared
+                            .wakeup
+                            .wait_timeout(queue, deadline - now)
+                            .unwrap_or_else(|e| e.into_inner());
+                        queue = q;
+                    }
+                    None => {
+                        let q = shared.wakeup.wait(queue).unwrap_or_else(|e| e.into_inner());
+                        queue = q;
+                    }
+                }
+            }
+        };
+
+        let entry = &shared.entries[idx];
+        let t0 = Instant::now();
+        let outcome = rerandomize_module(&kernel, &registry, &entry.module);
+        let spent = t0.elapsed();
+        kernel.percpu.account(cpu, spent);
+        budget.record(spent);
+        shared
+            .busy_ns
+            .fetch_add(spent.as_nanos() as u64, Ordering::Relaxed);
+        entry.latency.record(spent);
+        let period = Duration::from_nanos(entry.period_ns.load(Ordering::Relaxed));
+        if t0.saturating_duration_since(deadline) > period {
+            entry.missed_deadlines.fetch_add(1, Ordering::Relaxed);
+        }
+        match outcome {
+            Ok(_) => {
+                let done = entry.cycles.fetch_add(1, Ordering::Relaxed) + 1;
+                if exposure_refresh > 0 && done.is_multiple_of(exposure_refresh) {
+                    entry.refresh_exposure(&kernel);
+                }
+            }
+            Err(err) => {
+                // Non-fatal: count, log, keep every module cycling.
+                entry.failures.fetch_add(1, Ordering::Relaxed);
+                kernel.printk.log(format!(
+                    "sched: {} cycle failed ({err}); retrying next period",
+                    entry.module.name
+                ));
+            }
+        }
+
+        // Next deadline: policy period plus any hard budget throttle.
+        let inputs = entry.sample_inputs(&kernel, budget.pressure());
+        let next_period = entry.policy.next_period(&inputs);
+        entry
+            .period_ns
+            .store(next_period.as_nanos() as u64, Ordering::Relaxed);
+        let next_deadline = Instant::now() + next_period + budget.throttle();
+        {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push(Reverse((next_deadline, idx)));
+        }
+        shared.wakeup.notify_one();
+    }
+}

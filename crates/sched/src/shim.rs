@@ -1,0 +1,89 @@
+//! Back-compatibility shim: the old `Rerandomizer` API as a thin layer
+//! over a single-worker [`Scheduler`].
+
+#![allow(deprecated)]
+
+use crate::scheduler::{SchedConfig, Scheduler};
+use adelie_core::ModuleRegistry;
+use adelie_kernel::Kernel;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cycle counters (the dmesg block of the artifact appendix).
+#[derive(Copy, Clone, Default, Debug)]
+pub struct RerandStats {
+    /// Completed re-randomization cycles (sum over modules).
+    pub randomized: u64,
+    /// Cycles that failed and were retried (always 0 for a healthy run).
+    pub failed: u64,
+    /// Cumulative wall time spent inside cycles.
+    pub busy: Duration,
+}
+
+/// The legacy background randomizer thread — the `randmod` kernel
+/// module of the artifact (`modprobe randmod module_names=e1000,nvme
+/// rand_period=20`), now a thin shim over a single-worker
+/// [`Scheduler`] with [`Policy::FixedPeriod`](crate::Policy).
+///
+/// Unlike the original, a failed cycle no longer kills the thread: it
+/// is counted in [`RerandStats::failed`] and every module keeps
+/// cycling.
+#[deprecated(
+    since = "0.2.0",
+    note = "use adelie_sched::Scheduler: multi-worker, per-module policies, CPU budget"
+)]
+pub struct Rerandomizer {
+    inner: Scheduler,
+}
+
+impl Rerandomizer {
+    /// Start re-randomizing `module_names` every `period` on one worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any named module is missing or not re-randomizable.
+    pub fn spawn(
+        kernel: Arc<Kernel>,
+        registry: Arc<ModuleRegistry>,
+        module_names: &[&str],
+        period: Duration,
+    ) -> Rerandomizer {
+        kernel.printk.log("Randomize: kthread started");
+        Rerandomizer {
+            inner: Scheduler::spawn(kernel, registry, module_names, SchedConfig::serial(period)),
+        }
+    }
+
+    /// Completed module-cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.inner.cycles()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RerandStats {
+        let s = self.inner.stats();
+        RerandStats {
+            randomized: s.cycles,
+            failed: s.failures,
+            busy: s.busy,
+        }
+    }
+
+    /// Stop the worker and wait for it.
+    pub fn stop(self) -> RerandStats {
+        let s = self.inner.stop();
+        RerandStats {
+            randomized: s.cycles,
+            failed: s.failures,
+            busy: s.busy,
+        }
+    }
+}
+
+impl std::fmt::Debug for Rerandomizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rerandomizer")
+            .field("cycles", &self.cycles())
+            .finish()
+    }
+}

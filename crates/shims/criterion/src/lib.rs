@@ -1,0 +1,140 @@
+//! Offline stand-in for the subset of the `criterion` API this
+//! workspace's benches use: `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`/`iter_custom`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! It runs a short warm-up plus a fixed, small number of timed
+//! iterations and prints mean per-iteration time — enough to compare
+//! configurations in CI without a statistics engine. Sample counts are
+//! intentionally modest so `cargo bench` stays fast on small machines;
+//! `sample_size`/`measurement_time` are accepted and used as hints.
+
+use std::time::{Duration, Instant};
+
+/// Timed-iteration driver handed to each bench closure.
+pub struct Bencher {
+    iters: u64,
+    /// Total measured time, read by the harness after the closure runs.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+
+    /// Hand full timing control to the closure: `f` receives the
+    /// iteration count and returns the elapsed time for all of them.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Hint: how many samples criterion-proper would collect. The shim
+    /// derives its (small) iteration count from this.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Hint: target measurement window (accepted, unused by the shim).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Hint: warm-up window (accepted, unused by the shim).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<I: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (pairs with `benchmark_group`).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<I: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), 10, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Keep runs short: benches here are smoke/comparison tools, not a
+    // statistics pipeline.
+    let iters = (sample_size as u64).clamp(1, 10);
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.checked_div(iters as u32).unwrap_or_default();
+    println!("bench {label}: {per_iter:?}/iter ({iters} iters)");
+}
+
+/// Define a benchmark group function from a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from a list of group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Opaque-to-the-optimizer value laundering (re-export of `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the subset of the `proptest` API this
+//! workspace's property tests use.
+//!
+//! Implements deterministic random generation (seeded per test name and
+//! case index) without shrinking: a failing case panics with the inputs
+//! already bound, and re-running reproduces it exactly. Covered surface:
+//!
+//! * the [`proptest!`] macro with optional `#![proptest_config(...)]`,
+//! * [`Strategy`] with `prop_map`/`boxed`, ranges, tuples, [`Just`],
+//! * [`any`](arbitrary::any) for primitive types,
+//! * [`collection::vec`], the [`prop_oneof!`] union macro,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!` and
+//!   [`TestCaseError`] for helper functions returning `Result`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fail the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fail the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discard the current case (counted separately, regenerated) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between heterogeneous strategies producing one value
+/// type (each arm is boxed).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running `config.cases` generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $($(#[$attr:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut seed: u64 = 0xADE1_1E5A_D515_0000;
+                for byte in stringify!($name).as_bytes() {
+                    seed = seed.wrapping_mul(131).wrapping_add(u64::from(*byte));
+                }
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                while passed < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(16).max(1024),
+                        "proptest {}: too many rejected cases",
+                        stringify!($name),
+                    );
+                    let mut rng =
+                        $crate::test_runner::TestRng::new(seed ^ (u64::from(attempts) << 32));
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "proptest {} failed at case {} (attempt {}): {}",
+                            stringify!($name),
+                            passed,
+                            attempts,
+                            msg,
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the subset of the `rand` API this workspace
+//! uses: `SmallRng`, `SeedableRng::seed_from_u64`, `Rng::gen` and
+//! `Rng::gen_range` over integer and float ranges.
+//!
+//! The generator is SplitMix64 — deterministic per seed, statistically
+//! fine for layout randomization and synthetic corpora (nothing here is
+//! cryptographic; the real paper uses the kernel's entropy pool, and
+//! the simulation's determinism is a feature for reproducing runs).
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from a generator.
+pub trait RandValue {
+    /// Draw one uniformly-distributed value.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Range types usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The generator trait (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly-distributed value of `T`.
+    fn gen<T: RandValue>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// A uniformly-distributed value in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::from_rng(self) < p
+    }
+}
+
+/// Types drawable uniformly from a half-open range (mirrors
+/// `rand::distributions::uniform::SampleUniform`). The blanket
+/// `impl SampleRange<T> for Range<T>` hangs off this, which also ties
+/// `gen_range`'s return type to the range's element type during
+/// inference (so `arr[rng.gen_range(0..4)]` resolves to `usize`).
+pub trait SampleUniform: Sized {
+    /// Draw uniformly from `[start, end)`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, start: &Self, end: &Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, &self.start, &self.end)
+    }
+}
+
+/// Seeding trait (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named RNGs (mirrors `rand::rngs`).
+pub mod rngs {
+    /// A small, fast, non-cryptographic generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        pub(crate) state: u64,
+    }
+
+    impl super::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            // Mix the seed once so small seeds don't start correlated.
+            let mut rng = SmallRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            };
+            use super::Rng;
+            rng.next_u64();
+            rng
+        }
+    }
+
+    impl super::Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+macro_rules! impl_rand_int {
+    ($($t:ty),*) => {$(
+        impl RandValue for $t {
+            fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, start: &$t, end: &$t) -> $t {
+                assert!(start < end, "gen_range: empty range");
+                let span = (*end as i128 - *start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (*start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_rand_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RandValue for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl RandValue for f64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, start: &f64, end: &f64) -> f64 {
+        assert!(start < end, "gen_range: empty range");
+        start + f64::from_rng(rng) * (end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let (x, y, z) = (a.gen::<u64>(), b.gen::<u64>(), c.gen::<u64>());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-4096..4096);
+            assert!((-4096..4096).contains(&v));
+            let u = rng.gen_range(0u64..3);
+            assert!(u < 3);
+            let f = rng.gen_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+}

@@ -41,8 +41,8 @@ mod space;
 mod tlb;
 
 pub use fault::{Access, Fault};
-pub use phys::{PhysMem, PhysStats, Pfn};
-pub use space::{AddressSpace, Pte, PteKind, PteFlags, SpaceStats, Translation};
+pub use phys::{Pfn, PhysMem, PhysStats};
+pub use space::{AddressSpace, Pte, PteFlags, PteKind, SpaceStats, Translation};
 pub use tlb::{Tlb, TlbStats};
 
 /// Page size in bytes (4 KiB, like x86-64).

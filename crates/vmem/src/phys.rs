@@ -5,7 +5,7 @@
 //! executes on many simulated CPUs while the re-randomizer builds new GOT
 //! frames in parallel.
 
-use crate::{PAGE_SIZE};
+use crate::PAGE_SIZE;
 use parking_lot::{Mutex, RwLock};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -126,7 +126,9 @@ impl PhysMem {
     /// typed fault first).
     pub fn read(&self, pfn: Pfn, offset: usize, buf: &mut [u8]) {
         assert!(offset + buf.len() <= PAGE_SIZE, "read crosses frame");
-        let frame = self.frame(pfn).unwrap_or_else(|| panic!("read of freed {pfn}"));
+        let frame = self
+            .frame(pfn)
+            .unwrap_or_else(|| panic!("read of freed {pfn}"));
         let data = frame.data.read();
         buf.copy_from_slice(&data[offset..offset + buf.len()]);
     }
@@ -138,7 +140,9 @@ impl PhysMem {
     /// Same conditions as [`PhysMem::read`].
     pub fn write(&self, pfn: Pfn, offset: usize, bytes: &[u8]) {
         assert!(offset + bytes.len() <= PAGE_SIZE, "write crosses frame");
-        let frame = self.frame(pfn).unwrap_or_else(|| panic!("write of freed {pfn}"));
+        let frame = self
+            .frame(pfn)
+            .unwrap_or_else(|| panic!("write of freed {pfn}"));
         let mut data = frame.data.write();
         data[offset..offset + bytes.len()].copy_from_slice(bytes);
     }
@@ -178,7 +182,9 @@ impl PhysMem {
 
 impl fmt::Debug for PhysMem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PhysMem").field("stats", &self.stats()).finish()
+        f.debug_struct("PhysMem")
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 

@@ -2,7 +2,7 @@
 //! aliased (zero-copy) mappings, and MMIO leaves.
 
 use crate::{
-    page_base, page_offset, Access, Fault, PhysMem, Pfn, LEVELS, PAGE_SHIFT, PAGE_SIZE, VA_MASK,
+    page_base, page_offset, Access, Fault, Pfn, PhysMem, LEVELS, PAGE_SHIFT, PAGE_SIZE, VA_MASK,
 };
 use parking_lot::RwLock;
 use std::fmt;
@@ -496,9 +496,15 @@ impl AddressSpace {
     ///
     /// Same as [`AddressSpace::read_bytes`], plus [`Fault::NotWritable`].
     pub fn write_bytes(&self, phys: &PhysMem, va: u64, bytes: &[u8]) -> Result<(), Fault> {
-        self.access_bytes(phys, va, Access::Write, bytes.len(), |pfn, off, i, n, phys| {
-            phys.write(pfn, off, &bytes[i..i + n]);
-        })
+        self.access_bytes(
+            phys,
+            va,
+            Access::Write,
+            bytes.len(),
+            |pfn, off, i, n, phys| {
+                phys.write(pfn, off, &bytes[i..i + n]);
+            },
+        )
     }
 
     fn access_bytes(
@@ -638,10 +644,16 @@ mod tests {
         let t = space.translate(VA + 0x123, Access::Read).unwrap();
         assert_eq!(t.pte.kind, PteKind::Frame(pfn));
         assert_eq!(t.page_va, VA);
-        assert_eq!(space.map(VA, pfn, PteFlags::DATA), Err(Fault::AlreadyMapped { va: VA }));
+        assert_eq!(
+            space.map(VA, pfn, PteFlags::DATA),
+            Err(Fault::AlreadyMapped { va: VA })
+        );
         let pte = space.unmap(VA).unwrap();
         assert_eq!(pte.kind, PteKind::Frame(pfn));
-        assert_eq!(space.translate(VA, Access::Read), Err(Fault::Unmapped { va: VA }));
+        assert_eq!(
+            space.translate(VA, Access::Read),
+            Err(Fault::Unmapped { va: VA })
+        );
     }
 
     #[test]
@@ -684,7 +696,9 @@ mod tests {
     fn cross_page_rw() {
         let phys = PhysMem::new();
         let space = AddressSpace::new();
-        space.map_range(VA, &phys.alloc_n(2), PteFlags::DATA).unwrap();
+        space
+            .map_range(VA, &phys.alloc_n(2), PteFlags::DATA)
+            .unwrap();
         let data: Vec<u8> = (0..100).collect();
         let start = VA + PAGE_SIZE as u64 - 50;
         space.write_bytes(&phys, start, &data).unwrap();
@@ -712,7 +726,9 @@ mod tests {
     fn unmap_range_batches_shootdown() {
         let phys = PhysMem::new();
         let space = AddressSpace::new();
-        space.map_range(VA, &phys.alloc_n(8), PteFlags::DATA).unwrap();
+        space
+            .map_range(VA, &phys.alloc_n(8), PteFlags::DATA)
+            .unwrap();
         let g0 = space.generation();
         let leaves = space.unmap_range(VA, 8).unwrap();
         assert_eq!(leaves.len(), 8);
@@ -747,10 +763,7 @@ mod tests {
         space.map_mmio(VA, 3, 0, PteFlags::DATA).unwrap();
         let t = space.translate(VA, Access::Write).unwrap();
         assert_eq!(t.pte.kind, PteKind::Mmio { dev: 3, page: 0 });
-        assert_eq!(
-            space.read_u64(&phys, VA),
-            Err(Fault::MmioData { va: VA })
-        );
+        assert_eq!(space.read_u64(&phys, VA), Err(Fault::MmioData { va: VA }));
         assert_eq!(
             space.translate(VA, Access::Exec),
             Err(Fault::MmioExec { va: VA })
@@ -792,7 +805,9 @@ mod tests {
         space.map(VA, pfn, PteFlags::TEXT).unwrap();
         let mut buf = [0u8; 16];
         // Fetch 8 bytes before the end of the mapped page → short read.
-        let n = space.fetch(&phys, VA + PAGE_SIZE as u64 - 8, &mut buf).unwrap();
+        let n = space
+            .fetch(&phys, VA + PAGE_SIZE as u64 - 8, &mut buf)
+            .unwrap();
         assert_eq!(n, 8);
         // Fetch entirely outside → fault.
         assert!(space.fetch(&phys, VA + PAGE_SIZE as u64, &mut buf).is_err());
@@ -802,7 +817,9 @@ mod tests {
     fn stats_track_activity() {
         let phys = PhysMem::new();
         let space = AddressSpace::new();
-        space.map_range(VA, &phys.alloc_n(3), PteFlags::DATA).unwrap();
+        space
+            .map_range(VA, &phys.alloc_n(3), PteFlags::DATA)
+            .unwrap();
         space.unmap(VA).unwrap();
         let s = space.stats();
         assert_eq!(s.pages_mapped, 3);

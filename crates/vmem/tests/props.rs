@@ -24,11 +24,11 @@ proptest! {
             match op {
                 0 => {
                     let outcome = space.map(va, phys.alloc(), PteFlags::DATA);
-                    if model.contains_key(&va) {
-                        prop_assert_eq!(outcome, Err(Fault::AlreadyMapped { va }));
-                    } else {
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(va) {
                         prop_assert!(outcome.is_ok());
-                        model.insert(va, PteFlags::DATA);
+                        e.insert(PteFlags::DATA);
+                    } else {
+                        prop_assert_eq!(outcome, Err(Fault::AlreadyMapped { va }));
                     }
                 }
                 1 => {

@@ -37,9 +37,11 @@ fn make_app(tb: &Testbed) -> AppFn {
             .and_then(|s| s.parse().ok())
             .unwrap_or(512);
         let bs = if BLOCK_SIZES.contains(&bs) { bs } else { 512 };
-        let buf = kernel.heap.kmalloc(&kernel.space, &kernel.phys, bs.max(512));
+        let buf = kernel
+            .heap
+            .kmalloc(&kernel.space, &kernel.phys, bs.max(512));
         let n = counter.fetch_add(1, Ordering::Relaxed);
-        let read = if n % COLD_EVERY == 0 {
+        let read = if n.is_multiple_of(COLD_EVERY) {
             kernel.vfs.pread(vm, direct_fds[&bs], buf, bs, 0)
         } else {
             kernel.vfs.pread(vm, fds[&bs], buf, bs, 0)

@@ -29,11 +29,12 @@ pub use oltp::{run_oltp, TABLES, TABLE_BYTES};
 
 use adelie_core::ModuleRegistry;
 use adelie_drivers::{
-    install_dummy, install_extfs, install_fuse, install_nic, install_nvme, install_xhci,
-    NicDevice, NicFlavor, NvmeDevice,
+    install_dummy, install_extfs, install_fuse, install_nic, install_nvme, install_xhci, NicDevice,
+    NicFlavor, NvmeDevice,
 };
 use adelie_kernel::{Kernel, KernelConfig, ReclaimerKind};
 use adelie_plugin::TransformOptions;
+use adelie_sched::{SchedConfig, Scheduler};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -156,6 +157,10 @@ pub struct Testbed {
     pub opts: TransformOptions,
     /// Names of installed re-randomizable modules.
     pub module_names: Vec<String>,
+    /// Scheduler configuration used by [`Testbed::start_scheduler`] —
+    /// the knob that runs any paper workload under any policy/worker
+    /// combination.
+    pub sched: SchedConfig,
 }
 
 impl Testbed {
@@ -213,9 +218,16 @@ impl Testbed {
             nvme,
             opts,
             module_names: names,
+            sched: SchedConfig::default(),
         };
         tb.provision_files();
         tb
+    }
+
+    /// Replace the scheduler configuration (builder-style).
+    pub fn with_sched(mut self, sched: SchedConfig) -> Testbed {
+        self.sched = sched;
+        self
     }
 
     fn provision_files(&self) {
@@ -251,15 +263,33 @@ impl Testbed {
         }
     }
 
-    /// Start continuous re-randomization of the installed modules at
-    /// `period` (no-op list when none are re-randomizable).
+    /// Start the re-randomization scheduler over the installed modules
+    /// with the testbed's [`SchedConfig`] knob.
     ///
     /// # Panics
     ///
     /// Panics if the installed modules were not built re-randomizable.
-    pub fn start_rerand(&self, period: Duration) -> adelie_core::Rerandomizer {
+    pub fn start_scheduler(&self) -> Scheduler {
         let names: Vec<&str> = self.module_names.iter().map(|s| s.as_str()).collect();
-        adelie_core::Rerandomizer::spawn(
+        Scheduler::spawn(
+            self.kernel.clone(),
+            self.registry.clone(),
+            &names,
+            self.sched.clone(),
+        )
+    }
+
+    /// Start continuous re-randomization of the installed modules at a
+    /// fixed `period` — the legacy single-worker shape, kept for the
+    /// figure benches that sweep `rand_period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the installed modules were not built re-randomizable.
+    #[allow(deprecated)]
+    pub fn start_rerand(&self, period: Duration) -> adelie_sched::Rerandomizer {
+        let names: Vec<&str> = self.module_names.iter().map(|s| s.as_str()).collect();
+        adelie_sched::Rerandomizer::spawn(
             self.kernel.clone(),
             self.registry.clone(),
             &names,
@@ -322,10 +352,7 @@ mod tests {
 
     #[test]
     fn nvme_direct_loop_hits_the_driver() {
-        let tb = Testbed::new(
-            TransformOptions::rerandomizable(true),
-            DriverSet::storage(),
-        );
+        let tb = Testbed::new(TransformOptions::rerandomizable(true), DriverSet::storage());
         let completed_before = tb.nvme.as_ref().unwrap().completed();
         let m = run_nvme_direct(&tb, SHORT);
         assert!(m.ops > 0);
@@ -371,6 +398,32 @@ mod tests {
         let stats = rr.stop();
         assert!(m.ops > 0);
         assert!(stats.randomized >= 5, "fleet cycled: {}", stats.randomized);
+        assert_eq!(tb.kernel.reclaim.stats().delta(), 0);
+    }
+
+    #[test]
+    fn any_workload_runs_under_any_policy() {
+        // The SchedConfig knob: the same Fig. 8 workload under a
+        // 4-worker adaptive pool instead of the serial fixed period.
+        use adelie_sched::Policy;
+        let tb = Testbed::new(TransformOptions::rerandomizable(true), DriverSet::full())
+            .with_sched(SchedConfig {
+                workers: 4,
+                policy: Policy::Adaptive {
+                    min: Duration::from_millis(1),
+                    max: Duration::from_millis(25),
+                    rate_scale: 500.0,
+                    exposure_scale: 20.0,
+                },
+                ..SchedConfig::default()
+            });
+        let sched = tb.start_scheduler();
+        let m = run_apache(&tb, 1024, 4, 2, Duration::from_millis(200));
+        let stats = sched.stop();
+        assert!(m.ops > 0);
+        assert!(stats.cycles >= 5, "pool cycled: {}", stats.cycles);
+        assert_eq!(stats.failures, 0);
+        tb.kernel.reclaim.flush();
         assert_eq!(tb.kernel.reclaim.stats().delta(), 0);
     }
 }

@@ -115,7 +115,10 @@ pub fn run_kernbench(tb: &Testbed, concurrency: usize, jobs: usize) -> Measureme
         for _ in 0..concurrency {
             s.spawn(|| {
                 let mut vm = tb.kernel.vm();
-                let buf = tb.kernel.heap.kmalloc(&tb.kernel.space, &tb.kernel.phys, 4096);
+                let buf = tb
+                    .kernel
+                    .heap
+                    .kmalloc(&tb.kernel.space, &tb.kernel.phys, 4096);
                 loop {
                     let j = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if j >= jobs {

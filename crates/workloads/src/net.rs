@@ -41,9 +41,9 @@ impl NetHarness {
         let inbox: Arc<Mutex<VecDeque<Vec<u8>>>> = Arc::new(Mutex::new(VecDeque::new()));
         {
             let inbox = inbox.clone();
-            kernel
-                .devices
-                .set_rx_handler(Box::new(move |frame| inbox.lock().push_back(frame.to_vec())));
+            kernel.devices.set_rx_handler(Box::new(move |frame| {
+                inbox.lock().push_back(frame.to_vec())
+            }));
         }
         let harness = Arc::new(NetHarness {
             kernel: kernel.clone(),

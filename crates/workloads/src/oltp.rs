@@ -51,9 +51,9 @@ fn make_app(tb: &Testbed) -> AppFn {
                 .wrapping_add(k * 0x1234_5678);
             let table = (h % TABLES as u64) as usize;
             let n = counter.fetch_add(1, Ordering::Relaxed);
-            if n % DIRECT_EVERY == 0 {
+            if n.is_multiple_of(DIRECT_EVERY) {
                 // Uncached row: sector-aligned O_DIRECT read via NVMe.
-                let off = (h >> 8) % (TABLE_BYTES - 512) & !511;
+                let off = ((h >> 8) % (TABLE_BYTES - 512)) & !511;
                 let _ = kernel.vfs.pread(vm, direct[table], buf, 512, off);
             } else {
                 let off = (h >> 8) % (TABLE_BYTES - 64);

@@ -55,7 +55,11 @@ fn main() {
     for m in &corpus {
         all.extend(scan(&CorpusModule::code_bytes(&m.pic)));
     }
-    println!("\nsynthetic corpus ({} modules): {} gadgets", corpus.len(), all.len());
+    println!(
+        "\nsynthetic corpus ({} modules): {} gadgets",
+        corpus.len(),
+        all.len()
+    );
     for (class, count) in histogram(&all) {
         let bar = "#".repeat((count * 50 / all.len().max(1)).max(1));
         println!("  {:<10} {count:>7} {bar}", class.label());

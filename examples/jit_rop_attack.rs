@@ -22,7 +22,7 @@ use adelie::vmem::PAGE_SIZE;
 use std::sync::atomic::Ordering;
 
 /// The attacker's "malicious payload" target: a fake `set_memory_x`.
-const FAKE_SET_MEMORY_X: u64 = layout::NATIVE_BASE + 0x1234_560;
+const FAKE_SET_MEMORY_X: u64 = layout::NATIVE_BASE + 0x0123_4560;
 
 fn main() {
     let kernel = Kernel::new(KernelConfig::default());
@@ -53,8 +53,13 @@ fn main() {
 
     // ---- Step 3: chain construction --------------------------------
     // args: (page to make executable, npages, flags)
-    let chain = build_chain(&gadgets, leaked_base, [0x4000_0000, 1, 0], FAKE_SET_MEMORY_X)
-        .expect("gadget set suffices (Table 2: ~80% of modules)");
+    let chain = build_chain(
+        &gadgets,
+        leaked_base,
+        [0x4000_0000, 1, 0],
+        FAKE_SET_MEMORY_X,
+    )
+    .expect("gadget set suffices (Table 2: ~80% of modules)");
     println!("[chain]  {} words:", chain.words.len());
     for step in &chain.plan {
         println!("           {step}");

@@ -6,10 +6,11 @@
 //! cargo run --example quickstart
 //! ```
 
-use adelie::core::{log_stats, ModuleRegistry, Rerandomizer};
+use adelie::core::ModuleRegistry;
 use adelie::drivers::{install_dummy, specs::DUMMY_MINOR};
 use adelie::kernel::{Kernel, KernelConfig};
 use adelie::plugin::TransformOptions;
+use adelie::sched::{Policy, SchedConfig, Scheduler};
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
@@ -36,13 +37,24 @@ fn main() {
         driver.module.stats.patched_calls + driver.module.stats.patched_movs,
     );
 
-    // 3. Start the randomizer kernel thread at a 5 ms period
-    //    (`modprobe randmod module_names=dummy rand_period=5`).
-    let rr = Rerandomizer::spawn(
+    // 3. Start the re-randomization scheduler. Where the paper's
+    //    artifact ran one kthread at a fixed period (`modprobe randmod
+    //    module_names=dummy rand_period=5`), the scheduler adapts the
+    //    period to the driver's call rate and gadget exposure.
+    let sched = Scheduler::spawn(
         kernel.clone(),
         registry.clone(),
         &["dummy"],
-        Duration::from_millis(5),
+        SchedConfig {
+            workers: 2,
+            policy: Policy::Adaptive {
+                min: Duration::from_millis(1),
+                max: Duration::from_millis(25),
+                rate_scale: 1_000.0,
+                exposure_scale: 20.0,
+            },
+            ..SchedConfig::default()
+        },
     );
 
     // 4. Hammer the driver while it moves underneath us.
@@ -55,19 +67,20 @@ fn main() {
         assert_eq!(ret, arg);
         calls += 1;
     }
-    let stats = rr.stop();
+    // 5. The artifact-appendix dmesg block plus per-module scheduler
+    //    telemetry (policy, period, call rate, latency percentiles).
+    sched.log_stats();
+    let stats = sched.stop();
     println!(
-        "\n{} ioctls served while the module re-randomized {} times",
-        calls, stats.randomized
+        "\n{} ioctls served while the module re-randomized {} times \
+         ({} failures, {} missed deadlines)",
+        calls, stats.cycles, stats.failures, stats.missed_deadlines
     );
     println!(
         "module moved to {:#x} (generation {})",
         driver.module.movable_base.load(Ordering::Relaxed),
         driver.module.times_randomized(),
     );
-
-    // 5. The artifact-appendix dmesg block.
-    log_stats(&kernel, stats.randomized, &registry.stacks);
     println!("\n--- dmesg ---");
     print!("{}", kernel.printk.dmesg());
 }

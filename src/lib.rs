@@ -12,14 +12,15 @@
 //! | [`reclaim`] | Hyaline + EBR safe memory reclamation |
 //! | [`obj`] | relocatable module objects (the `.ko` analog) |
 //! | [`kernel`] | the simulated kernel: interpreter, kmalloc, VFS, MMIO |
-//! | [`core`] | Adelie: PIC loader, four GOTs, re-randomizer, stack pools |
+//! | [`core`] | Adelie: PIC loader, four GOTs, one-cycle re-randomization, stack pools |
+//! | [`sched`] | adaptive, concurrent re-randomization scheduler: worker pool, policies, CPU budget |
 //! | [`plugin`] | the GCC-plugin analog (module transformer) |
 //! | [`drivers`] | device models + driver modules (NVMe, E1000E, …) |
 //! | [`gadget`] | ROP gadget scanning, chains, attack models |
 //! | [`workloads`] | the paper's benchmark workloads |
 //!
-//! See `examples/quickstart.rs` for the five-minute tour, DESIGN.md for
-//! the architecture, and EXPERIMENTS.md for paper-vs-measured results.
+//! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md
+//! for the architecture (§6 covers the scheduler subsystem).
 
 pub use adelie_core as core;
 pub use adelie_drivers as drivers;
@@ -29,5 +30,6 @@ pub use adelie_kernel as kernel;
 pub use adelie_obj as obj;
 pub use adelie_plugin as plugin;
 pub use adelie_reclaim as reclaim;
+pub use adelie_sched as sched;
 pub use adelie_vmem as vmem;
 pub use adelie_workloads as workloads;

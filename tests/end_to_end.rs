@@ -2,11 +2,12 @@
 //! transformation through loading, execution, continuous
 //! re-randomization, and attack defeat.
 
-use adelie::core::{rerandomize_module, ModuleRegistry, Rerandomizer};
+use adelie::core::{rerandomize_module, ModuleRegistry};
 use adelie::drivers::{install_dummy, install_nic, install_nvme, specs, NicFlavor};
 use adelie::gadget::{build_chain, scan};
 use adelie::kernel::{Kernel, KernelConfig, ReclaimerKind, VmError, SECTOR_SIZE};
 use adelie::plugin::{transform, TransformOptions};
+use adelie::sched::{SchedConfig, Scheduler};
 use adelie::vmem::{Access, Fault, PAGE_SIZE};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -28,11 +29,11 @@ fn full_stack_ioctl_under_1ms_rerand_with_both_reclaimers() {
         let registry = ModuleRegistry::new(&kernel);
         let opts = TransformOptions::rerandomizable(true);
         install_dummy(&registry, &opts).unwrap();
-        let rr = Rerandomizer::spawn(
+        let sched = Scheduler::spawn(
             kernel.clone(),
             registry.clone(),
             &["dummy"],
-            Duration::from_millis(1),
+            SchedConfig::serial(Duration::from_millis(1)),
         );
         let mut vm = kernel.vm();
         for i in 0..2000u64 {
@@ -42,8 +43,8 @@ fn full_stack_ioctl_under_1ms_rerand_with_both_reclaimers() {
                 "{reclaimer:?}"
             );
         }
-        let stats = rr.stop();
-        assert!(stats.randomized >= 2, "{reclaimer:?}: {}", stats.randomized);
+        let stats = sched.stop();
+        assert!(stats.cycles >= 2, "{reclaimer:?}: {}", stats.cycles);
         kernel.reclaim.flush();
         assert_eq!(
             kernel.reclaim.stats().delta(),
@@ -66,7 +67,10 @@ fn leaked_gadget_chain_dies_with_the_next_period() {
     let base = module.movable_base.load(Ordering::Relaxed);
     let text_pages = module.movable.groups[0].pages;
     let mut text = vec![0u8; text_pages * PAGE_SIZE];
-    kernel.space.read_bytes(&kernel.phys, base, &mut text).unwrap();
+    kernel
+        .space
+        .read_bytes(&kernel.phys, base, &mut text)
+        .unwrap();
     let gadgets = scan(&text);
     let chain = build_chain(
         &gadgets,
@@ -122,7 +126,12 @@ fn mixed_fleet_of_configurations_coexists() {
     let (kernel, registry) = boot();
     install_dummy(&registry, &TransformOptions::rerandomizable(true)).unwrap();
     let nvme = install_nvme(&registry, &TransformOptions::pic(true)).unwrap();
-    let nic = install_nic(&registry, &TransformOptions::vanilla(true), NicFlavor::E1000).unwrap();
+    let nic = install_nic(
+        &registry,
+        &TransformOptions::vanilla(true),
+        NicFlavor::E1000,
+    )
+    .unwrap();
     assert!(!nvme.module.rerandomizable);
     assert!(!nic.module.rerandomizable);
     let mut vm = kernel.vm();
@@ -132,7 +141,9 @@ fn mixed_fleet_of_configurations_coexists() {
     // Storage path through the PIC nvme module.
     kernel.vfs.create("mix.bin", 1 << 16);
     let fd = kernel.vfs.open("mix.bin", true).unwrap();
-    let buf = kernel.heap.kmalloc(&kernel.space, &kernel.phys, SECTOR_SIZE);
+    let buf = kernel
+        .heap
+        .kmalloc(&kernel.space, &kernel.phys, SECTOR_SIZE);
     assert_eq!(
         kernel.vfs.pread(&mut vm, fd, buf, SECTOR_SIZE, 0).unwrap(),
         SECTOR_SIZE
@@ -146,25 +157,29 @@ fn rerand_stress_many_threads_many_modules() {
     install_dummy(&registry, &opts).unwrap();
     let nvme = install_nvme(&registry, &opts).unwrap();
     kernel.vfs.create("stress.bin", 1 << 20);
-    let rr = Rerandomizer::spawn(
+    // A two-worker pool: the two modules' cycles overlap.
+    let sched = Scheduler::spawn(
         kernel.clone(),
         registry.clone(),
         &["dummy", "nvme"],
-        Duration::from_millis(1),
+        SchedConfig {
+            workers: 2,
+            policy: adelie::sched::Policy::FixedPeriod(Duration::from_millis(1)),
+            ..SchedConfig::default()
+        },
     );
     std::thread::scope(|s| {
         for t in 0..6 {
             let kernel = kernel.clone();
             s.spawn(move || {
                 let mut vm = kernel.vm();
-                let buf = kernel.heap.kmalloc(&kernel.space, &kernel.phys, SECTOR_SIZE);
+                let buf = kernel
+                    .heap
+                    .kmalloc(&kernel.space, &kernel.phys, SECTOR_SIZE);
                 let fd = kernel.vfs.open("stress.bin", true).unwrap();
                 for i in 0..400u64 {
                     if t % 2 == 0 {
-                        assert_eq!(
-                            kernel.ioctl(&mut vm, specs::DUMMY_MINOR, 0, i).unwrap(),
-                            i
-                        );
+                        assert_eq!(kernel.ioctl(&mut vm, specs::DUMMY_MINOR, 0, i).unwrap(), i);
                     } else {
                         kernel
                             .vfs
@@ -175,8 +190,9 @@ fn rerand_stress_many_threads_many_modules() {
             });
         }
     });
-    let stats = rr.stop();
-    assert!(stats.randomized >= 4);
+    let stats = sched.stop();
+    assert!(stats.cycles >= 4);
+    assert_eq!(stats.failures, 0);
     assert_eq!(kernel.reclaim.stats().delta(), 0);
     assert!(nvme.device.completed() > 0);
 }
@@ -246,7 +262,10 @@ fn dmesg_shape_matches_artifact_appendix() {
     let (kernel, registry) = boot();
     let opts = TransformOptions::rerandomizable(true);
     install_dummy(&registry, &opts).unwrap();
-    let rr = Rerandomizer::spawn(
+    // The deprecated shim is exactly what this test is about: the
+    // legacy dmesg shape must survive the scheduler rewrite.
+    #[allow(deprecated)]
+    let rr = adelie::sched::Rerandomizer::spawn(
         kernel.clone(),
         registry.clone(),
         &["dummy"],
@@ -263,10 +282,12 @@ fn dmesg_shape_matches_artifact_appendix() {
     assert!(!kernel.printk.grep("SMR Retire").is_empty());
     assert!(!kernel.printk.grep("Stack Alloc").is_empty());
     // The artifact's invariant: deltas drain to zero at quiescence.
-    assert!(kernel
-        .printk
-        .grep("SMR Delta: 0")
-        .len()
-        .max(usize::from(kernel.reclaim.stats().delta() == 0))
-        >= 1);
+    assert!(
+        kernel
+            .printk
+            .grep("SMR Delta: 0")
+            .len()
+            .max(usize::from(kernel.reclaim.stats().delta() == 0))
+            >= 1
+    );
 }
