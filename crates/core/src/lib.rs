@@ -42,12 +42,14 @@
 //! vm.call(entry, &[]).unwrap();
 //! ```
 
+mod hooks;
 mod loader;
 mod module;
 mod rerand;
 mod stacks;
 mod va;
 
+pub use hooks::{CycleCommit, CycleHooks, CycleStage};
 pub use loader::{LoadError, Loader};
 pub use module::{AdjustSlot, LoadStats, LoadedModule, LocalGotEntry, PageGroup, Part, PartImage};
 pub use rerand::{log_stats, rerandomize_module, RerandError};
@@ -70,6 +72,9 @@ pub struct ModuleRegistry {
     /// The per-CPU randomized stack pools (shared by all modules).
     pub stacks: Arc<StackPool>,
     va: Arc<VaAllocator>,
+    /// Cycle-stage observation/injection hooks (testkit seam; `None` in
+    /// production).
+    cycle_hooks: RwLock<Option<Arc<dyn CycleHooks>>>,
 }
 
 impl ModuleRegistry {
@@ -87,7 +92,25 @@ impl ModuleRegistry {
             modules: RwLock::new(HashMap::new()),
             stacks,
             va,
+            cycle_hooks: RwLock::new(None),
         })
+    }
+
+    /// Install cycle-stage hooks (replacing any previous set). The hooks
+    /// see every re-randomization cycle of every module in this registry
+    /// and may inject stage failures — see [`CycleHooks`].
+    pub fn set_cycle_hooks(&self, hooks: Arc<dyn CycleHooks>) {
+        *self.cycle_hooks.write() = Some(hooks);
+    }
+
+    /// Remove the cycle-stage hooks.
+    pub fn clear_cycle_hooks(&self) {
+        *self.cycle_hooks.write() = None;
+    }
+
+    /// Snapshot the installed hooks (one read-lock per cycle).
+    pub(crate) fn hooks(&self) -> Option<Arc<dyn CycleHooks>> {
+        self.cycle_hooks.read().clone()
     }
 
     /// The kernel this registry serves.

@@ -879,6 +879,7 @@ impl<'k> Loader<'k> {
             init_va,
             exit_va,
             update_pointers_va,
+            pointer_refresh_failures: AtomicU64::new(0),
             exports,
             stats,
             move_lock: Mutex::new(()),

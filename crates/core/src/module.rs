@@ -156,6 +156,13 @@ pub struct LoadedModule {
     pub exit_va: Option<u64>,
     /// Pointer-refresh callback (called after each move).
     pub update_pointers_va: Option<u64>,
+    /// Cycles whose `update_pointers` callback failed *after* the move
+    /// committed and the old range was retired: the module runs at its
+    /// new base, but run-time pointers it manages may still reference
+    /// the retired layout. Previously this was silently dropped; now it
+    /// is counted here and surfaced through the scheduler's stats so
+    /// the testkit oracle can assert on it.
+    pub pointer_refresh_failures: AtomicU64,
     /// Load-time statistics.
     pub stats: LoadStats,
     /// Serializes re-randomization against unload.

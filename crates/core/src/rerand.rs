@@ -26,6 +26,7 @@
 //! single-worker compatibility shim (`adelie_sched::Rerandomizer`)
 //! preserves the old `spawn`/`stop` API.
 
+use crate::hooks::{CycleCommit, CycleStage};
 use crate::module::{LoadedModule, LocalGotEntry, Part};
 use crate::stacks::StackPool;
 use crate::ModuleRegistry;
@@ -136,8 +137,19 @@ pub fn rerandomize_module(
     let pages = module.movable.total_pages;
     let old_base = module.movable_base.load(Ordering::Acquire);
 
+    // Hook snapshot: one read per cycle; `None` (production) makes every
+    // `allowed` check a constant.
+    let hooks = registry.hooks();
+    let allowed = |stage: CycleStage| hooks.as_ref().is_none_or(|h| h.allow(&module.name, stage));
+
     // (1) Fresh base + key. The reservation keeps concurrent cycles and
     // loads out of this range until the pages are actually mapped.
+    if !allowed(CycleStage::Reserve) {
+        return Err(RerandError::NoSpace {
+            module: module.name.clone(),
+            pages,
+        });
+    }
     let reservation = registry
         .reserve_va(pages)
         .ok_or_else(|| RerandError::NoSpace {
@@ -168,6 +180,10 @@ pub fn rerandomize_module(
 
     // (2) Zero-copy alias of every movable page group, except the local
     // GOT pages which get fresh frames.
+    if !allowed(CycleStage::AliasMap) {
+        rollback(&[]);
+        return Err(remap("alias", Fault::Injected { va: new_base }));
+    }
     let lgot_page_start = (module.movable.lgot_off / PAGE_SIZE as u64) as usize;
     let lgot_pages = module.movable.lgot_pages();
     for g in &module.movable.groups {
@@ -206,6 +222,15 @@ pub fn rerandomize_module(
     // can restore the exact pre-cycle state.
     let mut new_mov_lgot: Vec<Pfn> = Vec::new();
     if lgot_pages > 0 {
+        if !allowed(CycleStage::MovableGot) {
+            rollback(&[]);
+            return Err(remap(
+                "local GOT",
+                Fault::Injected {
+                    va: new_base + module.movable.lgot_off,
+                },
+            ));
+        }
         let img = build_lgot(&module.lgot_movable);
         new_mov_lgot = kernel.phys.alloc_n(lgot_pages);
         for (i, &pfn) in new_mov_lgot.iter().enumerate() {
@@ -226,6 +251,15 @@ pub fn rerandomize_module(
     if let Some(imm) = &module.immovable {
         let imm_lgot_pages = imm.lgot_pages();
         if imm_lgot_pages > 0 {
+            if !allowed(CycleStage::ImmovableGotSwap) {
+                rollback(&new_mov_lgot);
+                return Err(remap(
+                    "immovable GOT swap",
+                    Fault::Injected {
+                        va: imm.base + imm.lgot_off,
+                    },
+                ));
+            }
             let img = build_lgot(&module.lgot_immovable);
             new_imm_lgot = kernel.phys.alloc_n(imm_lgot_pages);
             for (i, &pfn) in new_imm_lgot.iter().enumerate() {
@@ -255,6 +289,23 @@ pub fn rerandomize_module(
             }
         }
     }
+    // Last pre-commit stage gate: a denied AdjustSlots stage rolls back
+    // everything above, including swapping the immovable local-GOT PTEs
+    // back onto their old frames (the data slots themselves have not
+    // been touched yet).
+    if !allowed(CycleStage::AdjustSlots) {
+        if let Some(imm) = &module.immovable {
+            let cur = module.immovable_lgot_frames.lock();
+            for (j, &old) in cur.iter().enumerate() {
+                let va_j = imm.base + imm.lgot_off + (j * PAGE_SIZE) as u64;
+                let _ = kernel.space.replace(va_j, old, PteFlags::RO_DATA);
+            }
+        }
+        let fresh: Vec<Pfn> = new_mov_lgot.iter().chain(&new_imm_lgot).copied().collect();
+        rollback(&fresh);
+        return Err(remap("adjust-slots", Fault::Injected { va: new_base }));
+    }
+
     // Nothing can fail before publication now: hand the fresh GOT
     // frames to the module and collect the ones they replace.
     let mut doomed_frames = Vec::new();
@@ -290,6 +341,10 @@ pub fn rerandomize_module(
     module.current_key.store(new_key, Ordering::Release);
     module.generation.fetch_add(1, Ordering::Relaxed);
     let update_result = match module.update_pointers_va {
+        Some(_) if !allowed(CycleStage::UpdatePointers) => Err(RerandError::UpdatePointers {
+            module: module.name.clone(),
+            source: VmError::Native("injected fault: update_pointers".into()),
+        }),
         Some(up) => {
             let mut vm = kernel.vm();
             vm.call(up, &[new_base])
@@ -301,25 +356,56 @@ pub fn rerandomize_module(
         }
         None => Ok(()),
     };
+    if update_result.is_err() {
+        // The move has committed and the old range is about to be
+        // retired, but the module's own pointer refresh did not run to
+        // completion: record it (the old silent-drop path) so the
+        // scheduler's stats — and the testkit oracle — can see exactly
+        // which modules may still hold references into retired layouts.
+        module
+            .pointer_refresh_failures
+            .fetch_add(1, Ordering::Relaxed);
+    }
 
     // (6) Retire the old range — unmapped when pending calls drain.
     // This runs even when the update_pointers callback failed: the move
     // is already published at this point, and skipping retirement would
     // leak the old mapping and the replaced GOT frames on every retried
     // cycle.
-    let kernel2 = kernel.clone();
-    let total_pages = pages;
-    kernel.reclaim.retire(Box::new(move || {
-        // Batched unmap: one TLB shootdown for the whole stale range.
-        kernel2.space.unmap_sparse(old_base, total_pages);
-        for pfn in doomed_frames {
-            kernel2.phys.free(pfn);
-        }
-    }));
+    if allowed(CycleStage::Retire) {
+        let kernel2 = kernel.clone();
+        let total_pages = pages;
+        kernel.reclaim.retire(Box::new(move || {
+            // Batched unmap: one TLB shootdown for the whole stale range.
+            kernel2.space.unmap_sparse(old_base, total_pages);
+            for pfn in doomed_frames {
+                kernel2.phys.free(pfn);
+            }
+        }));
+    } else {
+        // Injected retirement drop: the old range stays mapped and the
+        // replaced GOT frames leak — deliberately, so the testkit can
+        // prove its layout oracle detects exactly this class of bug.
+        kernel.printk.log(format!(
+            "rerand: {} retire suppressed by injected fault (old range {old_base:#x} leaked)",
+            module.name
+        ));
+    }
 
     // (7) Rotate the per-CPU randomized stack pools so stack addresses
     // go stale on the same cadence as code addresses (§3.4).
-    registry.stacks.rotate(kernel);
+    if allowed(CycleStage::StackRotate) {
+        registry.stacks.rotate(kernel);
+    }
+    if let Some(h) = &hooks {
+        h.committed(&CycleCommit {
+            module: &module.name,
+            old_base,
+            new_base,
+            span: (pages * PAGE_SIZE) as u64,
+            generation: module.generation.load(Ordering::Relaxed),
+        });
+    }
     update_result.map(|()| new_base)
 }
 

@@ -149,3 +149,109 @@ mod tests {
         assert!(va.reserved.lock().is_empty());
     }
 }
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use adelie_kernel::KernelConfig;
+    use adelie_vmem::PteFlags;
+    use proptest::prelude::*;
+
+    fn overlaps(ab: u64, ae: u64, bb: u64, be: u64) -> bool {
+        ab < be && bb < ae
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The allocator's whole contract, under arbitrary interleavings
+        /// of reserve / commit-and-map / free: every reservation it
+        /// hands out is page-aligned, non-empty, disjoint from every
+        /// other outstanding reservation, and disjoint from everything
+        /// already mapped — exactly the invariant concurrent loads,
+        /// cycles, and stack allocations lean on.
+        #[test]
+        fn interleaved_placements_stay_aligned_and_disjoint(
+            ops in proptest::collection::vec((0u8..3, 1usize..17, 0usize..64), 1..40)
+        ) {
+            let kernel = Kernel::new(KernelConfig::default());
+            let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+            let mut held: Vec<VaReservation> = Vec::new();
+            let mut mapped: Vec<(u64, u64)> = Vec::new();
+            for (op, pages, pick) in ops {
+                match op {
+                    // Reserve: must be aligned and disjoint from both
+                    // the outstanding reservations and the mapped set.
+                    0 => {
+                        let r = va.reserve(&kernel, pages).expect("arena is huge");
+                        let (rb, re) = (r.base, r.base + r.span);
+                        prop_assert_eq!(rb % PAGE_SIZE as u64, 0, "unaligned base {:#x}", rb);
+                        prop_assert_eq!(r.span, (pages * PAGE_SIZE) as u64);
+                        for h in &held {
+                            prop_assert!(
+                                !overlaps(rb, re, h.base, h.base + h.span),
+                                "reservation overlaps a held reservation"
+                            );
+                        }
+                        for &(mb, me) in &mapped {
+                            prop_assert!(
+                                !overlaps(rb, re, mb, me),
+                                "reservation overlaps a mapped range"
+                            );
+                        }
+                        held.push(r);
+                    }
+                    // Commit: map the pages for real (what a finished
+                    // load/cycle does), then release the guard — from
+                    // here the page tables must keep the range excluded.
+                    1 if !held.is_empty() => {
+                        let r = held.swap_remove(pick % held.len());
+                        let n = (r.span / PAGE_SIZE as u64) as usize;
+                        kernel
+                            .space
+                            .map_range(r.base, &kernel.phys.alloc_n(n), PteFlags::DATA)
+                            .expect("reserved range must be mappable");
+                        mapped.push((r.base, r.base + r.span));
+                    }
+                    // Abandon: drop the guard without mapping — the
+                    // range is reusable and nothing may leak.
+                    _ if !held.is_empty() => {
+                        held.swap_remove(pick % held.len());
+                    }
+                    _ => {}
+                }
+            }
+            // Whatever remains reserved is still pairwise disjoint.
+            for (i, a) in held.iter().enumerate() {
+                for b in held.iter().skip(i + 1) {
+                    prop_assert!(!overlaps(a.base, a.base + a.span, b.base, b.base + b.span));
+                }
+            }
+            drop(held);
+            prop_assert!(va.reserved.lock().is_empty(), "guards must drain the table");
+        }
+
+        /// The legacy bump window never hands out overlapping spans and
+        /// stays inside the 2 GiB window for boot-realistic loads.
+        #[test]
+        fn legacy_bump_spans_never_overlap(
+            sizes in proptest::collection::vec(1u64..64, 1..32)
+        ) {
+            let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+            let mut spans: Vec<(u64, u64)> = Vec::new();
+            for s in sizes {
+                let bytes = s * PAGE_SIZE as u64;
+                let base = va.legacy_bump(bytes);
+                for &(b, e) in &spans {
+                    prop_assert!(!overlaps(base, base + bytes, b, e));
+                }
+                prop_assert!(base >= layout::LEGACY_MODULE_BASE);
+                prop_assert!(
+                    base + bytes <= layout::LEGACY_MODULE_BASE + layout::LEGACY_MODULE_SIZE,
+                    "boot-realistic load spilled out of the 2 GiB window"
+                );
+                spans.push((base, base + bytes));
+            }
+        }
+    }
+}

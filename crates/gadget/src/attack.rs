@@ -76,6 +76,51 @@ pub fn simulate_jit_rop(attack_secs: f64, period_secs: f64, trials: u32, seed: u
     wins as f64 / trials as f64
 }
 
+/// For each leak time, the *exposure window*: how long the leaked
+/// address stays weaponizable, i.e. the distance to the next
+/// re-randomization of the leaked-from module. `rerand_times` must be
+/// sorted ascending (the commit timeline a harness observed). Leaks
+/// with no later re-randomization are dropped — their window is not yet
+/// bounded by the observation.
+pub fn exposure_windows(leak_times_ns: &[u64], rerand_times_ns: &[u64]) -> Vec<u64> {
+    debug_assert!(rerand_times_ns.windows(2).all(|w| w[0] <= w[1]));
+    leak_times_ns
+        .iter()
+        .filter_map(|&t| {
+            let i = rerand_times_ns.partition_point(|&r| r <= t);
+            rerand_times_ns.get(i).map(|&next| next - t)
+        })
+        .collect()
+}
+
+/// Survival curve over a grid of attack durations: entry `i` is the
+/// fraction of leaks whose exposure window is *longer* than
+/// `deltas_ns[i]` — the probability an attacker needing `deltas_ns[i]`
+/// from leak to fire still lands on live code. Empty windows give an
+/// all-zero curve.
+pub fn survival_curve(windows_ns: &[u64], deltas_ns: &[u64]) -> Vec<f64> {
+    if windows_ns.is_empty() {
+        return vec![0.0; deltas_ns.len()];
+    }
+    deltas_ns
+        .iter()
+        .map(|&d| {
+            let survive = windows_ns.iter().filter(|&&w| w > d).count();
+            survive as f64 / windows_ns.len() as f64
+        })
+        .collect()
+}
+
+/// Mean exposure window in nanoseconds (`NaN`-free: 0 for no windows).
+/// This is the area under the survival curve taken to Δ → ∞ — the
+/// scalar the attack-window suite compares across scheduling policies.
+pub fn mean_exposure_ns(windows_ns: &[u64]) -> f64 {
+    if windows_ns.is_empty() {
+        return 0.0;
+    }
+    windows_ns.iter().map(|&w| w as f64).sum::<f64>() / windows_ns.len() as f64
+}
+
 /// The paper's headline numbers, as a struct benches print.
 #[derive(Copy, Clone, Debug)]
 pub struct EntropyComparison {
@@ -144,6 +189,27 @@ mod tests {
         assert!((p - 0.8).abs() < 1e-12);
         let sim = simulate_jit_rop(0.001, 0.005, 20_000, 9);
         assert!((sim - 0.8).abs() < 0.02, "{sim}");
+    }
+
+    #[test]
+    fn exposure_windows_measure_time_to_next_move() {
+        let rerands = [10, 30, 60];
+        // Leak at 5 → window 5; at 10 → next move is 30 (the move *at*
+        // 10 already retired what was leaked before it); at 59 → 1; at
+        // 60 and later → unbounded, dropped.
+        let windows = exposure_windows(&[5, 10, 59, 60, 70], &rerands);
+        assert_eq!(windows, vec![5, 20, 1]);
+        assert!((mean_exposure_ns(&windows) - 26.0 / 3.0).abs() < 1e-9);
+        assert_eq!(mean_exposure_ns(&[]), 0.0);
+    }
+
+    #[test]
+    fn survival_curve_is_monotone_nonincreasing() {
+        let windows = [5, 20, 1];
+        let curve = survival_curve(&windows, &[0, 1, 5, 20, 100]);
+        assert_eq!(curve, vec![1.0, 2.0 / 3.0, 1.0 / 3.0, 0.0, 0.0]);
+        assert!(curve.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(survival_curve(&[], &[0, 1]), vec![0.0, 0.0]);
     }
 
     #[test]

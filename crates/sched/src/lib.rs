@@ -19,9 +19,14 @@
 //!   of modeled CPU (`kernel.percpu`) the pool may spend and applies
 //!   backpressure through deadlines and the adaptive policy,
 //! * [`SchedStats`] — **per-module telemetry**: cycle-latency
-//!   histograms, missed-deadline counts, per-policy period/rate/
-//!   exposure readouts, printed next to the artifact's dmesg block by
-//!   [`Scheduler::log_stats`].
+//!   histograms, missed-deadline counts, pointer-refresh failure
+//!   counts, per-policy period/rate/exposure readouts, printed next to
+//!   the artifact's dmesg block by [`Scheduler::log_stats`],
+//! * [`Clock`]/[`SimClock`] — an **injectable timeline**: production
+//!   pools run threaded on the wall clock; verification pools
+//!   ([`Scheduler::spawn_stepped`]) run threadless on a virtual clock,
+//!   driven one deterministic [`Scheduler::step`] at a time by
+//!   `adelie-testkit`.
 //!
 //! The old API survives as [`Rerandomizer`], a deprecated thin shim
 //! over a single-worker `Scheduler`. See DESIGN.md §6 for the
@@ -61,14 +66,16 @@
 //! ```
 
 mod budget;
+mod clock;
 mod policy;
 mod scheduler;
 mod shim;
 mod stats;
 
 pub use budget::BudgetController;
+pub use clock::{Clock, SimClock};
 pub use policy::{Policy, PolicyInputs};
-pub use scheduler::{SchedConfig, Scheduler};
+pub use scheduler::{CycleReport, SchedConfig, Scheduler};
 pub use shim::RerandStats;
 #[allow(deprecated)]
 pub use shim::Rerandomizer;

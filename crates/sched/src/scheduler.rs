@@ -16,8 +16,22 @@
 //! and the module simply keeps running at its current base until the
 //! next deadline (the old single-thread `Rerandomizer` silently died on
 //! the first error, taking every other module's protection with it).
+//!
+//! # Timelines and step mode
+//!
+//! All deadlines are nanosecond offsets on a [`Clock`]. Production
+//! pools ([`Scheduler::spawn`]) run on the wall clock with real worker
+//! threads. Verification pools ([`Scheduler::spawn_stepped`]) run on a
+//! [`SimClock`] with **no threads at all**: the harness calls
+//! [`Scheduler::step`] (or [`Scheduler::step_choice`], to explore
+//! worker-pool interleavings) and each call pops one due entry,
+//! advances virtual time to its deadline, runs the cycle inline on the
+//! calling thread, charges a *modeled* cycle cost to the budget, and
+//! reschedules. Same heap, same policies, same budget arithmetic —
+//! byte-identical timelines for a given seed.
 
 use crate::budget::BudgetController;
+use crate::clock::{Clock, SimClock};
 use crate::policy::{Policy, PolicyInputs};
 use crate::stats::{LatencyHistogram, ModuleSchedStats, SchedStats};
 use adelie_core::{log_stats, rerandomize_module, LoadedModule, ModuleRegistry};
@@ -33,6 +47,8 @@ use std::time::{Duration, Instant};
 #[derive(Clone, Debug)]
 pub struct SchedConfig {
     /// Randomizer pool size (concurrent cycles of *distinct* modules).
+    /// In step mode this is the *modeled* width: how many due entries
+    /// may be reordered against each other by [`Scheduler::step_choice`].
     pub workers: usize,
     /// Default policy for every module (override per module via
     /// [`Scheduler::spawn_with_policies`]).
@@ -77,15 +93,46 @@ impl SchedConfig {
     }
 }
 
+/// What one scheduler step (or worker iteration) did — returned by
+/// [`Scheduler::step`] so a deterministic harness can follow the cycle
+/// timeline without scraping printk.
+#[derive(Clone, Debug)]
+pub struct CycleReport {
+    /// Module that was cycled.
+    pub module: String,
+    /// The deadline that triggered the cycle (clock ns).
+    pub deadline_ns: u64,
+    /// When the cycle actually started (clock ns).
+    pub started_ns: u64,
+    /// When the cycle finished (clock ns).
+    pub finished_ns: u64,
+    /// New movable base on success.
+    pub new_base: Option<u64>,
+    /// Rendered error on failure.
+    pub error: Option<String>,
+    /// Period the policy chose for the next cycle, in ns.
+    pub period_ns: u64,
+    /// The rescheduled deadline (clock ns).
+    pub next_deadline_ns: u64,
+}
+
+impl CycleReport {
+    /// Whether the cycle completed.
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
 /// Per-module scheduling state.
 struct ModuleEntry {
     module: Arc<LoadedModule>,
-    policy: Policy,
+    /// Swappable mid-flight via [`Scheduler::set_policy`].
+    policy: Mutex<Policy>,
     /// Outermost calls observed entering this module (bumped by the
     /// kernel call observer via the immovable-part range).
     calls: Arc<AtomicU64>,
-    /// `(instant, calls)` at the last rate sample.
-    rate_anchor: Mutex<(Instant, u64)>,
+    /// `(clock ns, calls)` at the last rate sample.
+    rate_anchor: Mutex<(u64, u64)>,
     /// Last computed call rate (f64 bits).
     calls_per_sec: AtomicU64,
     /// Gadgets/KiB of movable text (f64 bits).
@@ -138,15 +185,14 @@ impl ModuleEntry {
     }
 
     /// Sample call rate since the last cycle and assemble policy inputs.
-    fn sample_inputs(&self, kernel: &Arc<Kernel>, pressure: f64) -> PolicyInputs {
-        let now = Instant::now();
+    fn sample_inputs(&self, kernel: &Arc<Kernel>, now_ns: u64, pressure: f64) -> PolicyInputs {
         let calls_now = self.calls.load(Ordering::Relaxed);
         let mut anchor = self.rate_anchor.lock().unwrap_or_else(|e| e.into_inner());
-        let dt = now.duration_since(anchor.0);
-        if dt >= Duration::from_micros(100) {
-            let rate = (calls_now - anchor.1) as f64 / dt.as_secs_f64();
+        let dt_ns = now_ns.saturating_sub(anchor.0);
+        if dt_ns >= 100_000 {
+            let rate = (calls_now - anchor.1) as f64 / (dt_ns as f64 / 1e9);
             Self::store_f64(&self.calls_per_sec, rate);
-            *anchor = (now, calls_now);
+            *anchor = (now_ns, calls_now);
         }
         drop(anchor);
         PolicyInputs {
@@ -160,10 +206,11 @@ impl ModuleEntry {
     fn stats(&self) -> ModuleSchedStats {
         ModuleSchedStats {
             name: self.module.name.clone(),
-            policy: self.policy.name(),
+            policy: self.policy.lock().unwrap_or_else(|e| e.into_inner()).name(),
             cycles: self.cycles.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             missed_deadlines: self.missed_deadlines.load(Ordering::Relaxed),
+            pointer_refresh_failures: self.module.pointer_refresh_failures.load(Ordering::Relaxed),
             current_period: Duration::from_nanos(self.period_ns.load(Ordering::Relaxed)),
             calls_per_sec: Self::load_f64(&self.calls_per_sec),
             exposure: Self::load_f64(&self.exposure),
@@ -174,13 +221,20 @@ impl ModuleEntry {
 
 /// State shared between the handle and the workers.
 struct Shared {
-    /// Min-heap of `(deadline, entry index)`. An entry being cycled is
-    /// not in the heap.
-    queue: Mutex<BinaryHeap<Reverse<(Instant, usize)>>>,
+    /// Min-heap of `(deadline ns, entry index)`. An entry being cycled
+    /// is not in the heap.
+    queue: Mutex<BinaryHeap<Reverse<(u64, usize)>>>,
     wakeup: Condvar,
     stop: AtomicBool,
     entries: Vec<Arc<ModuleEntry>>,
     busy_ns: AtomicU64,
+    /// The timeline deadlines live on.
+    clock: Clock,
+    /// Modeled cost charged per cycle in step mode (wall-clock pools
+    /// ignore it and charge measured real time instead).
+    step_cost_ns: u64,
+    /// Modeled pool width (bounds step-mode reordering).
+    workers_model: usize,
 }
 
 /// The randomizer pool: the subsystem replacing the paper artifact's
@@ -197,6 +251,7 @@ pub struct Scheduler {
     kernel: Arc<Kernel>,
     registry: Arc<ModuleRegistry>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    exposure_refresh: u64,
     /// Whether this pool installed the kernel call observer (and must
     /// therefore remove it on shutdown — never someone else's).
     installed_observer: bool,
@@ -234,6 +289,67 @@ impl Scheduler {
         modules: &[(&str, Policy)],
         config: SchedConfig,
     ) -> Scheduler {
+        let mut sched = Scheduler::build(
+            kernel,
+            registry,
+            modules,
+            &config,
+            Clock::wall(),
+            Duration::ZERO,
+        );
+        let workers = (0..config.workers)
+            .map(|w| {
+                let shared = sched.shared.clone();
+                let kernel = sched.kernel.clone();
+                let registry = sched.registry.clone();
+                let budget = sched.budget.clone();
+                let refresh = config.exposure_refresh;
+                std::thread::Builder::new()
+                    .name(format!("randomizer-{w}"))
+                    .spawn(move || worker_loop(shared, kernel, registry, budget, refresh))
+                    .expect("spawn randomizer worker")
+            })
+            .collect();
+        sched.workers = workers;
+        sched
+    }
+
+    /// Build a **stepped** pool on a virtual clock: no worker threads
+    /// are spawned; the caller drives cycles with [`Scheduler::step`] /
+    /// [`Scheduler::step_choice`]. Each cycle charges the modeled
+    /// `cycle_cost` (not real time) to the CPU budget and the virtual
+    /// timeline, so runs are deterministic for a given kernel seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named module is missing or not re-randomizable, or if
+    /// `config.workers` is zero.
+    pub fn spawn_stepped(
+        kernel: Arc<Kernel>,
+        registry: Arc<ModuleRegistry>,
+        modules: &[(&str, Policy)],
+        config: SchedConfig,
+        clock: Arc<SimClock>,
+        cycle_cost: Duration,
+    ) -> Scheduler {
+        Scheduler::build(
+            kernel,
+            registry,
+            modules,
+            &config,
+            Clock::Virtual(clock),
+            cycle_cost,
+        )
+    }
+
+    fn build(
+        kernel: Arc<Kernel>,
+        registry: Arc<ModuleRegistry>,
+        modules: &[(&str, Policy)],
+        config: &SchedConfig,
+        clock: Clock,
+        cycle_cost: Duration,
+    ) -> Scheduler {
         assert!(config.workers > 0, "scheduler needs at least one worker");
         let entries: Vec<Arc<ModuleEntry>> = modules
             .iter()
@@ -248,9 +364,9 @@ impl Scheduler {
                 let initial = policy.next_period(&PolicyInputs::default());
                 Arc::new(ModuleEntry {
                     module,
-                    policy: policy.clone(),
+                    policy: Mutex::new(policy.clone()),
                     calls: Arc::new(AtomicU64::new(0)),
-                    rate_anchor: Mutex::new((Instant::now(), 0)),
+                    rate_anchor: Mutex::new((clock.now_ns(), 0)),
                     calls_per_sec: AtomicU64::new(0f64.to_bits()),
                     exposure: AtomicU64::new(0f64.to_bits()),
                     period_ns: AtomicU64::new(initial.as_nanos() as u64),
@@ -298,16 +414,14 @@ impl Scheduler {
             e.refresh_exposure(&kernel);
         }
 
-        let now = Instant::now();
+        let now_ns = clock.now_ns();
         let mut heap = BinaryHeap::new();
         for (i, e) in entries.iter().enumerate() {
             // Stagger initial deadlines so a fresh pool doesn't thundering-
             // herd its first cycles.
-            let period = Duration::from_nanos(e.period_ns.load(Ordering::Relaxed));
-            heap.push(Reverse((
-                now + period.mul_f64((i + 1) as f64 / entries.len() as f64),
-                i,
-            )));
+            let period = e.period_ns.load(Ordering::Relaxed);
+            let frac = (period as u128 * (i + 1) as u128 / entries.len() as u128) as u64;
+            heap.push(Reverse((now_ns + frac, i)));
         }
         let shared = Arc::new(Shared {
             queue: Mutex::new(heap),
@@ -315,38 +429,121 @@ impl Scheduler {
             stop: AtomicBool::new(false),
             entries,
             busy_ns: AtomicU64::new(0),
+            clock,
+            step_cost_ns: cycle_cost.as_nanos() as u64,
+            workers_model: config.workers,
         });
         let budget = Arc::new(BudgetController::new(
             kernel.config.cpus,
             config.max_cpu_frac,
         ));
         kernel.printk.log(format!(
-            "sched: pool started ({} workers, {} modules, policy={})",
+            "sched: pool started ({} workers, {} modules, policy={}{})",
             config.workers,
             shared.entries.len(),
             config.policy.name(),
+            if shared.clock.is_virtual() {
+                ", stepped"
+            } else {
+                ""
+            },
         ));
-        let workers = (0..config.workers)
-            .map(|w| {
-                let shared = shared.clone();
-                let kernel = kernel.clone();
-                let registry = registry.clone();
-                let budget = budget.clone();
-                let refresh = config.exposure_refresh;
-                std::thread::Builder::new()
-                    .name(format!("randomizer-{w}"))
-                    .spawn(move || worker_loop(shared, kernel, registry, budget, refresh))
-                    .expect("spawn randomizer worker")
-            })
-            .collect();
         Scheduler {
             shared,
             budget,
             kernel,
             registry,
-            workers,
+            workers: Vec::new(),
+            exposure_refresh: config.exposure_refresh,
             installed_observer,
         }
+    }
+
+    /// Current time on the scheduler's clock, in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.shared.clock.now_ns()
+    }
+
+    /// Deadline of the next pending entry (clock ns), if any.
+    pub fn peek_deadline_ns(&self) -> Option<u64> {
+        let queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.peek().map(|&Reverse((d, _))| d)
+    }
+
+    /// (Step mode) run the next due entry: advance virtual time to its
+    /// deadline, cycle it inline, charge the modeled cost, reschedule.
+    /// Returns `None` when the heap is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a wall-clock (threaded) scheduler.
+    pub fn step(&self) -> Option<CycleReport> {
+        self.step_choice(0)
+    }
+
+    /// (Step mode) like [`step`](Scheduler::step), but choose among the
+    /// entries a `workers`-wide pool could legally run next: all entries
+    /// whose deadline falls within one modeled pool window
+    /// (`cycle_cost × workers`) of the earliest. `rank` indexes that
+    /// eligible set (wrapped), so a seeded explorer passing arbitrary
+    /// ranks enumerates exactly the reorderings real worker races could
+    /// produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a wall-clock (threaded) scheduler.
+    pub fn step_choice(&self, rank: usize) -> Option<CycleReport> {
+        let sim = match &self.shared.clock {
+            Clock::Virtual(sim) => sim.clone(),
+            Clock::Wall { .. } => panic!("step() on a wall-clock scheduler; use spawn_stepped"),
+        };
+        let (deadline_ns, idx) = {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let Reverse((min_d, _)) = *queue.peek()?;
+            let slack = self
+                .shared
+                .step_cost_ns
+                .saturating_mul(self.shared.workers_model as u64);
+            // Entries a pool of `workers` could have in flight together.
+            let mut eligible = Vec::new();
+            while let Some(&Reverse((d, i))) = queue.peek() {
+                if d > min_d.saturating_add(slack) || eligible.len() >= self.shared.workers_model {
+                    break;
+                }
+                queue.pop();
+                eligible.push((d, i));
+            }
+            let pick = rank % eligible.len();
+            let chosen = eligible.swap_remove(pick);
+            for (d, i) in eligible {
+                queue.push(Reverse((d, i)));
+            }
+            chosen
+        };
+        sim.advance_to(deadline_ns);
+        let report = execute_cycle(
+            &self.shared,
+            &self.kernel,
+            &self.registry,
+            &self.budget,
+            self.exposure_refresh,
+            idx,
+            deadline_ns,
+        );
+        Some(report)
+    }
+
+    /// Swap `module`'s policy mid-flight; takes effect when the module's
+    /// current deadline fires. Returns `false` if the module is not in
+    /// this pool.
+    pub fn set_policy(&self, module: &str, policy: Policy) -> bool {
+        for e in &self.shared.entries {
+            if e.module.name == module {
+                *e.policy.lock().unwrap_or_else(|p| p.into_inner()) = policy;
+                return true;
+            }
+        }
+        false
     }
 
     /// Completed module-cycles so far (sum over modules).
@@ -375,8 +572,11 @@ impl Scheduler {
             cycles: modules.iter().map(|m| m.cycles).sum(),
             failures: modules.iter().map(|m| m.failures).sum(),
             missed_deadlines: modules.iter().map(|m| m.missed_deadlines).sum(),
+            pointer_refresh_failures: modules.iter().map(|m| m.pointer_refresh_failures).sum(),
             busy: Duration::from_nanos(self.shared.busy_ns.load(Ordering::Relaxed)),
-            cpu_pressure: self.budget.pressure(),
+            cpu_pressure: self
+                .budget
+                .pressure_at(Duration::from_nanos(self.shared.clock.now_ns())),
             modules,
         }
     }
@@ -388,13 +588,14 @@ impl Scheduler {
         log_stats(&self.kernel, stats.cycles, &self.registry.stacks);
         for m in &stats.modules {
             self.kernel.printk.log(format!(
-                "sched: {} policy={} cycles={} failed={} missed={} period={:?} rate={:.0}/s \
-                 exposure={:.1}g/KiB p50={:?} p99={:?}",
+                "sched: {} policy={} cycles={} failed={} missed={} stale-ptr={} period={:?} \
+                 rate={:.0}/s exposure={:.1}g/KiB p50={:?} p99={:?}",
                 m.name,
                 m.policy,
                 m.cycles,
                 m.failures,
                 m.missed_deadlines,
+                m.pointer_refresh_failures,
                 m.current_period,
                 m.calls_per_sec,
                 m.exposure,
@@ -435,9 +636,97 @@ impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
             .field("workers", &self.workers.len())
+            .field("stepped", &self.shared.clock.is_virtual())
             .field("cycles", &self.cycles())
             .field("failures", &self.failures())
             .finish()
+    }
+}
+
+/// Run one cycle of `entries[idx]` (deadline already popped), account
+/// it, and push the entry back with its next deadline. Shared between
+/// the threaded worker loop and the stepped driver.
+fn execute_cycle(
+    shared: &Arc<Shared>,
+    kernel: &Arc<Kernel>,
+    registry: &Arc<ModuleRegistry>,
+    budget: &Arc<BudgetController>,
+    exposure_refresh: u64,
+    idx: usize,
+    deadline_ns: u64,
+) -> CycleReport {
+    let entry = &shared.entries[idx];
+    let cpu = kernel.percpu.current();
+    let started_ns = shared.clock.now_ns();
+    let wall_t0 = Instant::now();
+    let outcome = rerandomize_module(kernel, registry, &entry.module);
+    // Step mode charges the modeled cost (deterministic); wall mode
+    // charges what the cycle really took.
+    let spent = if shared.clock.is_virtual() {
+        let cost = Duration::from_nanos(shared.step_cost_ns);
+        if let Clock::Virtual(sim) = &shared.clock {
+            sim.advance(cost);
+        }
+        cost
+    } else {
+        wall_t0.elapsed()
+    };
+    kernel.percpu.account(cpu, spent);
+    budget.record(spent);
+    shared
+        .busy_ns
+        .fetch_add(spent.as_nanos() as u64, Ordering::Relaxed);
+    entry.latency.record(spent);
+    let period = entry.period_ns.load(Ordering::Relaxed);
+    if started_ns.saturating_sub(deadline_ns) > period {
+        entry.missed_deadlines.fetch_add(1, Ordering::Relaxed);
+    }
+    let (new_base, error) = match &outcome {
+        Ok(base) => {
+            let done = entry.cycles.fetch_add(1, Ordering::Relaxed) + 1;
+            if exposure_refresh > 0 && done.is_multiple_of(exposure_refresh) {
+                entry.refresh_exposure(kernel);
+            }
+            (Some(*base), None)
+        }
+        Err(err) => {
+            // Non-fatal: count, log, keep every module cycling.
+            entry.failures.fetch_add(1, Ordering::Relaxed);
+            kernel.printk.log(format!(
+                "sched: {} cycle failed ({err}); retrying next period",
+                entry.module.name
+            ));
+            (None, Some(err.to_string()))
+        }
+    };
+
+    // Next deadline: policy period plus any hard budget throttle.
+    let finished_ns = shared.clock.now_ns();
+    let wall = Duration::from_nanos(finished_ns);
+    let inputs = entry.sample_inputs(kernel, finished_ns, budget.pressure_at(wall));
+    let next_period = entry
+        .policy
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .next_period(&inputs);
+    let next_period_ns = next_period.as_nanos() as u64;
+    entry.period_ns.store(next_period_ns, Ordering::Relaxed);
+    let next_deadline_ns =
+        finished_ns + next_period_ns + budget.throttle_at(wall).as_nanos() as u64;
+    {
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.push(Reverse((next_deadline_ns, idx)));
+    }
+    shared.wakeup.notify_one();
+    CycleReport {
+        module: entry.module.name.clone(),
+        deadline_ns,
+        started_ns,
+        finished_ns,
+        new_base,
+        error,
+        period_ns: next_period_ns,
+        next_deadline_ns,
     }
 }
 
@@ -448,26 +737,24 @@ fn worker_loop(
     budget: Arc<BudgetController>,
     exposure_refresh: u64,
 ) {
-    // Claim a simulated CPU for accounting (sticky per thread).
-    let cpu = kernel.percpu.current();
     loop {
         // Pop the next due entry, sleeping until its deadline.
-        let (deadline, idx) = {
+        let (deadline_ns, idx) = {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if shared.stop.load(Ordering::Relaxed) {
                     return;
                 }
                 match queue.peek().copied() {
-                    Some(Reverse((deadline, idx))) => {
-                        let now = Instant::now();
-                        if deadline <= now {
+                    Some(Reverse((deadline_ns, idx))) => {
+                        let now_ns = shared.clock.now_ns();
+                        if deadline_ns <= now_ns {
                             queue.pop();
-                            break (deadline, idx);
+                            break (deadline_ns, idx);
                         }
                         let (q, _) = shared
                             .wakeup
-                            .wait_timeout(queue, deadline - now)
+                            .wait_timeout(queue, Duration::from_nanos(deadline_ns - now_ns))
                             .unwrap_or_else(|e| e.into_inner());
                         queue = q;
                     }
@@ -478,49 +765,14 @@ fn worker_loop(
                 }
             }
         };
-
-        let entry = &shared.entries[idx];
-        let t0 = Instant::now();
-        let outcome = rerandomize_module(&kernel, &registry, &entry.module);
-        let spent = t0.elapsed();
-        kernel.percpu.account(cpu, spent);
-        budget.record(spent);
-        shared
-            .busy_ns
-            .fetch_add(spent.as_nanos() as u64, Ordering::Relaxed);
-        entry.latency.record(spent);
-        let period = Duration::from_nanos(entry.period_ns.load(Ordering::Relaxed));
-        if t0.saturating_duration_since(deadline) > period {
-            entry.missed_deadlines.fetch_add(1, Ordering::Relaxed);
-        }
-        match outcome {
-            Ok(_) => {
-                let done = entry.cycles.fetch_add(1, Ordering::Relaxed) + 1;
-                if exposure_refresh > 0 && done.is_multiple_of(exposure_refresh) {
-                    entry.refresh_exposure(&kernel);
-                }
-            }
-            Err(err) => {
-                // Non-fatal: count, log, keep every module cycling.
-                entry.failures.fetch_add(1, Ordering::Relaxed);
-                kernel.printk.log(format!(
-                    "sched: {} cycle failed ({err}); retrying next period",
-                    entry.module.name
-                ));
-            }
-        }
-
-        // Next deadline: policy period plus any hard budget throttle.
-        let inputs = entry.sample_inputs(&kernel, budget.pressure());
-        let next_period = entry.policy.next_period(&inputs);
-        entry
-            .period_ns
-            .store(next_period.as_nanos() as u64, Ordering::Relaxed);
-        let next_deadline = Instant::now() + next_period + budget.throttle();
-        {
-            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            queue.push(Reverse((next_deadline, idx)));
-        }
-        shared.wakeup.notify_one();
+        execute_cycle(
+            &shared,
+            &kernel,
+            &registry,
+            &budget,
+            exposure_refresh,
+            idx,
+            deadline_ns,
+        );
     }
 }

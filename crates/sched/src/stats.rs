@@ -115,6 +115,11 @@ pub struct ModuleSchedStats {
     pub failures: u64,
     /// Cycles that started more than one period late.
     pub missed_deadlines: u64,
+    /// Cycles whose `update_pointers` callback failed after the move
+    /// committed: the module runs at its new base but may still hold
+    /// run-time pointers into the retired layout (previously dropped
+    /// silently; see `LoadedModule::pointer_refresh_failures`).
+    pub pointer_refresh_failures: u64,
     /// Period the policy currently prescribes.
     pub current_period: Duration,
     /// Last measured call rate.
@@ -136,6 +141,9 @@ pub struct SchedStats {
     pub failures: u64,
     /// Missed deadlines, summed over modules.
     pub missed_deadlines: u64,
+    /// Committed moves whose pointer-refresh callback failed, summed
+    /// over modules (0 for a healthy fleet).
+    pub pointer_refresh_failures: u64,
     /// Cumulative wall time spent inside cycles (all workers).
     pub busy: Duration,
     /// Budget pressure at snapshot time (0 when uncapped).

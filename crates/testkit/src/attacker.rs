@@ -1,0 +1,174 @@
+//! The adversarial attacker model.
+//!
+//! Adelie's security argument is a *race*: an attacker leaks an address
+//! at time `t`, spends `Δ` weaponizing it (scanning, building a chain,
+//! delivering a payload), and fires at `t + Δ`. The defence wins iff
+//! the module (or stack pool) re-randomized inside the window. This
+//! module provides the leak-and-fire half of that race over the real
+//! simulated kernel: leaks are actual virtual addresses read from the
+//! live layout (a movable-text gadget, or a pooled kernel stack), and
+//! firing consults the real page tables — a retired leak *faults*, a
+//! live one lands.
+
+use adelie_core::{LoadedModule, ModuleRegistry};
+use adelie_gadget::{build_chain, scan, RopChain};
+use adelie_kernel::{layout, Kernel};
+use adelie_vmem::{Access, Fault, PteFlags, PAGE_SIZE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// What kind of address was leaked.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LeakKind {
+    /// A movable-text code address (a gadget start).
+    Code,
+    /// A randomized kernel-stack address from a per-CPU pool.
+    Stack,
+}
+
+/// A captured leak: the address and the layout generation it belongs to.
+#[derive(Clone, Debug)]
+pub struct Leak {
+    /// Leaked virtual address.
+    pub va: u64,
+    /// Kind of address.
+    pub kind: LeakKind,
+    /// Module it was leaked from (code leaks).
+    pub module: Option<String>,
+    /// Module generation at leak time (code leaks).
+    pub generation: u64,
+    /// Virtual time of the leak, if the caller tracks one.
+    pub at_ns: u64,
+}
+
+/// The result of firing a leak.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FireOutcome {
+    /// The leaked address still resolves with the required access —
+    /// the attack window was long enough.
+    Lands,
+    /// The leaked address faults — the layout it belonged to is gone.
+    Dead(Fault),
+}
+
+impl FireOutcome {
+    /// Whether the attack landed.
+    pub fn landed(&self) -> bool {
+        matches!(self, FireOutcome::Lands)
+    }
+}
+
+/// A seeded attacker (deterministic leak choices per seed).
+pub struct Attacker {
+    rng: SmallRng,
+}
+
+impl Attacker {
+    /// An attacker drawing leak choices from `seed`.
+    pub fn new(seed: u64) -> Attacker {
+        Attacker {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Leak a code pointer from `module`'s movable text: a uniformly
+    /// chosen gadget start at the *current* base (what an info-leak
+    /// primitive plus a JIT-ROP scan would yield). Falls back to the
+    /// base itself for gadget-free text.
+    pub fn leak_code(&mut self, kernel: &Arc<Kernel>, module: &LoadedModule, at_ns: u64) -> Leak {
+        let _guard = module.move_lock.lock();
+        let base = module.movable_base.load(Ordering::Acquire);
+        let text = read_movable_text(kernel, module, base);
+        let gadgets = scan(&text);
+        let va = if gadgets.is_empty() {
+            base
+        } else {
+            base + gadgets[self.rng.gen_range(0..gadgets.len())].offset as u64
+        };
+        Leak {
+            va,
+            kind: LeakKind::Code,
+            module: Some(module.name.clone()),
+            generation: module.generation.load(Ordering::Relaxed),
+            at_ns,
+        }
+    }
+
+    /// Leak a randomized kernel-stack address from `cpu`'s pool (the
+    /// §3.4 target: stack addresses go stale on the same cadence as
+    /// code). Draws a pooled stack — allocating one if the pool is
+    /// empty — and leaks an address inside it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pool's allocation error when a fresh stack cannot
+    /// be placed.
+    pub fn leak_stack(
+        &mut self,
+        kernel: &Arc<Kernel>,
+        registry: &Arc<ModuleRegistry>,
+        cpu: usize,
+        at_ns: u64,
+    ) -> Result<Leak, String> {
+        let top = match registry.stacks.pop(cpu) {
+            0 => registry.stacks.alloc(kernel)?,
+            t => t,
+        };
+        registry.stacks.push(cpu, top);
+        Ok(Leak {
+            va: top - 8,
+            kind: LeakKind::Stack,
+            module: None,
+            generation: 0,
+            at_ns,
+        })
+    }
+
+    /// Fire a leak: consult the page tables with the access the attack
+    /// needs (execute for code, write for a stack pivot).
+    pub fn fire(&self, kernel: &Arc<Kernel>, leak: &Leak) -> FireOutcome {
+        let access = match leak.kind {
+            LeakKind::Code => Access::Exec,
+            LeakKind::Stack => Access::Write,
+        };
+        match kernel.space.translate(leak.va, access) {
+            Ok(_) => FireOutcome::Lands,
+            Err(fault) => FireOutcome::Dead(fault),
+        }
+    }
+
+    /// Build the full Table-2-style ROP chain from the module's current
+    /// layout (leak → scan → chain), ready to fire with
+    /// `vm.call(chain.words[0], ..)`. `None` when the module's gadget
+    /// set cannot express the NX-disable chain.
+    pub fn build_leaked_chain(kernel: &Arc<Kernel>, module: &LoadedModule) -> Option<RopChain> {
+        let _guard = module.move_lock.lock();
+        let base = module.movable_base.load(Ordering::Acquire);
+        let text = read_movable_text(kernel, module, base);
+        let gadgets = scan(&text);
+        build_chain(&gadgets, base, [0x4000_0000, 1, 0], layout::NATIVE_BASE)
+    }
+}
+
+/// Read the module's movable text pages at `base` (empty on any fault —
+/// callers treat that as "no gadgets visible").
+fn read_movable_text(kernel: &Arc<Kernel>, module: &LoadedModule, base: u64) -> Vec<u8> {
+    let text_pages: usize = module
+        .movable
+        .groups
+        .iter()
+        .filter(|g| g.flags == PteFlags::TEXT)
+        .map(|g| g.pages)
+        .sum();
+    let mut text = vec![0u8; text_pages * PAGE_SIZE];
+    if kernel
+        .space
+        .read_bytes(&kernel.phys, base, &mut text)
+        .is_err()
+    {
+        text.clear();
+    }
+    text
+}

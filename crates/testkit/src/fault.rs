@@ -1,0 +1,117 @@
+//! Deterministic fault injection over the re-randomization pipeline.
+//!
+//! A [`FaultPlan`] is a set of rules, each naming a module (or any
+//! module), a [`CycleStage`], and a 0-based cycle *attempt* index. It
+//! installs as [`CycleHooks`] on the registry (usually via
+//! [`Sim`](crate::Sim), chained with the layout oracle) and denies the
+//! matching stage of the matching attempt — which makes
+//! `rerandomize_module` fail there through its normal typed-error and
+//! rollback path, exactly as a real mmap/patch/callback failure would.
+//! Every injection that actually fired is recorded so tests can assert
+//! the plan ran as written.
+
+use adelie_core::{CycleCommit, CycleHooks, CycleStage};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// One injection rule.
+#[derive(Clone, Debug)]
+pub struct FaultRule {
+    /// Target module, or `None` for "any module".
+    pub module: Option<String>,
+    /// Stage to deny.
+    pub stage: CycleStage,
+    /// Which cycle *attempt* of the module to hit (0-based; failed
+    /// attempts count — that is what makes retry storms plannable).
+    pub attempt: u64,
+}
+
+/// A rule that actually fired.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FiredFault {
+    /// Module the cycle belonged to.
+    pub module: String,
+    /// Stage that was denied.
+    pub stage: CycleStage,
+    /// The module's attempt index at the time.
+    pub attempt: u64,
+}
+
+/// A deterministic stage-failure injector (see module docs).
+#[derive(Default)]
+pub struct FaultPlan {
+    rules: Mutex<Vec<FaultRule>>,
+    /// Cycle attempts seen per module (bumped when a cycle reaches its
+    /// `Reserve` stage).
+    attempts: Mutex<HashMap<String, u64>>,
+    fired: Mutex<Vec<FiredFault>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing until rules are added).
+    pub fn new() -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::default())
+    }
+
+    /// Add a rule: deny `stage` on `module`'s `attempt`-th cycle.
+    pub fn fail_at(&self, module: &str, stage: CycleStage, attempt: u64) {
+        self.rules.lock().unwrap().push(FaultRule {
+            module: Some(module.to_string()),
+            stage,
+            attempt,
+        });
+    }
+
+    /// Add a rule matching any module.
+    pub fn fail_any(&self, stage: CycleStage, attempt: u64) {
+        self.rules.lock().unwrap().push(FaultRule {
+            module: None,
+            stage,
+            attempt,
+        });
+    }
+
+    /// Injections that actually fired, in order.
+    pub fn fired(&self) -> Vec<FiredFault> {
+        self.fired.lock().unwrap().clone()
+    }
+
+    /// Cycle attempts observed for `module`.
+    pub fn attempts(&self, module: &str) -> u64 {
+        self.attempts
+            .lock()
+            .unwrap()
+            .get(module)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl CycleHooks for FaultPlan {
+    fn allow(&self, module: &str, stage: CycleStage) -> bool {
+        let attempt = {
+            let mut attempts = self.attempts.lock().unwrap();
+            let n = attempts.entry(module.to_string()).or_insert(0);
+            if stage == CycleStage::Reserve {
+                *n += 1;
+            }
+            n.saturating_sub(1)
+        };
+        let denied = self.rules.lock().unwrap().iter().any(|r| {
+            r.stage == stage
+                && r.attempt == attempt
+                && r.module.as_deref().is_none_or(|m| m == module)
+        });
+        if denied {
+            self.fired.lock().unwrap().push(FiredFault {
+                module: module.to_string(),
+                stage,
+                attempt,
+            });
+        }
+        !denied
+    }
+
+    fn committed(&self, _commit: &CycleCommit<'_>) {}
+}

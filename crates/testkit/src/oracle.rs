@@ -1,0 +1,219 @@
+//! The cross-cycle layout oracle.
+//!
+//! Installed as [`CycleHooks`] (chained after the
+//! [`FaultPlan`](crate::FaultPlan)), the oracle records the ground-truth
+//! move timeline of every module — who moved, from where, to where,
+//! when — and checks the global layout invariants the whole defence
+//! rests on:
+//!
+//! 1. **no overlap** — at no commit did a module's new range overlap
+//!    any other module's current range (the reservation allocator's
+//!    contract, observed end-to-end rather than unit-tested);
+//! 2. **no stale mappings** — once the system quiesces, every address
+//!    range a module ever vacated is unmapped (a leaked pointer *must*
+//!    fault);
+//! 3. **no SMR leak** — retired ≥ freed converges to retired == freed
+//!    at quiescence, for module ranges and rotated stacks alike;
+//! 4. **no silent pointer-refresh drop** — the scheduler's
+//!    `pointer_refresh_failures` matches what the test expected
+//!    (usually zero).
+//!
+//! `verify_quiesced` is deliberately *destructive reading*: it rotates
+//! the stack pools and flushes the reclaimer to force quiescence, then
+//! checks. Call it at the end of a scenario.
+
+use adelie_core::{CycleCommit, CycleHooks, ModuleRegistry};
+use adelie_kernel::Kernel;
+use adelie_sched::{SchedStats, SimClock};
+use adelie_vmem::{Access, PAGE_SIZE};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One observed, committed move.
+#[derive(Clone, Debug)]
+pub struct CommitRecord {
+    /// Module that moved.
+    pub module: String,
+    /// Base it vacated.
+    pub old_base: u64,
+    /// Base it now runs at.
+    pub new_base: u64,
+    /// Movable-part span in bytes.
+    pub span: u64,
+    /// Module generation after the move.
+    pub generation: u64,
+    /// Virtual time of the commit.
+    pub at_ns: u64,
+}
+
+/// Ground-truth recorder + invariant checker (see module docs).
+pub struct LayoutOracle {
+    kernel: Arc<Kernel>,
+    clock: Arc<SimClock>,
+    commits: Mutex<Vec<CommitRecord>>,
+    /// Current `(base, span)` per module, as of the last commit.
+    live: Mutex<HashMap<String, (u64, u64)>>,
+    /// Invariant violations detected *during* the run (overlaps).
+    violations: Mutex<Vec<String>>,
+}
+
+impl LayoutOracle {
+    /// An oracle timestamping against `clock`.
+    pub fn new(kernel: Arc<Kernel>, clock: Arc<SimClock>) -> Arc<LayoutOracle> {
+        Arc::new(LayoutOracle {
+            kernel,
+            clock,
+            commits: Mutex::new(Vec::new()),
+            live: Mutex::new(HashMap::new()),
+            violations: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// All committed moves, in commit order.
+    pub fn commits(&self) -> Vec<CommitRecord> {
+        self.commits.lock().unwrap().clone()
+    }
+
+    /// Commit times (ns) of one module, ascending — the re-randomization
+    /// timeline the attack-window math consumes.
+    pub fn timeline_ns(&self, module: &str) -> Vec<u64> {
+        self.commits
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|c| c.module == module)
+            .map(|c| c.at_ns)
+            .collect()
+    }
+
+    /// Force quiescence (rotate stack pools, flush the reclaimer) and
+    /// check every invariant. `expected_refresh_failures` is the number
+    /// of pointer-refresh drops the scenario *planned* (0 for clean
+    /// runs).
+    pub fn verify_quiesced(
+        &self,
+        registry: &Arc<ModuleRegistry>,
+        stats: Option<&SchedStats>,
+        expected_refresh_failures: u64,
+    ) -> OracleReport {
+        let mut violations = self.violations.lock().unwrap().clone();
+        registry.stacks.rotate(&self.kernel);
+        self.kernel.reclaim.flush();
+
+        // (3) SMR convergence: everything retired has been freed.
+        let smr = self.kernel.reclaim.stats();
+        if smr.delta() != 0 {
+            violations.push(format!(
+                "SMR leak at quiescence: retired {} vs freed {}",
+                smr.retired, smr.freed
+            ));
+        }
+        let st = registry.stacks.stats();
+        if st.delta() != 0 {
+            violations.push(format!(
+                "stack leak at quiescence: allocated {} vs freed {}",
+                st.allocated, st.freed
+            ));
+        }
+
+        // (2) Every vacated range is unmapped; every current base is
+        // mapped. A vacated page is only exempt if some module's
+        // *current* range re-covers it (possible in principle with
+        // random placement, never in a seeded test run).
+        let live: Vec<(u64, u64)> = self.live.lock().unwrap().values().copied().collect();
+        let covered = |va: u64| live.iter().any(|&(b, s)| va >= b && va < b + s);
+        for c in self.commits.lock().unwrap().iter() {
+            for page in 0..(c.span as usize / PAGE_SIZE) {
+                let va = c.old_base + (page * PAGE_SIZE) as u64;
+                if covered(va) {
+                    continue;
+                }
+                if self.kernel.space.translate(va, Access::Read).is_ok() {
+                    violations.push(format!(
+                        "stale mapping survives: {} vacated {va:#x} (cycle at t={}ns) \
+                         but it is still mapped",
+                        c.module, c.at_ns
+                    ));
+                    break; // one line per stale range is enough
+                }
+            }
+        }
+        for (module, &(base, _)) in self.live.lock().unwrap().iter() {
+            if self.kernel.space.translate(base, Access::Exec).is_err() {
+                violations.push(format!(
+                    "current base of {module} ({base:#x}) is not executable"
+                ));
+            }
+        }
+
+        // (4) The silent-drop counter matches the plan.
+        if let Some(stats) = stats {
+            if stats.pointer_refresh_failures != expected_refresh_failures {
+                violations.push(format!(
+                    "pointer_refresh_failures = {} but the scenario expected {}",
+                    stats.pointer_refresh_failures, expected_refresh_failures
+                ));
+            }
+        }
+
+        OracleReport { violations }
+    }
+}
+
+impl CycleHooks for LayoutOracle {
+    fn committed(&self, c: &CycleCommit<'_>) {
+        // (1) Overlap check against every other module's current range,
+        // at the moment of commit.
+        let mut live = self.live.lock().unwrap();
+        for (other, &(b, s)) in live.iter() {
+            if other != c.module && c.new_base < b + s && b < c.new_base + c.span {
+                self.violations.lock().unwrap().push(format!(
+                    "overlap at commit: {} moved to {:#x}..{:#x} over {other}'s {:#x}..{:#x}",
+                    c.module,
+                    c.new_base,
+                    c.new_base + c.span,
+                    b,
+                    b + s
+                ));
+            }
+        }
+        live.insert(c.module.to_string(), (c.new_base, c.span));
+        drop(live);
+        self.commits.lock().unwrap().push(CommitRecord {
+            module: c.module.to_string(),
+            old_base: c.old_base,
+            new_base: c.new_base,
+            span: c.span,
+            generation: c.generation,
+            at_ns: self.clock.now_ns(),
+        });
+    }
+}
+
+/// The oracle's verdict.
+#[derive(Clone, Debug)]
+pub struct OracleReport {
+    /// Human-readable invariant violations (empty = clean).
+    pub violations: Vec<String>,
+}
+
+impl OracleReport {
+    /// Whether every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with the full violation list unless clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant was violated.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "layout oracle found {} violation(s):\n  {}",
+            self.violations.len(),
+            self.violations.join("\n  ")
+        );
+    }
+}

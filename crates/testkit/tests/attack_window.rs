@@ -1,0 +1,66 @@
+//! The acceptance experiment: survival curves per scheduling policy,
+//! asserting (not just logging) that `Adaptive` yields a strictly
+//! smaller exposure window than `FixedPeriod` at no more CPU budget —
+//! deterministically, for three distinct seeds.
+
+use adelie_testkit::window::{assert_adaptive_beats_fixed, run_all, WindowConfig};
+
+#[test]
+fn adaptive_strictly_beats_fixed_at_equal_budget_across_seeds() {
+    for seed in [1, 42, 0xA77ACC] {
+        let cfg = WindowConfig {
+            seed,
+            ..WindowConfig::default()
+        };
+        let outcomes = run_all(&cfg);
+        let fixed = outcomes.iter().find(|o| o.label == "fixed").unwrap();
+        let adaptive = outcomes.iter().find(|o| o.label == "adaptive").unwrap();
+        let jittered = outcomes.iter().find(|o| o.label == "jittered").unwrap();
+
+        assert_adaptive_beats_fixed(fixed, adaptive);
+
+        // Survival curves are proper curves: in [0, 1], non-increasing.
+        for o in &outcomes {
+            assert!(!o.windows_ns.is_empty(), "{}: no leaks measured", o.label);
+            assert!(o.survival.iter().all(|&s| (0.0..=1.0).contains(&s)));
+            assert!(
+                o.survival.windows(2).all(|w| w[0] >= w[1]),
+                "{}: survival must be non-increasing: {:?}",
+                o.label,
+                o.survival
+            );
+        }
+
+        // Jitter keeps the fixed policy's mean budget (same base
+        // period) — sanity-bound its cycle count around fixed's.
+        assert!(
+            jittered.cycles as f64 > fixed.cycles as f64 * 0.5
+                && (jittered.cycles as f64) < fixed.cycles as f64 * 2.0,
+            "jittered {} vs fixed {}",
+            jittered.cycles,
+            fixed.cycles
+        );
+
+        // Fixed-period ground truth: no leak can outlive one period by
+        // more than scheduling slack; bound it at 2P.
+        let p_ns = cfg.fixed_period.as_nanos() as u64;
+        let worst = fixed.windows_ns.iter().copied().max().unwrap();
+        assert!(
+            worst <= 2 * p_ns,
+            "fixed: worst window {worst}ns exceeds 2×period"
+        );
+    }
+}
+
+#[test]
+fn experiment_is_deterministic() {
+    let cfg = WindowConfig::default();
+    let a = run_all(&cfg);
+    let b = run_all(&cfg);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.cycles, y.cycles);
+        assert_eq!(x.windows_ns, y.windows_ns);
+        assert_eq!(x.survival, y.survival);
+    }
+}

@@ -1,0 +1,165 @@
+//! Fault-injection suite: every pipeline stage fails on a chosen cycle
+//! and the typed-rollback invariants hold — or, for the deliberately
+//! leaky stages, the oracle provably catches the damage.
+
+use adelie_core::CycleStage;
+use adelie_sched::Policy;
+use adelie_testkit::{Sim, SimConfig};
+use std::time::Duration;
+
+fn sim_with_fault(seed: u64, stage: CycleStage, attempt: u64) -> Sim {
+    let sim = Sim::new(SimConfig {
+        seed,
+        policy: Policy::FixedPeriod(Duration::from_millis(5)),
+        ..SimConfig::default()
+    });
+    sim.fault.fail_at("hot", stage, attempt);
+    sim
+}
+
+/// Pre-publish stages: the failed cycle must roll back completely —
+/// the module has not moved, keeps working, and nothing leaks.
+#[test]
+fn pre_publish_stage_failures_roll_back_completely() {
+    let stages = [
+        (CycleStage::Reserve, "no free"),
+        (CycleStage::AliasMap, "alias remap failed: injected fault"),
+        (CycleStage::MovableGot, "local GOT remap failed"),
+        (
+            CycleStage::ImmovableGotSwap,
+            "immovable GOT swap remap failed",
+        ),
+        (CycleStage::AdjustSlots, "adjust-slots remap failed"),
+    ];
+    for (stage, want) in stages {
+        let mut sim = sim_with_fault(11, stage, 1);
+        sim.run_for(Duration::from_millis(60));
+
+        let fired = sim.fault.fired();
+        assert_eq!(fired.len(), 1, "{stage}: exactly one injection");
+        assert_eq!(fired[0].stage, stage);
+        assert_eq!(fired[0].attempt, 1);
+
+        // The failed attempt surfaced as a typed error in the report
+        // stream, with the stage-specific message.
+        let failed: Vec<_> = sim
+            .reports()
+            .iter()
+            .filter(|r| r.module == "hot" && !r.ok())
+            .collect();
+        assert_eq!(failed.len(), 1, "{stage}: one failed cycle");
+        let msg = failed[0].error.as_deref().unwrap();
+        assert!(msg.contains(want), "{stage}: `{msg}` lacks `{want}`");
+
+        // Rollback: the failed attempt committed nothing — every other
+        // attempt did (the scheduler retried and the module kept its
+        // protection cadence).
+        let hot_commits = sim.oracle.timeline_ns("hot").len() as u64;
+        assert_eq!(
+            hot_commits,
+            sim.fault.attempts("hot") - 1,
+            "{stage}: exactly the injected attempt must be missing"
+        );
+        let stats = sim.sched.stats();
+        assert_eq!(stats.failures, 1, "{stage}");
+        assert_eq!(stats.pointer_refresh_failures, 0, "{stage}");
+
+        // The module is fully functional and the layout quiesces clean.
+        sim.assert_modules_work();
+        sim.verify(0).assert_clean();
+    }
+}
+
+/// `update_pointers` failure: the move itself has committed (the old
+/// layout is retired — no rollback), and the previously-silent drop is
+/// now counted in `SchedStats::pointer_refresh_failures`.
+#[test]
+fn update_pointers_failure_is_counted_not_dropped() {
+    let mut sim = sim_with_fault(12, CycleStage::UpdatePointers, 1);
+    sim.run_for(Duration::from_millis(60));
+
+    assert_eq!(sim.fault.fired().len(), 1);
+    let stats = sim.sched.stats();
+    assert_eq!(stats.failures, 1);
+    assert_eq!(
+        stats.pointer_refresh_failures, 1,
+        "the silent-drop path must be visible in SchedStats"
+    );
+    let hot = stats.modules.iter().find(|m| m.name == "hot").unwrap();
+    assert_eq!(hot.pointer_refresh_failures, 1);
+
+    // Unlike pre-publish failures, the injected attempt *did* move the
+    // module: every attempt has a commit.
+    assert_eq!(
+        sim.oracle.timeline_ns("hot").len() as u64,
+        sim.fault.attempts("hot"),
+        "update_pointers failures commit the move"
+    );
+    sim.assert_modules_work();
+    // The oracle is told one refresh failure was planned.
+    sim.verify(1).assert_clean();
+}
+
+/// A dropped retirement leaks the vacated range — and the oracle's
+/// stale-mapping sweep must catch exactly that.
+#[test]
+fn oracle_catches_an_injected_retirement_leak() {
+    let mut sim = sim_with_fault(13, CycleStage::Retire, 1);
+    sim.run_for(Duration::from_millis(60));
+
+    assert_eq!(sim.fault.fired().len(), 1);
+    sim.assert_modules_work();
+    let report = sim.verify(0);
+    assert!(
+        !report.is_clean(),
+        "a leaked old range must fail verification"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.contains("stale mapping survives")),
+        "violations: {:?}",
+        report.violations
+    );
+}
+
+/// Suppressed stack rotation: cycles keep completing but pooled stacks
+/// are never retired — observable in the stack counters.
+#[test]
+fn suppressed_stack_rotation_pins_pooled_stacks() {
+    let sim = Sim::new(SimConfig {
+        seed: 14,
+        policy: Policy::FixedPeriod(Duration::from_millis(5)),
+        ..SimConfig::default()
+    });
+    for attempt in 0..64 {
+        sim.fault.fail_any(CycleStage::StackRotate, attempt);
+    }
+    let mut sim = sim;
+    sim.run_for(Duration::from_millis(60));
+    assert!(sim.sched.cycles() > 0);
+    let st = sim.registry.stacks.stats();
+    assert!(st.allocated > 0, "traffic must have pooled stacks");
+    assert_eq!(st.freed, 0, "no rotation ⇒ nothing retired");
+
+    // Once the injection plan stops matching (attempts ≥ 64), rotation
+    // resumes and the system drains back to a clean quiescent state.
+    sim.run_for(Duration::from_millis(400));
+    sim.verify(0).assert_clean();
+}
+
+/// The whole fault suite is deterministic: identical plans on identical
+/// seeds produce identical failure timelines.
+#[test]
+fn injection_runs_are_reproducible() {
+    let run = || {
+        let mut sim = sim_with_fault(15, CycleStage::AliasMap, 2);
+        sim.run_for(Duration::from_millis(50));
+        sim.reports()
+            .iter()
+            .map(|r| (r.module.clone(), r.deadline_ns, r.ok()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

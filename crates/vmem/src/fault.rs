@@ -50,6 +50,11 @@ pub enum Fault {
     /// The physical frame backing the page was freed (use-after-unmap at
     /// the physical level — indicates a reclamation bug).
     BadFrame { va: u64 },
+    /// A fault injected by a test harness (`adelie-testkit`'s
+    /// `FaultPlan`): never raised by the paging machinery itself, but
+    /// flows through the same error paths so rollback code is exercised
+    /// with a distinguishable, assertable cause.
+    Injected { va: u64 },
 }
 
 impl Fault {
@@ -63,7 +68,8 @@ impl Fault {
             | Fault::NonCanonical { va }
             | Fault::MmioExec { va }
             | Fault::MmioData { va }
-            | Fault::BadFrame { va } => va,
+            | Fault::BadFrame { va }
+            | Fault::Injected { va } => va,
         }
     }
 }
@@ -79,6 +85,7 @@ impl fmt::Display for Fault {
             Fault::MmioExec { va } => write!(f, "instruction fetch from MMIO {va:#x}"),
             Fault::MmioData { va } => write!(f, "plain memory access to MMIO {va:#x}"),
             Fault::BadFrame { va } => write!(f, "freed frame behind mapping {va:#x}"),
+            Fault::Injected { va } => write!(f, "injected fault at {va:#x}"),
         }
     }
 }

@@ -34,7 +34,7 @@ use adelie_drivers::{
 };
 use adelie_kernel::{Kernel, KernelConfig, ReclaimerKind};
 use adelie_plugin::TransformOptions;
-use adelie_sched::{SchedConfig, Scheduler};
+use adelie_sched::{Policy, SchedConfig, Scheduler, SimClock};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -279,6 +279,32 @@ impl Testbed {
         )
     }
 
+    /// Start a **stepped** scheduler over the installed modules on a
+    /// virtual clock — no threads; the caller drives cycles with
+    /// `Scheduler::step` between workload operations, which removes
+    /// every wall-clock race from scheduler-under-load tests (cycle
+    /// counts become a deterministic function of the step schedule).
+    /// Each stepped cycle charges `cycle_cost` of modeled CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the installed modules were not built re-randomizable.
+    pub fn start_stepped_scheduler(&self, clock: Arc<SimClock>, cycle_cost: Duration) -> Scheduler {
+        let with_policies: Vec<(&str, Policy)> = self
+            .module_names
+            .iter()
+            .map(|s| (s.as_str(), self.sched.policy.clone()))
+            .collect();
+        Scheduler::spawn_stepped(
+            self.kernel.clone(),
+            self.registry.clone(),
+            &with_policies,
+            self.sched.clone(),
+            clock,
+            cycle_cost,
+        )
+    }
+
     /// Start continuous re-randomization of the installed modules at a
     /// fixed `period` — the legacy single-worker shape, kept for the
     /// figure benches that sweep `rand_period`.
@@ -399,6 +425,47 @@ mod tests {
         assert!(m.ops > 0);
         assert!(stats.randomized >= 5, "fleet cycled: {}", stats.randomized);
         assert_eq!(tb.kernel.reclaim.stats().delta(), 0);
+    }
+
+    #[test]
+    fn ioctl_fleet_under_virtual_clock_is_deterministic() {
+        // The stepped scheduler removes the wall-clock race from
+        // scheduler-under-load tests: the cycle count is a function of
+        // the step schedule, not of machine speed.
+        let run = || {
+            let tb = Testbed::new(
+                TransformOptions::rerandomizable(true),
+                DriverSet::dummy_only(),
+            );
+            let clock = SimClock::new();
+            let sched = tb.start_stepped_scheduler(clock.clone(), Duration::from_micros(100));
+            let mut vm = tb.kernel.vm();
+            for i in 0..200u64 {
+                assert_eq!(
+                    tb.kernel
+                        .ioctl(&mut vm, adelie_drivers::specs::DUMMY_MINOR, 0, i)
+                        .unwrap(),
+                    i
+                );
+                // One virtual millisecond of "time passes" per ioctl
+                // batch; step every deadline that came due.
+                clock.advance(Duration::from_millis(1));
+                while sched
+                    .peek_deadline_ns()
+                    .is_some_and(|d| d <= clock.now_ns())
+                {
+                    sched.step();
+                }
+            }
+            let stats = sched.stop();
+            tb.kernel.reclaim.flush();
+            assert_eq!(tb.kernel.reclaim.stats().delta(), 0);
+            stats.cycles
+        };
+        let a = run();
+        let b = run();
+        assert!(a >= 5, "virtual clock drove cycles: {a}");
+        assert_eq!(a, b, "stepped runs must be reproducible");
     }
 
     #[test]

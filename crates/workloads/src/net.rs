@@ -143,7 +143,11 @@ impl NetHarness {
             let mut frame = id.to_le_bytes().to_vec();
             frame.extend_from_slice(payload);
             self.nic.inject_rx(&frame);
-            match rx.recv_timeout(std::time::Duration::from_millis(250)) {
+            // Generous per-attempt timeout: the poll/serve threads run
+            // interpreted code and can be starved for hundreds of ms on
+            // a loaded test machine — a short timeout here turns CPU
+            // contention into spurious retransmits and flaky callers.
+            match rx.recv_timeout(std::time::Duration::from_secs(2)) {
                 Ok(resp) => return Some(resp),
                 Err(_) => {
                     self.pending.lock().remove(&id);
@@ -212,7 +216,15 @@ mod tests {
                 });
             }
         });
-        assert_eq!(harness.served(), 200);
+        // Join the server threads first: a poller increments `served`
+        // *after* the dispatcher may already have delivered its
+        // response, so reading the counter while pollers still run can
+        // observe 199 for 200 delivered answers.
         harness.shutdown();
+        // ≥, not ==: a response that arrives after its caller's timeout
+        // is dropped and the request retransmitted with a fresh id, so
+        // a starved run can legitimately serve a few duplicates — the
+        // guarantee is that every request got an answer.
+        assert!(harness.served() >= 200, "served {}", harness.served());
     }
 }

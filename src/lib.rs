@@ -19,8 +19,14 @@
 //! | [`gadget`] | ROP gadget scanning, chains, attack models |
 //! | [`workloads`] | the paper's benchmark workloads |
 //!
+//! The verification backbone lives in `adelie-testkit` (a dev-/bench-
+//! side crate, not re-exported here): a deterministic virtual-clock
+//! harness with fault injection, a layout oracle, and the adversarial
+//! attack-window experiment — see DESIGN.md §9.
+//!
 //! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md
-//! for the architecture (§6 covers the scheduler subsystem).
+//! for the architecture (§6 covers the scheduler subsystem, §9 the
+//! verification & threat model).
 
 pub use adelie_core as core;
 pub use adelie_drivers as drivers;

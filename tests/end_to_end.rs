@@ -7,7 +7,7 @@ use adelie::drivers::{install_dummy, install_nic, install_nvme, specs, NicFlavor
 use adelie::gadget::{build_chain, scan};
 use adelie::kernel::{Kernel, KernelConfig, ReclaimerKind, VmError, SECTOR_SIZE};
 use adelie::plugin::{transform, TransformOptions};
-use adelie::sched::{SchedConfig, Scheduler};
+use adelie::sched::{SchedConfig, Scheduler, SimClock};
 use adelie::vmem::{Access, Fault, PAGE_SIZE};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -21,6 +21,9 @@ fn boot() -> (Arc<Kernel>, Arc<ModuleRegistry>) {
 
 #[test]
 fn full_stack_ioctl_under_1ms_rerand_with_both_reclaimers() {
+    // Stepped scheduler on a virtual clock: each ioctl "takes" 5 µs of
+    // virtual time and every due 1 ms deadline cycles the module — the
+    // cycle count is exact, not a function of machine speed.
     for reclaimer in [ReclaimerKind::Hyaline, ReclaimerKind::Ebr] {
         let kernel = Kernel::new(KernelConfig {
             reclaimer,
@@ -29,11 +32,17 @@ fn full_stack_ioctl_under_1ms_rerand_with_both_reclaimers() {
         let registry = ModuleRegistry::new(&kernel);
         let opts = TransformOptions::rerandomizable(true);
         install_dummy(&registry, &opts).unwrap();
-        let sched = Scheduler::spawn(
+        let clock = SimClock::new();
+        let sched = Scheduler::spawn_stepped(
             kernel.clone(),
             registry.clone(),
-            &["dummy"],
+            &[(
+                "dummy",
+                adelie::sched::Policy::FixedPeriod(Duration::from_millis(1)),
+            )],
             SchedConfig::serial(Duration::from_millis(1)),
+            clock.clone(),
+            Duration::from_micros(50),
         );
         let mut vm = kernel.vm();
         for i in 0..2000u64 {
@@ -42,9 +51,23 @@ fn full_stack_ioctl_under_1ms_rerand_with_both_reclaimers() {
                 i,
                 "{reclaimer:?}"
             );
+            clock.advance(Duration::from_micros(5));
+            while sched
+                .peek_deadline_ns()
+                .is_some_and(|d| d <= clock.now_ns())
+            {
+                sched.step();
+            }
         }
         let stats = sched.stop();
-        assert!(stats.cycles >= 2, "{reclaimer:?}: {}", stats.cycles);
+        // 2000 ioctls × 5 µs ≈ 10 ms of virtual time at a 1 ms period
+        // (cycle cost stretches the spacing slightly).
+        assert!(
+            (8..=11).contains(&stats.cycles),
+            "{reclaimer:?}: {} cycles — virtual time makes this exact-ish",
+            stats.cycles
+        );
+        assert_eq!(stats.failures, 0, "{reclaimer:?}");
         kernel.reclaim.flush();
         assert_eq!(
             kernel.reclaim.stats().delta(),
@@ -152,21 +175,28 @@ fn mixed_fleet_of_configurations_coexists() {
 
 #[test]
 fn rerand_stress_many_threads_many_modules() {
+    // Real pending calls from six racing threads, but the cycles are
+    // driven deterministically from the main thread on a virtual clock:
+    // exactly 60 cycles happen, no matter how fast the machine is. The
+    // memory-level races (pending calls pinning retired ranges) stay
+    // real — only the schedule is pinned down.
     let (kernel, registry) = boot();
     let opts = TransformOptions::rerandomizable(true);
     install_dummy(&registry, &opts).unwrap();
     let nvme = install_nvme(&registry, &opts).unwrap();
     kernel.vfs.create("stress.bin", 1 << 20);
-    // A two-worker pool: the two modules' cycles overlap.
-    let sched = Scheduler::spawn(
+    let clock = SimClock::new();
+    let period = adelie::sched::Policy::FixedPeriod(Duration::from_millis(1));
+    let sched = Scheduler::spawn_stepped(
         kernel.clone(),
         registry.clone(),
-        &["dummy", "nvme"],
+        &[("dummy", period.clone()), ("nvme", period)],
         SchedConfig {
             workers: 2,
-            policy: adelie::sched::Policy::FixedPeriod(Duration::from_millis(1)),
             ..SchedConfig::default()
         },
+        clock.clone(),
+        Duration::from_micros(100),
     );
     std::thread::scope(|s| {
         for t in 0..6 {
@@ -189,12 +219,35 @@ fn rerand_stress_many_threads_many_modules() {
                 }
             });
         }
+        // Drive exactly 60 cycles (30 virtual ms over both modules)
+        // while the traffic threads hammer the wrappers.
+        for _ in 0..60 {
+            sched.step();
+        }
     });
     let stats = sched.stop();
-    assert!(stats.cycles >= 4);
+    assert_eq!(stats.cycles, 60, "virtual clock makes the count exact");
     assert_eq!(stats.failures, 0);
+    kernel.reclaim.flush();
     assert_eq!(kernel.reclaim.stats().delta(), 0);
     assert!(nvme.device.completed() > 0);
+}
+
+#[test]
+fn testkit_oracle_holds_over_a_long_deterministic_run() {
+    // The standing verification backbone, from the facade level: half a
+    // virtual second of hot+cold cycling, then the oracle sweeps for
+    // stale mappings, SMR/stack leaks, overlapping placements, and
+    // silent pointer-refresh drops.
+    use adelie_testkit::{Sim, SimConfig};
+    let mut sim = Sim::new(SimConfig {
+        seed: 0xE2E,
+        ..SimConfig::default()
+    });
+    sim.run_for(Duration::from_millis(500));
+    assert!(sim.reports().len() >= 60, "{}", sim.reports().len());
+    sim.assert_modules_work();
+    sim.verify(0).assert_clean();
 }
 
 #[test]
