@@ -9,15 +9,15 @@ use adelie_gadget::synth_module;
 use adelie_isa::{AluOp, Insn, Reg};
 use adelie_kernel::{Kernel, KernelConfig, ReclaimerKind};
 use adelie_plugin::{transform, FuncSpec, MOp, ModuleSpec, TransformOptions};
-use adelie_sched::{Policy, SchedConfig, Scheduler};
+use adelie_sched::{Policy, SchedConfig, Scheduler, SimClock};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A fleet of distinct re-randomizable modules whose single export is
-/// safe to hammer from a traffic thread (`modN_calc(x) = x + 1`).
-fn fleet(
+/// A fleet like [`fleet`], but on an explicitly configured kernel.
+fn fleet_on(
+    config: KernelConfig,
     count: usize,
 ) -> (
     Arc<Kernel>,
@@ -26,7 +26,7 @@ fn fleet(
     Vec<String>,
 ) {
     let opts = TransformOptions::rerandomizable(true);
-    let kernel = Kernel::new(KernelConfig::default());
+    let kernel = Kernel::new(config);
     let registry = ModuleRegistry::new(&kernel);
     let mut modules = Vec::new();
     let mut names = Vec::new();
@@ -52,6 +52,19 @@ fn fleet(
         names.push(format!("mod{i}"));
     }
     (kernel, registry, modules, names)
+}
+
+/// A fleet of distinct re-randomizable modules whose single export is
+/// safe to hammer from a traffic thread (`modN_calc(x) = x + 1`).
+fn fleet(
+    count: usize,
+) -> (
+    Arc<Kernel>,
+    Arc<ModuleRegistry>,
+    Vec<Arc<LoadedModule>>,
+    Vec<String>,
+) {
+    fleet_on(KernelConfig::default(), count)
 }
 
 fn bench_cycle(c: &mut Criterion) {
@@ -262,11 +275,93 @@ fn bench_workers_vs_serial_shim(c: &mut Criterion) {
     g.finish();
 }
 
+/// Shootdown axis: the 4-worker adaptive pool over the same fleet,
+/// traffic, and deterministic step schedule, under the legacy
+/// whole-TLB regime (`tlb_inval_log: 0` — the unbatched publication
+/// cost) vs range-based invalidation. Prints the traffic CPU's flush
+/// counts and asserts the acceptance property: batching strictly cuts
+/// whole-TLB flushes per cycle and the partial path is exercised.
+fn bench_tlb_shootdown_regimes(c: &mut Criterion) {
+    const STEPS: usize = 120;
+
+    fn run(label: &str, inval_log: usize) -> (u64, u64, u64) {
+        let (kernel, registry, modules, names) = fleet_on(
+            KernelConfig {
+                tlb_inval_log: inval_log,
+                ..KernelConfig::default()
+            },
+            3,
+        );
+        let with_policies: Vec<(&str, Policy)> = names
+            .iter()
+            .map(|n| (n.as_str(), Policy::default_adaptive()))
+            .collect();
+        let clock = SimClock::new();
+        let sched = Scheduler::spawn_stepped(
+            kernel.clone(),
+            registry.clone(),
+            &with_policies,
+            SchedConfig {
+                workers: 4,
+                policy: Policy::default_adaptive(),
+                ..SchedConfig::default()
+            },
+            clock,
+            Duration::from_micros(100),
+        );
+        let entries: Vec<u64> = modules
+            .iter()
+            .filter_map(|m| m.exports.first().map(|(_, va)| *va))
+            .collect();
+        let mut vm = kernel.vm();
+        for _ in 0..STEPS {
+            sched.step().expect("heap never empties");
+            for &e in &entries {
+                let _ = vm.call(e, &[1]).unwrap();
+            }
+        }
+        let cycles = sched.cycles();
+        drop(sched);
+        let t = vm.tlb_stats();
+        println!(
+            "  {label}: {} full flushes, {} partial flushes, {} entries invalidated \
+             over {cycles} cycles ({:.3} full/cycle)",
+            t.flushes,
+            t.partial_flushes,
+            t.entries_invalidated,
+            t.flushes as f64 / cycles.max(1) as f64
+        );
+        (t.flushes, t.partial_flushes, cycles)
+    }
+
+    let mut g = c.benchmark_group("rerand_tlb_shootdown");
+    g.sample_size(1); // each sample is a full deterministic schedule
+    g.bench_function("full_vs_range", |b| {
+        b.iter_custom(|iters| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                let (full_flushes, _, full_cycles) = run("whole_tlb", 0);
+                let (range_flushes, partials, range_cycles) =
+                    run("range_based", adelie_vmem::DEFAULT_INVAL_LOG);
+                assert!(partials > 0, "partial-flush path must be exercised");
+                assert!(
+                    (range_flushes as f64 / range_cycles.max(1) as f64)
+                        < (full_flushes as f64 / full_cycles.max(1) as f64),
+                    "range-based shootdown must strictly cut full flushes per cycle"
+                );
+            }
+            t0.elapsed()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_cycle,
     bench_cycle_reclaimers,
     bench_policies,
-    bench_workers_vs_serial_shim
+    bench_workers_vs_serial_shim,
+    bench_tlb_shootdown_regimes
 );
 criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! The TLB-shootdown benchmark: whole-TLB vs range-based invalidation
+//! under the 4-worker adaptive scheduler, on the deterministic stepped
+//! harness, emitted as `BENCH_tlb_shootdown.json` (the CI artifact)
+//! plus a console table.
+//!
+//! For each seed the identical fleet + traffic + step schedule runs
+//! twice: once with the invalidation log disabled (`tlb_inval_log: 0`,
+//! the legacy whole-TLB regime — the *unbatched* publication cost) and
+//! once with range-based shootdown enabled. A seeded rank stream
+//! explores worker-pool interleavings via `step_choice`, and a
+//! [`LayoutOracle`] — including its stale-translation witness TLB —
+//! checks every invariant across them.
+//!
+//! The run *asserts* the headline property — with batching enabled the
+//! traffic CPU's full-flush count per cycle strictly drops and partial
+//! flushes appear, with zero oracle violations — so a regression fails
+//! CI rather than shifting a curve nobody reads.
+
+use adelie_core::{LoadedModule, ModuleRegistry};
+use adelie_isa::{AluOp, Insn, Reg};
+use adelie_kernel::{Kernel, KernelConfig};
+use adelie_plugin::{transform, FuncSpec, MOp, ModuleSpec, TransformOptions};
+use adelie_sched::{Policy, SchedConfig, Scheduler, SimClock};
+use adelie_testkit::LayoutOracle;
+use adelie_vmem::TlbStats;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEEDS: [u64; 3] = [1, 42, 0xA77ACC];
+const MODULES: usize = 4;
+const STEPS: usize = 200;
+const CALLS_PER_STEP: u64 = 3;
+
+struct Outcome {
+    label: &'static str,
+    cycles: u64,
+    tlb: TlbStats,
+    space_shootdowns: u64,
+    coalesced: u64,
+    violations: usize,
+}
+
+impl Outcome {
+    fn full_per_cycle(&self) -> f64 {
+        self.tlb.flushes as f64 / self.cycles.max(1) as f64
+    }
+}
+
+fn fleet(registry: &Arc<ModuleRegistry>) -> Vec<Arc<LoadedModule>> {
+    let opts = TransformOptions::rerandomizable(true);
+    (0..MODULES)
+        .map(|i| {
+            let mut spec = ModuleSpec::new(&format!("mod{i}"));
+            spec.funcs.push(FuncSpec::exported(
+                &format!("mod{i}_calc"),
+                vec![
+                    MOp::Insn(Insn::MovRR {
+                        dst: Reg::Rax,
+                        src: Reg::Rdi,
+                    }),
+                    MOp::Insn(Insn::AluImm {
+                        op: AluOp::Add,
+                        dst: Reg::Rax,
+                        imm: 1,
+                    }),
+                    MOp::Ret,
+                ],
+            ));
+            let obj = transform(&spec, &opts).unwrap();
+            registry.load(&obj, &opts).unwrap()
+        })
+        .collect()
+}
+
+/// One deterministic run: same seed, same fleet, same step-and-traffic
+/// schedule; only the shootdown regime differs.
+fn run(label: &'static str, seed: u64, inval_log: usize) -> Outcome {
+    let kernel = Kernel::new(KernelConfig {
+        seed,
+        tlb_inval_log: inval_log,
+        ..KernelConfig::default()
+    });
+    let registry = ModuleRegistry::new(&kernel);
+    let modules = fleet(&registry);
+    let clock = SimClock::new();
+    let oracle = LayoutOracle::new(kernel.clone(), clock.clone());
+    registry.set_cycle_hooks(oracle.clone());
+    let with_policies: Vec<(&str, Policy)> = modules
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let name: &str = Box::leak(format!("mod{i}").into_boxed_str());
+            (name, Policy::default_adaptive())
+        })
+        .collect();
+    let sched = Scheduler::spawn_stepped(
+        kernel.clone(),
+        registry.clone(),
+        &with_policies,
+        SchedConfig {
+            workers: 4,
+            policy: Policy::default_adaptive(),
+            ..SchedConfig::default()
+        },
+        clock.clone(),
+        Duration::from_micros(100),
+    );
+    let entries: Vec<u64> = modules
+        .iter()
+        .enumerate()
+        .map(|(i, m)| m.export(&format!("mod{i}_calc")).unwrap())
+        .collect();
+    let mut vm = kernel.vm();
+    // Seeded rank stream: explores the reorderings a real 4-worker
+    // pool could produce, identically in both regimes.
+    let mut rank = seed | 1;
+    for _ in 0..STEPS {
+        rank = rank
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        sched
+            .step_choice((rank >> 33) as usize)
+            .expect("heap never empties");
+        for &e in &entries {
+            for _ in 0..CALLS_PER_STEP {
+                assert_eq!(vm.call(e, &[16]).unwrap(), 17);
+            }
+        }
+    }
+    let cycles = sched.cycles();
+    assert_eq!(sched.failures(), 0, "{label}: no cycle may fail");
+    drop(sched);
+    let report = oracle.verify_quiesced(&registry, None, 0);
+    let stats = kernel.space.stats();
+    Outcome {
+        label,
+        cycles,
+        tlb: vm.tlb_stats(),
+        space_shootdowns: stats.shootdowns,
+        coalesced: stats.coalesced_shootdowns,
+        violations: report.violations.len(),
+    }
+}
+
+fn outcome_json(seed: u64, o: &Outcome) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "    {{\"seed\": {seed}, \"mode\": \"{}\", \"cycles\": {}, \"full_flushes\": {}, \
+         \"partial_flushes\": {}, \"entries_invalidated\": {}, \"tlb_hits\": {}, \
+         \"tlb_misses\": {}, \"space_shootdowns\": {}, \"coalesced_shootdowns\": {}, \
+         \"full_flushes_per_cycle\": {:.4}, \"oracle_violations\": {}}}",
+        o.label,
+        o.cycles,
+        o.tlb.flushes,
+        o.tlb.partial_flushes,
+        o.tlb.entries_invalidated,
+        o.tlb.hits,
+        o.tlb.misses,
+        o.space_shootdowns,
+        o.coalesced,
+        o.full_per_cycle(),
+        o.violations,
+    );
+    s
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("=== tlb shootdown: whole-TLB vs range-based invalidation (4-worker adaptive) ===");
+    println!(
+        "{:<10} {:<7} {:>7} {:>12} {:>14} {:>12} {:>10} {:>10}",
+        "seed",
+        "mode",
+        "cycles",
+        "full-flush",
+        "partial-flush",
+        "invalidated",
+        "full/cyc",
+        "coalesced"
+    );
+    for seed in SEEDS {
+        let full = run("full", seed, 0);
+        let range = run("range", seed, adelie_vmem::DEFAULT_INVAL_LOG);
+        for o in [&full, &range] {
+            println!(
+                "{:<10} {:<7} {:>7} {:>12} {:>14} {:>12} {:>10.3} {:>10}",
+                seed,
+                o.label,
+                o.cycles,
+                o.tlb.flushes,
+                o.tlb.partial_flushes,
+                o.tlb.entries_invalidated,
+                o.full_per_cycle(),
+                o.coalesced,
+            );
+            assert_eq!(
+                o.violations, 0,
+                "seed {seed}/{}: layout-oracle violations (incl. stale translations)",
+                o.label
+            );
+            rows.push(outcome_json(seed, o));
+        }
+        // The acceptance property: batching + range invalidation must
+        // strictly cut whole-TLB flushes per cycle, and the partial
+        // path must actually be exercised.
+        assert!(
+            range.tlb.partial_flushes > 0,
+            "seed {seed}: range regime never took the partial-flush path"
+        );
+        assert!(
+            range.full_per_cycle() < full.full_per_cycle(),
+            "seed {seed}: range regime must flush strictly less per cycle \
+             ({:.3} vs {:.3})",
+            range.full_per_cycle(),
+            full.full_per_cycle(),
+        );
+        println!(
+            "  seed {seed}: full-flushes/cycle {:.3} → {:.3} ({:.0}% fewer), \
+             {} entries partially invalidated",
+            full.full_per_cycle(),
+            range.full_per_cycle(),
+            (1.0 - range.full_per_cycle() / full.full_per_cycle().max(f64::MIN_POSITIVE)) * 100.0,
+            range.tlb.entries_invalidated,
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"tlb_shootdown\",\n  \"modules\": {MODULES},\n  \
+         \"steps\": {STEPS},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_tlb_shootdown.json", &json).expect("write BENCH_tlb_shootdown.json");
+    println!("wrote BENCH_tlb_shootdown.json ({} rows)", rows.len());
+}

@@ -52,7 +52,7 @@ mod va;
 pub use hooks::{CycleCommit, CycleHooks, CycleStage};
 pub use loader::{LoadError, Loader};
 pub use module::{AdjustSlot, LoadStats, LoadedModule, LocalGotEntry, PageGroup, Part, PartImage};
-pub use rerand::{log_stats, rerandomize_module, RerandError};
+pub use rerand::{log_stats, rerandomize_module, rerandomize_module_epoch, RerandError};
 pub use stacks::{StackPool, StackStats};
 
 use adelie_kernel::{layout, Kernel};
@@ -160,7 +160,8 @@ impl ModuleRegistry {
     /// Unload a module (rmmod): runs its exit entry point, unpublishes
     /// exports, unmaps both parts, and frees the frames.
     ///
-    /// Stop any [`Rerandomizer`] driving the module first.
+    /// Stop any scheduler (or legacy `Rerandomizer` shim) driving the
+    /// module first.
     ///
     /// # Errors
     ///
@@ -566,6 +567,51 @@ mod tests {
             .translate(imm_base, adelie_vmem::Access::Read)
             .is_err());
         assert!(kernel.symbols.lookup("demo_calc").is_none());
+    }
+
+    /// The tentpole property at the interpreter level: across a
+    /// re-randomization cycle, a warm VM TLB resynchronizes with
+    /// *partial* (range-based) invalidations — it never whole-TLB
+    /// flushes — while the legacy whole-TLB configuration
+    /// (`tlb_inval_log: 0`) full-flushes on every one of the cycle's
+    /// shootdowns.
+    #[test]
+    fn cycles_cost_partial_flushes_not_full_flushes() {
+        let run = |inval_log: usize| {
+            let kernel = Kernel::new(KernelConfig {
+                tlb_inval_log: inval_log,
+                ..KernelConfig::default()
+            });
+            let registry = ModuleRegistry::new(&kernel);
+            let opts = TransformOptions::rerandomizable(false);
+            let obj = transform(&demo_spec(), &opts).unwrap();
+            let module = registry.load(&obj, &opts).unwrap();
+            let calc = module.export("demo_calc").unwrap();
+            let mut vm = kernel.vm();
+            assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+            let warm = vm.tlb_stats();
+            for _ in 0..5 {
+                rerandomize_module(&kernel, &registry, &module).unwrap();
+                assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+            }
+            let s = vm.tlb_stats();
+            (
+                s.flushes - warm.flushes,
+                s.partial_flushes - warm.partial_flushes,
+            )
+        };
+        let (full_flushes, partials) = run(adelie_vmem::DEFAULT_INVAL_LOG);
+        assert_eq!(
+            full_flushes, 0,
+            "range-based sync must never full-flush here"
+        );
+        assert!(partials > 0, "cycles must be visible as partial flushes");
+        let (legacy_full, legacy_partials) = run(0);
+        assert_eq!(legacy_partials, 0, "legacy regime has no partial path");
+        assert!(
+            legacy_full > 0,
+            "legacy regime must pay whole-TLB flushes per cycle"
+        );
     }
 
     #[test]

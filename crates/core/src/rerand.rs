@@ -20,6 +20,14 @@
 //! Pending calls keep executing at the old addresses with the old GOTs
 //! and the old key until they return — consistency by construction.
 //!
+//! Every page-table mutation above is issued as an `adelie_vmem::Batch`:
+//! the alias map, the GOT maps, the immovable GOT swing, the retire
+//! unmap, and the stack rotation each apply under one page-table lock
+//! acquisition and publish at most one range-tagged shootdown, so TLBs
+//! evict only the affected spans instead of flushing wholesale (§4.3).
+//! [`rerandomize_module_epoch`] additionally tags the cycle's batches
+//! with the scheduler's shared shootdown epoch.
+//!
 //! The background thread that used to live here (the artifact's
 //! `randmod` kthread) is superseded by `adelie-sched`: a multi-worker
 //! scheduler with per-module policies and a CPU budget. Its
@@ -31,7 +39,7 @@ use crate::module::{LoadedModule, LocalGotEntry, Part};
 use crate::stacks::StackPool;
 use crate::ModuleRegistry;
 use adelie_kernel::{Kernel, VmError};
-use adelie_vmem::{Fault, Pfn, PteFlags, PAGE_SIZE};
+use adelie_vmem::{Batch, Fault, Pfn, PteFlags, PAGE_SIZE};
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -128,6 +136,26 @@ pub fn rerandomize_module(
     registry: &ModuleRegistry,
     module: &LoadedModule,
 ) -> Result<u64, RerandError> {
+    rerandomize_module_epoch(kernel, registry, module, None)
+}
+
+/// [`rerandomize_module`] with an explicit shared shootdown-`epoch`
+/// tag: every invalidating page-table batch the cycle issues (the GOT
+/// swing, the retire unmap, the stack-pool rotation) carries the tag,
+/// so same-deadline cycles of independent modules — which the
+/// scheduler hands the same epoch — coalesce their invalidation sets
+/// into one merged log slot and a lagging TLB pays a single partial
+/// invalidation pass for the whole epoch.
+///
+/// # Errors
+///
+/// See [`rerandomize_module`].
+pub fn rerandomize_module_epoch(
+    kernel: &Arc<Kernel>,
+    registry: &ModuleRegistry,
+    module: &LoadedModule,
+    epoch: Option<u64>,
+) -> Result<u64, RerandError> {
     if !module.rerandomizable {
         return Err(RerandError::NotRerandomizable {
             module: module.name.clone(),
@@ -165,27 +193,35 @@ pub fn rerandomize_module(
         what,
         fault,
     };
-    // Pre-publish rollback: unmap whatever was aliased at the new base
-    // and free frames allocated this cycle that the module never took
-    // ownership of. The reservation is still held while this runs, so
-    // no other placement can race into the half-torn-down range. After
-    // it, the module is genuinely untouched and the cycle can simply be
-    // retried.
-    let rollback = |fresh: &[Pfn]| {
-        kernel.space.unmap_sparse(new_base, pages);
+    // Pre-publish rollback: unmap whatever earlier *batches* already
+    // applied at the new base and free frames allocated this cycle that
+    // the module never took ownership of. Individual batches are atomic
+    // (a failed batch leaves nothing behind), so only previously
+    // *successful* batches need tearing down. The reservation is still
+    // held while this runs, so no other placement can race into the
+    // half-torn-down range. After it, the module is genuinely untouched
+    // and the cycle can simply be retried.
+    let rollback = |fresh: &[Pfn], unmap_new: bool| {
+        if unmap_new {
+            let mut batch = Batch::with_epoch(epoch);
+            batch.unmap_sparse(new_base, pages);
+            let _ = kernel.space.apply(batch);
+        }
         for &pfn in fresh {
             kernel.phys.free(pfn);
         }
     };
 
     // (2) Zero-copy alias of every movable page group, except the local
-    // GOT pages which get fresh frames.
+    // GOT pages which get fresh frames. One batch: a single page-table
+    // lock acquisition instead of one per page (and being map-only, it
+    // publishes no shootdown at all).
     if !allowed(CycleStage::AliasMap) {
-        rollback(&[]);
         return Err(remap("alias", Fault::Injected { va: new_base }));
     }
     let lgot_page_start = (module.movable.lgot_off / PAGE_SIZE as u64) as usize;
     let lgot_pages = module.movable.lgot_pages();
+    let mut alias_batch = Batch::with_epoch(epoch);
     for g in &module.movable.groups {
         for i in 0..g.pages {
             let page = g.page_start + i;
@@ -193,11 +229,11 @@ pub fn rerandomize_module(
                 continue; // handled in step (3)
             }
             let va = new_base + (page * PAGE_SIZE) as u64;
-            if let Err(fault) = kernel.space.map(va, module.movable.frames[page], g.flags) {
-                rollback(&[]);
-                return Err(remap("alias", fault));
-            }
+            alias_batch.map_page(va, module.movable.frames[page], g.flags);
         }
+    }
+    if let Err(fault) = kernel.space.apply(alias_batch) {
+        return Err(remap("alias", fault));
     }
 
     // (3) New local GOTs.
@@ -223,7 +259,7 @@ pub fn rerandomize_module(
     let mut new_mov_lgot: Vec<Pfn> = Vec::new();
     if lgot_pages > 0 {
         if !allowed(CycleStage::MovableGot) {
-            rollback(&[]);
+            rollback(&[], true);
             return Err(remap(
                 "local GOT",
                 Fault::Injected {
@@ -238,12 +274,14 @@ pub fn rerandomize_module(
                 .phys
                 .write(pfn, 0, &img[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
         }
-        if let Err(fault) = kernel.space.map_range(
+        let mut lgot_batch = Batch::with_epoch(epoch);
+        lgot_batch.map_range(
             new_base + module.movable.lgot_off,
             &new_mov_lgot,
             PteFlags::RO_DATA, // sealed from birth
-        ) {
-            rollback(&new_mov_lgot);
+        );
+        if let Err(fault) = kernel.space.apply(lgot_batch) {
+            rollback(&new_mov_lgot, true);
             return Err(remap("local GOT", fault));
         }
     }
@@ -252,7 +290,7 @@ pub fn rerandomize_module(
         let imm_lgot_pages = imm.lgot_pages();
         if imm_lgot_pages > 0 {
             if !allowed(CycleStage::ImmovableGotSwap) {
-                rollback(&new_mov_lgot);
+                rollback(&new_mov_lgot, true);
                 return Err(remap(
                     "immovable GOT swap",
                     Fault::Injected {
@@ -267,42 +305,43 @@ pub fn rerandomize_module(
                     .phys
                     .write(pfn, 0, &img[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
             }
-            // Atomic PTE swap: pending calls read either the old or the
-            // new table, never a hole (§4.2 "GOT pages in the new address
-            // space are remapped to point to the new GOTs"). The frame
-            // list still holds the old frames, so a mid-loop failure
-            // swaps the completed pages straight back.
-            let cur = module.immovable_lgot_frames.lock();
+            // Atomic PTE swing, one batch: pending calls read either the
+            // old or the new table, never a hole (§4.2 "GOT pages in the
+            // new address space are remapped to point to the new GOTs").
+            // The batch is all-or-nothing — a mid-batch failure swaps
+            // every completed page straight back inside vmem — and it
+            // publishes ONE shootdown where the old code paid one per
+            // GOT page.
+            let mut swap_batch = Batch::with_epoch(epoch);
             for (i, &pfn) in new_imm_lgot.iter().enumerate() {
                 let va = imm.base + imm.lgot_off + (i * PAGE_SIZE) as u64;
-                if let Err(fault) = kernel.space.replace(va, pfn, PteFlags::RO_DATA) {
-                    for (j, &old) in cur.iter().enumerate().take(i) {
-                        let va_j = imm.base + imm.lgot_off + (j * PAGE_SIZE) as u64;
-                        let _ = kernel.space.replace(va_j, old, PteFlags::RO_DATA);
-                    }
-                    drop(cur);
-                    let fresh: Vec<Pfn> =
-                        new_mov_lgot.iter().chain(&new_imm_lgot).copied().collect();
-                    rollback(&fresh);
-                    return Err(remap("immovable GOT swap", fault));
-                }
+                swap_batch.swap_frame(va, pfn, PteFlags::RO_DATA);
+            }
+            if let Err(fault) = kernel.space.apply(swap_batch) {
+                let fresh: Vec<Pfn> = new_mov_lgot.iter().chain(&new_imm_lgot).copied().collect();
+                rollback(&fresh, true);
+                return Err(remap("immovable GOT swap", fault));
             }
         }
     }
     // Last pre-commit stage gate: a denied AdjustSlots stage rolls back
     // everything above, including swapping the immovable local-GOT PTEs
-    // back onto their old frames (the data slots themselves have not
-    // been touched yet).
+    // back onto their old frames in one batch (the data slots
+    // themselves have not been touched yet).
     if !allowed(CycleStage::AdjustSlots) {
         if let Some(imm) = &module.immovable {
             let cur = module.immovable_lgot_frames.lock();
+            let mut unswap = Batch::with_epoch(epoch);
             for (j, &old) in cur.iter().enumerate() {
                 let va_j = imm.base + imm.lgot_off + (j * PAGE_SIZE) as u64;
-                let _ = kernel.space.replace(va_j, old, PteFlags::RO_DATA);
+                unswap.swap_frame(va_j, old, PteFlags::RO_DATA);
+            }
+            if !unswap.is_empty() {
+                let _ = kernel.space.apply(unswap);
             }
         }
         let fresh: Vec<Pfn> = new_mov_lgot.iter().chain(&new_imm_lgot).copied().collect();
-        rollback(&fresh);
+        rollback(&fresh, true);
         return Err(remap("adjust-slots", Fault::Injected { va: new_base }));
     }
 
@@ -376,8 +415,12 @@ pub fn rerandomize_module(
         let kernel2 = kernel.clone();
         let total_pages = pages;
         kernel.reclaim.retire(Box::new(move || {
-            // Batched unmap: one TLB shootdown for the whole stale range.
-            kernel2.space.unmap_sparse(old_base, total_pages);
+            // Batched unmap: one TLB shootdown for the whole stale
+            // range, tagged with the cycle's shared epoch so retires of
+            // same-deadline cycles coalesce their invalidation sets.
+            let mut batch = Batch::with_epoch(epoch);
+            batch.unmap_sparse(old_base, total_pages);
+            let _ = kernel2.space.apply(batch);
             for pfn in doomed_frames {
                 kernel2.phys.free(pfn);
             }
@@ -393,9 +436,11 @@ pub fn rerandomize_module(
     }
 
     // (7) Rotate the per-CPU randomized stack pools so stack addresses
-    // go stale on the same cadence as code addresses (§3.4).
+    // go stale on the same cadence as code addresses (§3.4). The
+    // rotation retires every pooled stack in one batch under the same
+    // shared epoch.
     if allowed(CycleStage::StackRotate) {
-        registry.stacks.rotate(kernel);
+        registry.stacks.rotate_epoch(kernel, epoch);
     }
     if let Some(h) = &hooks {
         h.committed(&CycleCommit {

@@ -14,7 +14,7 @@
 
 use crate::va::VaAllocator;
 use adelie_kernel::{Kernel, Vm, VmError};
-use adelie_vmem::{Pfn, PteFlags, PAGE_SIZE};
+use adelie_vmem::{Batch, Pfn, PteFlags, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,9 +34,13 @@ pub struct StackStats {
 }
 
 impl StackStats {
-    /// Live stacks.
+    /// Live stacks. Saturating: the two counters are sampled with
+    /// independent relaxed loads, so a reclaim-thread `freed` increment
+    /// can land between them and make `freed` momentarily exceed the
+    /// sampled `allocated` — that transient must read as 0 live stacks,
+    /// not wrap (or panic in debug builds).
     pub fn delta(&self) -> u64 {
-        self.allocated - self.freed
+        self.allocated.saturating_sub(self.freed)
     }
 }
 
@@ -58,10 +62,11 @@ pub struct StackPool {
 }
 
 impl StackPool {
-    /// Pools for `cpus` CPUs, placing stacks via `va`.
+    /// Pools for `cpus` CPUs, placing stacks via `va`. At least one
+    /// pool is always created so the per-CPU indexing below is total.
     pub(crate) fn new(cpus: usize, va: Arc<VaAllocator>) -> Arc<StackPool> {
         Arc::new(StackPool {
-            pools: (0..cpus).map(|_| Mutex::new(Vec::new())).collect(),
+            pools: (0..cpus.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
             frames: Mutex::new(HashMap::new()),
             va,
             allocated: AtomicU64::new(0),
@@ -89,15 +94,24 @@ impl StackPool {
         });
     }
 
+    /// The pool serving `cpu`. `Vm::cpu` can exceed the pool count when
+    /// a kernel is booted with more CPUs than the registry that built
+    /// this pool (or when sticky thread→CPU ids outgrow a smaller
+    /// testbed); folding the index keeps pop/push total instead of
+    /// panicking on an out-of-bounds CPU id.
+    fn pool(&self, cpu: usize) -> &Mutex<Vec<u64>> {
+        &self.pools[cpu % self.pools.len()]
+    }
+
     /// Pop a stack top for `cpu` (0 when the pool is empty — the wrapper
     /// then calls `alloc_stack`).
     pub fn pop(&self, cpu: usize) -> u64 {
-        self.pools[cpu].lock().pop().unwrap_or(0)
+        self.pool(cpu).lock().pop().unwrap_or(0)
     }
 
     /// Return a stack to `cpu`'s pool.
     pub fn push(&self, cpu: usize, top: u64) {
-        self.pools[cpu].lock().push(top);
+        self.pool(cpu).lock().push(top);
     }
 
     /// Allocate a stack at a random virtual address; returns its top.
@@ -128,6 +142,15 @@ impl StackPool {
     /// retired and unmapped once pending calls drain (the rotation step
     /// of each re-randomization cycle).
     pub fn rotate(&self, kernel: &Arc<Kernel>) {
+        self.rotate_epoch(kernel, None);
+    }
+
+    /// [`StackPool::rotate`], tagging the retirement's unmap batch with
+    /// a shared shootdown `epoch` (see `adelie_vmem::Batch::epoch`).
+    /// All retired stacks are unmapped in **one** batch — a single TLB
+    /// shootdown for the whole rotation, where the pre-batching code
+    /// paid one per stack.
+    pub fn rotate_epoch(&self, kernel: &Arc<Kernel>, epoch: Option<u64>) {
         let mut old_tops = Vec::new();
         for pool in &self.pools {
             old_tops.append(&mut *pool.lock());
@@ -145,9 +168,15 @@ impl StackPool {
         let kernel2 = kernel.clone();
         let freed = self.freed.clone();
         kernel.reclaim.retire(Box::new(move || {
-            for (top, pfns) in doomed {
+            let mut batch = Batch::with_epoch(epoch);
+            for (top, _) in &doomed {
                 let base = top - (STACK_PAGES * PAGE_SIZE) as u64;
-                let _ = kernel2.space.unmap_range(base, STACK_PAGES);
+                // Sparse: a stack range that somehow lost pages must
+                // not abort the teardown of every other stack.
+                batch.unmap_sparse(base, STACK_PAGES);
+            }
+            let _ = kernel2.space.apply(batch);
+            for (_, pfns) in doomed {
                 for pfn in pfns {
                     kernel2.phys.free(pfn);
                 }
@@ -182,5 +211,44 @@ impl std::fmt::Debug for StackPool {
             .field("cpus", &self.pools.len())
             .field("stats", &self.stats())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adelie_kernel::layout;
+
+    /// Regression: `allocated - freed` panicked in debug builds when a
+    /// reclaim-thread `freed` increment landed between the two relaxed
+    /// loads of a stats snapshot.
+    #[test]
+    fn delta_saturates_instead_of_underflowing() {
+        let racing_snapshot = StackStats {
+            allocated: 3,
+            freed: 5,
+        };
+        assert_eq!(racing_snapshot.delta(), 0);
+        let normal = StackStats {
+            allocated: 5,
+            freed: 3,
+        };
+        assert_eq!(normal.delta(), 2);
+    }
+
+    /// Regression: a `Vm::cpu` id at or past the pool count indexed out
+    /// of bounds in `pop`/`push`.
+    #[test]
+    fn pop_push_tolerate_out_of_range_cpu_ids() {
+        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+        let pool = StackPool::new(2, va);
+        // Far past the 2 pools that exist — must fold, not panic.
+        assert_eq!(pool.pop(7), 0);
+        pool.push(7, 0xAB00_0000);
+        assert_eq!(pool.pop(7), 0xAB00_0000);
+        // Zero CPUs still yields one pool.
+        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+        let pool = StackPool::new(0, va);
+        assert_eq!(pool.pop(0), 0);
     }
 }

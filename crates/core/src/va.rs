@@ -59,9 +59,18 @@ impl VaAllocator {
     ) -> Option<VaReservation> {
         let span = (pages * PAGE_SIZE) as u64;
         let limit = layout::MODULE_CEILING.checked_sub(span)?;
+        // Candidate bases are `(1..=slots) * PAGE_SIZE`; when the span
+        // leaves less than two pages of headroom below the ceiling the
+        // subtraction used to wrap and turn `rng_below` into a
+        // near-2^64 draw — there is simply no valid placement, so
+        // report exhaustion instead.
+        let slots = (limit / PAGE_SIZE as u64).checked_sub(1)?;
+        if slots == 0 {
+            return None;
+        }
         for _ in 0..256 {
             // Draw outside the lock: the kernel RNG has its own.
-            let base = (kernel.rng_below(limit / PAGE_SIZE as u64 - 1) + 1) * PAGE_SIZE as u64;
+            let base = (kernel.rng_below(slots) + 1) * PAGE_SIZE as u64;
             let mut reserved = self.reserved.lock();
             let clashes = reserved.iter().any(|&(b, e)| base < e && b < base + span);
             if clashes || !range_is_free(kernel, base, pages) {
@@ -137,6 +146,29 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Regression: a span within a page or two of `MODULE_CEILING` made
+    /// `limit / PAGE_SIZE - 1` wrap, turning `rng_below` into a
+    /// near-2^64 draw (and the retry loop into a 2^45-page scan). Such
+    /// requests must fail fast with `None` instead.
+    #[test]
+    fn reserve_near_the_ceiling_returns_none() {
+        let kernel = Kernel::new(KernelConfig::default());
+        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+        let ceiling_pages = (layout::MODULE_CEILING / PAGE_SIZE as u64) as usize;
+        // Exactly at and one page under the ceiling: neither leaves a
+        // single valid (non-zero) base slot.
+        for pages in [ceiling_pages, ceiling_pages - 1] {
+            assert!(
+                va.reserve(&kernel, pages).is_none(),
+                "{pages}-page reservation must report exhaustion"
+            );
+        }
+        // And over the ceiling as well (checked_sub path).
+        assert!(va.reserve(&kernel, ceiling_pages + 1).is_none());
+        // Sanity: ordinary requests still succeed.
+        assert!(va.reserve(&kernel, 8).is_some());
     }
 
     #[test]

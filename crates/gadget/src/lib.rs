@@ -5,7 +5,7 @@
 //! * [`scan`](scan()) — a Ropper-style gadget finder over raw text bytes
 //!   (decodes from every offset; mis-aligned gadgets included), used for
 //!   Fig. 10's distribution,
-//! * [`classify`]/[`histogram`] — the Fig. 10 instruction-type buckets,
+//! * [`classify()`]/[`histogram`] — the Fig. 10 instruction-type buckets,
 //! * [`chain_verdict`]/[`build_chain`] — the Table 2 "can this module's
 //!   gadgets disable NX" experiment, including constructing the actual
 //!   chain an attacker would inject,

@@ -236,9 +236,10 @@ impl<'k> Vm<'k> {
 
     fn translate(&mut self, va: u64, access: Access) -> Result<Translation, VmError> {
         let space = &self.kernel.space;
-        let generation = space.generation();
         let page_va = page_base(va);
-        if let Some(pte) = self.tlb.lookup(page_va, generation) {
+        // Range-based shootdown: the TLB resynchronizes against the
+        // space's invalidation log, evicting only covered entries.
+        if let Some(pte) = self.tlb.lookup(page_va, space) {
             pte.check(va, access)?;
             return Ok(Translation { pte, page_va });
         }

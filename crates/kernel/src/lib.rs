@@ -84,6 +84,11 @@ pub struct KernelConfig {
     pub fuel: u64,
     /// RNG seed (layout randomization, keys).
     pub seed: u64,
+    /// Capacity (in generations) of the address space's TLB
+    /// invalidation log. The default enables range-based shootdown;
+    /// `0` reverts to the legacy whole-TLB-flush regime (the measurable
+    /// ablation baseline — see `adelie-vmem`).
+    pub tlb_inval_log: usize,
 }
 
 impl Default for KernelConfig {
@@ -95,6 +100,7 @@ impl Default for KernelConfig {
             reclaimer: ReclaimerKind::Hyaline,
             fuel: 200_000_000,
             seed: 0x00AD_E11E,
+            tlb_inval_log: adelie_vmem::DEFAULT_INVAL_LOG,
         }
     }
 }
@@ -146,7 +152,7 @@ impl Kernel {
         };
         let kernel = Arc::new(Kernel {
             phys: Arc::new(PhysMem::new()),
-            space: Arc::new(AddressSpace::new()),
+            space: Arc::new(AddressSpace::with_inval_log(config.tlb_inval_log)),
             symbols: SymbolTable::new(),
             heap: Heap::new(),
             mmio: MmioRegistry::new(),

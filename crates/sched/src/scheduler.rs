@@ -34,7 +34,7 @@ use crate::budget::BudgetController;
 use crate::clock::{Clock, SimClock};
 use crate::policy::{Policy, PolicyInputs};
 use crate::stats::{LatencyHistogram, ModuleSchedStats, SchedStats};
-use adelie_core::{log_stats, rerandomize_module, LoadedModule, ModuleRegistry};
+use adelie_core::{log_stats, rerandomize_module_epoch, LoadedModule, ModuleRegistry};
 use adelie_kernel::Kernel;
 use adelie_vmem::{PteFlags, PAGE_SIZE};
 use std::cmp::Reverse;
@@ -59,6 +59,14 @@ pub struct SchedConfig {
     /// Re-scan gadget exposure every N completed cycles per module
     /// (0 = scan once at startup only).
     pub exposure_refresh: u64,
+    /// Width of the *shared shootdown epoch*: cycles whose deadlines
+    /// fall into the same window of this length receive the same epoch
+    /// tag, so their page-table batches coalesce their TLB invalidation
+    /// sets into one merged log slot (`adelie_vmem::Batch::epoch`). A
+    /// lagging TLB then pays one partial invalidation pass for the
+    /// whole group of same-deadline cycles. `Duration::ZERO` coalesces
+    /// only exactly-equal deadlines.
+    pub shootdown_epoch: Duration,
 }
 
 impl Default for SchedConfig {
@@ -68,6 +76,7 @@ impl Default for SchedConfig {
             policy: Policy::default_fixed(),
             max_cpu_frac: f64::INFINITY,
             exposure_refresh: 64,
+            shootdown_epoch: Duration::from_millis(1),
         }
     }
 }
@@ -235,6 +244,21 @@ struct Shared {
     step_cost_ns: u64,
     /// Modeled pool width (bounds step-mode reordering).
     workers_model: usize,
+    /// Shared-shootdown-epoch window in ns (see
+    /// [`SchedConfig::shootdown_epoch`]).
+    epoch_quantum_ns: u64,
+}
+
+impl Shared {
+    /// The shared shootdown-epoch tag for a cycle due at `deadline_ns`:
+    /// same-deadline cycles (same window) get the same tag and their
+    /// invalidation sets coalesce.
+    fn epoch_of(&self, deadline_ns: u64) -> u64 {
+        // Zero-width window ⇒ coalesce exactly-equal deadlines only.
+        deadline_ns
+            .checked_div(self.epoch_quantum_ns)
+            .unwrap_or(deadline_ns)
+    }
 }
 
 /// The randomizer pool: the subsystem replacing the paper artifact's
@@ -432,6 +456,7 @@ impl Scheduler {
             clock,
             step_cost_ns: cycle_cost.as_nanos() as u64,
             workers_model: config.workers,
+            epoch_quantum_ns: config.shootdown_epoch.as_nanos() as u64,
         });
         let budget = Arc::new(BudgetController::new(
             kernel.config.cpus,
@@ -659,7 +684,11 @@ fn execute_cycle(
     let cpu = kernel.percpu.current();
     let started_ns = shared.clock.now_ns();
     let wall_t0 = Instant::now();
-    let outcome = rerandomize_module(kernel, registry, &entry.module);
+    // Same-deadline cycles share a shootdown epoch: their invalidation
+    // sets merge into one log slot, so TLBs pay one partial pass for
+    // the whole group instead of one per module.
+    let epoch = shared.epoch_of(deadline_ns);
+    let outcome = rerandomize_module_epoch(kernel, registry, &entry.module, Some(epoch));
     // Step mode charges the modeled cost (deterministic); wall mode
     // charges what the cycle really took.
     let spent = if shared.clock.is_virtual() {

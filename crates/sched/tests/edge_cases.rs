@@ -63,6 +63,7 @@ fn stepped(
             policy,
             max_cpu_frac,
             exposure_refresh: 0,
+            ..SchedConfig::default()
         },
         clock.clone(),
         cycle_cost,

@@ -384,3 +384,54 @@ fn adaptive_four_workers_doubles_serial_shim_cycles() {
         "adaptive pool should at least double the serial shim: {adaptive} vs {serial}"
     );
 }
+
+/// Same-deadline cycles share a shootdown epoch: their retire/GOT
+/// batches coalesce invalidation-log slots, measurably (the vmem
+/// `coalesced_shootdowns` counter), and the pool stays correct.
+#[test]
+fn same_deadline_cycles_coalesce_shootdown_epochs() {
+    use adelie_sched::SimClock;
+    let (kernel, registry, modules) = boot_n(4);
+    let with_policies: Vec<(&str, Policy)> = modules
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let name: &str = Box::leak(format!("mod{i}").into_boxed_str());
+            (name, Policy::FixedPeriod(Duration::from_millis(10)))
+        })
+        .collect();
+    let clock = SimClock::new();
+    let sched = Scheduler::spawn_stepped(
+        kernel.clone(),
+        registry.clone(),
+        &with_policies,
+        SchedConfig {
+            workers: 4,
+            policy: Policy::FixedPeriod(Duration::from_millis(10)),
+            // Identical fixed periods stagger within one period; a
+            // window that wide makes each wave one shared epoch.
+            shootdown_epoch: Duration::from_millis(10),
+            ..SchedConfig::default()
+        },
+        clock.clone(),
+        Duration::from_micros(10),
+    );
+    let before = kernel.space.stats().coalesced_shootdowns;
+    for _ in 0..16 {
+        sched.step().expect("heap never empties");
+    }
+    assert_eq!(sched.cycles(), 16);
+    assert_eq!(sched.failures(), 0);
+    let after = kernel.space.stats().coalesced_shootdowns;
+    assert!(
+        after > before,
+        "same-epoch cycles must coalesce invalidation slots ({before} → {after})"
+    );
+    // Every module still works after coalesced cycling.
+    let mut vm = kernel.vm();
+    for (i, m) in modules.iter().enumerate() {
+        let e = m.export(&format!("mod{i}_calc")).unwrap();
+        assert_eq!(vm.call(e, &[16]).unwrap(), 42);
+    }
+    drop(sched);
+}

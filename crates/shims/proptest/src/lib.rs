@@ -12,6 +12,11 @@
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!` and
 //!   [`TestCaseError`] for helper functions returning `Result`.
 
+// The shim mirrors upstream proptest's module layout, where several
+// names intentionally exist as both macro and item — keep rustdoc from
+// flagging the resulting link ambiguities under `-D warnings`.
+#![allow(rustdoc::broken_intra_doc_links)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod strategy;

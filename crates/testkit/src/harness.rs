@@ -236,6 +236,7 @@ impl Sim {
                 policy: cfg.policy.clone(),
                 max_cpu_frac: cfg.max_cpu_frac,
                 exposure_refresh: cfg.exposure_refresh,
+                ..SchedConfig::default()
             },
             clock.clone(),
             cfg.cycle_cost,

@@ -15,7 +15,7 @@
 //!   at a time with traffic injected in proportion to virtual time.
 //!   Same config ⇒ byte-identical timeline.
 //! * [`FaultPlan`] — **fault injection**: deny any pipeline stage
-//!   ([`CycleStage`](adelie_core::CycleStage)) of any chosen cycle and
+//!   ([`adelie_core::CycleStage`]) of any chosen cycle and
 //!   watch the typed-rollback invariants hold (or, for the deliberately
 //!   leaky `Retire` stage, watch the oracle catch the leak).
 //! * [`Attacker`] — the **adversary**: leaks real code/stack addresses

@@ -16,7 +16,16 @@
 //!    at quiescence, for module ranges and rotated stacks alike;
 //! 4. **no silent pointer-refresh drop** — the scheduler's
 //!    `pointer_refresh_failures` matches what the test expected
-//!    (usually zero).
+//!    (usually zero);
+//! 5. **no stale translation across a batch** — a *witness TLB*,
+//!    deliberately warmed on every module's range at each commit, is
+//!    probed against every vacated range: if the witness still serves a
+//!    translation the address space has retired, the range-based
+//!    shootdown (invalidation log / partial flush) is broken. The
+//!    witness resynchronizes exactly like a real per-CPU TLB, so it
+//!    exercises partial invalidation, epoch-merged slots, and the
+//!    full-flush fallback across whatever interleaving the scenario
+//!    produced.
 //!
 //! `verify_quiesced` is deliberately *destructive reading*: it rotates
 //! the stack pools and flushes the reclaimer to force quiescence, then
@@ -25,7 +34,7 @@
 use adelie_core::{CycleCommit, CycleHooks, ModuleRegistry};
 use adelie_kernel::Kernel;
 use adelie_sched::{SchedStats, SimClock};
-use adelie_vmem::{Access, PAGE_SIZE};
+use adelie_vmem::{Access, Tlb, PAGE_SIZE};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -53,8 +62,12 @@ pub struct LayoutOracle {
     commits: Mutex<Vec<CommitRecord>>,
     /// Current `(base, span)` per module, as of the last commit.
     live: Mutex<HashMap<String, (u64, u64)>>,
-    /// Invariant violations detected *during* the run (overlaps).
+    /// Invariant violations detected *during* the run (overlaps, stale
+    /// TLB translations).
     violations: Mutex<Vec<String>>,
+    /// The stale-translation witness: a TLB warmed on every committed
+    /// range and probed against every vacated one (module docs, #5).
+    witness: Mutex<Tlb>,
 }
 
 impl LayoutOracle {
@@ -66,7 +79,41 @@ impl LayoutOracle {
             commits: Mutex::new(Vec::new()),
             live: Mutex::new(HashMap::new()),
             violations: Mutex::new(Vec::new()),
+            witness: Mutex::new(Tlb::new()),
         })
+    }
+
+    /// Probe `[base, base+span)` through the witness TLB: any page the
+    /// witness still translates but the address space has retired is a
+    /// stale-translation violation (`what` names the probe site).
+    fn probe_vacated(&self, base: u64, span: u64, what: &str, out: &mut Vec<String>) {
+        let mut witness = self.witness.lock().unwrap_or_else(|e| e.into_inner());
+        for page in 0..(span as usize / PAGE_SIZE) {
+            let va = base + (page * PAGE_SIZE) as u64;
+            if let Some(pte) = witness.lookup(va, &self.kernel.space) {
+                if self.kernel.space.translate(va, Access::Read).is_err() {
+                    out.push(format!(
+                        "stale translation served {what}: witness TLB still maps \
+                         {va:#x} (pte {pte:?}) but the space has retired it"
+                    ));
+                    return; // one line per stale range is enough
+                }
+            }
+        }
+    }
+
+    /// Warm the witness TLB over `[base, base+span)` so the *next*
+    /// batch that retires any of it has a cached entry to invalidate.
+    fn warm_witness(&self, base: u64, span: u64) {
+        let mut witness = self.witness.lock().unwrap_or_else(|e| e.into_inner());
+        for page in 0..(span as usize / PAGE_SIZE) {
+            let va = base + (page * PAGE_SIZE) as u64;
+            if witness.lookup(va, &self.kernel.space).is_none() {
+                if let Ok(t) = self.kernel.space.translate(va, Access::Read) {
+                    witness.insert(&t);
+                }
+            }
+        }
     }
 
     /// All committed moves, in commit order.
@@ -120,8 +167,14 @@ impl LayoutOracle {
         // mapped. A vacated page is only exempt if some module's
         // *current* range re-covers it (possible in principle with
         // random placement, never in a seeded test run).
+        // (5) And the witness TLB — which followed every invalidation
+        // set the run published — must agree: it may not translate
+        // anything the space has retired, across any vacated range.
         let live: Vec<(u64, u64)> = self.live.lock().unwrap().values().copied().collect();
         let covered = |va: u64| live.iter().any(|&(b, s)| va >= b && va < b + s);
+        for c in self.commits.lock().unwrap().iter() {
+            self.probe_vacated(c.old_base, c.span, "at quiescence", &mut violations);
+        }
         for c in self.commits.lock().unwrap().iter() {
             for page in 0..(c.span as usize / PAGE_SIZE) {
                 let va = c.old_base + (page * PAGE_SIZE) as u64;
@@ -162,6 +215,24 @@ impl LayoutOracle {
 
 impl CycleHooks for LayoutOracle {
     fn committed(&self, c: &CycleCommit<'_>) {
+        // (5) Stale-translation check at the batch boundary: the range
+        // just vacated was warmed into the witness at its own commit —
+        // if its retirement (or any batch since) failed to invalidate
+        // the witness, that surfaces right here. Then warm the witness
+        // on the new range so the *next* cycle is checked the same way.
+        // A module's *first* commit vacates its load-time range, which
+        // no commit ever warmed: warm it now, before its retirement
+        // drains, so even single-cycle scenarios exercise the check.
+        if !self.live.lock().unwrap().contains_key(c.module) {
+            self.warm_witness(c.old_base, c.span);
+        }
+        let mut stale = Vec::new();
+        self.probe_vacated(c.old_base, c.span, "at commit", &mut stale);
+        if !stale.is_empty() {
+            self.violations.lock().unwrap().append(&mut stale);
+        }
+        self.warm_witness(c.new_base, c.span);
+
         // (1) Overlap check against every other module's current range,
         // at the moment of commit.
         let mut live = self.live.lock().unwrap();

@@ -14,7 +14,7 @@
 //!   grid; each leak's **exposure window** is the distance to the hot
 //!   module's next re-randomization (ground truth from the layout
 //!   oracle's commit timeline);
-//! * per policy, the run yields a survival curve (P[window > Δ]), its
+//! * per policy, the run yields a survival curve (`P[window > Δ]`), its
 //!   mean, and the CPU budget spent (cycles × modeled cycle cost).
 //!
 //! [`assert_adaptive_beats_fixed`] is the acceptance property: at equal

@@ -11,9 +11,14 @@
 //!   addresses, matching the paper's §6 entropy arithmetic) supporting
 //!   aliased mappings, permission bits (writable / no-execute), and MMIO
 //!   leaf entries that trap to device models,
-//! * [`Tlb`] — a per-CPU translation cache with generation-based
-//!   shootdown, so re-randomization's TLB-flush cost (paper §4.3) is
-//!   observable,
+//! * [`Tlb`] — a per-CPU translation cache with **range-based**
+//!   shootdown: the space logs the page spans each generation retired
+//!   and a lagging TLB evicts only covered entries, falling back to a
+//!   full flush past the log horizon — so re-randomization's TLB-flush
+//!   cost (paper §4.3) is both observable and *reducible*,
+//! * [`Batch`] — batched page-table mutation: a whole re-randomization
+//!   step applies under one lock acquisition and publishes a single
+//!   invalidation set with one generation bump,
 //! * typed [`Fault`]s — unmapped access, write to read-only (the GOT
 //!   write-protection defence), execute of NX data.
 //!
@@ -35,14 +40,19 @@
 //! # Ok::<(), adelie_vmem::Fault>(())
 //! ```
 
+mod batch;
 mod fault;
 mod phys;
 mod space;
 mod tlb;
 
+pub use batch::Batch;
 pub use fault::{Access, Fault};
 pub use phys::{Pfn, PhysMem, PhysStats};
-pub use space::{AddressSpace, Pte, PteFlags, PteKind, SpaceStats, Translation};
+pub use space::{
+    AddressSpace, BatchOutcome, Pte, PteFlags, PteKind, SpaceStats, TlbSync, Translation,
+    DEFAULT_INVAL_LOG,
+};
 pub use tlb::{Tlb, TlbStats};
 
 /// Page size in bytes (4 KiB, like x86-64).

@@ -1,12 +1,28 @@
 //! The address space: a 5-level radix page table with permission bits,
-//! aliased (zero-copy) mappings, and MMIO leaves.
+//! aliased (zero-copy) mappings, MMIO leaves, batched mutation
+//! ([`Batch`] / [`AddressSpace::apply`]), and a bounded *invalidation
+//! log* that lets TLBs do range-based shootdown instead of whole-TLB
+//! flushes (see [`crate::Tlb`]).
 
+use crate::batch::{Batch, BatchOp};
 use crate::{
     page_base, page_offset, Access, Fault, Pfn, PhysMem, LEVELS, PAGE_SHIFT, PAGE_SIZE, VA_MASK,
 };
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default capacity (in generations) of the invalidation log — how far
+/// a TLB may lag behind the current generation and still resynchronize
+/// with a partial (range-based) invalidation instead of a full flush.
+pub const DEFAULT_INVAL_LOG: usize = 64;
+
+/// Above this many spans in one resynchronization, evicting entry by
+/// entry stops being cheaper than clearing the TLB outright — the
+/// planner falls back to a full flush (mirrors the kernel's
+/// `tlb_single_page_flush_ceiling` idea at span granularity).
+const MAX_SYNC_SPANS: usize = 64;
 
 /// Page permission flags.
 ///
@@ -143,6 +159,11 @@ pub struct SpaceStats {
     pub shootdowns: u64,
     /// Page-table walks performed.
     pub walks: u64,
+    /// Batches applied via [`AddressSpace::apply`].
+    pub batches: u64,
+    /// Shootdowns that were coalesced into an open epoch slot instead
+    /// of occupying their own invalidation-log entry.
+    pub coalesced_shootdowns: u64,
 }
 
 #[derive(Default)]
@@ -152,6 +173,32 @@ struct AtomicStats {
     protects: AtomicU64,
     shootdowns: AtomicU64,
     walks: AtomicU64,
+    batches: AtomicU64,
+    coalesced_shootdowns: AtomicU64,
+}
+
+/// One invalidation-log slot: the page spans retired by the
+/// generations in `[gen_lo, gen_hi]` (a range wider than one generation
+/// only when batches shared a shootdown epoch).
+struct LogSlot {
+    gen_lo: u64,
+    gen_hi: u64,
+    epoch: Option<u64>,
+    /// `[start, end)` byte ranges, page-aligned.
+    spans: Vec<(u64, u64)>,
+}
+
+/// What a lagging TLB must do to catch up — computed by
+/// [`AddressSpace::plan_sync`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TlbSync {
+    /// The snapshot is current; nothing to do.
+    Current,
+    /// Evict only entries covered by these `[start, end)` spans.
+    Ranges(Vec<(u64, u64)>),
+    /// The log no longer covers the gap (or covering it would cost more
+    /// than starting over) — flush everything.
+    Full,
 }
 
 /// A single (kernel) address space.
@@ -164,6 +211,12 @@ pub struct AddressSpace {
     root: RwLock<Node>,
     generation: AtomicU64,
     stats: AtomicStats,
+    /// Recent invalidation sets, newest at the back. Capacity 0 models
+    /// the legacy whole-TLB regime: nothing is logged, every lagging
+    /// TLB full-flushes, and [`AddressSpace::apply`] publishes one
+    /// generation bump per invalidating op instead of one per batch.
+    inval: Mutex<VecDeque<LogSlot>>,
+    inval_capacity: usize,
 }
 
 impl Default for AddressSpace {
@@ -179,12 +232,23 @@ fn level_index(va: u64, level: u32) -> usize {
 }
 
 impl AddressSpace {
-    /// Create an empty address space.
+    /// Create an empty address space with the default invalidation-log
+    /// capacity ([`DEFAULT_INVAL_LOG`]).
     pub fn new() -> AddressSpace {
+        AddressSpace::with_inval_log(DEFAULT_INVAL_LOG)
+    }
+
+    /// Create an empty address space whose invalidation log holds
+    /// `capacity` generations. `0` disables range-based shootdown
+    /// entirely — the legacy whole-TLB regime, kept as the measurable
+    /// ablation baseline.
+    pub fn with_inval_log(capacity: usize) -> AddressSpace {
         AddressSpace {
             root: RwLock::new(Node::new()),
             generation: AtomicU64::new(0),
             stats: AtomicStats::default(),
+            inval: Mutex::new(VecDeque::new()),
+            inval_capacity: capacity,
         }
     }
 
@@ -194,17 +258,97 @@ impl AddressSpace {
         self.generation.load(Ordering::Acquire)
     }
 
-    fn shootdown(&self) {
-        self.generation.fetch_add(1, Ordering::AcqRel);
+    /// Capacity of the invalidation log in generations (0 = disabled).
+    pub fn inval_log_capacity(&self) -> usize {
+        self.inval_capacity
+    }
+
+    fn shootdown(&self, spans: Vec<(u64, u64)>) {
+        self.shootdown_epoch(spans, None);
+    }
+
+    /// Bump the generation once and publish `spans` as its invalidation
+    /// set. Consecutive shootdowns carrying the same `epoch` tag merge
+    /// into one log slot (the scheduler's shared shootdown epoch), so a
+    /// TLB lagging across the whole epoch pays one partial pass.
+    fn shootdown_epoch(&self, mut spans: Vec<(u64, u64)>, epoch: Option<u64>) {
+        let gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         self.stats.shootdowns.fetch_add(1, Ordering::Relaxed);
+        if self.inval_capacity == 0 {
+            return;
+        }
+        coalesce_spans(&mut spans);
+        let mut log = self.inval.lock();
+        if let (Some(e), Some(last)) = (epoch, log.back_mut()) {
+            if last.epoch == Some(e) && last.gen_hi + 1 == gen {
+                last.gen_hi = gen;
+                last.spans.extend(spans);
+                // Re-coalesce the merged slot: epoch waves routinely
+                // retire adjacent ranges, and a compact span list keeps
+                // the partial-flush path under MAX_SYNC_SPANS.
+                coalesce_spans(&mut last.spans);
+                self.stats
+                    .coalesced_shootdowns
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        log.push_back(LogSlot {
+            gen_lo: gen,
+            gen_hi: gen,
+            epoch,
+            spans,
+        });
+        while log.len() > self.inval_capacity {
+            log.pop_front();
+        }
+    }
+
+    /// Plan how a TLB whose snapshot is `seen_gen` catches up to the
+    /// current generation: returns the generation to adopt plus the
+    /// cheapest safe action. [`TlbSync::Ranges`] is only returned when
+    /// the log still covers *every* generation in the gap; otherwise
+    /// the plan degrades to [`TlbSync::Full`].
+    pub fn plan_sync(&self, seen_gen: u64) -> (u64, TlbSync) {
+        let current = self.generation();
+        if current == seen_gen {
+            return (current, TlbSync::Current);
+        }
+        if self.inval_capacity == 0 || current < seen_gen {
+            return (current, TlbSync::Full);
+        }
+        let mut covered: Vec<(u64, u64)> = Vec::new();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        {
+            let log = self.inval.lock();
+            for slot in log.iter() {
+                if slot.gen_hi <= seen_gen || slot.gen_lo > current {
+                    // Already seen, or published after our generation
+                    // read (the next sync picks it up).
+                    continue;
+                }
+                covered.push((slot.gen_lo.max(seen_gen + 1), slot.gen_hi.min(current)));
+                spans.extend_from_slice(&slot.spans);
+            }
+        }
+        // Every generation in (seen_gen, current] must be accounted
+        // for; slots may be out of order under concurrent shootdowns.
+        covered.sort_unstable();
+        let mut need = seen_gen + 1;
+        for (lo, hi) in covered {
+            if lo > need {
+                return (current, TlbSync::Full);
+            }
+            need = need.max(hi + 1);
+        }
+        if need <= current || spans.len() > MAX_SYNC_SPANS {
+            return (current, TlbSync::Full);
+        }
+        (current, TlbSync::Ranges(spans))
     }
 
     fn check(&self, va: u64) -> Result<(), Fault> {
-        if va & !VA_MASK != 0 {
-            return Err(Fault::NonCanonical { va });
-        }
-        debug_assert_eq!(page_offset(va), 0, "page-aligned address required");
-        Ok(())
+        check_va(va)
     }
 
     /// Map one page at `va` (page-aligned) to `pfn`.
@@ -244,31 +388,9 @@ impl AddressSpace {
     fn map_pte(&self, va: u64, pte: Pte) -> Result<(), Fault> {
         self.check(va)?;
         let mut node = self.root.write();
-        let mut cur: &mut Node = &mut node;
-        for level in 0..LEVELS - 1 {
-            let idx = level_index(va, level);
-            let slot = &mut cur.slots[idx];
-            match slot {
-                Entry::Empty => {
-                    *slot = Entry::Table(Box::new(Node::new()));
-                }
-                Entry::Table(_) => {}
-                Entry::Leaf(_) => return Err(Fault::AlreadyMapped { va }),
-            }
-            cur = match slot {
-                Entry::Table(t) => t,
-                _ => unreachable!(),
-            };
-        }
-        let idx = level_index(va, LEVELS - 1);
-        match &mut cur.slots[idx] {
-            slot @ Entry::Empty => {
-                *slot = Entry::Leaf(pte);
-                self.stats.pages_mapped.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            _ => Err(Fault::AlreadyMapped { va }),
-        }
+        map_in(&mut node, va, pte)?;
+        self.stats.pages_mapped.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Map a run of frames contiguously starting at `va`.
@@ -292,36 +414,14 @@ impl AddressSpace {
     /// [`Fault::Unmapped`] if nothing is mapped there.
     pub fn unmap(&self, va: u64) -> Result<Pte, Fault> {
         let pte = self.unmap_quiet(va)?;
-        self.shootdown();
+        self.shootdown(vec![(va, va + PAGE_SIZE as u64)]);
         Ok(pte)
     }
 
     fn unmap_quiet(&self, va: u64) -> Result<Pte, Fault> {
         self.check(va)?;
         let mut node = self.root.write();
-        fn remove(cur: &mut Node, va: u64, level: u32) -> Result<Pte, Fault> {
-            let idx = level_index(va, level);
-            if level == LEVELS - 1 {
-                return match std::mem::replace(&mut cur.slots[idx], Entry::Empty) {
-                    Entry::Leaf(pte) => Ok(pte),
-                    other => {
-                        cur.slots[idx] = other;
-                        Err(Fault::Unmapped { va })
-                    }
-                };
-            }
-            match &mut cur.slots[idx] {
-                Entry::Table(t) => {
-                    let pte = remove(t, va, level + 1)?;
-                    if t.is_empty() {
-                        cur.slots[idx] = Entry::Empty;
-                    }
-                    Ok(pte)
-                }
-                _ => Err(Fault::Unmapped { va }),
-            }
-        }
-        let pte = remove(&mut node, va, 0)?;
+        let pte = unmap_in(&mut node, va)?;
         self.stats.pages_unmapped.fetch_add(1, Ordering::Relaxed);
         Ok(pte)
     }
@@ -331,14 +431,26 @@ impl AddressSpace {
     ///
     /// # Errors
     ///
-    /// Fails on the first unmapped page.
+    /// Fails on the first unmapped page. Earlier pages stay unmapped,
+    /// and the shootdown still covers them — under range-based
+    /// invalidation an unpublished removal would let TLBs serve the
+    /// retired translations forever.
     pub fn unmap_range(&self, va: u64, n: usize) -> Result<Vec<Pte>, Fault> {
         let mut out = Vec::with_capacity(n);
+        let mut outcome = Ok(());
         for i in 0..n {
-            out.push(self.unmap_quiet(va + (i * PAGE_SIZE) as u64)?);
+            match self.unmap_quiet(va + (i * PAGE_SIZE) as u64) {
+                Ok(pte) => out.push(pte),
+                Err(fault) => {
+                    outcome = Err(fault);
+                    break;
+                }
+            }
         }
-        self.shootdown();
-        Ok(out)
+        if !out.is_empty() {
+            self.shootdown(vec![(va, va + (out.len() * PAGE_SIZE) as u64)]);
+        }
+        outcome.map(|()| out)
     }
 
     /// Unmap every mapped page in `[va, va + n pages)`, skipping holes;
@@ -352,7 +464,7 @@ impl AddressSpace {
                 out.push(pte);
             }
         }
-        self.shootdown();
+        self.shootdown(vec![(va, va + (n * PAGE_SIZE) as u64)]);
         out
     }
 
@@ -369,26 +481,16 @@ impl AddressSpace {
         self.check(va)?;
         let old = {
             let mut node = self.root.write();
-            let mut cur: &mut Node = &mut node;
-            for level in 0..LEVELS - 1 {
-                let idx = level_index(va, level);
-                cur = match &mut cur.slots[idx] {
-                    Entry::Table(t) => t,
-                    _ => return Err(Fault::Unmapped { va }),
-                };
-            }
-            match &mut cur.slots[level_index(va, LEVELS - 1)] {
-                Entry::Leaf(pte) => std::mem::replace(
-                    pte,
-                    Pte {
-                        kind: PteKind::Frame(pfn),
-                        flags,
-                    },
-                ),
-                _ => return Err(Fault::Unmapped { va }),
-            }
+            replace_in(
+                &mut node,
+                va,
+                Pte {
+                    kind: PteKind::Frame(pfn),
+                    flags,
+                },
+            )?
         };
-        self.shootdown();
+        self.shootdown(vec![(va, va + PAGE_SIZE as u64)]);
         Ok(old)
     }
 
@@ -399,37 +501,43 @@ impl AddressSpace {
     ///
     /// [`Fault::Unmapped`] if the page is not mapped.
     pub fn protect(&self, va: u64, flags: PteFlags) -> Result<(), Fault> {
-        self.check(va)?;
-        {
-            let mut node = self.root.write();
-            let mut cur: &mut Node = &mut node;
-            for level in 0..LEVELS - 1 {
-                let idx = level_index(va, level);
-                cur = match &mut cur.slots[idx] {
-                    Entry::Table(t) => t,
-                    _ => return Err(Fault::Unmapped { va }),
-                };
-            }
-            match &mut cur.slots[level_index(va, LEVELS - 1)] {
-                Entry::Leaf(pte) => pte.flags = flags,
-                _ => return Err(Fault::Unmapped { va }),
-            }
-        }
-        self.stats.protects.fetch_add(1, Ordering::Relaxed);
-        self.shootdown();
+        self.protect_quiet(va, flags)?;
+        self.shootdown(vec![(va, va + PAGE_SIZE as u64)]);
         Ok(())
     }
 
-    /// [`AddressSpace::protect`] over `n` consecutive pages.
+    fn protect_quiet(&self, va: u64, flags: PteFlags) -> Result<PteFlags, Fault> {
+        self.check(va)?;
+        let old = {
+            let mut node = self.root.write();
+            protect_in(&mut node, va, flags)?
+        };
+        self.stats.protects.fetch_add(1, Ordering::Relaxed);
+        Ok(old)
+    }
+
+    /// [`AddressSpace::protect`] over `n` consecutive pages. One
+    /// shootdown covers the whole range (batched invalidation — the
+    /// pre-batching code paid one per page).
     ///
     /// # Errors
     ///
-    /// Fails on the first unmapped page.
+    /// Fails on the first unmapped page (earlier pages keep the new
+    /// permissions, and the shootdown still covers them).
     pub fn protect_range(&self, va: u64, n: usize, flags: PteFlags) -> Result<(), Fault> {
+        let mut outcome = Ok(());
+        let mut changed = 0usize;
         for i in 0..n {
-            self.protect(va + (i * PAGE_SIZE) as u64, flags)?;
+            if let Err(fault) = self.protect_quiet(va + (i * PAGE_SIZE) as u64, flags) {
+                outcome = Err(fault);
+                break;
+            }
+            changed += 1;
         }
-        Ok(())
+        if changed > 0 {
+            self.shootdown(vec![(va, va + (changed * PAGE_SIZE) as u64)]);
+        }
+        outcome
     }
 
     /// Translate `va` for the given access kind.
@@ -585,6 +693,197 @@ impl AddressSpace {
         Ok(done)
     }
 
+    /// Apply a [`Batch`] of page-table mutations under **one** write-lock
+    /// acquisition, publishing a single invalidation set with one
+    /// generation bump (the batched-shootdown fast path; see [`Batch`]'s
+    /// docs).
+    ///
+    /// Application is atomic: on a fault, every already-applied
+    /// operation is rolled back, no generation bump is published, and
+    /// the space is exactly as it was before the call.
+    ///
+    /// When the invalidation log is disabled (`with_inval_log(0)` — the
+    /// ablation baseline), mutations stay atomic but the publication
+    /// cost reverts to the legacy regime: one generation bump per
+    /// invalidating operation (and per *page* for `protect_range`, which
+    /// is what the pre-batching code paid).
+    ///
+    /// # Errors
+    ///
+    /// The first fault any queued operation raises; the batch is rolled
+    /// back.
+    pub fn apply(&self, batch: Batch) -> Result<BatchOutcome, Fault> {
+        enum Undo {
+            Unmap(u64),
+            Remap(u64, Pte),
+            Protect(u64, PteFlags),
+            Swap(u64, Pte),
+        }
+        for op in &batch.ops {
+            let (va, pages) = match op {
+                BatchOp::Map { va, .. } | BatchOp::SwapFrame { va, .. } => (*va, 1),
+                BatchOp::UnmapRange { va, pages }
+                | BatchOp::UnmapSparse { va, pages }
+                | BatchOp::ProtectRange { va, pages, .. } => (*va, (*pages).max(1)),
+            };
+            check_va(va)?;
+            // Every page of a range op must be canonical, not just its
+            // base: the radix walk masks high bits, so a range running
+            // past the boundary would silently alias — and mutate —
+            // low canonical addresses outside the published
+            // invalidation span. Canonical space is contiguous, so
+            // checking the last page covers the whole run.
+            let last = (pages as u64 - 1)
+                .checked_mul(PAGE_SIZE as u64)
+                .and_then(|off| va.checked_add(off))
+                .ok_or(Fault::NonCanonical { va })?;
+            check_va(last)?;
+        }
+        let mut removed = Vec::new();
+        let mut undo: Vec<Undo> = Vec::new();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        // Gen bumps the legacy (log-disabled) regime would have paid.
+        let mut legacy_shootdowns = 0u64;
+        let mut mapped = 0u64;
+        let mut unmapped = 0u64;
+        let mut protects = 0u64;
+        let mut fault: Option<Fault> = None;
+        let mut node = self.root.write();
+        'ops: for op in &batch.ops {
+            match *op {
+                BatchOp::Map { va, pfn, flags } => {
+                    let pte = Pte {
+                        kind: PteKind::Frame(pfn),
+                        flags,
+                    };
+                    match map_in(&mut node, va, pte) {
+                        Ok(()) => {
+                            undo.push(Undo::Unmap(va));
+                            mapped += 1;
+                        }
+                        Err(f) => {
+                            fault = Some(f);
+                            break 'ops;
+                        }
+                    }
+                }
+                BatchOp::UnmapRange { va, pages } => {
+                    for i in 0..pages {
+                        let page_va = va + (i * PAGE_SIZE) as u64;
+                        match unmap_in(&mut node, page_va) {
+                            Ok(pte) => {
+                                removed.push(pte);
+                                undo.push(Undo::Remap(page_va, pte));
+                                unmapped += 1;
+                            }
+                            Err(f) => {
+                                fault = Some(f);
+                                break 'ops;
+                            }
+                        }
+                    }
+                    spans.push((va, va + (pages * PAGE_SIZE) as u64));
+                    legacy_shootdowns += 1;
+                }
+                BatchOp::UnmapSparse { va, pages } => {
+                    for i in 0..pages {
+                        let page_va = va + (i * PAGE_SIZE) as u64;
+                        if let Ok(pte) = unmap_in(&mut node, page_va) {
+                            removed.push(pte);
+                            undo.push(Undo::Remap(page_va, pte));
+                            unmapped += 1;
+                        }
+                    }
+                    spans.push((va, va + (pages * PAGE_SIZE) as u64));
+                    legacy_shootdowns += 1;
+                }
+                BatchOp::ProtectRange { va, pages, flags } => {
+                    for i in 0..pages {
+                        let page_va = va + (i * PAGE_SIZE) as u64;
+                        match protect_in(&mut node, page_va, flags) {
+                            Ok(old) => {
+                                undo.push(Undo::Protect(page_va, old));
+                                protects += 1;
+                            }
+                            Err(f) => {
+                                fault = Some(f);
+                                break 'ops;
+                            }
+                        }
+                    }
+                    spans.push((va, va + (pages * PAGE_SIZE) as u64));
+                    legacy_shootdowns += pages as u64;
+                }
+                BatchOp::SwapFrame { va, pfn, flags } => {
+                    let pte = Pte {
+                        kind: PteKind::Frame(pfn),
+                        flags,
+                    };
+                    match replace_in(&mut node, va, pte) {
+                        Ok(old) => {
+                            removed.push(old);
+                            undo.push(Undo::Swap(va, old));
+                            spans.push((va, va + PAGE_SIZE as u64));
+                            legacy_shootdowns += 1;
+                        }
+                        Err(f) => {
+                            fault = Some(f);
+                            break 'ops;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(fault) = fault {
+            // Roll back in reverse: the space must be byte-identical to
+            // its pre-batch state, so callers can simply retry.
+            for u in undo.into_iter().rev() {
+                match u {
+                    Undo::Unmap(va) => {
+                        unmap_in(&mut node, va).expect("batch rollback: unmap");
+                    }
+                    Undo::Remap(va, pte) => {
+                        map_in(&mut node, va, pte).expect("batch rollback: remap");
+                    }
+                    Undo::Protect(va, old) => {
+                        protect_in(&mut node, va, old).expect("batch rollback: protect");
+                    }
+                    Undo::Swap(va, old) => {
+                        replace_in(&mut node, va, old).expect("batch rollback: swap");
+                    }
+                }
+            }
+            return Err(fault);
+        }
+        drop(node);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.pages_mapped.fetch_add(mapped, Ordering::Relaxed);
+        self.stats
+            .pages_unmapped
+            .fetch_add(unmapped, Ordering::Relaxed);
+        self.stats.protects.fetch_add(protects, Ordering::Relaxed);
+        let pages_invalidated = spans.iter().map(|&(s, e)| (e - s) / PAGE_SIZE as u64).sum();
+        let shootdowns = if spans.is_empty() {
+            0
+        } else if self.inval_capacity == 0 {
+            // Ablation baseline: pay the legacy per-op publication cost.
+            self.generation
+                .fetch_add(legacy_shootdowns, Ordering::AcqRel);
+            self.stats
+                .shootdowns
+                .fetch_add(legacy_shootdowns, Ordering::Relaxed);
+            legacy_shootdowns
+        } else {
+            self.shootdown_epoch(spans, batch.epoch);
+            1
+        };
+        Ok(BatchOutcome {
+            removed,
+            pages_invalidated,
+            shootdowns,
+        })
+    }
+
     /// Snapshot of activity counters.
     pub fn stats(&self) -> SpaceStats {
         SpaceStats {
@@ -593,8 +892,138 @@ impl AddressSpace {
             protects: self.stats.protects.load(Ordering::Relaxed),
             shootdowns: self.stats.shootdowns.load(Ordering::Relaxed),
             walks: self.stats.walks.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            coalesced_shootdowns: self.stats.coalesced_shootdowns.load(Ordering::Relaxed),
         }
     }
+}
+
+/// What [`AddressSpace::apply`] did.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Old leaves removed by `unmap_range`/`unmap_sparse`/`swap_frame`
+    /// operations, in application order.
+    pub removed: Vec<Pte>,
+    /// Pages covered by the published invalidation set.
+    pub pages_invalidated: u64,
+    /// Generation bumps the batch published (1 in the range-based
+    /// regime, the legacy per-op count under `with_inval_log(0)`, 0 for
+    /// a map-only batch).
+    pub shootdowns: u64,
+}
+
+/// Sort and merge overlapping or adjacent `[start, end)` spans in
+/// place. Per-page operations (the GOT swing emits one span per page)
+/// collapse to one contiguous span, keeping resynchronization plans
+/// compact — and under [`MAX_SYNC_SPANS`], where an uncoalesced list
+/// would needlessly degrade lagging TLBs to full flushes.
+fn coalesce_spans(spans: &mut Vec<(u64, u64)>) {
+    if spans.len() < 2 {
+        return;
+    }
+    spans.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+    for &(start, end) in spans.iter() {
+        match merged.last_mut() {
+            Some((_, prev_end)) if start <= *prev_end => *prev_end = (*prev_end).max(end),
+            _ => merged.push((start, end)),
+        }
+    }
+    *spans = merged;
+}
+
+fn check_va(va: u64) -> Result<(), Fault> {
+    if va & !VA_MASK != 0 {
+        return Err(Fault::NonCanonical { va });
+    }
+    debug_assert_eq!(page_offset(va), 0, "page-aligned address required");
+    Ok(())
+}
+
+/// Map `pte` at `va`, creating intermediate tables (caller holds the
+/// write lock).
+fn map_in(root: &mut Node, va: u64, pte: Pte) -> Result<(), Fault> {
+    let mut cur: &mut Node = root;
+    for level in 0..LEVELS - 1 {
+        let idx = level_index(va, level);
+        let slot = &mut cur.slots[idx];
+        match slot {
+            Entry::Empty => {
+                *slot = Entry::Table(Box::new(Node::new()));
+            }
+            Entry::Table(_) => {}
+            Entry::Leaf(_) => return Err(Fault::AlreadyMapped { va }),
+        }
+        cur = match slot {
+            Entry::Table(t) => t,
+            _ => unreachable!(),
+        };
+    }
+    let idx = level_index(va, LEVELS - 1);
+    match &mut cur.slots[idx] {
+        slot @ Entry::Empty => {
+            *slot = Entry::Leaf(pte);
+            Ok(())
+        }
+        _ => Err(Fault::AlreadyMapped { va }),
+    }
+}
+
+/// Remove the leaf at `va`, pruning empty tables (caller holds the
+/// write lock).
+fn unmap_in(root: &mut Node, va: u64) -> Result<Pte, Fault> {
+    fn remove(cur: &mut Node, va: u64, level: u32) -> Result<Pte, Fault> {
+        let idx = level_index(va, level);
+        if level == LEVELS - 1 {
+            return match std::mem::replace(&mut cur.slots[idx], Entry::Empty) {
+                Entry::Leaf(pte) => Ok(pte),
+                other => {
+                    cur.slots[idx] = other;
+                    Err(Fault::Unmapped { va })
+                }
+            };
+        }
+        match &mut cur.slots[idx] {
+            Entry::Table(t) => {
+                let pte = remove(t, va, level + 1)?;
+                if t.is_empty() {
+                    cur.slots[idx] = Entry::Empty;
+                }
+                Ok(pte)
+            }
+            _ => Err(Fault::Unmapped { va }),
+        }
+    }
+    remove(root, va, 0)
+}
+
+fn leaf_mut(root: &mut Node, va: u64) -> Result<&mut Pte, Fault> {
+    let mut cur: &mut Node = root;
+    for level in 0..LEVELS - 1 {
+        let idx = level_index(va, level);
+        cur = match &mut cur.slots[idx] {
+            Entry::Table(t) => t,
+            _ => return Err(Fault::Unmapped { va }),
+        };
+    }
+    match &mut cur.slots[level_index(va, LEVELS - 1)] {
+        Entry::Leaf(pte) => Ok(pte),
+        _ => Err(Fault::Unmapped { va }),
+    }
+}
+
+/// Change the permissions of the leaf at `va`, returning the old flags
+/// (caller holds the write lock).
+fn protect_in(root: &mut Node, va: u64, flags: PteFlags) -> Result<PteFlags, Fault> {
+    let pte = leaf_mut(root, va)?;
+    Ok(std::mem::replace(&mut pte.flags, flags))
+}
+
+/// Swap the leaf at `va` for `new`, returning the old leaf (caller
+/// holds the write lock).
+fn replace_in(root: &mut Node, va: u64, new: Pte) -> Result<Pte, Fault> {
+    let pte = leaf_mut(root, va)?;
+    Ok(std::mem::replace(pte, new))
 }
 
 fn check_access(va: u64, pte: &Pte, access: Access) -> Result<(), Fault> {
@@ -811,6 +1240,224 @@ mod tests {
         assert_eq!(n, 8);
         // Fetch entirely outside → fault.
         assert!(space.fetch(&phys, VA + PAGE_SIZE as u64, &mut buf).is_err());
+    }
+
+    #[test]
+    fn batch_applies_with_one_shootdown() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        space
+            .map_range(VA, &phys.alloc_n(4), PteFlags::DATA)
+            .unwrap();
+        let g0 = space.generation();
+        let swap = phys.alloc();
+        let mut batch = Batch::new();
+        batch
+            .map_range(VA + 0x10_0000, &phys.alloc_n(2), PteFlags::TEXT)
+            .unmap_range(VA, 2)
+            .protect_range(VA + 2 * PAGE_SIZE as u64, 2, PteFlags::RO_DATA)
+            .swap_frame(VA + 3 * PAGE_SIZE as u64, swap, PteFlags::RO_DATA);
+        let outcome = space.apply(batch).unwrap();
+        assert_eq!(space.generation(), g0 + 1, "one bump for the whole batch");
+        assert_eq!(outcome.shootdowns, 1);
+        assert_eq!(outcome.removed.len(), 3, "2 unmapped + 1 swapped-out");
+        assert_eq!(outcome.pages_invalidated, 2 + 2 + 1);
+        assert!(space.translate(VA, Access::Read).is_err());
+        assert!(space.translate(VA + 0x10_0000, Access::Exec).is_ok());
+        assert_eq!(
+            space
+                .translate(VA + 2 * PAGE_SIZE as u64, Access::Read)
+                .unwrap()
+                .pte
+                .flags,
+            PteFlags::RO_DATA
+        );
+        assert_eq!(
+            space
+                .translate(VA + 3 * PAGE_SIZE as u64, Access::Read)
+                .unwrap()
+                .pte
+                .kind,
+            PteKind::Frame(swap)
+        );
+    }
+
+    #[test]
+    fn failed_batch_rolls_back_completely() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let pfns = phys.alloc_n(2);
+        space.map_range(VA, &pfns, PteFlags::DATA).unwrap();
+        let g0 = space.generation();
+        let s0 = space.stats();
+        let mut batch = Batch::new();
+        batch
+            .unmap_range(VA, 2)
+            .protect_range(VA + 0x20_0000, 1, PteFlags::TEXT) // unmapped → faults
+            .map_page(VA + 0x30_0000, phys.alloc(), PteFlags::DATA);
+        let err = space.apply(batch).unwrap_err();
+        assert!(matches!(err, Fault::Unmapped { .. }));
+        // Atomicity: the unmap that *did* apply was rolled back, no
+        // generation bump was published, and the stats saw nothing.
+        assert_eq!(space.generation(), g0);
+        assert_eq!(space.stats().pages_unmapped, s0.pages_unmapped);
+        for (i, &pfn) in pfns.iter().enumerate() {
+            let t = space
+                .translate(VA + (i * PAGE_SIZE) as u64, Access::Read)
+                .unwrap();
+            assert_eq!(t.pte.kind, PteKind::Frame(pfn));
+        }
+        assert!(space.translate(VA + 0x30_0000, Access::Read).is_err());
+    }
+
+    #[test]
+    fn map_only_batch_publishes_no_shootdown() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let g0 = space.generation();
+        let mut batch = Batch::new();
+        batch.map_range(VA, &phys.alloc_n(3), PteFlags::DATA);
+        let outcome = space.apply(batch).unwrap();
+        assert_eq!(outcome.shootdowns, 0);
+        assert_eq!(space.generation(), g0, "pure maps invalidate nothing");
+    }
+
+    #[test]
+    fn same_epoch_batches_coalesce_into_one_log_slot() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        space
+            .map_range(VA, &phys.alloc_n(4), PteFlags::DATA)
+            .unwrap();
+        let mut a = Batch::new().epoch(7);
+        a.unmap_range(VA, 2);
+        let mut b = Batch::new().epoch(7);
+        b.unmap_range(VA + 2 * PAGE_SIZE as u64, 2);
+        let seen = space.generation();
+        space.apply(a).unwrap();
+        space.apply(b).unwrap();
+        assert_eq!(space.generation(), seen + 2, "each batch still bumps");
+        assert_eq!(space.stats().coalesced_shootdowns, 1, "but slots merged");
+        // A TLB that lagged across the whole epoch resynchronizes with
+        // one merged partial pass; the two adjacent batch spans have
+        // been coalesced into a single contiguous span.
+        match space.plan_sync(seen) {
+            (cur, TlbSync::Ranges(spans)) => {
+                assert_eq!(cur, seen + 2);
+                assert_eq!(spans, vec![(VA, VA + 4 * PAGE_SIZE as u64)]);
+            }
+            other => panic!("expected ranges, got {other:?}"),
+        }
+    }
+
+    /// Regression: a range op whose *tail* crosses the canonical
+    /// boundary used to pass the base-only check and alias low
+    /// canonical addresses through the masked radix walk — unmapping a
+    /// victim page with no covering invalidation span.
+    #[test]
+    fn batch_range_crossing_canonical_boundary_is_rejected() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let victim = 0x1000u64;
+        space.map(victim, phys.alloc(), PteFlags::DATA).unwrap();
+        let edge = (VA_MASK + 1) - PAGE_SIZE as u64; // last canonical page
+        for build in [
+            |b: &mut Batch, va: u64| {
+                b.unmap_sparse(va, 3);
+            },
+            |b: &mut Batch, va: u64| {
+                b.unmap_range(va, 3);
+            },
+            |b: &mut Batch, va: u64| {
+                b.protect_range(va, 3, PteFlags::RO_DATA);
+            },
+        ] {
+            let mut batch = Batch::new();
+            build(&mut batch, edge);
+            assert!(matches!(
+                space.apply(batch),
+                Err(Fault::NonCanonical { .. })
+            ));
+        }
+        // Overflowing the address space entirely is rejected too.
+        let mut batch = Batch::new();
+        batch.unmap_sparse(edge, usize::MAX / PAGE_SIZE);
+        assert!(matches!(
+            space.apply(batch),
+            Err(Fault::NonCanonical { .. })
+        ));
+        // The victim never lost its mapping.
+        assert!(space.translate(victim, Access::Read).is_ok());
+    }
+
+    /// A per-page op burst (the GOT-swing shape) must not trip the
+    /// span ceiling: adjacent single-page spans coalesce at
+    /// publication, so the partial-flush path survives batches far
+    /// wider than `MAX_SYNC_SPANS`.
+    #[test]
+    fn per_page_spans_coalesce_below_the_sync_ceiling() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let pages = 128; // 2× MAX_SYNC_SPANS
+        space
+            .map_range(VA, &phys.alloc_n(pages), PteFlags::DATA)
+            .unwrap();
+        let seen = space.generation();
+        let mut batch = Batch::new();
+        for i in 0..pages {
+            batch.swap_frame(VA + (i * PAGE_SIZE) as u64, phys.alloc(), PteFlags::RO_DATA);
+        }
+        space.apply(batch).unwrap();
+        match space.plan_sync(seen) {
+            (_, TlbSync::Ranges(spans)) => {
+                assert_eq!(spans, vec![(VA, VA + (pages * PAGE_SIZE) as u64)]);
+            }
+            other => panic!("128 adjacent page spans must coalesce, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_sync_degrades_to_full_past_the_horizon() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::with_inval_log(2);
+        space
+            .map_range(VA, &phys.alloc_n(8), PteFlags::DATA)
+            .unwrap();
+        let seen = space.generation();
+        for i in 0..4u64 {
+            space.unmap(VA + i * PAGE_SIZE as u64).unwrap();
+        }
+        assert!(matches!(space.plan_sync(seen), (_, TlbSync::Full)));
+        // A fresh snapshot within the horizon gets ranges.
+        let recent = space.generation() - 1;
+        assert!(matches!(
+            space.plan_sync(recent),
+            (_, TlbSync::Ranges(ref s)) if s.len() == 1
+        ));
+        assert!(matches!(
+            space.plan_sync(space.generation()),
+            (_, TlbSync::Current)
+        ));
+    }
+
+    #[test]
+    fn disabled_log_batch_pays_legacy_per_op_shootdowns() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::with_inval_log(0);
+        space
+            .map_range(VA, &phys.alloc_n(4), PteFlags::DATA)
+            .unwrap();
+        let g0 = space.generation();
+        let mut batch = Batch::new();
+        batch
+            .unmap_range(VA, 1)
+            .protect_range(VA + PAGE_SIZE as u64, 2, PteFlags::RO_DATA)
+            .swap_frame(VA + 3 * PAGE_SIZE as u64, phys.alloc(), PteFlags::DATA);
+        let outcome = space.apply(batch).unwrap();
+        // 1 (unmap) + 2 (protect per page, the legacy cost) + 1 (swap).
+        assert_eq!(outcome.shootdowns, 4);
+        assert_eq!(space.generation(), g0 + 4);
+        assert!(matches!(space.plan_sync(g0), (_, TlbSync::Full)));
     }
 
     #[test]

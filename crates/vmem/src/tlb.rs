@@ -1,14 +1,26 @@
-//! A per-CPU TLB model.
+//! A per-CPU TLB model with range-based shootdown.
 //!
 //! Re-randomization forces page-table updates, and page-table updates
 //! force TLB invalidations — the cost the paper discusses in §4.3. The
-//! model uses *generation-based shootdown*: [`crate::AddressSpace`] bumps
-//! its generation on unmap/protect, and a [`Tlb`] whose snapshot lags the
-//! space's generation flushes itself on the next lookup, counting the
-//! flush.
+//! original model used *generation-based whole-TLB shootdown*: any
+//! unmap/protect bumped [`crate::AddressSpace`]'s generation and a
+//! lagging [`Tlb`] flushed everything on its next lookup. That makes
+//! every cycle pay the worst case.
+//!
+//! The space now keeps a bounded *invalidation log* of the page spans
+//! each generation retired (see [`crate::AddressSpace::plan_sync`]). A
+//! lagging TLB consults it and evicts **only the covered entries** — a
+//! *partial flush* — falling back to a full flush only when it lagged
+//! past the log's horizon or the gap's span set is too large to walk.
+//! [`TlbStats::partial_flushes`] / [`TlbStats::entries_invalidated`]
+//! make the two regimes measurable.
+//!
+//! Eviction at capacity is deterministic FIFO (first-inserted entry
+//! goes first), and re-inserting an already-cached page never evicts an
+//! unrelated entry.
 
-use crate::{Pte, Translation};
-use std::collections::HashMap;
+use crate::{AddressSpace, Pte, TlbSync, Translation};
+use std::collections::{HashMap, VecDeque};
 
 /// TLB hit/miss/flush counters.
 #[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
@@ -17,8 +29,16 @@ pub struct TlbStats {
     pub hits: u64,
     /// Lookups that missed (caller must walk the page table).
     pub misses: u64,
-    /// Whole-TLB flushes caused by generation bumps.
+    /// Whole-TLB flushes (log horizon exceeded, oversized gap, or an
+    /// explicit [`Tlb::flush`]).
     pub flushes: u64,
+    /// Range-based resynchronizations that evicted only covered
+    /// entries instead of flushing.
+    pub partial_flushes: u64,
+    /// Entries evicted by partial flushes.
+    pub entries_invalidated: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
 }
 
 /// A single CPU's translation cache.
@@ -26,7 +46,13 @@ pub struct TlbStats {
 /// Not thread-safe by design: each simulated CPU owns one.
 #[derive(Debug, Default)]
 pub struct Tlb {
-    entries: HashMap<u64, Pte>,
+    /// `page_va → (pte, insertion seq)`. The seq validates lazy FIFO
+    /// queue entries after partial invalidation removed keys.
+    entries: HashMap<u64, (Pte, u64)>,
+    /// FIFO insertion order, lazily pruned (entries whose seq no longer
+    /// matches were invalidated or re-inserted).
+    order: VecDeque<(u64, u64)>,
+    seq: u64,
     generation: u64,
     stats: TlbStats,
     capacity: usize,
@@ -42,24 +68,24 @@ impl Tlb {
     pub fn with_capacity(capacity: usize) -> Tlb {
         Tlb {
             entries: HashMap::new(),
+            order: VecDeque::new(),
+            seq: 0,
             generation: 0,
             stats: TlbStats::default(),
             capacity,
         }
     }
 
-    /// Look up the translation for the page containing `va`, flushing
-    /// first if `current_generation` moved past our snapshot.
-    pub fn lookup(&mut self, page_va: u64, current_generation: u64) -> Option<Pte> {
-        if self.generation != current_generation {
-            self.entries.clear();
-            self.generation = current_generation;
-            self.stats.flushes += 1;
-        }
+    /// Look up the translation for `page_va`, first resynchronizing
+    /// with `space`'s invalidation log: evict only the spans retired
+    /// since our snapshot when the log still covers the gap, flush
+    /// everything when it does not.
+    pub fn lookup(&mut self, page_va: u64, space: &AddressSpace) -> Option<Pte> {
+        self.sync(space);
         match self.entries.get(&page_va) {
-            Some(pte) => {
+            Some(&(pte, _)) => {
                 self.stats.hits += 1;
-                Some(*pte)
+                Some(pte)
             }
             None => {
                 self.stats.misses += 1;
@@ -68,21 +94,77 @@ impl Tlb {
         }
     }
 
-    /// Install a translation produced by a page-table walk.
-    pub fn insert(&mut self, t: &Translation) {
-        if self.entries.len() >= self.capacity {
-            // Cheap pseudo-random eviction: drop an arbitrary entry.
-            if let Some(&k) = self.entries.keys().next() {
-                self.entries.remove(&k);
+    fn sync(&mut self, space: &AddressSpace) {
+        let (current, plan) = space.plan_sync(self.generation);
+        match plan {
+            TlbSync::Current => return,
+            TlbSync::Full => {
+                self.entries.clear();
+                self.order.clear();
+                self.stats.flushes += 1;
+            }
+            TlbSync::Ranges(spans) => {
+                let before = self.entries.len();
+                self.entries
+                    .retain(|&va, _| !spans.iter().any(|&(s, e)| va >= s && va < e));
+                self.stats.entries_invalidated += (before - self.entries.len()) as u64;
+                self.stats.partial_flushes += 1;
             }
         }
-        self.entries.insert(t.page_va, t.pte);
+        self.generation = current;
+    }
+
+    /// Install a translation produced by a page-table walk.
+    ///
+    /// Re-inserting an already-cached page refreshes it in place (it
+    /// keeps its FIFO position and evicts nothing). A genuinely new
+    /// page at capacity evicts the oldest entry — deterministically.
+    pub fn insert(&mut self, t: &Translation) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(slot) = self.entries.get_mut(&t.page_va) {
+            slot.0 = t.pte;
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some((va, seq)) => {
+                    if self.entries.get(&va).is_some_and(|&(_, s)| s == seq) {
+                        self.entries.remove(&va);
+                        self.stats.evictions += 1;
+                    }
+                }
+                None => break, // only stale queue entries remained
+            }
+        }
+        self.seq += 1;
+        self.entries.insert(t.page_va, (t.pte, self.seq));
+        self.order.push_back((t.page_va, self.seq));
+        // Partial invalidation leaves dead queue entries behind; compact
+        // before the queue outgrows the cache it mirrors.
+        if self.order.len() > self.capacity.saturating_mul(2) + 8 {
+            let entries = &self.entries;
+            self.order
+                .retain(|&(va, seq)| entries.get(&va).is_some_and(|&(_, s)| s == seq));
+        }
     }
 
     /// Explicitly flush (e.g. on simulated context switch).
     pub fn flush(&mut self) {
         self.entries.clear();
+        self.order.clear();
         self.stats.flushes += 1;
+    }
+
+    /// Cached entry count (test/diagnostic aid).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 
     /// Counter snapshot.
@@ -94,9 +176,14 @@ impl Tlb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Access, AddressSpace, PhysMem, PteFlags};
+    use crate::{Access, AddressSpace, Batch, PhysMem, PteFlags, PAGE_SIZE};
 
     const VA: u64 = 0x0012_3456_7800_0000;
+
+    fn warm(tlb: &mut Tlb, space: &AddressSpace, va: u64) {
+        let t = space.translate(va, Access::Read).unwrap();
+        tlb.insert(&t);
+    }
 
     #[test]
     fn hit_after_insert() {
@@ -104,27 +191,160 @@ mod tests {
         let space = AddressSpace::new();
         space.map(VA, phys.alloc(), PteFlags::DATA).unwrap();
         let mut tlb = Tlb::new();
-        let g = space.generation();
-        assert_eq!(tlb.lookup(VA, g), None);
+        assert_eq!(tlb.lookup(VA, &space), None);
         let t = space.translate(VA, Access::Read).unwrap();
         tlb.insert(&t);
-        assert_eq!(tlb.lookup(VA, g), Some(t.pte));
+        assert_eq!(tlb.lookup(VA, &space), Some(t.pte));
         assert_eq!(tlb.stats().hits, 1);
         assert_eq!(tlb.stats().misses, 1);
     }
 
     #[test]
-    fn generation_bump_flushes() {
+    fn unmap_invalidates_only_covered_entries() {
         let phys = PhysMem::new();
         let space = AddressSpace::new();
+        let other = VA + 0x40_0000;
         space.map(VA, phys.alloc(), PteFlags::DATA).unwrap();
+        space.map(other, phys.alloc(), PteFlags::DATA).unwrap();
         let mut tlb = Tlb::new();
-        let t = space.translate(VA, Access::Read).unwrap();
-        tlb.insert(&t);
-        // Unmap bumps the generation; the stale entry must not be served.
+        warm(&mut tlb, &space, VA);
+        warm(&mut tlb, &space, other);
         space.unmap(VA).unwrap();
-        assert_eq!(tlb.lookup(VA, space.generation()), None);
+        // The retired page is gone, the unrelated one survives — a
+        // partial flush, not a whole-TLB flush.
+        assert_eq!(tlb.lookup(VA, &space), None);
+        assert!(tlb.lookup(other, &space).is_some());
+        let s = tlb.stats();
+        assert_eq!(s.flushes, 0);
+        assert_eq!(s.partial_flushes, 1);
+        assert_eq!(s.entries_invalidated, 1);
+    }
+
+    #[test]
+    fn lagging_past_the_log_forces_full_flush() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::with_inval_log(4);
+        let keep = VA + 0x80_0000;
+        space.map(keep, phys.alloc(), PteFlags::DATA).unwrap();
+        let mut tlb = Tlb::new();
+        warm(&mut tlb, &space, keep);
+        // More shootdowns than the log holds, while the TLB sleeps.
+        for i in 0..8u64 {
+            let va = VA + i * PAGE_SIZE as u64;
+            space.map(va, phys.alloc(), PteFlags::DATA).unwrap();
+            space.unmap(va).unwrap();
+        }
+        // `keep` is still mapped, but the gap is unrecoverable — the
+        // sync must flush everything rather than guess.
+        assert_eq!(tlb.lookup(keep, &space), None);
         assert_eq!(tlb.stats().flushes, 1);
+        assert_eq!(tlb.stats().partial_flushes, 0);
+        // Re-warmed, it keeps hitting.
+        warm(&mut tlb, &space, keep);
+        assert!(tlb.lookup(keep, &space).is_some());
+    }
+
+    #[test]
+    fn disabled_log_always_full_flushes() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::with_inval_log(0);
+        let a = VA;
+        let b = VA + 0x10_0000;
+        space.map(a, phys.alloc(), PteFlags::DATA).unwrap();
+        space.map(b, phys.alloc(), PteFlags::DATA).unwrap();
+        let mut tlb = Tlb::new();
+        warm(&mut tlb, &space, a);
+        warm(&mut tlb, &space, b);
+        space.unmap(a).unwrap();
+        // Legacy regime: the unrelated entry dies too.
+        assert_eq!(tlb.lookup(b, &space), None);
+        assert_eq!(tlb.stats().flushes, 1);
+        assert_eq!(tlb.stats().partial_flushes, 0);
+    }
+
+    #[test]
+    fn batch_invalidation_is_one_partial_flush() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let survivor = VA + 0x100_0000;
+        space.map(survivor, phys.alloc(), PteFlags::DATA).unwrap();
+        space
+            .map_range(VA, &phys.alloc_n(8), PteFlags::DATA)
+            .unwrap();
+        let mut tlb = Tlb::new();
+        warm(&mut tlb, &space, survivor);
+        for i in 0..8u64 {
+            warm(&mut tlb, &space, VA + i * PAGE_SIZE as u64);
+        }
+        let mut batch = Batch::new();
+        batch.unmap_sparse(VA, 8);
+        let outcome = space.apply(batch).unwrap();
+        assert_eq!(outcome.shootdowns, 1);
+        assert!(tlb.lookup(survivor, &space).is_some());
+        for i in 0..8u64 {
+            assert_eq!(tlb.lookup(VA + i * PAGE_SIZE as u64, &space), None);
+        }
+        let s = tlb.stats();
+        assert_eq!(s.partial_flushes, 1, "one sync covers the whole batch");
+        assert_eq!(s.entries_invalidated, 8);
+        assert_eq!(s.flushes, 0);
+    }
+
+    /// Regression: re-inserting an already-cached page at capacity used
+    /// to evict an arbitrary unrelated entry.
+    #[test]
+    fn reinsert_at_capacity_evicts_nothing() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let mut tlb = Tlb::with_capacity(4);
+        for i in 0..4u64 {
+            let va = VA + i * PAGE_SIZE as u64;
+            space.map(va, phys.alloc(), PteFlags::DATA).unwrap();
+            warm(&mut tlb, &space, va);
+        }
+        assert_eq!(tlb.len(), 4);
+        // Re-insert every cached page; nothing may be evicted.
+        for i in 0..4u64 {
+            warm(&mut tlb, &space, VA + i * PAGE_SIZE as u64);
+        }
+        assert_eq!(tlb.stats().evictions, 0);
+        for i in 0..4u64 {
+            assert!(
+                tlb.lookup(VA + i * PAGE_SIZE as u64, &space).is_some(),
+                "page {i} was evicted by a re-insert"
+            );
+        }
+    }
+
+    /// Eviction order is deterministic FIFO: the same insert sequence
+    /// always evicts the same keys, regardless of hash iteration order.
+    #[test]
+    fn eviction_is_deterministic_fifo() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        for i in 0..8u64 {
+            space
+                .map(VA + i * PAGE_SIZE as u64, phys.alloc(), PteFlags::DATA)
+                .unwrap();
+        }
+        // Seeded (fixed) insertion order, twice over fresh TLBs: the
+        // surviving set must be identical.
+        let run = || {
+            let mut tlb = Tlb::with_capacity(4);
+            for &i in &[0u64, 1, 2, 3, 0, 4, 5] {
+                warm(&mut tlb, &space, VA + i * PAGE_SIZE as u64);
+            }
+            let mut alive: Vec<u64> = (0..8u64)
+                .filter(|&i| tlb.lookup(VA + i * PAGE_SIZE as u64, &space).is_some())
+                .collect();
+            alive.sort_unstable();
+            alive
+        };
+        let first = run();
+        // FIFO: 0,1,2,3 cached; re-warm of 0 keeps its slot; inserting
+        // 4 evicts 0 (oldest), inserting 5 evicts 1.
+        assert_eq!(first, vec![2, 3, 4, 5]);
+        assert_eq!(first, run(), "eviction must be deterministic");
     }
 
     #[test]
@@ -138,6 +358,6 @@ mod tests {
             let t = space.translate(va, Access::Read).unwrap();
             tlb.insert(&t);
         }
-        assert!(tlb.entries.len() <= 4);
+        assert!(tlb.len() <= 4);
     }
 }

@@ -1,6 +1,8 @@
 //! Property tests for page-table invariants.
 
-use adelie_vmem::{Access, AddressSpace, Fault, PhysMem, PteFlags, PAGE_SIZE, VA_MASK};
+use adelie_vmem::{
+    Access, AddressSpace, Batch, Fault, PhysMem, Pte, PteFlags, PteKind, Tlb, PAGE_SIZE, VA_MASK,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -77,6 +79,122 @@ proptest! {
         let va = base + PAGE_SIZE as u64 - off as u64;
         space.write_u64(&phys, va, 0x1122_3344_5566_7788).unwrap();
         prop_assert_eq!(space.read_u64(&phys, va).unwrap(), 0x1122_3344_5566_7788);
+    }
+
+    /// The shootdown-semantics contract: after **any** interleaving of
+    /// batched ops, no TLB — whether it resynchronizes on every batch
+    /// or lags several batches behind — ever serves a translation the
+    /// space has retired, and batch failures are fully atomic (the
+    /// space still matches the model exactly).
+    #[test]
+    fn batched_ops_never_serve_stale_translations(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0u8..4, 0usize..24, 1usize..5), 1..6),
+            1..25,
+        ),
+        small_log in any::<bool>(),
+        small_tlb in any::<bool>(),
+    ) {
+        const PAGES: usize = 24;
+        let base = 0x0031_0000_0000_0000u64;
+        let page = |i: usize| base + (i * PAGE_SIZE) as u64;
+        let phys = PhysMem::new();
+        // A small log forces full-flush fallbacks; a small TLB forces
+        // capacity evictions — both paths must stay stale-free.
+        let space = AddressSpace::with_inval_log(if small_log { 2 } else { 64 });
+        let mut eager = Tlb::new();
+        let mut laggard = if small_tlb { Tlb::with_capacity(4) } else { Tlb::new() };
+        let mut model: HashMap<u64, Pte> = HashMap::new();
+        for (round, ops) in batches.into_iter().enumerate() {
+            let mut batch = Batch::new();
+            let mut next: HashMap<u64, Pte> = model.clone();
+            let mut ok = true;
+            for (op, start, len) in ops {
+                let start = start % PAGES;
+                let len = len.min(PAGES - start);
+                match op {
+                    0 => {
+                        let pfn = phys.alloc();
+                        batch.map_page(page(start), pfn, PteFlags::DATA);
+                        let pte = Pte { kind: PteKind::Frame(pfn), flags: PteFlags::DATA };
+                        ok &= next.insert(page(start), pte).is_none();
+                    }
+                    1 => {
+                        batch.unmap_sparse(page(start), len);
+                        for i in start..start + len {
+                            next.remove(&page(i));
+                        }
+                    }
+                    2 => {
+                        batch.protect_range(page(start), len, PteFlags::RO_DATA);
+                        for i in start..start + len {
+                            match next.get_mut(&page(i)) {
+                                Some(pte) => pte.flags = PteFlags::RO_DATA,
+                                None => ok = false,
+                            }
+                        }
+                    }
+                    _ => {
+                        let pfn = phys.alloc();
+                        let pte = Pte { kind: PteKind::Frame(pfn), flags: PteFlags::DATA };
+                        batch.swap_frame(page(start), pfn, PteFlags::DATA);
+                        ok &= next.insert(page(start), pte).is_some();
+                    }
+                }
+            }
+            match space.apply(batch) {
+                Ok(_) => {
+                    prop_assert!(ok, "batch succeeded but the model predicted a fault");
+                    model = next;
+                }
+                Err(_) => prop_assert!(!ok, "batch failed but the model predicted success"),
+            }
+            // Whatever the outcome, the space agrees with the model and
+            // the eagerly-synced TLB never serves retired state.
+            for i in 0..PAGES {
+                let va = page(i);
+                let cached = eager.lookup(va, &space);
+                match model.get(&va) {
+                    Some(&pte) => {
+                        if let Some(hit) = cached {
+                            prop_assert_eq!(hit, pte, "TLB served a stale PTE for {:#x}", va);
+                        } else {
+                            let t = space.translate(va, Access::Read);
+                            prop_assert!(t.is_ok(), "model says {:#x} is mapped", va);
+                            eager.insert(&t.unwrap());
+                        }
+                    }
+                    None => {
+                        prop_assert!(
+                            cached.is_none(),
+                            "TLB served a retired translation for {:#x}", va
+                        );
+                        prop_assert!(space.translate(va, Access::Read).is_err());
+                    }
+                }
+            }
+            // The laggard syncs only every third batch — it crosses
+            // multiple invalidation sets (or the log horizon) at once.
+            if round % 3 == 2 {
+                for i in 0..PAGES {
+                    let va = page(i);
+                    let cached = laggard.lookup(va, &space);
+                    match model.get(&va) {
+                        Some(&pte) => {
+                            if let Some(hit) = cached {
+                                prop_assert_eq!(hit, pte, "laggard served stale PTE at {:#x}", va);
+                            } else if let Ok(t) = space.translate(va, Access::Read) {
+                                laggard.insert(&t);
+                            }
+                        }
+                        None => prop_assert!(
+                            cached.is_none(),
+                            "laggard served a retired translation for {:#x}", va
+                        ),
+                    }
+                }
+            }
+        }
     }
 
     /// Permissions are enforced for every flag combination.

@@ -469,6 +469,70 @@ mod tests {
     }
 
     #[test]
+    fn ioctl_fleet_pays_partial_flushes_not_full_flushes() {
+        // The shootdown ablation at workload level: the same ioctl
+        // fleet + stepped schedule under the legacy whole-TLB regime
+        // (`tlb_inval_log: 0`) and under range-based invalidation. The
+        // driver CPU's TLB must stop whole-flushing once invalidation
+        // is range-based.
+        let run = |inval_log: usize| {
+            let tb = Testbed::with_kernel_config(
+                TransformOptions::rerandomizable(true),
+                DriverSet::dummy_only(),
+                KernelConfig {
+                    tlb_inval_log: inval_log,
+                    ..KernelConfig::default()
+                },
+            );
+            let clock = SimClock::new();
+            let sched = tb.start_stepped_scheduler(clock.clone(), Duration::from_micros(100));
+            let mut vm = tb.kernel.vm();
+            // Warm the TLB before counting.
+            for i in 0..10u64 {
+                tb.kernel
+                    .ioctl(&mut vm, adelie_drivers::specs::DUMMY_MINOR, 0, i)
+                    .unwrap();
+            }
+            let warm = vm.tlb_stats();
+            for i in 0..100u64 {
+                assert_eq!(
+                    tb.kernel
+                        .ioctl(&mut vm, adelie_drivers::specs::DUMMY_MINOR, 0, i)
+                        .unwrap(),
+                    i
+                );
+                clock.advance(Duration::from_millis(1));
+                while sched
+                    .peek_deadline_ns()
+                    .is_some_and(|d| d <= clock.now_ns())
+                {
+                    sched.step();
+                }
+            }
+            let cycles = sched.stop().cycles;
+            let t = vm.tlb_stats();
+            (
+                cycles,
+                t.flushes - warm.flushes,
+                t.partial_flushes - warm.partial_flushes,
+            )
+        };
+        let (legacy_cycles, legacy_full, _) = run(0);
+        assert!(legacy_cycles >= 5);
+        assert!(
+            legacy_full > 0,
+            "legacy regime must whole-flush under cycling"
+        );
+        let (cycles, full, partial) = run(adelie_vmem::DEFAULT_INVAL_LOG);
+        assert!(cycles >= 5);
+        assert!(partial > 0, "range regime must take the partial path");
+        assert!(
+            full < legacy_full,
+            "range-based shootdown must cut whole-TLB flushes ({full} vs {legacy_full})"
+        );
+    }
+
+    #[test]
     fn any_workload_runs_under_any_policy() {
         // The SchedConfig knob: the same Fig. 8 workload under a
         // 4-worker adaptive pool instead of the serial fixed period.
