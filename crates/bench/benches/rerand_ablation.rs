@@ -7,7 +7,7 @@
 use adelie_core::{rerandomize_module, LoadedModule, ModuleRegistry};
 use adelie_gadget::synth_module;
 use adelie_isa::{AluOp, Insn, Reg};
-use adelie_kernel::{Kernel, KernelConfig, ReclaimerKind};
+use adelie_kernel::{Kernel, KernelConfig, ReadPath, ReclaimerKind};
 use adelie_plugin::{transform, FuncSpec, MOp, ModuleSpec, TransformOptions};
 use adelie_sched::{Policy, SchedConfig, Scheduler, SimClock};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -356,12 +356,60 @@ fn bench_tlb_shootdown_regimes(c: &mut Criterion) {
     g.finish();
 }
 
+/// Contention axis: total reader calls completed while a rerand writer
+/// churns the fleet non-stop, under the `locked` (pre-snapshot
+/// reader/writer-lock) vs `snapshot` (RCU snapshots + epoch pins) read
+/// path, with 4 reader threads. The numbers are printed for comparison;
+/// the hard cross-mode assertion lives in the `translate_throughput`
+/// bin (CI artifact `BENCH_translate.json`), which also runs the
+/// layout oracle across the same contention pattern.
+fn bench_read_contention(c: &mut Criterion) {
+    const WINDOW: Duration = Duration::from_millis(200);
+    const READERS: usize = 4;
+
+    fn run(label: &str, read_path: ReadPath) -> adelie_bench::contention::Outcome {
+        let kernel = Kernel::new(KernelConfig {
+            read_path,
+            ..KernelConfig::default()
+        });
+        let registry = ModuleRegistry::new(&kernel);
+        let modules = adelie_bench::contention::fleet(&registry, 3);
+        let o = adelie_bench::contention::run(&kernel, &registry, &modules, READERS, WINDOW);
+        println!(
+            "  {label}: {} reader calls / {} cycles in {WINDOW:?}",
+            o.calls, o.cycles
+        );
+        o
+    }
+
+    let mut g = c.benchmark_group("rerand_read_contention");
+    g.sample_size(1); // each sample runs two full windows
+    g.bench_function("locked_vs_snapshot_4_readers", |b| {
+        b.iter_custom(|iters| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                let locked = run("locked_read_path", ReadPath::Locked);
+                let snapshot = run("snapshot_read_path", ReadPath::Snapshot);
+                assert_eq!(locked.reader_errors + snapshot.reader_errors, 0);
+                assert_eq!(locked.failed_cycles + snapshot.failed_cycles, 0);
+                println!(
+                    "  snapshot/locked reader throughput: {:.2}x",
+                    snapshot.calls as f64 / locked.calls.max(1) as f64
+                );
+            }
+            t0.elapsed()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_cycle,
     bench_cycle_reclaimers,
     bench_policies,
     bench_workers_vs_serial_shim,
-    bench_tlb_shootdown_regimes
+    bench_tlb_shootdown_regimes,
+    bench_read_contention
 );
 criterion_main!(benches);

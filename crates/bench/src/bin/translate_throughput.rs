@@ -1,0 +1,194 @@
+//! The lock-free read-path benchmark: reader throughput under a
+//! continuously re-randomizing writer, `locked` (the pre-snapshot
+//! reader/writer-lock regime) vs `snapshot` (RCU-style immutable
+//! page-table snapshots + epoch pins), across 1/2/4/8 reader threads
+//! and 3 seeds — emitted as `BENCH_translate.json` (the CI artifact)
+//! plus a console table.
+//!
+//! The shared [`adelie_bench::contention`] harness drives it: each
+//! reader thread owns a simulated CPU (`Kernel::vm`) and hammers the
+//! module fleet's exports; every call fetches, decodes, and translates
+//! through the per-CPU TLB and the kernel page tables — the exact path
+//! the ROADMAP says must run "as fast as the hardware allows". The
+//! writer thread runs `rerandomize_module` back-to-back over the whole
+//! fleet, so the page tables churn for the entire window. A
+//! [`LayoutOracle`] (with its stale-translation witness and
+//! snapshot-SMR accounting) checks every invariant across the run.
+//!
+//! The run *asserts* the acceptance properties — snapshot-mode reader
+//! throughput strictly above locked mode at 4+ readers on every seed
+//! (on multicore hosts; a single-core host has no concurrency for the
+//! lock to destroy, so only correctness is asserted there), with zero
+//! oracle violations and zero failed cycles — so a regression fails CI
+//! rather than shifting a curve nobody reads.
+
+use adelie_bench::contention;
+use adelie_core::ModuleRegistry;
+use adelie_kernel::{Kernel, KernelConfig, ReadPath};
+use adelie_sched::SimClock;
+use adelie_testkit::LayoutOracle;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const SEEDS: [u64; 3] = [1, 42, 0xA77ACC];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const MODULES: usize = 4;
+const WINDOW: Duration = Duration::from_millis(120);
+
+struct Outcome {
+    mode: &'static str,
+    threads: usize,
+    window: contention::Outcome,
+    calls_per_sec: f64,
+    /// Reader-observed errors + layout-oracle violations.
+    violations: u64,
+}
+
+fn run(mode: &'static str, read_path: ReadPath, seed: u64, threads: usize) -> Outcome {
+    let kernel = Kernel::new(KernelConfig {
+        seed,
+        read_path,
+        ..KernelConfig::default()
+    });
+    let registry = ModuleRegistry::new(&kernel);
+    let modules = contention::fleet(&registry, MODULES);
+    let oracle = LayoutOracle::new(kernel.clone(), SimClock::new());
+    registry.set_cycle_hooks(oracle.clone());
+    let window = contention::run(&kernel, &registry, &modules, threads, WINDOW);
+    let report = oracle.verify_quiesced(&registry, None, 0);
+    for v in &report.violations {
+        eprintln!("oracle violation [{mode}/{threads}r/seed {seed}]: {v}");
+    }
+    Outcome {
+        mode,
+        threads,
+        window,
+        calls_per_sec: window.calls as f64 / WINDOW.as_secs_f64(),
+        violations: window.reader_errors + report.violations.len() as u64,
+    }
+}
+
+fn outcome_json(seed: u64, o: &Outcome) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "    {{\"seed\": {seed}, \"mode\": \"{}\", \"reader_threads\": {}, \"calls\": {}, \
+         \"calls_per_sec\": {:.0}, \"rerand_cycles\": {}, \"failed_cycles\": {}, \
+         \"oracle_violations\": {}}}",
+        o.mode,
+        o.threads,
+        o.window.calls,
+        o.calls_per_sec,
+        o.window.cycles,
+        o.window.failed_cycles,
+        o.violations,
+    );
+    s
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows = Vec::new();
+    println!(
+        "=== translate throughput: locked vs snapshot read path under a rerand writer \
+         ({cores} cores) ==="
+    );
+    println!(
+        "{:<10} {:<9} {:>8} {:>12} {:>14} {:>8} {:>10}",
+        "seed", "mode", "readers", "calls", "calls/sec", "cycles", "violations"
+    );
+    let t0 = Instant::now();
+    for seed in SEEDS {
+        let mut by_threads: Vec<(Outcome, Outcome)> = Vec::new();
+        for &threads in &THREADS {
+            let locked = run("locked", ReadPath::Locked, seed, threads);
+            let snapshot = run("snapshot", ReadPath::Snapshot, seed, threads);
+            for o in [&locked, &snapshot] {
+                println!(
+                    "{:<10} {:<9} {:>8} {:>12} {:>14.0} {:>8} {:>10}",
+                    seed,
+                    o.mode,
+                    o.threads,
+                    o.window.calls,
+                    o.calls_per_sec,
+                    o.window.cycles,
+                    o.violations
+                );
+                assert_eq!(
+                    o.violations, 0,
+                    "seed {seed}/{}/{} readers: reader errors or layout-oracle violations",
+                    o.mode, o.threads
+                );
+                assert_eq!(
+                    o.window.failed_cycles, 0,
+                    "seed {seed}/{}/{} readers: no cycle may fail",
+                    o.mode, o.threads
+                );
+                rows.push(outcome_json(seed, o));
+            }
+            by_threads.push((locked, snapshot));
+        }
+        // Acceptance: with 4+ readers contending against the rerand
+        // writer, the lock-free snapshot path must strictly beat the
+        // locked ablation on every seed. Requires actual hardware
+        // parallelism — on a single-core host nothing ever runs
+        // concurrently, so blocking costs no throughput and both
+        // regimes degenerate to the same serialized schedule; the
+        // numbers are still emitted, but the comparison is asserted
+        // only where it is meaningful.
+        for (locked, snapshot) in &by_threads {
+            if locked.threads >= 4 && cores >= 2 {
+                assert!(
+                    snapshot.window.calls > locked.window.calls,
+                    "seed {seed}: snapshot mode must beat locked mode at {} readers \
+                     ({} vs {})",
+                    locked.threads,
+                    snapshot.window.calls,
+                    locked.window.calls
+                );
+            }
+        }
+        if cores < 2 {
+            println!("  (single-core host: cross-mode throughput assertion skipped)");
+        }
+        let (s1, s4) = (&by_threads[0].1, &by_threads[2].1);
+        let (l1, l4) = (&by_threads[0].0, &by_threads[2].0);
+        println!(
+            "  seed {seed}: snapshot 1→4 readers {:.0} → {:.0} calls/s ({:.2}x), \
+             locked 1→4 readers {:.0} → {:.0} calls/s ({:.2}x), \
+             snapshot/locked @4 = {:.2}x",
+            s1.calls_per_sec,
+            s4.calls_per_sec,
+            s4.calls_per_sec / s1.calls_per_sec.max(1.0),
+            l1.calls_per_sec,
+            l4.calls_per_sec,
+            l4.calls_per_sec / l1.calls_per_sec.max(1.0),
+            s4.calls_per_sec / l4.calls_per_sec.max(1.0),
+        );
+        // Scaling: snapshot-mode readers must gain from added threads.
+        // Only asserted when the host has headroom for 4 readers plus
+        // the writer — on smaller CI boxes the numbers are printed but
+        // the cross-mode assertion above is the binding one.
+        if cores >= 6 {
+            assert!(
+                s4.window.calls > s1.window.calls,
+                "seed {seed}: snapshot-mode throughput must scale with readers \
+                 ({} @4 vs {} @1)",
+                s4.window.calls,
+                s1.window.calls
+            );
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"translate_throughput\",\n  \"modules\": {MODULES},\n  \
+         \"window_ms\": {},\n  \"cores\": {cores},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        WINDOW.as_millis(),
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_translate.json", &json).expect("write BENCH_translate.json");
+    println!(
+        "wrote BENCH_translate.json ({} rows) in {:?}",
+        rows.len(),
+        t0.elapsed()
+    );
+}

@@ -65,3 +65,124 @@ pub fn print_header(figure: &str, caption: &str) {
 pub fn overhead_pct(base: f64, new: f64) -> f64 {
     (base - new) / base * 100.0
 }
+
+/// Shared read-contention harness: `readers` simulated CPUs hammer a
+/// module fleet's exports while a writer thread re-randomizes the
+/// whole fleet back-to-back for the window. Used by both the
+/// `translate_throughput` bin (which attaches a `LayoutOracle` and
+/// asserts) and `rerand_ablation`'s contention axis (which prints the
+/// comparison), so the two stay in lockstep.
+pub mod contention {
+    use adelie_core::{rerandomize_module, LoadedModule, ModuleRegistry};
+    use adelie_isa::{AluOp, Insn, Reg};
+    use adelie_kernel::Kernel;
+    use adelie_plugin::{transform, FuncSpec, MOp, ModuleSpec, TransformOptions};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Argument the reader threads pass to every export.
+    pub const CALC_ARG: u64 = 16;
+    /// Expected return (`modN_calc(x) = x + 1`); anything else counts
+    /// as a reader error.
+    pub const CALC_RET: u64 = CALC_ARG + 1;
+
+    /// What one contention window produced.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Outcome {
+        /// Total reader calls completed across all reader threads.
+        pub calls: u64,
+        /// Re-randomization cycles the writer completed meanwhile.
+        pub cycles: u64,
+        /// Cycles that failed (0 in a healthy run).
+        pub failed_cycles: u64,
+        /// Reader calls that faulted or returned the wrong value.
+        pub reader_errors: u64,
+    }
+
+    /// Load `count` re-randomizable one-export modules
+    /// (`mod{i}_calc(x) = x + 1`) — the fleet both consumers hammer.
+    pub fn fleet(registry: &Arc<ModuleRegistry>, count: usize) -> Vec<Arc<LoadedModule>> {
+        let opts = TransformOptions::rerandomizable(true);
+        (0..count)
+            .map(|i| {
+                let mut spec = ModuleSpec::new(&format!("mod{i}"));
+                spec.funcs.push(FuncSpec::exported(
+                    &format!("mod{i}_calc"),
+                    vec![
+                        MOp::Insn(Insn::MovRR {
+                            dst: Reg::Rax,
+                            src: Reg::Rdi,
+                        }),
+                        MOp::Insn(Insn::AluImm {
+                            op: AluOp::Add,
+                            dst: Reg::Rax,
+                            imm: 1,
+                        }),
+                        MOp::Ret,
+                    ],
+                ));
+                let obj = transform(&spec, &opts).unwrap();
+                registry.load(&obj, &opts).unwrap()
+            })
+            .collect()
+    }
+
+    /// Run one window: a nonstop re-randomization writer vs `readers`
+    /// interpreter CPUs calling every export of `modules` in a loop.
+    pub fn run(
+        kernel: &Arc<Kernel>,
+        registry: &Arc<ModuleRegistry>,
+        modules: &[Arc<LoadedModule>],
+        readers: usize,
+        window: Duration,
+    ) -> Outcome {
+        let entries: Vec<u64> = modules
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.export(&format!("mod{i}_calc")).unwrap())
+            .collect();
+        let stop = AtomicBool::new(false);
+        let calls = AtomicU64::new(0);
+        let reader_errors = AtomicU64::new(0);
+        let cycles = AtomicU64::new(0);
+        let failed = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    for m in modules {
+                        match rerandomize_module(kernel, registry, m) {
+                            Ok(_) => cycles.fetch_add(1, Ordering::Relaxed),
+                            Err(_) => failed.fetch_add(1, Ordering::Relaxed),
+                        };
+                    }
+                }
+            });
+            for _ in 0..readers {
+                s.spawn(|| {
+                    let mut vm = kernel.vm();
+                    let mut done = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for &e in &entries {
+                            match vm.call(e, &[CALC_ARG]) {
+                                Ok(CALC_RET) => done += 1,
+                                _ => {
+                                    reader_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    calls.fetch_add(done, Ordering::Relaxed);
+                });
+            }
+            std::thread::sleep(window);
+            stop.store(true, Ordering::Relaxed);
+        });
+        Outcome {
+            calls: calls.load(Ordering::Relaxed),
+            cycles: cycles.load(Ordering::Relaxed),
+            failed_cycles: failed.load(Ordering::Relaxed),
+            reader_errors: reader_errors.load(Ordering::Relaxed),
+        }
+    }
+}

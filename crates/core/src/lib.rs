@@ -68,7 +68,7 @@ use va::{VaAllocator, VaReservation};
 /// by the loader, the re-randomizer, and the stack pools.
 pub struct ModuleRegistry {
     kernel: Arc<Kernel>,
-    modules: RwLock<HashMap<String, Arc<LoadedModule>>>,
+    modules: RwLock<HashMap<Arc<str>, Arc<LoadedModule>>>,
     /// The per-CPU randomized stack pools (shared by all modules).
     pub stacks: Arc<StackPool>,
     va: Arc<VaAllocator>,
@@ -154,7 +154,7 @@ impl ModuleRegistry {
 
     /// Names of all loaded modules.
     pub fn list(&self) -> Vec<String> {
-        self.modules.read().keys().cloned().collect()
+        self.modules.read().keys().map(|k| k.to_string()).collect()
     }
 
     /// Unload a module (rmmod): runs its exit entry point, unpublishes
@@ -619,7 +619,7 @@ mod tests {
         let opts = TransformOptions::pic(false);
         let (kernel, registry, module) = setup(&opts);
         match rerandomize_module(&kernel, &registry, &module) {
-            Err(RerandError::NotRerandomizable { module }) => assert_eq!(module, "demo"),
+            Err(RerandError::NotRerandomizable { module }) => assert_eq!(&*module, "demo"),
             other => panic!("expected NotRerandomizable, got {other:?}"),
         }
     }

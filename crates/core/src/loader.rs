@@ -862,7 +862,7 @@ impl<'k> Loader<'k> {
             .unwrap_or_default();
 
         let module = Arc::new(LoadedModule {
-            name: obj.name.clone(),
+            name: obj.name.as_str().into(),
             rerandomizable: rerand,
             movable_base: AtomicU64::new(movable_base),
             generation: AtomicU64::new(0),

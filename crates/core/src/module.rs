@@ -9,6 +9,7 @@ use adelie_vmem::{Pfn, PteFlags};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Which half of the module an item lives in.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -119,8 +120,11 @@ pub struct LoadStats {
 /// A module resident in the simulated kernel.
 #[derive(Debug)]
 pub struct LoadedModule {
-    /// Module name.
-    pub name: String,
+    /// Module name — a shared, immutable id. Kept as `Arc<str>` so the
+    /// re-randomizer's error paths, the scheduler's telemetry, and the
+    /// testkit clone a pointer per cycle instead of reallocating the
+    /// string on every hot-path touch.
+    pub name: Arc<str>,
     /// Whether the re-randomizer may move it.
     pub rerandomizable: bool,
     /// The movable (or only) part.

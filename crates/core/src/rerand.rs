@@ -55,20 +55,20 @@ use std::sync::Arc;
 pub enum RerandError {
     /// The module was not built with `TransformOptions::rerandomizable`.
     NotRerandomizable {
-        /// Module name.
-        module: String,
+        /// Module name (shared id — no per-error allocation).
+        module: Arc<str>,
     },
     /// No free virtual range of the required size could be found.
     NoSpace {
-        /// Module name.
-        module: String,
+        /// Module name (shared id — no per-error allocation).
+        module: Arc<str>,
         /// Pages requested.
         pages: usize,
     },
     /// Mapping or swapping pages at the new base failed.
     Remap {
-        /// Module name.
-        module: String,
+        /// Module name (shared id — no per-error allocation).
+        module: Arc<str>,
         /// Which remap step failed (alias, local GOT, immovable GOT).
         what: &'static str,
         /// The underlying page-table fault.
@@ -79,8 +79,8 @@ pub enum RerandError {
     /// runs correctly at its new base and the old range was retired —
     /// only the callback's own refresh work is in doubt.
     UpdatePointers {
-        /// Module name.
-        module: String,
+        /// Module name (shared id — no per-error allocation).
+        module: Arc<str>,
         /// The interpreter error.
         source: VmError,
     },
@@ -186,8 +186,8 @@ pub fn rerandomize_module_epoch(
         })?;
     let new_base = reservation.base();
     let new_key = kernel.rng_u64();
-    // Error constructor: clones the name only when a fault actually
-    // occurs, not once per mapped page.
+    // Error constructor: the module id is a pre-built `Arc<str>`, so
+    // even the fault paths cost a refcount bump, never a string copy.
     let remap = |what: &'static str, fault: Fault| RerandError::Remap {
         module: module.name.clone(),
         what,

@@ -326,7 +326,7 @@ mod tests {
         for flavor in [NicFlavor::E1000e, NicFlavor::E1000, NicFlavor::Ena] {
             let (kernel, registry) = boot();
             let drv = install_nic(&registry, &opts, flavor).unwrap();
-            assert_eq!(drv.module.name, flavor.name());
+            assert_eq!(&*drv.module.name, flavor.name());
             let mut vm = kernel.vm();
             kernel.net_xmit(&mut vm, b"probe").unwrap();
             assert_eq!(drv.device.pop_tx().unwrap(), b"probe");

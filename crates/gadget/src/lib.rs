@@ -40,4 +40,4 @@ pub mod scan;
 pub use chain::{build_chain, chain_verdict, ChainVerdict, RopChain};
 pub use classify::{classify, histogram, GadgetClass};
 pub use corpus::{generate_corpus, synth_kernel_text, synth_module, CorpusModule};
-pub use scan::{count_by_end, scan, Gadget, GadgetEnd, MAX_GADGET_LEN};
+pub use scan::{content_hash, count_by_end, scan, Gadget, GadgetEnd, ScanCache, MAX_GADGET_LEN};

@@ -6,6 +6,9 @@
 //! ROP), or indirect `jmp`/`call` (JOP, §2.1).
 
 use adelie_isa::{decode, Insn};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Maximum instructions per gadget (Ropper's default depth is 6).
 pub const MAX_GADGET_LEN: usize = 6;
@@ -96,6 +99,82 @@ pub fn scan(bytes: &[u8]) -> Vec<Gadget> {
     out
 }
 
+/// FNV-1a content hash of a text image — the memoization key for
+/// [`ScanCache`]. Zero-copy re-randomization moves a module without
+/// changing a byte of its position-independent text, so the hash of the
+/// movable text is stable across cycles.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Memoizes [`scan`] results by content hash so callers that re-scan
+/// unchanged text every cycle (the scheduler's Adaptive-policy exposure
+/// refresh) pay a hash instead of a full every-offset decode. Gadget
+/// *counts* are cached, not gadget lists: exposure only needs the
+/// density, and counts keep the cache O(modules), not O(text).
+///
+/// Thread-safe; hit/miss counters are exported so schedulers can
+/// surface cache behaviour in their stats (and tests can assert a no-op
+/// cycle costs zero rescans).
+#[derive(Default)]
+pub struct ScanCache {
+    counts: Mutex<HashMap<u64, usize>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScanCache {
+    /// An empty cache.
+    pub fn new() -> ScanCache {
+        ScanCache::default()
+    }
+
+    /// Number of gadgets in `bytes`, memoized by [`content_hash`].
+    pub fn gadget_count(&self, bytes: &[u8]) -> usize {
+        let key = content_hash(bytes);
+        if let Some(&n) = self
+            .counts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return n;
+        }
+        let n = scan(bytes).len();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, n);
+        n
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run a full [`scan`].
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for ScanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanCache")
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
 /// Count gadgets per terminator kind.
 pub fn count_by_end(gadgets: &[Gadget]) -> (usize, usize, usize) {
     let mut ret = 0;
@@ -180,5 +259,29 @@ mod tests {
         assert!(scan(&[]).is_empty());
         let garbage = vec![0x06u8; 64]; // invalid opcode bytes
         assert!(scan(&garbage).is_empty());
+    }
+
+    #[test]
+    fn cache_memoizes_by_content() {
+        let a = bytes_of(&[Insn::Pop(Reg::Rdi), Insn::Ret]);
+        let b = bytes_of(&[Insn::Pop(Reg::Rax), Insn::JmpReg(Reg::Rax)]);
+        let cache = ScanCache::new();
+        let n_a = cache.gadget_count(&a);
+        assert_eq!(n_a, scan(&a).len());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Identical bytes hit, regardless of where they live.
+        assert_eq!(cache.gadget_count(&a.clone()), n_a);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Different content misses.
+        cache.gadget_count(&b);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn content_hash_is_content_only() {
+        let a = bytes_of(&[Insn::Pop(Reg::Rdi), Insn::Ret]);
+        assert_eq!(content_hash(&a), content_hash(&a.clone()));
+        let b = bytes_of(&[Insn::Pop(Reg::Rsi), Insn::Ret]);
+        assert_ne!(content_hash(&a), content_hash(&b));
     }
 }

@@ -15,10 +15,15 @@
 //!   registered kernel function — the exported-symbol mechanism.
 
 use crate::layout;
+use crate::symbols::NativeFn;
 use crate::Kernel;
 use adelie_isa::{decode, AluOp, Cond, DecodeError, Insn, Mem, Reg, ARG_REGS};
-use adelie_vmem::{page_base, page_offset, Access, Fault, PteKind, Tlb, Translation, PAGE_SIZE};
+use adelie_vmem::{
+    page_base, page_offset, Access, Fault, PteKind, SpaceReader, Tlb, Translation, PAGE_SIZE,
+};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Errors raised during interpreted execution.
@@ -94,6 +99,15 @@ pub struct Vm<'k> {
     regs: [u64; 16],
     flags: Flags,
     tlb: Tlb,
+    /// This CPU's long-lived read handle into the kernel address space:
+    /// owns one reader slot of the snapshot reclamation domain, so the
+    /// translate hot path pays only an epoch enter/leave — never a lock
+    /// and never a per-operation slot claim.
+    reader: SpaceReader<'k>,
+    /// Native-dispatch cache: the symbol table's native registry is
+    /// append-only, so resolved handlers are cached per CPU and the
+    /// registry's `RwLock` is off the instruction-dispatch hot path.
+    native_cache: HashMap<u64, Arc<NativeFn>>,
     cpu: usize,
     stack_top: u64,
     depth: u32,
@@ -107,6 +121,8 @@ impl<'k> Vm<'k> {
             regs: [0; 16],
             flags: Flags::default(),
             tlb: Tlb::new(),
+            reader: kernel.space.reader(),
+            native_cache: HashMap::new(),
             cpu,
             stack_top,
             depth: 0,
@@ -191,11 +207,18 @@ impl<'k> Vm<'k> {
                 return Ok(());
             }
             if layout::is_native(rip) {
-                let handler = self
-                    .kernel
-                    .symbols
-                    .native_at(rip)
-                    .ok_or(VmError::UnknownNative { va: rip })?;
+                let handler = match self.native_cache.get(&rip) {
+                    Some(h) => h.clone(),
+                    None => {
+                        let h = self
+                            .kernel
+                            .symbols
+                            .native_at(rip)
+                            .ok_or(VmError::UnknownNative { va: rip })?;
+                        self.native_cache.insert(rip, h.clone());
+                        h
+                    }
+                };
                 let ret = handler(self)?;
                 self.set_reg(Reg::Rax, ret);
                 rip = self.pop_u64()?;
@@ -235,15 +258,34 @@ impl<'k> Vm<'k> {
     }
 
     fn translate(&mut self, va: u64, access: Access) -> Result<Translation, VmError> {
-        let space = &self.kernel.space;
         let page_va = page_base(va);
-        // Range-based shootdown: the TLB resynchronizes against the
-        // space's invalidation log, evicting only covered entries.
-        if let Some(pte) = self.tlb.lookup(page_va, space) {
+        // Hit fast path: when this CPU's TLB is already at the space's
+        // current generation, a lookup is one atomic load plus a hash
+        // probe — no lock, no epoch pin, nothing a re-randomization
+        // writer can block.
+        let gen = self.kernel.space.generation();
+        if let Some(hit) = self.tlb.try_lookup_current(page_va, gen) {
+            if let Some(pte) = hit {
+                pte.check(va, access)?;
+                return Ok(Translation { pte, page_va });
+            }
+            // Miss at the current generation: walk the current
+            // immutable snapshot under one epoch pin — zero locks on
+            // the default read path.
+            let t = self.reader.pin().translate(va, access)?;
+            self.tlb.insert(&t);
+            return Ok(t);
+        }
+        // Lagging: one pin covers both the resynchronization against
+        // the lock-free invalidation ring (range-based shootdown —
+        // only covered entries are evicted) and the walk on a miss.
+        let pin = self.reader.pin();
+        if let Some(pte) = self.tlb.lookup_pinned(page_va, &pin) {
             pte.check(va, access)?;
             return Ok(Translation { pte, page_va });
         }
-        let t = space.translate(va, access)?;
+        let t = pin.translate(va, access)?;
+        drop(pin);
         self.tlb.insert(&t);
         Ok(t)
     }

@@ -46,7 +46,8 @@ pub use printk::Printk;
 pub use symbols::{NativeFn, SymbolTable};
 
 use adelie_reclaim::{Ebr, Hyaline, Reclaimer};
-use adelie_vmem::{AddressSpace, PhysMem, PteFlags, PAGE_SIZE};
+pub use adelie_vmem::ReadPath;
+use adelie_vmem::{AddressSpace, PhysMem, PteFlags, SpaceConfig, PAGE_SIZE};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -89,6 +90,17 @@ pub struct KernelConfig {
     /// `0` reverts to the legacy whole-TLB-flush regime (the measurable
     /// ablation baseline — see `adelie-vmem`).
     pub tlb_inval_log: usize,
+    /// Read-path regime of the kernel address space. The default
+    /// ([`ReadPath::Snapshot`]) gives translation a lock-free RCU walk
+    /// over immutable page-table snapshots; [`ReadPath::Locked`] is the
+    /// pre-snapshot reader-vs-writer-lock regime, kept as the
+    /// measurable ablation baseline for `translate_throughput`.
+    pub read_path: ReadPath,
+    /// Reclamation scheme guarding page-table *snapshot* lifetime (a
+    /// domain separate from [`KernelConfig::reclaimer`], whose `mr_*`
+    /// brackets span whole pending driver calls — snapshot pins last
+    /// one walk). EBR by default; Hyaline selectable for the ablation.
+    pub snapshot_reclaimer: ReclaimerKind,
 }
 
 impl Default for KernelConfig {
@@ -101,6 +113,8 @@ impl Default for KernelConfig {
             fuel: 200_000_000,
             seed: 0x00AD_E11E,
             tlb_inval_log: adelie_vmem::DEFAULT_INVAL_LOG,
+            read_path: ReadPath::Snapshot,
+            snapshot_reclaimer: ReclaimerKind::Ebr,
         }
     }
 }
@@ -150,9 +164,23 @@ impl Kernel {
             ReclaimerKind::Hyaline => Arc::new(Hyaline::new(config.cpus)),
             ReclaimerKind::Ebr => Arc::new(Ebr::new(config.cpus)),
         };
+        // Every Vm holds a reader slot for its lifetime, so the domain
+        // must cover at least the CPU count (with headroom for
+        // auxiliary readers like oracles and one-shot pins) — a kernel
+        // configured beyond READER_SLOTS CPUs must not hang its
+        // interpreters on slot claims.
+        let snapshot_slots = adelie_vmem::READER_SLOTS.max(config.cpus * 2);
+        let snapshot_smr: Arc<dyn Reclaimer> = match config.snapshot_reclaimer {
+            ReclaimerKind::Hyaline => Arc::new(Hyaline::new(snapshot_slots)),
+            ReclaimerKind::Ebr => Arc::new(Ebr::new(snapshot_slots)),
+        };
         let kernel = Arc::new(Kernel {
             phys: Arc::new(PhysMem::new()),
-            space: Arc::new(AddressSpace::with_inval_log(config.tlb_inval_log)),
+            space: Arc::new(AddressSpace::with_space_config(SpaceConfig {
+                inval_log: config.tlb_inval_log,
+                read_path: config.read_path,
+                smr: Some(snapshot_smr),
+            })),
             symbols: SymbolTable::new(),
             heap: Heap::new(),
             mmio: MmioRegistry::new(),

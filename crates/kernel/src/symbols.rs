@@ -22,8 +22,15 @@ use std::sync::Arc;
 pub type NativeFn = dyn Fn(&mut Vm<'_>) -> Result<u64, VmError> + Send + Sync;
 
 /// The kernel symbol table.
+///
+/// Names are interned as `Arc<str>`: lookups borrow, registration
+/// shares, and callers that key their own maps by symbol name clone a
+/// pointer instead of reallocating the string. The native registry is
+/// append-only, which is what lets the interpreter cache resolved
+/// handlers per CPU and keep this table's locks off the dispatch hot
+/// path.
 pub struct SymbolTable {
-    by_name: RwLock<HashMap<String, u64>>,
+    by_name: RwLock<HashMap<Arc<str>, u64>>,
     natives: RwLock<HashMap<u64, Arc<NativeFn>>>,
     next_native: AtomicU64,
 }
@@ -52,7 +59,7 @@ impl SymbolTable {
         // 16-byte spacing: keeps addresses distinct and "function-like".
         let va = self.next_native.fetch_add(16, Ordering::Relaxed);
         assert!(va < layout::NATIVE_BASE + layout::NATIVE_SIZE);
-        let prev = self.by_name.write().insert(name.to_string(), va);
+        let prev = self.by_name.write().insert(Arc::from(name), va);
         assert!(prev.is_none(), "kernel symbol `{name}` registered twice");
         self.natives.write().insert(va, Arc::new(f));
         va
@@ -70,7 +77,7 @@ impl SymbolTable {
             assert_eq!(old, va, "symbol `{name}` rebound to a new address");
             return;
         }
-        map.insert(name.to_string(), va);
+        map.insert(Arc::from(name), va);
     }
 
     /// Remove a binding (module unload).
@@ -104,7 +111,7 @@ impl SymbolTable {
             .by_name
             .read()
             .iter()
-            .map(|(k, &a)| (k.clone(), a))
+            .map(|(k, &a)| (k.to_string(), a))
             .collect();
         v.sort_by_key(|(_, a)| *a);
         v

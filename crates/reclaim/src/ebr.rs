@@ -101,7 +101,14 @@ impl Reclaimer for Ebr {
 
     fn leave(&self, slot: usize) {
         self.slot_words[slot].store(0, Ordering::SeqCst);
-        self.try_advance();
+        // Fast path for read-mostly domains (the page-table snapshot
+        // domain leaves once per TLB miss): with no outstanding
+        // garbage, advancing the epoch buys nothing — skip the
+        // all-slots scan. Counter skew at worst delays one advance;
+        // the next retire/leave/flush picks it up.
+        if self.retired.load(Ordering::Relaxed) != self.freed.load(Ordering::Relaxed) {
+            self.try_advance();
+        }
     }
 
     fn retire(&self, action: Deferred) {

@@ -35,6 +35,7 @@ use crate::clock::{Clock, SimClock};
 use crate::policy::{Policy, PolicyInputs};
 use crate::stats::{LatencyHistogram, ModuleSchedStats, SchedStats};
 use adelie_core::{log_stats, rerandomize_module_epoch, LoadedModule, ModuleRegistry};
+use adelie_gadget::ScanCache;
 use adelie_kernel::Kernel;
 use adelie_vmem::{PteFlags, PAGE_SIZE};
 use std::cmp::Reverse;
@@ -165,8 +166,11 @@ impl ModuleEntry {
 
     /// Scan the movable text for gadgets and update the exposure metric
     /// (gadgets per KiB). Takes `move_lock` so the base can't move
-    /// mid-read.
-    fn refresh_exposure(&self, kernel: &Arc<Kernel>) {
+    /// mid-read. Zero-copy re-randomization never changes a byte of the
+    /// text, so the scan is memoized by content hash in `cache`: a
+    /// no-op cycle (nothing rewrote the module) costs one hash, zero
+    /// rescans.
+    fn refresh_exposure(&self, kernel: &Arc<Kernel>, cache: &ScanCache) {
         let _guard = self.module.move_lock.lock();
         let base = self.module.movable_base.load(Ordering::Acquire);
         let text_pages: usize = self
@@ -188,7 +192,7 @@ impl ModuleEntry {
         {
             return;
         }
-        let gadgets = adelie_gadget::scan(&text).len();
+        let gadgets = cache.gadget_count(&text);
         let kib = (text.len() as f64) / 1024.0;
         Self::store_f64(&self.exposure, gadgets as f64 / kib);
     }
@@ -214,7 +218,7 @@ impl ModuleEntry {
 
     fn stats(&self) -> ModuleSchedStats {
         ModuleSchedStats {
-            name: self.module.name.clone(),
+            name: self.module.name.to_string(),
             policy: self.policy.lock().unwrap_or_else(|e| e.into_inner()).name(),
             cycles: self.cycles.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
@@ -247,6 +251,10 @@ struct Shared {
     /// Shared-shootdown-epoch window in ns (see
     /// [`SchedConfig::shootdown_epoch`]).
     epoch_quantum_ns: u64,
+    /// Content-hash memoization of gadget scans: the Adaptive policy's
+    /// exposure refresh stops re-decoding unchanged module text every
+    /// cycle (hit/miss counters surface in [`SchedStats`]).
+    scan_cache: ScanCache,
 }
 
 impl Shared {
@@ -433,9 +441,12 @@ impl Scheduler {
         }
 
         // Initial gadget-exposure scan, so the adaptive policy has a
-        // signal from the very first deadline.
+        // signal from the very first deadline. Scans are memoized by
+        // content hash from the start — a fleet of identical-text
+        // modules pays one decode, not one per module.
+        let scan_cache = ScanCache::new();
         for e in &entries {
-            e.refresh_exposure(&kernel);
+            e.refresh_exposure(&kernel, &scan_cache);
         }
 
         let now_ns = clock.now_ns();
@@ -457,6 +468,7 @@ impl Scheduler {
             step_cost_ns: cycle_cost.as_nanos() as u64,
             workers_model: config.workers,
             epoch_quantum_ns: config.shootdown_epoch.as_nanos() as u64,
+            scan_cache,
         });
         let budget = Arc::new(BudgetController::new(
             kernel.config.cpus,
@@ -563,7 +575,7 @@ impl Scheduler {
     /// this pool.
     pub fn set_policy(&self, module: &str, policy: Policy) -> bool {
         for e in &self.shared.entries {
-            if e.module.name == module {
+            if &*e.module.name == module {
                 *e.policy.lock().unwrap_or_else(|p| p.into_inner()) = policy;
                 return true;
             }
@@ -602,6 +614,8 @@ impl Scheduler {
             cpu_pressure: self
                 .budget
                 .pressure_at(Duration::from_nanos(self.shared.clock.now_ns())),
+            exposure_scan_hits: self.shared.scan_cache.hits(),
+            exposure_scan_misses: self.shared.scan_cache.misses(),
             modules,
         }
     }
@@ -714,7 +728,7 @@ fn execute_cycle(
         Ok(base) => {
             let done = entry.cycles.fetch_add(1, Ordering::Relaxed) + 1;
             if exposure_refresh > 0 && done.is_multiple_of(exposure_refresh) {
-                entry.refresh_exposure(kernel);
+                entry.refresh_exposure(kernel, &shared.scan_cache);
             }
             (Some(*base), None)
         }
@@ -748,7 +762,7 @@ fn execute_cycle(
     }
     shared.wakeup.notify_one();
     CycleReport {
-        module: entry.module.name.clone(),
+        module: entry.module.name.to_string(),
         deadline_ns,
         started_ns,
         finished_ns,

@@ -148,6 +148,13 @@ pub struct SchedStats {
     pub busy: Duration,
     /// Budget pressure at snapshot time (0 when uncapped).
     pub cpu_pressure: f64,
+    /// Exposure refreshes answered from the gadget-scan content-hash
+    /// cache (zero-copy moves never change the text, so steady-state
+    /// refreshes should land here).
+    pub exposure_scan_hits: u64,
+    /// Exposure refreshes that had to run a full gadget scan (one per
+    /// *distinct* module text in a healthy fleet).
+    pub exposure_scan_misses: u64,
     /// Per-module breakdown.
     pub modules: Vec<ModuleSchedStats>,
 }

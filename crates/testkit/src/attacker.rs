@@ -90,7 +90,7 @@ impl Attacker {
         Leak {
             va,
             kind: LeakKind::Code,
-            module: Some(module.name.clone()),
+            module: Some(module.name.to_string()),
             generation: module.generation.load(Ordering::Relaxed),
             at_ns,
         }

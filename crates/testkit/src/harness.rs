@@ -273,7 +273,7 @@ impl Sim {
     pub fn module(&self, name: &str) -> &Arc<LoadedModule> {
         self.modules
             .iter()
-            .find(|m| m.name == name)
+            .find(|m| &*m.name == name)
             .expect("module in scenario")
     }
 

@@ -25,7 +25,16 @@
 //!    witness resynchronizes exactly like a real per-CPU TLB, so it
 //!    exercises partial invalidation, epoch-merged slots, and the
 //!    full-flush fallback across whatever interleaving the scenario
-//!    produced.
+//!    produced;
+//! 6. **no torn snapshot publication, no snapshot leak** — at every
+//!    commit a reader probing *mid-publish* must find the new movable
+//!    base already executable (the batch's snapshot swap is atomic: a
+//!    concurrent reader sees the whole new layout or the whole old
+//!    one, never a hole), and at quiescence the address space's
+//!    snapshot-reclamation domain must have freed every retired
+//!    page-table root (`snapshots_reclaimed == snapshot_publishes`,
+//!    SMR delta 0) — a reader pinned forever or a lost retire would
+//!    show up here.
 //!
 //! `verify_quiesced` is deliberately *destructive reading*: it rotates
 //! the stack pools and flushes the reclaimer to force quiescence, then
@@ -86,12 +95,21 @@ impl LayoutOracle {
     /// Probe `[base, base+span)` through the witness TLB: any page the
     /// witness still translates but the address space has retired is a
     /// stale-translation violation (`what` names the probe site).
+    ///
+    /// Scenarios may retire ranges *concurrently* with this probe (a
+    /// reclaimer drains a retire-unmap on another CPU between the two
+    /// reads below), so a candidate hit is re-probed: a correct TLB
+    /// drops the entry as soon as it resynchronizes against the newly
+    /// published invalidation set, while a broken shootdown path keeps
+    /// serving it across every resync — only the latter is a violation.
     fn probe_vacated(&self, base: u64, span: u64, what: &str, out: &mut Vec<String>) {
         let mut witness = self.witness.lock().unwrap_or_else(|e| e.into_inner());
         for page in 0..(span as usize / PAGE_SIZE) {
             let va = base + (page * PAGE_SIZE) as u64;
             if let Some(pte) = witness.lookup(va, &self.kernel.space) {
-                if self.kernel.space.translate(va, Access::Read).is_err() {
+                if self.kernel.space.translate(va, Access::Read).is_err()
+                    && self.confirm_stale(&mut witness, va)
+                {
                     out.push(format!(
                         "stale translation served {what}: witness TLB still maps \
                          {va:#x} (pte {pte:?}) but the space has retired it"
@@ -100,6 +118,22 @@ impl LayoutOracle {
                 }
             }
         }
+    }
+
+    /// Re-probe a candidate stale hit (see [`LayoutOracle::probe_vacated`]):
+    /// `true` only if the witness keeps serving a translation the space
+    /// rejects across repeated resynchronizations.
+    fn confirm_stale(&self, witness: &mut Tlb, va: u64) -> bool {
+        for _ in 0..64 {
+            std::thread::yield_now();
+            if witness.lookup(va, &self.kernel.space).is_none() {
+                return false; // benign race: the resync evicted it
+            }
+            if self.kernel.space.translate(va, Access::Read).is_ok() {
+                return false; // the page is genuinely mapped again
+            }
+        }
+        true
     }
 
     /// Warm the witness TLB over `[base, base+span)` so the *next*
@@ -209,6 +243,27 @@ impl LayoutOracle {
             }
         }
 
+        // (6) Snapshot reclamation converges: every page-table root the
+        // run retired has been freed now that readers are quiescent. A
+        // nonzero delta means a reader epoch never advanced (leaked
+        // pin) or a retire was lost — either would eventually OOM a
+        // production kernel under continuous re-randomization.
+        self.kernel.space.flush_snapshots();
+        let snap = self.kernel.space.snapshot_smr();
+        if snap.delta() != 0 {
+            violations.push(format!(
+                "page-table snapshot leak at quiescence: retired {} vs freed {}",
+                snap.retired, snap.freed
+            ));
+        }
+        let sstats = self.kernel.space.stats();
+        if sstats.snapshots_reclaimed != sstats.snapshot_publishes {
+            violations.push(format!(
+                "snapshot accounting skew: {} published but {} reclaimed",
+                sstats.snapshot_publishes, sstats.snapshots_reclaimed
+            ));
+        }
+
         OracleReport { violations }
     }
 }
@@ -230,6 +285,23 @@ impl CycleHooks for LayoutOracle {
         self.probe_vacated(c.old_base, c.span, "at commit", &mut stale);
         if !stale.is_empty() {
             self.violations.lock().unwrap().append(&mut stale);
+        }
+        // (6) Mid-publish torn-walk probe: this runs concurrently with
+        // other cycles' batches, and the commit we are observing has
+        // already swapped its snapshot in — a lock-free reader must see
+        // the new base fully mapped and executable *right now*, not
+        // after some settling. A hole here means a snapshot published
+        // with missing siblings (torn copy-on-write).
+        if self
+            .kernel
+            .space
+            .translate(c.new_base, Access::Exec)
+            .is_err()
+        {
+            self.violations.lock().unwrap().push(format!(
+                "torn publication: {}'s new base {:#x} not executable at commit",
+                c.module, c.new_base
+            ));
         }
         self.warm_witness(c.new_base, c.span);
 

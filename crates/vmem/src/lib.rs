@@ -10,7 +10,11 @@
 //! * [`AddressSpace`] — a 5-level radix page table (57-bit virtual
 //!   addresses, matching the paper's §6 entropy arithmetic) supporting
 //!   aliased mappings, permission bits (writable / no-execute), and MMIO
-//!   leaf entries that trap to device models,
+//!   leaf entries that trap to device models. The read path is
+//!   **lock-free**: writers publish immutable copy-on-write snapshots
+//!   with one atomic pointer store, and readers pin a reclamation epoch
+//!   (`adelie-reclaim` EBR/Hyaline) and walk without ever blocking on a
+//!   re-randomization cycle (see [`SpacePin`] / [`SpaceReader`]),
 //! * [`Tlb`] — a per-CPU translation cache with **range-based**
 //!   shootdown: the space logs the page spans each generation retired
 //!   and a lagging TLB evicts only covered entries, falling back to a
@@ -46,12 +50,13 @@ mod phys;
 mod space;
 mod tlb;
 
+pub use adelie_reclaim::SmrStats;
 pub use batch::Batch;
 pub use fault::{Access, Fault};
 pub use phys::{Pfn, PhysMem, PhysStats};
 pub use space::{
-    AddressSpace, BatchOutcome, Pte, PteFlags, PteKind, SpaceStats, TlbSync, Translation,
-    DEFAULT_INVAL_LOG,
+    AddressSpace, BatchOutcome, Pte, PteFlags, PteKind, ReadPath, SpaceConfig, SpacePin,
+    SpaceReader, SpaceStats, TlbSync, Translation, DEFAULT_INVAL_LOG, READER_SLOTS,
 };
 pub use tlb::{Tlb, TlbStats};
 

@@ -18,8 +18,14 @@
 //! Eviction at capacity is deterministic FIFO (first-inserted entry
 //! goes first), and re-inserting an already-cached page never evicts an
 //! unrelated entry.
+//!
+//! Synchronization is **lock-free** end to end: the generation check on
+//! the hit path is one atomic load (no epoch pin at all), and the
+//! lagging path reads the space's atomically-published invalidation
+//! ring under an epoch pin ([`Tlb::lookup_pinned`]) — a lookup never
+//! blocks on a concurrent re-randomization writer.
 
-use crate::{AddressSpace, Pte, TlbSync, Translation};
+use crate::{AddressSpace, Pte, SpacePin, TlbSync, Translation};
 use std::collections::{HashMap, VecDeque};
 
 /// TLB hit/miss/flush counters.
@@ -80,8 +86,36 @@ impl Tlb {
     /// with `space`'s invalidation log: evict only the spans retired
     /// since our snapshot when the log still covers the gap, flush
     /// everything when it does not.
+    ///
+    /// When the TLB is already at the space's current generation this
+    /// costs a single atomic load (no epoch pin); only the lagging path
+    /// pins an epoch to read the invalidation ring.
     pub fn lookup(&mut self, page_va: u64, space: &AddressSpace) -> Option<Pte> {
-        self.sync(space);
+        if space.generation() == self.generation {
+            return self.probe(page_va);
+        }
+        let pin = space.pin();
+        self.lookup_pinned(page_va, &pin)
+    }
+
+    /// [`Tlb::lookup`] under a caller-held epoch pin — what the
+    /// kernel's per-CPU read handles use so one pin covers both the
+    /// resynchronization and the page-table walk on a miss.
+    pub fn lookup_pinned(&mut self, page_va: u64, pin: &SpacePin<'_>) -> Option<Pte> {
+        let (current, plan) = pin.plan_sync(self.generation);
+        self.apply_sync(current, plan);
+        self.probe(page_va)
+    }
+
+    /// Hit-path probe without any synchronization: `Some(result)` only
+    /// when the TLB's snapshot is already at `current_gen` (obtained
+    /// from [`AddressSpace::generation`]); `None` means the caller must
+    /// take an epoch pin and use [`Tlb::lookup_pinned`].
+    pub fn try_lookup_current(&mut self, page_va: u64, current_gen: u64) -> Option<Option<Pte>> {
+        (current_gen == self.generation).then(|| self.probe(page_va))
+    }
+
+    fn probe(&mut self, page_va: u64) -> Option<Pte> {
         match self.entries.get(&page_va) {
             Some(&(pte, _)) => {
                 self.stats.hits += 1;
@@ -94,8 +128,7 @@ impl Tlb {
         }
     }
 
-    fn sync(&mut self, space: &AddressSpace) {
-        let (current, plan) = space.plan_sync(self.generation);
+    fn apply_sync(&mut self, current: u64, plan: TlbSync) {
         match plan {
             TlbSync::Current => return,
             TlbSync::Full => {

@@ -1,10 +1,13 @@
 //! Property tests for page-table invariants.
 
 use adelie_vmem::{
-    Access, AddressSpace, Batch, Fault, PhysMem, Pte, PteFlags, PteKind, Tlb, PAGE_SIZE, VA_MASK,
+    Access, AddressSpace, Batch, Fault, PhysMem, Pte, PteFlags, PteKind, ReadPath, SpaceConfig,
+    Tlb, PAGE_SIZE, VA_MASK,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 fn arb_page() -> impl Strategy<Value = u64> {
     // Spread pages across the whole canonical space.
@@ -195,6 +198,120 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Snapshot-lifetime property: concurrent readers interleaved with
+    /// batch publishes and snapshot reclamation never observe a retired
+    /// root or a half-applied batch.
+    ///
+    /// Layout: 16 *anchor* pages that are never touched and 16 *toggle*
+    /// pages whose frames flip between two known values, one
+    /// `swap_frame` batch per flip (plus scratch map/unmap churn to
+    /// force deep path copies). All 32 pages share radix interior
+    /// nodes, so a torn copy-on-write publish — a snapshot missing
+    /// sibling entries — would surface as an anchor transiently
+    /// unmapping, and a use-after-retire as a walk of freed nodes. The
+    /// readers hammer `translate` (and a private TLB) while the writer
+    /// publishes and the reclaimer frees retired roots underneath them;
+    /// any observation outside {anchor frame} / {old frame, new frame}
+    /// is a violation.
+    #[test]
+    fn concurrent_readers_never_observe_torn_or_retired_state(
+        flips in proptest::collection::vec((0usize..16, any::<bool>()), 16..48),
+        locked_ablation in any::<bool>(),
+    ) {
+        const N: usize = 16;
+        let base = 0x0042_0000_0000_0000u64;
+        let anchor_va = move |i: usize| base + (i * PAGE_SIZE) as u64;
+        let toggle_va = move |i: usize| base + ((N + i) * PAGE_SIZE) as u64;
+        let scratch_va = base + (3 * N * PAGE_SIZE) as u64;
+
+        let phys = PhysMem::new();
+        let space = Arc::new(AddressSpace::with_space_config(SpaceConfig {
+            read_path: if locked_ablation { ReadPath::Locked } else { ReadPath::Snapshot },
+            ..SpaceConfig::new()
+        }));
+        let anchors: Vec<_> = (0..N).map(|_| phys.alloc()).collect();
+        let v0: Vec<_> = (0..N).map(|_| phys.alloc()).collect();
+        let v1: Vec<_> = (0..N).map(|_| phys.alloc()).collect();
+        for i in 0..N {
+            space.map(anchor_va(i), anchors[i], PteFlags::DATA).unwrap();
+            space.map(toggle_va(i), v0[i], PteFlags::DATA).unwrap();
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let violations = Arc::new(AtomicU64::new(0));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let space = space.clone();
+            let stop = stop.clone();
+            let violations = violations.clone();
+            let anchors = anchors.clone();
+            let (v0, v1) = (v0.clone(), v1.clone());
+            readers.push(std::thread::spawn(move || {
+                let mut tlb = Tlb::new();
+                while !stop.load(Ordering::Relaxed) {
+                    for i in 0..N {
+                        match space.translate(anchor_va(i), Access::Read) {
+                            Ok(t) if t.pte.kind == PteKind::Frame(anchors[i]) => {}
+                            other => {
+                                let _ = other; // anchor torn or retired
+                                violations.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        match space.translate(toggle_va(i), Access::Read) {
+                            Ok(t)
+                                if t.pte.kind == PteKind::Frame(v0[i])
+                                    || t.pte.kind == PteKind::Frame(v1[i]) => {}
+                            other => {
+                                let _ = other; // invalid frame => torn walk
+                                violations.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        // A TLB following the lock-free invalidation
+                        // ring must never serve anything else either.
+                        if let Some(pte) = tlb.lookup(anchor_va(i), &space) {
+                            if pte.kind != PteKind::Frame(anchors[i]) {
+                                violations.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else if let Ok(t) = space.translate(anchor_va(i), Access::Read) {
+                            tlb.insert(&t);
+                        }
+                    }
+                }
+            }));
+        }
+
+        // Writer: one swap_frame batch per flip, with scratch map/unmap
+        // churn and periodic reclamation flushes racing the readers.
+        for (round, (i, to_v1)) in flips.iter().enumerate() {
+            let frame = if *to_v1 { v1[*i] } else { v0[*i] };
+            let mut batch = Batch::new();
+            batch.swap_frame(toggle_va(*i), frame, PteFlags::DATA);
+            batch.map_page(scratch_va, phys.alloc(), PteFlags::DATA);
+            space.apply(batch).expect("writer batch failed");
+            space.unmap(scratch_va).unwrap();
+            if round % 5 == 4 {
+                space.flush_snapshots();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader thread panicked");
+        }
+        prop_assert_eq!(
+            violations.load(Ordering::Relaxed),
+            0,
+            "readers observed torn or retired page-table state"
+        );
+
+        // Reclaim converges once readers quiesce: every retired root
+        // (and replaced log slot) is freed, none early.
+        space.flush_snapshots();
+        let smr = space.snapshot_smr();
+        prop_assert_eq!(smr.delta(), 0, "snapshot SMR leak at quiescence");
+        let stats = space.stats();
+        prop_assert_eq!(stats.snapshots_reclaimed, stats.snapshot_publishes);
     }
 
     /// Permissions are enforced for every flag combination.

@@ -189,27 +189,27 @@ impl Testbed {
         let mut names = Vec::new();
         let nic = drivers.nic.then(|| {
             let d = install_nic(&registry, &opts, NicFlavor::E1000e).expect("nic");
-            names.push(d.module.name.clone());
+            names.push(d.module.name.to_string());
             d.device
         });
         let nvme = drivers.nvme.then(|| {
             let d = install_nvme(&registry, &opts).expect("nvme");
-            names.push(d.module.name.clone());
+            names.push(d.module.name.to_string());
             d.device
         });
         if drivers.extfs {
             let d = install_extfs(&registry, &opts).expect("extfs");
-            names.push(d.module.name.clone());
+            names.push(d.module.name.to_string());
         }
         if drivers.dummy {
             let d = install_dummy(&registry, &opts).expect("dummy");
-            names.push(d.module.name.clone());
+            names.push(d.module.name.to_string());
         }
         if drivers.extras {
             let x = install_xhci(&registry, &opts).expect("xhci");
-            names.push(x.module.name.clone());
+            names.push(x.module.name.to_string());
             let f = install_fuse(&registry, &opts).expect("fuse");
-            names.push(f.module.name.clone());
+            names.push(f.module.name.to_string());
         }
         let tb = Testbed {
             kernel,
