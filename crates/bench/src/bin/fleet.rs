@@ -1,0 +1,325 @@
+//! The fleet-scaling benchmark: aggregate re-randomization + traffic
+//! throughput of a sharded kernel fleet vs a single kernel, across
+//! placement policies and seeds — emitted as `BENCH_fleet.json` (the
+//! CI artifact) plus a console table.
+//!
+//! Per configuration (shards × placement × seed) the machine runs a
+//! fixed thread budget (4 writer threads re-randomizing back-to-back,
+//! 4 reader threads hammering module exports through the interpreter),
+//! split evenly over the shards. One shard means every thread contends
+//! on one address space's writer mutex, one VA allocator, and one
+//! physical-memory allocator; four shards mean four of each — the
+//! contention relief *is* the tentpole, so the run asserts it: on
+//! multicore hosts, 4-shard aggregate throughput (reader calls +
+//! rerand cycles per second) must reach ≥ 2.5× the single-shard
+//! baseline per placement (mean over seeds), with zero layout-oracle
+//! violations, zero cross-shard VA overlaps, zero failed cycles, and
+//! intact symbol/GOT integrity across every run.
+
+use adelie_core::{
+    rerandomize_module, Fleet, LoadWeighted, LoadedModule, Pinned, RoundRobin, ShardPlacement,
+};
+use adelie_isa::{AluOp, Insn, Reg};
+use adelie_kernel::{FleetConfig, KernelConfig, ShardedKernel};
+use adelie_plugin::{transform, FuncSpec, MOp, ModuleSpec, TransformOptions};
+use adelie_sched::SimClock;
+use adelie_testkit::LayoutOracle;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEEDS: [u64; 3] = [1, 42, 0xA77ACC];
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+const MODULES: usize = 8;
+const WRITER_THREADS: usize = 4;
+const READER_THREADS: usize = 4;
+const WINDOW: Duration = Duration::from_millis(150);
+/// Traffic calls model real driver work (a bounded compute loop), not
+/// a two-instruction stub: `mod{i}_calc(n)` sums `1..=n`.
+const CALC_ARG: u64 = 64;
+const CALC_RET: u64 = CALC_ARG * (CALC_ARG + 1) / 2;
+
+fn placement(kind: &str, shards: usize) -> Box<dyn ShardPlacement> {
+    match kind {
+        "round-robin" => Box::new(RoundRobin::new()),
+        "load-weighted" => Box::new(LoadWeighted::new()),
+        _ => {
+            let pins: HashMap<String, usize> = (0..MODULES)
+                .map(|i| (format!("mod{i}"), i % shards))
+                .collect();
+            Box::new(Pinned::new(pins, 0))
+        }
+    }
+}
+
+struct Outcome {
+    shards: usize,
+    policy: &'static str,
+    seed: u64,
+    calls: u64,
+    cycles: u64,
+    failed_cycles: u64,
+    reader_errors: u64,
+    violations: u64,
+    aggregate_per_sec: f64,
+}
+
+fn run(shards: usize, policy: &'static str, seed: u64) -> Outcome {
+    let sharded = ShardedKernel::new(FleetConfig {
+        shards,
+        base: KernelConfig {
+            seed,
+            ..KernelConfig::default()
+        },
+    });
+    let fleet = Fleet::new(sharded, placement(policy, shards));
+    let opts = TransformOptions::rerandomizable(true);
+    // The module fleet: mod{i}_calc(n) = sum(1..=n), placed by the
+    // policy. The loop makes each traffic call a few hundred
+    // interpreted instructions — the shape of a real driver entry.
+    for i in 0..MODULES {
+        let mut spec = ModuleSpec::new(&format!("mod{i}"));
+        spec.funcs.push(FuncSpec::exported(
+            &format!("mod{i}_calc"),
+            vec![
+                MOp::Insn(Insn::MovImm32(Reg::Rax, 0)),
+                MOp::Insn(Insn::MovImm32(Reg::Rcx, 0)),
+                MOp::Label("loop".into()),
+                MOp::Insn(Insn::Alu {
+                    op: AluOp::Cmp,
+                    dst: Reg::Rcx,
+                    src: Reg::Rdi,
+                }),
+                MOp::Jcc(adelie_isa::Cond::E, "done".into()),
+                MOp::Insn(Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: Reg::Rcx,
+                    imm: 1,
+                }),
+                MOp::Insn(Insn::Alu {
+                    op: AluOp::Add,
+                    dst: Reg::Rax,
+                    src: Reg::Rcx,
+                }),
+                MOp::Jmp("loop".into()),
+                MOp::Label("done".into()),
+                MOp::Ret,
+            ],
+        ));
+        let obj = transform(&spec, &opts).expect("transform");
+        fleet.install(&obj, &opts).expect("install");
+    }
+    // Per-shard oracle (own stale-translation witness each).
+    let oracles: Vec<Arc<LayoutOracle>> = (0..shards)
+        .map(|i| {
+            let oracle = LayoutOracle::new(fleet.kernel(i).clone(), SimClock::new());
+            fleet.registry(i).set_cycle_hooks(oracle.clone());
+            oracle
+        })
+        .collect();
+    // Partition modules (and the thread budget) by shard.
+    let mut per_shard: Vec<Vec<(Arc<LoadedModule>, u64)>> = vec![Vec::new(); shards];
+    for (name, shard) in fleet.modules() {
+        let m = fleet.registry(shard).get(&name).expect("module");
+        let entry = m.export(&format!("{name}_calc")).expect("export");
+        per_shard[shard].push((m, entry));
+    }
+    let writers_per_shard = (WRITER_THREADS / shards).max(1);
+    let readers_per_shard = (READER_THREADS / shards).max(1);
+
+    let stop = AtomicBool::new(false);
+    let calls = AtomicU64::new(0);
+    let cycles = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let reader_errors = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for (shard, modules) in per_shard.iter().enumerate() {
+            let kernel = fleet.kernel(shard).clone();
+            let registry = fleet.registry(shard).clone();
+            for w in 0..writers_per_shard {
+                let kernel = kernel.clone();
+                let registry = registry.clone();
+                let (stop, cycles, failed) = (&stop, &cycles, &failed);
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        for (i, (m, _)) in modules.iter().enumerate() {
+                            if i % writers_per_shard != w {
+                                continue;
+                            }
+                            match rerandomize_module(&kernel, &registry, m) {
+                                Ok(_) => cycles.fetch_add(1, Ordering::Relaxed),
+                                Err(_) => failed.fetch_add(1, Ordering::Relaxed),
+                            };
+                        }
+                    }
+                });
+            }
+            for _ in 0..readers_per_shard {
+                let kernel = kernel.clone();
+                let (stop, calls, reader_errors) = (&stop, &calls, &reader_errors);
+                s.spawn(move || {
+                    let mut vm = kernel.vm();
+                    let mut done = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for (_, entry) in modules {
+                            match vm.call(*entry, &[CALC_ARG]) {
+                                Ok(CALC_RET) => done += 1,
+                                _ => {
+                                    reader_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    calls.fetch_add(done, Ordering::Relaxed);
+                });
+            }
+        }
+        std::thread::sleep(WINDOW);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Verification: per-shard oracles, cross-shard layout, symbols.
+    let mut violation_count = 0u64;
+    for (i, oracle) in oracles.iter().enumerate() {
+        let report = oracle.verify_quiesced(fleet.registry(i), None, 0);
+        for v in &report.violations {
+            eprintln!("oracle violation [{policy}/{shards}sh/seed {seed}/shard {i}]: {v}");
+        }
+        violation_count += report.violations.len() as u64;
+    }
+    for v in fleet.verify_layout() {
+        eprintln!("layout violation [{policy}/{shards}sh/seed {seed}]: {v}");
+        violation_count += 1;
+    }
+    for v in fleet.verify_symbol_integrity() {
+        eprintln!("symbol integrity [{policy}/{shards}sh/seed {seed}]: {v}");
+        violation_count += 1;
+    }
+
+    let (calls, cycles) = (
+        calls.load(Ordering::Relaxed),
+        cycles.load(Ordering::Relaxed),
+    );
+    Outcome {
+        shards,
+        policy,
+        seed,
+        calls,
+        cycles,
+        failed_cycles: failed.load(Ordering::Relaxed),
+        reader_errors: reader_errors.load(Ordering::Relaxed),
+        violations: violation_count,
+        aggregate_per_sec: (calls + cycles) as f64 / WINDOW.as_secs_f64(),
+    }
+}
+
+fn outcome_json(o: &Outcome) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "    {{\"seed\": {}, \"placement\": \"{}\", \"shards\": {}, \"calls\": {}, \
+         \"rerand_cycles\": {}, \"failed_cycles\": {}, \"aggregate_ops_per_sec\": {:.0}, \
+         \"oracle_violations\": {}}}",
+        o.seed,
+        o.policy,
+        o.shards,
+        o.calls,
+        o.cycles,
+        o.failed_cycles,
+        o.aggregate_per_sec,
+        o.violations,
+    );
+    s
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("=== fleet scaling: sharded kernels vs one kernel ({cores} cores) ===");
+    println!(
+        "{:<10} {:<14} {:>6} {:>12} {:>8} {:>16} {:>10}",
+        "seed", "placement", "shards", "calls", "cycles", "aggregate/s", "violations"
+    );
+    let t0 = Instant::now();
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for policy in ["round-robin", "load-weighted", "pinned"] {
+        let mut per_seed_ratio = Vec::new();
+        for seed in SEEDS {
+            let mut by_shards = Vec::new();
+            for &shards in &SHARD_COUNTS {
+                let o = run(shards, policy, seed);
+                println!(
+                    "{:<10} {:<14} {:>6} {:>12} {:>8} {:>16.0} {:>10}",
+                    o.seed,
+                    o.policy,
+                    o.shards,
+                    o.calls,
+                    o.cycles,
+                    o.aggregate_per_sec,
+                    o.violations
+                );
+                assert_eq!(
+                    o.violations, 0,
+                    "{policy}/{shards} shards/seed {seed}: oracle or layout violations"
+                );
+                assert_eq!(
+                    o.failed_cycles, 0,
+                    "{policy}/{shards} shards/seed {seed}: failed cycles"
+                );
+                assert_eq!(
+                    o.reader_errors, 0,
+                    "{policy}/{shards} shards/seed {seed}: reader errors"
+                );
+                rows.push(outcome_json(&o));
+                by_shards.push(o);
+            }
+            let (single, fleet4) = (&by_shards[0], &by_shards[1]);
+            let ratio = fleet4.aggregate_per_sec / single.aggregate_per_sec.max(1.0);
+            println!("  seed {seed}: 4-shard/1-shard aggregate = {ratio:.2}x");
+            per_seed_ratio.push(ratio);
+        }
+        let mean = per_seed_ratio.iter().sum::<f64>() / per_seed_ratio.len() as f64;
+        println!(
+            "  {policy}: mean 4-shard speedup {mean:.2}x over {} seeds",
+            SEEDS.len()
+        );
+        ratios.push((policy, mean));
+        // Acceptance, tiered by real host parallelism (the pattern the
+        // translate bench set): with >= 8 cores the fleet's 8 threads
+        // all run concurrently and sharding must pay >= 2.5x; with
+        // 4..8 cores partial parallelism must still show a clear win;
+        // below that both configurations time-slice on the same
+        // silicon and only correctness is asserted.
+        if cores >= 8 {
+            assert!(
+                mean >= 2.5,
+                "{policy}: 4-shard aggregate must reach >= 2.5x single-shard \
+                 on a >=8-core host (got {mean:.2}x)"
+            );
+        } else if cores >= 4 {
+            assert!(
+                mean >= 1.3,
+                "{policy}: 4-shard aggregate must beat single-shard on a \
+                 multicore host (got {mean:.2}x)"
+            );
+        }
+    }
+    if cores < 4 {
+        println!("  (host has {cores} cores: scaling assertions skipped)");
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"fleet\",\n  \"modules\": {MODULES},\n  \"window_ms\": {},\n  \
+         \"writer_threads\": {WRITER_THREADS},\n  \"reader_threads\": {READER_THREADS},\n  \
+         \"cores\": {cores},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        WINDOW.as_millis(),
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!(
+        "wrote BENCH_fleet.json ({} rows) in {:?}",
+        rows.len(),
+        t0.elapsed()
+    );
+}

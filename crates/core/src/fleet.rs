@@ -1,0 +1,817 @@
+//! Fleet-level module management: placement across kernel shards and
+//! live migration between them.
+//!
+//! [`ShardedKernel`] partitions the
+//! machine into independent kernels over disjoint VA windows; this
+//! module decides *which* shard a driver lives in and moves it when the
+//! answer changes:
+//!
+//! * [`Fleet`] — one [`ModuleRegistry`] per shard plus the install
+//!   catalog (object file + options per module) that makes migration a
+//!   rebuild, not a guess;
+//! * [`ShardPlacement`] — the pluggable placement policy:
+//!   [`RoundRobin`] (uniform spread), [`LoadWeighted`] (lightest shard
+//!   by mapped bytes), [`Pinned`] (explicit tenancy);
+//! * [`Fleet::migrate`] — **live migration** as vmem batches: the
+//!   module is rebuilt in the destination shard (both parts installed
+//!   as one map-only batch, GOTs resolved against the destination
+//!   kernel's symbol table), its writable data state is copied frame-
+//!   to-frame, movable-pointer slots are re-adjusted for the new base,
+//!   the `update_pointers` callback runs in the destination, and only
+//!   then is the source copy retired — both parts in one batched
+//!   shootdown. Make-before-break: traffic entering the destination
+//!   shard is servable before the source layout disappears.
+//!
+//! Like [`ModuleRegistry::unload`], migration requires that no
+//! scheduler is actively cycling the module (stop its group, migrate,
+//! restart — the rolling-upgrade shape).
+
+use crate::{LoadError, LoadedModule, ModuleRegistry};
+use adelie_kernel::{Kernel, ShardedKernel};
+use adelie_obj::ObjectFile;
+use adelie_plugin::TransformOptions;
+use adelie_vmem::{PteFlags, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Why a fleet operation failed.
+#[derive(Debug)]
+pub enum FleetError {
+    /// Loading into the target shard failed.
+    Load(LoadError),
+    /// No module of that name is installed anywhere in the fleet.
+    UnknownModule(String),
+    /// A module of that name is already installed — install it once,
+    /// or unload/migrate the existing copy first (silently replacing
+    /// the catalog record would orphan the old copy in its shard).
+    DuplicateModule(String),
+    /// Shard index out of range — from a caller, or from a placement
+    /// policy returning an index the fleet does not have.
+    UnknownShard(usize),
+    /// Unloading the source copy failed (the destination copy is live;
+    /// the module is *not* lost, but the source shard still holds it).
+    Unload(String),
+    /// The destination module's `update_pointers` callback failed after
+    /// state copy (the migration is committed; pointer refresh is in
+    /// doubt, mirroring `RerandError::UpdatePointers`).
+    UpdatePointers(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Load(e) => write!(f, "fleet load failed: {e}"),
+            FleetError::UnknownModule(m) => write!(f, "no module `{m}` in the fleet"),
+            FleetError::DuplicateModule(m) => {
+                write!(f, "module `{m}` is already installed in the fleet")
+            }
+            FleetError::UnknownShard(s) => write!(f, "no shard {s}"),
+            FleetError::Unload(e) => write!(f, "source unload failed: {e}"),
+            FleetError::UpdatePointers(e) => {
+                write!(f, "destination update_pointers failed: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<LoadError> for FleetError {
+    fn from(e: LoadError) -> FleetError {
+        FleetError::Load(e)
+    }
+}
+
+/// One shard's placement-relevant load, as seen by a policy.
+#[derive(Copy, Clone, Debug)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: usize,
+    /// Modules currently resident.
+    pub modules: usize,
+    /// Total bytes mapped by those modules (both parts).
+    pub mapped_bytes: usize,
+}
+
+/// A pluggable shard-placement policy. Policies must be deterministic
+/// for a given call sequence — fleet runs replay from a seed, and a
+/// placement that consulted wall time or an unseeded RNG would break
+/// the soak suite's byte-identical-replay gate.
+pub trait ShardPlacement: Send + Sync {
+    /// Choose the shard for `module` given the current per-shard loads
+    /// (always non-empty, indexed by shard).
+    fn place(&self, module: &str, loads: &[ShardLoad]) -> usize;
+
+    /// Policy label (stats, bench output).
+    fn name(&self) -> &'static str;
+}
+
+/// Uniform spread: shard `k`, `k+1`, … regardless of load.
+#[derive(Default)]
+pub struct RoundRobin {
+    next: AtomicUsize,
+}
+
+impl RoundRobin {
+    /// A round-robin policy starting at shard 0.
+    pub fn new() -> RoundRobin {
+        RoundRobin::default()
+    }
+}
+
+impl ShardPlacement for RoundRobin {
+    fn place(&self, _module: &str, loads: &[ShardLoad]) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % loads.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Lightest-shard placement: fewest mapped bytes, ties to the lowest
+/// index (deterministic).
+#[derive(Default)]
+pub struct LoadWeighted;
+
+impl LoadWeighted {
+    /// A load-weighted policy.
+    pub fn new() -> LoadWeighted {
+        LoadWeighted
+    }
+}
+
+impl ShardPlacement for LoadWeighted {
+    fn place(&self, _module: &str, loads: &[ShardLoad]) -> usize {
+        loads
+            .iter()
+            .min_by_key(|l| (l.mapped_bytes, l.modules, l.shard))
+            .map(|l| l.shard)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "load-weighted"
+    }
+}
+
+/// Explicit tenancy: named modules go to their pinned shard, everything
+/// else to `fallback`.
+pub struct Pinned {
+    assignments: HashMap<String, usize>,
+    fallback: usize,
+}
+
+impl Pinned {
+    /// Pin each `(module, shard)` pair; unknown modules land on
+    /// `fallback`.
+    pub fn new(assignments: HashMap<String, usize>, fallback: usize) -> Pinned {
+        Pinned {
+            assignments,
+            fallback,
+        }
+    }
+}
+
+impl ShardPlacement for Pinned {
+    fn place(&self, module: &str, _loads: &[ShardLoad]) -> usize {
+        // No clamping: a pin outside the fleet is a misconfiguration,
+        // and install() surfaces it as `FleetError::UnknownShard`
+        // instead of silently relocating the tenant.
+        self.assignments
+            .get(module)
+            .copied()
+            .unwrap_or(self.fallback)
+    }
+
+    fn name(&self) -> &'static str {
+        "pinned"
+    }
+}
+
+/// What the catalog remembers about an installed module — enough to
+/// rebuild it in any shard.
+struct InstallRecord {
+    shard: usize,
+    obj: ObjectFile,
+    opts: TransformOptions,
+}
+
+/// The fleet: per-shard registries + placement + the install catalog.
+pub struct Fleet {
+    sharded: Arc<ShardedKernel>,
+    registries: Vec<Arc<ModuleRegistry>>,
+    placement: Box<dyn ShardPlacement>,
+    /// Serializes fleet-level mutations (install / migrate / unload) so
+    /// placement decisions see a consistent view. Traffic and
+    /// re-randomization never take it.
+    catalog: Mutex<HashMap<Arc<str>, InstallRecord>>,
+}
+
+impl Fleet {
+    /// A fleet over `sharded` placing modules with `placement`.
+    pub fn new(sharded: Arc<ShardedKernel>, placement: Box<dyn ShardPlacement>) -> Fleet {
+        let registries = sharded.shards().iter().map(ModuleRegistry::new).collect();
+        Fleet {
+            sharded,
+            registries,
+            placement,
+            catalog: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying shard set.
+    pub fn sharded(&self) -> &Arc<ShardedKernel> {
+        &self.sharded
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.registries.len()
+    }
+
+    /// Never true (a fleet has ≥ 1 shard).
+    pub fn is_empty(&self) -> bool {
+        self.registries.is_empty()
+    }
+
+    /// Shard `i`'s kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn kernel(&self, i: usize) -> &Arc<Kernel> {
+        self.sharded.shard(i)
+    }
+
+    /// Shard `i`'s module registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn registry(&self, i: usize) -> &Arc<ModuleRegistry> {
+        &self.registries[i]
+    }
+
+    /// Which shard currently owns `name`.
+    pub fn shard_of(&self, name: &str) -> Option<usize> {
+        self.catalog.lock().get(name).map(|r| r.shard)
+    }
+
+    /// `(module, shard)` for everything installed, sorted by name
+    /// (deterministic iteration for tests and dumps).
+    pub fn modules(&self) -> Vec<(String, usize)> {
+        let mut v: Vec<(String, usize)> = self
+            .catalog
+            .lock()
+            .iter()
+            .map(|(n, r)| (n.to_string(), r.shard))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Current per-shard loads (what placement policies consult).
+    pub fn loads(&self) -> Vec<ShardLoad> {
+        let catalog = self.catalog.lock();
+        self.loads_locked(&catalog)
+    }
+
+    fn loads_locked(&self, catalog: &HashMap<Arc<str>, InstallRecord>) -> Vec<ShardLoad> {
+        let mut loads: Vec<ShardLoad> = (0..self.registries.len())
+            .map(|shard| ShardLoad {
+                shard,
+                modules: 0,
+                mapped_bytes: 0,
+            })
+            .collect();
+        for (name, rec) in catalog.iter() {
+            loads[rec.shard].modules += 1;
+            if let Some(m) = self.registries[rec.shard].get(name) {
+                loads[rec.shard].mapped_bytes += m.mapped_bytes();
+            }
+        }
+        loads
+    }
+
+    /// Every live VA span in the fleet:
+    /// `(shard, module, base, span_bytes)` for both parts of every
+    /// installed module — the ground truth the cross-shard overlap and
+    /// window-confinement invariants are checked against.
+    pub fn live_spans(&self) -> Vec<(usize, String, u64, u64)> {
+        let catalog = self.catalog.lock();
+        let mut spans = Vec::new();
+        for (name, rec) in catalog.iter() {
+            let Some(m) = self.registries[rec.shard].get(name) else {
+                continue;
+            };
+            let base = m.movable_base.load(Ordering::Acquire);
+            spans.push((
+                rec.shard,
+                name.to_string(),
+                base,
+                (m.movable.total_pages * PAGE_SIZE) as u64,
+            ));
+            if let Some(imm) = &m.immovable {
+                spans.push((
+                    rec.shard,
+                    name.to_string(),
+                    imm.base,
+                    (imm.total_pages * PAGE_SIZE) as u64,
+                ));
+            }
+        }
+        spans.sort();
+        spans
+    }
+
+    /// Audit the fleet's live layout: every span must sit wholly inside
+    /// its owning shard's window, and all spans must be pairwise
+    /// disjoint (within a shard *and* across shards — windows tile, so
+    /// a cross-shard overlap is also a window escape, but both are
+    /// reported by name). The single checker behind `FleetSim::verify`,
+    /// the fleet bench, and the placement proptests, so the invariant
+    /// cannot drift between its enforcers. Returns human-readable
+    /// violations; empty = clean.
+    pub fn verify_layout(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let spans = self.live_spans();
+        for (i, &(shard_a, ref a, base_a, span_a)) in spans.iter().enumerate() {
+            let (lo, hi) = self.sharded.window(shard_a);
+            if base_a < lo || base_a + span_a > hi {
+                violations.push(format!(
+                    "window escape: {a} (shard {shard_a}) spans \
+                     {base_a:#x}+{span_a:#x} outside [{lo:#x}, {hi:#x})"
+                ));
+            }
+            for &(shard_b, ref b, base_b, span_b) in spans.iter().skip(i + 1) {
+                if base_a < base_b + span_b && base_b < base_a + span_a {
+                    violations.push(format!(
+                        "VA overlap: {a} (shard {shard_a}) {base_a:#x}+{span_a:#x} \
+                         vs {b} (shard {shard_b}) {base_b:#x}+{span_b:#x}"
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
+    /// Install a module: placement picks the shard, the shard's
+    /// registry loads it (init runs in that shard), the catalog records
+    /// the recipe for future migration. Returns `(shard, module)`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Load`] when the shard's loader rejects the object;
+    /// [`FleetError::DuplicateModule`] when the name is already
+    /// installed (replacing the record would orphan the old copy);
+    /// [`FleetError::UnknownShard`] when the placement policy names a
+    /// shard the fleet does not have.
+    pub fn install(
+        &self,
+        obj: &ObjectFile,
+        opts: &TransformOptions,
+    ) -> Result<(usize, Arc<LoadedModule>), FleetError> {
+        let mut catalog = self.catalog.lock();
+        if catalog.contains_key(obj.name.as_str()) {
+            return Err(FleetError::DuplicateModule(obj.name.clone()));
+        }
+        let loads = self.loads_locked(&catalog);
+        let shard = self.placement.place(&obj.name, &loads);
+        if shard >= loads.len() {
+            return Err(FleetError::UnknownShard(shard));
+        }
+        let module = self.registries[shard].load(obj, opts)?;
+        catalog.insert(
+            module.name.clone(),
+            InstallRecord {
+                shard,
+                obj: obj.clone(),
+                opts: *opts,
+            },
+        );
+        self.sharded.shard(shard).printk.log(format!(
+            "fleet: {} placed on shard {shard} ({})",
+            module.name,
+            self.placement.name()
+        ));
+        Ok((shard, module))
+    }
+
+    /// Live-migrate `name` to shard `dst` (see module docs for the
+    /// batch protocol). No-op if the module already lives there.
+    /// Returns the destination-resident module.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError`] — on a load failure the source copy is untouched
+    /// and still serving; on an unload failure the destination copy is
+    /// live and the catalog points at it.
+    pub fn migrate(&self, name: &str, dst: usize) -> Result<Arc<LoadedModule>, FleetError> {
+        if dst >= self.registries.len() {
+            return Err(FleetError::UnknownShard(dst));
+        }
+        let mut catalog = self.catalog.lock();
+        let rec = catalog
+            .get(name)
+            .ok_or_else(|| FleetError::UnknownModule(name.to_string()))?;
+        let src = rec.shard;
+        let src_module = self.registries[src]
+            .get(name)
+            .ok_or_else(|| FleetError::UnknownModule(name.to_string()))?;
+        if src == dst {
+            return Ok(src_module);
+        }
+        let (obj, opts) = (rec.obj.clone(), rec.opts);
+
+        // (1) Make: rebuild in the destination. Both parts install as
+        // one map-only vmem batch inside the loader; GOTs resolve
+        // against the destination kernel; init runs there (device
+        // attach). The source copy keeps serving throughout.
+        let dst_module = self.registries[dst].load(&obj, &opts)?;
+
+        // (2) Copy live state: every writable data page travels frame-
+        // to-frame, so counters, rings, and tables survive the move.
+        let src_kernel = self.sharded.shard(src);
+        let dst_kernel = self.sharded.shard(dst);
+        copy_writable_state(src_kernel, &src_module, dst_kernel, &dst_module);
+
+        // (3) Re-adjust movable pointers for the destination base (the
+        // raw copy imported source-shard addresses) and let the module
+        // refresh its own run-time pointers.
+        let dst_base = dst_module.movable_base.load(Ordering::Acquire);
+        for slot in &dst_module.adjust_slots {
+            let frames = match slot.part {
+                crate::Part::Movable => &dst_module.movable.frames,
+                crate::Part::Immovable => &dst_module.immovable.as_ref().unwrap().frames,
+            };
+            let page = (slot.slot_off / PAGE_SIZE as u64) as usize;
+            let off = (slot.slot_off % PAGE_SIZE as u64) as usize;
+            dst_kernel
+                .phys
+                .write_u64(frames[page], off, dst_base + slot.target_off);
+        }
+        let update_result = match dst_module.update_pointers_va {
+            Some(up) => {
+                let mut vm = dst_kernel.vm();
+                vm.call(up, &[dst_base]).map(|_| ()).map_err(|e| {
+                    dst_module
+                        .pointer_refresh_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    FleetError::UpdatePointers(e.to_string())
+                })
+            }
+            None => Ok(()),
+        };
+
+        // (4) Break: retire the source copy — exit runs there (device
+        // detach) and both parts unmap as one batched shootdown.
+        catalog.insert(
+            dst_module.name.clone(),
+            InstallRecord {
+                shard: dst,
+                obj,
+                opts,
+            },
+        );
+        drop(src_module);
+        self.registries[src]
+            .unload(name)
+            .map_err(FleetError::Unload)?;
+        dst_kernel
+            .printk
+            .log(format!("fleet: {name} migrated shard {src} -> shard {dst}"));
+        update_result.map(|()| dst_module)
+    }
+
+    /// Unload `name` from whichever shard owns it.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownModule`] / [`FleetError::Unload`].
+    pub fn unload(&self, name: &str) -> Result<(), FleetError> {
+        let mut catalog = self.catalog.lock();
+        let shard = catalog
+            .get(name)
+            .map(|rec| rec.shard)
+            .ok_or_else(|| FleetError::UnknownModule(name.to_string()))?;
+        // Registry unload first: if it fails (exit fault, withheld
+        // retire), the catalog record survives, so the module stays
+        // visible to every fleet audit and the unload is retryable.
+        self.registries[shard]
+            .unload(name)
+            .map_err(FleetError::Unload)?;
+        catalog.remove(name);
+        Ok(())
+    }
+
+    /// Audit every installed module's fixed GOTs against its owning
+    /// shard's symbol table (and verify each module's exports resolve
+    /// there). Returns human-readable violations; empty = clean.
+    pub fn verify_symbol_integrity(&self) -> Vec<String> {
+        let catalog = self.catalog.lock();
+        let mut violations = Vec::new();
+        for (name, rec) in catalog.iter() {
+            let kernel = self.sharded.shard(rec.shard);
+            let Some(m) = self.registries[rec.shard].get(name) else {
+                violations.push(format!(
+                    "{name}: catalog says shard {} but the registry lost it",
+                    rec.shard
+                ));
+                continue;
+            };
+            violations.extend(crate::verify_fixed_gots(kernel, &m));
+            for (export, va) in &m.exports {
+                match kernel.symbols.lookup(export) {
+                    Some(published) if published == *va => {}
+                    Some(published) => violations.push(format!(
+                        "{name}: export {export} published at {published:#x} \
+                         but the module says {va:#x}"
+                    )),
+                    None => violations.push(format!(
+                        "{name}: export {export} unreachable from shard {}'s \
+                         symbol table",
+                        rec.shard
+                    )),
+                }
+            }
+        }
+        violations
+    }
+}
+
+impl fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fleet")
+            .field("shards", &self.registries.len())
+            .field("placement", &self.placement.name())
+            .field("modules", &self.modules())
+            .finish()
+    }
+}
+
+/// Copy every writable (`PteFlags::DATA`) page of both parts from the
+/// source module's frames to the destination's — the state-transfer
+/// half of migration.
+fn copy_writable_state(
+    src_kernel: &Arc<Kernel>,
+    src: &LoadedModule,
+    dst_kernel: &Arc<Kernel>,
+    dst: &LoadedModule,
+) {
+    let copy_part = |src_img: &crate::PartImage, dst_img: &crate::PartImage| {
+        let mut buf = [0u8; PAGE_SIZE];
+        for g in &src_img.groups {
+            if g.flags != PteFlags::DATA {
+                continue;
+            }
+            for p in g.page_start..g.page_start + g.pages {
+                src_kernel.phys.read(src_img.frames[p], 0, &mut buf);
+                dst_kernel.phys.write(dst_img.frames[p], 0, &buf);
+            }
+        }
+    };
+    copy_part(&src.movable, &dst.movable);
+    if let (Some(s), Some(d)) = (&src.immovable, &dst.immovable) {
+        copy_part(s, d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adelie_isa::{AluOp, Insn, Mem, Reg};
+    use adelie_kernel::{layout, FleetConfig};
+    use adelie_plugin::{transform, DataInit, DataSpec, FuncSpec, MOp, ModuleSpec};
+    use adelie_vmem::Access;
+
+    /// A stateful driver: `N_bump()` increments a `.bss` counter and
+    /// returns it; `N_ops` is a pointer table (adjust slots).
+    fn stateful_spec(name: &str) -> ModuleSpec {
+        let mut spec = ModuleSpec::new(name);
+        spec.funcs.push(FuncSpec::exported(
+            &format!("{name}_bump"),
+            vec![
+                MOp::LoadLocalSym(Reg::Rcx, format!("{name}_counter")),
+                MOp::Insn(Insn::MovLoad {
+                    dst: Reg::Rax,
+                    src: Mem::base(Reg::Rcx),
+                }),
+                MOp::Insn(Insn::AluImm {
+                    op: AluOp::Add,
+                    dst: Reg::Rax,
+                    imm: 1,
+                }),
+                MOp::Insn(Insn::MovStore {
+                    dst: Mem::base(Reg::Rcx),
+                    src: Reg::Rax,
+                }),
+                MOp::Ret,
+            ],
+        ));
+        spec.data.push(DataSpec {
+            name: format!("{name}_counter"),
+            readonly: false,
+            init: DataInit::Zero(8),
+        });
+        spec.data.push(DataSpec {
+            name: format!("{name}_ops"),
+            readonly: false,
+            init: DataInit::PtrTable(vec![format!("{name}_bump")]),
+        });
+        spec
+    }
+
+    fn fleet(shards: usize, placement: Box<dyn ShardPlacement>) -> Fleet {
+        Fleet::new(
+            adelie_kernel::ShardedKernel::new(FleetConfig::seeded(shards, 11)),
+            placement,
+        )
+    }
+
+    #[test]
+    fn round_robin_spreads_and_windows_confine() {
+        let fleet = fleet(3, Box::new(RoundRobin::new()));
+        let opts = TransformOptions::rerandomizable(true);
+        for i in 0..6 {
+            let obj = transform(&stateful_spec(&format!("m{i}")), &opts).unwrap();
+            let (shard, module) = fleet.install(&obj, &opts).unwrap();
+            assert_eq!(shard, i % 3, "round-robin placement");
+            let (lo, hi) = fleet.sharded().window(shard);
+            let base = module.movable_base.load(Ordering::Acquire);
+            assert!(base >= lo && base < hi, "movable base outside window");
+            if let Some(imm) = &module.immovable {
+                assert!(imm.base >= lo && imm.base < hi, "immovable outside window");
+            }
+        }
+        assert!(fleet.verify_symbol_integrity().is_empty());
+    }
+
+    #[test]
+    fn load_weighted_prefers_the_lightest_shard() {
+        let fleet = fleet(3, Box::new(LoadWeighted::new()));
+        let opts = TransformOptions::rerandomizable(true);
+        for i in 0..6 {
+            let obj = transform(&stateful_spec(&format!("w{i}")), &opts).unwrap();
+            fleet.install(&obj, &opts).unwrap();
+        }
+        let loads = fleet.loads();
+        let max = loads.iter().map(|l| l.modules).max().unwrap();
+        let min = loads.iter().map(|l| l.modules).min().unwrap();
+        assert!(max - min <= 1, "identical modules must balance: {loads:?}");
+    }
+
+    #[test]
+    fn pinned_placement_honors_assignments() {
+        let mut pins = HashMap::new();
+        pins.insert("p0".to_string(), 2);
+        let fleet = fleet(3, Box::new(Pinned::new(pins, 1)));
+        let opts = TransformOptions::rerandomizable(true);
+        let obj = transform(&stateful_spec("p0"), &opts).unwrap();
+        assert_eq!(fleet.install(&obj, &opts).unwrap().0, 2);
+        let obj = transform(&stateful_spec("p1"), &opts).unwrap();
+        assert_eq!(fleet.install(&obj, &opts).unwrap().0, 1, "fallback shard");
+    }
+
+    /// Regression: a duplicate install used to silently replace the
+    /// catalog record, orphaning the old copy in its shard; and an
+    /// out-of-range pin used to be silently clamped onto the last
+    /// shard. Both are now hard errors, leaving the fleet untouched.
+    #[test]
+    fn install_rejects_duplicates_and_out_of_range_pins() {
+        let mut pins = HashMap::new();
+        pins.insert("lost".to_string(), 7);
+        let fleet = fleet(3, Box::new(Pinned::new(pins, 0)));
+        let opts = TransformOptions::rerandomizable(true);
+        let obj = transform(&stateful_spec("dup"), &opts).unwrap();
+        let (shard, _) = fleet.install(&obj, &opts).unwrap();
+        match fleet.install(&obj, &opts) {
+            Err(FleetError::DuplicateModule(name)) => assert_eq!(name, "dup"),
+            other => panic!("duplicate install must be rejected, got {other:?}"),
+        }
+        // Exactly one copy exists, where it was first placed.
+        assert_eq!(fleet.shard_of("dup"), Some(shard));
+        assert_eq!(fleet.live_spans().len(), 2, "one movable + one immovable");
+        let obj = transform(&stateful_spec("lost"), &opts).unwrap();
+        match fleet.install(&obj, &opts) {
+            Err(FleetError::UnknownShard(7)) => {}
+            other => panic!("out-of-range pin must be rejected, got {other:?}"),
+        }
+        assert_eq!(fleet.shard_of("lost"), None);
+        assert!(fleet.verify_layout().is_empty());
+        assert!(fleet.verify_symbol_integrity().is_empty());
+    }
+
+    #[test]
+    fn migration_carries_state_and_retires_the_source() {
+        let fleet = fleet(2, Box::new(RoundRobin::new()));
+        let opts = TransformOptions::rerandomizable(true);
+        let obj = transform(&stateful_spec("mig"), &opts).unwrap();
+        let (src, module) = fleet.install(&obj, &opts).unwrap();
+        let entry = module.export("mig_bump").unwrap();
+        let src_kernel = fleet.kernel(src).clone();
+        let mut vm = src_kernel.vm();
+        for expect in 1..=5u64 {
+            assert_eq!(vm.call(entry, &[]).unwrap(), expect);
+        }
+        let old_mov = module.movable_base.load(Ordering::Acquire);
+        let old_imm = module.immovable.as_ref().unwrap().base;
+        drop(vm);
+        drop(module);
+
+        let dst = 1 - src;
+        let moved = fleet.migrate("mig", dst).unwrap();
+        assert_eq!(fleet.shard_of("mig"), Some(dst));
+        // The counter survived the move: the next bump continues at 6.
+        let dst_kernel = fleet.kernel(dst).clone();
+        let mut vm = dst_kernel.vm();
+        let entry = moved.export("mig_bump").unwrap();
+        assert_eq!(vm.call(entry, &[]).unwrap(), 6, "state must travel");
+        // Destination layout sits inside the destination window; the
+        // source copy is gone (both parts) and its exports unpublished.
+        let (lo, hi) = fleet.sharded().window(dst);
+        let new_base = moved.movable_base.load(Ordering::Acquire);
+        assert!(new_base >= lo && new_base < hi);
+        assert!(src_kernel.space.translate(old_mov, Access::Read).is_err());
+        assert!(src_kernel.space.translate(old_imm, Access::Read).is_err());
+        assert!(src_kernel.symbols.lookup("mig_bump").is_none());
+        assert!(dst_kernel.symbols.lookup("mig_bump").is_some());
+        // No dangling GOT entries anywhere.
+        assert_eq!(fleet.verify_symbol_integrity(), Vec::<String>::new());
+        // Migrating to the same shard is a no-op.
+        let again = fleet.migrate("mig", dst).unwrap();
+        assert_eq!(
+            again.movable_base.load(Ordering::Acquire),
+            moved.movable_base.load(Ordering::Acquire)
+        );
+        // And the module can still be re-randomized in its new home.
+        crate::rerandomize_module(&dst_kernel, fleet.registry(dst), &moved).unwrap();
+        assert_eq!(vm.call(entry, &[]).unwrap(), 7);
+    }
+
+    /// Regression: a failed registry unload used to be preceded by the
+    /// catalog removal (and the registry removal by the exit call), so
+    /// the still-mapped module vanished from every fleet audit and the
+    /// unload could never be retried.
+    #[test]
+    fn failed_unload_keeps_the_module_visible_and_retryable() {
+        let fleet = fleet(2, Box::new(RoundRobin::new()));
+        let opts = TransformOptions::rerandomizable(true);
+        let mut spec = stateful_spec("stuck");
+        // An exit entry that traps: unload must fail closed.
+        spec.funcs
+            .push(FuncSpec::exported("stuck_exit", vec![MOp::Insn(Insn::Ud2)]));
+        spec.exit = Some("stuck_exit".into());
+        let obj = transform(&spec, &opts).unwrap();
+        let (shard, _) = fleet.install(&obj, &opts).unwrap();
+        match fleet.unload("stuck") {
+            Err(FleetError::Unload(e)) => assert!(e.contains("exit failed"), "{e}"),
+            other => panic!("trapping exit must fail the unload, got {other:?}"),
+        }
+        // Still cataloged, still in the registry, still audited, still
+        // serving — and the unload is retryable (same failure again).
+        assert_eq!(fleet.shard_of("stuck"), Some(shard));
+        assert!(fleet.registry(shard).get("stuck").is_some());
+        assert_eq!(fleet.live_spans().len(), 2);
+        assert!(fleet.verify_symbol_integrity().is_empty());
+        let kernel = fleet.kernel(shard).clone();
+        let mut vm = kernel.vm();
+        let entry = fleet
+            .registry(shard)
+            .get("stuck")
+            .unwrap()
+            .export("stuck_bump")
+            .unwrap();
+        assert_eq!(vm.call(entry, &[]).unwrap(), 1);
+        assert!(matches!(fleet.unload("stuck"), Err(FleetError::Unload(_))));
+    }
+
+    #[test]
+    fn live_spans_cover_every_part_and_stay_disjoint() {
+        let fleet = fleet(4, Box::new(RoundRobin::new()));
+        let opts = TransformOptions::rerandomizable(true);
+        for i in 0..4 {
+            let obj = transform(&stateful_spec(&format!("s{i}")), &opts).unwrap();
+            fleet.install(&obj, &opts).unwrap();
+        }
+        let spans = fleet.live_spans();
+        assert_eq!(spans.len(), 8, "movable + immovable per module");
+        for (i, &(shard_a, _, base_a, span_a)) in spans.iter().enumerate() {
+            assert_eq!(
+                fleet.sharded().shard_of_va(base_a),
+                Some(shard_a),
+                "span owner must match its window"
+            );
+            assert!(base_a + span_a <= layout::MODULE_CEILING);
+            for &(_, _, base_b, span_b) in spans.iter().skip(i + 1) {
+                assert!(
+                    base_a + span_a <= base_b || base_b + span_b <= base_a,
+                    "cross-shard VA overlap: {base_a:#x}+{span_a:#x} vs {base_b:#x}"
+                );
+            }
+        }
+    }
+}

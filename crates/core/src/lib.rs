@@ -42,6 +42,7 @@
 //! vm.call(entry, &[]).unwrap();
 //! ```
 
+pub mod fleet;
 mod hooks;
 mod loader;
 mod module;
@@ -49,6 +50,7 @@ mod rerand;
 mod stacks;
 mod va;
 
+pub use fleet::{Fleet, FleetError, LoadWeighted, Pinned, RoundRobin, ShardLoad, ShardPlacement};
 pub use hooks::{CycleCommit, CycleHooks, CycleStage};
 pub use loader::{LoadError, Loader};
 pub use module::{AdjustSlot, LoadStats, LoadedModule, LocalGotEntry, PageGroup, Part, PartImage};
@@ -83,8 +85,14 @@ impl ModuleRegistry {
     pub fn new(kernel: &Arc<Kernel>) -> Arc<ModuleRegistry> {
         // Vanilla Linux randomizes the legacy module base per boot
         // inside the 2 GiB window (31-12 = 19 bits of entropy, §6).
+        // Randomized placements draw from the kernel's module window —
+        // the whole arena standalone, one disjoint shard slice in fleet
+        // mode (see `adelie_kernel::ShardedKernel`).
         let boot_offset = kernel.rng_below(1 << 18) * PAGE_SIZE as u64;
-        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE + boot_offset);
+        let va = VaAllocator::new(
+            layout::LEGACY_MODULE_BASE + boot_offset,
+            kernel.config.module_window,
+        );
         let stacks = StackPool::new(kernel.config.cpus, va.clone());
         stacks.register_natives(kernel);
         Arc::new(ModuleRegistry {
@@ -167,31 +175,55 @@ impl ModuleRegistry {
     ///
     /// Textual error for unknown modules or a failing exit function.
     pub fn unload(&self, name: &str) -> Result<(), String> {
+        // Run the exit entry *before* unpublishing anything: a failing
+        // exit leaves the module fully registered and retryable, not
+        // stranded mapped-but-invisible.
         let module = self
             .modules
-            .write()
-            .remove(name)
+            .read()
+            .get(name)
+            .cloned()
             .ok_or_else(|| format!("no module `{name}`"))?;
         if let Some(exit) = module.exit_va {
             let mut vm = self.kernel.vm();
             vm.call(exit, &[])
                 .map_err(|e| format!("exit failed: {e}"))?;
         }
+        if self.modules.write().remove(name).is_none() {
+            return Err(format!("no module `{name}` (concurrent unload)"));
+        }
         let _guard = module.move_lock.lock();
         for (sym, _) in &module.exports {
             self.kernel.symbols.undefine(sym);
         }
-        // Unmap the current movable mapping and free its frames. The
-        // original PartImage frame list is correct except for the local
-        // GOT pages, whose *current* frames live in the mutexed list.
+        // Retire the whole module — current movable mapping plus the
+        // immovable part — as ONE vmem batch: one page-table lock
+        // acquisition, one range-tagged shootdown covering both spans
+        // (fleet migration leans on this to make the source shard's
+        // copy vanish atomically). The original PartImage frame list is
+        // correct except for the local GOT pages, whose *current*
+        // frames live in the mutexed lists.
         let base = module
             .movable_base
             .load(std::sync::atomic::Ordering::Acquire);
+        let mut retire = adelie_vmem::Batch::new();
+        retire.unmap_sparse(base, module.movable.total_pages);
+        if let Some(imm) = &module.immovable {
+            retire.unmap_sparse(imm.base, imm.total_pages);
+        }
+        if let Err(fault) = self.kernel.space.apply(retire) {
+            // The batch rolled back: both parts are still mapped, so
+            // the frames must NOT be returned to the allocator (a
+            // freed-but-mapped frame would alias the next load). Leak
+            // them deliberately and report — exports are already
+            // unpublished, so the module is unreachable either way.
+            self.kernel.printk.log(format!(
+                "module {name}: retire batch failed ({fault}); frames withheld"
+            ));
+            return Err(format!("{name}: retire batch failed: {fault}"));
+        }
         let lgot_start = (module.movable.lgot_off / PAGE_SIZE as u64) as usize;
         let lgot_pages = module.movable.lgot_pages();
-        self.kernel
-            .space
-            .unmap_sparse(base, module.movable.total_pages);
         for (i, &pfn) in module.movable.frames.iter().enumerate() {
             let is_lgot = lgot_pages > 0 && i >= lgot_start && i < lgot_start + lgot_pages;
             if !is_lgot {
@@ -204,7 +236,6 @@ impl ModuleRegistry {
         if let Some(imm) = &module.immovable {
             let ilgot_start = (imm.lgot_off / PAGE_SIZE as u64) as usize;
             let ilgot_pages = imm.lgot_pages();
-            self.kernel.space.unmap_sparse(imm.base, imm.total_pages);
             for (i, &pfn) in imm.frames.iter().enumerate() {
                 let is_lgot = ilgot_pages > 0 && i >= ilgot_start && i < ilgot_start + ilgot_pages;
                 if !is_lgot {
@@ -227,6 +258,60 @@ impl ModuleRegistry {
     pub(crate) fn reserve_va(&self, pages: usize) -> Option<VaReservation> {
         self.va.reserve(&self.kernel, pages)
     }
+}
+
+/// Audit `module`'s fixed GOTs against the *owning* kernel: every slot
+/// must hold exactly the address its recorded symbol name resolves to
+/// there (an immovable module symbol or a kallsyms export). A mismatch
+/// is a dangling GOT entry — the bug class fleet migration would
+/// introduce if it ever copied a GOT across shards instead of
+/// rebuilding it. Returns human-readable violations; empty = clean.
+pub fn verify_fixed_gots(kernel: &Arc<Kernel>, module: &LoadedModule) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut check_part = |img: &PartImage, base: u64, label: &str| {
+        for (i, name) in img.fgot_names.iter().enumerate() {
+            let slot_va = base + img.fgot_off + (i * 8) as u64;
+            let held = match kernel.space.read_u64(&kernel.phys, slot_va) {
+                Ok(v) => v,
+                Err(e) => {
+                    violations.push(format!(
+                        "{}: {label} fixed-GOT slot {i} ({name}) unreadable: {e}",
+                        module.name
+                    ));
+                    continue;
+                }
+            };
+            let expected = module
+                .immovable_syms
+                .get(name)
+                .copied()
+                .or_else(|| kernel.symbols.lookup(name));
+            match expected {
+                Some(want) if want == held => {}
+                Some(want) => violations.push(format!(
+                    "{}: {label} fixed-GOT slot {i} ({name}) dangles: holds \
+                     {held:#x}, kernel resolves {want:#x}",
+                    module.name
+                )),
+                None => violations.push(format!(
+                    "{}: {label} fixed-GOT slot {i} ({name}) names a symbol \
+                     the owning kernel cannot resolve",
+                    module.name
+                )),
+            }
+        }
+    };
+    check_part(
+        &module.movable,
+        module
+            .movable_base
+            .load(std::sync::atomic::Ordering::Acquire),
+        "movable",
+    );
+    if let Some(imm) = &module.immovable {
+        check_part(imm, imm.base, "immovable");
+    }
+    violations
 }
 
 impl std::fmt::Debug for ModuleRegistry {

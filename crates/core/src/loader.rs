@@ -17,7 +17,7 @@ use adelie_isa::{Asm, Reg};
 use adelie_kernel::{layout, Kernel};
 use adelie_obj::{ObjectFile, Reloc, RelocKind, SectionKind, SymbolDef};
 use adelie_plugin::{CodeModel, TransformOptions, KEY_SYMBOL};
-use adelie_vmem::{PteFlags, PAGE_SIZE};
+use adelie_vmem::{Batch, PteFlags, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -763,7 +763,12 @@ impl<'k> Loader<'k> {
         };
 
         // ---- map into the address space ------------------------------
-        let map_part = |plan: &PartPlan, base: u64, img: &[u8]| -> PartImage {
+        // Both parts install as ONE vmem batch: a single page-table
+        // lock acquisition and (being map-only) no shootdown at all —
+        // the shape fleet migration relies on to make an incoming
+        // module appear in the destination shard atomically.
+        let mut install = Batch::new();
+        let stage_part = |plan: &PartPlan, base: u64, img: &[u8], install: &mut Batch| {
             let frames = self.kernel.phys.alloc_n(plan.total_pages);
             for (i, &pfn) in frames.iter().enumerate() {
                 self.kernel
@@ -771,14 +776,11 @@ impl<'k> Loader<'k> {
                     .write(pfn, 0, &img[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
             }
             for g in &plan.groups {
-                self.kernel
-                    .space
-                    .map_range(
-                        base + (g.page_start * PAGE_SIZE) as u64,
-                        &frames[g.page_start..g.page_start + g.pages],
-                        g.flags,
-                    )
-                    .expect("module range collision");
+                install.map_range(
+                    base + (g.page_start * PAGE_SIZE) as u64,
+                    &frames[g.page_start..g.page_start + g.pages],
+                    g.flags,
+                );
             }
             // Any pages not covered by a group (alignment tail) stay
             // unmapped — they contain nothing.
@@ -791,14 +793,24 @@ impl<'k> Loader<'k> {
                 lgot_slots: plan.lgot.len(),
                 fgot_off: plan.fgot_off,
                 fgot_slots: plan.fgot.len(),
+                fgot_names: plan.fgot.clone(),
                 plt_off: plan.plt_off,
                 plt_stubs: plan.plt.len(),
             }
         };
-        let movable_img = map_part(&movable, movable_base, &mov_img);
-        let immovable_img = immovable
-            .as_ref()
-            .map(|imm| map_part(imm, immovable_base.unwrap(), imm_img.as_ref().unwrap()));
+        let movable_img = stage_part(&movable, movable_base, &mov_img, &mut install);
+        let immovable_img = immovable.as_ref().map(|imm| {
+            stage_part(
+                imm,
+                immovable_base.unwrap(),
+                imm_img.as_ref().unwrap(),
+                &mut install,
+            )
+        });
+        self.kernel
+            .space
+            .apply(install)
+            .expect("module range collision");
         // Both parts are mapped: the page tables exclude the ranges from
         // future picks, so the reservations can be released.
         drop(_mov_reservation);

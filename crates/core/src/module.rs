@@ -81,6 +81,12 @@ pub struct PartImage {
     pub fgot_off: u64,
     /// Fixed GOT slot count.
     pub fgot_slots: usize,
+    /// Symbol name behind each fixed-GOT slot, in slot order. The slots
+    /// are resolved at load time and never rewritten, so this is the
+    /// audit trail fleet migration and the placement proptests use to
+    /// prove no GOT entry dangles: slot `i` must hold exactly the
+    /// owning kernel's address for `fgot_names[i]`.
+    pub fgot_names: Vec<String>,
     /// Byte offset of the PLT.
     pub plt_off: u64,
     /// PLT stub count.

@@ -236,18 +236,95 @@ mod tests {
         assert_eq!(normal.delta(), 2);
     }
 
+    /// Fleet-style many-kernel churn: pools of *differently sized*
+    /// kernels driven from one thread whose sticky CPU id was minted
+    /// elsewhere. Folding must keep pop/push/alloc/rotate total, LIFO
+    /// round-trips must stay intact per pool, and the alloc/free
+    /// counters must converge to zero after rotation drains — with no
+    /// stack ever crossing between the pools.
+    #[test]
+    fn many_kernel_churn_keeps_pools_consistent() {
+        use adelie_kernel::{Kernel, KernelConfig};
+        // Fleet shape: differently-sized shard kernels over disjoint VA
+        // windows (identical seeds would otherwise legitimately draw
+        // identical stack addresses in their separate spaces).
+        let windows = layout::shard_windows(2);
+        let big = Kernel::new(KernelConfig {
+            cpus: 8,
+            module_window: windows[0],
+            ..KernelConfig::default()
+        });
+        let small = Kernel::new(KernelConfig {
+            cpus: 2,
+            module_window: windows[1],
+            ..KernelConfig::default()
+        });
+        let pool_big = StackPool::new(8, VaAllocator::new(layout::LEGACY_MODULE_BASE, windows[0]));
+        let pool_small =
+            StackPool::new(2, VaAllocator::new(layout::LEGACY_MODULE_BASE, windows[1]));
+        let mut seen_big = std::collections::HashSet::new();
+        let mut seen_small = std::collections::HashSet::new();
+        // Interleave checkouts across both kernels with raw CPU ids far
+        // beyond the small pool's size (what a fleet thread entering
+        // shard after shard produces).
+        for round in 0..6u64 {
+            for cpu in [0usize, 3, 7, 19] {
+                let a = match pool_big.pop(cpu) {
+                    0 => pool_big.alloc(&big).unwrap(),
+                    t => t,
+                };
+                let b = match pool_small.pop(cpu) {
+                    0 => pool_small.alloc(&small).unwrap(),
+                    t => t,
+                };
+                assert_ne!(a, 0);
+                assert_ne!(b, 0);
+                seen_big.insert(a);
+                seen_small.insert(b);
+                pool_big.push(cpu, a);
+                pool_small.push(cpu, b);
+            }
+            if round % 2 == 1 {
+                pool_big.rotate(&big);
+                pool_small.rotate(&small);
+                big.reclaim.flush();
+                small.reclaim.flush();
+            }
+        }
+        // No stack ever served both pools, and every stack stayed
+        // inside its shard's window (tops are exclusive upper bounds).
+        assert!(
+            seen_big.is_disjoint(&seen_small),
+            "a stack crossed between shard windows"
+        );
+        for &top in &seen_big {
+            assert!(top > windows[0].0 && top <= windows[0].1, "{top:#x}");
+        }
+        for &top in &seen_small {
+            assert!(top > windows[1].0 && top <= windows[1].1, "{top:#x}");
+        }
+        pool_big.rotate(&big);
+        pool_small.rotate(&small);
+        big.reclaim.flush();
+        small.reclaim.flush();
+        let (sb, ss) = (pool_big.stats(), pool_small.stats());
+        assert_eq!(sb.delta(), 0, "big pool leaked: {sb:?}");
+        assert_eq!(ss.delta(), 0, "small pool leaked: {ss:?}");
+        assert!(sb.allocated > 0 && ss.allocated > 0);
+    }
+
     /// Regression: a `Vm::cpu` id at or past the pool count indexed out
     /// of bounds in `pop`/`push`.
     #[test]
     fn pop_push_tolerate_out_of_range_cpu_ids() {
-        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE, (0, layout::MODULE_CEILING));
         let pool = StackPool::new(2, va);
         // Far past the 2 pools that exist — must fold, not panic.
         assert_eq!(pool.pop(7), 0);
         pool.push(7, 0xAB00_0000);
         assert_eq!(pool.pop(7), 0xAB00_0000);
         // Zero CPUs still yields one pool.
-        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE, (0, layout::MODULE_CEILING));
         let pool = StackPool::new(0, va);
         assert_eq!(pool.pop(0), 0);
     }

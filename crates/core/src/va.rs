@@ -32,14 +32,20 @@ pub(crate) struct VaAllocator {
     reserved: Mutex<Vec<(u64, u64)>>,
     /// Bump cursor for the legacy 2 GiB window.
     legacy_cursor: AtomicU64,
+    /// `[lo, hi)` randomization window candidates are drawn from — the
+    /// whole arena for a standalone kernel, one disjoint
+    /// `layout::shard_windows` slice for a fleet shard.
+    window: (u64, u64),
 }
 
 impl VaAllocator {
-    /// An allocator whose legacy window starts at `legacy_start`.
-    pub(crate) fn new(legacy_start: u64) -> Arc<VaAllocator> {
+    /// An allocator whose legacy window starts at `legacy_start` and
+    /// whose randomized placements are confined to `window`.
+    pub(crate) fn new(legacy_start: u64, window: (u64, u64)) -> Arc<VaAllocator> {
         Arc::new(VaAllocator {
             reserved: Mutex::new(Vec::new()),
             legacy_cursor: AtomicU64::new(legacy_start),
+            window,
         })
     }
 
@@ -49,28 +55,31 @@ impl VaAllocator {
         self.legacy_cursor.fetch_add(size, Ordering::Relaxed)
     }
 
-    /// Reserve a random, free, page-aligned range of `pages` anywhere in
-    /// the 57-bit arena (64-bit KASLR placement). Returns `None` when no
-    /// free range is found after bounded retries.
+    /// Reserve a random, free, page-aligned range of `pages` inside the
+    /// allocator's window (the whole 57-bit arena for a standalone
+    /// kernel — 64-bit KASLR placement). Returns `None` when no free
+    /// range is found after bounded retries.
     pub(crate) fn reserve(
         self: &Arc<Self>,
         kernel: &Kernel,
         pages: usize,
     ) -> Option<VaReservation> {
         let span = (pages * PAGE_SIZE) as u64;
-        let limit = layout::MODULE_CEILING.checked_sub(span)?;
-        // Candidate bases are `(1..=slots) * PAGE_SIZE`; when the span
-        // leaves less than two pages of headroom below the ceiling the
-        // subtraction used to wrap and turn `rng_below` into a
-        // near-2^64 draw — there is simply no valid placement, so
-        // report exhaustion instead.
-        let slots = (limit / PAGE_SIZE as u64).checked_sub(1)?;
-        if slots == 0 {
-            return None;
-        }
+        let (lo, hi) = self.window;
+        let limit = hi.min(layout::MODULE_CEILING).checked_sub(span)?;
+        // Candidate bases are page slots in `[first, last_excl)`. The
+        // topmost slot is deliberately excluded, mirroring the old
+        // whole-arena arithmetic: a span within a page or two of the
+        // window top has no (or exactly one) candidate, and retrying a
+        // 256-draw loop over one near-window-sized free-range scan is
+        // pathological — report exhaustion instead. (Page slot 0 is
+        // never a candidate either: base 0 is not a valid placement.)
+        let first = lo.div_ceil(PAGE_SIZE as u64).max(1);
+        let last_excl = limit / PAGE_SIZE as u64;
+        let slots = last_excl.checked_sub(first).filter(|&s| s > 0)?;
         for _ in 0..256 {
             // Draw outside the lock: the kernel RNG has its own.
-            let base = (kernel.rng_below(slots) + 1) * PAGE_SIZE as u64;
+            let base = (first + kernel.rng_below(slots)) * PAGE_SIZE as u64;
             let mut reserved = self.reserved.lock();
             let clashes = reserved.iter().any(|&(b, e)| base < e && b < base + span);
             if clashes || !range_is_free(kernel, base, pages) {
@@ -132,7 +141,7 @@ mod tests {
     #[test]
     fn reservations_never_overlap() {
         let kernel = Kernel::new(KernelConfig::default());
-        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE, (0, layout::MODULE_CEILING));
         let held: Vec<VaReservation> = (0..64)
             .map(|_| va.reserve(&kernel, 8).expect("arena is huge"))
             .collect();
@@ -155,7 +164,7 @@ mod tests {
     #[test]
     fn reserve_near_the_ceiling_returns_none() {
         let kernel = Kernel::new(KernelConfig::default());
-        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE, (0, layout::MODULE_CEILING));
         let ceiling_pages = (layout::MODULE_CEILING / PAGE_SIZE as u64) as usize;
         // Exactly at and one page under the ceiling: neither leaves a
         // single valid (non-zero) base slot.
@@ -171,10 +180,36 @@ mod tests {
         assert!(va.reserve(&kernel, 8).is_some());
     }
 
+    /// Fleet shards confine placement to a `[lo, hi)` window: every
+    /// draw lands inside it, and a request bigger than the window
+    /// reports exhaustion instead of spilling into a neighbor shard.
+    #[test]
+    fn windowed_reservations_stay_inside_the_window() {
+        let kernel = Kernel::new(KernelConfig::default());
+        let windows = layout::shard_windows(4);
+        for &(lo, hi) in &windows {
+            let va = VaAllocator::new(layout::LEGACY_MODULE_BASE, (lo, hi));
+            for _ in 0..32 {
+                let r = va.reserve(&kernel, 8).expect("shard window is huge");
+                assert!(r.base() >= lo, "{:#x} below window {lo:#x}", r.base());
+                assert!(
+                    r.base() + (8 * PAGE_SIZE) as u64 <= hi,
+                    "{:#x} spills past window end {hi:#x}",
+                    r.base()
+                );
+            }
+        }
+        // A span wider than the window cannot be placed.
+        let (lo, hi) = windows[1];
+        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE, (lo, hi));
+        let too_big = ((hi - lo) / PAGE_SIZE as u64 + 1) as usize;
+        assert!(va.reserve(&kernel, too_big).is_none());
+    }
+
     #[test]
     fn dropping_a_reservation_frees_the_range() {
         let kernel = Kernel::new(KernelConfig::default());
-        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+        let va = VaAllocator::new(layout::LEGACY_MODULE_BASE, (0, layout::MODULE_CEILING));
         let r = va.reserve(&kernel, 4).unwrap();
         assert_eq!(va.reserved.lock().len(), 1);
         drop(r);
@@ -207,7 +242,7 @@ mod props {
             ops in proptest::collection::vec((0u8..3, 1usize..17, 0usize..64), 1..40)
         ) {
             let kernel = Kernel::new(KernelConfig::default());
-            let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+            let va = VaAllocator::new(layout::LEGACY_MODULE_BASE, (0, layout::MODULE_CEILING));
             let mut held: Vec<VaReservation> = Vec::new();
             let mut mapped: Vec<(u64, u64)> = Vec::new();
             for (op, pages, pick) in ops {
@@ -269,7 +304,7 @@ mod props {
         fn legacy_bump_spans_never_overlap(
             sizes in proptest::collection::vec(1u64..64, 1..32)
         ) {
-            let va = VaAllocator::new(layout::LEGACY_MODULE_BASE);
+            let va = VaAllocator::new(layout::LEGACY_MODULE_BASE, (0, layout::MODULE_CEILING));
             let mut spans: Vec<(u64, u64)> = Vec::new();
             for s in sizes {
                 let bytes = s * PAGE_SIZE as u64;

@@ -1,0 +1,207 @@
+//! Property suite for fleet placement and migration: arbitrary
+//! install / migrate / unload / re-randomize interleavings must never
+//! produce cross-shard VA overlap, a dangling fixed-GOT entry, or a
+//! module unreachable from its owning shard's symbol table.
+
+use adelie_core::{Fleet, LoadWeighted, Pinned, RoundRobin, ShardPlacement};
+use adelie_isa::{AluOp, Insn, Reg};
+use adelie_kernel::{layout, FleetConfig, ShardedKernel};
+use adelie_plugin::{transform, DataInit, DataSpec, FuncSpec, MOp, ModuleSpec, TransformOptions};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+/// A small, fast driver: `{name}_calc(x) = x + 9` plus a pointer table
+/// (adjust slots) and a kernel import (fixed-GOT entry to audit).
+fn spec(name: &str) -> ModuleSpec {
+    let mut s = ModuleSpec::new(name);
+    s.funcs.push(FuncSpec::exported(
+        &format!("{name}_calc"),
+        vec![
+            MOp::Insn(Insn::MovRR {
+                dst: Reg::Rax,
+                src: Reg::Rdi,
+            }),
+            MOp::Insn(Insn::AluImm {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                imm: 9,
+            }),
+            MOp::Ret,
+        ],
+    ));
+    s.funcs.push(FuncSpec::exported(
+        &format!("{name}_touch"),
+        vec![
+            MOp::Insn(Insn::MovImm32(Reg::Rdi, 32)),
+            MOp::CallKernel("kmalloc".into()),
+            MOp::Insn(Insn::MovRR {
+                dst: Reg::Rdi,
+                src: Reg::Rax,
+            }),
+            MOp::CallKernel("kfree".into()),
+            MOp::Ret,
+        ],
+    ));
+    s.data.push(DataSpec {
+        name: format!("{name}_ops"),
+        readonly: false,
+        init: DataInit::PtrTable(vec![format!("{name}_calc")]),
+    });
+    s
+}
+
+/// Check every fleet invariant. Returns a violation description or
+/// `None`.
+fn check_invariants(fleet: &Fleet, installed: &[String]) -> Option<String> {
+    // (1) Window confinement + pairwise disjointness of all live spans
+    // (the shared `Fleet::verify_layout` checker: cross-shard AND
+    // within-shard).
+    if let Some(v) = fleet.verify_layout().into_iter().next() {
+        return Some(v);
+    }
+    // (2) Fixed GOTs + export publication in the owning shard.
+    let integrity = fleet.verify_symbol_integrity();
+    if let Some(v) = integrity.first() {
+        return Some(v.clone());
+    }
+    // (3) Every installed module is reachable from exactly its owning
+    // shard — and actually executes there.
+    for name in installed {
+        let Some(owner) = fleet.shard_of(name) else {
+            return Some(format!("{name} vanished from the catalog"));
+        };
+        let export = format!("{name}_calc");
+        for shard in 0..fleet.len() {
+            let visible = fleet.kernel(shard).symbols.lookup(&export).is_some();
+            if shard == owner && !visible {
+                return Some(format!(
+                    "{name} unreachable from owning shard {owner}'s symbol table"
+                ));
+            }
+            if shard != owner && visible {
+                return Some(format!(
+                    "{name} leaked into shard {shard}'s symbol table (owner {owner})"
+                ));
+            }
+        }
+        let module = fleet.registry(owner).get(name).expect("registry entry");
+        let entry = module.export(&export).expect("export");
+        let kernel = fleet.kernel(owner).clone();
+        let mut vm = kernel.vm();
+        match vm.call(entry, &[33]) {
+            Ok(42) => {}
+            other => {
+                return Some(format!(
+                    "{name} misbehaves in owning shard {owner}: {other:?}"
+                ))
+            }
+        }
+    }
+    None
+}
+
+fn placement_for(kind: u8) -> Box<dyn ShardPlacement> {
+    match kind % 3 {
+        0 => Box::new(RoundRobin::new()),
+        1 => Box::new(LoadWeighted::new()),
+        _ => Box::new(Pinned::new(HashMap::new(), 1)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The fleet contract under arbitrary op interleavings.
+    #[test]
+    fn fleet_ops_preserve_layout_and_symbol_invariants(
+        placement_kind in 0u8..3,
+        shards in 2usize..5,
+        ops in proptest::collection::vec((0u8..4, 0usize..8, 0usize..8), 1..24)
+    ) {
+        let sharded = ShardedKernel::new(FleetConfig::seeded(shards, 0xF1EE7));
+        let fleet = Fleet::new(sharded, placement_for(placement_kind));
+        let opts = TransformOptions::rerandomizable(true);
+        let mut installed: Vec<String> = Vec::new();
+        let mut minted = 0usize;
+        for (op, pick, dst) in ops {
+            match op {
+                // Install a fresh module wherever placement says.
+                0 => {
+                    let name = format!("m{minted}");
+                    minted += 1;
+                    let obj = transform(&spec(&name), &opts).unwrap();
+                    let (shard, _) = fleet.install(&obj, &opts).unwrap();
+                    prop_assert!(shard < shards);
+                    installed.push(name);
+                }
+                // Migrate an existing module to an arbitrary shard.
+                1 if !installed.is_empty() => {
+                    let name = &installed[pick % installed.len()];
+                    fleet.migrate(name, dst % shards).unwrap();
+                }
+                // Unload one.
+                2 if !installed.is_empty() => {
+                    let name = installed.swap_remove(pick % installed.len());
+                    fleet.unload(&name).unwrap();
+                }
+                // Re-randomize one in place (placement churn inside the
+                // owner's window while other shards stay put).
+                _ if !installed.is_empty() => {
+                    let name = &installed[pick % installed.len()];
+                    let owner = fleet.shard_of(name).unwrap();
+                    let module = fleet.registry(owner).get(name).unwrap();
+                    adelie_core::rerandomize_module(
+                        fleet.kernel(owner),
+                        fleet.registry(owner),
+                        &module,
+                    )
+                    .unwrap();
+                }
+                _ => {}
+            }
+            if let Some(violation) = check_invariants(&fleet, &installed) {
+                prop_assert!(false, "invariant violated: {violation}");
+            }
+        }
+        // Drain: unload everything; every shard ends empty and clean.
+        for name in installed.drain(..) {
+            fleet.unload(&name).unwrap();
+        }
+        prop_assert!(fleet.live_spans().is_empty());
+        prop_assert!(fleet.verify_symbol_integrity().is_empty());
+    }
+
+    /// Migration round-trips: A→B→A always lands back inside A's
+    /// window with working code and intact GOTs, under repeated cycles.
+    #[test]
+    fn migration_round_trips_under_rerand_churn(
+        seed in 1u64..1000,
+        hops in proptest::collection::vec(0usize..3, 1..8)
+    ) {
+        let sharded = ShardedKernel::new(FleetConfig::seeded(3, seed));
+        let fleet = Fleet::new(sharded, Box::new(RoundRobin::new()));
+        let opts = TransformOptions::rerandomizable(true);
+        let obj = transform(&spec("hopper"), &opts).unwrap();
+        fleet.install(&obj, &opts).unwrap();
+        for dst in hops {
+            let module = fleet.migrate("hopper", dst).unwrap();
+            // Cycle it a couple of times in its new home.
+            for _ in 0..2 {
+                adelie_core::rerandomize_module(
+                    fleet.kernel(dst),
+                    fleet.registry(dst),
+                    &module,
+                )
+                .unwrap();
+            }
+            let base = module.movable_base.load(Ordering::Acquire);
+            let (lo, hi) = fleet.sharded().window(dst);
+            prop_assert!(base >= lo && base < hi);
+            prop_assert!(base < layout::MODULE_CEILING);
+            if let Some(v) = check_invariants(&fleet, &["hopper".to_string()]) {
+                prop_assert!(false, "after hop to {dst}: {v}");
+            }
+        }
+    }
+}

@@ -47,6 +47,36 @@ pub const MMIO_BAR_SIZE: u64 = 1 << 20;
 /// below this is the 64-bit KASLR arena.
 pub const MODULE_CEILING: u64 = 0x01A0_0000_0000_0000;
 
+/// Carve the randomization arena `[0, MODULE_CEILING)` into `n`
+/// equal-sized (up to a page remainder, which the last window absorbs),
+/// page-aligned, pairwise-disjoint per-shard windows — the VA partition
+/// fleet mode places each shard's modules and randomized stacks in.
+/// Disjoint windows make cross-shard VA overlap impossible *by
+/// construction* (and checkable: a leaked shard-A address can never
+/// resolve in shard B), which is the invariant `adelie-testkit`'s fleet
+/// oracle enforces end-to-end.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn shard_windows(n: usize) -> Vec<(u64, u64)> {
+    assert!(n > 0, "at least one shard window");
+    let pages = MODULE_CEILING >> 12;
+    let per = (pages / n as u64) << 12;
+    assert!(per > 0, "too many shards for the arena");
+    (0..n as u64)
+        .map(|i| {
+            let lo = i * per;
+            let hi = if i == n as u64 - 1 {
+                MODULE_CEILING
+            } else {
+                (i + 1) * per
+            };
+            (lo, hi)
+        })
+        .collect()
+}
+
 /// Whether `va` falls in the native-dispatch ("kernel text") region.
 pub fn is_native(va: u64) -> bool {
     (NATIVE_BASE..NATIVE_BASE + NATIVE_SIZE).contains(&va)
@@ -97,6 +127,25 @@ mod tests {
         );
         let worst = (NATIVE_BASE + NATIVE_SIZE - 1) - LEGACY_MODULE_BASE;
         assert!(worst <= i32::MAX as u64, "rel32 reach from legacy modules");
+    }
+
+    #[test]
+    fn shard_windows_partition_the_arena() {
+        for n in [1usize, 2, 3, 4, 7, 16] {
+            let w = shard_windows(n);
+            assert_eq!(w.len(), n);
+            assert_eq!(w[0].0, 0);
+            assert_eq!(w[n - 1].1, MODULE_CEILING);
+            for i in 0..n {
+                let (lo, hi) = w[i];
+                assert!(lo < hi, "window {i} of {n} is empty");
+                assert_eq!(lo % 4096, 0);
+                assert_eq!(hi % 4096, 0);
+                if i + 1 < n {
+                    assert_eq!(hi, w[i + 1].0, "windows must tile with no gap");
+                }
+            }
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod layout;
 mod mmio;
 mod percpu;
 mod printk;
+mod sharded;
 mod symbols;
 
 pub use dev::{BlockDev, CharDev, DeviceTable, FsOps, NetDev, RxHandler};
@@ -43,6 +44,7 @@ pub use heap::Heap;
 pub use mmio::{MmioDevice, MmioRegistry};
 pub use percpu::PerCpu;
 pub use printk::Printk;
+pub use sharded::{FleetConfig, ShardedKernel};
 pub use symbols::{NativeFn, SymbolTable};
 
 use adelie_reclaim::{Ebr, Hyaline, Reclaimer};
@@ -101,6 +103,13 @@ pub struct KernelConfig {
     /// brackets span whole pending driver calls — snapshot pins last
     /// one walk). EBR by default; Hyaline selectable for the ablation.
     pub snapshot_reclaimer: ReclaimerKind,
+    /// `[lo, hi)` window of the randomization arena this kernel's
+    /// module loads, re-randomization cycles, and randomized stacks may
+    /// be placed in. Defaults to the whole arena
+    /// (`[0, layout::MODULE_CEILING)`); fleet mode
+    /// ([`ShardedKernel`]) hands each shard one of the disjoint
+    /// [`layout::shard_windows`] so shard layouts can never overlap.
+    pub module_window: (u64, u64),
 }
 
 impl Default for KernelConfig {
@@ -115,6 +124,7 @@ impl Default for KernelConfig {
             tlb_inval_log: adelie_vmem::DEFAULT_INVAL_LOG,
             read_path: ReadPath::Snapshot,
             snapshot_reclaimer: ReclaimerKind::Ebr,
+            module_window: (0, layout::MODULE_CEILING),
         }
     }
 }

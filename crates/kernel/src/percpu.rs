@@ -44,14 +44,23 @@ impl PerCpu {
     }
 
     /// The calling thread's CPU id, assigned round-robin on first use.
+    ///
+    /// The sticky thread→CPU assignment is process-wide (one thread is
+    /// one "hardware thread" no matter how many simulated kernels it
+    /// enters), so the raw id may come from a kernel with *more* CPUs
+    /// than this one — fleet shards are routinely booted smaller than
+    /// the machine that spawned them. The id is therefore folded into
+    /// this kernel's CPU count, like `pop_stack_this_cpu` folds pool
+    /// indices, instead of handing out an index that would overflow
+    /// [`PerCpu::account`].
     pub fn current(&self) -> usize {
         CPU_ID.with(|c| {
             if let Some(id) = c.get() {
-                return id;
+                return id % self.cpus;
             }
-            let id = self.next.fetch_add(1, Ordering::Relaxed) % self.cpus;
+            let id = self.next.fetch_add(1, Ordering::Relaxed);
             c.set(Some(id));
-            id
+            id % self.cpus
         })
     }
 
@@ -61,9 +70,10 @@ impl PerCpu {
         CPU_ID.with(|c| c.set(Some(cpu)));
     }
 
-    /// Account `busy` time to `cpu`.
+    /// Account `busy` time to `cpu`. Out-of-range ids (a sticky thread
+    /// id minted by a bigger kernel) fold instead of panicking.
     pub fn account(&self, cpu: usize, busy: Duration) {
-        self.busy_ns[cpu].fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+        self.busy_ns[cpu % self.cpus].fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Total busy nanoseconds across all CPUs.
@@ -122,6 +132,30 @@ mod tests {
         // Over 100ms wall: 10%.
         let u = p.usage_since(0, Duration::from_millis(100));
         assert!((u - 0.1).abs() < 1e-9);
+    }
+
+    /// Regression (fleet-style many-kernel churn): the sticky thread id
+    /// is process-wide, so a thread whose id was minted by a big kernel
+    /// used to index out of bounds in a smaller kernel's `busy_ns` —
+    /// both `current` and `account` must fold into the local CPU count.
+    #[test]
+    fn ids_fold_across_kernels_of_different_sizes() {
+        std::thread::spawn(|| {
+            let big = PerCpu::new(16);
+            // Burn assignments so this thread's sticky id can exceed 2.
+            for _ in 0..5 {
+                big.next.fetch_add(1, Ordering::Relaxed);
+            }
+            let raw = big.current();
+            let small = PerCpu::new(2);
+            let folded = small.current();
+            assert!(folded < 2, "id {raw} must fold into a 2-CPU kernel");
+            // Accounting with the *big* kernel's id must not panic.
+            small.account(raw, Duration::from_millis(1));
+            assert!(small.total_busy_ns() > 0);
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -67,6 +67,7 @@
 
 mod budget;
 mod clock;
+mod fleet;
 mod policy;
 mod scheduler;
 mod shim;
@@ -74,6 +75,7 @@ mod stats;
 
 pub use budget::BudgetController;
 pub use clock::{Clock, SimClock};
+pub use fleet::{FleetScheduler, ShardSched};
 pub use policy::{Policy, PolicyInputs};
 pub use scheduler::{CycleReport, SchedConfig, Scheduler};
 pub use shim::RerandStats;

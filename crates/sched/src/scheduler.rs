@@ -321,6 +321,28 @@ impl Scheduler {
         modules: &[(&str, Policy)],
         config: SchedConfig,
     ) -> Scheduler {
+        Scheduler::spawn_with_policies_shared(kernel, registry, modules, config, None)
+    }
+
+    /// [`Scheduler::spawn_with_policies`] with an optional **shared**
+    /// [`BudgetController`]: fleet mode runs one worker group per shard
+    /// but all groups record spend into (and feel backpressure from)
+    /// the same global budget — a hot shard's cycles stretch every
+    /// shard's adaptive periods, keeping whole-machine randomizer CPU
+    /// under one cap. `None` creates a private per-pool budget (the
+    /// single-kernel shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named module is missing or not re-randomizable, or if
+    /// `config.workers` is zero.
+    pub fn spawn_with_policies_shared(
+        kernel: Arc<Kernel>,
+        registry: Arc<ModuleRegistry>,
+        modules: &[(&str, Policy)],
+        config: SchedConfig,
+        budget: Option<Arc<BudgetController>>,
+    ) -> Scheduler {
         let mut sched = Scheduler::build(
             kernel,
             registry,
@@ -328,6 +350,7 @@ impl Scheduler {
             &config,
             Clock::wall(),
             Duration::ZERO,
+            budget,
         );
         let workers = (0..config.workers)
             .map(|w| {
@@ -364,6 +387,27 @@ impl Scheduler {
         clock: Arc<SimClock>,
         cycle_cost: Duration,
     ) -> Scheduler {
+        Scheduler::spawn_stepped_shared(kernel, registry, modules, config, clock, cycle_cost, None)
+    }
+
+    /// [`Scheduler::spawn_stepped`] with an optional shared global
+    /// [`BudgetController`] (see
+    /// [`Scheduler::spawn_with_policies_shared`]) — the stepped fleet
+    /// shape `adelie-testkit`'s `FleetSim` drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named module is missing or not re-randomizable, or if
+    /// `config.workers` is zero.
+    pub fn spawn_stepped_shared(
+        kernel: Arc<Kernel>,
+        registry: Arc<ModuleRegistry>,
+        modules: &[(&str, Policy)],
+        config: SchedConfig,
+        clock: Arc<SimClock>,
+        cycle_cost: Duration,
+        budget: Option<Arc<BudgetController>>,
+    ) -> Scheduler {
         Scheduler::build(
             kernel,
             registry,
@@ -371,6 +415,7 @@ impl Scheduler {
             &config,
             Clock::Virtual(clock),
             cycle_cost,
+            budget,
         )
     }
 
@@ -381,6 +426,7 @@ impl Scheduler {
         config: &SchedConfig,
         clock: Clock,
         cycle_cost: Duration,
+        budget: Option<Arc<BudgetController>>,
     ) -> Scheduler {
         assert!(config.workers > 0, "scheduler needs at least one worker");
         let entries: Vec<Arc<ModuleEntry>> = modules
@@ -470,10 +516,12 @@ impl Scheduler {
             epoch_quantum_ns: config.shootdown_epoch.as_nanos() as u64,
             scan_cache,
         });
-        let budget = Arc::new(BudgetController::new(
-            kernel.config.cpus,
-            config.max_cpu_frac,
-        ));
+        let budget = budget.unwrap_or_else(|| {
+            Arc::new(BudgetController::new(
+                kernel.config.cpus,
+                config.max_cpu_frac,
+            ))
+        });
         kernel.printk.log(format!(
             "sched: pool started ({} workers, {} modules, policy={}{})",
             config.workers,

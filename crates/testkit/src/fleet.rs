@@ -1,0 +1,363 @@
+//! The deterministic **fleet** simulation harness.
+//!
+//! [`FleetSim`] is [`Sim`](crate::Sim) scaled out: K seeded kernel
+//! shards (a real [`Fleet`] over a
+//! [`ShardedKernel`](adelie_kernel::ShardedKernel), modules placed
+//! through the pluggable [`ShardPlacement`](adelie_core::ShardPlacement)
+//! machinery) on **one virtual clock**, driven one fleet-wide scheduler
+//! step at a time with per-shard traffic injected in proportion to
+//! virtual time. Same config ⇒ byte-identical fleet timeline.
+//!
+//! Verification adds the cross-shard layer on top of the per-shard
+//! [`LayoutOracle`]s (each with its own stale-translation witness TLB,
+//! probing only its shard's timeline):
+//!
+//! * **window confinement** — every committed placement of shard `i`
+//!   lands inside shard `i`'s VA window, checked at every step;
+//! * **no cross-shard VA overlap** — live spans of distinct shards are
+//!   pairwise disjoint at quiescence (windows are disjoint, so a
+//!   violation means a placement escaped its window);
+//! * **symbol integrity** — every module's exports and fixed-GOT slots
+//!   resolve in exactly its owning shard;
+//! * **cross-shard leak isolation** — the fleet attacker's leaks from
+//!   shard A must *never* land in shard B, at any point in the run,
+//!   even while they still land in A ([`FleetSim::attack_cross_shard`]).
+
+use crate::oracle::{LayoutOracle, OracleReport};
+use crate::Attacker;
+use adelie_core::{Fleet, LoadedModule, Pinned};
+use adelie_kernel::{FleetConfig, KernelConfig, ShardedKernel};
+use adelie_sched::{FleetScheduler, Policy, SchedConfig, ShardSched, SimClock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use crate::harness::{profile_spec, ModuleProfile};
+
+/// A fleet scenario description.
+#[derive(Clone, Debug)]
+pub struct FleetSimConfig {
+    /// Fleet seed (shard seeds derive from it).
+    pub seed: u64,
+    /// Number of kernel shards.
+    pub shards: usize,
+    /// Scheduling policy for every module in every shard.
+    pub policy: Policy,
+    /// Modeled randomizer-pool width *per shard group*.
+    pub workers: usize,
+    /// Modeled CPU cost charged per cycle on the virtual timeline.
+    pub cycle_cost: Duration,
+    /// Global (whole-fleet) CPU-budget cap.
+    pub max_cpu_frac: f64,
+    /// Module profiles replicated into each shard (module `p` of shard
+    /// `i` is named `{p.name}_s{i}` and pinned there).
+    pub modules_per_shard: Vec<ModuleProfile>,
+}
+
+impl Default for FleetSimConfig {
+    fn default() -> Self {
+        FleetSimConfig {
+            seed: 1,
+            shards: 2,
+            policy: Policy::FixedPeriod(Duration::from_millis(10)),
+            workers: 1,
+            cycle_cost: Duration::from_micros(100),
+            max_cpu_frac: f64::INFINITY,
+            modules_per_shard: vec![ModuleProfile::hot("hot"), ModuleProfile::cold("cold")],
+        }
+    }
+}
+
+/// The assembled fleet scenario.
+pub struct FleetSim {
+    /// The fleet (shard kernels + registries + placement catalog).
+    pub fleet: Fleet,
+    /// The shared virtual timeline.
+    pub clock: Arc<SimClock>,
+    /// Per-shard stepped scheduler groups under one global budget.
+    pub sched: FleetScheduler,
+    /// Per-shard layout oracles (own witness TLB each).
+    pub oracles: Vec<Arc<LayoutOracle>>,
+    /// Per-shard profiles (names already shard-suffixed).
+    profiles: Vec<Vec<ModuleProfile>>,
+    /// Per-shard module handles, profile order.
+    modules: Vec<Vec<Arc<LoadedModule>>>,
+    /// Per-shard `(entry va, traffic cursor ns)`, profile order.
+    traffic: Vec<Vec<(u64, u64)>>,
+    /// Cross-shard violations observed during the run.
+    violations: Vec<String>,
+}
+
+impl FleetSim {
+    /// Assemble the fleet: boot K seeded shards, install each profile
+    /// into its pinned shard through the real placement machinery,
+    /// hook a [`LayoutOracle`] per shard, start one stepped scheduler
+    /// group per shard under one global budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a profile fails to transform, load, or land on its
+    /// pinned shard.
+    pub fn new(cfg: FleetSimConfig) -> FleetSim {
+        assert!(cfg.shards > 0);
+        let sharded = ShardedKernel::new(FleetConfig {
+            shards: cfg.shards,
+            base: KernelConfig {
+                seed: cfg.seed,
+                ..KernelConfig::default()
+            },
+        });
+        let clock = SimClock::new();
+
+        // Shard-suffixed profiles, pinned placement.
+        let profiles: Vec<Vec<ModuleProfile>> = (0..cfg.shards)
+            .map(|i| {
+                cfg.modules_per_shard
+                    .iter()
+                    .map(|p| ModuleProfile {
+                        name: format!("{}_s{i}", p.name),
+                        ..p.clone()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut pins = HashMap::new();
+        for (i, shard_profiles) in profiles.iter().enumerate() {
+            for p in shard_profiles {
+                pins.insert(p.name.clone(), i);
+            }
+        }
+        let fleet = Fleet::new(sharded, Box::new(Pinned::new(pins, 0)));
+
+        let opts = adelie_plugin::TransformOptions::rerandomizable(true);
+        let mut modules: Vec<Vec<Arc<LoadedModule>>> = Vec::new();
+        for (i, shard_profiles) in profiles.iter().enumerate() {
+            let mut shard_modules = Vec::new();
+            for p in shard_profiles {
+                let obj = adelie_plugin::transform(&profile_spec(p), &opts)
+                    .expect("transform fleet profile");
+                let (shard, module) = fleet.install(&obj, &opts).expect("install fleet profile");
+                assert_eq!(shard, i, "pinned placement must honor the shard");
+                shard_modules.push(module);
+            }
+            modules.push(shard_modules);
+        }
+
+        // One oracle per shard, hooked into that shard's registry.
+        let oracles: Vec<Arc<LayoutOracle>> = (0..cfg.shards)
+            .map(|i| {
+                let oracle = LayoutOracle::new(fleet.kernel(i).clone(), clock.clone());
+                fleet.registry(i).set_cycle_hooks(oracle.clone());
+                oracle
+            })
+            .collect();
+
+        let shard_scheds: Vec<ShardSched> = (0..cfg.shards)
+            .map(|i| {
+                let mods: Vec<(String, Policy)> = profiles[i]
+                    .iter()
+                    .map(|p| (p.name.clone(), cfg.policy.clone()))
+                    .collect();
+                (fleet.kernel(i).clone(), fleet.registry(i).clone(), mods)
+            })
+            .collect();
+        let sched = FleetScheduler::spawn_stepped(
+            shard_scheds,
+            SchedConfig {
+                workers: cfg.workers,
+                policy: cfg.policy.clone(),
+                max_cpu_frac: cfg.max_cpu_frac,
+                ..SchedConfig::default()
+            },
+            clock.clone(),
+            cfg.cycle_cost,
+        );
+
+        let traffic = modules
+            .iter()
+            .map(|shard_modules| {
+                shard_modules
+                    .iter()
+                    .map(|m| {
+                        let entry = m
+                            .export(&format!("{}_entry", m.name))
+                            .expect("fleet profile entry export");
+                        (entry, 0u64)
+                    })
+                    .collect()
+            })
+            .collect();
+        FleetSim {
+            fleet,
+            clock,
+            sched,
+            oracles,
+            profiles,
+            modules,
+            traffic,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// The loaded module `name` (shard-suffixed) wherever it lives.
+    ///
+    /// # Panics
+    ///
+    /// Panics for names not in the scenario.
+    pub fn module(&self, name: &str) -> &Arc<LoadedModule> {
+        self.modules
+            .iter()
+            .flatten()
+            .find(|m| &*m.name == name)
+            .expect("module in fleet scenario")
+    }
+
+    /// Drive shard `i`'s traffic up to virtual time `to_ns` (the shared
+    /// `harness::advance_profile_traffic` pacing, per shard).
+    fn advance_traffic(&mut self, shard: usize, to_ns: u64) {
+        let kernel = self.fleet.kernel(shard).clone();
+        let mut vm = kernel.vm();
+        crate::harness::advance_profile_traffic(
+            self.clock.now_ns(),
+            &self.profiles[shard],
+            &mut self.traffic[shard],
+            &mut vm,
+            to_ns,
+        );
+    }
+
+    /// Run the fleet for `dur` of virtual time: repeatedly pick the
+    /// fleet-wide earliest deadline, inject every shard's traffic due
+    /// before it, and step that shard's group. Every commit is checked
+    /// for window confinement on the spot.
+    pub fn run_for(&mut self, dur: Duration) {
+        let end = self.clock.now_ns() + dur.as_nanos() as u64;
+        while let Some((shard, deadline)) = self.sched.peek_deadline_ns() {
+            if deadline > end {
+                break;
+            }
+            for s in 0..self.shards() {
+                self.advance_traffic(s, deadline);
+            }
+            if let Some((stepped_shard, report)) = self.sched.step() {
+                debug_assert_eq!(stepped_shard, shard);
+                if let Some(new_base) = report.new_base {
+                    let (lo, hi) = self.fleet.sharded().window(stepped_shard);
+                    if new_base < lo || new_base >= hi {
+                        self.violations.push(format!(
+                            "window escape: shard {stepped_shard}'s {} committed \
+                             {new_base:#x} outside [{lo:#x}, {hi:#x})",
+                            report.module
+                        ));
+                    }
+                }
+            }
+        }
+        for s in 0..self.shards() {
+            self.advance_traffic(s, end);
+        }
+        self.clock.advance_to(end);
+    }
+
+    /// Check every module in every shard still computes correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any module's entry misbehaves.
+    pub fn assert_modules_work(&self) {
+        for shard in 0..self.shards() {
+            let kernel = self.fleet.kernel(shard).clone();
+            let mut vm = kernel.vm();
+            for (j, m) in self.modules[shard].iter().enumerate() {
+                let (entry, _) = self.traffic[shard][j];
+                assert_eq!(
+                    vm.call(entry, &[41]).expect("entry call"),
+                    42,
+                    "module {} broken after fleet scenario",
+                    m.name
+                );
+            }
+        }
+    }
+
+    /// The fleet attacker: leak a code address from every module of
+    /// every shard and fire each leak at **every** shard. In the home
+    /// shard the verdict depends on timing (that race is the
+    /// single-kernel harness's subject); in any *other* shard a landed
+    /// leak is unconditionally a violation — shard windows are
+    /// disjoint, so shard A's layout must never resolve in shard B.
+    /// Returns violations (empty = isolated).
+    pub fn attack_cross_shard(&self, attacker_seed: u64) -> Vec<String> {
+        let mut attacker = Attacker::new(attacker_seed);
+        let mut violations = Vec::new();
+        for src in 0..self.shards() {
+            let src_kernel = self.fleet.kernel(src);
+            for m in &self.modules[src] {
+                let leak = attacker.leak_code(src_kernel, m, self.clock.now_ns());
+                for dst in 0..self.shards() {
+                    if dst == src {
+                        continue;
+                    }
+                    let outcome = attacker.fire(self.fleet.kernel(dst), &leak);
+                    if outcome.landed() {
+                        violations.push(format!(
+                            "cross-shard leak landed: {va:#x} leaked from {name} \
+                             (shard {src}) resolves in shard {dst}",
+                            va = leak.va,
+                            name = m.name,
+                        ));
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    /// Force quiescence and check **everything**: each shard's oracle
+    /// (stale mappings, witness TLB, SMR and snapshot convergence),
+    /// window confinement observed during the run, cross-shard span
+    /// disjointness, symbol/GOT integrity, and cross-shard leak
+    /// isolation. One combined report.
+    pub fn verify(&self) -> OracleReport {
+        let mut violations = self.violations.clone();
+
+        // Per-shard oracle verdicts (prefix each with its shard).
+        for shard in 0..self.shards() {
+            let stats = self.sched.group(shard).stats();
+            let report =
+                self.oracles[shard].verify_quiesced(self.fleet.registry(shard), Some(&stats), 0);
+            violations.extend(
+                report
+                    .violations
+                    .into_iter()
+                    .map(|v| format!("shard {shard}: {v}")),
+            );
+        }
+
+        // Cross-shard: every live span confined to its owner's window,
+        // all spans pairwise disjoint (the shared fleet checker).
+        violations.extend(self.fleet.verify_layout());
+
+        // Symbol + fixed-GOT integrity per owning shard.
+        violations.extend(self.fleet.verify_symbol_integrity());
+
+        // Leak isolation holds at quiescence too.
+        violations.extend(self.attack_cross_shard(self.clock.now_ns() ^ 0xF1EE7));
+
+        OracleReport { violations }
+    }
+}
+
+impl std::fmt::Debug for FleetSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSim")
+            .field("shards", &self.shards())
+            .field("cycles", &self.sched.cycles())
+            .finish()
+    }
+}

@@ -137,6 +137,39 @@ pub fn profile_spec(profile: &ModuleProfile) -> ModuleSpec {
     spec
 }
 
+/// Drive profiled traffic up to virtual time `to_ns`: for each profile
+/// with a nonzero call rate, inject the wrapper calls due since its
+/// cursor (real interpreted calls, deterministic count). `traffic` is
+/// the per-profile `(entry va, cursor ns)` state, index-aligned with
+/// `profiles`. Shared by [`Sim`] and [`crate::FleetSim`] (per shard),
+/// so the pacing arithmetic cannot drift between the two harnesses.
+pub(crate) fn advance_profile_traffic(
+    now_ns: u64,
+    profiles: &[ModuleProfile],
+    traffic: &mut [(u64, u64)],
+    vm: &mut adelie_kernel::Vm<'_>,
+    to_ns: u64,
+) {
+    for (i, profile) in profiles.iter().enumerate() {
+        if profile.calls_per_ms == 0 {
+            continue;
+        }
+        let (entry, ref mut cursor) = traffic[i];
+        if *cursor == 0 {
+            *cursor = now_ns.min(to_ns);
+        }
+        // `max(1)`: a (pathological) rate above one call per virtual
+        // nanosecond must tick the cursor, not loop forever.
+        let ns_per_call = (1_000_000 / profile.calls_per_ms).max(1);
+        while *cursor + ns_per_call <= to_ns {
+            *cursor += ns_per_call;
+            let x = (*cursor / ns_per_call) & 0xFFFF;
+            let got = vm.call(entry, &[x]).expect("traffic call");
+            assert_eq!(got, x + 1, "{}_entry corrupted", profile.name);
+        }
+    }
+}
+
 /// A full scenario description.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -285,22 +318,13 @@ impl Sim {
     /// Drive every module's traffic up to virtual time `to_ns` (real
     /// interpreted wrapper calls, deterministic count per module).
     fn advance_traffic(&mut self, vm: &mut adelie_kernel::Vm<'_>, to_ns: u64) {
-        for (i, profile) in self.profiles.iter().enumerate() {
-            if profile.calls_per_ms == 0 {
-                continue;
-            }
-            let (entry, ref mut cursor) = self.traffic[i];
-            if *cursor == 0 {
-                *cursor = self.clock.now_ns().min(to_ns);
-            }
-            let ns_per_call = 1_000_000 / profile.calls_per_ms;
-            while *cursor + ns_per_call <= to_ns {
-                *cursor += ns_per_call;
-                let x = (*cursor / ns_per_call) & 0xFFFF;
-                let got = vm.call(entry, &[x]).expect("traffic call");
-                assert_eq!(got, x + 1, "{}_entry corrupted", profile.name);
-            }
-        }
+        advance_profile_traffic(
+            self.clock.now_ns(),
+            &self.profiles,
+            &mut self.traffic,
+            vm,
+            to_ns,
+        );
     }
 
     /// Run one scheduler step (earliest deadline), injecting the

@@ -29,6 +29,13 @@
 //!   per scheduling policy, with the acceptance assertion that
 //!   `Adaptive` strictly beats `FixedPeriod` on exposure at equal CPU
 //!   budget.
+//! * [`FleetSim`] — the **fleet-scale harness**: K seeded kernel
+//!   shards (disjoint VA windows, real placement machinery, per-shard
+//!   scheduler groups under one global budget) on one virtual clock,
+//!   with per-shard oracles plus the cross-shard invariants — window
+//!   confinement, no cross-shard VA overlap, symbol/GOT integrity,
+//!   and a fleet attacker whose shard-A leaks must never land in
+//!   shard B.
 //!
 //! # Example
 //!
@@ -45,12 +52,14 @@
 
 mod attacker;
 mod fault;
+mod fleet;
 mod harness;
 mod oracle;
 pub mod window;
 
 pub use attacker::{Attacker, FireOutcome, Leak, LeakKind};
 pub use fault::{FaultPlan, FaultRule, FiredFault};
+pub use fleet::{FleetSim, FleetSimConfig};
 pub use harness::{profile_spec, ModuleProfile, Sim, SimConfig};
 pub use oracle::{CommitRecord, LayoutOracle, OracleReport};
 

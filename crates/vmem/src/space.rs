@@ -370,6 +370,13 @@ struct WriterState {
 /// copy-on-write, and publish it with one atomic pointer store — so
 /// traffic never blocks on a re-randomization cycle.
 pub struct AddressSpace {
+    /// Process-unique identity of this space (never 0). Generation
+    /// counters are meaningful only *within* one space; the id lets a
+    /// [`crate::Tlb`] detect that it has been pointed at a different
+    /// space — fleet-style many-space churn — and drop everything it
+    /// cached instead of trusting a numerically-equal generation from
+    /// an unrelated timeline.
+    id: u64,
     /// The currently-published snapshot root. Readers load this while
     /// epoch-pinned; the pointee is owned by `writer.current` (or by a
     /// pending reclamation closure once superseded).
@@ -455,7 +462,10 @@ impl AddressSpace {
         let nslots = smr.slots();
         let root = Arc::new(Node::new());
         let snapshot = AtomicPtr::new(Arc::as_ptr(&root) as *mut Node);
+        // Ids start at 1 so a fresh TLB's 0 never matches any space.
+        static NEXT_SPACE_ID: AtomicU64 = AtomicU64::new(1);
         AddressSpace {
+            id: NEXT_SPACE_ID.fetch_add(1, Ordering::Relaxed),
             snapshot,
             writer: Mutex::new(WriterState { current: root }),
             generation: AtomicU64::new(0),
@@ -474,6 +484,14 @@ impl AddressSpace {
     /// generations must be discarded (see [`crate::Tlb`]).
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
+    }
+
+    /// Process-unique identity of this space (never 0). A [`crate::Tlb`]
+    /// records the id it last synchronized with and treats a different
+    /// id as a context switch: generations from distinct spaces share no
+    /// timeline, so nothing cached may survive the move.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Capacity of the invalidation log in generations (0 = disabled).

@@ -60,6 +60,13 @@ pub struct Tlb {
     order: VecDeque<(u64, u64)>,
     seq: u64,
     generation: u64,
+    /// [`AddressSpace::id`] of the space the cache last synchronized
+    /// with (0 = never synced). Generations from *different* spaces
+    /// share no timeline, so pointing this TLB at a new space — fleet
+    /// shards each own an independent `AddressSpace` — must flush
+    /// everything, exactly like a hardware context switch without an
+    /// ASID match.
+    space_id: u64,
     stats: TlbStats,
     capacity: usize,
 }
@@ -77,6 +84,7 @@ impl Tlb {
             order: VecDeque::new(),
             seq: 0,
             generation: 0,
+            space_id: 0,
             stats: TlbStats::default(),
             capacity,
         }
@@ -91,7 +99,7 @@ impl Tlb {
     /// costs a single atomic load (no epoch pin); only the lagging path
     /// pins an epoch to read the invalidation ring.
     pub fn lookup(&mut self, page_va: u64, space: &AddressSpace) -> Option<Pte> {
-        if space.generation() == self.generation {
+        if space.id() == self.space_id && space.generation() == self.generation {
             return self.probe(page_va);
         }
         let pin = space.pin();
@@ -101,7 +109,21 @@ impl Tlb {
     /// [`Tlb::lookup`] under a caller-held epoch pin — what the
     /// kernel's per-CPU read handles use so one pin covers both the
     /// resynchronization and the page-table walk on a miss.
+    ///
+    /// A pin into a *different* space than the one this TLB last synced
+    /// with (fleet-style many-space churn) is a context switch: every
+    /// cached entry is dropped, because a numerically-equal generation
+    /// from an unrelated space proves nothing about our entries.
     pub fn lookup_pinned(&mut self, page_va: u64, pin: &SpacePin<'_>) -> Option<Pte> {
+        let space_id = pin.space().id();
+        if space_id != self.space_id && self.space_id != 0 {
+            // Context switch: generations of the two spaces share no
+            // timeline, so everything cached is untrusted — full flush,
+            // and the generation cursor restarts from "know nothing".
+            self.flush();
+            self.generation = 0;
+        }
+        self.space_id = space_id;
         let (current, plan) = pin.plan_sync(self.generation);
         self.apply_sync(current, plan);
         self.probe(page_va)
@@ -111,6 +133,11 @@ impl Tlb {
     /// when the TLB's snapshot is already at `current_gen` (obtained
     /// from [`AddressSpace::generation`]); `None` means the caller must
     /// take an epoch pin and use [`Tlb::lookup_pinned`].
+    ///
+    /// Only valid for the space this TLB is bound to (a `Vm`'s private
+    /// TLB): `current_gen` carries no space identity, so callers that
+    /// roam across spaces must go through [`Tlb::lookup`] /
+    /// [`Tlb::lookup_pinned`], which detect the switch.
     pub fn try_lookup_current(&mut self, page_va: u64, current_gen: u64) -> Option<Option<Pte>> {
         (current_gen == self.generation).then(|| self.probe(page_va))
     }
@@ -378,6 +405,79 @@ mod tests {
         // 4 evicts 0 (oldest), inserting 5 evicts 1.
         assert_eq!(first, vec![2, 3, 4, 5]);
         assert_eq!(first, run(), "eviction must be deterministic");
+    }
+
+    /// Regression (fleet-style many-space churn): a TLB that had synced
+    /// with space A used to trust a *numerically equal* generation from
+    /// space B and serve A's cached translations against B — stale by
+    /// construction, since B never mapped those pages. A different
+    /// space id must be treated as a context switch.
+    #[test]
+    fn switching_spaces_never_serves_foreign_translations() {
+        let phys = PhysMem::new();
+        let a = AddressSpace::new();
+        let b = AddressSpace::new();
+        // Identical mutation histories ⇒ identical generation counters.
+        a.map(VA, phys.alloc(), PteFlags::DATA).unwrap();
+        b.map(VA + 0x40_0000, phys.alloc(), PteFlags::DATA).unwrap();
+        assert_eq!(a.generation(), b.generation());
+        assert_ne!(a.id(), b.id());
+        let mut tlb = Tlb::new();
+        assert!(tlb.lookup(VA, &a).is_none());
+        warm(&mut tlb, &a, VA);
+        assert!(tlb.lookup(VA, &a).is_some(), "warm hit in the home space");
+        // Probing B for A's page must miss (B never mapped it) even
+        // though B's generation equals the TLB's sync point.
+        assert_eq!(
+            tlb.lookup(VA, &b),
+            None,
+            "a foreign space must never be served another space's PTEs"
+        );
+        assert!(tlb.is_empty(), "the switch must flush everything");
+        assert!(tlb.stats().flushes >= 1);
+        // And switching back re-adopts A from scratch: miss, re-warm, hit.
+        assert_eq!(tlb.lookup(VA, &a), None);
+        warm(&mut tlb, &a, VA);
+        assert!(tlb.lookup(VA, &a).is_some());
+    }
+
+    /// Many-space churn keeps the FIFO eviction machinery sound: after
+    /// arbitrary space switches (which clear the cache and the order
+    /// queue) the capacity bound and deterministic FIFO order still
+    /// hold in whichever space the TLB currently serves.
+    #[test]
+    fn fifo_eviction_survives_space_churn() {
+        let phys = PhysMem::new();
+        let spaces: Vec<AddressSpace> = (0..3).map(|_| AddressSpace::new()).collect();
+        for s in &spaces {
+            for i in 0..8u64 {
+                s.map(VA + i * PAGE_SIZE as u64, phys.alloc(), PteFlags::DATA)
+                    .unwrap();
+            }
+        }
+        let run = || {
+            let mut tlb = Tlb::with_capacity(4);
+            // Bounce across spaces, warming a deterministic sequence in
+            // each; the last residency decides the surviving set.
+            for (round, s) in spaces.iter().cycle().take(7).enumerate() {
+                for &i in &[0u64, 1, 2, 3, 0, 4, 5] {
+                    let va = VA + ((i + round as u64) % 8) * PAGE_SIZE as u64;
+                    if tlb.lookup(va, s).is_none() {
+                        warm(&mut tlb, s, va);
+                    }
+                }
+                assert!(tlb.len() <= 4, "capacity bound violated mid-churn");
+            }
+            let last = &spaces[(7 - 1) % spaces.len()];
+            let mut alive: Vec<u64> = (0..8u64)
+                .filter(|&i| tlb.lookup(VA + i * PAGE_SIZE as u64, last).is_some())
+                .collect();
+            alive.sort_unstable();
+            alive
+        };
+        let first = run();
+        assert!(!first.is_empty() && first.len() <= 4);
+        assert_eq!(first, run(), "churned eviction must stay deterministic");
     }
 
     #[test]

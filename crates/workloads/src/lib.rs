@@ -18,11 +18,13 @@
 //! way Table 1's server is provisioned before each experiment.
 
 mod apache;
+mod fleet;
 mod micro;
 mod net;
 mod oltp;
 
 pub use apache::{run_apache, BLOCK_SIZES};
+pub use fleet::{run_soak_round, FleetTestbed, PAPER_WORKLOADS};
 pub use micro::{run_dd, run_fileio, run_ioctl, run_kernbench, run_nvme_direct, FileIoMode};
 pub use net::{AppFn, NetHarness};
 pub use oltp::{run_oltp, TABLES, TABLE_BYTES};
@@ -184,7 +186,13 @@ impl Testbed {
         drivers: DriverSet,
         config: KernelConfig,
     ) -> Testbed {
-        let kernel = Kernel::new(config);
+        Testbed::with_kernel(Kernel::new(config), opts, drivers)
+    }
+
+    /// Provision over an already-booted kernel — the fleet shape, where
+    /// [`FleetTestbed`] hands each shard of a
+    /// [`ShardedKernel`](adelie_kernel::ShardedKernel) its own testbed.
+    pub fn with_kernel(kernel: Arc<Kernel>, opts: TransformOptions, drivers: DriverSet) -> Testbed {
         let registry = ModuleRegistry::new(&kernel);
         let mut names = Vec::new();
         let nic = drivers.nic.then(|| {
