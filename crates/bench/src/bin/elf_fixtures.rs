@@ -1,0 +1,66 @@
+//! Generate the ELF fixture corpus CI archives: every driver spec and
+//! a seeded slice of the synthetic corpus, transformed under both code
+//! models, emitted as real `.o` files with a manifest. Each fixture is
+//! parsed back and checked byte-stable before it is written — the
+//! artifact is a set of objects any external ELF tool (readelf,
+//! objdump) can be pointed at to audit what the loader consumes.
+
+use adelie_drivers::specs;
+use adelie_gadget::corpus::synth_module;
+use adelie_plugin::{transform, ModuleSpec, TransformOptions};
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn fixture_specs() -> Vec<ModuleSpec> {
+    let mut v = vec![
+        specs::dummy_spec(),
+        specs::nvme_spec(0xFEE0_0000),
+        specs::nic_spec(specs::NicFlavor::E1000e, 0xFEB0_0000),
+        specs::extfs_spec(),
+        specs::xhci_spec(0xFEC0_0000),
+        specs::fuse_spec(),
+    ];
+    for (i, size) in [4096usize, 16384, 65536].into_iter().enumerate() {
+        v.push(synth_module(&format!("synth{i}"), size, 0xF1C + i as u64));
+    }
+    v
+}
+
+fn main() {
+    let out = Path::new("elf-fixtures");
+    std::fs::create_dir_all(out).expect("mkdir elf-fixtures");
+    let mut manifest = String::from("name,flavor,bytes,sections,relocs,symbols\n");
+    let mut count = 0usize;
+    for spec in fixture_specs() {
+        for (flavor, opts) in [
+            ("pic", TransformOptions::pic(true)),
+            ("rerand", TransformOptions::rerandomizable(true)),
+        ] {
+            let obj = transform(&spec, &opts)
+                .unwrap_or_else(|e| panic!("{} {flavor}: transform: {e}", spec.name));
+            let bytes = adelie_elf::emit(&obj);
+            let parsed = adelie_elf::parse(&bytes)
+                .unwrap_or_else(|e| panic!("{} {flavor}: parse: {e}", spec.name));
+            assert_eq!(
+                adelie_elf::emit(&parsed),
+                bytes,
+                "{} {flavor}: fixture must be byte-stable",
+                spec.name
+            );
+            let relocs: usize = obj.sections.values().map(|s| s.relocs.len()).sum();
+            let _ = writeln!(
+                manifest,
+                "{},{flavor},{},{},{relocs},{}",
+                obj.name,
+                bytes.len(),
+                obj.sections.len(),
+                obj.symbols.len()
+            );
+            let path = out.join(format!("{}.{flavor}.o", obj.name));
+            std::fs::write(&path, &bytes).expect("write fixture");
+            count += 1;
+        }
+    }
+    std::fs::write(out.join("MANIFEST.csv"), &manifest).expect("write manifest");
+    println!("wrote {count} fixtures + MANIFEST.csv to elf-fixtures/");
+}

@@ -1,0 +1,174 @@
+//! ELF-ingestion benchmarks: serializer/parser throughput over the
+//! synthetic module corpus, and the price of rerand-safe lazy PLT
+//! binding — first-call (binder fires) vs warm-call latency, lazy vs
+//! eager — emitted as `BENCH_elf_ingest.json` plus a console table.
+//!
+//! The run *asserts* the acceptance properties: every corpus object
+//! must round-trip byte-stably (`emit ∘ parse ∘ emit` = `emit`), the
+//! lazy module's first call must actually bind (the counter moves), and
+//! warm lazy calls must not be slower than 10× the eager warm call —
+//! lazy binding is a load-time win, not a steady-state tax.
+
+use adelie_core::ModuleRegistry;
+use adelie_gadget::corpus::synth_module;
+use adelie_isa::{Insn, Reg};
+use adelie_kernel::{Kernel, KernelConfig};
+use adelie_plugin::{transform, FuncSpec, MOp, ModuleSpec, TransformOptions};
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [4096, 16384, 65536];
+const CODEC_ITERS: u32 = 200;
+const BIND_SAMPLES: usize = 32;
+
+/// A module whose exported entry point calls kernel imports — nothing
+/// binds at load (no init), so the first `touch` call pays the binder.
+fn touch_spec() -> ModuleSpec {
+    let mut spec = ModuleSpec::new("touch");
+    spec.funcs.push(FuncSpec::exported(
+        "touch",
+        vec![
+            MOp::Insn(Insn::MovImm32(Reg::Rdi, 64)),
+            MOp::CallKernel("kmalloc".into()),
+            MOp::Insn(Insn::MovRR {
+                dst: Reg::Rdi,
+                src: Reg::Rax,
+            }),
+            MOp::CallKernel("kfree".into()),
+            MOp::Insn(Insn::MovImm32(Reg::Rax, 77)),
+            MOp::Ret,
+        ],
+    ));
+    spec
+}
+
+fn median(mut ns: Vec<u64>) -> u64 {
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+/// Median first-call and warm-call latency over `BIND_SAMPLES`
+/// load/call/unload rounds of the ELF-ingested `touch` module.
+fn bind_latency(opts: &TransformOptions) -> (u64, u64) {
+    let obj = transform(&touch_spec(), opts).expect("transform");
+    let obj = adelie_elf::parse(&adelie_elf::emit(&obj)).expect("round-trip");
+    let kernel = Kernel::new(KernelConfig {
+        seed: 7,
+        retpoline: opts.retpoline,
+        ..KernelConfig::default()
+    });
+    let registry = ModuleRegistry::new(&kernel);
+    let (mut first, mut warm) = (Vec::new(), Vec::new());
+    for _ in 0..BIND_SAMPLES {
+        let module = registry.load(&obj, opts).expect("load");
+        let entry = module.export("touch").expect("export");
+        let mut vm = kernel.vm();
+        let t0 = Instant::now();
+        assert_eq!(vm.call(entry, &[]).expect("first call"), 77);
+        first.push(t0.elapsed().as_nanos() as u64);
+        if opts.lazy_plt {
+            assert!(
+                module.plt_binds.load(Ordering::Relaxed) > 0,
+                "first call must bind lazily"
+            );
+        }
+        let t1 = Instant::now();
+        assert_eq!(vm.call(entry, &[]).expect("warm call"), 77);
+        warm.push(t1.elapsed().as_nanos() as u64);
+        registry.unload("touch").expect("unload");
+    }
+    (median(first), median(warm))
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let mut rows = Vec::new();
+    println!("=== ELF ingestion: codec throughput + lazy-bind latency ===");
+    println!(
+        "{:<12} {:>10} {:>14} {:>14}",
+        "object", "bytes", "emit MB/s", "parse MB/s"
+    );
+    for (i, size) in SIZES.iter().enumerate() {
+        let spec = synth_module(&format!("synth{i}"), *size, 0xE1F + i as u64);
+        let obj = transform(&spec, &TransformOptions::pic(true)).expect("transform");
+        let bytes = adelie_elf::emit(&obj);
+        // Acceptance: byte-stable round-trip on every size class.
+        let parsed = adelie_elf::parse(&bytes).expect("parse");
+        assert_eq!(
+            adelie_elf::emit(&parsed),
+            bytes,
+            "size {size}: emit ∘ parse must be byte-stable"
+        );
+
+        let te = Instant::now();
+        for _ in 0..CODEC_ITERS {
+            std::hint::black_box(adelie_elf::emit(std::hint::black_box(&obj)));
+        }
+        let emit_mbps =
+            (bytes.len() as f64 * f64::from(CODEC_ITERS)) / te.elapsed().as_secs_f64() / 1e6;
+        let tp = Instant::now();
+        for _ in 0..CODEC_ITERS {
+            std::hint::black_box(adelie_elf::parse(std::hint::black_box(&bytes)).unwrap());
+        }
+        let parse_mbps =
+            (bytes.len() as f64 * f64::from(CODEC_ITERS)) / tp.elapsed().as_secs_f64() / 1e6;
+        println!(
+            "{:<12} {:>10} {:>14.1} {:>14.1}",
+            format!("~{size}B text"),
+            bytes.len(),
+            emit_mbps,
+            parse_mbps
+        );
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "    {{\"kind\": \"codec\", \"target_text_bytes\": {size}, \"elf_bytes\": {}, \
+             \"emit_mb_per_sec\": {emit_mbps:.1}, \"parse_mb_per_sec\": {parse_mbps:.1}}}",
+            bytes.len()
+        );
+        rows.push(s);
+    }
+
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "binding", "first-call ns", "warm-call ns"
+    );
+    let lazy = TransformOptions::rerandomizable(true).with_lazy_plt();
+    let eager = TransformOptions::rerandomizable(true);
+    let (lazy_first, lazy_warm) = bind_latency(&lazy);
+    let (eager_first, eager_warm) = bind_latency(&eager);
+    for (mode, first, warm) in [
+        ("lazy", lazy_first, lazy_warm),
+        ("eager", eager_first, eager_warm),
+    ] {
+        println!("{mode:<12} {first:>16} {warm:>16}");
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "    {{\"kind\": \"bind_latency\", \"mode\": \"{mode}\", \
+             \"first_call_ns\": {first}, \"warm_call_ns\": {warm}}}"
+        );
+        rows.push(s);
+    }
+    // Steady state must be unaffected by lazy binding: once bound, a
+    // call takes the same PLT→GOT hop as the eager path. Generous 10×
+    // bound — this guards against accidentally leaving the binder on
+    // the hot path, not against noise.
+    assert!(
+        lazy_warm <= eager_warm.max(1) * 10,
+        "warm lazy call ({lazy_warm} ns) must not dwarf eager ({eager_warm} ns)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"elf_ingest\",\n  \"codec_iters\": {CODEC_ITERS},\n  \
+         \"bind_samples\": {BIND_SAMPLES},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_elf_ingest.json", &json).expect("write BENCH_elf_ingest.json");
+    println!(
+        "wrote BENCH_elf_ingest.json ({} rows) in {:?}",
+        rows.len(),
+        t0.elapsed()
+    );
+}

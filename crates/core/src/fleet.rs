@@ -524,6 +524,7 @@ impl Fleet {
                 continue;
             };
             violations.extend(crate::verify_fixed_gots(kernel, &m));
+            violations.extend(crate::verify_plt_bindings(kernel, &m));
             for (export, va) in &m.exports {
                 match kernel.symbols.lookup(export) {
                     Some(published) if published == *va => {}

@@ -53,7 +53,9 @@ mod va;
 pub use fleet::{Fleet, FleetError, LoadWeighted, Pinned, RoundRobin, ShardLoad, ShardPlacement};
 pub use hooks::{CycleCommit, CycleHooks, CycleStage};
 pub use loader::{LoadError, Loader};
-pub use module::{AdjustSlot, LoadStats, LoadedModule, LocalGotEntry, PageGroup, Part, PartImage};
+pub use module::{
+    AdjustSlot, LazyPltSlot, LoadStats, LoadedModule, LocalGotEntry, PageGroup, Part, PartImage,
+};
 pub use rerand::{log_stats, rerandomize_module, rerandomize_module_epoch, RerandError};
 pub use stacks::{StackPool, StackStats};
 
@@ -196,6 +198,12 @@ impl ModuleRegistry {
         for (sym, _) in &module.exports {
             self.kernel.symbols.undefine(sym);
         }
+        // Tear down the module's lazy-PLT binder trampolines: nothing
+        // can reach them once the module is gone, and a later re-load of
+        // the same module name must be able to register fresh ones.
+        for slot in &module.lazy_plt {
+            self.kernel.symbols.unregister_native(&slot.binder_name);
+        }
         // Retire the whole module — current movable mapping plus the
         // immovable part — as ONE vmem batch: one page-table lock
         // acquisition, one range-tagged shootdown covering both spans
@@ -268,8 +276,20 @@ impl ModuleRegistry {
 /// rebuilding it. Returns human-readable violations; empty = clean.
 pub fn verify_fixed_gots(kernel: &Arc<Kernel>, module: &LoadedModule) -> Vec<String> {
     let mut violations = Vec::new();
-    let mut check_part = |img: &PartImage, base: u64, label: &str| {
+    // Lazily-bound fixed-GOT slots are exempt from the eager-resolution
+    // check: unbound they hold the binder trampoline, bound they are
+    // audited (more strictly) by `verify_plt_bindings`.
+    let lazy_fixed: std::collections::HashSet<(Part, usize)> = module
+        .lazy_plt
+        .iter()
+        .filter(|s| !s.local)
+        .map(|s| (s.part, s.idx))
+        .collect();
+    let mut check_part = |img: &PartImage, base: u64, part: Part, label: &str| {
         for (i, name) in img.fgot_names.iter().enumerate() {
+            if lazy_fixed.contains(&(part, i)) {
+                continue;
+            }
             let slot_va = base + img.fgot_off + (i * 8) as u64;
             let held = match kernel.space.read_u64(&kernel.phys, slot_va) {
                 Ok(v) => v,
@@ -283,7 +303,7 @@ pub fn verify_fixed_gots(kernel: &Arc<Kernel>, module: &LoadedModule) -> Vec<Str
             };
             let expected = module
                 .immovable_syms
-                .get(name)
+                .get(&**name)
                 .copied()
                 .or_else(|| kernel.symbols.lookup(name));
             match expected {
@@ -306,10 +326,81 @@ pub fn verify_fixed_gots(kernel: &Arc<Kernel>, module: &LoadedModule) -> Vec<Str
         module
             .movable_base
             .load(std::sync::atomic::Ordering::Acquire),
+        Part::Movable,
         "movable",
     );
     if let Some(imm) = &module.immovable {
-        check_part(imm, imm.base, "immovable");
+        check_part(imm, imm.base, Part::Immovable, "immovable");
+    }
+    violations
+}
+
+/// Audit every lazy PLT slot of `module` against the current layout —
+/// the bound-slot staleness invariant the testkit oracle enforces after
+/// each cycle commit:
+///
+/// * an **unbound** slot must hold exactly its binder trampoline
+///   address (anything else is a torn rebuild);
+/// * a **bound** slot must hold exactly what the symbol resolves to
+///   *right now* — for a movable target, `movable_base + offset` under
+///   the published base; for an import, the owning kernel's current
+///   kallsyms answer. A bound slot still pointing into a range the
+///   module vacated fails this check by construction, because the
+///   current resolution can never lie in a retired range.
+///
+/// Returns human-readable violations; empty = clean.
+pub fn verify_plt_bindings(kernel: &Arc<Kernel>, module: &LoadedModule) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (i, slot) in module.lazy_plt.iter().enumerate() {
+        let slot_va = module.lazy_slot_va(slot);
+        let held = match kernel.space.read_u64(&kernel.phys, slot_va) {
+            Ok(v) => v,
+            Err(e) => {
+                violations.push(format!(
+                    "{}: lazy PLT slot {i} (`{}`) unreadable at {slot_va:#x}: {e}",
+                    module.name, slot.symbol
+                ));
+                continue;
+            }
+        };
+        let bound = slot.bound.load(std::sync::atomic::Ordering::Acquire);
+        if bound == 0 {
+            if held != slot.binder_va {
+                violations.push(format!(
+                    "{}: unbound lazy PLT slot {i} (`{}`) holds {held:#x}, \
+                     expected its binder {:#x}",
+                    module.name, slot.symbol, slot.binder_va
+                ));
+            }
+            continue;
+        }
+        let expected = match slot.target_off {
+            Some(off) => Some(
+                module
+                    .movable_base
+                    .load(std::sync::atomic::Ordering::Acquire)
+                    + off,
+            ),
+            None => module
+                .immovable_syms
+                .get(&*slot.symbol)
+                .copied()
+                .or_else(|| kernel.symbols.lookup(&slot.symbol)),
+        };
+        match expected {
+            Some(want) if want == bound && want == held => {}
+            Some(want) => violations.push(format!(
+                "{}: bound lazy PLT slot {i} (`{}`) is stale: slot holds \
+                 {held:#x}, recorded binding {bound:#x}, current resolution \
+                 {want:#x}",
+                module.name, slot.symbol
+            )),
+            None => violations.push(format!(
+                "{}: bound lazy PLT slot {i} (`{}`) no longer resolves but \
+                 still holds {held:#x}",
+                module.name, slot.symbol
+            )),
+        }
     }
     violations
 }
@@ -652,6 +743,197 @@ mod tests {
             .translate(imm_base, adelie_vmem::Access::Read)
             .is_err());
         assert!(kernel.symbols.lookup("demo_calc").is_none());
+    }
+
+    #[test]
+    fn lazy_plt_binds_on_first_call_and_survives_rerand() {
+        // Lazy slots exist only where the compiler emits PLT32 relocs,
+        // i.e. retpoline mode (non-retpoline PIC calls go through
+        // inline GOT loads, which stay eager).
+        let opts = TransformOptions::rerandomizable(true).with_lazy_plt();
+        let (kernel, registry, module) = setup(&opts);
+        assert!(
+            !module.lazy_plt.is_empty(),
+            "retpoline demo module must produce lazy PLT slots"
+        );
+        assert!(module
+            .lazy_plt
+            .iter()
+            .all(|s| s.bound.load(Ordering::Acquire) == 0));
+        assert_eq!(verify_plt_bindings(&kernel, &module), Vec::<String>::new());
+        assert_eq!(verify_fixed_gots(&kernel, &module), Vec::<String>::new());
+        let calc = module.export("demo_calc").unwrap();
+        let alloc = module.export("demo_alloc").unwrap();
+        let mut vm = kernel.vm();
+        assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+        let ptr = vm.call(alloc, &[]).unwrap();
+        assert!(ptr >= adelie_kernel::layout::HEAP_BASE);
+        assert!(
+            module.plt_binds.load(Ordering::Relaxed) > 0,
+            "first calls must bind through the binder"
+        );
+        assert_eq!(verify_plt_bindings(&kernel, &module), Vec::<String>::new());
+        // Bound slots must be re-swung — and stay verifiable and
+        // callable — across every cycle.
+        for _ in 0..3 {
+            rerandomize_module(&kernel, &registry, &module).unwrap();
+            assert_eq!(verify_plt_bindings(&kernel, &module), Vec::<String>::new());
+            assert_eq!(verify_fixed_gots(&kernel, &module), Vec::<String>::new());
+            assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+            assert!(vm.call(alloc, &[]).unwrap() >= adelie_kernel::layout::HEAP_BASE);
+        }
+        assert!(
+            module.plt_reswings.load(Ordering::Relaxed) > 0,
+            "cycles must re-swing bound slots"
+        );
+    }
+
+    #[test]
+    fn lazy_plt_binders_unregister_at_unload_and_reload_starts_unbound() {
+        let opts = TransformOptions::rerandomizable(true).with_lazy_plt();
+        let kernel = Kernel::new(KernelConfig::default());
+        let registry = ModuleRegistry::new(&kernel);
+        let obj = transform(&demo_spec(), &opts).unwrap();
+        let module = registry.load(&obj, &opts).unwrap();
+        let binder_names: Vec<String> = module
+            .lazy_plt
+            .iter()
+            .map(|s| s.binder_name.clone())
+            .collect();
+        assert!(!binder_names.is_empty());
+        for n in &binder_names {
+            assert!(
+                kernel.symbols.lookup(n).is_some(),
+                "binder `{n}` registered"
+            );
+        }
+        let calc = module.export("demo_calc").unwrap();
+        let mut vm = kernel.vm();
+        assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+        drop(vm);
+        drop(module);
+        registry.unload("demo").unwrap();
+        for n in &binder_names {
+            assert!(
+                kernel.symbols.lookup(n).is_none(),
+                "binder `{n}` must be unregistered at unload"
+            );
+        }
+        // A reload re-registers the same binder names (a leak would
+        // panic `register_native` on the duplicate) and starts with
+        // every slot unbound again.
+        let module = registry.load(&obj, &opts).unwrap();
+        assert!(module
+            .lazy_plt
+            .iter()
+            .all(|s| s.bound.load(Ordering::Acquire) == 0));
+        let calc = module.export("demo_calc").unwrap();
+        let mut vm = kernel.vm();
+        assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+        assert!(module.plt_binds.load(Ordering::Relaxed) > 0);
+        assert_eq!(verify_plt_bindings(&kernel, &module), Vec::<String>::new());
+    }
+
+    /// Hand-build an object whose only payload is a `.bss` of `size`
+    /// bytes — the shape an adversarial ELF `sh_size` produces after
+    /// ingestion (the parser does not bound sizes; the loader must).
+    fn huge_bss_object(size: usize) -> adelie_obj::ObjectFile {
+        let mut sections = std::collections::BTreeMap::new();
+        sections.insert(
+            adelie_obj::SectionKind::Bss,
+            adelie_obj::Section {
+                bytes: Vec::new(),
+                size,
+                relocs: Vec::new(),
+            },
+        );
+        adelie_obj::ObjectFile {
+            name: "huge".into(),
+            sections,
+            symbols: Vec::new(),
+            exports: Vec::new(),
+            init: None,
+            exit: None,
+            update_pointers: None,
+        }
+    }
+
+    #[test]
+    fn adversarial_section_sizes_are_too_large_never_wrapped() {
+        let kernel = Kernel::new(KernelConfig::default());
+        let registry = ModuleRegistry::new(&kernel);
+        for opts in [
+            TransformOptions::pic(false),
+            TransformOptions::rerandomizable(true),
+        ] {
+            for size in [
+                u64::MAX as usize,
+                (u64::MAX - 4095) as usize,
+                (u64::MAX / 2) as usize,
+                layout::MODULE_CEILING as usize,
+                layout::MODULE_CEILING as usize + PAGE_SIZE,
+            ] {
+                match registry.load(&huge_bss_object(size), &opts) {
+                    Err(LoadError::TooLarge(_)) => {}
+                    Err(e) => panic!("size {size:#x} under {opts:?}: wrong error {e}"),
+                    Ok(_) => panic!("size {size:#x} under {opts:?} must not load"),
+                }
+            }
+        }
+        // The allocator survives the rejections: a sane module still
+        // loads and runs.
+        let opts = TransformOptions::rerandomizable(true);
+        let obj = transform(&demo_spec(), &opts).unwrap();
+        let module = registry.load(&obj, &opts).unwrap();
+        let mut vm = kernel.vm();
+        assert_eq!(
+            vm.call(module.export("demo_calc").unwrap(), &[16]).unwrap(),
+            42
+        );
+    }
+
+    /// Same audit, but with the hostile size arriving the way an
+    /// attacker would actually deliver it: as an ELF `sh_size` that the
+    /// parser (which does not bound sizes) faithfully reports.
+    #[test]
+    fn elf_delivered_huge_bss_is_too_large_never_wrapped() {
+        let kernel = Kernel::new(KernelConfig::default());
+        let registry = ModuleRegistry::new(&kernel);
+        let opts = TransformOptions::rerandomizable(true);
+        for size in [u64::MAX as usize, layout::MODULE_CEILING as usize] {
+            let bytes = adelie_elf::emit(&huge_bss_object(size));
+            let obj = adelie_elf::parse(&bytes).expect("huge .bss is well-formed ELF");
+            match registry.load(&obj, &opts) {
+                Err(LoadError::TooLarge(_)) => {}
+                Err(e) => panic!("ELF size {size:#x}: wrong error {e}"),
+                Ok(_) => panic!("ELF size {size:#x} must not load"),
+            }
+        }
+    }
+
+    #[test]
+    fn verify_plt_bindings_flags_a_stale_binding() {
+        let opts = TransformOptions::rerandomizable(true).with_lazy_plt();
+        let (kernel, _registry, module) = setup(&opts);
+        let calc = module.export("demo_calc").unwrap();
+        let mut vm = kernel.vm();
+        assert_eq!(vm.call(calc, &[16]).unwrap(), 42);
+        let slot = module
+            .lazy_plt
+            .iter()
+            .find(|s| s.bound.load(Ordering::Acquire) != 0)
+            .expect("at least one slot bound by the calls above");
+        // Simulate a missed re-swing: the recorded binding drifts from
+        // what the slot should hold under the current layout.
+        let good = slot.bound.load(Ordering::Acquire);
+        slot.bound.store(good ^ 0x10, Ordering::Release);
+        let v = verify_plt_bindings(&kernel, &module);
+        assert!(
+            v.iter().any(|m| m.contains("stale")),
+            "tampered binding must be reported: {v:?}"
+        );
+        slot.bound.store(good, Ordering::Release);
+        assert_eq!(verify_plt_bindings(&kernel, &module), Vec::<String>::new());
     }
 
     /// The tentpole property at the interpreter level: across a

@@ -10,11 +10,11 @@
 //! Linux: absolute relocations, single region in the 2 GiB window.
 
 use crate::module::{
-    AdjustSlot, LoadStats, LoadedModule, LocalGotEntry, PageGroup, Part, PartImage,
+    AdjustSlot, LazyPltSlot, LoadStats, LoadedModule, LocalGotEntry, PageGroup, Part, PartImage,
 };
 use crate::va::{VaAllocator, VaReservation};
 use adelie_isa::{Asm, Reg};
-use adelie_kernel::{layout, Kernel};
+use adelie_kernel::{layout, Kernel, VmError};
 use adelie_obj::{ObjectFile, Reloc, RelocKind, SectionKind, SymbolDef};
 use adelie_plugin::{CodeModel, TransformOptions, KEY_SYMBOL};
 use adelie_vmem::{Batch, PteFlags, PAGE_SIZE};
@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
 
 /// Errors surfaced while loading a module.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -40,6 +40,13 @@ pub enum LoadError {
     NoSpace,
     /// The declared init/exit entry point is not exported.
     MissingEntry(String),
+    /// Section sizes/alignments overflow the layout arithmetic or the
+    /// module arena — adversarial `sh_size` values land here instead of
+    /// wrapping (same bug class as the `VaAllocator::reserve` fix).
+    TooLarge(String),
+    /// The object failed transformation or ELF ingestion before it
+    /// reached the loader proper.
+    Ingest(String),
 }
 
 impl fmt::Display for LoadError {
@@ -51,6 +58,8 @@ impl fmt::Display for LoadError {
             LoadError::FieldOverflow(s) => write!(f, "relocation overflow for `{s}`"),
             LoadError::NoSpace => write!(f, "no free virtual address range"),
             LoadError::MissingEntry(s) => write!(f, "entry point `{s}` not defined"),
+            LoadError::TooLarge(s) => write!(f, "module layout overflow: {s}"),
+            LoadError::Ingest(s) => write!(f, "object ingestion failed: {s}"),
         }
     }
 }
@@ -91,6 +100,14 @@ struct Decision {
     action: Action,
 }
 
+/// A lazily-bound PLT slot this part contributes (resolved into a
+/// [`LazyPltSlot`] once symbol offsets and binder addresses are known).
+struct LazySlotPlan {
+    symbol: Arc<str>,
+    got: GotRef,
+    movable_target: bool,
+}
+
 /// Everything needed to lay out and materialize one part.
 struct PartPlan {
     part: Part,
@@ -100,12 +117,15 @@ struct PartPlan {
     plt_off: u64,
     thunk_off: u64,
     /// Stub order and the GOT slot each one jumps through.
-    plt: Vec<(String, GotRef)>,
-    plt_index: HashMap<String, usize>,
+    plt: Vec<(Arc<str>, GotRef)>,
+    plt_index: HashMap<Arc<str>, usize>,
     lgot: Vec<LocalGotEntry>,
-    lgot_index: HashMap<String, usize>,
-    fgot: Vec<String>,
-    fgot_index: HashMap<String, usize>,
+    lgot_index: HashMap<Arc<str>, usize>,
+    fgot: Vec<Arc<str>>,
+    fgot_index: HashMap<Arc<str>, usize>,
+    /// Lazy slots (keyed `plt$name` in the GOT indices so an eager
+    /// GOTPCREL data reference to the same symbol keeps its own slot).
+    lazy: Vec<LazySlotPlan>,
     lgot_off: u64,
     fgot_off: u64,
     groups: Vec<PageGroup>,
@@ -116,8 +136,17 @@ struct PartPlan {
 /// Bytes per PLT stub slot (12 used, padded for alignment).
 const PLT_STUB_SIZE: u64 = 16;
 
-fn align_up(v: u64, a: u64) -> u64 {
-    v.next_multiple_of(a)
+/// Checked `next_multiple_of` — adversarial sizes near `u64::MAX` must
+/// surface as [`LoadError::TooLarge`], never wrap.
+fn align_up(v: u64, a: u64) -> Result<u64, LoadError> {
+    v.checked_next_multiple_of(a)
+        .ok_or_else(|| LoadError::TooLarge(format!("align_up({v:#x}, {a}) overflows")))
+}
+
+/// Checked add with the same contract as [`align_up`].
+fn add_sz(a: u64, b: u64) -> Result<u64, LoadError> {
+    a.checked_add(b)
+        .ok_or_else(|| LoadError::TooLarge(format!("{a:#x} + {b:#x} overflows")))
 }
 
 fn is_rex(b: u8) -> bool {
@@ -186,6 +215,7 @@ impl PartPlan {
             lgot_index: HashMap::new(),
             fgot: Vec::new(),
             fgot_index: HashMap::new(),
+            lazy: Vec::new(),
             lgot_off: 0,
             fgot_off: 0,
             groups: Vec::new(),
@@ -198,33 +228,68 @@ impl PartPlan {
         self.code_secs.contains(&sec) || self.data_groups.iter().any(|(s, _)| s.contains(&sec))
     }
 
-    fn lgot_slot(&mut self, name: &str, entry: LocalGotEntry) -> GotRef {
-        if let Some(&idx) = self.lgot_index.get(name) {
+    fn lgot_slot(&mut self, key: &str, entry: LocalGotEntry) -> GotRef {
+        if let Some(&idx) = self.lgot_index.get(key) {
             return GotRef { local: true, idx };
         }
         let idx = self.lgot.len();
         self.lgot.push(entry);
-        self.lgot_index.insert(name.to_string(), idx);
+        self.lgot_index.insert(Arc::from(key), idx);
         GotRef { local: true, idx }
     }
 
-    fn fgot_slot(&mut self, name: &str) -> GotRef {
-        if let Some(&idx) = self.fgot_index.get(name) {
+    fn fgot_slot(&mut self, name: &Arc<str>) -> GotRef {
+        if let Some(&idx) = self.fgot_index.get(&**name) {
             return GotRef { local: false, idx };
         }
         let idx = self.fgot.len();
-        self.fgot.push(name.to_string());
-        self.fgot_index.insert(name.to_string(), idx);
+        self.fgot.push(name.clone());
+        self.fgot_index.insert(name.clone(), idx);
         GotRef { local: false, idx }
     }
 
-    fn plt_slot(&mut self, name: &str, got: GotRef) -> usize {
-        if let Some(&idx) = self.plt_index.get(name) {
+    /// A lazily-bound slot for `symbol`, keyed `plt$symbol` so an eager
+    /// GOTPCREL reference to the same name stays a separate, eagerly
+    /// resolved slot. `movable_target` picks local vs fixed GOT.
+    fn lazy_slot(&mut self, symbol: &Arc<str>, movable_target: bool) -> GotRef {
+        let key = format!("plt${symbol}");
+        let got = if movable_target {
+            if let Some(&idx) = self.lgot_index.get(key.as_str()) {
+                return GotRef { local: true, idx };
+            }
+            // Placeholder: the binder address and lazy index are patched
+            // in once binders are registered.
+            self.lgot_slot(
+                &key,
+                LocalGotEntry::Lazy {
+                    lazy_idx: usize::MAX,
+                    binder: 0,
+                },
+            )
+        } else {
+            if let Some(&idx) = self.fgot_index.get(key.as_str()) {
+                return GotRef { local: false, idx };
+            }
+            let idx = self.fgot.len();
+            self.fgot.push(symbol.clone());
+            self.fgot_index.insert(Arc::from(key.as_str()), idx);
+            GotRef { local: false, idx }
+        };
+        self.lazy.push(LazySlotPlan {
+            symbol: symbol.clone(),
+            got,
+            movable_target,
+        });
+        got
+    }
+
+    fn plt_slot(&mut self, name: &Arc<str>, got: GotRef) -> usize {
+        if let Some(&idx) = self.plt_index.get(&**name) {
             return idx;
         }
         let idx = self.plt.len();
-        self.plt.push((name.to_string(), got));
-        self.plt_index.insert(name.to_string(), idx);
+        self.plt.push((name.clone(), got));
+        self.plt_index.insert(name.clone(), idx);
         idx
     }
 
@@ -243,6 +308,26 @@ impl PartPlan {
 struct SymPlace {
     part: Part,
     off: u64,
+}
+
+/// Unregisters freshly-registered lazy-PLT binder natives if the load
+/// fails partway (a later resolution error must not leak native-region
+/// registrations, or re-loading the module would trip the
+/// duplicate-name assertion).
+struct BinderGuard<'a> {
+    kernel: &'a Arc<Kernel>,
+    names: Vec<String>,
+    armed: bool,
+}
+
+impl Drop for BinderGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            for n in &self.names {
+                self.kernel.symbols.unregister_native(n);
+            }
+        }
+    }
 }
 
 /// Loads object files into the simulated kernel.
@@ -275,21 +360,26 @@ impl<'k> Loader<'k> {
 
         // ---- symbol partition --------------------------------------
         // Pre-place code sections (needed for patch-site inspection and
-        // symbol offsets); data placed later.
-        let mut sym_place: HashMap<String, SymPlace> = HashMap::new();
-        let place_code = |plan: &mut PartPlan, obj: &ObjectFile| -> u64 {
+        // symbol offsets); data placed later. All layout arithmetic is
+        // checked: an ELF-ingested object controls `sh_size`, so sizes
+        // near `u64::MAX` must become `TooLarge`, not a wrap.
+        let mut sym_place: HashMap<Arc<str>, SymPlace> = HashMap::new();
+        let place_code = |plan: &mut PartPlan, obj: &ObjectFile| -> Result<u64, LoadError> {
             let mut off = 0u64;
             for &sec in &plan.code_secs.clone() {
                 if let Some(s) = obj.section(sec) {
-                    off = align_up(off, 16);
+                    off = align_up(off, 16)?;
                     plan.sec_off.insert(sec, off);
-                    off += s.size as u64;
+                    off = add_sz(off, s.size as u64)?;
                 }
             }
-            off
+            Ok(off)
         };
-        let mov_code_end = place_code(&mut movable, obj);
-        let imm_code_end = immovable.as_mut().map(|p| place_code(p, obj)).unwrap_or(0);
+        let mov_code_end = place_code(&mut movable, obj)?;
+        let imm_code_end = match immovable.as_mut() {
+            Some(p) => place_code(p, obj)?,
+            None => 0,
+        };
 
         // Data section placement happens after the PLT, whose size we
         // don't know yet — compute data offsets relative to a
@@ -320,7 +410,7 @@ impl<'k> Loader<'k> {
         // ---- relocation scan ----------------------------------------
         let scan = |plan: &mut PartPlan,
                     obj: &ObjectFile,
-                    sym_place: &HashMap<String, SymPlace>|
+                    sym_place: &HashMap<Arc<str>, SymPlace>|
          -> Result<(), LoadError> {
             for &sec in &[
                 plan.code_secs.clone(),
@@ -333,14 +423,14 @@ impl<'k> Loader<'k> {
             {
                 let Some(s) = obj.section(sec) else { continue };
                 for r in &s.relocs {
-                    let target_part = sym_place.get(&r.symbol).map(|p| p.part);
+                    let target_part = sym_place.get(&*r.symbol).map(|p| p.part);
                     let same_part = target_part == Some(plan.part);
                     let action = match r.kind {
                         RelocKind::Pc32 => {
                             if opts.model == CodeModel::Legacy || same_part {
                                 Action::PcRelDirect
                             } else if target_part.is_some() {
-                                return Err(LoadError::CrossPartPcRel(r.symbol.clone()));
+                                return Err(LoadError::CrossPartPcRel(r.symbol.to_string()));
                             } else {
                                 // PC32 to a kernel symbol is only legal
                                 // in the legacy (±2 GiB) model.
@@ -361,15 +451,18 @@ impl<'k> Loader<'k> {
                                 // Fig. 4: "call/jmp foo@PLT → call/jmp
                                 // foo" for local calls — no stub.
                                 Action::PcRelDirect
-                            } else if opts.model == CodeModel::Legacy {
-                                Action::PcRelDirect // kernel within reach
                             } else {
-                                let got = if target_part == Some(Part::Movable) {
-                                    let off_ref = r.symbol.clone();
+                                let movable_target = target_part == Some(Part::Movable);
+                                let got = if opts.lazy_plt {
+                                    // ELF `.ko` semantics: the slot
+                                    // starts at the binder and resolves
+                                    // on first call.
+                                    plan.lazy_slot(&r.symbol, movable_target)
+                                } else if movable_target {
                                     plan.lgot_slot(
-                                        &off_ref,
+                                        &r.symbol,
                                         LocalGotEntry::Sym {
-                                            name: off_ref.clone(),
+                                            name: r.symbol.clone(),
                                             offset: 0,
                                         },
                                     )
@@ -386,7 +479,7 @@ impl<'k> Loader<'k> {
                             )));
                         }
                         RelocKind::GotPcRel => {
-                            if r.symbol == KEY_SYMBOL {
+                            if &*r.symbol == KEY_SYMBOL {
                                 Action::Got(plan.lgot_slot(KEY_SYMBOL, LocalGotEntry::Key))
                             } else if same_part {
                                 match site_kind(&s.bytes, r.offset) {
@@ -447,32 +540,36 @@ impl<'k> Loader<'k> {
         }
 
         // ---- final layout -------------------------------------------
-        let finalize = |plan: &mut PartPlan, code_end: u64, obj: &ObjectFile, retpoline: bool| {
-            let mut off = align_up(code_end, 16);
+        let finalize = |plan: &mut PartPlan,
+                        code_end: u64,
+                        obj: &ObjectFile,
+                        retpoline: bool|
+         -> Result<(), LoadError> {
+            let mut off = align_up(code_end, 16)?;
             plan.plt_off = off;
-            off += plan.plt.len() as u64 * PLT_STUB_SIZE;
+            off = add_sz(off, plan.plt.len() as u64 * PLT_STUB_SIZE)?;
             if !plan.plt.is_empty() && retpoline {
                 plan.thunk_off = off;
-                off += 32;
+                off = add_sz(off, 32)?;
             }
-            let code_pages = (align_up(off, PAGE_SIZE as u64) / PAGE_SIZE as u64) as usize;
+            let code_pages = (align_up(off, PAGE_SIZE as u64)? / PAGE_SIZE as u64) as usize;
             plan.groups.push(PageGroup {
                 page_start: 0,
                 pages: code_pages,
                 flags: PteFlags::TEXT,
             });
             let mut page_cursor = code_pages;
-            let mut byte_cursor = (code_pages * PAGE_SIZE) as u64;
+            let mut byte_cursor = (code_pages as u64) * PAGE_SIZE as u64;
             for (secs, flags) in plan.data_groups.clone() {
                 let start_byte = byte_cursor;
                 for sec in secs {
                     if let Some(s) = obj.section(sec) {
-                        byte_cursor = align_up(byte_cursor, 16);
+                        byte_cursor = align_up(byte_cursor, 16)?;
                         plan.sec_off.insert(sec, byte_cursor);
-                        byte_cursor += s.size as u64;
+                        byte_cursor = add_sz(byte_cursor, s.size as u64)?;
                     }
                 }
-                let pages = (align_up(byte_cursor - start_byte, PAGE_SIZE as u64)
+                let pages = (align_up(byte_cursor - start_byte, PAGE_SIZE as u64)?
                     / PAGE_SIZE as u64) as usize;
                 if pages > 0 {
                     plan.groups.push(PageGroup {
@@ -482,7 +579,7 @@ impl<'k> Loader<'k> {
                     });
                 }
                 page_cursor += pages;
-                byte_cursor = (page_cursor * PAGE_SIZE) as u64;
+                byte_cursor = (page_cursor as u64) * PAGE_SIZE as u64;
             }
             // Local GOT pages, then fixed GOT pages (page-granular so the
             // re-randomizer can swap/seal them independently).
@@ -496,7 +593,7 @@ impl<'k> Loader<'k> {
                 });
             }
             page_cursor += lgot_pages;
-            byte_cursor = (page_cursor * PAGE_SIZE) as u64;
+            byte_cursor = (page_cursor as u64) * PAGE_SIZE as u64;
             plan.fgot_off = byte_cursor;
             let fgot_pages = (plan.fgot.len() * 8).div_ceil(PAGE_SIZE);
             if fgot_pages > 0 {
@@ -508,10 +605,24 @@ impl<'k> Loader<'k> {
             }
             page_cursor += fgot_pages;
             plan.total_pages = page_cursor.max(1);
+            // The part must fit inside the randomization arena — a
+            // reservation could never succeed past this anyway, but an
+            // adversarial size has to fail *before* image allocation.
+            let part_bytes = (plan.total_pages as u64)
+                .checked_mul(PAGE_SIZE as u64)
+                .filter(|&b| b < layout::MODULE_CEILING)
+                .ok_or_else(|| {
+                    LoadError::TooLarge(format!(
+                        "part needs {} pages, beyond the module arena",
+                        plan.total_pages
+                    ))
+                })?;
+            let _ = part_bytes;
+            Ok(())
         };
-        finalize(&mut movable, mov_code_end, obj, opts.retpoline);
+        finalize(&mut movable, mov_code_end, obj, opts.retpoline)?;
         if let Some(imm) = immovable.as_mut() {
-            finalize(imm, imm_code_end, obj, opts.retpoline);
+            finalize(imm, imm_code_end, obj, opts.retpoline)?;
         }
 
         // Final symbol offsets.
@@ -522,7 +633,7 @@ impl<'k> Loader<'k> {
                 } else {
                     immovable.as_ref().expect("section must belong to a part")
                 };
-                let off = plan.sec_off[&section] + offset as u64;
+                let off = add_sz(plan.sec_off[&section], offset as u64)?;
                 sym_place.insert(
                     sym.name.clone(),
                     SymPlace {
@@ -533,10 +644,10 @@ impl<'k> Loader<'k> {
             }
         }
         // Local GOT entries now learn their target offsets.
-        let fill_lgot = |plan: &mut PartPlan, sym_place: &HashMap<String, SymPlace>| {
+        let fill_lgot = |plan: &mut PartPlan, sym_place: &HashMap<Arc<str>, SymPlace>| {
             for entry in plan.lgot.iter_mut() {
                 if let LocalGotEntry::Sym { name, offset } = entry {
-                    *offset = sym_place[name.as_str()].off;
+                    *offset = sym_place[&**name].off;
                 }
             }
         };
@@ -544,6 +655,89 @@ impl<'k> Loader<'k> {
         if let Some(imm) = immovable.as_mut() {
             fill_lgot(imm, &sym_place);
         }
+
+        // ---- lazy PLT binders ---------------------------------------
+        // Each lazy slot gets a per-slot binder trampoline in the native
+        // dispatch region. The binder holds a Weak to the module (filled
+        // in after construction): on the first call through the stub it
+        // binds the slot, then forwards the call with the caller's
+        // argument registers intact. Registered *before* image build so
+        // the GOT contents can start at the binder address; torn down by
+        // the guard if a later load step fails, and at unload.
+        let module_cell: Arc<OnceLock<Weak<LoadedModule>>> = Arc::new(OnceLock::new());
+        let mut lazy_slots: Vec<LazyPltSlot> = Vec::new();
+        {
+            let mut collect = |plan: &PartPlan| -> Result<(), LoadError> {
+                for ls in &plan.lazy {
+                    let target_off = if ls.movable_target {
+                        Some(
+                            sym_place
+                                .get(&*ls.symbol)
+                                .expect("movable lazy target must be placed")
+                                .off,
+                        )
+                    } else {
+                        None
+                    };
+                    lazy_slots.push(LazyPltSlot {
+                        symbol: ls.symbol.clone(),
+                        part: plan.part,
+                        local: ls.got.local,
+                        idx: ls.got.idx,
+                        binder_va: 0,
+                        binder_name: String::new(),
+                        target_off,
+                        bound: AtomicU64::new(0),
+                    });
+                }
+                Ok(())
+            };
+            collect(&movable)?;
+            if let Some(imm) = immovable.as_ref() {
+                collect(imm)?;
+            }
+        }
+        let mut binder_guard = BinderGuard {
+            kernel: self.kernel,
+            names: Vec::new(),
+            armed: true,
+        };
+        for (i, slot) in lazy_slots.iter_mut().enumerate() {
+            let binder_name = format!("__plt_bind__{}__{}__{}", obj.name, i, slot.symbol);
+            let cell = module_cell.clone();
+            let va = self
+                .kernel
+                .symbols
+                .register_native(&binder_name, move |vm| {
+                    let m = cell.get().and_then(Weak::upgrade).ok_or_else(|| {
+                        VmError::Native("lazy PLT binder called on unloaded module".into())
+                    })?;
+                    let target = m.bind_plt_slot(vm.kernel, i).map_err(VmError::Native)?;
+                    vm.forward_call(target)
+                });
+            slot.binder_va = va;
+            slot.binder_name = binder_name.clone();
+            binder_guard.names.push(binder_name);
+        }
+        // Patch the placeholder local-GOT entries with binder addresses.
+        for (i, slot) in lazy_slots.iter().enumerate() {
+            if slot.local {
+                let plan = match slot.part {
+                    Part::Movable => &mut movable,
+                    Part::Immovable => immovable.as_mut().expect("lazy slot in missing part"),
+                };
+                plan.lgot[slot.idx] = LocalGotEntry::Lazy {
+                    lazy_idx: i,
+                    binder: slot.binder_va,
+                };
+            }
+        }
+        // Fixed-GOT lazy slots, for the image builder.
+        let lazy_fgot: HashMap<(Part, usize), u64> = lazy_slots
+            .iter()
+            .filter(|s| !s.local)
+            .map(|s| ((s.part, s.idx), s.binder_va))
+            .collect();
 
         // ---- base selection -----------------------------------------
         // Reservations (not a held lock) keep other placements out of
@@ -665,17 +859,22 @@ impl<'k> Loader<'k> {
                 }
                 stats.plt_stubs += plan.plt.len();
             }
-            // GOT contents.
+            // GOT contents. Lazy slots start at their binder trampoline;
+            // everything else resolves eagerly at load time.
             for (i, e) in plan.lgot.iter().enumerate() {
                 let v = match e {
                     LocalGotEntry::Sym { offset, .. } => movable_base + offset,
                     LocalGotEntry::Key => key,
+                    LocalGotEntry::Lazy { binder, .. } => *binder,
                 };
                 let off = plan.lgot_off as usize + i * 8;
                 img[off..off + 8].copy_from_slice(&v.to_le_bytes());
             }
             for (i, name) in plan.fgot.iter().enumerate() {
-                let v = resolve(name)?;
+                let v = match lazy_fgot.get(&(plan.part, i)) {
+                    Some(&binder) => binder,
+                    None => resolve(name)?,
+                };
                 let off = plan.fgot_off as usize + i * 8;
                 img[off..off + 8].copy_from_slice(&v.to_le_bytes());
             }
@@ -687,7 +886,8 @@ impl<'k> Loader<'k> {
                 let p = (sec_off + d.reloc.offset as u64) as usize;
                 let pva = base + p as u64;
                 let field_i32 = |v: i64| -> Result<i32, LoadError> {
-                    i32::try_from(v).map_err(|_| LoadError::FieldOverflow(d.reloc.symbol.clone()))
+                    i32::try_from(v)
+                        .map_err(|_| LoadError::FieldOverflow(d.reloc.symbol.to_string()))
                 };
                 match &d.action {
                     Action::PcRelDirect => {
@@ -731,7 +931,7 @@ impl<'k> Loader<'k> {
                         let s = resolve(&d.reloc.symbol)?;
                         let v = (s as i64 + d.reloc.addend) as u64;
                         img[p..p + 8].copy_from_slice(&v.to_le_bytes());
-                        if let Some(place) = sym_place.get(&d.reloc.symbol) {
+                        if let Some(place) = sym_place.get(&*d.reloc.symbol) {
                             if place.part == Part::Movable && rerand {
                                 adjust.push(AdjustSlot {
                                     part: plan.part,
@@ -892,10 +1092,19 @@ impl<'k> Loader<'k> {
             exit_va,
             update_pointers_va,
             pointer_refresh_failures: AtomicU64::new(0),
+            lazy_plt: lazy_slots,
+            plt_bind_lock: Mutex::new(()),
+            plt_binds: AtomicU64::new(0),
+            plt_reswings: AtomicU64::new(0),
             exports,
             stats,
             move_lock: Mutex::new(()),
         });
+        // Arm the binders: they can now upgrade to the live module. The
+        // load can no longer fail, so the cleanup guard stands down (the
+        // binders are unregistered at unload instead).
+        let _ = module_cell.set(Arc::downgrade(&module));
+        binder_guard.armed = false;
         // Publish exports in kallsyms so other modules can import them.
         for (name, va) in &module.exports {
             self.kernel.symbols.define(name, *va);

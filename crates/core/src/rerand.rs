@@ -248,6 +248,9 @@ pub fn rerandomize_module_epoch(
             let v = match e {
                 LocalGotEntry::Sym { offset, .. } => new_base + offset,
                 LocalGotEntry::Key => new_key,
+                // A rebuilt table starts lazy slots unbound (at the
+                // binder); bound slots are re-swung after publication.
+                LocalGotEntry::Lazy { binder, .. } => *binder,
             };
             bytes[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
         }
@@ -379,6 +382,13 @@ pub fn rerandomize_module_epoch(
     module.movable_base.store(new_base, Ordering::Release);
     module.current_key.store(new_key, Ordering::Release);
     module.generation.fetch_add(1, Ordering::Relaxed);
+    // Re-swing bound lazy PLT slots against the published layout (the
+    // MARDU hazard: a bound slot holds an absolute address, so leaving
+    // it would let a first-call binding outlive the range it points
+    // into). Runs before `update_pointers` so the callback itself calls
+    // through correctly-bound stubs; a binder racing this re-resolves
+    // under the same lock and reaches the same answer.
+    module.reswing_bound_plt(kernel);
     let update_result = match module.update_pointers_va {
         Some(_) if !allowed(CycleStage::UpdatePointers) => Err(RerandError::UpdatePointers {
             module: module.name.clone(),

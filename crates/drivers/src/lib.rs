@@ -53,7 +53,14 @@ fn load_spec(
     spec: &adelie_plugin::ModuleSpec,
     opts: &TransformOptions,
 ) -> Result<Arc<LoadedModule>, LoadError> {
-    let obj = transform(spec, opts).map_err(|e| LoadError::UnexpectedReloc(e.to_string()))?;
+    let obj = transform(spec, opts).map_err(|e| LoadError::Ingest(e.to_string()))?;
+    let obj = if opts.elf_ingest {
+        // The real-module path: serialize to an ELF64 relocatable
+        // object and ingest it back, as if the `.ko` came off disk.
+        adelie_elf::parse(&adelie_elf::emit(&obj)).map_err(|e| LoadError::Ingest(e.to_string()))?
+    } else {
+        obj
+    };
     registry.load(&obj, opts)
 }
 

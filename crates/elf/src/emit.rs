@@ -1,0 +1,316 @@
+//! ELF64 `ET_REL` emitter.
+//!
+//! Serializes an [`ObjectFile`] into a spec-shaped relocatable object:
+//! file header, one section per populated [`SectionKind`] (in layout
+//! order), one `.rela.*` section per relocated section, the
+//! `.adelie.modinfo` metadata section, then `.symtab`/`.strtab`/
+//! `.shstrtab` and the section-header table. The output is a real ELF —
+//! `readelf -a` renders it — and [`crate::parse`] reconstructs the
+//! original [`ObjectFile`] losslessly.
+
+use crate::consts::*;
+use crate::{reloc_type, section_encoding};
+use adelie_obj::{Binding, ObjectFile, SectionKind, SymbolDef};
+use std::collections::HashMap;
+
+/// A string table under construction (offset 0 is the empty string, as
+/// the spec requires).
+struct StrTab {
+    bytes: Vec<u8>,
+    index: HashMap<String, u32>,
+}
+
+impl StrTab {
+    fn new() -> StrTab {
+        StrTab {
+            bytes: vec![0],
+            index: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if s.is_empty() {
+            return 0;
+        }
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let i = self.bytes.len() as u32;
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.bytes.push(0);
+        self.index.insert(s.to_string(), i);
+        i
+    }
+}
+
+/// One section header plus its payload, pre-layout.
+struct OutSection {
+    name: u32,
+    sh_type: u32,
+    flags: u64,
+    size: u64,
+    link: u32,
+    info: u32,
+    addralign: u64,
+    entsize: u64,
+    /// File payload (empty for `SHT_NOBITS`).
+    data: Vec<u8>,
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn sym_entry(out: &mut Vec<u8>, name: u32, info: u8, shndx: u16, value: u64) {
+    push_u32(out, name);
+    out.push(info);
+    out.push(0); // st_other
+    push_u16(out, shndx);
+    push_u64(out, value);
+    push_u64(out, 0); // st_size: the pipeline does not track it
+}
+
+/// The `key=value\0` metadata payload for `.adelie.modinfo`.
+fn modinfo_bytes(obj: &ObjectFile) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut put = |k: &str, v: &str| {
+        out.extend_from_slice(k.as_bytes());
+        out.push(b'=');
+        out.extend_from_slice(v.as_bytes());
+        out.push(0);
+    };
+    put("name", &obj.name);
+    if let Some(init) = &obj.init {
+        put("init", init);
+    }
+    if let Some(exit) = &obj.exit {
+        put("exit", exit);
+    }
+    if let Some(up) = &obj.update_pointers {
+        put("update_pointers", up);
+    }
+    for e in &obj.exports {
+        put("export", e);
+    }
+    out
+}
+
+/// Serialize `obj` as an ELF64 `ET_REL` x86-64 object.
+///
+/// Infallible: an in-memory [`ObjectFile`] is already structurally
+/// valid (the builder enforces it), and every supported [`RelocKind`]
+/// has an x86-64 relocation number.
+///
+/// [`RelocKind`]: adelie_obj::RelocKind
+pub fn emit(obj: &ObjectFile) -> Vec<u8> {
+    let mut shstr = StrTab::new();
+    let mut strtab = StrTab::new();
+
+    // --- section indices ------------------------------------------------
+    // [0]=NULL, then alloc sections in BTreeMap (= layout) order, then
+    // one .rela per relocated section, then modinfo, symtab, strtab,
+    // shstrtab.
+    let kinds: Vec<SectionKind> = obj.sections.keys().copied().collect();
+    let shndx_of: HashMap<SectionKind, u16> = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, (i + 1) as u16))
+        .collect();
+    let relocated: Vec<SectionKind> = kinds
+        .iter()
+        .copied()
+        .filter(|k| !obj.sections[k].relocs.is_empty())
+        .collect();
+    let symtab_ndx = (1 + kinds.len() + relocated.len() + 1) as u32;
+    let strtab_ndx = symtab_ndx + 1;
+    let shstrtab_ndx = strtab_ndx + 1;
+
+    // --- symbol table ---------------------------------------------------
+    // Locals first (the spec's `sh_info` contract), emission order
+    // otherwise preserved.
+    let mut order: Vec<usize> = (0..obj.symbols.len()).collect();
+    order.sort_by_key(|&i| matches!(obj.symbols[i].binding, Binding::Global));
+    let first_global = 1 + order
+        .iter()
+        .take_while(|&&i| matches!(obj.symbols[i].binding, Binding::Local))
+        .count() as u32;
+    let mut sym_ndx: HashMap<&str, u64> = HashMap::new();
+    let mut symtab = Vec::with_capacity(SYM_SIZE * (obj.symbols.len() + 1));
+    sym_entry(&mut symtab, 0, 0, SHN_UNDEF, 0); // entry 0: null
+    for (n, &i) in order.iter().enumerate() {
+        let sym = &obj.symbols[i];
+        let bind = match sym.binding {
+            Binding::Local => STB_LOCAL,
+            Binding::Global => STB_GLOBAL,
+        };
+        let (stype, shndx, value) = match sym.def {
+            SymbolDef::Defined { section, offset } => {
+                let stype = if section.is_code() {
+                    STT_FUNC
+                } else {
+                    STT_OBJECT
+                };
+                (stype, shndx_of[&section], offset as u64)
+            }
+            SymbolDef::Undefined => (STT_NOTYPE, SHN_UNDEF, 0),
+        };
+        let name = strtab.intern(&sym.name);
+        sym_entry(&mut symtab, name, (bind << 4) | stype, shndx, value);
+        sym_ndx.insert(&sym.name, (n + 1) as u64);
+    }
+
+    // --- sections -------------------------------------------------------
+    let mut sections: Vec<OutSection> = Vec::new();
+    for &kind in &kinds {
+        let sec = &obj.sections[&kind];
+        let (flags, sh_type) = section_encoding(kind);
+        sections.push(OutSection {
+            name: shstr.intern(kind.name()),
+            sh_type,
+            flags,
+            size: sec.size as u64,
+            link: 0,
+            info: 0,
+            addralign: if kind.is_code() { 16 } else { 8 },
+            entsize: 0,
+            data: if sh_type == SHT_NOBITS {
+                Vec::new()
+            } else {
+                sec.bytes.clone()
+            },
+        });
+    }
+    for &kind in &relocated {
+        let sec = &obj.sections[&kind];
+        let mut data = Vec::with_capacity(RELA_SIZE * sec.relocs.len());
+        for r in &sec.relocs {
+            push_u64(&mut data, r.offset as u64);
+            let info = (sym_ndx[&*r.symbol] << 32) | u64::from(reloc_type(r.kind));
+            push_u64(&mut data, info);
+            push_u64(&mut data, r.addend as u64);
+        }
+        sections.push(OutSection {
+            name: shstr.intern(&format!(".rela{}", kind.name())),
+            sh_type: SHT_RELA,
+            flags: 0,
+            size: data.len() as u64,
+            link: symtab_ndx,
+            info: u32::from(shndx_of[&kind]),
+            addralign: 8,
+            entsize: RELA_SIZE as u64,
+            data,
+        });
+    }
+    let modinfo = modinfo_bytes(obj);
+    sections.push(OutSection {
+        name: shstr.intern(MODINFO_SECTION),
+        sh_type: SHT_PROGBITS,
+        flags: 0,
+        size: modinfo.len() as u64,
+        link: 0,
+        info: 0,
+        addralign: 1,
+        entsize: 0,
+        data: modinfo,
+    });
+    sections.push(OutSection {
+        name: shstr.intern(".symtab"),
+        sh_type: SHT_SYMTAB,
+        flags: 0,
+        size: symtab.len() as u64,
+        link: strtab_ndx,
+        info: first_global,
+        addralign: 8,
+        entsize: SYM_SIZE as u64,
+        data: symtab,
+    });
+    let strtab_bytes = strtab.bytes;
+    sections.push(OutSection {
+        name: shstr.intern(".strtab"),
+        sh_type: SHT_STRTAB,
+        flags: 0,
+        size: strtab_bytes.len() as u64,
+        link: 0,
+        info: 0,
+        addralign: 1,
+        entsize: 0,
+        data: strtab_bytes,
+    });
+    let shstrtab_name = shstr.intern(".shstrtab");
+    let shstr_bytes = shstr.bytes;
+    sections.push(OutSection {
+        name: shstrtab_name,
+        sh_type: SHT_STRTAB,
+        flags: 0,
+        size: shstr_bytes.len() as u64,
+        link: 0,
+        info: 0,
+        addralign: 1,
+        entsize: 0,
+        data: shstr_bytes,
+    });
+
+    // --- layout ---------------------------------------------------------
+    let mut out = vec![0u8; EHDR_SIZE];
+    let mut offsets = Vec::with_capacity(sections.len());
+    for s in &sections {
+        if s.addralign > 1 {
+            let a = s.addralign as usize;
+            let pad = (a - out.len() % a) % a;
+            out.resize(out.len() + pad, 0);
+        }
+        offsets.push(out.len() as u64);
+        out.extend_from_slice(&s.data);
+    }
+    let pad = (8 - out.len() % 8) % 8;
+    out.resize(out.len() + pad, 0);
+    let e_shoff = out.len() as u64;
+
+    // --- section header table -------------------------------------------
+    out.extend_from_slice(&[0u8; SHDR_SIZE]); // [0]: SHT_NULL
+    for (s, &off) in sections.iter().zip(&offsets) {
+        push_u32(&mut out, s.name);
+        push_u32(&mut out, s.sh_type);
+        push_u64(&mut out, s.flags);
+        push_u64(&mut out, 0); // sh_addr: unallocated until load
+        push_u64(&mut out, off);
+        push_u64(&mut out, s.size);
+        push_u32(&mut out, s.link);
+        push_u32(&mut out, s.info);
+        push_u64(&mut out, s.addralign);
+        push_u64(&mut out, s.entsize);
+    }
+
+    // --- file header ----------------------------------------------------
+    let e_shnum = (sections.len() + 1) as u16;
+    let mut ehdr = Vec::with_capacity(EHDR_SIZE);
+    ehdr.extend_from_slice(&ELFMAG);
+    ehdr.push(ELFCLASS64);
+    ehdr.push(ELFDATA2LSB);
+    ehdr.push(EV_CURRENT);
+    ehdr.resize(16, 0); // OS ABI 0 (SysV) + padding
+    push_u16(&mut ehdr, ET_REL);
+    push_u16(&mut ehdr, EM_X86_64);
+    push_u32(&mut ehdr, u32::from(EV_CURRENT));
+    push_u64(&mut ehdr, 0); // e_entry
+    push_u64(&mut ehdr, 0); // e_phoff
+    push_u64(&mut ehdr, e_shoff);
+    push_u32(&mut ehdr, 0); // e_flags
+    push_u16(&mut ehdr, EHDR_SIZE as u16);
+    push_u16(&mut ehdr, 0); // e_phentsize
+    push_u16(&mut ehdr, 0); // e_phnum
+    push_u16(&mut ehdr, SHDR_SIZE as u16);
+    push_u16(&mut ehdr, e_shnum);
+    push_u16(&mut ehdr, shstrtab_ndx as u16);
+    debug_assert_eq!(ehdr.len(), EHDR_SIZE);
+    out[..EHDR_SIZE].copy_from_slice(&ehdr);
+    out
+}

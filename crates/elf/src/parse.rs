@@ -1,0 +1,432 @@
+//! ELF64 `ET_REL` parser.
+//!
+//! Ingests a relocatable x86-64 object into an
+//! [`ObjectFile`](adelie_obj::ObjectFile). Hardened against adversarial
+//! input: every offset, size, count, and index is validated with
+//! overflow-checked arithmetic before use, and every rejection is a
+//! typed [`ElfError`] — malformed bytes can never panic this code or
+//! make it read out of bounds.
+
+use crate::consts::*;
+use crate::{classify_section, reloc_kind, ElfError};
+use adelie_obj::{Binding, ObjectFile, Reloc, Section, SectionKind, Symbol, SymbolDef};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Bounds-checked little-endian reader over the input buffer.
+struct Reader<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&self, off: u64, len: u64, what: &'static str) -> Result<&'a [u8], ElfError> {
+        let end = off.checked_add(len).ok_or(ElfError::Truncated {
+            what,
+            need: u64::MAX,
+            have: self.b.len() as u64,
+        })?;
+        if end > self.b.len() as u64 {
+            return Err(ElfError::Truncated {
+                what,
+                need: end,
+                have: self.b.len() as u64,
+            });
+        }
+        // `end` fits in the buffer, so both convert to usize losslessly.
+        Ok(&self.b[off as usize..end as usize])
+    }
+
+    fn u16(&self, off: u64, what: &'static str) -> Result<u16, ElfError> {
+        let b = self.bytes(off, 2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&self, off: u64, what: &'static str) -> Result<u32, ElfError> {
+        let b = self.bytes(off, 4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&self, off: u64, what: &'static str) -> Result<u64, ElfError> {
+        let b = self.bytes(off, 8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+}
+
+/// A decoded section header.
+#[derive(Clone, Debug)]
+struct Shdr {
+    name: u32,
+    sh_type: u32,
+    flags: u64,
+    offset: u64,
+    size: u64,
+    link: u32,
+    info: u32,
+}
+
+fn read_shdr(r: &Reader<'_>, off: u64) -> Result<Shdr, ElfError> {
+    Ok(Shdr {
+        name: r.u32(off, "section header")?,
+        sh_type: r.u32(off + 4, "section header")?,
+        flags: r.u64(off + 8, "section header")?,
+        // sh_addr at +16 is ignored: ET_REL sections are unallocated.
+        offset: r.u64(off + 24, "section header")?,
+        size: r.u64(off + 32, "section header")?,
+        link: r.u32(off + 40, "section header")?,
+        info: r.u32(off + 44, "section header")?,
+    })
+}
+
+/// The file payload of a section (empty for `SHT_NOBITS`, which
+/// occupies no file space).
+fn section_data<'a>(r: &Reader<'a>, sh: &Shdr) -> Result<&'a [u8], ElfError> {
+    if sh.sh_type == SHT_NOBITS {
+        return Ok(&[]);
+    }
+    r.bytes(sh.offset, sh.size, "section contents")
+}
+
+/// A NUL-terminated UTF-8 string at `off` within string table `tab`.
+fn get_str(tab: &[u8], off: u32, what: &str) -> Result<String, ElfError> {
+    let start = off as usize;
+    if start > tab.len() {
+        return Err(ElfError::BadString(format!(
+            "{what}: offset {off} outside string table of {} bytes",
+            tab.len()
+        )));
+    }
+    let rest = &tab[start..];
+    let end = rest
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or_else(|| ElfError::BadString(format!("{what}: unterminated at offset {off}")))?;
+    std::str::from_utf8(&rest[..end])
+        .map(str::to_string)
+        .map_err(|_| ElfError::BadString(format!("{what}: not UTF-8 at offset {off}")))
+}
+
+fn usize_of(v: u64, what: &str) -> Result<usize, ElfError> {
+    usize::try_from(v).map_err(|_| ElfError::BadSection(format!("{what} {v:#x} exceeds usize")))
+}
+
+/// Parse an ELF64 `ET_REL` x86-64 object into an [`ObjectFile`].
+///
+/// # Errors
+///
+/// A typed [`ElfError`] for anything malformed: truncated or non-ELF
+/// headers, unsupported class/endianness/type/machine, out-of-range
+/// section offsets, string-table abuse, bogus symbol or relocation
+/// records, or metadata that does not decode. Never panics.
+pub fn parse(bytes: &[u8]) -> Result<ObjectFile, ElfError> {
+    let r = Reader { b: bytes };
+
+    // --- file header ----------------------------------------------------
+    let ident = r.bytes(0, 16, "ELF identification")?;
+    if ident[..4] != ELFMAG {
+        return Err(ElfError::BadIdent("not an ELF file (bad magic)".into()));
+    }
+    if ident[4] != ELFCLASS64 {
+        return Err(ElfError::BadIdent(format!(
+            "class {} is not ELF64",
+            ident[4]
+        )));
+    }
+    if ident[5] != ELFDATA2LSB {
+        return Err(ElfError::BadIdent(format!(
+            "data encoding {} is not little-endian",
+            ident[5]
+        )));
+    }
+    if ident[6] != EV_CURRENT {
+        return Err(ElfError::BadIdent(format!("ident version {}", ident[6])));
+    }
+    let e_type = r.u16(16, "file header")?;
+    if e_type != ET_REL {
+        return Err(ElfError::BadHeader(format!(
+            "e_type {e_type} is not ET_REL (only relocatable objects are ingested)"
+        )));
+    }
+    let e_machine = r.u16(18, "file header")?;
+    if e_machine != EM_X86_64 {
+        return Err(ElfError::BadHeader(format!(
+            "e_machine {e_machine} is not x86-64"
+        )));
+    }
+    let e_version = r.u32(20, "file header")?;
+    if e_version != u32::from(EV_CURRENT) {
+        return Err(ElfError::BadHeader(format!("e_version {e_version}")));
+    }
+    let e_shoff = r.u64(40, "file header")?;
+    let e_shentsize = r.u16(58, "file header")?;
+    let e_shnum = r.u16(60, "file header")?;
+    let e_shstrndx = r.u16(62, "file header")?;
+    if e_shnum == 0 {
+        return Err(ElfError::BadHeader("no section headers".into()));
+    }
+    if e_shentsize as usize != SHDR_SIZE {
+        return Err(ElfError::BadHeader(format!(
+            "e_shentsize {e_shentsize} (expected {SHDR_SIZE})"
+        )));
+    }
+
+    // --- section header table -------------------------------------------
+    let mut shdrs = Vec::with_capacity(e_shnum as usize);
+    for i in 0..u64::from(e_shnum) {
+        let off = e_shoff
+            .checked_add(i.checked_mul(SHDR_SIZE as u64).ok_or_else(|| {
+                ElfError::BadSection("section header table size overflows".into())
+            })?)
+            .ok_or_else(|| ElfError::BadSection("section header offset overflows".into()))?;
+        shdrs.push(read_shdr(&r, off)?);
+    }
+    if e_shstrndx as usize >= shdrs.len() {
+        return Err(ElfError::BadSection(format!(
+            "e_shstrndx {e_shstrndx} out of range ({} headers)",
+            shdrs.len()
+        )));
+    }
+    let shstr_hdr = &shdrs[e_shstrndx as usize];
+    if shstr_hdr.sh_type != SHT_STRTAB {
+        return Err(ElfError::BadSection(format!(
+            "e_shstrndx names a section of type {} (not a string table)",
+            shstr_hdr.sh_type
+        )));
+    }
+    let shstrtab = section_data(&r, shstr_hdr)?;
+
+    // --- classify sections ----------------------------------------------
+    let mut sections: BTreeMap<SectionKind, Section> = BTreeMap::new();
+    let mut kind_of_shndx: HashMap<usize, SectionKind> = HashMap::new();
+    let mut symtab_hdr: Option<&Shdr> = None;
+    let mut modinfo: Option<&Shdr> = None;
+    let mut rela_hdrs: Vec<&Shdr> = Vec::new();
+    for (i, sh) in shdrs.iter().enumerate().skip(1) {
+        let name = get_str(shstrtab, sh.name, "section name")?;
+        match sh.sh_type {
+            SHT_SYMTAB => {
+                if symtab_hdr.is_some() {
+                    return Err(ElfError::BadSection("more than one .symtab".into()));
+                }
+                symtab_hdr = Some(sh);
+                continue;
+            }
+            SHT_RELA => {
+                rela_hdrs.push(sh);
+                continue;
+            }
+            SHT_NULL | SHT_STRTAB => continue,
+            _ => {}
+        }
+        if sh.flags & SHF_ALLOC == 0 {
+            if name == MODINFO_SECTION {
+                modinfo = Some(sh);
+            }
+            continue;
+        }
+        let Some(kind) = classify_section(&name, sh.sh_type, sh.flags) else {
+            return Err(ElfError::Unclassifiable(format!(
+                "`{name}` (type {}, flags {:#x})",
+                sh.sh_type, sh.flags
+            )));
+        };
+        let data = section_data(&r, sh)?;
+        let size = usize_of(sh.size, "section size")?;
+        if sections
+            .insert(
+                kind,
+                Section {
+                    bytes: data.to_vec(),
+                    size,
+                    relocs: Vec::new(),
+                },
+            )
+            .is_some()
+        {
+            return Err(ElfError::DuplicateSection(kind.name()));
+        }
+        kind_of_shndx.insert(i, kind);
+    }
+
+    // --- symbol table ---------------------------------------------------
+    // `names[i]` is the interned name of symtab entry `i`; `None` for
+    // the null entry and for entries relocations may not target
+    // (section/file symbols).
+    fn intern(s: &str, pool: &mut HashSet<Arc<str>>) -> Arc<str> {
+        if let Some(a) = pool.get(s) {
+            return a.clone();
+        }
+        let a: Arc<str> = Arc::from(s);
+        pool.insert(a.clone());
+        a
+    }
+    let mut interned: HashSet<Arc<str>> = HashSet::new();
+    let mut symbols: Vec<Symbol> = Vec::new();
+    let mut names: Vec<Option<Arc<str>>> = Vec::new();
+    if let Some(st) = symtab_hdr {
+        let data = section_data(&r, st)?;
+        if data.len() % SYM_SIZE != 0 {
+            return Err(ElfError::BadSymbol(format!(
+                ".symtab size {} is not a multiple of {SYM_SIZE}",
+                data.len()
+            )));
+        }
+        let strtab_hdr = shdrs
+            .get(st.link as usize)
+            .filter(|sh| sh.sh_type == SHT_STRTAB)
+            .ok_or_else(|| {
+                ElfError::BadSection(format!(".symtab sh_link {} is not a string table", st.link))
+            })?;
+        let strtab = section_data(&r, strtab_hdr)?;
+        let mut seen: HashSet<Arc<str>> = HashSet::new();
+        for (i, e) in data.chunks_exact(SYM_SIZE).enumerate() {
+            names.push(None);
+            if i == 0 {
+                continue; // the mandatory null entry
+            }
+            let st_name = u32::from_le_bytes(e[0..4].try_into().expect("4 bytes"));
+            let st_info = e[4];
+            let st_shndx = u16::from_le_bytes(e[6..8].try_into().expect("2 bytes"));
+            let st_value = u64::from_le_bytes(e[8..16].try_into().expect("8 bytes"));
+            let stype = st_info & 0xf;
+            if stype == STT_SECTION || stype == STT_FILE {
+                continue; // bookkeeping entries, not module symbols
+            }
+            let name = get_str(strtab, st_name, "symbol name")?;
+            if name.is_empty() {
+                return Err(ElfError::BadSymbol(format!("entry {i} has no name")));
+            }
+            let binding = match st_info >> 4 {
+                STB_LOCAL => Binding::Local,
+                STB_GLOBAL => Binding::Global,
+                b => {
+                    return Err(ElfError::BadSymbol(format!(
+                        "`{name}`: unsupported binding {b}"
+                    )))
+                }
+            };
+            let def = if st_shndx == SHN_UNDEF {
+                SymbolDef::Undefined
+            } else {
+                let kind = kind_of_shndx
+                    .get(&(st_shndx as usize))
+                    .copied()
+                    .ok_or_else(|| {
+                        ElfError::BadSymbol(format!(
+                            "`{name}`: st_shndx {st_shndx} is not an ingested section"
+                        ))
+                    })?;
+                let offset = usize_of(st_value, "symbol value")?;
+                if offset > sections[&kind].size {
+                    return Err(ElfError::BadSymbol(format!(
+                        "`{name}`: offset {offset:#x} outside {kind} ({:#x} bytes)",
+                        sections[&kind].size
+                    )));
+                }
+                SymbolDef::Defined {
+                    section: kind,
+                    offset,
+                }
+            };
+            let name = intern(&name, &mut interned);
+            if !seen.insert(name.clone()) {
+                return Err(ElfError::BadSymbol(format!("duplicate symbol `{name}`")));
+            }
+            *names.last_mut().expect("pushed above") = Some(name.clone());
+            symbols.push(Symbol { name, def, binding });
+        }
+    }
+
+    // --- relocations ----------------------------------------------------
+    for rh in rela_hdrs {
+        let target = rh.info as usize;
+        let Some(&kind) = kind_of_shndx.get(&target) else {
+            return Err(ElfError::BadReloc(format!(
+                "RELA sh_info {target} does not name an ingested section"
+            )));
+        };
+        let data = section_data(&r, rh)?;
+        if data.len() % RELA_SIZE != 0 {
+            return Err(ElfError::BadReloc(format!(
+                "RELA size {} is not a multiple of {RELA_SIZE}",
+                data.len()
+            )));
+        }
+        let sec_size = sections[&kind].size as u64;
+        for e in data.chunks_exact(RELA_SIZE) {
+            let r_offset = u64::from_le_bytes(e[0..8].try_into().expect("8 bytes"));
+            let r_info = u64::from_le_bytes(e[8..16].try_into().expect("8 bytes"));
+            let r_addend = i64::from_le_bytes(e[16..24].try_into().expect("8 bytes"));
+            let r_type = (r_info & 0xffff_ffff) as u32;
+            let r_sym = (r_info >> 32) as usize;
+            let Some(rkind) = reloc_kind(r_type) else {
+                return Err(ElfError::BadReloc(format!(
+                    "unsupported relocation type {r_type} in {kind}"
+                )));
+            };
+            let symbol = names.get(r_sym).and_then(|n| n.clone()).ok_or_else(|| {
+                ElfError::BadReloc(format!("symbol index {r_sym} names no relocatable symbol"))
+            })?;
+            // The patched field must lie inside the target section.
+            let field = match rkind {
+                adelie_obj::RelocKind::Abs64 => 8,
+                _ => 4,
+            };
+            if r_offset.checked_add(field).is_none_or(|end| end > sec_size) {
+                return Err(ElfError::BadReloc(format!(
+                    "offset {r_offset:#x} (+{field}) outside {kind} ({sec_size:#x} bytes)"
+                )));
+            }
+            let offset = usize_of(r_offset, "relocation offset")?;
+            sections
+                .get_mut(&kind)
+                .expect("kind came from kind_of_shndx")
+                .relocs
+                .push(Reloc {
+                    offset,
+                    kind: rkind,
+                    symbol,
+                    addend: r_addend,
+                });
+        }
+    }
+
+    // --- module metadata -------------------------------------------------
+    let mut name = String::from("module");
+    let mut init = None;
+    let mut exit = None;
+    let mut update_pointers = None;
+    let mut exports = Vec::new();
+    if let Some(mh) = modinfo {
+        let data = section_data(&r, mh)?;
+        for entry in data.split(|&b| b == 0) {
+            if entry.is_empty() {
+                continue;
+            }
+            let s = std::str::from_utf8(entry)
+                .map_err(|_| ElfError::BadModinfo("entry is not UTF-8".into()))?;
+            let (k, v) = s
+                .split_once('=')
+                .ok_or_else(|| ElfError::BadModinfo(format!("entry `{s}` has no `=`")))?;
+            match k {
+                "name" => name = v.to_string(),
+                "init" => init = Some(v.to_string()),
+                "exit" => exit = Some(v.to_string()),
+                "update_pointers" => update_pointers = Some(v.to_string()),
+                "export" => exports.push(v.to_string()),
+                // Unknown keys are forward-compatible metadata, not
+                // corruption.
+                _ => {}
+            }
+        }
+    }
+
+    Ok(ObjectFile {
+        name,
+        sections,
+        symbols,
+        exports,
+        init,
+        exit,
+        update_pointers,
+    })
+}

@@ -1,0 +1,172 @@
+//! Malformed-ELF property suite: truncated headers, out-of-range
+//! section offsets, bogus relocation symbols, and random byte
+//! corruption must all surface as a typed [`ElfError`] — never a panic,
+//! never an out-of-bounds read.
+
+use adelie_elf::{consts, emit, parse, ElfError};
+use adelie_isa::{Asm, Reg};
+use adelie_obj::{Binding, ObjectBuilder, SectionKind};
+use proptest::prelude::*;
+
+/// A valid fixture to mutate (relocations, imports, every section).
+fn fixture() -> Vec<u8> {
+    let mut b = ObjectBuilder::new("mut");
+    let mut f = Asm::new();
+    f.call_plt("mut_helper");
+    f.call_got("kmalloc");
+    f.lea_sym(Reg::Rdi, "mut_msg");
+    f.ret();
+    b.add_function("mut_init", &f, SectionKind::Text, Binding::Global)
+        .unwrap();
+    let mut h = Asm::new();
+    h.mov_imm32(Reg::Rax, 1);
+    h.ret();
+    b.add_function("mut_helper", &h, SectionKind::Text, Binding::Local)
+        .unwrap();
+    b.add_data("mut_msg", b"m\0", SectionKind::Rodata, Binding::Local)
+        .unwrap();
+    b.add_bss("mut_buf", 64, Binding::Local).unwrap();
+    b.export("mut_init");
+    b.set_init("mut_init");
+    emit(&b.finish())
+}
+
+fn put_u64(bytes: &mut [u8], off: usize, v: u64) {
+    bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn shoff(bytes: &[u8]) -> usize {
+    u64::from_le_bytes(bytes[40..48].try_into().unwrap()) as usize
+}
+
+fn shnum(bytes: &[u8]) -> usize {
+    u16::from_le_bytes(bytes[60..62].try_into().unwrap()) as usize
+}
+
+/// Whether section `i` occupies file space (`SHT_NOBITS` does not, so
+/// its offset/size never touch the file and corrupting them is
+/// legitimately ignored — the loader's overflow audit guards sizes).
+fn has_file_data(bytes: &[u8], i: usize) -> bool {
+    let h = shoff(bytes) + i * consts::SHDR_SIZE;
+    u32::from_le_bytes(bytes[h + 4..h + 8].try_into().unwrap()) != consts::SHT_NOBITS
+}
+
+#[test]
+fn truncated_file_header_is_truncated_error() {
+    let full = fixture();
+    for len in 0..consts::EHDR_SIZE {
+        match parse(&full[..len]) {
+            Err(ElfError::Truncated { .. }) => {}
+            other => panic!("prefix of {len} bytes must be Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn section_offset_beyond_file_is_rejected() {
+    let full = fixture();
+    let base = shoff(&full);
+    for i in (1..shnum(&full)).filter(|&i| has_file_data(&full, i)) {
+        let mut bytes = full.clone();
+        // sh_offset lives at +24 within the 64-byte header.
+        put_u64(&mut bytes, base + i * consts::SHDR_SIZE + 24, u64::MAX - 7);
+        assert!(
+            parse(&bytes).is_err(),
+            "section {i} offset near u64::MAX must not parse"
+        );
+    }
+}
+
+#[test]
+fn section_size_overflowing_the_offset_is_rejected() {
+    let full = fixture();
+    let base = shoff(&full);
+    for i in (1..shnum(&full)).filter(|&i| has_file_data(&full, i)) {
+        let mut bytes = full.clone();
+        put_u64(&mut bytes, base + i * consts::SHDR_SIZE + 32, u64::MAX);
+        assert!(
+            parse(&bytes).is_err(),
+            "section {i} size u64::MAX must not parse"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any truncation of a valid image either still parses (trailing
+    /// padding) or fails with a typed error — it never panics.
+    #[test]
+    fn truncation_never_panics(frac in 0usize..4096) {
+        let full = fixture();
+        let len = frac % full.len();
+        let _ = parse(&full[..len]);
+    }
+
+    /// Single-byte corruption anywhere in the image never panics, and
+    /// corrupting the magic always fails cleanly.
+    #[test]
+    fn byte_corruption_never_panics(pos in 0usize..4096, val in any::<u8>()) {
+        let mut bytes = fixture();
+        let pos = pos % bytes.len();
+        bytes[pos] = val;
+        let _ = parse(&bytes);
+    }
+
+    /// Relocations with bogus symbol indices are rejected, whatever the
+    /// index.
+    #[test]
+    fn bogus_reloc_symbol_is_rejected(idx in 64u64..u32::MAX as u64) {
+        let full = fixture();
+        let base = shoff(&full);
+        // Find a RELA section and stamp a huge symbol index into its
+        // first record's r_info (keeping a supported type).
+        let mut found = false;
+        for i in 1..shnum(&full) {
+            let h = base + i * consts::SHDR_SIZE;
+            let sh_type = u32::from_le_bytes(full[h + 4..h + 8].try_into().unwrap());
+            if sh_type != 4 {
+                continue;
+            }
+            let off = u64::from_le_bytes(full[h + 24..h + 32].try_into().unwrap()) as usize;
+            let mut bytes = full.clone();
+            put_u64(
+                &mut bytes,
+                off + 8,
+                (idx << 32) | u64::from(consts::R_X86_64_PLT32),
+            );
+            match parse(&bytes) {
+                Err(ElfError::BadReloc(_)) => found = true,
+                other => return Err(TestCaseError::Fail(format!(
+                    "bogus symbol index {idx} must be BadReloc, got {other:?}"
+                ))),
+            }
+        }
+        prop_assert!(found, "fixture must contain a RELA section");
+    }
+
+    /// Unsupported relocation types are rejected as BadReloc.
+    #[test]
+    fn unsupported_reloc_type_is_rejected(t in 12u32..200) {
+        let full = fixture();
+        let base = shoff(&full);
+        for i in 1..shnum(&full) {
+            let h = base + i * consts::SHDR_SIZE;
+            let sh_type = u32::from_le_bytes(full[h + 4..h + 8].try_into().unwrap());
+            if sh_type != 4 {
+                continue;
+            }
+            let off = u64::from_le_bytes(full[h + 24..h + 32].try_into().unwrap()) as usize;
+            let mut bytes = full.clone();
+            // Keep the valid symbol index, replace the type.
+            let info = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().unwrap());
+            put_u64(&mut bytes, off + 8, (info & !0xffff_ffff) | u64::from(t));
+            match parse(&bytes) {
+                Err(ElfError::BadReloc(_)) => {}
+                other => return Err(TestCaseError::Fail(format!(
+                    "unsupported type {t} must be BadReloc, got {other:?}"
+                ))),
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Emit → parse round-trip: the parsed [`ObjectFile`] must carry
+//! exactly the sections, symbols, relocations, and metadata the builder
+//! produced, and re-emission must be byte-stable.
+
+use adelie_elf::{consts, emit, parse};
+use adelie_isa::{Asm, Reg};
+use adelie_obj::{Binding, ObjectBuilder, ObjectFile, SectionKind};
+
+fn simple_fn() -> Asm {
+    let mut a = Asm::new();
+    a.mov_imm32(Reg::Rax, 7);
+    a.ret();
+    a
+}
+
+/// A fixture exercising all five section kinds, all five relocation
+/// kinds, local and global bindings, imports, and every metadata field.
+fn rich_object() -> ObjectFile {
+    let mut b = ObjectBuilder::new("rt-demo");
+    let mut f = Asm::new();
+    f.call_plt("rt_helper"); // PLT32, local target
+    f.call_got("kmalloc"); // GOTPCREL, import
+    f.call_pc32("printk"); // PC32, import
+    f.lea_sym(Reg::Rdi, "rt_msg"); // PC32, rodata target
+    f.movabs_sym(Reg::Rsi, "rt_table"); // ABS64
+    f.mov_imm_sym32(Reg::Rdx, "rt_state"); // ABS32S
+    f.ret();
+    b.add_function("rt_init", &f, SectionKind::Text, Binding::Global)
+        .unwrap();
+    b.add_function("rt_helper", &simple_fn(), SectionKind::Text, Binding::Local)
+        .unwrap();
+    b.add_function(
+        "rt_exit",
+        &simple_fn(),
+        SectionKind::FixedText,
+        Binding::Global,
+    )
+    .unwrap();
+    let mut tbl = Asm::new();
+    tbl.quad_sym("rt_init");
+    tbl.quad_sym("rt_helper");
+    b.add_data_asm("rt_table", &tbl, SectionKind::Data, Binding::Global)
+        .unwrap();
+    b.add_data("rt_msg", b"hello\0", SectionKind::Rodata, Binding::Local)
+        .unwrap();
+    b.add_bss("rt_state", 256, Binding::Local).unwrap();
+    b.export("rt_init");
+    b.export("rt_exit");
+    b.set_init("rt_init");
+    b.set_exit("rt_exit");
+    b.set_update_pointers("rt_init");
+    b.finish()
+}
+
+fn sorted_symbols(obj: &ObjectFile) -> Vec<adelie_obj::Symbol> {
+    let mut v = obj.symbols.clone();
+    v.sort_by(|a, b| a.name.cmp(&b.name));
+    v
+}
+
+#[test]
+fn emitted_object_is_elf() {
+    let bytes = emit(&rich_object());
+    assert_eq!(&bytes[..4], &consts::ELFMAG);
+    assert_eq!(bytes[4], consts::ELFCLASS64);
+    assert_eq!(bytes[5], consts::ELFDATA2LSB);
+    assert_eq!(
+        u16::from_le_bytes([bytes[16], bytes[17]]),
+        consts::ET_REL,
+        "e_type"
+    );
+    assert_eq!(
+        u16::from_le_bytes([bytes[18], bytes[19]]),
+        consts::EM_X86_64,
+        "e_machine"
+    );
+}
+
+#[test]
+fn parse_reconstructs_the_object_losslessly() {
+    let obj = rich_object();
+    let back = parse(&emit(&obj)).expect("own emission must parse");
+    assert_eq!(back.name, obj.name);
+    assert_eq!(back.init, obj.init);
+    assert_eq!(back.exit, obj.exit);
+    assert_eq!(back.update_pointers, obj.update_pointers);
+    assert_eq!(back.exports, obj.exports);
+    // Sections: identical kinds, bytes, sizes, and relocation streams
+    // (same order, offsets, kinds, symbols, addends).
+    assert_eq!(
+        back.sections.keys().collect::<Vec<_>>(),
+        obj.sections.keys().collect::<Vec<_>>()
+    );
+    for (kind, sec) in &obj.sections {
+        let b = &back.sections[kind];
+        assert_eq!(b.bytes, sec.bytes, "{kind} bytes");
+        assert_eq!(b.size, sec.size, "{kind} size");
+        assert_eq!(b.relocs, sec.relocs, "{kind} relocs");
+    }
+    // Symbols: the same set (ELF reorders locals before globals).
+    assert_eq!(sorted_symbols(&back), sorted_symbols(&obj));
+    // And the reloc histogram covers every supported kind.
+    let h = back.reloc_histogram();
+    for kind in [
+        adelie_obj::RelocKind::Abs64,
+        adelie_obj::RelocKind::Pc32,
+        adelie_obj::RelocKind::Plt32,
+        adelie_obj::RelocKind::GotPcRel,
+        adelie_obj::RelocKind::Abs32S,
+    ] {
+        assert!(
+            h.get(&kind).copied().unwrap_or(0) >= 1,
+            "{kind:?} exercised"
+        );
+    }
+}
+
+#[test]
+fn reemission_is_byte_stable() {
+    let first = emit(&rich_object());
+    let second = emit(&parse(&first).unwrap());
+    assert_eq!(first, second, "emit ∘ parse must be the identity on images");
+}
+
+#[test]
+fn minimal_object_round_trips() {
+    let mut b = ObjectBuilder::new("tiny");
+    b.add_function("t", &simple_fn(), SectionKind::Text, Binding::Global)
+        .unwrap();
+    let obj = b.finish();
+    let back = parse(&emit(&obj)).unwrap();
+    assert_eq!(back.name, "tiny");
+    assert_eq!(back.init, None);
+    assert_eq!(back.exports, Vec::<String>::new());
+    assert_eq!(
+        back.sections[&SectionKind::Text].bytes,
+        obj.sections[&SectionKind::Text].bytes
+    );
+    assert_eq!(sorted_symbols(&back), sorted_symbols(&obj));
+}
+
+#[test]
+fn bss_occupies_no_file_space() {
+    let mut b = ObjectBuilder::new("bssy");
+    b.add_bss("big", 1 << 20, Binding::Local).unwrap();
+    let obj = b.finish();
+    let bytes = emit(&obj);
+    assert!(
+        bytes.len() < 4096,
+        "1 MiB of .bss must not be serialized ({} bytes)",
+        bytes.len()
+    );
+    let back = parse(&bytes).unwrap();
+    let bss = &back.sections[&SectionKind::Bss];
+    assert_eq!(bss.size, 1 << 20);
+    assert!(bss.bytes.is_empty());
+}

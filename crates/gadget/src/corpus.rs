@@ -276,6 +276,43 @@ mod tests {
         }
     }
 
+    /// The attack surface the scanner measures must be invariant under
+    /// ELF ingestion: round-tripping a corpus object through
+    /// `adelie_elf::emit` → `parse` may not add, drop, or move a single
+    /// gadget relative to the direct-build text.
+    #[test]
+    fn elf_ingested_corpus_text_scans_identically() {
+        for m in generate_corpus(4, 2048, 16384, 0xE1F) {
+            for (flavor, obj) in [("vanilla", &m.vanilla), ("pic", &m.pic)] {
+                let round = adelie_elf::parse(&adelie_elf::emit(obj))
+                    .unwrap_or_else(|e| panic!("{} {flavor}: {e}", m.name));
+                let direct = CorpusModule::code_bytes(obj);
+                let ingested = CorpusModule::code_bytes(&round);
+                assert_eq!(
+                    direct, ingested,
+                    "{} {flavor}: text bytes must survive ELF ingestion",
+                    m.name
+                );
+                let ga = crate::scan::scan(&direct);
+                let gb = crate::scan::scan(&ingested);
+                assert!(
+                    !ga.is_empty(),
+                    "{} {flavor}: corpus text has gadgets",
+                    m.name
+                );
+                assert_eq!(
+                    ga, gb,
+                    "{} {flavor}: gadget scan must match across ingestion paths",
+                    m.name
+                );
+                assert_eq!(
+                    crate::classify::histogram(&ga),
+                    crate::classify::histogram(&gb)
+                );
+            }
+        }
+    }
+
     #[test]
     fn synthetic_modules_contain_gadgets() {
         let spec = synth_module("g", 32768, 3);

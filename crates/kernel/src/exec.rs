@@ -199,6 +199,31 @@ impl<'k> Vm<'k> {
         result.map(|()| rax)
     }
 
+    /// Tail-forward the *current* native call to interpreted code at
+    /// `target`, preserving all six System-V argument registers.
+    ///
+    /// This is how a lazy PLT binder behaves on real hardware: the stub
+    /// traps into the binder with the caller's argument registers
+    /// untouched, the binder resolves the import, then jumps to the
+    /// resolved function as if it had been called directly. Returns the
+    /// callee's `rax`, which the native dispatch path hands back to the
+    /// original caller.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] raised while executing the callee.
+    pub fn forward_call(&mut self, target: u64) -> Result<u64, VmError> {
+        let args = [
+            self.arg(0),
+            self.arg(1),
+            self.arg(2),
+            self.arg(3),
+            self.arg(4),
+            self.arg(5),
+        ];
+        self.call(target, &args)
+    }
+
     fn run(&mut self, entry: u64) -> Result<(), VmError> {
         let mut rip = entry;
         let mut fuel = self.kernel.config.fuel;

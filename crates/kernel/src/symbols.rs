@@ -85,6 +85,19 @@ impl SymbolTable {
         self.by_name.write().remove(name);
     }
 
+    /// Remove a native registration (name *and* dispatch handler).
+    ///
+    /// Module-owned natives — lazy PLT binders — must be torn down at
+    /// unload, both so the dispatch region stops resolving to a dead
+    /// module and so a later re-load of the same module name can
+    /// register fresh binders without tripping the duplicate-name
+    /// assertion in [`SymbolTable::register_native`].
+    pub fn unregister_native(&self, name: &str) {
+        if let Some(va) = self.by_name.write().remove(name) {
+            self.natives.write().remove(&va);
+        }
+    }
+
     /// Resolve a name to its address.
     pub fn lookup(&self, name: &str) -> Option<u64> {
         self.by_name.read().get(name).copied()

@@ -27,14 +27,15 @@
 //! f.ret();
 //! b.add_function("demo_init", &f, SectionKind::Text, Binding::Global)?;
 //! let obj = b.finish();
-//! assert!(obj.undefined_symbols().any(|s| s.name == "kmalloc"));
+//! assert!(obj.undefined_symbols().any(|s| &*s.name == "kmalloc"));
 //! # Ok::<(), adelie_obj::ObjError>(())
 //! ```
 
 pub use adelie_isa::FixupKind as RelocKind;
 use adelie_isa::{Asm, AsmError};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// The five section kinds a re-randomizable module uses (paper Fig. 2b).
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -119,10 +120,14 @@ pub enum SymbolDef {
 }
 
 /// A symbol-table entry.
+///
+/// Names are interned as `Arc<str>`: every [`Reloc`] against the symbol
+/// shares one allocation, so cloning an [`ObjectFile`] (or keying loader
+/// maps by name) copies pointers instead of reallocating strings.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Symbol {
-    /// Symbol name.
-    pub name: String,
+    /// Symbol name (interned).
+    pub name: Arc<str>,
     /// Definition site.
     pub def: SymbolDef,
     /// Binding.
@@ -143,8 +148,8 @@ pub struct Reloc {
     pub offset: usize,
     /// Relocation kind.
     pub kind: RelocKind,
-    /// Target symbol name.
-    pub symbol: String,
+    /// Target symbol name (interned, shared with the [`Symbol`] entry).
+    pub symbol: Arc<str>,
     /// Addend.
     pub addend: i64,
 }
@@ -213,7 +218,7 @@ pub struct ObjectFile {
 impl ObjectFile {
     /// Look up a symbol by name.
     pub fn symbol(&self, name: &str) -> Option<&Symbol> {
-        self.symbols.iter().find(|s| s.name == name)
+        self.symbols.iter().find(|s| &*s.name == name)
     }
 
     /// The section of the given kind (empty section if never populated).
@@ -279,6 +284,9 @@ pub struct ObjectBuilder {
     init: Option<String>,
     exit: Option<String>,
     update_pointers: Option<String>,
+    /// Intern pool: one `Arc<str>` per distinct symbol name, shared by
+    /// every [`Symbol`] and [`Reloc`] that mentions it.
+    interned: HashSet<Arc<str>>,
 }
 
 /// Code alignment for function entries.
@@ -297,7 +305,19 @@ impl ObjectBuilder {
             init: None,
             exit: None,
             update_pointers: None,
+            interned: HashSet::new(),
         }
+    }
+
+    /// Return the interned `Arc<str>` for `name`, creating it on first
+    /// use.
+    fn intern(&mut self, name: &str) -> Arc<str> {
+        if let Some(s) = self.interned.get(name) {
+            return s.clone();
+        }
+        let s: Arc<str> = Arc::from(name);
+        self.interned.insert(s.clone());
+        s
     }
 
     /// Declare the init entry point (must also be exported).
@@ -323,7 +343,7 @@ impl ObjectBuilder {
         if self
             .symbols
             .iter()
-            .any(|s| s.name == name && s.is_defined())
+            .any(|s| &*s.name == name && s.is_defined())
         {
             return Err(ObjError::DuplicateSymbol(name.to_string()));
         }
@@ -331,17 +351,14 @@ impl ObjectBuilder {
         if let Some(existing) = self
             .symbols
             .iter_mut()
-            .find(|s| s.name == name && !s.is_defined())
+            .find(|s| &*s.name == name && !s.is_defined())
         {
             existing.def = def;
             existing.binding = binding;
             return Ok(());
         }
-        self.symbols.push(Symbol {
-            name: name.to_string(),
-            def,
-            binding,
-        });
+        let name = self.intern(name);
+        self.symbols.push(Symbol { name, def, binding });
         Ok(())
     }
 
@@ -381,16 +398,16 @@ impl ObjectBuilder {
             },
             binding,
         )?;
-        let referenced: Vec<String> = out.fixups.iter().map(|f| f.symbol.clone()).collect();
+        let referenced: Vec<Arc<str>> = out.fixups.iter().map(|f| self.intern(&f.symbol)).collect();
         {
             let sec = self.section_mut(section);
             sec.bytes.extend_from_slice(&out.bytes);
             sec.size += out.bytes.len();
-            for fx in out.fixups {
+            for (fx, sym) in out.fixups.iter().zip(&referenced) {
                 sec.relocs.push(Reloc {
                     offset: base + fx.offset,
                     kind: fx.kind,
-                    symbol: fx.symbol,
+                    symbol: sym.clone(),
                     addend: fx.addend,
                 });
             }
@@ -463,16 +480,16 @@ impl ObjectBuilder {
             },
             binding,
         )?;
-        let referenced: Vec<String> = out.fixups.iter().map(|f| f.symbol.clone()).collect();
+        let referenced: Vec<Arc<str>> = out.fixups.iter().map(|f| self.intern(&f.symbol)).collect();
         {
             let sec = self.section_mut(section);
             sec.bytes.extend_from_slice(&out.bytes);
             sec.size += out.bytes.len();
-            for fx in out.fixups {
+            for (fx, sym) in out.fixups.iter().zip(&referenced) {
                 sec.relocs.push(Reloc {
                     offset: base + fx.offset,
                     kind: fx.kind,
-                    symbol: fx.symbol,
+                    symbol: sym.clone(),
                     addend: fx.addend,
                 });
             }
@@ -506,9 +523,10 @@ impl ObjectBuilder {
     /// Record that `name` is referenced; creates an undefined entry if it
     /// is not (yet) defined here.
     pub fn reference(&mut self, name: &str) {
-        if !self.symbols.iter().any(|s| s.name == name) {
+        if !self.symbols.iter().any(|s| &*s.name == name) {
+            let name = self.intern(name);
             self.symbols.push(Symbol {
-                name: name.to_string(),
+                name,
                 def: SymbolDef::Undefined,
                 binding: Binding::Global,
             });
@@ -579,7 +597,7 @@ mod tests {
         let obj = b.finish();
         let (_, off) = obj
             .symbols_in(SectionKind::Text)
-            .find(|(s, _)| s.name == "b")
+            .find(|(s, _)| &*s.name == "b")
             .unwrap();
         assert_eq!(off % 16, 0);
         // Padding between functions is int3 (0xCC).
@@ -596,7 +614,7 @@ mod tests {
         b.add_function("f", &a, SectionKind::Text, Binding::Global)
             .unwrap();
         let obj = b.finish();
-        let u: Vec<_> = obj.undefined_symbols().map(|s| s.name.as_str()).collect();
+        let u: Vec<_> = obj.undefined_symbols().map(|s| &*s.name).collect();
         assert_eq!(u, vec!["printk"]);
         let text = obj.section(SectionKind::Text).unwrap();
         assert_eq!(text.relocs.len(), 1);
@@ -655,7 +673,7 @@ mod tests {
         assert_eq!(data.size, 16);
         assert_eq!(data.relocs.len(), 2);
         assert!(data.relocs.iter().all(|r| r.kind == RelocKind::Abs64));
-        assert!(obj.undefined_symbols().any(|s| s.name == "op_write"));
+        assert!(obj.undefined_symbols().any(|s| &*s.name == "op_write"));
     }
 
     #[test]

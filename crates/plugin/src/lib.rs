@@ -59,6 +59,16 @@ pub struct TransformOptions {
     pub stack_rerand: bool,
     /// Return-address encryption; requires `rerandomize`.
     pub encrypt_ret: bool,
+    /// Lazy PLT binding: PLT-routed slots start at a binder trampoline
+    /// and resolve on first call (ELF `.ko` semantics; MARDU-style).
+    /// Only meaningful with `model == Pic` and `retpoline` (the
+    /// configurations that emit PLT stubs); ignored otherwise.
+    pub lazy_plt: bool,
+    /// Ingest the transformed object through the ELF64 pipeline
+    /// (`adelie_elf::emit` → `adelie_elf::parse`) before loading, the
+    /// way a real `.ko` arrives — exercised by the driver installers;
+    /// the transform itself ignores it.
+    pub elf_ingest: bool,
 }
 
 impl TransformOptions {
@@ -70,6 +80,8 @@ impl TransformOptions {
             rerandomize: false,
             stack_rerand: false,
             encrypt_ret: false,
+            lazy_plt: false,
+            elf_ingest: false,
         }
     }
 
@@ -81,6 +93,8 @@ impl TransformOptions {
             rerandomize: false,
             stack_rerand: false,
             encrypt_ret: false,
+            lazy_plt: false,
+            elf_ingest: false,
         }
     }
 
@@ -92,7 +106,23 @@ impl TransformOptions {
             rerandomize: true,
             stack_rerand: true,
             encrypt_ret: true,
+            lazy_plt: false,
+            elf_ingest: false,
         }
+    }
+
+    /// The same options with lazy PLT binding switched on.
+    pub fn with_lazy_plt(mut self) -> TransformOptions {
+        self.lazy_plt = true;
+        self
+    }
+
+    /// The same options with ELF ingestion switched on: driver
+    /// installers serialize the object to ELF64 and parse it back
+    /// before loading.
+    pub fn with_elf_ingest(mut self) -> TransformOptions {
+        self.elf_ingest = true;
+        self
     }
 }
 
@@ -575,7 +605,7 @@ mod tests {
         ));
         // Wrapper references mr_start/mr_finish and the stack natives.
         let fixed = obj.section(SectionKind::FixedText).unwrap();
-        let syms: Vec<&str> = fixed.relocs.iter().map(|r| r.symbol.as_str()).collect();
+        let syms: Vec<&str> = fixed.relocs.iter().map(|r| &*r.symbol).collect();
         for needed in [
             "mr_start",
             "mr_finish",
@@ -589,7 +619,7 @@ mod tests {
         // Encryption references the key GOT slot from movable text.
         let text = obj.section(SectionKind::Text).unwrap();
         assert!(
-            text.relocs.iter().any(|r| r.symbol == KEY_SYMBOL),
+            text.relocs.iter().any(|r| &*r.symbol == KEY_SYMBOL),
             "missing key slot reference"
         );
         // The pointer table targets the real function (adjusted on move).
@@ -597,7 +627,7 @@ mod tests {
         assert!(data
             .relocs
             .iter()
-            .any(|r| r.symbol == "demo_ioctl__real" && r.kind == RelocKind::Abs64));
+            .any(|r| &*r.symbol == "demo_ioctl__real" && r.kind == RelocKind::Abs64));
     }
 
     #[test]

@@ -35,6 +35,15 @@
 //!    page-table root (`snapshots_reclaimed == snapshot_publishes`,
 //!    SMR delta 0) — a reader pinned forever or a lost retire would
 //!    show up here.
+//! 7. **no stale PLT binding** — a lazily-bound PLT slot records the
+//!    target it resolved to; after any commit, every bound slot must
+//!    hold exactly the target's *current* address (checked by
+//!    [`adelie_core::verify_plt_bindings`]), that address must still be
+//!    executable, and at quiescence no bound slot may point into any
+//!    range the run ever vacated. A slot that kept its pre-move value
+//!    would be *callable into a retired range* — the exact bug class
+//!    lazy binding introduces on top of eager GOT re-swinging. Enable
+//!    with [`LayoutOracle::track_modules`].
 //!
 //! `verify_quiesced` is deliberately *destructive reading*: it rotates
 //! the stack pools and flushes the reclaimer to force quiescence, then
@@ -77,6 +86,10 @@ pub struct LayoutOracle {
     /// The stale-translation witness: a TLB warmed on every committed
     /// range and probed against every vacated one (module docs, #5).
     witness: Mutex<Tlb>,
+    /// Registry to audit bound PLT slots against at each commit
+    /// (module docs, #7). Weak: the registry owns the oracle as its
+    /// cycle hooks, so a strong edge here would leak both.
+    registry: Mutex<Option<std::sync::Weak<ModuleRegistry>>>,
 }
 
 impl LayoutOracle {
@@ -89,7 +102,46 @@ impl LayoutOracle {
             live: Mutex::new(HashMap::new()),
             violations: Mutex::new(Vec::new()),
             witness: Mutex::new(Tlb::new()),
+            registry: Mutex::new(None),
         })
+    }
+
+    /// Audit bound PLT slots (module docs, #7) at every commit of the
+    /// modules in `registry`. Without this the per-commit PLT check is
+    /// skipped (`verify_quiesced` still audits whatever registry it is
+    /// handed).
+    pub fn track_modules(&self, registry: &Arc<ModuleRegistry>) {
+        *self.registry.lock().unwrap() = Some(Arc::downgrade(registry));
+    }
+
+    /// Module docs, #7: every bound lazy-PLT slot of `module` must hold
+    /// exactly its target's current address, and that address must be
+    /// callable *right now* (`what` names the probe site).
+    fn audit_plt(
+        &self,
+        module: &Arc<adelie_core::LoadedModule>,
+        what: &str,
+        out: &mut Vec<String>,
+    ) {
+        for v in adelie_core::verify_plt_bindings(&self.kernel, module) {
+            out.push(format!("PLT audit {what}: {v}"));
+        }
+        for slot in module.lazy_plt.iter() {
+            let bound = slot.bound.load(std::sync::atomic::Ordering::Acquire);
+            // Kernel natives are dispatched by VA range, not mapped —
+            // the translate probe only applies to module-space targets.
+            if bound != 0
+                && !adelie_kernel::layout::is_native(bound)
+                && self.kernel.space.translate(bound, Access::Exec).is_err()
+            {
+                out.push(format!(
+                    "stale PLT binding {what}: {}'s slot for `{}` holds {bound:#x}, \
+                     which is not executable — a call through it would land in a \
+                     retired range",
+                    module.name, slot.symbol
+                ));
+            }
+        }
     }
 
     /// Probe `[base, base+span)` through the witness TLB: any page the
@@ -233,6 +285,36 @@ impl LayoutOracle {
             }
         }
 
+        // (7) Bound-PLT staleness at quiescence: beyond the per-commit
+        // audit, no bound slot of any still-loaded module may point
+        // into any range the run ever vacated (unless a current range
+        // legitimately re-covers it).
+        for name in registry.list() {
+            let Some(module) = registry.get(&name) else {
+                continue;
+            };
+            self.audit_plt(&module, "at quiescence", &mut violations);
+            for slot in module.lazy_plt.iter() {
+                let bound = slot.bound.load(std::sync::atomic::Ordering::Acquire);
+                if bound == 0 || covered(bound) {
+                    continue;
+                }
+                if let Some(c) = self
+                    .commits
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .find(|c| bound >= c.old_base && bound < c.old_base + c.span)
+                {
+                    violations.push(format!(
+                        "stale PLT binding at quiescence: {name}'s slot for `{}` \
+                         holds {bound:#x}, inside the range {} vacated at t={}ns",
+                        slot.symbol, c.module, c.at_ns
+                    ));
+                }
+            }
+        }
+
         // (4) The silent-drop counter matches the plan.
         if let Some(stats) = stats {
             if stats.pointer_refresh_failures != expected_refresh_failures {
@@ -304,6 +386,24 @@ impl CycleHooks for LayoutOracle {
             ));
         }
         self.warm_witness(c.new_base, c.span);
+
+        // (7) Bound-PLT staleness at the commit boundary: the re-swing
+        // ran before publication, so *right now* every bound slot must
+        // already hold its target's post-move address — an old value
+        // surviving into this instant is the lazy-binding bug class.
+        let tracked = self
+            .registry
+            .lock()
+            .unwrap()
+            .as_ref()
+            .and_then(std::sync::Weak::upgrade);
+        if let Some(module) = tracked.and_then(|r| r.get(c.module)) {
+            let mut stale = Vec::new();
+            self.audit_plt(&module, "at commit", &mut stale);
+            if !stale.is_empty() {
+                self.violations.lock().unwrap().append(&mut stale);
+            }
+        }
 
         // (1) Overlap check against every other module's current range,
         // at the moment of commit.

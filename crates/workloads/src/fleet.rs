@@ -386,6 +386,29 @@ mod tests {
         assert_eq!(shards_used.len(), 2);
     }
 
+    /// All seven paper workloads must run from modules that took the
+    /// ELF64 detour (`adelie_elf::emit` → `parse` inside the driver
+    /// installers) — same fleet, same schedulers, real work on every
+    /// workload, under continuous re-randomization.
+    #[test]
+    fn paper_workloads_run_from_elf_ingested_modules() {
+        let ft = FleetTestbed::new(
+            TransformOptions::rerandomizable(true).with_elf_ingest(),
+            DriverSet::full(),
+            2,
+            21,
+        );
+        let _sched = ft.start_schedulers();
+        let rows = ft.run_paper_workloads_concurrently(Duration::from_millis(80));
+        assert_eq!(rows.len(), PAPER_WORKLOADS.len());
+        for (shard, name, m) in &rows {
+            assert!(
+                m.ops > 0,
+                "{name} on shard {shard} did no work from its ELF-ingested module"
+            );
+        }
+    }
+
     #[test]
     fn fleet_sched_config_knob_applies_to_every_shard() {
         let mut ft = FleetTestbed::new(
