@@ -1,9 +1,9 @@
 //! The lock-free read-path benchmark: reader throughput under a
 //! continuously re-randomizing writer, `locked` (the pre-snapshot
 //! reader/writer-lock regime) vs `snapshot` (RCU-style immutable
-//! page-table snapshots + epoch pins), across 1/2/4/8 reader threads
-//! and 3 seeds — emitted as `BENCH_translate.json` (the CI artifact)
-//! plus a console table.
+//! page-table snapshots + epoch pins + the per-CPU micro-TLB), across
+//! reader counts the host can actually run, over 3 seeds — emitted as
+//! `BENCH_translate.json` (the CI artifact) plus a console table.
 //!
 //! The shared [`adelie_bench::contention`] harness drives it: each
 //! reader thread owns a simulated CPU (`Kernel::vm`) and hammers the
@@ -15,12 +15,21 @@
 //! [`LayoutOracle`] (with its stale-translation witness and
 //! snapshot-SMR accounting) checks every invariant across the run.
 //!
-//! The run *asserts* the acceptance properties — snapshot-mode reader
-//! throughput strictly above locked mode at 4+ readers on every seed
-//! (on multicore hosts; a single-core host has no concurrency for the
-//! lock to destroy, so only correctness is asserted there), with zero
-//! oracle violations and zero failed cycles — so a regression fails CI
-//! rather than shifting a curve nobody reads.
+//! The run *asserts* the acceptance properties, and the binding ones
+//! are **1-core honest** — they execute on every host:
+//!
+//! * snapshot mode strictly beats locked mode at **1 reader** (best of
+//!   [`COMPARE_ROUNDS`] windows per mode, every seed) — no parallelism
+//!   excuse: the micro-TLB hit path and the flattened snapshot walk
+//!   must win even with zero contention,
+//! * the micro-TLB serves > 90% of lookups under steady (writer-free)
+//!   ioctl-style traffic,
+//! * zero oracle violations and zero failed cycles everywhere.
+//!
+//! On multicore hosts the original 4+-reader cross-mode assertion runs
+//! too. Reader counts the host cannot physically run are **skipped
+//! with a logged reason** — never benched at a lower count and
+//! reported under the requested label (the old gating bug).
 
 use adelie_bench::contention;
 use adelie_core::ModuleRegistry;
@@ -34,6 +43,8 @@ const SEEDS: [u64; 3] = [1, 42, 0xA77ACC];
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 const MODULES: usize = 4;
 const WINDOW: Duration = Duration::from_millis(120);
+/// Windows per mode for the 1-reader strict comparison (best-of).
+const COMPARE_ROUNDS: usize = 3;
 
 struct Outcome {
     mode: &'static str,
@@ -45,6 +56,22 @@ struct Outcome {
 }
 
 fn run(mode: &'static str, read_path: ReadPath, seed: u64, threads: usize) -> Outcome {
+    run_inner(mode, read_path, seed, threads, false)
+}
+
+/// A writer-free window: generations stand still, so the micro-TLB
+/// should serve essentially every lookup.
+fn run_steady(mode: &'static str, read_path: ReadPath, seed: u64, threads: usize) -> Outcome {
+    run_inner(mode, read_path, seed, threads, true)
+}
+
+fn run_inner(
+    mode: &'static str,
+    read_path: ReadPath,
+    seed: u64,
+    threads: usize,
+    steady: bool,
+) -> Outcome {
     let kernel = Kernel::new(KernelConfig {
         seed,
         read_path,
@@ -54,7 +81,11 @@ fn run(mode: &'static str, read_path: ReadPath, seed: u64, threads: usize) -> Ou
     let modules = contention::fleet(&registry, MODULES);
     let oracle = LayoutOracle::new(kernel.clone(), SimClock::new());
     registry.set_cycle_hooks(oracle.clone());
-    let window = contention::run(&kernel, &registry, &modules, threads, WINDOW);
+    let window = if steady {
+        contention::run_steady(&kernel, &registry, &modules, threads, WINDOW)
+    } else {
+        contention::run(&kernel, &registry, &modules, threads, WINDOW)
+    };
     let report = oracle.verify_quiesced(&registry, None, 0);
     for v in &report.violations {
         eprintln!("oracle violation [{mode}/{threads}r/seed {seed}]: {v}");
@@ -68,74 +99,165 @@ fn run(mode: &'static str, read_path: ReadPath, seed: u64, threads: usize) -> Ou
     }
 }
 
+fn micro_hit_rate(o: &contention::Outcome) -> f64 {
+    let lookups = o.tlb.hits + o.tlb.misses;
+    if lookups == 0 {
+        0.0
+    } else {
+        o.tlb.micro_hits as f64 / lookups as f64
+    }
+}
+
 fn outcome_json(seed: u64, o: &Outcome) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "    {{\"seed\": {seed}, \"mode\": \"{}\", \"reader_threads\": {}, \"calls\": {}, \
-         \"calls_per_sec\": {:.0}, \"rerand_cycles\": {}, \"failed_cycles\": {}, \
-         \"oracle_violations\": {}}}",
+        "    {{\"seed\": {seed}, \"mode\": \"{}\", \"reader_threads\": {}, \
+         \"readers_spawned\": {}, \"calls\": {}, \"calls_per_sec\": {:.0}, \
+         \"rerand_cycles\": {}, \"failed_cycles\": {}, \"oracle_violations\": {}, \
+         \"tlb_hits\": {}, \"tlb_micro_hits\": {}, \"tlb_misses\": {}, \
+         \"micro_hit_rate\": {:.4}}}",
         o.mode,
         o.threads,
+        o.window.readers_spawned,
         o.window.calls,
         o.calls_per_sec,
         o.window.cycles,
         o.window.failed_cycles,
         o.violations,
+        o.window.tlb.hits,
+        o.window.tlb.micro_hits,
+        o.window.tlb.misses,
+        micro_hit_rate(&o.window),
     );
     s
+}
+
+fn check_row(seed: u64, o: &Outcome) {
+    assert_eq!(
+        o.violations, 0,
+        "seed {seed}/{}/{} readers: reader errors or layout-oracle violations",
+        o.mode, o.threads
+    );
+    assert_eq!(
+        o.window.failed_cycles, 0,
+        "seed {seed}/{}/{} readers: no cycle may fail",
+        o.mode, o.threads
+    );
+    assert_eq!(
+        o.window.readers_spawned, o.threads,
+        "seed {seed}/{}: harness spawned {} readers for a {}-reader row — \
+         constrained hosts must skip, never mislabel",
+        o.mode, o.window.readers_spawned, o.threads
+    );
+}
+
+fn print_row(seed: u64, o: &Outcome) {
+    println!(
+        "{:<10} {:<15} {:>8} {:>12} {:>14.0} {:>8} {:>7.1}% {:>10}",
+        seed,
+        o.mode,
+        o.window.readers_spawned,
+        o.window.calls,
+        o.calls_per_sec,
+        o.window.cycles,
+        micro_hit_rate(&o.window) * 100.0,
+        o.violations
+    );
 }
 
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
     println!(
         "=== translate throughput: locked vs snapshot read path under a rerand writer \
          ({cores} cores) ==="
     );
     println!(
-        "{:<10} {:<9} {:>8} {:>12} {:>14} {:>8} {:>10}",
-        "seed", "mode", "readers", "calls", "calls/sec", "cycles", "violations"
+        "{:<10} {:<15} {:>8} {:>12} {:>14} {:>8} {:>8} {:>10}",
+        "seed", "mode", "readers", "calls", "calls/sec", "cycles", "microhit", "violations"
     );
+    // A row needs its readers plus the rerand writer actually running
+    // in parallel to mean what its label claims; anything the host
+    // cannot run is skipped loudly (satellite: no silent mislabeling).
+    let runnable: Vec<usize> = THREADS
+        .iter()
+        .copied()
+        .filter(|&t| {
+            let ok = t == 1 || t < cores; // readers + the rerand writer fit
+            if !ok {
+                let reason = format!(
+                    "skipped {t}-reader rows: host has {cores} cores, needs {} \
+                     (readers + writer)",
+                    t + 1
+                );
+                println!("  ({reason})");
+                skipped.push(reason);
+            }
+            ok
+        })
+        .collect();
     let t0 = Instant::now();
     for seed in SEEDS {
         let mut by_threads: Vec<(Outcome, Outcome)> = Vec::new();
-        for &threads in &THREADS {
+        for &threads in &runnable {
             let locked = run("locked", ReadPath::Locked, seed, threads);
             let snapshot = run("snapshot", ReadPath::Snapshot, seed, threads);
             for o in [&locked, &snapshot] {
-                println!(
-                    "{:<10} {:<9} {:>8} {:>12} {:>14.0} {:>8} {:>10}",
-                    seed,
-                    o.mode,
-                    o.threads,
-                    o.window.calls,
-                    o.calls_per_sec,
-                    o.window.cycles,
-                    o.violations
-                );
-                assert_eq!(
-                    o.violations, 0,
-                    "seed {seed}/{}/{} readers: reader errors or layout-oracle violations",
-                    o.mode, o.threads
-                );
-                assert_eq!(
-                    o.window.failed_cycles, 0,
-                    "seed {seed}/{}/{} readers: no cycle may fail",
-                    o.mode, o.threads
-                );
+                print_row(seed, o);
+                check_row(seed, o);
                 rows.push(outcome_json(seed, o));
             }
             by_threads.push((locked, snapshot));
         }
-        // Acceptance: with 4+ readers contending against the rerand
-        // writer, the lock-free snapshot path must strictly beat the
-        // locked ablation on every seed. Requires actual hardware
+
+        // 1-core-honest acceptance #1: snapshot strictly beats locked
+        // at ONE reader — best of COMPARE_ROUNDS windows per mode so a
+        // scheduler hiccup can't fail the build, but no host ever gets
+        // to skip it. The first round reuses the table rows above.
+        let mut best_locked = by_threads[0].0.window.calls;
+        let mut best_snapshot = by_threads[0].1.window.calls;
+        for _ in 1..COMPARE_ROUNDS {
+            let l = run("locked", ReadPath::Locked, seed, 1);
+            let s = run("snapshot", ReadPath::Snapshot, seed, 1);
+            check_row(seed, &l);
+            check_row(seed, &s);
+            best_locked = best_locked.max(l.window.calls);
+            best_snapshot = best_snapshot.max(s.window.calls);
+        }
+        println!(
+            "  seed {seed}: 1-reader best-of-{COMPARE_ROUNDS}: snapshot {best_snapshot} \
+             vs locked {best_locked} calls ({:.2}x)",
+            best_snapshot as f64 / best_locked.max(1) as f64
+        );
+        assert!(
+            best_snapshot > best_locked,
+            "seed {seed}: snapshot mode must beat locked mode at 1 reader \
+             ({best_snapshot} vs {best_locked} calls, best of {COMPARE_ROUNDS})"
+        );
+
+        // 1-core-honest acceptance #2: under steady (writer-free)
+        // traffic the micro-TLB serves > 90% of lookups.
+        let steady = run_steady("snapshot-steady", ReadPath::Snapshot, seed, 1);
+        print_row(seed, &steady);
+        check_row(seed, &steady);
+        let rate = micro_hit_rate(&steady.window);
+        assert!(
+            rate > 0.90,
+            "seed {seed}: micro-TLB hit rate under steady traffic must exceed 90% \
+             (got {:.1}% over {} lookups)",
+            rate * 100.0,
+            steady.window.tlb.hits + steady.window.tlb.misses
+        );
+        rows.push(outcome_json(seed, &steady));
+
+        // Multicore acceptance: with 4+ readers contending against the
+        // rerand writer, the lock-free snapshot path must strictly beat
+        // the locked ablation on every seed. Requires actual hardware
         // parallelism — on a single-core host nothing ever runs
-        // concurrently, so blocking costs no throughput and both
-        // regimes degenerate to the same serialized schedule; the
-        // numbers are still emitted, but the comparison is asserted
-        // only where it is meaningful.
+        // concurrently, so blocking costs no throughput; there the
+        // 1-reader assertion above is the binding one.
         for (locked, snapshot) in &by_threads {
             if locked.threads >= 4 && cores >= 2 {
                 assert!(
@@ -148,47 +270,48 @@ fn main() {
                 );
             }
         }
-        if cores < 2 {
-            println!("  (single-core host: cross-mode throughput assertion skipped)");
-        }
-        let (s1, s4) = (&by_threads[0].1, &by_threads[2].1);
-        let (l1, l4) = (&by_threads[0].0, &by_threads[2].0);
-        println!(
-            "  seed {seed}: snapshot 1→4 readers {:.0} → {:.0} calls/s ({:.2}x), \
-             locked 1→4 readers {:.0} → {:.0} calls/s ({:.2}x), \
-             snapshot/locked @4 = {:.2}x",
-            s1.calls_per_sec,
-            s4.calls_per_sec,
-            s4.calls_per_sec / s1.calls_per_sec.max(1.0),
-            l1.calls_per_sec,
-            l4.calls_per_sec,
-            l4.calls_per_sec / l1.calls_per_sec.max(1.0),
-            s4.calls_per_sec / l4.calls_per_sec.max(1.0),
-        );
-        // Scaling: snapshot-mode readers must gain from added threads.
-        // Only asserted when the host has headroom for 4 readers plus
-        // the writer — on smaller CI boxes the numbers are printed but
-        // the cross-mode assertion above is the binding one.
-        if cores >= 6 {
-            assert!(
-                s4.window.calls > s1.window.calls,
-                "seed {seed}: snapshot-mode throughput must scale with readers \
-                 ({} @4 vs {} @1)",
-                s4.window.calls,
-                s1.window.calls
+        let (l1, s1) = &by_threads[0];
+        if let Some((l4, s4)) = by_threads.iter().find(|(l, _)| l.threads == 4) {
+            println!(
+                "  seed {seed}: snapshot 1→4 readers {:.0} → {:.0} calls/s ({:.2}x), \
+                 locked 1→4 readers {:.0} → {:.0} calls/s ({:.2}x), \
+                 snapshot/locked @4 = {:.2}x",
+                s1.calls_per_sec,
+                s4.calls_per_sec,
+                s4.calls_per_sec / s1.calls_per_sec.max(1.0),
+                l1.calls_per_sec,
+                l4.calls_per_sec,
+                l4.calls_per_sec / l1.calls_per_sec.max(1.0),
+                s4.calls_per_sec / l4.calls_per_sec.max(1.0),
             );
+            // Scaling: snapshot-mode readers must gain from added
+            // threads. Only asserted when the host has headroom for 4
+            // readers plus the writer.
+            if cores >= 6 {
+                assert!(
+                    s4.window.calls > s1.window.calls,
+                    "seed {seed}: snapshot-mode throughput must scale with readers \
+                     ({} @4 vs {} @1)",
+                    s4.window.calls,
+                    s1.window.calls
+                );
+            }
         }
     }
+    let skipped_json: Vec<String> = skipped.iter().map(|r| format!("\"{r}\"")).collect();
     let json = format!(
         "{{\n  \"bench\": \"translate_throughput\",\n  \"modules\": {MODULES},\n  \
-         \"window_ms\": {},\n  \"cores\": {cores},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"window_ms\": {},\n  \"cores\": {cores},\n  \"compare_rounds\": {COMPARE_ROUNDS},\n  \
+         \"skipped\": [{}],\n  \"rows\": [\n{}\n  ]\n}}\n",
         WINDOW.as_millis(),
+        skipped_json.join(", "),
         rows.join(",\n")
     );
     std::fs::write("BENCH_translate.json", &json).expect("write BENCH_translate.json");
     println!(
-        "wrote BENCH_translate.json ({} rows) in {:?}",
+        "wrote BENCH_translate.json ({} rows, {} skipped) in {:?}",
         rows.len(),
+        skipped.len(),
         t0.elapsed()
     );
 }

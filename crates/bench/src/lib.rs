@@ -98,6 +98,13 @@ pub mod contention {
         pub failed_cycles: u64,
         /// Reader calls that faulted or returned the wrong value.
         pub reader_errors: u64,
+        /// Reader threads actually spawned — consumers must report this
+        /// next to whatever count they *asked* for, so a constrained
+        /// host can never mislabel a 1-reader run as a 4-reader row.
+        pub readers_spawned: usize,
+        /// Kernel-wide TLB counter delta over the window (hits, misses,
+        /// micro-TLB hits, flushes) summed across the reader CPUs.
+        pub tlb: adelie_kernel::TlbStats,
     }
 
     /// Load `count` re-randomizable one-export modules
@@ -137,6 +144,32 @@ pub mod contention {
         readers: usize,
         window: Duration,
     ) -> Outcome {
+        run_window(kernel, registry, modules, readers, window, true)
+    }
+
+    /// Run one window of **steady** traffic: the same reader loop with
+    /// no re-randomization writer, so generations stand still. This is
+    /// the regime the micro-TLB hit-rate assertion measures — under
+    /// steady ioctl-style traffic the hot path should be almost
+    /// entirely micro-TLB hits.
+    pub fn run_steady(
+        kernel: &Arc<Kernel>,
+        registry: &Arc<ModuleRegistry>,
+        modules: &[Arc<LoadedModule>],
+        readers: usize,
+        window: Duration,
+    ) -> Outcome {
+        run_window(kernel, registry, modules, readers, window, false)
+    }
+
+    fn run_window(
+        kernel: &Arc<Kernel>,
+        registry: &Arc<ModuleRegistry>,
+        modules: &[Arc<LoadedModule>],
+        readers: usize,
+        window: Duration,
+        with_writer: bool,
+    ) -> Outcome {
         let entries: Vec<u64> = modules
             .iter()
             .enumerate()
@@ -147,17 +180,20 @@ pub mod contention {
         let reader_errors = AtomicU64::new(0);
         let cycles = AtomicU64::new(0);
         let failed = AtomicU64::new(0);
+        let tlb_before = kernel.tlb_totals();
         std::thread::scope(|s| {
-            s.spawn(|| {
-                while !stop.load(Ordering::Relaxed) {
-                    for m in modules {
-                        match rerandomize_module(kernel, registry, m) {
-                            Ok(_) => cycles.fetch_add(1, Ordering::Relaxed),
-                            Err(_) => failed.fetch_add(1, Ordering::Relaxed),
-                        };
+            if with_writer {
+                s.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        for m in modules {
+                            match rerandomize_module(kernel, registry, m) {
+                                Ok(_) => cycles.fetch_add(1, Ordering::Relaxed),
+                                Err(_) => failed.fetch_add(1, Ordering::Relaxed),
+                            };
+                        }
                     }
-                }
-            });
+                });
+            }
             for _ in 0..readers {
                 s.spawn(|| {
                     let mut vm = kernel.vm();
@@ -183,6 +219,8 @@ pub mod contention {
             cycles: cycles.load(Ordering::Relaxed),
             failed_cycles: failed.load(Ordering::Relaxed),
             reader_errors: reader_errors.load(Ordering::Relaxed),
+            readers_spawned: readers,
+            tlb: kernel.tlb_totals().delta_since(&tlb_before),
         }
     }
 }

@@ -360,7 +360,24 @@ pub fn rerandomize_module_epoch(
         doomed_frames.append(&mut std::mem::replace(&mut *cur, new_imm_lgot));
     }
     // The new range is fully mapped: the page tables now exclude it from
-    // other placements, so the reservation can go.
+    // other placements, so the reservation can go. Debug builds prove
+    // "fully mapped" with one batched walk (a single epoch pin and
+    // snapshot-root load for the whole span) before releasing it.
+    #[cfg(debug_assertions)]
+    {
+        let vas: Vec<u64> = (0..pages)
+            .map(|i| new_base + (i * PAGE_SIZE) as u64)
+            .collect();
+        assert!(
+            kernel
+                .space
+                .translate_batch(&vas, adelie_vmem::Access::Read)
+                .iter()
+                .all(|r| r.is_ok()),
+            "rerand published a hole in {}'s new range at {new_base:#x}",
+            module.name
+        );
+    }
     drop(reservation);
 
     // (4) Adjust movable pointers in data (paper §6: "pointers are also

@@ -97,12 +97,15 @@ impl VaAllocator {
 }
 
 fn range_is_free(kernel: &Kernel, base: u64, pages: usize) -> bool {
-    (0..pages).all(|i| {
-        kernel
-            .space
-            .translate(base + (i * PAGE_SIZE) as u64, Access::Read)
-            .is_err()
-    })
+    // One epoch pin and one snapshot-root load for the whole candidate
+    // range instead of a pin per page — this probe runs up to 256 times
+    // per allocation under VA pressure.
+    let vas: Vec<u64> = (0..pages).map(|i| base + (i * PAGE_SIZE) as u64).collect();
+    kernel
+        .space
+        .translate_batch(&vas, Access::Read)
+        .iter()
+        .all(|r| r.is_err())
 }
 
 /// A claimed-but-not-yet-mapped address range. Hold it while mapping;

@@ -19,7 +19,8 @@ use crate::symbols::NativeFn;
 use crate::Kernel;
 use adelie_isa::{decode, AluOp, Cond, DecodeError, Insn, Mem, Reg, ARG_REGS};
 use adelie_vmem::{
-    page_base, page_offset, Access, Fault, PteKind, SpaceReader, Tlb, Translation, PAGE_SIZE,
+    page_base, page_offset, Access, Fault, PteKind, ReadPath, SpaceReader, Tlb, TlbStats,
+    Translation, PAGE_SIZE,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -112,6 +113,9 @@ pub struct Vm<'k> {
     stack_top: u64,
     depth: u32,
     insns_retired: u64,
+    /// TLB counters as of the last publish into [`crate::PerCpu`], so
+    /// each outermost call exit posts only the delta it produced.
+    tlb_published: TlbStats,
 }
 
 impl<'k> Vm<'k> {
@@ -127,6 +131,7 @@ impl<'k> Vm<'k> {
             stack_top,
             depth: 0,
             insns_retired: 0,
+            tlb_published: TlbStats::default(),
         }
     }
 
@@ -191,6 +196,13 @@ impl<'k> Vm<'k> {
         self.depth -= 1;
         if let Some(t0) = start {
             self.kernel.percpu.account(self.cpu, t0.elapsed());
+            // Publish this call's TLB activity so hit rates survive the
+            // Vm (benches and fleet reporting read the per-CPU sums).
+            let now = self.tlb.stats();
+            self.kernel
+                .percpu
+                .record_tlb(self.cpu, &now.delta_since(&self.tlb_published));
+            self.tlb_published = now;
         }
         let rax = self.reg(Reg::Rax);
         self.regs = saved_regs;
@@ -285,21 +297,29 @@ impl<'k> Vm<'k> {
     fn translate(&mut self, va: u64, access: Access) -> Result<Translation, VmError> {
         let page_va = page_base(va);
         // Hit fast path: when this CPU's TLB is already at the space's
-        // current generation, a lookup is one atomic load plus a hash
-        // probe — no lock, no epoch pin, nothing a re-randomization
-        // writer can block.
-        let gen = self.kernel.space.generation();
-        if let Some(hit) = self.tlb.try_lookup_current(page_va, gen) {
-            if let Some(pte) = hit {
-                pte.check(va, access)?;
-                return Ok(Translation { pte, page_va });
+        // current generation, a lookup is one atomic load plus a
+        // micro-TLB array probe — no lock, no epoch pin, nothing a
+        // re-randomization writer can block. Snapshot mode only: its
+        // safety argument is that published roots are immutable and
+        // generations monotonic, which the pre-snapshot locked world
+        // does not provide — there a cached entry is only trustworthy
+        // under the reader lock, so the `Locked` ablation pays the pin
+        // on every lookup (that asymmetry is precisely what the
+        // translate bench measures).
+        if self.kernel.config.read_path == ReadPath::Snapshot {
+            let gen = self.kernel.space.generation();
+            if let Some(hit) = self.tlb.try_lookup_current(page_va, gen) {
+                if let Some(pte) = hit {
+                    pte.check(va, access)?;
+                    return Ok(Translation { pte, page_va });
+                }
+                // Miss at the current generation: walk the current
+                // immutable snapshot under one epoch pin — zero locks
+                // on the default read path.
+                let t = self.reader.pin().translate(va, access)?;
+                self.tlb.insert(&t);
+                return Ok(t);
             }
-            // Miss at the current generation: walk the current
-            // immutable snapshot under one epoch pin — zero locks on
-            // the default read path.
-            let t = self.reader.pin().translate(va, access)?;
-            self.tlb.insert(&t);
-            return Ok(t);
         }
         // Lagging: one pin covers both the resynchronization against
         // the lock-free invalidation ring (range-based shootdown —
@@ -392,24 +412,119 @@ impl<'k> Vm<'k> {
         self.write_data(va, v, 8)
     }
 
-    /// Copy `len` bytes inside the simulated address space (the `memcpy`
-    /// native uses this; copies run at host speed like a real `rep movsb`).
+    /// Translate `n` consecutive pages starting at the page containing
+    /// `va` in one shot: cached translations come from this CPU's TLB
+    /// (one resynchronization for the whole batch), and the misses walk
+    /// the snapshot under a **single** epoch pin and a single root load
+    /// — so a pointer-heavy ioctl amortizes the pin instead of paying
+    /// enter/leave per page, and the batch can never observe two
+    /// different published generations.
     ///
     /// # Errors
     ///
-    /// Translation faults on either range.
+    /// The first translation fault in the range, if any.
+    pub fn translate_pages(
+        &mut self,
+        va: u64,
+        n: usize,
+        access: Access,
+    ) -> Result<Vec<Translation>, VmError> {
+        let base = page_base(va);
+        let page_vas: Vec<u64> = (0..n).map(|i| base + (i * PAGE_SIZE) as u64).collect();
+        let pin = self.reader.pin();
+        let cached = self.tlb.lookup_batch(&page_vas, &pin);
+        let miss_vas: Vec<u64> = page_vas
+            .iter()
+            .zip(&cached)
+            .filter(|(_, c)| c.is_none())
+            .map(|(&va, _)| va)
+            .collect();
+        let walked = pin.translate_batch(&miss_vas, access);
+        drop(pin);
+        let mut out = Vec::with_capacity(n);
+        let mut next_miss = walked.into_iter();
+        for (&page_va, c) in page_vas.iter().zip(&cached) {
+            let t = match c {
+                Some(pte) => {
+                    pte.check(page_va, access)?;
+                    Translation { pte: *pte, page_va }
+                }
+                None => {
+                    let t = next_miss.next().expect("one walk per miss")?;
+                    self.tlb.insert(&t);
+                    t
+                }
+            };
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    /// Read `buf.len()` bytes at `va` through this CPU's TLB: one
+    /// batched translation for the whole span (see
+    /// [`Vm::translate_pages`]), then frame reads. The pin-per-call
+    /// [`adelie_vmem::AddressSpace::read_bytes`] stays for callers
+    /// without a `Vm`.
+    ///
+    /// # Errors
+    ///
+    /// Translation faults, or [`Fault::MmioData`] over device pages.
+    pub fn read_bytes(&mut self, va: u64, buf: &mut [u8]) -> Result<(), VmError> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let n_pages = (page_offset(va) + buf.len()).div_ceil(PAGE_SIZE);
+        let ts = self.translate_pages(va, n_pages, Access::Read)?;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = va + done as u64;
+            let off = page_offset(cur);
+            let n = (buf.len() - done).min(PAGE_SIZE - off);
+            match ts[((cur - page_base(va)) as usize) / PAGE_SIZE].pte.kind {
+                PteKind::Frame(pfn) => self.kernel.phys.read(pfn, off, &mut buf[done..done + n]),
+                PteKind::Mmio { .. } => return Err(VmError::Fault(Fault::MmioData { va: cur })),
+            }
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Copy `len` bytes inside the simulated address space (the `memcpy`
+    /// native uses this; copies run at host speed like a real `rep movsb`).
+    ///
+    /// Both ranges are translated up front via [`Vm::translate_pages`]
+    /// (one epoch pin each), then bytes move frame-to-frame.
+    ///
+    /// # Errors
+    ///
+    /// Translation faults on either range, or [`Fault::MmioData`] if a
+    /// range covers an MMIO page (device copies must go through the
+    /// interpreter's load/store path).
     pub fn copy_bytes(&mut self, dst: u64, src: u64, len: usize) -> Result<(), VmError> {
-        // Page-at-a-time copy through the kernel's byte helpers.
-        let mut buf = vec![0u8; len.min(PAGE_SIZE)];
-        let mut done = 0;
+        if len == 0 {
+            return Ok(());
+        }
+        let pages_of = |va: u64| {
+            (page_offset(va) + len).div_ceil(PAGE_SIZE) // pages the span touches
+        };
+        let src_t = self.translate_pages(src, pages_of(src), Access::Read)?;
+        let dst_t = self.translate_pages(dst, pages_of(dst), Access::Write)?;
+        let frame_of = |t: &Translation| match t.pte.kind {
+            PteKind::Frame(pfn) => Ok(pfn),
+            PteKind::Mmio { .. } => Err(VmError::Fault(Fault::MmioData { va: t.page_va })),
+        };
+        let mut buf = [0u8; PAGE_SIZE];
+        let mut done = 0usize;
         while done < len {
-            let n = (len - done).min(buf.len());
-            self.kernel
-                .space
-                .read_bytes(&self.kernel.phys, src + done as u64, &mut buf[..n])?;
-            self.kernel
-                .space
-                .write_bytes(&self.kernel.phys, dst + done as u64, &buf[..n])?;
+            let s = src + done as u64;
+            let d = dst + done as u64;
+            let so = page_offset(s);
+            let dof = page_offset(d);
+            let n = (len - done).min(PAGE_SIZE - so).min(PAGE_SIZE - dof);
+            let spfn = frame_of(&src_t[((s - page_base(src)) as usize) / PAGE_SIZE])?;
+            let dpfn = frame_of(&dst_t[((d - page_base(dst)) as usize) / PAGE_SIZE])?;
+            self.kernel.phys.read(spfn, so, &mut buf[..n]);
+            self.kernel.phys.write(dpfn, dof, &buf[..n]);
             done += n;
         }
         Ok(())

@@ -48,8 +48,8 @@ pub use sharded::{FleetConfig, ShardedKernel};
 pub use symbols::{NativeFn, SymbolTable};
 
 use adelie_reclaim::{Ebr, Hyaline, Reclaimer};
-pub use adelie_vmem::ReadPath;
 use adelie_vmem::{AddressSpace, PhysMem, PteFlags, SpaceConfig, PAGE_SIZE};
+pub use adelie_vmem::{ReadPath, TlbStats};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -207,6 +207,13 @@ impl Kernel {
         });
         register_base_natives(&kernel);
         kernel
+    }
+
+    /// Aggregate TLB counters published by every CPU's `Vm` at
+    /// outermost call exit — the kernel-wide hit/miss/micro-hit totals
+    /// the translate bench and fleet reporting consume.
+    pub fn tlb_totals(&self) -> adelie_vmem::TlbStats {
+        self.percpu.tlb_totals()
     }
 
     /// Create a simulated CPU for the calling thread (allocates a fresh

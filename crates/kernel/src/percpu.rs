@@ -6,6 +6,7 @@
 //! modeled `cpus`-core machine, the way the paper's figures report "CPU
 //! usage across all 20 cores".
 
+use adelie_vmem::TlbStats;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -14,11 +15,27 @@ thread_local! {
     static CPU_ID: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
+/// Shared accumulators for one CPU's TLB counters. Each `Vm` owns a
+/// private `Tlb` whose stats die with it; CPUs publish deltas here at
+/// outermost call exit so benches and the fleet can report hit rates
+/// without keeping every `Vm` alive.
+#[derive(Default)]
+struct TlbCounters {
+    hits: AtomicU64,
+    micro_hits: AtomicU64,
+    misses: AtomicU64,
+    flushes: AtomicU64,
+    partial_flushes: AtomicU64,
+    entries_invalidated: AtomicU64,
+    evictions: AtomicU64,
+}
+
 /// Per-CPU state holder.
 pub struct PerCpu {
     cpus: usize,
     next: AtomicUsize,
     busy_ns: Vec<AtomicU64>,
+    tlb: Vec<TlbCounters>,
     boot: Instant,
 }
 
@@ -34,6 +51,7 @@ impl PerCpu {
             cpus,
             next: AtomicUsize::new(0),
             busy_ns: (0..cpus).map(|_| AtomicU64::new(0)).collect(),
+            tlb: (0..cpus).map(|_| TlbCounters::default()).collect(),
             boot: Instant::now(),
         }
     }
@@ -79,6 +97,37 @@ impl PerCpu {
     /// Total busy nanoseconds across all CPUs.
     pub fn total_busy_ns(&self) -> u64 {
         self.busy_ns.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Publish a TLB-counter delta for `cpu` (ids fold like
+    /// [`PerCpu::account`]). Called by the interpreter at outermost
+    /// call exit, so counters cover completed ioctls.
+    pub fn record_tlb(&self, cpu: usize, delta: &TlbStats) {
+        let c = &self.tlb[cpu % self.cpus];
+        c.hits.fetch_add(delta.hits, Ordering::Relaxed);
+        c.micro_hits.fetch_add(delta.micro_hits, Ordering::Relaxed);
+        c.misses.fetch_add(delta.misses, Ordering::Relaxed);
+        c.flushes.fetch_add(delta.flushes, Ordering::Relaxed);
+        c.partial_flushes
+            .fetch_add(delta.partial_flushes, Ordering::Relaxed);
+        c.entries_invalidated
+            .fetch_add(delta.entries_invalidated, Ordering::Relaxed);
+        c.evictions.fetch_add(delta.evictions, Ordering::Relaxed);
+    }
+
+    /// Sum of all published TLB counters across CPUs.
+    pub fn tlb_totals(&self) -> TlbStats {
+        let mut out = TlbStats::default();
+        for c in &self.tlb {
+            out.hits += c.hits.load(Ordering::Relaxed);
+            out.micro_hits += c.micro_hits.load(Ordering::Relaxed);
+            out.misses += c.misses.load(Ordering::Relaxed);
+            out.flushes += c.flushes.load(Ordering::Relaxed);
+            out.partial_flushes += c.partial_flushes.load(Ordering::Relaxed);
+            out.entries_invalidated += c.entries_invalidated.load(Ordering::Relaxed);
+            out.evictions += c.evictions.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// Utilization (0..=1 per CPU, so 0..=cpus overall is normalized to
@@ -156,6 +205,25 @@ mod tests {
         })
         .join()
         .unwrap();
+    }
+
+    #[test]
+    fn tlb_deltas_accumulate_and_fold() {
+        let p = PerCpu::new(2);
+        let delta = TlbStats {
+            hits: 10,
+            micro_hits: 7,
+            misses: 3,
+            ..TlbStats::default()
+        };
+        p.record_tlb(0, &delta);
+        p.record_tlb(1, &delta);
+        p.record_tlb(5, &delta); // big-kernel sticky id folds to CPU 1
+        let t = p.tlb_totals();
+        assert_eq!(t.hits, 30);
+        assert_eq!(t.micro_hits, 21);
+        assert_eq!(t.misses, 9);
+        assert_eq!(t.flushes, 0);
     }
 
     #[test]

@@ -155,6 +155,16 @@ impl ShardedKernel {
     pub fn config(&self) -> &FleetConfig {
         &self.config
     }
+
+    /// Fleet-wide TLB counter totals: the sum of every shard kernel's
+    /// per-CPU published counters (see [`Kernel::tlb_totals`]).
+    pub fn tlb_totals(&self) -> adelie_vmem::TlbStats {
+        let mut out = adelie_vmem::TlbStats::default();
+        for shard in &self.shards {
+            out += shard.tlb_totals();
+        }
+        out
+    }
 }
 
 impl std::fmt::Debug for ShardedKernel {

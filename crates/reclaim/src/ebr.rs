@@ -18,11 +18,27 @@ use std::sync::atomic::{AtomicU64, Ordering};
 const ACTIVE: u64 = 1 << 63;
 const EPOCH_MASK: u64 = ACTIVE - 1;
 
+/// How many `leave()`s a slot performs between epoch-advance attempts
+/// while garbage is pending. `try_advance` scans *every* slot word with
+/// SeqCst loads — letting each reader exit attempt it turns the hot
+/// read path into an all-slots cacheline crawl. Amortizing over 32
+/// exits bounds reclamation lag (a retire and a flush still advance
+/// eagerly) while making the common exit a single store.
+const ADVANCE_PERIOD: u64 = 32;
+
+/// Cache-line-padded per-slot exit counter: each slot has exactly one
+/// writer (the thread occupying it), so padding keeps two readers
+/// leaving on adjacent slots from bouncing a shared line.
+#[repr(align(64))]
+struct PaddedTick(AtomicU64);
+
 /// Epoch-based reclamation domain. See module docs.
 pub struct Ebr {
     global: AtomicU64,
     /// Per-slot word: `ACTIVE | epoch` when inside an operation, 0 when idle.
     slot_words: Box<[AtomicU64]>,
+    /// Per-slot `leave()` counters driving deferred epoch advancement.
+    leave_ticks: Box<[PaddedTick]>,
     limbo: [Mutex<Vec<Deferred>>; 3],
     retired: AtomicU64,
     freed: AtomicU64,
@@ -39,6 +55,7 @@ impl Ebr {
         Ebr {
             global: AtomicU64::new(0),
             slot_words: (0..nslots).map(|_| AtomicU64::new(0)).collect(),
+            leave_ticks: (0..nslots).map(|_| PaddedTick(AtomicU64::new(0))).collect(),
             limbo: [
                 Mutex::new(Vec::new()),
                 Mutex::new(Vec::new()),
@@ -106,7 +123,16 @@ impl Reclaimer for Ebr {
         // garbage, advancing the epoch buys nothing — skip the
         // all-slots scan. Counter skew at worst delays one advance;
         // the next retire/leave/flush picks it up.
-        if self.retired.load(Ordering::Relaxed) != self.freed.load(Ordering::Relaxed) {
+        if self.retired.load(Ordering::Relaxed) == self.freed.load(Ordering::Relaxed) {
+            return;
+        }
+        // Garbage pending: still don't advance on every exit — that
+        // makes each reader scan all slot words and fight over the
+        // global epoch's cacheline. Tick a slot-local counter (single
+        // writer, Relaxed is enough) and only every ADVANCE_PERIOD-th
+        // exit pays for the scan.
+        let t = self.leave_ticks[slot].0.fetch_add(1, Ordering::Relaxed);
+        if t.is_multiple_of(ADVANCE_PERIOD) {
             self.try_advance();
         }
     }
@@ -182,6 +208,31 @@ mod tests {
         assert!(!freed.load(Ordering::SeqCst));
         dom.leave(0);
         dom.flush();
+        assert!(freed.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn leave_amortizes_epoch_advancement() {
+        let dom = Ebr::new(2);
+        dom.enter(0);
+        let freed = Arc::new(AtomicBool::new(false));
+        let f = freed.clone();
+        dom.retire(Box::new(move || f.store(true, Ordering::SeqCst)));
+        // retire advanced once (0→1); this exit is tick 0 and advances
+        // again (1→2). The epoch-0 garbage sits one advance away.
+        dom.leave(0);
+        assert!(!freed.load(Ordering::SeqCst));
+        // The next ADVANCE_PERIOD-1 exits are deferred: no slot scan,
+        // no advance — the garbage stays put even though nothing pins
+        // the epoch any more.
+        for _ in 0..ADVANCE_PERIOD - 1 {
+            dom.enter(0);
+            dom.leave(0);
+            assert!(!freed.load(Ordering::SeqCst));
+        }
+        // The ADVANCE_PERIOD-th exit pays for the scan and frees.
+        dom.enter(0);
+        dom.leave(0);
         assert!(freed.load(Ordering::SeqCst));
     }
 

@@ -34,7 +34,12 @@
 //!    snapshot-reclamation domain must have freed every retired
 //!    page-table root (`snapshots_reclaimed == snapshot_publishes`,
 //!    SMR delta 0) — a reader pinned forever or a lost retire would
-//!    show up here.
+//!    show up here. A second, batch-shaped probe rides along: a
+//!    `translate_batch` spanning the vacated and the fresh base
+//!    resolves against one snapshot root, so it may see either side
+//!    of the publish (or the overlap while the retire-unmap drains)
+//!    but never *both* unmapped — both-unmapped would mean one batch
+//!    mixed two generations.
 //! 7. **no stale PLT binding** — a lazily-bound PLT slot records the
 //!    target it resolved to; after any commit, every bound slot must
 //!    hold exactly the target's *current* address (checked by
@@ -383,6 +388,27 @@ impl CycleHooks for LayoutOracle {
             self.violations.lock().unwrap().push(format!(
                 "torn publication: {}'s new base {:#x} not executable at commit",
                 c.module, c.new_base
+            ));
+        }
+        // (6b) Mixed-generation batch probe: `translate_batch` resolves
+        // every address against ONE snapshot root, so a batch spanning
+        // the vacated and the freshly-published base may legitimately
+        // see pre-publish state (old mapped), post-publish state (new
+        // mapped), or the overlap where both are mapped (the old
+        // range's retire-unmap drains later) — but never *neither*.
+        // Both-unmapped would prove the batch stitched a post-retire
+        // view of the old range to a pre-publish view of the new one:
+        // two generations in one batch.
+        let spanning = self
+            .kernel
+            .space
+            .translate_batch(&[c.old_base, c.new_base], Access::Read);
+        if spanning.iter().all(std::result::Result::is_err) {
+            self.violations.lock().unwrap().push(format!(
+                "mixed-generation batch: one translate_batch saw {}'s old base \
+                 {:#x} and new base {:#x} both unmapped — no single snapshot \
+                 root can produce that layout",
+                c.module, c.old_base, c.new_base
             ));
         }
         self.warm_witness(c.new_base, c.span);

@@ -55,6 +55,51 @@ fn run_trace(read_path: ReadPath, seed: u64) -> String {
             .ioctl(&mut vm, DUMMY_MINOR, 0, arg)
             .expect("trace ioctl");
         let _ = writeln!(out, "ioctl[{step}] {arg} -> {got}");
+        // Periodically cross-check the batched translation path against
+        // N independent single walks: `translate_pages` resolves the
+        // whole span against ONE snapshot root, the singles re-walk the
+        // table per page — under either read path both the PTEs and the
+        // bytes read through them must agree exactly, and the checksum
+        // line makes the *content* part of the cross-mode transcript.
+        if step % 25 == 7 {
+            let name = &tb.module_names[(step as usize / 25) % tb.module_names.len()];
+            let m = tb.registry.get(name).expect("module");
+            let base = m.movable_base.load(Ordering::Acquire);
+            let pages = m.movable.total_pages.min(4);
+            let batch = vm
+                .translate_pages(base, pages, Access::Read)
+                .expect("batched translate");
+            for (k, t) in batch.iter().enumerate() {
+                let single = tb
+                    .kernel
+                    .space
+                    .translate(base + (k * adelie_vmem::PAGE_SIZE) as u64, Access::Read)
+                    .expect("single translate");
+                assert_eq!(
+                    t.pte, single.pte,
+                    "translate_pages diverged from single walks at {name} page {k}"
+                );
+            }
+            let mut batched = vec![0u8; pages * adelie_vmem::PAGE_SIZE];
+            vm.read_bytes(base, &mut batched).expect("batched read");
+            let mut singles = vec![0u8; batched.len()];
+            for (k, chunk) in singles.chunks_exact_mut(8).enumerate() {
+                let v = tb
+                    .kernel
+                    .space
+                    .read_u64(&tb.kernel.phys, base + (k * 8) as u64)
+                    .expect("single read");
+                chunk.copy_from_slice(&v.to_le_bytes());
+            }
+            assert_eq!(
+                batched, singles,
+                "batched read_bytes diverged from single-page reads at {name}"
+            );
+            let sum = batched.chunks_exact(8).fold(0u64, |a, c| {
+                a.wrapping_add(u64::from_le_bytes(c.try_into().unwrap()))
+            });
+            let _ = writeln!(out, "batch[{step}] {name} pages {pages} sum {sum:#x}");
+        }
         // Virtual time passes; every due re-randomization cycle runs.
         clock.advance(Duration::from_millis(1));
         while sched
@@ -114,7 +159,10 @@ fn run_trace(read_path: ReadPath, seed: u64) -> String {
     // TLB counter evolution of the traffic CPU: the partial/full flush
     // mix is part of the contract (a read path that silently
     // full-flushed more would hide stale-translation bugs *and* regress
-    // the §4.3 cost story).
+    // the §4.3 cost story). `micro_hits` is deliberately excluded: only
+    // the snapshot path runs the no-pin micro-TLB probe (the locked
+    // ablation pins on every lookup by design), so the two modes differ
+    // there on purpose.
     let t = vm.tlb_stats();
     let _ = writeln!(
         out,

@@ -46,6 +46,7 @@
 
 mod batch;
 mod fault;
+mod hash;
 mod phys;
 mod space;
 mod tlb;

@@ -30,14 +30,20 @@
 //! bench.
 
 use crate::batch::{Batch, BatchOp};
+use crate::hash::BuildPageHasher;
 use crate::{
     page_base, page_offset, Access, Fault, Pfn, PhysMem, LEVELS, PAGE_SHIFT, PAGE_SIZE, VA_MASK,
 };
 use adelie_reclaim::{Ebr, Reclaimer, SmrStats};
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Bits below the flat-directory prefix: one prefix names one
+/// leaf-level radix node (512 pages = 2 MiB of virtual space).
+const FLAT_SHIFT: u32 = PAGE_SHIFT + 9;
 
 /// Default capacity (in generations) of the invalidation log — how far
 /// a TLB may lag behind the current generation and still resynchronize
@@ -188,6 +194,42 @@ impl Node {
     /// Whether every slot is empty (so the node can be pruned).
     fn is_empty(&self) -> bool {
         self.slots.iter().all(|e| matches!(e, Entry::Empty))
+    }
+}
+
+/// What writers publish and readers load: the radix tree plus a
+/// **flattened leaf directory** mapping `va >> FLAT_SHIFT` prefixes
+/// straight to the `Arc` of the leaf-level node holding that 2 MiB
+/// region's PTEs. A translation is then one hash probe plus one slot
+/// read — ≤2 pointer chases — instead of a 5-level chase. The tree
+/// stays the ground truth (writers path-copy it as before); the
+/// directory is re-derived for exactly the prefixes a transaction
+/// touched, at publish time, so the two views are equal by
+/// construction in every published snapshot.
+struct SnapshotRoot {
+    /// The 5-level radix tree (ground truth; what the next write
+    /// transaction shallow-clones).
+    root: Node,
+    /// `va >> FLAT_SHIFT` → leaf-level node. Shares the tree's nodes —
+    /// an entry is exactly the `Arc` reachable by chasing the tree.
+    flat: HashMap<u64, Arc<Node>, BuildPageHasher>,
+}
+
+/// Resolve the leaf-level node for `prefix` by chasing the tree — the
+/// publish-time step that keeps the flat directory consistent. `None`
+/// when the region is entirely unmapped (interior pruning removed it).
+fn leaf_node_of(root: &Node, prefix: u64) -> Option<Arc<Node>> {
+    let va = prefix << FLAT_SHIFT;
+    let mut cur = root;
+    for level in 0..LEVELS - 2 {
+        cur = match &cur.slots[level_index(va, level)] {
+            Entry::Table(t) => t,
+            _ => return None,
+        };
+    }
+    match &cur.slots[level_index(va, LEVELS - 2)] {
+        Entry::Table(t) => Some(t.clone()),
+        _ => None,
     }
 }
 
@@ -358,7 +400,7 @@ impl fmt::Debug for SpaceConfig {
 /// Writer-side state, serialized by the writer mutex. Holds the [`Arc`]
 /// that owns the currently-published snapshot root.
 struct WriterState {
-    current: Arc<Node>,
+    current: Arc<SnapshotRoot>,
 }
 
 /// A single (kernel) address space.
@@ -377,10 +419,11 @@ pub struct AddressSpace {
     /// cached instead of trusting a numerically-equal generation from
     /// an unrelated timeline.
     id: u64,
-    /// The currently-published snapshot root. Readers load this while
-    /// epoch-pinned; the pointee is owned by `writer.current` (or by a
-    /// pending reclamation closure once superseded).
-    snapshot: AtomicPtr<Node>,
+    /// The currently-published snapshot (radix tree + flattened leaf
+    /// directory). Readers load this while epoch-pinned; the pointee is
+    /// owned by `writer.current` (or by a pending reclamation closure
+    /// once superseded).
+    snapshot: AtomicPtr<SnapshotRoot>,
     /// Serializes writers. Readers never touch it.
     writer: Mutex<WriterState>,
     generation: AtomicU64,
@@ -460,8 +503,11 @@ impl AddressSpace {
             .smr
             .unwrap_or_else(|| Arc::new(Ebr::new(READER_SLOTS)));
         let nslots = smr.slots();
-        let root = Arc::new(Node::new());
-        let snapshot = AtomicPtr::new(Arc::as_ptr(&root) as *mut Node);
+        let root = Arc::new(SnapshotRoot {
+            root: Node::new(),
+            flat: HashMap::default(),
+        });
+        let snapshot = AtomicPtr::new(Arc::as_ptr(&root) as *mut SnapshotRoot);
         // Ids start at 1 so a fresh TLB's 0 never matches any space.
         static NEXT_SPACE_ID: AtomicU64 = AtomicU64::new(1);
         AddressSpace {
@@ -608,6 +654,14 @@ impl AddressSpace {
         self.pin().translate(va, access)
     }
 
+    /// Translate a batch of addresses under **one** epoch pin and one
+    /// snapshot-root load. Results are positional. Because every walk
+    /// uses the same root, a batch can never observe two different
+    /// published generations — see [`SpacePin::translate_batch`].
+    pub fn translate_batch(&self, vas: &[u64], access: Access) -> Vec<Result<Translation, Fault>> {
+        self.pin().translate_batch(vas, access)
+    }
+
     /// Plan how a TLB whose snapshot is `seen_gen` catches up to the
     /// current generation: returns the generation to adopt plus the
     /// cheapest safe action. [`TlbSync::Ranges`] is only returned when
@@ -691,16 +745,36 @@ impl AddressSpace {
     ) {
         let st = self.writer.lock();
         let ablate = self.ablation_write();
-        let scratch = st.current.shallow_clone();
+        let scratch = st.current.root.shallow_clone();
         (st, ablate, scratch)
     }
 
     /// Publish `scratch` as the new snapshot and retire the old root
     /// through the reclamation domain. Caller holds the writer mutex.
-    fn publish(&self, st: &mut WriterState, scratch: Node) {
-        let new = Arc::new(scratch);
+    ///
+    /// `touched` lists the `va >> FLAT_SHIFT` prefixes this transaction
+    /// may have changed (one entry per page *attempted*, duplicates
+    /// fine): the flat leaf directory is re-derived from the scratch
+    /// tree for exactly those prefixes, so directory and tree stay
+    /// equal by construction. A prefix mutated but not listed would
+    /// desync the directory — every mutation site below pushes as it
+    /// goes.
+    fn publish(&self, st: &mut WriterState, scratch: Node, touched: &mut Vec<u64>) {
+        touched.sort_unstable();
+        touched.dedup();
+        let mut flat = st.current.flat.clone();
+        for &prefix in touched.iter() {
+            match leaf_node_of(&scratch, prefix) {
+                Some(node) => flat.insert(prefix, node),
+                None => flat.remove(&prefix),
+            };
+        }
+        let new = Arc::new(SnapshotRoot {
+            root: scratch,
+            flat,
+        });
         self.snapshot
-            .store(Arc::as_ptr(&new) as *mut Node, Ordering::SeqCst);
+            .store(Arc::as_ptr(&new) as *mut SnapshotRoot, Ordering::SeqCst);
         let old = std::mem::replace(&mut st.current, new);
         self.stats
             .snapshot_publishes
@@ -826,7 +900,7 @@ impl AddressSpace {
         self.check(va)?;
         let (mut st, _w, mut scratch) = self.begin();
         map_in(&mut scratch, va, pte)?;
-        self.publish(&mut st, scratch);
+        self.publish(&mut st, scratch, &mut vec![va >> FLAT_SHIFT]);
         self.stats.pages_mapped.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -841,12 +915,14 @@ impl AddressSpace {
         let (mut st, _w, mut scratch) = self.begin();
         let mut outcome = Ok(());
         let mut mapped = 0u64;
+        let mut touched = Vec::new();
         for (i, &pfn) in pfns.iter().enumerate() {
             let page_va = va + (i * PAGE_SIZE) as u64;
             let pte = Pte {
                 kind: PteKind::Frame(pfn),
                 flags,
             };
+            touched.push(page_va >> FLAT_SHIFT);
             if let Err(fault) = check_va(page_va).and_then(|()| map_in(&mut scratch, page_va, pte))
             {
                 outcome = Err(fault);
@@ -855,7 +931,7 @@ impl AddressSpace {
             mapped += 1;
         }
         if mapped > 0 {
-            self.publish(&mut st, scratch);
+            self.publish(&mut st, scratch, &mut touched);
             self.stats.pages_mapped.fetch_add(mapped, Ordering::Relaxed);
         }
         outcome
@@ -872,7 +948,7 @@ impl AddressSpace {
         self.check(va)?;
         let (mut st, _w, mut scratch) = self.begin();
         let pte = unmap_in(&mut scratch, va)?;
-        self.publish(&mut st, scratch);
+        self.publish(&mut st, scratch, &mut vec![va >> FLAT_SHIFT]);
         self.stats.pages_unmapped.fetch_add(1, Ordering::Relaxed);
         self.shootdown(vec![(va, va + PAGE_SIZE as u64)]);
         Ok(pte)
@@ -891,8 +967,10 @@ impl AddressSpace {
         let (mut st, _w, mut scratch) = self.begin();
         let mut out = Vec::with_capacity(n);
         let mut outcome = Ok(());
+        let mut touched = Vec::new();
         for i in 0..n {
             let page_va = va + (i * PAGE_SIZE) as u64;
+            touched.push(page_va >> FLAT_SHIFT);
             match check_va(page_va).and_then(|()| unmap_in(&mut scratch, page_va)) {
                 Ok(pte) => out.push(pte),
                 Err(fault) => {
@@ -902,7 +980,7 @@ impl AddressSpace {
             }
         }
         if !out.is_empty() {
-            self.publish(&mut st, scratch);
+            self.publish(&mut st, scratch, &mut touched);
             self.stats
                 .pages_unmapped
                 .fetch_add(out.len() as u64, Ordering::Relaxed);
@@ -918,6 +996,7 @@ impl AddressSpace {
     pub fn unmap_sparse(&self, va: u64, n: usize) -> Vec<Pte> {
         let (mut st, _w, mut scratch) = self.begin();
         let mut out = Vec::new();
+        let mut touched = Vec::new();
         for i in 0..n {
             let page_va = va + (i * PAGE_SIZE) as u64;
             if check_va(page_va).is_err() {
@@ -925,10 +1004,11 @@ impl AddressSpace {
             }
             if let Ok(pte) = unmap_in(&mut scratch, page_va) {
                 out.push(pte);
+                touched.push(page_va >> FLAT_SHIFT);
             }
         }
         if !out.is_empty() {
-            self.publish(&mut st, scratch);
+            self.publish(&mut st, scratch, &mut touched);
             self.stats
                 .pages_unmapped
                 .fetch_add(out.len() as u64, Ordering::Relaxed);
@@ -957,7 +1037,7 @@ impl AddressSpace {
                 flags,
             },
         )?;
-        self.publish(&mut st, scratch);
+        self.publish(&mut st, scratch, &mut vec![va >> FLAT_SHIFT]);
         self.shootdown(vec![(va, va + PAGE_SIZE as u64)]);
         Ok(old)
     }
@@ -972,7 +1052,7 @@ impl AddressSpace {
         self.check(va)?;
         let (mut st, _w, mut scratch) = self.begin();
         protect_in(&mut scratch, va, flags)?;
-        self.publish(&mut st, scratch);
+        self.publish(&mut st, scratch, &mut vec![va >> FLAT_SHIFT]);
         self.stats.protects.fetch_add(1, Ordering::Relaxed);
         self.shootdown(vec![(va, va + PAGE_SIZE as u64)]);
         Ok(())
@@ -990,8 +1070,10 @@ impl AddressSpace {
         let (mut st, _w, mut scratch) = self.begin();
         let mut outcome = Ok(());
         let mut changed = 0usize;
+        let mut touched = Vec::new();
         for i in 0..n {
             let page_va = va + (i * PAGE_SIZE) as u64;
+            touched.push(page_va >> FLAT_SHIFT);
             if let Err(fault) = check_va(page_va)
                 .and_then(|()| protect_in(&mut scratch, page_va, flags).map(|_| ()))
             {
@@ -1001,7 +1083,7 @@ impl AddressSpace {
             changed += 1;
         }
         if changed > 0 {
-            self.publish(&mut st, scratch);
+            self.publish(&mut st, scratch, &mut touched);
             self.stats
                 .protects
                 .fetch_add(changed as u64, Ordering::Relaxed);
@@ -1017,12 +1099,11 @@ impl AddressSpace {
     ///
     /// Fails if any page in the range is unmapped.
     pub fn leaves_of_range(&self, va: u64, n: usize) -> Result<Vec<Pte>, Fault> {
-        let pin = self.pin();
-        (0..n)
-            .map(|i| {
-                pin.translate(va + (i * PAGE_SIZE) as u64, Access::Read)
-                    .map(|t| t.pte)
-            })
+        let vas: Vec<u64> = (0..n).map(|i| va + (i * PAGE_SIZE) as u64).collect();
+        self.pin()
+            .translate_batch(&vas, Access::Read)
+            .into_iter()
+            .map(|r| r.map(|t| t.pte))
             .collect()
     }
 
@@ -1185,6 +1266,7 @@ impl AddressSpace {
         let mut mapped = 0u64;
         let mut unmapped = 0u64;
         let mut protects = 0u64;
+        let mut touched = Vec::new();
         let (mut st, _w, mut scratch) = self.begin();
         for op in &batch.ops {
             match *op {
@@ -1193,12 +1275,14 @@ impl AddressSpace {
                         kind: PteKind::Frame(pfn),
                         flags,
                     };
+                    touched.push(va >> FLAT_SHIFT);
                     map_in(&mut scratch, va, pte)?;
                     mapped += 1;
                 }
                 BatchOp::UnmapRange { va, pages } => {
                     for i in 0..pages {
                         let page_va = va + (i * PAGE_SIZE) as u64;
+                        touched.push(page_va >> FLAT_SHIFT);
                         removed.push(unmap_in(&mut scratch, page_va)?);
                         unmapped += 1;
                     }
@@ -1208,6 +1292,7 @@ impl AddressSpace {
                 BatchOp::UnmapSparse { va, pages } => {
                     for i in 0..pages {
                         let page_va = va + (i * PAGE_SIZE) as u64;
+                        touched.push(page_va >> FLAT_SHIFT);
                         if let Ok(pte) = unmap_in(&mut scratch, page_va) {
                             removed.push(pte);
                             unmapped += 1;
@@ -1219,6 +1304,7 @@ impl AddressSpace {
                 BatchOp::ProtectRange { va, pages, flags } => {
                     for i in 0..pages {
                         let page_va = va + (i * PAGE_SIZE) as u64;
+                        touched.push(page_va >> FLAT_SHIFT);
                         protect_in(&mut scratch, page_va, flags)?;
                         protects += 1;
                     }
@@ -1230,13 +1316,14 @@ impl AddressSpace {
                         kind: PteKind::Frame(pfn),
                         flags,
                     };
+                    touched.push(va >> FLAT_SHIFT);
                     removed.push(replace_in(&mut scratch, va, pte)?);
                     spans.push((va, va + PAGE_SIZE as u64));
                     legacy_shootdowns += 1;
                 }
             }
         }
-        self.publish(&mut st, scratch);
+        self.publish(&mut st, scratch, &mut touched);
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.stats.pages_mapped.fetch_add(mapped, Ordering::Relaxed);
         self.stats
@@ -1364,8 +1451,33 @@ impl SpacePin<'_> {
         // through `smr` and freed only after every epoch pinned at (or
         // before) retire time has left. This pin entered before the
         // load, so the root outlives the walk.
-        let root = unsafe { &*self.space.snapshot.load(Ordering::SeqCst) };
-        walk(root, va, access)
+        let snap = unsafe { &*self.space.snapshot.load(Ordering::SeqCst) };
+        walk(snap, va, access)
+    }
+
+    /// Translate a whole run of addresses against **one** snapshot
+    /// load: every result reflects the *same* published generation, so
+    /// a batch can never interleave pre- and post-publish views even
+    /// if a re-randomization commit lands mid-iteration — the property
+    /// the testkit's `LayoutOracle` probes at every commit. One walk
+    /// counter bump and one epoch pin (the caller's) cover the batch.
+    ///
+    /// Results are positional; per-address faults are reported in
+    /// place rather than aborting the batch.
+    pub fn translate_batch(&self, vas: &[u64], access: Access) -> Vec<Result<Translation, Fault>> {
+        self.space.walk_stripes[self.slot]
+            .0
+            .fetch_add(vas.len() as u64, Ordering::Relaxed);
+        // SAFETY: as in `translate`; a single load is the whole point.
+        let snap = unsafe { &*self.space.snapshot.load(Ordering::SeqCst) };
+        vas.iter()
+            .map(|&va| {
+                if va & !VA_MASK != 0 {
+                    return Err(Fault::NonCanonical { va });
+                }
+                walk(snap, va, access)
+            })
+            .collect()
     }
 
     /// Plan a TLB resynchronization (see [`AddressSpace::plan_sync`])
@@ -1407,8 +1519,49 @@ pub struct BatchOutcome {
 }
 
 /// Walk an immutable snapshot (read-only; the caller holds an epoch
-/// pin keeping `root` alive).
-fn walk(root: &Node, va: u64, access: Access) -> Result<Translation, Fault> {
+/// pin keeping `snap` alive).
+///
+/// Uses the flattened leaf directory: one hash probe finds the
+/// leaf-level node for the address's 2 MiB region, one slot read finds
+/// the PTE — ≤2 pointer chases instead of a 5-level tree descent. The
+/// directory is re-derived from the tree at every publish for exactly
+/// the touched prefixes, so the two views are interchangeable in any
+/// published snapshot.
+fn walk(snap: &SnapshotRoot, va: u64, access: Access) -> Result<Translation, Fault> {
+    let res = walk_flat(snap, va, access);
+    // Debug builds (so the whole deterministic test suite) re-walk the
+    // tree and insist the directory agrees — a mutation site that
+    // forgot to record a touched prefix fails loudly here, not as a
+    // silent wrong translation. Release builds pay nothing.
+    #[cfg(debug_assertions)]
+    assert_eq!(
+        res,
+        walk_tree(&snap.root, va, access),
+        "flat leaf directory diverged from the radix tree at {va:#x}"
+    );
+    res
+}
+
+fn walk_flat(snap: &SnapshotRoot, va: u64, access: Access) -> Result<Translation, Fault> {
+    let pte = match snap.flat.get(&(va >> FLAT_SHIFT)) {
+        Some(leaf) => match &leaf.slots[level_index(va, LEVELS - 1)] {
+            Entry::Leaf(pte) => *pte,
+            _ => return Err(Fault::Unmapped { va }),
+        },
+        None => return Err(Fault::Unmapped { va }),
+    };
+    check_access(va, &pte, access)?;
+    Ok(Translation {
+        pte,
+        page_va: page_base(va),
+    })
+}
+
+/// Walk the radix tree itself, ignoring the flat directory — the
+/// ground-truth structure writers mutate. The debug-build cross-check
+/// in [`walk`] compares the directory against this on every lookup.
+#[cfg(debug_assertions)]
+fn walk_tree(root: &Node, va: u64, access: Access) -> Result<Translation, Fault> {
     let mut cur: &Node = root;
     for level in 0..LEVELS - 1 {
         cur = match &cur.slots[level_index(va, level)] {
@@ -2080,6 +2233,92 @@ mod tests {
         space.unmap(VA).unwrap();
         assert!(space.translate(VA, Access::Read).is_err());
         assert!(matches!(space.plan_sync(0), (_, TlbSync::Ranges(_))));
+    }
+
+    /// The flat leaf directory must agree with the radix tree after
+    /// every kind of mutation — single ops, ranges, sparse unmaps, and
+    /// batches that cross 2 MiB prefix boundaries. `walk` cross-checks
+    /// both structures on every lookup in debug builds, so translating
+    /// here *is* the equivalence assertion; this test just makes sure
+    /// the probes cover mapped, remapped, protected, and torn-down
+    /// prefixes explicitly. (`walk_tree` only exists in debug builds,
+    /// so a `cargo test --release` run skips this one.)
+    #[cfg(debug_assertions)]
+    #[test]
+    fn flat_directory_matches_tree_walk() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        // 5 pages straddling a 2 MiB prefix boundary: 3 below, 2 above.
+        let base = 0x00ab_cdef_0000_0000 + (1u64 << FLAT_SHIFT) - 3 * PAGE_SIZE as u64;
+        let pfns: Vec<Pfn> = (0..5).map(|_| phys.alloc()).collect();
+        space.map_range(base, &pfns, PteFlags::DATA).unwrap();
+        let probe = |va: u64, access: Access| {
+            let snap = unsafe { &*space.snapshot.load(Ordering::SeqCst) };
+            assert_eq!(
+                walk_flat(snap, va, access),
+                walk_tree(&snap.root, va, access),
+                "flat/tree divergence at {va:#x}"
+            );
+        };
+        let pages: Vec<u64> = (0..5).map(|i| base + (i * PAGE_SIZE) as u64).collect();
+        for &va in &pages {
+            probe(va, Access::Read);
+            probe(va, Access::Exec);
+        }
+        // Protect one page on each side of the boundary, unmap the
+        // middle, and re-check every probe plus never-mapped neighbors.
+        space.protect(pages[0], PteFlags::RO_DATA).unwrap();
+        space.protect(pages[4], PteFlags::TEXT).unwrap();
+        space.unmap(pages[2]).unwrap();
+        space.unmap_sparse(pages[1], 1);
+        for &va in &pages {
+            probe(va, Access::Read);
+            probe(va, Access::Write);
+        }
+        probe(base - PAGE_SIZE as u64, Access::Read);
+        probe(base + (8 * PAGE_SIZE) as u64, Access::Read);
+        // Tear the rest down: the directory must drop emptied prefixes.
+        space.unmap_range(pages[3], 2).unwrap();
+        space.unmap(pages[0]).unwrap();
+        let snap = unsafe { &*space.snapshot.load(Ordering::SeqCst) };
+        assert!(
+            snap.flat.is_empty(),
+            "emptied prefixes must leave the directory"
+        );
+        for &va in &pages {
+            probe(va, Access::Read);
+        }
+    }
+
+    /// One batch = one snapshot-root load: results are positional,
+    /// identical to N singles against an unchanging space, and a batch
+    /// can never mix two published generations.
+    #[test]
+    fn translate_batch_matches_singles() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        let pfns: Vec<Pfn> = (0..4).map(|_| phys.alloc()).collect();
+        space.map_range(VA, &pfns[..3], PteFlags::DATA).unwrap();
+        let vas = [
+            VA + 0x10,
+            VA + PAGE_SIZE as u64,
+            VA + (3 * PAGE_SIZE) as u64, // unmapped
+            0xffff_0000_0000_0000,       // non-canonical
+            VA + (2 * PAGE_SIZE) as u64,
+        ];
+        let batch = space.translate_batch(&vas, Access::Read);
+        assert_eq!(batch.len(), vas.len());
+        for (i, va) in vas.iter().enumerate() {
+            assert_eq!(batch[i], space.translate(*va, Access::Read), "index {i}");
+        }
+        // The root is loaded once per batch *call*, not per pin: a
+        // batch issued after a publish sees the new root even through a
+        // pre-existing pin (the pin guards reclamation, not staleness).
+        let pin = space.pin();
+        space.unmap(VA).unwrap();
+        assert!(pin.translate_batch(&vas[..1], Access::Read)[0].is_err());
+        drop(pin);
+        assert!(space.translate_batch(&vas[..1], Access::Read)[0].is_err());
     }
 
     /// Long-lived read handles recycle their claimed slots.

@@ -24,15 +24,48 @@
 //! lagging path reads the space's atomically-published invalidation
 //! ring under an epoch pin ([`Tlb::lookup_pinned`]) — a lookup never
 //! blocks on a concurrent re-randomization writer.
+//!
+//! # The micro-TLB (L1)
+//!
+//! In front of the hash-map cache sits a small direct-mapped,
+//! generation-tagged **micro-TLB**: [`Tlb::try_lookup_current`] probes
+//! one array slot keyed by the virtual page number, and a hit requires
+//! both the page match *and* that the entry's generation tag equals the
+//! TLB's current generation. Because every resynchronization that could
+//! invalidate anything ([`Tlb::apply_sync`] on `Ranges`/`Full`) advances
+//! the TLB's generation cursor, all micro entries are invalidated
+//! *lazily* by tag mismatch — no walk over the array is ever needed on
+//! a shootdown. An explicit [`Tlb::flush`] (and the space-switch path,
+//! which resets the cursor to 0) clears the array eagerly, since a
+//! reset cursor could otherwise collide with old tags. See DESIGN.md
+//! §14 for the full coherence argument.
 
+use crate::hash::BuildPageHasher;
 use crate::{AddressSpace, Pte, SpacePin, TlbSync, Translation};
 use std::collections::{HashMap, VecDeque};
+
+/// Slots in the direct-mapped micro-TLB (power of two; 512 × 24-byte
+/// entries ≈ 12 KiB, L1-cache resident).
+const MICRO_SLOTS: usize = 512;
+
+/// One micro-TLB entry: a translation valid exactly while the owning
+/// TLB's generation cursor equals `gen` (and the TLB stays bound to the
+/// same space — space switches clear the array).
+#[derive(Copy, Clone, Debug)]
+struct MicroEntry {
+    page_va: u64,
+    gen: u64,
+    pte: Pte,
+}
 
 /// TLB hit/miss/flush counters.
 #[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
 pub struct TlbStats {
-    /// Lookups that hit a cached translation.
+    /// Lookups that hit a cached translation (micro-TLB hits included).
     pub hits: u64,
+    /// Of [`TlbStats::hits`], how many were served by the direct-mapped
+    /// micro-TLB (one array probe, no hash).
+    pub micro_hits: u64,
     /// Lookups that missed (caller must walk the page table).
     pub misses: u64,
     /// Whole-TLB flushes (log horizon exceeded, oversized gap, or an
@@ -47,14 +80,53 @@ pub struct TlbStats {
     pub evictions: u64,
 }
 
+impl std::ops::AddAssign for TlbStats {
+    fn add_assign(&mut self, rhs: TlbStats) {
+        self.hits += rhs.hits;
+        self.micro_hits += rhs.micro_hits;
+        self.misses += rhs.misses;
+        self.flushes += rhs.flushes;
+        self.partial_flushes += rhs.partial_flushes;
+        self.entries_invalidated += rhs.entries_invalidated;
+        self.evictions += rhs.evictions;
+    }
+}
+
+impl TlbStats {
+    /// Counter-wise `self - earlier` (saturating): the activity between
+    /// two snapshots of one TLB's monotonically growing counters. CPUs
+    /// use this to publish per-call deltas into shared accumulators.
+    pub fn delta_since(&self, earlier: &TlbStats) -> TlbStats {
+        TlbStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            micro_hits: self.micro_hits.saturating_sub(earlier.micro_hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            partial_flushes: self.partial_flushes.saturating_sub(earlier.partial_flushes),
+            entries_invalidated: self
+                .entries_invalidated
+                .saturating_sub(earlier.entries_invalidated),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
 /// A single CPU's translation cache.
 ///
 /// Not thread-safe by design: each simulated CPU owns one.
 #[derive(Debug, Default)]
 pub struct Tlb {
+    /// Direct-mapped, generation-tagged L1 in front of the hash map: a
+    /// hit is one index computation and one tag compare. Lazily
+    /// invalidated by generation advance; eagerly cleared on
+    /// [`Tlb::flush`] (which covers space switches, whose cursor reset
+    /// to 0 would otherwise collide with old tags).
+    micro: Vec<Option<MicroEntry>>,
     /// `page_va → (pte, insertion seq)`. The seq validates lazy FIFO
-    /// queue entries after partial invalidation removed keys.
-    entries: HashMap<u64, (Pte, u64)>,
+    /// queue entries after partial invalidation removed keys. Keyed by
+    /// trusted page numbers, so the map uses the cheap deterministic
+    /// [`BuildPageHasher`] instead of SipHash.
+    entries: HashMap<u64, (Pte, u64), BuildPageHasher>,
     /// FIFO insertion order, lazily pruned (entries whose seq no longer
     /// matches were invalidated or re-inserted).
     order: VecDeque<(u64, u64)>,
@@ -80,7 +152,8 @@ impl Tlb {
     /// A TLB bounded to `capacity` cached pages.
     pub fn with_capacity(capacity: usize) -> Tlb {
         Tlb {
-            entries: HashMap::new(),
+            micro: vec![None; MICRO_SLOTS],
+            entries: HashMap::default(),
             order: VecDeque::new(),
             seq: 0,
             generation: 0,
@@ -129,6 +202,24 @@ impl Tlb {
         self.probe(page_va)
     }
 
+    /// Probe a whole run of page base addresses under **one**
+    /// resynchronization: the space-switch check and the invalidation
+    /// plan are paid once for the batch, then each page costs only a
+    /// probe. `out[i]` is the cached PTE for `page_vas[i]` or `None` on
+    /// a miss (the caller walks misses against one pinned snapshot —
+    /// see `SpacePin::translate_batch`).
+    pub fn lookup_batch(&mut self, page_vas: &[u64], pin: &SpacePin<'_>) -> Vec<Option<Pte>> {
+        let space_id = pin.space().id();
+        if space_id != self.space_id && self.space_id != 0 {
+            self.flush();
+            self.generation = 0;
+        }
+        self.space_id = space_id;
+        let (current, plan) = pin.plan_sync(self.generation);
+        self.apply_sync(current, plan);
+        page_vas.iter().map(|&va| self.probe(va)).collect()
+    }
+
     /// Hit-path probe without any synchronization: `Some(result)` only
     /// when the TLB's snapshot is already at `current_gen` (obtained
     /// from [`AddressSpace::generation`]); `None` means the caller must
@@ -139,13 +230,48 @@ impl Tlb {
     /// roam across spaces must go through [`Tlb::lookup`] /
     /// [`Tlb::lookup_pinned`], which detect the switch.
     pub fn try_lookup_current(&mut self, page_va: u64, current_gen: u64) -> Option<Option<Pte>> {
-        (current_gen == self.generation).then(|| self.probe(page_va))
+        if current_gen != self.generation {
+            return None;
+        }
+        // L1: one direct-mapped probe — an index computation and a
+        // (page, generation) tag compare, no hashing at all. The
+        // generation tag makes every shootdown an implicit bulk
+        // invalidation: entries filled before the cursor advanced can
+        // never match again.
+        if let Some(&Some(e)) = self.micro.get(Self::micro_idx(page_va)) {
+            if e.page_va == page_va && e.gen == current_gen {
+                self.stats.hits += 1;
+                self.stats.micro_hits += 1;
+                return Some(Some(e.pte));
+            }
+        }
+        Some(self.probe(page_va))
+    }
+
+    #[inline]
+    fn micro_idx(page_va: u64) -> usize {
+        ((page_va >> crate::PAGE_SHIFT) as usize) & (MICRO_SLOTS - 1)
+    }
+
+    /// Install `(page_va, pte)` in the micro-TLB, tagged with the
+    /// current generation cursor. Callers must only pass translations
+    /// valid at `self.generation` in the currently-bound space.
+    #[inline]
+    fn micro_fill(&mut self, page_va: u64, pte: Pte) {
+        let gen = self.generation;
+        if let Some(slot) = self.micro.get_mut(Self::micro_idx(page_va)) {
+            *slot = Some(MicroEntry { page_va, gen, pte });
+        }
     }
 
     fn probe(&mut self, page_va: u64) -> Option<Pte> {
-        match self.entries.get(&page_va) {
-            Some(&(pte, _)) => {
+        let hit = self.entries.get(&page_va).map(|&(pte, _)| pte);
+        match hit {
+            Some(pte) => {
                 self.stats.hits += 1;
+                // Promote the L2 hit so the next probe of this page is
+                // one array access.
+                self.micro_fill(page_va, pte);
                 Some(pte)
             }
             None => {
@@ -159,9 +285,7 @@ impl Tlb {
         match plan {
             TlbSync::Current => return,
             TlbSync::Full => {
-                self.entries.clear();
-                self.order.clear();
-                self.stats.flushes += 1;
+                self.flush();
             }
             TlbSync::Ranges(spans) => {
                 let before = self.entries.len();
@@ -183,6 +307,7 @@ impl Tlb {
         if self.capacity == 0 {
             return;
         }
+        self.micro_fill(t.page_va, t.pte);
         if let Some(slot) = self.entries.get_mut(&t.page_va) {
             slot.0 = t.pte;
             return;
@@ -211,7 +336,13 @@ impl Tlb {
     }
 
     /// Explicitly flush (e.g. on simulated context switch).
+    ///
+    /// Clears the micro-TLB *eagerly*: flush callers may reset the
+    /// generation cursor (the space-switch path sets it to 0), and a
+    /// reused cursor value would make lazily-retained tags match again
+    /// — the one case tag-based invalidation cannot cover.
     pub fn flush(&mut self) {
+        self.micro.fill(None);
         self.entries.clear();
         self.order.clear();
         self.stats.flushes += 1;
@@ -492,5 +623,96 @@ mod tests {
             tlb.insert(&t);
         }
         assert!(tlb.len() <= 4);
+    }
+
+    /// The second current-generation probe of a page is served by the
+    /// direct-mapped micro-TLB (counted in `micro_hits`), and a
+    /// shootdown lazily invalidates it via the generation tag — the
+    /// stale entry must *miss*, not serve a retired translation.
+    #[test]
+    fn micro_tlb_hits_then_dies_on_shootdown() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        space.map(VA, phys.alloc(), PteFlags::DATA).unwrap();
+        let mut tlb = Tlb::new();
+        // Bind to the space and warm both levels.
+        assert_eq!(tlb.lookup(VA, &space), None);
+        warm(&mut tlb, &space, VA);
+        let gen = space.generation();
+        // First current-gen probe: insert() already promoted the page
+        // into the micro-TLB, so this is an L1 hit.
+        assert!(matches!(tlb.try_lookup_current(VA, gen), Some(Some(_))));
+        assert_eq!(tlb.stats().micro_hits, 1);
+        assert!(matches!(tlb.try_lookup_current(VA, gen), Some(Some(_))));
+        assert_eq!(tlb.stats().micro_hits, 2);
+        // Shootdown: the generation advances, so the fast path refuses
+        // to answer at all (caller must resynchronize under a pin).
+        space.unmap(VA).unwrap();
+        assert_eq!(tlb.try_lookup_current(VA, space.generation()), None);
+        // After resyncing, the retired page misses at both levels.
+        assert_eq!(tlb.lookup(VA, &space), None);
+        let g2 = space.generation();
+        assert!(matches!(tlb.try_lookup_current(VA, g2), Some(None)));
+        assert_eq!(tlb.stats().micro_hits, 2, "no stale micro serve");
+    }
+
+    /// Space switches reset the generation cursor to 0 — the one case
+    /// where lazy tag invalidation is unsound (a stale tag could equal
+    /// the reused cursor). The switch's eager flush must cover the
+    /// micro-TLB too.
+    #[test]
+    fn micro_tlb_cleared_on_space_switch() {
+        let phys = PhysMem::new();
+        let a = AddressSpace::new();
+        let b = AddressSpace::new();
+        a.map(VA, phys.alloc(), PteFlags::DATA).unwrap();
+        b.map(VA + PAGE_SIZE as u64, phys.alloc(), PteFlags::DATA)
+            .unwrap();
+        let mut tlb = Tlb::new();
+        assert_eq!(tlb.lookup(VA, &a), None);
+        warm(&mut tlb, &a, VA);
+        assert!(matches!(
+            tlb.try_lookup_current(VA, a.generation()),
+            Some(Some(_))
+        ));
+        // Switch to space B (full flush + cursor reset)…
+        assert_eq!(tlb.lookup(VA, &b), None);
+        // …then probe A's page at B's numerically-equal generation: the
+        // stale micro entry must not resurface.
+        assert_eq!(b.generation(), a.generation());
+        assert!(matches!(
+            tlb.try_lookup_current(VA, b.generation()),
+            Some(None)
+        ));
+    }
+
+    /// `lookup_batch` pays one resynchronization for N probes and
+    /// reports per-page hits/misses positionally.
+    #[test]
+    fn batch_lookup_syncs_once() {
+        let phys = PhysMem::new();
+        let space = AddressSpace::new();
+        space
+            .map_range(VA, &phys.alloc_n(4), PteFlags::DATA)
+            .unwrap();
+        let mut tlb = Tlb::new();
+        for i in [0u64, 2] {
+            warm(&mut tlb, &space, VA + i * PAGE_SIZE as u64);
+        }
+        // Lag the TLB by one shootdown outside the cached pages.
+        space
+            .map(VA + 0x100_0000, phys.alloc(), PteFlags::DATA)
+            .unwrap();
+        space.unmap(VA + 0x100_0000).unwrap();
+        let pages: Vec<u64> = (0..4u64).map(|i| VA + i * PAGE_SIZE as u64).collect();
+        let mut reader = space.reader();
+        let pin = reader.pin();
+        let got = tlb.lookup_batch(&pages, &pin);
+        drop(pin);
+        assert!(got[0].is_some() && got[2].is_some());
+        assert!(got[1].is_none() && got[3].is_none());
+        let s = tlb.stats();
+        assert_eq!(s.partial_flushes, 1, "one sync covered the whole batch");
+        assert_eq!(s.flushes, 0);
     }
 }

@@ -314,6 +314,150 @@ proptest! {
         prop_assert_eq!(stats.snapshots_reclaimed, stats.snapshot_publishes);
     }
 
+    /// Micro-TLB coherence (DESIGN.md §14): drive the kernel's lookup
+    /// protocol — [`Tlb::try_lookup_current`] fast path with
+    /// [`Tlb::lookup_pinned`] fallback, exactly as `Vm::translate` does
+    /// — against a HashMap mirror under arbitrary interleavings of
+    /// batch publishes, unmaps, and space switches. Three hazards are
+    /// exercised by construction:
+    ///
+    /// 1. **Stale hit after publish**: a publish advances the space's
+    ///    generation, so lazily-retained micro entries (tagged with the
+    ///    old cursor) must never serve again — any hit must equal the
+    ///    model's current value.
+    /// 2. **Stale generation read** (the torn-read analog): a reader
+    ///    that loaded `space.generation()` *before* a publish and
+    ///    probes with it *after* must get an answer consistent with the
+    ///    pre-publish state, or a refusal — never post-publish state
+    ///    under a pre-publish tag, never a mix.
+    /// 3. **Cross-space tag reuse after an id switch**: switching
+    ///    spaces resets the generation cursor to 0, so a numerically
+    ///    equal tag from the previous space could collide; the switch's
+    ///    eager clear must make that impossible.
+    #[test]
+    fn micro_tlb_serves_only_generation_consistent_translations(
+        ops in proptest::collection::vec((0u8..8, 0usize..12), 1..80),
+    ) {
+        const PAGES: usize = 12;
+        let base = 0x0051_0000_0000_0000u64;
+        let page = |i: usize| base + ((i % PAGES) * PAGE_SIZE) as u64;
+        let phys = PhysMem::new();
+        let spaces = [AddressSpace::new(), AddressSpace::new()];
+        let mut models: [HashMap<u64, Pte>; 2] = [HashMap::new(), HashMap::new()];
+        let mut cur = 0usize; // which space the simulated CPU runs in
+        let mut bound = 0u64; // space id the TLB is bound to (0 = none)
+        let mut tlb = Tlb::new();
+
+        // One publish in `space`: swap the frame of `va` if mapped,
+        // else map it — either way the generation advances.
+        let publish = |space: &AddressSpace, model: &mut HashMap<u64, Pte>, va: u64| {
+            let pfn = phys.alloc();
+            let pte = Pte { kind: PteKind::Frame(pfn), flags: PteFlags::DATA };
+            let mut batch = Batch::new();
+            if model.contains_key(&va) {
+                batch.swap_frame(va, pfn, PteFlags::DATA);
+            } else {
+                batch.map_page(va, pfn, PteFlags::DATA);
+            }
+            space.apply(batch).expect("publish batch failed");
+            model.insert(va, pte);
+        };
+
+        for (op, i) in ops {
+            let space = &spaces[cur];
+            let model = &mut models[cur];
+            let va = page(i);
+            match op {
+                // Lookup via the exec.rs protocol.
+                0..=3 => {
+                    // Fast path is only defined for the bound space
+                    // (`try_lookup_current` carries no space identity).
+                    let cached = if space.id() == bound {
+                        tlb.try_lookup_current(va, space.generation())
+                    } else {
+                        None
+                    };
+                    let got = match cached {
+                        Some(hit) => hit,
+                        None => {
+                            let mut reader = space.reader();
+                            let pin = reader.pin();
+                            let got = tlb.lookup_pinned(va, &pin);
+                            drop(pin);
+                            bound = space.id();
+                            got
+                        }
+                    };
+                    match (got, model.get(&va)) {
+                        (Some(pte), Some(&want)) => prop_assert_eq!(
+                            pte, want,
+                            "TLB hit disagrees with the model at {:#x}", va
+                        ),
+                        (Some(_), None) => prop_assert!(
+                            false,
+                            "stale hit: {va:#x} was unmapped by a publish \
+                             but the TLB still served it"
+                        ),
+                        (None, _) => {
+                            // Miss: walk and refill, as the kernel does.
+                            match space.translate(va, Access::Read) {
+                                Ok(t) => {
+                                    prop_assert!(model.contains_key(&va));
+                                    tlb.insert(&t);
+                                }
+                                Err(_) => prop_assert!(!model.contains_key(&va)),
+                            }
+                        }
+                    }
+                }
+                // Publish (map or swap_frame): generation advances, all
+                // micro entries tagged before it become unreachable.
+                4 => publish(space, model, va),
+                // Unmap: the retired translation must never serve again.
+                5 => {
+                    if model.remove(&va).is_some() {
+                        let mut batch = Batch::new();
+                        batch.unmap_sparse(va, 1);
+                        space.apply(batch).expect("unmap batch failed");
+                    }
+                }
+                // Stale generation read: capture the generation, publish
+                // underneath it, then probe with the captured value.
+                6 => {
+                    if space.id() != bound {
+                        continue; // fast path undefined across spaces
+                    }
+                    let stale_gen = space.generation();
+                    let before = model.clone();
+                    publish(space, model, va);
+                    match tlb.try_lookup_current(va, stale_gen) {
+                        // The TLB had already synced past the captured
+                        // generation, or the page isn't cached: fine.
+                        None | Some(None) => {}
+                        // An answer must be the *pre-publish* state —
+                        // post-publish state under a pre-publish tag
+                        // would be a torn (mixed-generation) read.
+                        Some(Some(pte)) => prop_assert_eq!(
+                            Some(&pte), before.get(&va),
+                            "probe at stale generation {} mixed in \
+                             post-publish state at {:#x}", stale_gen, va
+                        ),
+                    }
+                }
+                // Space switch (fleet-style churn): the next pinned
+                // lookup flushes and resets the cursor to 0.
+                _ => cur ^= 1,
+            }
+        }
+        // Dead-reckoning check: every model entry is still reachable
+        // through the protocol in its own space.
+        for (s, model) in spaces.iter().zip(&models) {
+            for (&va, &want) in model {
+                prop_assert_eq!(s.translate(va, Access::Read).unwrap().pte, want);
+            }
+        }
+    }
+
     /// Permissions are enforced for every flag combination.
     #[test]
     fn permission_matrix(writable in any::<bool>(), executable in any::<bool>()) {

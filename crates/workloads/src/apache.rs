@@ -48,7 +48,9 @@ fn make_app(tb: &Testbed) -> AppFn {
         };
         let n = read.unwrap_or(0);
         let mut body = vec![0u8; n];
-        let _ = kernel.space.read_bytes(&kernel.phys, buf, &mut body);
+        // Batched TLB translation for the whole payload span (vs. the
+        // old pin-per-call raw space read).
+        let _ = vm.read_bytes(buf, &mut body);
         kernel.heap.kfree(buf);
         body
     })

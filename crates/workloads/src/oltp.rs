@@ -60,7 +60,9 @@ fn make_app(tb: &Testbed) -> AppFn {
                 let _ = kernel.vfs.pread(vm, cached[table], buf, 64, off);
             }
             let mut tmp = [0u8; 8];
-            let _ = kernel.space.read_bytes(&kernel.phys, buf, &mut tmp);
+            // Through the CPU's TLB (batched translation) rather than a
+            // pin-per-call raw space read — this is ioctl-path traffic.
+            let _ = vm.read_bytes(buf, &mut tmp);
             row[(k as usize * 6) % 56..][..8].copy_from_slice(&tmp);
         }
         kernel.heap.kfree(buf);
