@@ -15,14 +15,25 @@
 //! traffic CPU's full-flush count per cycle strictly drops and partial
 //! flushes appear, with zero oracle violations — so a regression fails
 //! CI rather than shifting a curve nobody reads.
+//!
+//! Two arch-aware extensions ride along (DESIGN.md §15):
+//!
+//! * every row is priced under **both** ISA backends' invalidation
+//!   cost models (invlpg/invpcid-style vs sfence.vma-style), so the
+//!   counter mix translates into comparable modeled cycles per arch;
+//! * a **fleet-churn phase** bounces one roaming TLB across the spaces
+//!   of a 4-shard [`ShardedKernel`], tagged vs flush-on-switch, and
+//!   asserts the ASID win exactly: with tagging on, space-switch full
+//!   flushes are *zero* under shard churn (vs ≥ 1 per switch for the
+//!   ablation), and warm entries hit again on every return.
 
 use adelie_core::{LoadedModule, ModuleRegistry};
 use adelie_isa::{AluOp, Insn, Reg};
-use adelie_kernel::{Kernel, KernelConfig};
+use adelie_kernel::{FleetConfig, Kernel, KernelConfig, ShardedKernel};
 use adelie_plugin::{transform, FuncSpec, MOp, ModuleSpec, TransformOptions};
 use adelie_sched::{Policy, SchedConfig, Scheduler, SimClock};
 use adelie_testkit::LayoutOracle;
-use adelie_vmem::TlbStats;
+use adelie_vmem::{Access, ArchKind, PteFlags, Tlb, TlbStats};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
@@ -45,6 +56,15 @@ impl Outcome {
     fn full_per_cycle(&self) -> f64 {
         self.tlb.flushes as f64 / self.cycles.max(1) as f64
     }
+}
+
+/// Price a counter mix under both backends' invalidation cost models
+/// — the per-arch columns of the JSON artifact.
+fn modeled_costs(t: &TlbStats) -> (u64, u64) {
+    (
+        ArchKind::X86_64.cost_model().modeled_cycles(t),
+        ArchKind::Riscv64Sv48.cost_model().modeled_cycles(t),
+    )
 }
 
 fn fleet(registry: &Arc<ModuleRegistry>) -> Vec<Arc<LoadedModule>> {
@@ -144,16 +164,20 @@ fn run(label: &'static str, seed: u64, inval_log: usize) -> Outcome {
 }
 
 fn outcome_json(seed: u64, o: &Outcome) -> String {
+    let (cost_x86, cost_rv) = modeled_costs(&o.tlb);
     let mut s = String::new();
     let _ = write!(
         s,
         "    {{\"seed\": {seed}, \"mode\": \"{}\", \"cycles\": {}, \"full_flushes\": {}, \
-         \"partial_flushes\": {}, \"entries_invalidated\": {}, \"tlb_hits\": {}, \
-         \"tlb_misses\": {}, \"space_shootdowns\": {}, \"coalesced_shootdowns\": {}, \
-         \"full_flushes_per_cycle\": {:.4}, \"oracle_violations\": {}}}",
+         \"horizon_flushes\": {}, \"partial_flushes\": {}, \"entries_invalidated\": {}, \
+         \"tlb_hits\": {}, \"tlb_misses\": {}, \"space_shootdowns\": {}, \
+         \"coalesced_shootdowns\": {}, \"full_flushes_per_cycle\": {:.4}, \
+         \"modeled_cycles_x86_64\": {cost_x86}, \"modeled_cycles_riscv64sv48\": {cost_rv}, \
+         \"oracle_violations\": {}}}",
         o.label,
         o.cycles,
         o.tlb.flushes,
+        o.tlb.horizon_flushes,
         o.tlb.partial_flushes,
         o.tlb.entries_invalidated,
         o.tlb.hits,
@@ -162,6 +186,89 @@ fn outcome_json(seed: u64, o: &Outcome) -> String {
         o.coalesced,
         o.full_per_cycle(),
         o.violations,
+    );
+    s
+}
+
+const CHURN_SHARDS: usize = 4;
+const CHURN_ROUNDS: usize = 200;
+
+/// The fleet-churn phase: one roaming per-CPU TLB serves spaces across
+/// a 4-shard fleet round-robin — exactly what a worker thread bouncing
+/// between tenant shards does. One probe page is mapped per shard;
+/// every round looks it up in the next shard's space and refills on a
+/// miss. With ASID tagging, only the first visit to each shard may
+/// miss; every switch after that keeps warm tagged entries. The
+/// ablation flushes per switch and never gets warm.
+fn churn(label: &'static str, seed: u64, tagged: bool) -> TlbStats {
+    let fleet = ShardedKernel::new(FleetConfig::seeded(CHURN_SHARDS, seed));
+    let arch = fleet.shard(0).config.arch;
+    let mut tlb = if tagged {
+        Tlb::with_arch(arch)
+    } else {
+        Tlb::flush_on_switch(arch)
+    };
+    let vas: Vec<u64> = (0..CHURN_SHARDS)
+        .map(|i| {
+            let va = fleet.window(i).0;
+            let k = fleet.shard(i);
+            k.space.map(va, k.phys.alloc(), PteFlags::DATA).unwrap();
+            va
+        })
+        .collect();
+    for round in 0..CHURN_ROUNDS {
+        let i = round % CHURN_SHARDS;
+        let space = &fleet.shard(i).space;
+        if tlb.lookup(vas[i], space).is_none() {
+            let t = space.translate(vas[i], Access::Read).unwrap();
+            tlb.insert(&t);
+        }
+    }
+    let t = tlb.stats();
+    assert!(
+        t.switches as usize >= CHURN_ROUNDS - CHURN_SHARDS,
+        "{label}: churn must actually switch spaces ({} switches)",
+        t.switches
+    );
+    if tagged {
+        // The acceptance property (ISSUE 8): zero space-switch full
+        // flushes under fleet shard churn with tagging on — and the
+        // warm entries must actually be serving (only the first visit
+        // to each shard misses).
+        assert_eq!(
+            t.switch_flushes, 0,
+            "{label}: a tagged switch must never flush"
+        );
+        assert_eq!(t.flushes, 0, "{label}: nothing else may flush either");
+        assert_eq!(
+            t.misses as usize, CHURN_SHARDS,
+            "{label}: only first-visit misses are allowed"
+        );
+        assert_eq!(t.hits as usize, CHURN_ROUNDS - CHURN_SHARDS);
+    } else {
+        // The ablation pays ≥ 1 full flush per switch (PR 5's regime).
+        assert!(
+            t.switch_flushes >= t.switches,
+            "{label}: flush-on-switch must flush every switch \
+             ({} flushes vs {} switches)",
+            t.switch_flushes,
+            t.switches
+        );
+        assert_eq!(t.hits, 0, "{label}: the ablation can never stay warm");
+    }
+    t
+}
+
+fn churn_json(seed: u64, label: &str, t: &TlbStats) -> String {
+    let (cost_x86, cost_rv) = modeled_costs(t);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "    {{\"seed\": {seed}, \"mode\": \"{label}\", \"switches\": {}, \
+         \"switch_flushes\": {}, \"full_flushes\": {}, \"tlb_hits\": {}, \
+         \"tlb_misses\": {}, \"modeled_cycles_x86_64\": {cost_x86}, \
+         \"modeled_cycles_riscv64sv48\": {cost_rv}}}",
+        t.switches, t.switch_flushes, t.flushes, t.hits, t.misses,
     );
     s
 }
@@ -225,10 +332,49 @@ fn main() {
             range.tlb.entries_invalidated,
         );
     }
+    // Fleet-churn phase: the ASID-tagging win, measured and asserted.
+    println!(
+        "=== fleet churn: ASID-tagged vs flush-on-switch roaming TLB ({CHURN_SHARDS} shards) ==="
+    );
+    println!(
+        "{:<10} {:<16} {:>9} {:>14} {:>8} {:>8} {:>12} {:>12}",
+        "seed", "mode", "switches", "switch-flush", "hits", "misses", "cyc(x86_64)", "cyc(rv64)"
+    );
+    let mut churn_rows = Vec::new();
+    for seed in SEEDS {
+        let tagged = churn("churn_tagged", seed, true);
+        let ablation = churn("churn_flush_on_switch", seed, false);
+        for (label, t) in [
+            ("churn_tagged", &tagged),
+            ("churn_flush_on_switch", &ablation),
+        ] {
+            let (cx, cr) = modeled_costs(t);
+            println!(
+                "{:<10} {:<16} {:>9} {:>14} {:>8} {:>8} {:>12} {:>12}",
+                seed,
+                label.trim_start_matches("churn_"),
+                t.switches,
+                t.switch_flushes,
+                t.hits,
+                t.misses,
+                cx,
+                cr
+            );
+            churn_rows.push(churn_json(seed, label, t));
+        }
+        println!(
+            "  seed {seed}: switch flushes {} → 0 with tagging \
+             ({} round-trip hits recovered)",
+            ablation.switch_flushes, tagged.hits
+        );
+    }
     let json = format!(
         "{{\n  \"bench\": \"tlb_shootdown\",\n  \"modules\": {MODULES},\n  \
-         \"steps\": {STEPS},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+         \"steps\": {STEPS},\n  \"rows\": [\n{}\n  ],\n  \
+         \"churn_shards\": {CHURN_SHARDS},\n  \"churn_rounds\": {CHURN_ROUNDS},\n  \
+         \"churn_rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        churn_rows.join(",\n")
     );
     std::fs::write("BENCH_tlb_shootdown.json", &json).expect("write BENCH_tlb_shootdown.json");
     println!("wrote BENCH_tlb_shootdown.json ({} rows)", rows.len());

@@ -124,7 +124,11 @@ impl<'k> Vm<'k> {
             kernel,
             regs: [0; 16],
             flags: Flags::default(),
-            tlb: Tlb::new(),
+            tlb: if kernel.config.asid_tagging {
+                Tlb::with_arch(kernel.config.arch)
+            } else {
+                Tlb::flush_on_switch(kernel.config.arch)
+            },
             reader: kernel.space.reader(),
             native_cache: HashMap::new(),
             cpu,

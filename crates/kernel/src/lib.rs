@@ -49,7 +49,7 @@ pub use symbols::{NativeFn, SymbolTable};
 
 use adelie_reclaim::{Ebr, Hyaline, Reclaimer};
 use adelie_vmem::{AddressSpace, PhysMem, PteFlags, SpaceConfig, PAGE_SIZE};
-pub use adelie_vmem::{ReadPath, TlbStats};
+pub use adelie_vmem::{ArchKind, ReadPath, TlbStats};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -103,6 +103,16 @@ pub struct KernelConfig {
     /// brackets span whole pending driver calls — snapshot pins last
     /// one walk). EBR by default; Hyaline selectable for the ablation.
     pub snapshot_reclaimer: ReclaimerKind,
+    /// ISA backend of the kernel address space and every per-CPU TLB:
+    /// selects hardware PTE encodings, ASID width, and the TLB
+    /// invalidation cost model. Defaults to the environment-selected
+    /// arch (`ADELIE_ARCH=riscv64` picks Sv48; x86_64 otherwise).
+    pub arch: ArchKind,
+    /// Whether per-CPU TLBs keep ASID-tagged entries across space
+    /// switches (the PCID/ASID win). `false` reverts to the
+    /// flush-on-every-switch regime, kept as the measurable ablation
+    /// baseline for `BENCH_tlb_shootdown`'s fleet-churn phase.
+    pub asid_tagging: bool,
     /// `[lo, hi)` window of the randomization arena this kernel's
     /// module loads, re-randomization cycles, and randomized stacks may
     /// be placed in. Defaults to the whole arena
@@ -124,6 +134,8 @@ impl Default for KernelConfig {
             tlb_inval_log: adelie_vmem::DEFAULT_INVAL_LOG,
             read_path: ReadPath::Snapshot,
             snapshot_reclaimer: ReclaimerKind::Ebr,
+            arch: ArchKind::from_env(),
+            asid_tagging: true,
             module_window: (0, layout::MODULE_CEILING),
         }
     }
@@ -190,6 +202,8 @@ impl Kernel {
                 inval_log: config.tlb_inval_log,
                 read_path: config.read_path,
                 smr: Some(snapshot_smr),
+                arch: config.arch,
+                ..SpaceConfig::new()
             })),
             symbols: SymbolTable::new(),
             heap: Heap::new(),

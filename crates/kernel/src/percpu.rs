@@ -25,6 +25,9 @@ struct TlbCounters {
     micro_hits: AtomicU64,
     misses: AtomicU64,
     flushes: AtomicU64,
+    switches: AtomicU64,
+    switch_flushes: AtomicU64,
+    horizon_flushes: AtomicU64,
     partial_flushes: AtomicU64,
     entries_invalidated: AtomicU64,
     evictions: AtomicU64,
@@ -108,6 +111,11 @@ impl PerCpu {
         c.micro_hits.fetch_add(delta.micro_hits, Ordering::Relaxed);
         c.misses.fetch_add(delta.misses, Ordering::Relaxed);
         c.flushes.fetch_add(delta.flushes, Ordering::Relaxed);
+        c.switches.fetch_add(delta.switches, Ordering::Relaxed);
+        c.switch_flushes
+            .fetch_add(delta.switch_flushes, Ordering::Relaxed);
+        c.horizon_flushes
+            .fetch_add(delta.horizon_flushes, Ordering::Relaxed);
         c.partial_flushes
             .fetch_add(delta.partial_flushes, Ordering::Relaxed);
         c.entries_invalidated
@@ -123,6 +131,9 @@ impl PerCpu {
             out.micro_hits += c.micro_hits.load(Ordering::Relaxed);
             out.misses += c.misses.load(Ordering::Relaxed);
             out.flushes += c.flushes.load(Ordering::Relaxed);
+            out.switches += c.switches.load(Ordering::Relaxed);
+            out.switch_flushes += c.switch_flushes.load(Ordering::Relaxed);
+            out.horizon_flushes += c.horizon_flushes.load(Ordering::Relaxed);
             out.partial_flushes += c.partial_flushes.load(Ordering::Relaxed);
             out.entries_invalidated += c.entries_invalidated.load(Ordering::Relaxed);
             out.evictions += c.evictions.load(Ordering::Relaxed);
@@ -214,6 +225,9 @@ mod tests {
             hits: 10,
             micro_hits: 7,
             misses: 3,
+            switches: 4,
+            switch_flushes: 2,
+            horizon_flushes: 1,
             ..TlbStats::default()
         };
         p.record_tlb(0, &delta);
@@ -224,6 +238,9 @@ mod tests {
         assert_eq!(t.micro_hits, 21);
         assert_eq!(t.misses, 9);
         assert_eq!(t.flushes, 0);
+        assert_eq!(t.switches, 12);
+        assert_eq!(t.switch_flushes, 6);
+        assert_eq!(t.horizon_flushes, 3);
     }
 
     #[test]

@@ -201,6 +201,32 @@ mod tests {
         assert_eq!(fleet.shard_of_va(layout::MODULE_CEILING), None);
     }
 
+    /// Fleet shards inherit the template's ISA backend verbatim, and
+    /// every shard's address space carries its *own* ASID — the
+    /// precondition for a roaming TLB to keep tagged entries across
+    /// shard switches instead of flushing.
+    #[test]
+    fn shards_share_arch_but_own_distinct_asids() {
+        use adelie_vmem::ArchKind;
+        let fleet = ShardedKernel::new(FleetConfig {
+            shards: 4,
+            base: KernelConfig {
+                arch: ArchKind::Riscv64Sv48,
+                ..KernelConfig::default()
+            },
+        });
+        let mut asids = Vec::new();
+        for k in fleet.shards() {
+            assert_eq!(k.config.arch, ArchKind::Riscv64Sv48);
+            assert_eq!(k.space.arch(), ArchKind::Riscv64Sv48);
+            assert!(k.config.asid_tagging, "template default must carry over");
+            asids.push(k.space.asid());
+        }
+        asids.sort_unstable();
+        asids.dedup();
+        assert_eq!(asids.len(), 4, "every shard space needs its own ASID");
+    }
+
     #[test]
     fn same_fleet_seed_replays_identically() {
         let a = ShardedKernel::new(FleetConfig::seeded(3, 99));

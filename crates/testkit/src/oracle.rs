@@ -48,7 +48,15 @@
 //!    range the run ever vacated. A slot that kept its pre-move value
 //!    would be *callable into a retired range* — the exact bug class
 //!    lazy binding introduces on top of eager GOT re-swinging. Enable
-//!    with [`LayoutOracle::track_modules`].
+//!    with [`LayoutOracle::track_modules`];
+//! 8. **no cross-ASID serve** — TLB entries are ASID-tagged and survive
+//!    space switches (DESIGN.md §15), so the witness is additionally
+//!    probed against a deliberately *empty* foreign address space (same
+//!    ISA backend, its own ASID): an entry cached under the kernel
+//!    space's ASID must never answer a translation for the foreign
+//!    space, and — checked at quiescence, where it is deterministic —
+//!    the kernel-space entry must still hit after the ASID round trip
+//!    (tagged retention, not a silent flush-on-switch).
 //!
 //! `verify_quiesced` is deliberately *destructive reading*: it rotates
 //! the stack pools and flushes the reclaimer to force quiescence, then
@@ -57,7 +65,7 @@
 use adelie_core::{CycleCommit, CycleHooks, ModuleRegistry};
 use adelie_kernel::Kernel;
 use adelie_sched::{SchedStats, SimClock};
-use adelie_vmem::{Access, Tlb, PAGE_SIZE};
+use adelie_vmem::{Access, AddressSpace, SpaceConfig, Tlb, PAGE_SIZE};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -91,6 +99,10 @@ pub struct LayoutOracle {
     /// The stale-translation witness: a TLB warmed on every committed
     /// range and probed against every vacated one (module docs, #5).
     witness: Mutex<Tlb>,
+    /// A deliberately empty address space on the kernel's ISA backend
+    /// with its own ASID — the probe target of the cross-ASID
+    /// isolation invariant (module docs, #8).
+    foreign: AddressSpace,
     /// Registry to audit bound PLT slots against at each commit
     /// (module docs, #7). Weak: the registry owns the oracle as its
     /// cycle hooks, so a strong edge here would leak both.
@@ -100,14 +112,19 @@ pub struct LayoutOracle {
 impl LayoutOracle {
     /// An oracle timestamping against `clock`.
     pub fn new(kernel: Arc<Kernel>, clock: Arc<SimClock>) -> Arc<LayoutOracle> {
+        let arch = kernel.space.arch();
         Arc::new(LayoutOracle {
-            kernel,
             clock,
             commits: Mutex::new(Vec::new()),
             live: Mutex::new(HashMap::new()),
             violations: Mutex::new(Vec::new()),
-            witness: Mutex::new(Tlb::new()),
+            witness: Mutex::new(Tlb::with_arch(arch)),
+            foreign: AddressSpace::with_space_config(SpaceConfig {
+                arch,
+                ..SpaceConfig::new()
+            }),
             registry: Mutex::new(None),
+            kernel,
         })
     }
 
@@ -191,6 +208,33 @@ impl LayoutOracle {
             }
         }
         true
+    }
+
+    /// Module docs, #8: an entry the witness cached under the kernel
+    /// space's ASID must never serve a translation for a different
+    /// space — probed with the deliberately empty, same-arch `foreign`
+    /// space. With `strict` the kernel-space entry must additionally
+    /// survive the ASID round trip and hit again (tagged retention);
+    /// that half is only deterministic once the run has quiesced, so
+    /// per-commit probes pass `strict = false`.
+    fn probe_cross_asid(&self, va: u64, what: &str, strict: bool, out: &mut Vec<String>) {
+        let mut witness = self.witness.lock().unwrap_or_else(|e| e.into_inner());
+        if witness.lookup(va, &self.kernel.space).is_none() {
+            return; // nothing cached under the kernel ASID — nothing to leak
+        }
+        if let Some(pte) = witness.lookup(va, &self.foreign) {
+            out.push(format!(
+                "cross-ASID serve {what}: witness answered {va:#x} (pte {pte:?}) \
+                 for a space that never mapped it — an ASID-tagged entry leaked \
+                 across address spaces"
+            ));
+        }
+        if strict && witness.lookup(va, &self.kernel.space).is_none() {
+            out.push(format!(
+                "tagged retention broke {what}: the witness entry for {va:#x} did \
+                 not survive an ASID round trip in a quiesced system"
+            ));
+        }
     }
 
     /// Warm the witness TLB over `[base, base+span)` so the *next*
@@ -282,12 +326,20 @@ impl LayoutOracle {
                 }
             }
         }
-        for (module, &(base, _)) in self.live.lock().unwrap().iter() {
+        for (module, &(base, span)) in self.live.lock().unwrap().iter() {
             if self.kernel.space.translate(base, Access::Exec).is_err() {
                 violations.push(format!(
                     "current base of {module} ({base:#x}) is not executable"
                 ));
+                continue;
             }
+            // (8) Cross-ASID isolation, strict at quiescence: warm the
+            // live base under the kernel ASID, demand it never answers
+            // for the foreign space, and demand it still hits after the
+            // ASID round trip (tagged retention — nothing else can
+            // invalidate it in a quiesced system).
+            self.warm_witness(base, span.min(PAGE_SIZE as u64));
+            self.probe_cross_asid(base, "at quiescence", true, &mut violations);
         }
 
         // (7) Bound-PLT staleness at quiescence: beyond the per-commit
@@ -412,6 +464,14 @@ impl CycleHooks for LayoutOracle {
             ));
         }
         self.warm_witness(c.new_base, c.span);
+        // (8) Cross-ASID isolation at the commit boundary: the entry we
+        // just warmed for the new base is tagged with the kernel
+        // space's ASID — it must be invisible to any other space.
+        let mut leaked = Vec::new();
+        self.probe_cross_asid(c.new_base, "at commit", false, &mut leaked);
+        if !leaked.is_empty() {
+            self.violations.lock().unwrap().append(&mut leaked);
+        }
 
         // (7) Bound-PLT staleness at the commit boundary: the re-swing
         // ran before publication, so *right now* every bound slot must

@@ -13,7 +13,7 @@
 //! evolution, same oracle verdict.
 
 use adelie_drivers::specs::DUMMY_MINOR;
-use adelie_kernel::{KernelConfig, ReadPath};
+use adelie_kernel::{ArchKind, KernelConfig, ReadPath};
 use adelie_plugin::TransformOptions;
 use adelie_sched::SimClock;
 use adelie_testkit::LayoutOracle;
@@ -25,15 +25,16 @@ use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
-/// Replay the seeded trace under `read_path`; return the full
-/// observable transcript.
-fn run_trace(read_path: ReadPath, seed: u64) -> String {
+/// Replay the seeded trace under `read_path` on `arch`; return the
+/// full observable transcript.
+fn run_trace_on(read_path: ReadPath, arch: ArchKind, seed: u64) -> String {
     let tb = Testbed::with_kernel_config(
         TransformOptions::rerandomizable(true),
         DriverSet::dummy_only(),
         KernelConfig {
             seed,
             read_path,
+            arch,
             ..KernelConfig::default()
         },
     );
@@ -175,6 +176,39 @@ fn run_trace(read_path: ReadPath, seed: u64) -> String {
     let _ = writeln!(out, "oracle {:?}", report.violations);
     report.assert_clean();
     out
+}
+
+/// Replay on the default backend (what every pre-arch caller meant).
+fn run_trace(read_path: ReadPath, seed: u64) -> String {
+    run_trace_on(read_path, ArchKind::default(), seed)
+}
+
+/// The ISA backend changes how PTEs are *encoded* (hardware bit
+/// layouts, ASID widths, cost models) but must never change what the
+/// system *does*: the abstract `Pte` layer is arch-invisible, so the
+/// same seeded trace — ioctl results, translation probes, commit
+/// timeline, TLB counter evolution, oracle verdict — must be
+/// byte-identical under x86_64 and riscv64 Sv48.
+#[test]
+fn arch_backends_replay_byte_identically() {
+    for seed in [1u64, 0xA77ACC] {
+        let x86 = run_trace_on(ReadPath::Snapshot, ArchKind::X86_64, seed);
+        let rv = run_trace_on(ReadPath::Snapshot, ArchKind::Riscv64Sv48, seed);
+        if x86 != rv {
+            let diverge = x86
+                .lines()
+                .zip(rv.lines())
+                .enumerate()
+                .find(|(_, (a, b))| a != b);
+            panic!(
+                "arch backends diverged (seed {seed}) at {:?}\n\
+                 x86_64 len {} vs riscv64 len {}",
+                diverge,
+                x86.len(),
+                rv.len()
+            );
+        }
+    }
 }
 
 #[test]

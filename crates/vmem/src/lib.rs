@@ -44,6 +44,7 @@
 //! # Ok::<(), adelie_vmem::Fault>(())
 //! ```
 
+pub mod arch;
 mod batch;
 mod fault;
 mod hash;
@@ -52,6 +53,7 @@ mod space;
 mod tlb;
 
 pub use adelie_reclaim::SmrStats;
+pub use arch::{Arch, ArchKind, Asid, AsidAllocator, HwPte, PteDecodeError, TlbCostModel};
 pub use batch::Batch;
 pub use fault::{Access, Fault};
 pub use phys::{Pfn, PhysMem, PhysStats};
@@ -59,7 +61,7 @@ pub use space::{
     AddressSpace, BatchOutcome, Pte, PteFlags, PteKind, ReadPath, SpaceConfig, SpacePin,
     SpaceReader, SpaceStats, TlbSync, Translation, DEFAULT_INVAL_LOG, READER_SLOTS,
 };
-pub use tlb::{Tlb, TlbStats};
+pub use tlb::{AsidPolicy, Tlb, TlbStats};
 
 /// Page size in bytes (4 KiB, like x86-64).
 pub const PAGE_SIZE: usize = 4096;

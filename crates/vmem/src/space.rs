@@ -29,6 +29,7 @@
 //! a measurable ablation baseline — see the `translate_throughput`
 //! bench.
 
+use crate::arch::{ArchKind, Asid, HwPte};
 use crate::batch::{Batch, BatchOp};
 use crate::hash::BuildPageHasher;
 use crate::{
@@ -166,7 +167,10 @@ pub struct Translation {
 enum Entry {
     Empty,
     Table(Arc<Node>),
-    Leaf(Pte),
+    /// A leaf stored in the owning arch's *hardware* bit layout — what
+    /// a real page-table walker would see. Mutation sites encode via
+    /// [`ArchKind::encode`]; walks decode back to the abstract [`Pte`].
+    Leaf(HwPte),
 }
 
 /// One radix node of an immutable snapshot. Interior children are
@@ -213,6 +217,9 @@ struct SnapshotRoot {
     /// `va >> FLAT_SHIFT` → leaf-level node. Shares the tree's nodes —
     /// an entry is exactly the `Arc` reachable by chasing the tree.
     flat: HashMap<u64, Arc<Node>, BuildPageHasher>,
+    /// The backend whose bit layout every [`Entry::Leaf`] in this
+    /// snapshot uses (walks need it to decode).
+    arch: ArchKind,
 }
 
 /// Resolve the leaf-level node for `prefix` by chasing the tree — the
@@ -368,16 +375,27 @@ pub struct SpaceConfig {
     /// slots. This domain is distinct from the kernel's `mr_*` domain:
     /// reader pins last one walk, not one pending driver call.
     pub smr: Option<Arc<dyn Reclaimer>>,
+    /// ISA backend owning PTE encodings and the ASID value space.
+    /// Defaults to [`ArchKind::from_env`] (`ADELIE_ARCH`).
+    pub arch: ArchKind,
+    /// Explicit address-space identifier. `None` (the default)
+    /// allocates from the arch's process-wide rollover allocator;
+    /// `Some` overrides it — tests use this to force tag-value
+    /// collisions between spaces.
+    pub asid: Option<Asid>,
 }
 
 impl SpaceConfig {
     /// The default configuration: [`DEFAULT_INVAL_LOG`], snapshot read
-    /// path, dedicated EBR domain.
+    /// path, dedicated EBR domain, environment-selected arch, freshly
+    /// allocated ASID.
     pub fn new() -> SpaceConfig {
         SpaceConfig {
             inval_log: DEFAULT_INVAL_LOG,
             read_path: ReadPath::Snapshot,
             smr: None,
+            arch: ArchKind::from_env(),
+            asid: None,
         }
     }
 }
@@ -393,6 +411,8 @@ impl fmt::Debug for SpaceConfig {
         f.debug_struct("SpaceConfig")
             .field("inval_log", &self.inval_log)
             .field("read_path", &self.read_path)
+            .field("arch", &self.arch)
+            .field("asid", &self.asid)
             .finish()
     }
 }
@@ -448,6 +468,13 @@ pub struct AddressSpace {
     /// `Some` in [`ReadPath::Locked`] mode: the ablation lock readers
     /// and writers contend on.
     ablation: Option<RwLock<()>>,
+    /// ISA backend owning the leaf encodings of every snapshot this
+    /// space publishes and the meaning of its ASID.
+    arch: ArchKind,
+    /// Hardware address-space identifier ([`crate::Tlb`]s tag cached
+    /// entries with `asid.value`; `asid.rollover` disambiguates reuse
+    /// of the same value across allocator wrap-arounds).
+    asid: Asid,
 }
 
 impl Default for AddressSpace {
@@ -503,9 +530,12 @@ impl AddressSpace {
             .smr
             .unwrap_or_else(|| Arc::new(Ebr::new(READER_SLOTS)));
         let nslots = smr.slots();
+        let arch = config.arch;
+        let asid = config.asid.unwrap_or_else(|| arch.allocate_asid());
         let root = Arc::new(SnapshotRoot {
             root: Node::new(),
             flat: HashMap::default(),
+            arch,
         });
         let snapshot = AtomicPtr::new(Arc::as_ptr(&root) as *mut SnapshotRoot);
         // Ids start at 1 so a fresh TLB's 0 never matches any space.
@@ -523,7 +553,23 @@ impl AddressSpace {
             smr,
             slot_claims: (0..nslots).map(|_| AtomicBool::new(false)).collect(),
             ablation: (config.read_path == ReadPath::Locked).then(|| RwLock::new(())),
+            arch,
+            asid,
         }
+    }
+
+    /// The ISA backend this space encodes its leaves for.
+    pub fn arch(&self) -> ArchKind {
+        self.arch
+    }
+
+    /// This space's hardware address-space identifier. TLBs tag cached
+    /// entries with `asid().value`; a larger `rollover` than the TLB
+    /// last adopted means tag values may have been reused by unrelated
+    /// spaces since, so the TLB must full-flush before trusting tags
+    /// again (the Linux-style ASID-generation protocol).
+    pub fn asid(&self) -> Asid {
+        self.asid
     }
 
     /// The current TLB generation. Cached translations from earlier
@@ -772,6 +818,7 @@ impl AddressSpace {
         let new = Arc::new(SnapshotRoot {
             root: scratch,
             flat,
+            arch: self.arch,
         });
         self.snapshot
             .store(Arc::as_ptr(&new) as *mut SnapshotRoot, Ordering::SeqCst);
@@ -899,7 +946,7 @@ impl AddressSpace {
     fn map_pte(&self, va: u64, pte: Pte) -> Result<(), Fault> {
         self.check(va)?;
         let (mut st, _w, mut scratch) = self.begin();
-        map_in(&mut scratch, va, pte)?;
+        map_in(&mut scratch, va, self.arch.encode(pte))?;
         self.publish(&mut st, scratch, &mut vec![va >> FLAT_SHIFT]);
         self.stats.pages_mapped.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -918,13 +965,12 @@ impl AddressSpace {
         let mut touched = Vec::new();
         for (i, &pfn) in pfns.iter().enumerate() {
             let page_va = va + (i * PAGE_SIZE) as u64;
-            let pte = Pte {
+            let hw = self.arch.encode(Pte {
                 kind: PteKind::Frame(pfn),
                 flags,
-            };
+            });
             touched.push(page_va >> FLAT_SHIFT);
-            if let Err(fault) = check_va(page_va).and_then(|()| map_in(&mut scratch, page_va, pte))
-            {
+            if let Err(fault) = check_va(page_va).and_then(|()| map_in(&mut scratch, page_va, hw)) {
                 outcome = Err(fault);
                 break;
             }
@@ -947,7 +993,7 @@ impl AddressSpace {
     pub fn unmap(&self, va: u64) -> Result<Pte, Fault> {
         self.check(va)?;
         let (mut st, _w, mut scratch) = self.begin();
-        let pte = unmap_in(&mut scratch, va)?;
+        let pte = self.arch.decode_owned(unmap_in(&mut scratch, va)?);
         self.publish(&mut st, scratch, &mut vec![va >> FLAT_SHIFT]);
         self.stats.pages_unmapped.fetch_add(1, Ordering::Relaxed);
         self.shootdown(vec![(va, va + PAGE_SIZE as u64)]);
@@ -972,7 +1018,7 @@ impl AddressSpace {
             let page_va = va + (i * PAGE_SIZE) as u64;
             touched.push(page_va >> FLAT_SHIFT);
             match check_va(page_va).and_then(|()| unmap_in(&mut scratch, page_va)) {
-                Ok(pte) => out.push(pte),
+                Ok(hw) => out.push(self.arch.decode_owned(hw)),
                 Err(fault) => {
                     outcome = Err(fault);
                     break;
@@ -1002,8 +1048,8 @@ impl AddressSpace {
             if check_va(page_va).is_err() {
                 continue;
             }
-            if let Ok(pte) = unmap_in(&mut scratch, page_va) {
-                out.push(pte);
+            if let Ok(hw) = unmap_in(&mut scratch, page_va) {
+                out.push(self.arch.decode_owned(hw));
                 touched.push(page_va >> FLAT_SHIFT);
             }
         }
@@ -1032,11 +1078,12 @@ impl AddressSpace {
         let old = replace_in(
             &mut scratch,
             va,
-            Pte {
+            self.arch.encode(Pte {
                 kind: PteKind::Frame(pfn),
                 flags,
-            },
+            }),
         )?;
+        let old = self.arch.decode_owned(old);
         self.publish(&mut st, scratch, &mut vec![va >> FLAT_SHIFT]);
         self.shootdown(vec![(va, va + PAGE_SIZE as u64)]);
         Ok(old)
@@ -1051,7 +1098,7 @@ impl AddressSpace {
     pub fn protect(&self, va: u64, flags: PteFlags) -> Result<(), Fault> {
         self.check(va)?;
         let (mut st, _w, mut scratch) = self.begin();
-        protect_in(&mut scratch, va, flags)?;
+        protect_in(&mut scratch, va, flags, self.arch)?;
         self.publish(&mut st, scratch, &mut vec![va >> FLAT_SHIFT]);
         self.stats.protects.fetch_add(1, Ordering::Relaxed);
         self.shootdown(vec![(va, va + PAGE_SIZE as u64)]);
@@ -1075,7 +1122,7 @@ impl AddressSpace {
             let page_va = va + (i * PAGE_SIZE) as u64;
             touched.push(page_va >> FLAT_SHIFT);
             if let Err(fault) = check_va(page_va)
-                .and_then(|()| protect_in(&mut scratch, page_va, flags).map(|_| ()))
+                .and_then(|()| protect_in(&mut scratch, page_va, flags, self.arch).map(|_| ()))
             {
                 outcome = Err(fault);
                 break;
@@ -1271,19 +1318,19 @@ impl AddressSpace {
         for op in &batch.ops {
             match *op {
                 BatchOp::Map { va, pfn, flags } => {
-                    let pte = Pte {
+                    let hw = self.arch.encode(Pte {
                         kind: PteKind::Frame(pfn),
                         flags,
-                    };
+                    });
                     touched.push(va >> FLAT_SHIFT);
-                    map_in(&mut scratch, va, pte)?;
+                    map_in(&mut scratch, va, hw)?;
                     mapped += 1;
                 }
                 BatchOp::UnmapRange { va, pages } => {
                     for i in 0..pages {
                         let page_va = va + (i * PAGE_SIZE) as u64;
                         touched.push(page_va >> FLAT_SHIFT);
-                        removed.push(unmap_in(&mut scratch, page_va)?);
+                        removed.push(self.arch.decode_owned(unmap_in(&mut scratch, page_va)?));
                         unmapped += 1;
                     }
                     spans.push((va, va + (pages * PAGE_SIZE) as u64));
@@ -1293,8 +1340,8 @@ impl AddressSpace {
                     for i in 0..pages {
                         let page_va = va + (i * PAGE_SIZE) as u64;
                         touched.push(page_va >> FLAT_SHIFT);
-                        if let Ok(pte) = unmap_in(&mut scratch, page_va) {
-                            removed.push(pte);
+                        if let Ok(hw) = unmap_in(&mut scratch, page_va) {
+                            removed.push(self.arch.decode_owned(hw));
                             unmapped += 1;
                         }
                     }
@@ -1305,19 +1352,19 @@ impl AddressSpace {
                     for i in 0..pages {
                         let page_va = va + (i * PAGE_SIZE) as u64;
                         touched.push(page_va >> FLAT_SHIFT);
-                        protect_in(&mut scratch, page_va, flags)?;
+                        protect_in(&mut scratch, page_va, flags, self.arch)?;
                         protects += 1;
                     }
                     spans.push((va, va + (pages * PAGE_SIZE) as u64));
                     legacy_shootdowns += pages as u64;
                 }
                 BatchOp::SwapFrame { va, pfn, flags } => {
-                    let pte = Pte {
+                    let hw = self.arch.encode(Pte {
                         kind: PteKind::Frame(pfn),
                         flags,
-                    };
+                    });
                     touched.push(va >> FLAT_SHIFT);
-                    removed.push(replace_in(&mut scratch, va, pte)?);
+                    removed.push(self.arch.decode_owned(replace_in(&mut scratch, va, hw)?));
                     spans.push((va, va + PAGE_SIZE as u64));
                     legacy_shootdowns += 1;
                 }
@@ -1536,7 +1583,7 @@ fn walk(snap: &SnapshotRoot, va: u64, access: Access) -> Result<Translation, Fau
     #[cfg(debug_assertions)]
     assert_eq!(
         res,
-        walk_tree(&snap.root, va, access),
+        walk_tree(&snap.root, snap.arch, va, access),
         "flat leaf directory diverged from the radix tree at {va:#x}"
     );
     res
@@ -1545,7 +1592,7 @@ fn walk(snap: &SnapshotRoot, va: u64, access: Access) -> Result<Translation, Fau
 fn walk_flat(snap: &SnapshotRoot, va: u64, access: Access) -> Result<Translation, Fault> {
     let pte = match snap.flat.get(&(va >> FLAT_SHIFT)) {
         Some(leaf) => match &leaf.slots[level_index(va, LEVELS - 1)] {
-            Entry::Leaf(pte) => *pte,
+            Entry::Leaf(hw) => snap.arch.decode_owned(*hw),
             _ => return Err(Fault::Unmapped { va }),
         },
         None => return Err(Fault::Unmapped { va }),
@@ -1561,7 +1608,7 @@ fn walk_flat(snap: &SnapshotRoot, va: u64, access: Access) -> Result<Translation
 /// ground-truth structure writers mutate. The debug-build cross-check
 /// in [`walk`] compares the directory against this on every lookup.
 #[cfg(debug_assertions)]
-fn walk_tree(root: &Node, va: u64, access: Access) -> Result<Translation, Fault> {
+fn walk_tree(root: &Node, arch: ArchKind, va: u64, access: Access) -> Result<Translation, Fault> {
     let mut cur: &Node = root;
     for level in 0..LEVELS - 1 {
         cur = match &cur.slots[level_index(va, level)] {
@@ -1570,7 +1617,7 @@ fn walk_tree(root: &Node, va: u64, access: Access) -> Result<Translation, Fault>
         };
     }
     let pte = match &cur.slots[level_index(va, LEVELS - 1)] {
-        Entry::Leaf(pte) => *pte,
+        Entry::Leaf(hw) => arch.decode_owned(*hw),
         _ => return Err(Fault::Unmapped { va }),
     };
     check_access(va, &pte, access)?;
@@ -1621,9 +1668,9 @@ fn owned(t: &mut Arc<Node>) -> &mut Node {
     Arc::get_mut(t).expect("fresh node is uniquely owned")
 }
 
-/// Map `pte` at `va` in the scratch tree, creating (or path-copying)
-/// intermediate tables.
-fn map_in(root: &mut Node, va: u64, pte: Pte) -> Result<(), Fault> {
+/// Map the arch-encoded leaf `hw` at `va` in the scratch tree,
+/// creating (or path-copying) intermediate tables.
+fn map_in(root: &mut Node, va: u64, hw: HwPte) -> Result<(), Fault> {
     let mut cur: &mut Node = root;
     for level in 0..LEVELS - 1 {
         let idx = level_index(va, level);
@@ -1643,7 +1690,7 @@ fn map_in(root: &mut Node, va: u64, pte: Pte) -> Result<(), Fault> {
     let idx = level_index(va, LEVELS - 1);
     match &mut cur.slots[idx] {
         slot @ Entry::Empty => {
-            *slot = Entry::Leaf(pte);
+            *slot = Entry::Leaf(hw);
             Ok(())
         }
         _ => Err(Fault::AlreadyMapped { va }),
@@ -1652,36 +1699,36 @@ fn map_in(root: &mut Node, va: u64, pte: Pte) -> Result<(), Fault> {
 
 /// Remove the leaf at `va` from the scratch tree, path-copying on the
 /// way down and pruning empty tables on the way up.
-fn unmap_in(root: &mut Node, va: u64) -> Result<Pte, Fault> {
-    fn remove(cur: &mut Node, va: u64, level: u32) -> Result<Pte, Fault> {
+fn unmap_in(root: &mut Node, va: u64) -> Result<HwPte, Fault> {
+    fn remove(cur: &mut Node, va: u64, level: u32) -> Result<HwPte, Fault> {
         let idx = level_index(va, level);
         if level == LEVELS - 1 {
             return match std::mem::replace(&mut cur.slots[idx], Entry::Empty) {
-                Entry::Leaf(pte) => Ok(pte),
+                Entry::Leaf(hw) => Ok(hw),
                 other => {
                     cur.slots[idx] = other;
                     Err(Fault::Unmapped { va })
                 }
             };
         }
-        let pte = match &mut cur.slots[idx] {
+        let hw = match &mut cur.slots[idx] {
             Entry::Table(t) => {
                 let node = owned(t);
-                let pte = remove(node, va, level + 1)?;
+                let hw = remove(node, va, level + 1)?;
                 if !node.is_empty() {
-                    return Ok(pte);
+                    return Ok(hw);
                 }
-                pte
+                hw
             }
             _ => return Err(Fault::Unmapped { va }),
         };
         cur.slots[idx] = Entry::Empty;
-        Ok(pte)
+        Ok(hw)
     }
     remove(root, va, 0)
 }
 
-fn leaf_mut(root: &mut Node, va: u64) -> Result<&mut Pte, Fault> {
+fn leaf_mut(root: &mut Node, va: u64) -> Result<&mut HwPte, Fault> {
     let mut cur: &mut Node = root;
     for level in 0..LEVELS - 1 {
         cur = match &mut cur.slots[level_index(va, level)] {
@@ -1690,23 +1737,32 @@ fn leaf_mut(root: &mut Node, va: u64) -> Result<&mut Pte, Fault> {
         };
     }
     match &mut cur.slots[level_index(va, LEVELS - 1)] {
-        Entry::Leaf(pte) => Ok(pte),
+        Entry::Leaf(hw) => Ok(hw),
         _ => Err(Fault::Unmapped { va }),
     }
 }
 
 /// Change the permissions of the leaf at `va` in the scratch tree,
-/// returning the old flags.
-fn protect_in(root: &mut Node, va: u64, flags: PteFlags) -> Result<PteFlags, Fault> {
-    let pte = leaf_mut(root, va)?;
-    Ok(std::mem::replace(&mut pte.flags, flags))
+/// returning the old flags. Decodes the stored encoding, swaps the
+/// abstract flags, and re-encodes under the same arch.
+fn protect_in(
+    root: &mut Node,
+    va: u64,
+    flags: PteFlags,
+    arch: ArchKind,
+) -> Result<PteFlags, Fault> {
+    let hw = leaf_mut(root, va)?;
+    let mut pte = arch.decode_owned(*hw);
+    let old = std::mem::replace(&mut pte.flags, flags);
+    *hw = arch.encode(pte);
+    Ok(old)
 }
 
-/// Swap the leaf at `va` for `new` in the scratch tree, returning the
-/// old leaf.
-fn replace_in(root: &mut Node, va: u64, new: Pte) -> Result<Pte, Fault> {
-    let pte = leaf_mut(root, va)?;
-    Ok(std::mem::replace(pte, new))
+/// Swap the leaf at `va` for the arch-encoded `new` in the scratch
+/// tree, returning the old encoded leaf.
+fn replace_in(root: &mut Node, va: u64, new: HwPte) -> Result<HwPte, Fault> {
+    let hw = leaf_mut(root, va)?;
+    Ok(std::mem::replace(hw, new))
 }
 
 fn check_access(va: u64, pte: &Pte, access: Access) -> Result<(), Fault> {
@@ -1737,6 +1793,8 @@ impl fmt::Debug for AddressSpace {
         f.debug_struct("AddressSpace")
             .field("generation", &self.generation())
             .field("read_path", &self.read_path())
+            .field("arch", &self.arch)
+            .field("asid", &self.asid)
             .field("stats", &self.stats())
             .finish()
     }
@@ -2256,7 +2314,7 @@ mod tests {
             let snap = unsafe { &*space.snapshot.load(Ordering::SeqCst) };
             assert_eq!(
                 walk_flat(snap, va, access),
-                walk_tree(&snap.root, va, access),
+                walk_tree(&snap.root, snap.arch, va, access),
                 "flat/tree divergence at {va:#x}"
             );
         };
