@@ -58,6 +58,23 @@ pub enum FleetError {
     /// state copy (the migration is committed; pointer refresh is in
     /// doubt, mirroring `RerandError::UpdatePointers`).
     UpdatePointers(String),
+    /// Admission control refused the target shard: it is at its module
+    /// cap. Pick another shard or unload something first.
+    Overloaded {
+        /// The refused shard.
+        shard: usize,
+        /// Modules it currently holds.
+        modules: usize,
+        /// The configured cap ([`AdmissionConfig::max_modules_per_shard`]).
+        limit: usize,
+    },
+    /// Backpressure: the fleet's repair queue is saturated (it is busy
+    /// re-converging after faults). Retry after draining — `after_ns`
+    /// is the suggested wait on the caller's clock.
+    RetryAfter {
+        /// Suggested wait before retrying, in nanoseconds.
+        after_ns: u64,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -72,6 +89,17 @@ impl fmt::Display for FleetError {
             FleetError::Unload(e) => write!(f, "source unload failed: {e}"),
             FleetError::UpdatePointers(e) => {
                 write!(f, "destination update_pointers failed: {e}")
+            }
+            FleetError::Overloaded {
+                shard,
+                modules,
+                limit,
+            } => write!(
+                f,
+                "shard {shard} overloaded: {modules} modules at cap {limit}"
+            ),
+            FleetError::RetryAfter { after_ns } => {
+                write!(f, "fleet busy repairing; retry after {after_ns} ns")
             }
         }
     }
@@ -200,6 +228,64 @@ struct InstallRecord {
     opts: TransformOptions,
 }
 
+/// Admission-control limits on fleet mutations (ROADMAP item 4's
+/// "admission control + backpressure on the install catalog").
+#[derive(Copy, Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Most modules one shard may hold; installs and migrations into a
+    /// fuller shard fail with [`FleetError::Overloaded`].
+    pub max_modules_per_shard: usize,
+    /// Most half-repaired modules the repair queue may hold before
+    /// install/migrate push back with [`FleetError::RetryAfter`] — a
+    /// fleet drowning in fault recovery stops admitting new work.
+    pub max_pending_repairs: usize,
+    /// Base repair-retry delay, in ns (doubles per attempt), and the
+    /// wait suggested by [`FleetError::RetryAfter`].
+    pub retry_after_ns: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_modules_per_shard: 4096,
+            max_pending_repairs: 64,
+            retry_after_ns: 1_000_000,
+        }
+    }
+}
+
+/// One half-migrated module awaiting background repair: `migrate`'s
+/// make-before-break committed the destination copy, but retiring the
+/// source copy failed, leaving an orphan in the source shard.
+struct RepairTask {
+    module: String,
+    /// The shard holding the orphaned copy.
+    shard: usize,
+    /// Unload attempts so far (drives backoff and the force threshold).
+    attempts: u32,
+    /// Not retried before this clock time (caller-supplied ns).
+    next_ns: u64,
+}
+
+/// Graceful repair attempts before [`ModuleRegistry::force_unload`]
+/// (skipping the module's exit) becomes the last resort.
+const REPAIR_FORCE_AFTER: u32 = 3;
+
+/// What [`Fleet::recover_shard`] did.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// The recovered shard.
+    pub shard: usize,
+    /// Modules torn down and rebuilt from the install catalog, sorted.
+    pub rebuilt: Vec<String>,
+    /// Modules that could not be rebuilt, with the error — their
+    /// catalog records are dropped (the fleet no longer serves them).
+    pub failed: Vec<(String, String)>,
+    /// Every `(base, span_bytes)` the rebuild unmapped — the oracle
+    /// probes these to prove no stale mapping survived.
+    pub vacated: Vec<(u64, u64)>,
+}
+
 /// The fleet: per-shard registries + placement + the install catalog.
 pub struct Fleet {
     sharded: Arc<ShardedKernel>,
@@ -209,17 +295,33 @@ pub struct Fleet {
     /// placement decisions see a consistent view. Traffic and
     /// re-randomization never take it.
     catalog: Mutex<HashMap<Arc<str>, InstallRecord>>,
+    /// Half-migrated orphans awaiting background unload retries. Lock
+    /// order: `catalog` before `repairs`, never the reverse.
+    repairs: Mutex<Vec<RepairTask>>,
+    admission: AdmissionConfig,
 }
 
 impl Fleet {
-    /// A fleet over `sharded` placing modules with `placement`.
+    /// A fleet over `sharded` placing modules with `placement`, under
+    /// default admission limits.
     pub fn new(sharded: Arc<ShardedKernel>, placement: Box<dyn ShardPlacement>) -> Fleet {
+        Fleet::with_admission(sharded, placement, AdmissionConfig::default())
+    }
+
+    /// [`Fleet::new`] with explicit admission-control limits.
+    pub fn with_admission(
+        sharded: Arc<ShardedKernel>,
+        placement: Box<dyn ShardPlacement>,
+        admission: AdmissionConfig,
+    ) -> Fleet {
         let registries = sharded.shards().iter().map(ModuleRegistry::new).collect();
         Fleet {
             sharded,
             registries,
             placement,
             catalog: Mutex::new(HashMap::new()),
+            repairs: Mutex::new(Vec::new()),
+            admission,
         }
     }
 
@@ -369,7 +471,10 @@ impl Fleet {
     /// [`FleetError::DuplicateModule`] when the name is already
     /// installed (replacing the record would orphan the old copy);
     /// [`FleetError::UnknownShard`] when the placement policy names a
-    /// shard the fleet does not have.
+    /// shard the fleet does not have;
+    /// [`FleetError::Overloaded`] when the chosen shard is at its
+    /// module cap; [`FleetError::RetryAfter`] when the repair queue is
+    /// saturated (admission control — see [`AdmissionConfig`]).
     pub fn install(
         &self,
         obj: &ObjectFile,
@@ -379,10 +484,18 @@ impl Fleet {
         if catalog.contains_key(obj.name.as_str()) {
             return Err(FleetError::DuplicateModule(obj.name.clone()));
         }
+        self.admit()?;
         let loads = self.loads_locked(&catalog);
         let shard = self.placement.place(&obj.name, &loads);
         if shard >= loads.len() {
             return Err(FleetError::UnknownShard(shard));
+        }
+        if loads[shard].modules >= self.admission.max_modules_per_shard {
+            return Err(FleetError::Overloaded {
+                shard,
+                modules: loads[shard].modules,
+                limit: self.admission.max_modules_per_shard,
+            });
         }
         let module = self.registries[shard].load(obj, opts)?;
         catalog.insert(
@@ -409,7 +522,8 @@ impl Fleet {
     ///
     /// [`FleetError`] — on a load failure the source copy is untouched
     /// and still serving; on an unload failure the destination copy is
-    /// live and the catalog points at it.
+    /// live, the catalog points at it, and the orphaned source copy is
+    /// queued for background repair (see [`Fleet::run_repairs`]).
     pub fn migrate(&self, name: &str, dst: usize) -> Result<Arc<LoadedModule>, FleetError> {
         if dst >= self.registries.len() {
             return Err(FleetError::UnknownShard(dst));
@@ -424,6 +538,15 @@ impl Fleet {
             .ok_or_else(|| FleetError::UnknownModule(name.to_string()))?;
         if src == dst {
             return Ok(src_module);
+        }
+        self.admit()?;
+        let dst_load = self.loads_locked(&catalog)[dst].modules;
+        if dst_load >= self.admission.max_modules_per_shard {
+            return Err(FleetError::Overloaded {
+                shard: dst,
+                modules: dst_load,
+                limit: self.admission.max_modules_per_shard,
+            });
         }
         let (obj, opts) = (rec.obj.clone(), rec.opts);
 
@@ -478,13 +601,182 @@ impl Fleet {
             },
         );
         drop(src_module);
-        self.registries[src]
-            .unload(name)
-            .map_err(FleetError::Unload)?;
+        if let Err(e) = self.registries[src].unload(name) {
+            // Half-migrated: the destination copy serves and the
+            // catalog points at it, but the source shard still holds an
+            // orphaned copy. Queue it for background repair (retried
+            // with backoff by `run_repairs`) instead of stranding it.
+            self.repairs.lock().push(RepairTask {
+                module: name.to_string(),
+                shard: src,
+                attempts: 0,
+                next_ns: 0,
+            });
+            self.sharded.shard(src).printk.log(format!(
+                "fleet: {name} orphaned on shard {src} after migrate \
+                 (unload failed: {e}); queued for repair"
+            ));
+            return Err(FleetError::Unload(e));
+        }
         dst_kernel
             .printk
             .log(format!("fleet: {name} migrated shard {src} -> shard {dst}"));
         update_result.map(|()| dst_module)
+    }
+
+    /// Admission gate shared by install and migrate: a repair queue at
+    /// capacity means the fleet is drowning in fault recovery — push
+    /// back instead of admitting more work.
+    fn admit(&self) -> Result<(), FleetError> {
+        if self.repairs.lock().len() >= self.admission.max_pending_repairs {
+            return Err(FleetError::RetryAfter {
+                after_ns: self.admission.retry_after_ns,
+            });
+        }
+        Ok(())
+    }
+
+    /// Half-migrated orphans still awaiting background repair.
+    pub fn pending_repairs(&self) -> usize {
+        self.repairs.lock().len()
+    }
+
+    /// Run the background repair queue at time `now_ns` (on whatever
+    /// clock the caller drives — wall in production, virtual under the
+    /// testkit): every due task retries its orphan unload, gracefully
+    /// at first and via [`ModuleRegistry::force_unload`] once
+    /// `REPAIR_FORCE_AFTER` graceful attempts failed; failures re-queue
+    /// with exponential backoff. Returns the number of orphans
+    /// repaired.
+    pub fn run_repairs(&self, now_ns: u64) -> usize {
+        // Lock order: catalog before repairs.
+        let _catalog = self.catalog.lock();
+        let mut repairs = self.repairs.lock();
+        let mut repaired = 0;
+        let mut keep = Vec::new();
+        for mut task in repairs.drain(..) {
+            if task.next_ns > now_ns {
+                keep.push(task);
+                continue;
+            }
+            let registry = &self.registries[task.shard];
+            if registry.get(&task.module).is_none() {
+                // Already gone (a shard rebuild swept it); done.
+                repaired += 1;
+                continue;
+            }
+            let force = task.attempts >= REPAIR_FORCE_AFTER;
+            let result = if force {
+                registry.force_unload(&task.module)
+            } else {
+                registry.unload(&task.module)
+            };
+            match result {
+                Ok(()) => {
+                    self.sharded.shard(task.shard).printk.log(format!(
+                        "fleet: repaired orphan {} on shard {} (attempt {}{})",
+                        task.module,
+                        task.shard,
+                        task.attempts + 1,
+                        if force { ", forced" } else { "" }
+                    ));
+                    repaired += 1;
+                }
+                Err(e) => {
+                    task.attempts = task.attempts.saturating_add(1);
+                    let backoff = self
+                        .admission
+                        .retry_after_ns
+                        .saturating_mul(1u64 << task.attempts.min(16));
+                    task.next_ns = now_ns.saturating_add(backoff);
+                    self.sharded.shard(task.shard).printk.log_limited(
+                        &format!("fleet-repair:{}", task.module),
+                        format!(
+                            "fleet: repair of {} on shard {} failed ({e}); \
+                             retrying at +{backoff} ns",
+                            task.module, task.shard
+                        ),
+                    );
+                    keep.push(task);
+                }
+            }
+        }
+        *repairs = keep;
+        repaired
+    }
+
+    /// Crash-recover shard `shard`: tear down every module it holds
+    /// (forced — a crashed shard's exits don't get a vote) and rebuild
+    /// each from the install catalog's stored object + options, in
+    /// name order (deterministic). The shard's pending repair tasks
+    /// are swept with it. Callers drive this from a
+    /// [`ShardWatchdog`](crate::ShardWatchdog) verdict, then rebuild
+    /// the shard's scheduler group.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownShard`]. Per-module rebuild failures are
+    /// reported in the [`RecoveryReport`], not as an error — recovery
+    /// salvages what it can.
+    pub fn recover_shard(&self, shard: usize) -> Result<RecoveryReport, FleetError> {
+        if shard >= self.registries.len() {
+            return Err(FleetError::UnknownShard(shard));
+        }
+        let mut catalog = self.catalog.lock();
+        let mut names: Vec<Arc<str>> = catalog
+            .iter()
+            .filter(|(_, rec)| rec.shard == shard)
+            .map(|(n, _)| n.clone())
+            .collect();
+        names.sort();
+        let registry = &self.registries[shard];
+        let kernel = self.sharded.shard(shard);
+        let mut report = RecoveryReport {
+            shard,
+            ..RecoveryReport::default()
+        };
+        for name in names {
+            // Record the spans the teardown vacates: the layout oracle
+            // probes them to prove no stale mapping survives rebuild.
+            if let Some(m) = registry.get(&name) {
+                let base = m.movable_base.load(Ordering::Acquire);
+                report
+                    .vacated
+                    .push((base, (m.movable.total_pages * PAGE_SIZE) as u64));
+                if let Some(imm) = &m.immovable {
+                    report
+                        .vacated
+                        .push((imm.base, (imm.total_pages * PAGE_SIZE) as u64));
+                }
+                if let Err(e) = registry.force_unload(&name) {
+                    // Retire batch failed: the old mappings survive and
+                    // their frames are withheld. Reloading on top would
+                    // double-serve the name, so drop the module from
+                    // the fleet entirely.
+                    report.failed.push((name.to_string(), e));
+                    catalog.remove(&name);
+                    continue;
+                }
+            }
+            let rec = catalog
+                .get(&name)
+                .expect("catalog record exists for its own shard listing");
+            match registry.load(&rec.obj, &rec.opts) {
+                Ok(_) => report.rebuilt.push(name.to_string()),
+                Err(e) => {
+                    report.failed.push((name.to_string(), e.to_string()));
+                    catalog.remove(&name);
+                }
+            }
+        }
+        // The rebuild swept the shard clean; its orphan tasks are moot.
+        self.repairs.lock().retain(|t| t.shard != shard);
+        kernel.printk.log(format!(
+            "fleet: shard {shard} recovered ({} rebuilt, {} failed)",
+            report.rebuilt.len(),
+            report.failed.len()
+        ));
+        Ok(report)
     }
 
     /// Unload `name` from whichever shard owns it.
@@ -788,6 +1080,167 @@ mod tests {
             .unwrap();
         assert_eq!(vm.call(entry, &[]).unwrap(), 1);
         assert!(matches!(fleet.unload("stuck"), Err(FleetError::Unload(_))));
+    }
+
+    /// The half-migrated orphan (migrate committed the destination,
+    /// source unload failed) lands on the repair queue, backpressures
+    /// admission while queued, survives graceful retries against a
+    /// trapping exit, and is finally force-unloaded — source spans
+    /// vacated, queue drained.
+    #[test]
+    fn migrate_orphan_is_repaired_with_backoff_and_force() {
+        let fleet = Fleet::with_admission(
+            adelie_kernel::ShardedKernel::new(FleetConfig::seeded(2, 11)),
+            Box::new(RoundRobin::new()),
+            AdmissionConfig {
+                max_pending_repairs: 1,
+                retry_after_ns: 1_000,
+                ..AdmissionConfig::default()
+            },
+        );
+        let opts = TransformOptions::rerandomizable(true);
+        let mut spec = stateful_spec("orph");
+        spec.funcs
+            .push(FuncSpec::exported("orph_exit", vec![MOp::Insn(Insn::Ud2)]));
+        spec.exit = Some("orph_exit".into());
+        let obj = transform(&spec, &opts).unwrap();
+        let (src, module) = fleet.install(&obj, &opts).unwrap();
+        let old_mov = module.movable_base.load(Ordering::Acquire);
+        let old_imm = module.immovable.as_ref().unwrap().base;
+        drop(module);
+        let dst = 1 - src;
+        match fleet.migrate("orph", dst) {
+            Err(FleetError::Unload(e)) => assert!(e.contains("exit failed"), "{e}"),
+            other => panic!("trapping source exit must orphan, got {other:?}"),
+        }
+        // Catalog points at the live destination copy; the orphan is
+        // queued and the queue (at its cap of 1) pushes back on new
+        // installs with RetryAfter.
+        assert_eq!(fleet.shard_of("orph"), Some(dst));
+        assert_eq!(fleet.pending_repairs(), 1);
+        let other_obj = transform(&stateful_spec("late"), &opts).unwrap();
+        match fleet.install(&other_obj, &opts) {
+            Err(FleetError::RetryAfter { after_ns }) => assert_eq!(after_ns, 1_000),
+            other => panic!("saturated repair queue must backpressure, got {other:?}"),
+        }
+        // Graceful repair attempts keep hitting the trapping exit; each
+        // failure re-queues with a bigger backoff, and a not-yet-due
+        // task is left alone.
+        let mut now = 0u64;
+        for _ in 0..REPAIR_FORCE_AFTER {
+            assert_eq!(fleet.run_repairs(now), 0);
+            assert_eq!(fleet.pending_repairs(), 1);
+            assert_eq!(fleet.run_repairs(now), 0, "backed off, not due yet");
+            now += 1_000 * (1 << 17); // beyond any backoff in this test
+        }
+        // The next due attempt is forced (exit skipped): the orphan's
+        // mappings vanish and the queue drains.
+        assert_eq!(fleet.run_repairs(now), 1);
+        assert_eq!(fleet.pending_repairs(), 0);
+        let src_kernel = fleet.kernel(src);
+        assert!(src_kernel.space.translate(old_mov, Access::Read).is_err());
+        assert!(src_kernel.space.translate(old_imm, Access::Read).is_err());
+        assert!(fleet.registry(src).get("orph").is_none());
+        // Admission reopens once the queue drains.
+        fleet.install(&other_obj, &opts).unwrap();
+        assert!(fleet.verify_layout().is_empty());
+        assert!(fleet.verify_symbol_integrity().is_empty());
+    }
+
+    /// Crash recovery rebuilds a shard's modules from the install
+    /// catalog: old spans are vacated, fresh copies serve, and the
+    /// catalog keeps its tenancy.
+    #[test]
+    fn recover_shard_rebuilds_from_the_catalog() {
+        let mut pins = HashMap::new();
+        pins.insert("ra".to_string(), 0);
+        pins.insert("rb".to_string(), 0);
+        pins.insert("rc".to_string(), 1);
+        let fleet = fleet(2, Box::new(Pinned::new(pins, 0)));
+        let opts = TransformOptions::rerandomizable(true);
+        for name in ["ra", "rb", "rc"] {
+            let obj = transform(&stateful_spec(name), &opts).unwrap();
+            fleet.install(&obj, &opts).unwrap();
+        }
+        let kernel = fleet.kernel(0).clone();
+        let bump = fleet
+            .registry(0)
+            .get("ra")
+            .unwrap()
+            .export("ra_bump")
+            .unwrap();
+        let mut vm = kernel.vm();
+        assert_eq!(vm.call(bump, &[]).unwrap(), 1);
+        drop(vm);
+        let spans_before = fleet.live_spans();
+
+        let report = fleet.recover_shard(0).unwrap();
+        assert_eq!(report.rebuilt, vec!["ra".to_string(), "rb".to_string()]);
+        assert!(report.failed.is_empty());
+        // One movable + one immovable span per rebuilt module vacated,
+        // and none of them still translate.
+        assert_eq!(report.vacated.len(), 4);
+        for &(base, _) in &report.vacated {
+            assert!(
+                kernel.space.translate(base, Access::Read).is_err(),
+                "stale mapping survived rebuild at {base:#x}"
+            );
+        }
+        // Tenancy unchanged; shard 1 untouched; fresh copies serve
+        // (crash recovery rebuilds from the recipe — state restarts).
+        assert_eq!(fleet.shard_of("ra"), Some(0));
+        assert_eq!(fleet.shard_of("rc"), Some(1));
+        let spans_after = fleet.live_spans();
+        assert_eq!(spans_after.len(), spans_before.len());
+        let bump = fleet
+            .registry(0)
+            .get("ra")
+            .unwrap()
+            .export("ra_bump")
+            .unwrap();
+        let mut vm = kernel.vm();
+        assert_eq!(vm.call(bump, &[]).unwrap(), 1, "rebuilt state restarts");
+        assert!(fleet.verify_layout().is_empty());
+        assert!(fleet.verify_symbol_integrity().is_empty());
+        // Recovering an unknown shard is a typed error.
+        assert!(matches!(
+            fleet.recover_shard(9),
+            Err(FleetError::UnknownShard(9))
+        ));
+    }
+
+    /// Admission control: a shard at its module cap refuses installs
+    /// and inbound migrations with a typed `Overloaded`.
+    #[test]
+    fn admission_caps_shard_occupancy() {
+        let fleet = Fleet::with_admission(
+            adelie_kernel::ShardedKernel::new(FleetConfig::seeded(2, 11)),
+            Box::new(RoundRobin::new()),
+            AdmissionConfig {
+                max_modules_per_shard: 1,
+                ..AdmissionConfig::default()
+            },
+        );
+        let opts = TransformOptions::rerandomizable(true);
+        for name in ["a0", "a1"] {
+            let obj = transform(&stateful_spec(name), &opts).unwrap();
+            fleet.install(&obj, &opts).unwrap();
+        }
+        let obj = transform(&stateful_spec("a2"), &opts).unwrap();
+        match fleet.install(&obj, &opts) {
+            Err(FleetError::Overloaded {
+                shard,
+                modules: 1,
+                limit: 1,
+            }) => assert_eq!(shard, 0, "round-robin wraps to the full shard"),
+            other => panic!("cap must refuse the install, got {other:?}"),
+        }
+        let dst = fleet.shard_of("a1").map(|s| 1 - s).unwrap();
+        match fleet.migrate("a1", dst) {
+            Err(FleetError::Overloaded { shard, .. }) => assert_eq!(shard, dst),
+            other => panic!("cap must refuse the migration, got {other:?}"),
+        }
+        assert!(fleet.verify_layout().is_empty());
     }
 
     #[test]

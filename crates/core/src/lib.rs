@@ -48,9 +48,13 @@ mod loader;
 mod module;
 mod rerand;
 mod stacks;
+mod supervise;
 mod va;
 
-pub use fleet::{Fleet, FleetError, LoadWeighted, Pinned, RoundRobin, ShardLoad, ShardPlacement};
+pub use fleet::{
+    AdmissionConfig, Fleet, FleetError, LoadWeighted, Pinned, RecoveryReport, RoundRobin,
+    ShardLoad, ShardPlacement,
+};
 pub use hooks::{CycleCommit, CycleHooks, CycleStage};
 pub use loader::{LoadError, Loader};
 pub use module::{
@@ -58,6 +62,7 @@ pub use module::{
 };
 pub use rerand::{log_stats, rerandomize_module, rerandomize_module_epoch, RerandError};
 pub use stacks::{StackPool, StackStats};
+pub use supervise::ShardWatchdog;
 
 use adelie_kernel::{layout, Kernel};
 use adelie_obj::ObjectFile;
@@ -177,6 +182,26 @@ impl ModuleRegistry {
     ///
     /// Textual error for unknown modules or a failing exit function.
     pub fn unload(&self, name: &str) -> Result<(), String> {
+        self.unload_inner(name, true)
+    }
+
+    /// Unload a module *without* running its exit entry point — the
+    /// crash-recovery teardown. A module whose exit traps every time
+    /// would otherwise wedge graceful [`ModuleRegistry::unload`]
+    /// forever; shard rebuild and the fleet repair queue's last resort
+    /// skip the exit and reclaim the mappings anyway.
+    ///
+    /// # Errors
+    ///
+    /// Textual error for unknown modules or a failed retire batch.
+    pub fn force_unload(&self, name: &str) -> Result<(), String> {
+        self.kernel
+            .printk
+            .log(format!("module {name}: force-unload (exit skipped)"));
+        self.unload_inner(name, false)
+    }
+
+    fn unload_inner(&self, name: &str, run_exit: bool) -> Result<(), String> {
         // Run the exit entry *before* unpublishing anything: a failing
         // exit leaves the module fully registered and retryable, not
         // stranded mapped-but-invisible.
@@ -186,10 +211,12 @@ impl ModuleRegistry {
             .get(name)
             .cloned()
             .ok_or_else(|| format!("no module `{name}`"))?;
-        if let Some(exit) = module.exit_va {
-            let mut vm = self.kernel.vm();
-            vm.call(exit, &[])
-                .map_err(|e| format!("exit failed: {e}"))?;
+        if run_exit {
+            if let Some(exit) = module.exit_va {
+                let mut vm = self.kernel.vm();
+                vm.call(exit, &[])
+                    .map_err(|e| format!("exit failed: {e}"))?;
+            }
         }
         if self.modules.write().remove(name).is_none() {
             return Err(format!("no module `{name}` (concurrent unload)"));

@@ -1,0 +1,107 @@
+//! Shard watchdogs: clock-deadline detection of stuck or overrun
+//! shards, feeding the fleet's crash-recovery path.
+//!
+//! Each shard's driver (a scheduler group, a workload loop, …) is
+//! expected to [`beat`](ShardWatchdog::beat) its slot as it makes
+//! progress. A supervisor periodically [`scan`](ShardWatchdog::scan)s:
+//! any shard whose last beat is older than the timeout is declared
+//! unhealthy and handed to `Fleet::recover_shard`, which rebuilds its
+//! modules from the install catalog.
+//!
+//! The API is plain nanoseconds on an injected timeline — wall clock in
+//! production, `SimClock` under the deterministic testkit — so the
+//! watchdog itself never reads a clock and stays byte-reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-shard liveness deadlines.
+#[derive(Debug)]
+pub struct ShardWatchdog {
+    timeout_ns: u64,
+    last_beat: Vec<AtomicU64>,
+}
+
+impl ShardWatchdog {
+    /// A watchdog over `shards` slots, all considered alive at time 0
+    /// until `timeout_ns` elapses without a beat.
+    pub fn new(shards: usize, timeout_ns: u64) -> ShardWatchdog {
+        ShardWatchdog {
+            timeout_ns,
+            last_beat: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of supervised shards.
+    pub fn len(&self) -> usize {
+        self.last_beat.len()
+    }
+
+    /// Whether the watchdog supervises no shards.
+    pub fn is_empty(&self) -> bool {
+        self.last_beat.is_empty()
+    }
+
+    /// The liveness timeout in nanoseconds.
+    pub fn timeout_ns(&self) -> u64 {
+        self.timeout_ns
+    }
+
+    /// Record progress on `shard` at `now_ns`. Beats never move the
+    /// deadline backwards (a late-delivered beat can't resurrect a
+    /// shard already older than a newer beat said).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn beat(&self, shard: usize, now_ns: u64) {
+        self.last_beat[shard].fetch_max(now_ns, Ordering::Relaxed);
+    }
+
+    /// Last recorded beat for `shard` (clock ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn last_beat_ns(&self, shard: usize) -> u64 {
+        self.last_beat[shard].load(Ordering::Relaxed)
+    }
+
+    /// Shards whose last beat is more than the timeout before `now_ns`
+    /// — the unhealthy set, in shard order (deterministic).
+    pub fn scan(&self, now_ns: u64) -> Vec<usize> {
+        self.last_beat
+            .iter()
+            .enumerate()
+            .filter(|(_, beat)| {
+                now_ns.saturating_sub(beat.load(Ordering::Relaxed)) > self.timeout_ns
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_shards_trip_the_deadline() {
+        let dog = ShardWatchdog::new(3, 1_000);
+        dog.beat(0, 500);
+        dog.beat(1, 2_000);
+        // Shard 2 never beat: overdue. Shard 0's beat is 1 501 ns old.
+        assert_eq!(dog.scan(2_001), vec![0, 2]);
+        // Everyone within the window at t=1 000.
+        assert_eq!(dog.scan(1_000), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn beats_never_rewind() {
+        let dog = ShardWatchdog::new(1, 100);
+        dog.beat(0, 900);
+        dog.beat(0, 200); // stale delivery
+        assert_eq!(dog.last_beat_ns(0), 900);
+        assert!(dog.scan(950).is_empty());
+        assert_eq!(dog.scan(1_001), vec![0]);
+    }
+}

@@ -1,6 +1,7 @@
 //! The kernel log (`printk`/dmesg analog).
 
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Ring buffer of kernel log lines with boot-relative timestamps,
@@ -9,6 +10,9 @@ use std::time::Instant;
 pub struct Printk {
     boot: Instant,
     lines: Mutex<Vec<(f64, String)>>,
+    /// Per-key emission counts for [`Printk::log_limited`]:
+    /// `key → (occurrences, suppressed since last emit)`.
+    limited: Mutex<HashMap<String, (u64, u64)>>,
     echo: bool,
 }
 
@@ -18,6 +22,7 @@ impl Printk {
         Printk {
             boot: Instant::now(),
             lines: Mutex::new(Vec::new()),
+            limited: Mutex::new(HashMap::new()),
             echo,
         }
     }
@@ -30,6 +35,37 @@ impl Printk {
             eprintln!("[{t:>10.6}] {msg}");
         }
         self.lines.lock().push((t, msg));
+    }
+
+    /// Append a line under a per-key rate limit: the 1st, 2nd, 4th,
+    /// 8th, … occurrence of `key` is logged (with a suppressed-count
+    /// suffix once lines have been dropped), the rest are counted and
+    /// swallowed — the `printk_ratelimited` analog, but deterministic
+    /// (occurrence-based, not wall-time-based, so seeded virtual-clock
+    /// runs stay byte-identical). Returns whether the line was emitted.
+    pub fn log_limited(&self, key: &str, msg: impl Into<String>) -> bool {
+        let (emit, suppressed) = {
+            let mut limited = self.limited.lock();
+            let slot = limited.entry(key.to_string()).or_insert((0, 0));
+            slot.0 += 1;
+            if slot.0.is_power_of_two() {
+                let suppressed = slot.1;
+                slot.1 = 0;
+                (true, suppressed)
+            } else {
+                slot.1 += 1;
+                (false, 0)
+            }
+        };
+        if emit {
+            let msg = msg.into();
+            if suppressed > 0 {
+                self.log(format!("{msg} ({suppressed} similar suppressed)"));
+            } else {
+                self.log(msg);
+            }
+        }
+        emit
     }
 
     /// All lines, dmesg-formatted.
@@ -82,5 +118,24 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.grep("Randomized").len(), 1);
         assert!(p.dmesg().contains("kthread started"));
+    }
+
+    #[test]
+    fn rate_limited_logging_is_logarithmic() {
+        let p = Printk::new(false);
+        let mut emitted = 0;
+        for i in 0..100u32 {
+            if p.log_limited("k", format!("failure #{i}")) {
+                emitted += 1;
+            }
+        }
+        // 1, 2, 4, 8, 16, 32, 64 → 7 emissions out of 100.
+        assert_eq!(emitted, 7);
+        assert_eq!(p.len(), 7);
+        // The last emitted line carries the swallowed count (32 → 64
+        // suppressed 31).
+        assert_eq!(p.grep("(31 similar suppressed)").len(), 1);
+        // Distinct keys limit independently.
+        assert!(p.log_limited("other", "first of its kind"));
     }
 }

@@ -119,6 +119,45 @@ impl FleetScheduler {
         &self.budget
     }
 
+    /// Replace shard `shard`'s stepped group with a fresh one over
+    /// `modules` — the scheduling half of crash recovery, after the
+    /// fleet rebuilt the shard's modules from the install catalog. The
+    /// old group is halted *first* (its kernel call observer is a
+    /// single slot; the new group re-installs it), its telemetry is
+    /// discarded with it, and the replacement joins the same global
+    /// budget and the same virtual clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range, a named module is missing or
+    /// not re-randomizable, or `config.workers` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replace_group_stepped(
+        &mut self,
+        shard: usize,
+        kernel: Arc<Kernel>,
+        registry: Arc<ModuleRegistry>,
+        modules: &[(String, Policy)],
+        config: SchedConfig,
+        clock: Arc<SimClock>,
+        cycle_cost: Duration,
+    ) {
+        self.groups[shard].halt();
+        let with_policies: Vec<(&str, Policy)> = modules
+            .iter()
+            .map(|(n, p)| (n.as_str(), p.clone()))
+            .collect();
+        self.groups[shard] = Scheduler::spawn_stepped_shared(
+            kernel,
+            registry,
+            &with_policies,
+            config,
+            clock,
+            cycle_cost,
+            Some(self.budget.clone()),
+        );
+    }
+
     /// Number of shard groups.
     pub fn len(&self) -> usize {
         self.groups.len()

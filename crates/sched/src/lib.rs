@@ -68,6 +68,7 @@
 mod budget;
 mod clock;
 mod fleet;
+mod health;
 mod policy;
 mod scheduler;
 mod shim;
@@ -76,6 +77,9 @@ mod stats;
 pub use budget::BudgetController;
 pub use clock::{Clock, SimClock};
 pub use fleet::{FleetScheduler, ShardSched};
+pub use health::{
+    backoff_multiplier, CycleError, HealthEvent, HealthState, ModuleHealth, SupervisionConfig,
+};
 pub use policy::{Policy, PolicyInputs};
 pub use scheduler::{CycleReport, SchedConfig, Scheduler};
 pub use shim::RerandStats;

@@ -78,8 +78,10 @@ pub enum Policy {
     },
 }
 
-/// How far budget pressure may stretch an adaptive period beyond `max`.
-const MAX_PRESSURE_STRETCH: f64 = 16.0;
+/// How far budget pressure may stretch an adaptive period beyond `max`
+/// (also the bound on the scheduler's graceful-degradation stretch for
+/// policies that don't consume pressure themselves).
+pub(crate) const MAX_PRESSURE_STRETCH: f64 = 16.0;
 
 impl Policy {
     /// The artifact's default: a fixed 20 ms period
@@ -97,6 +99,14 @@ impl Policy {
             rate_scale: 10_000.0,
             exposure_scale: 20.0,
         }
+    }
+
+    /// Whether this policy already folds budget pressure into its
+    /// period (if not, the scheduler's graceful-degradation stretch
+    /// applies pressure on top — exactly one of the two mechanisms
+    /// stretches, never both).
+    pub fn pressure_aware(&self) -> bool {
+        matches!(self, Policy::Adaptive { .. })
     }
 
     /// Short label for telemetry.

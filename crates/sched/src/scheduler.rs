@@ -32,7 +32,8 @@
 
 use crate::budget::BudgetController;
 use crate::clock::{Clock, SimClock};
-use crate::policy::{Policy, PolicyInputs};
+use crate::health::{CycleError, HealthEvent, HealthState, ModuleHealth, SupervisionConfig};
+use crate::policy::{Policy, PolicyInputs, MAX_PRESSURE_STRETCH};
 use crate::stats::{LatencyHistogram, ModuleSchedStats, SchedStats};
 use adelie_core::{log_stats, rerandomize_module_epoch, LoadedModule, ModuleRegistry};
 use adelie_gadget::ScanCache;
@@ -40,7 +41,7 @@ use adelie_kernel::Kernel;
 use adelie_vmem::{PteFlags, PAGE_SIZE};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -68,6 +69,10 @@ pub struct SchedConfig {
     /// whole group of same-deadline cycles. `Duration::ZERO` coalesces
     /// only exactly-equal deadlines.
     pub shootdown_epoch: Duration,
+    /// Supervision thresholds: failure streaks before a module is
+    /// degraded (exponential backoff) and then quarantined (probes
+    /// only), plus the backoff cap and retry jitter.
+    pub supervision: SupervisionConfig,
 }
 
 impl Default for SchedConfig {
@@ -78,6 +83,7 @@ impl Default for SchedConfig {
             max_cpu_frac: f64::INFINITY,
             exposure_refresh: 64,
             shootdown_epoch: Duration::from_millis(1),
+            supervision: SupervisionConfig::default(),
         }
     }
 }
@@ -118,12 +124,18 @@ pub struct CycleReport {
     pub finished_ns: u64,
     /// New movable base on success.
     pub new_base: Option<u64>,
-    /// Rendered error on failure.
-    pub error: Option<String>,
-    /// Period the policy chose for the next cycle, in ns.
+    /// Typed error on failure — match on variants, not rendered text.
+    pub error: Option<CycleError>,
+    /// Period the policy chose for the next cycle, in ns (after any
+    /// supervision backoff/stretch).
     pub period_ns: u64,
     /// The rescheduled deadline (clock ns).
     pub next_deadline_ns: u64,
+    /// Whether this cycle was an un-quarantine probe (the module was
+    /// Quarantined when it ran; probes are budget-exempt).
+    pub probe: bool,
+    /// The module's health state *after* this cycle's transition.
+    pub health: HealthState,
 }
 
 impl CycleReport {
@@ -153,6 +165,15 @@ struct ModuleEntry {
     failures: AtomicU64,
     missed_deadlines: AtomicU64,
     latency: LatencyHistogram,
+    /// Supervision record: failure streak, Healthy/Degraded/Quarantined
+    /// state, probe/recovery counters. Uncontended in practice — the
+    /// entry is out of the heap while its cycle runs.
+    health: Mutex<ModuleHealth>,
+    /// Cycles whose period was stretched by graceful degradation
+    /// (budget pressure on a non-pressure-aware policy, or fault storm).
+    period_stretches: AtomicU64,
+    /// "cycle failed" printk lines swallowed by the rate limiter.
+    suppressed_logs: AtomicU64,
 }
 
 impl ModuleEntry {
@@ -217,6 +238,7 @@ impl ModuleEntry {
     }
 
     fn stats(&self) -> ModuleSchedStats {
+        let health = self.health.lock().unwrap_or_else(|e| e.into_inner());
         ModuleSchedStats {
             name: self.module.name.to_string(),
             policy: self.policy.lock().unwrap_or_else(|e| e.into_inner()).name(),
@@ -228,6 +250,13 @@ impl ModuleEntry {
             calls_per_sec: Self::load_f64(&self.calls_per_sec),
             exposure: Self::load_f64(&self.exposure),
             latency: self.latency.snapshot(),
+            health: health.state,
+            failure_streak: health.streak,
+            quarantines: health.quarantines,
+            probes: health.probes,
+            recoveries: health.recoveries,
+            period_stretches: self.period_stretches.load(Ordering::Relaxed),
+            suppressed_logs: self.suppressed_logs.load(Ordering::Relaxed),
         }
     }
 }
@@ -255,6 +284,12 @@ struct Shared {
     /// exposure refresh stops re-decoding unchanged module text every
     /// cycle (hit/miss counters surface in [`SchedStats`]).
     scan_cache: ScanCache,
+    /// Supervision thresholds shared by every entry.
+    supervision: SupervisionConfig,
+    /// Modules currently not Healthy (Degraded or Quarantined). When a
+    /// majority of the pool is unhealthy — a fault storm — remaining
+    /// periods stretch instead of silently missing deadlines.
+    unhealthy: AtomicUsize,
 }
 
 impl Shared {
@@ -452,6 +487,9 @@ impl Scheduler {
                     failures: AtomicU64::new(0),
                     missed_deadlines: AtomicU64::new(0),
                     latency: LatencyHistogram::new(),
+                    health: Mutex::new(ModuleHealth::default()),
+                    period_stretches: AtomicU64::new(0),
+                    suppressed_logs: AtomicU64::new(0),
                 })
             })
             .collect();
@@ -515,6 +553,8 @@ impl Scheduler {
             workers_model: config.workers,
             epoch_quantum_ns: config.shootdown_epoch.as_nanos() as u64,
             scan_cache,
+            supervision: config.supervision.clone(),
+            unhealthy: AtomicUsize::new(0),
         });
         let budget = budget.unwrap_or_else(|| {
             Arc::new(BudgetController::new(
@@ -664,8 +704,36 @@ impl Scheduler {
                 .pressure_at(Duration::from_nanos(self.shared.clock.now_ns())),
             exposure_scan_hits: self.shared.scan_cache.hits(),
             exposure_scan_misses: self.shared.scan_cache.misses(),
+            quarantines: modules.iter().map(|m| m.quarantines).sum(),
+            probes: modules.iter().map(|m| m.probes).sum(),
+            recoveries: modules.iter().map(|m| m.recoveries).sum(),
+            period_stretches: modules.iter().map(|m| m.period_stretches).sum(),
+            suppressed_logs: modules.iter().map(|m| m.suppressed_logs).sum(),
             modules,
         }
+    }
+
+    /// Health of `module` in this pool, or `None` if it isn't here.
+    pub fn health_of(&self, module: &str) -> Option<HealthState> {
+        self.shared
+            .entries
+            .iter()
+            .find(|e| &*e.module.name == module)
+            .map(|e| e.health.lock().unwrap_or_else(|h| h.into_inner()).state)
+    }
+
+    /// Modules currently Degraded or Quarantined.
+    pub fn unhealthy(&self) -> usize {
+        self.shared.unhealthy.load(Ordering::Relaxed)
+    }
+
+    /// Stop the pool in place (waiting out in-flight cycles and
+    /// releasing the kernel call observer) without consuming the
+    /// handle — the fleet's crash-recovery path halts a shard's old
+    /// group *before* building the replacement, because the observer
+    /// slot is single-occupancy per kernel.
+    pub fn halt(&mut self) {
+        self.shutdown();
     }
 
     /// Print the artifact-style stats block plus one line per module to
@@ -743,9 +811,21 @@ fn execute_cycle(
     deadline_ns: u64,
 ) -> CycleReport {
     let entry = &shared.entries[idx];
+    let supervision = &shared.supervision;
     let cpu = kernel.percpu.current();
     let started_ns = shared.clock.now_ns();
     let wall_t0 = Instant::now();
+    // A cycle of a Quarantined module is an *un-quarantine probe*: it
+    // still runs the real move (success is the only proof of health),
+    // but it is budget-exempt — a quarantined module burns zero budget.
+    let probe = {
+        let mut health = entry.health.lock().unwrap_or_else(|e| e.into_inner());
+        let is_probe = health.state == HealthState::Quarantined;
+        if is_probe {
+            health.probes += 1;
+        }
+        is_probe
+    };
     // Same-deadline cycles share a shootdown epoch: their invalidation
     // sets merge into one log slot, so TLBs pay one partial pass for
     // the whole group instead of one per module.
@@ -762,45 +842,126 @@ fn execute_cycle(
     } else {
         wall_t0.elapsed()
     };
-    kernel.percpu.account(cpu, spent);
-    budget.record(spent);
-    shared
-        .busy_ns
-        .fetch_add(spent.as_nanos() as u64, Ordering::Relaxed);
-    entry.latency.record(spent);
+    if !probe {
+        kernel.percpu.account(cpu, spent);
+        budget.record(spent);
+        shared
+            .busy_ns
+            .fetch_add(spent.as_nanos() as u64, Ordering::Relaxed);
+        entry.latency.record(spent);
+    }
     let period = entry.period_ns.load(Ordering::Relaxed);
     if started_ns.saturating_sub(deadline_ns) > period {
         entry.missed_deadlines.fetch_add(1, Ordering::Relaxed);
     }
-    let (new_base, error) = match &outcome {
+    let (new_base, error, health_state, backoff) = match &outcome {
         Ok(base) => {
             let done = entry.cycles.fetch_add(1, Ordering::Relaxed) + 1;
             if exposure_refresh > 0 && done.is_multiple_of(exposure_refresh) {
                 entry.refresh_exposure(kernel, &shared.scan_cache);
             }
-            (Some(*base), None)
+            let event = {
+                let mut health = entry.health.lock().unwrap_or_else(|e| e.into_inner());
+                health.on_success()
+            };
+            if event == HealthEvent::Recovered {
+                shared.unhealthy.fetch_sub(1, Ordering::Relaxed);
+                let suppressed = entry.suppressed_logs.load(Ordering::Relaxed);
+                kernel.printk.log(format!(
+                    "sched: {} recovered (healthy again; {suppressed} failure logs suppressed)",
+                    entry.module.name
+                ));
+            }
+            (Some(*base), None, HealthState::Healthy, 1u64)
         }
         Err(err) => {
-            // Non-fatal: count, log, keep every module cycling.
+            // Non-fatal: count, feed the health state machine, keep
+            // every module cycling (on a backed-off schedule).
             entry.failures.fetch_add(1, Ordering::Relaxed);
-            kernel.printk.log(format!(
-                "sched: {} cycle failed ({err}); retrying next period",
-                entry.module.name
-            ));
-            (None, Some(err.to_string()))
+            let (event, state, streak, backoff) = {
+                let mut health = entry.health.lock().unwrap_or_else(|e| e.into_inner());
+                let was_healthy = health.state == HealthState::Healthy;
+                let event = health.on_failure(supervision);
+                if was_healthy && health.state != HealthState::Healthy {
+                    shared.unhealthy.fetch_add(1, Ordering::Relaxed);
+                }
+                (
+                    event,
+                    health.state,
+                    health.streak,
+                    health.backoff(supervision),
+                )
+            };
+            match event {
+                HealthEvent::Degraded => kernel.printk.log(format!(
+                    "sched: {} degraded after {streak} consecutive failures (backoff x{backoff})",
+                    entry.module.name
+                )),
+                HealthEvent::Quarantined => kernel.printk.log(format!(
+                    "sched: {} quarantined after {streak} consecutive failures \
+                     (probing at x{backoff} period, budget-exempt)",
+                    entry.module.name
+                )),
+                _ => {}
+            }
+            // The per-period retry line is rate-limited per module:
+            // emit on the 1st, 2nd, 4th, 8th, … repetition, count the
+            // rest (a persistently failing module used to log every
+            // single period, unbounded).
+            let emitted = kernel.printk.log_limited(
+                &format!("sched-cycle-failed:{}", entry.module.name),
+                format!(
+                    "sched: {} cycle failed ({err}); retrying with backoff x{backoff}",
+                    entry.module.name
+                ),
+            );
+            if !emitted {
+                entry.suppressed_logs.fetch_add(1, Ordering::Relaxed);
+            }
+            (None, Some(CycleError::from(err)), state, backoff)
         }
     };
 
-    // Next deadline: policy period plus any hard budget throttle.
+    // Next deadline: policy period, stretched by the supervision
+    // backoff (failure streaks), decorrelated with jitter on failure
+    // paths only (clean runs draw an unchanged RNG stream), then
+    // stretched again under graceful degradation, plus any hard budget
+    // throttle.
     let finished_ns = shared.clock.now_ns();
     let wall = Duration::from_nanos(finished_ns);
-    let inputs = entry.sample_inputs(kernel, finished_ns, budget.pressure_at(wall));
-    let next_period = entry
-        .policy
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .next_period(&inputs);
-    let next_period_ns = next_period.as_nanos() as u64;
+    let pressure = budget.pressure_at(wall);
+    let inputs = entry.sample_inputs(kernel, finished_ns, pressure);
+    let (next_period, pressure_aware) = {
+        let policy = entry.policy.lock().unwrap_or_else(|e| e.into_inner());
+        (policy.next_period(&inputs), policy.pressure_aware())
+    };
+    let mut next_period_ns = next_period.as_nanos() as u64;
+    if backoff > 1 {
+        next_period_ns = next_period_ns.saturating_mul(backoff);
+        let jitter = supervision.backoff_jitter.clamp(0.0, 1.0);
+        if jitter > 0.0 {
+            let u = kernel.rng_below(1 << 20) as f64 / (1u64 << 20) as f64;
+            let factor = 1.0 + jitter * (2.0 * u - 1.0);
+            next_period_ns = ((next_period_ns as f64) * factor) as u64;
+        }
+    }
+    // Graceful degradation: instead of silently missing deadlines,
+    // stretch the period — under sustained budget pressure (for
+    // policies that don't already consume pressure) and under fault
+    // storms (a majority of the pool unhealthy).
+    let mut stretch = if pressure_aware {
+        1.0
+    } else {
+        pressure.clamp(1.0, MAX_PRESSURE_STRETCH)
+    };
+    let unhealthy = shared.unhealthy.load(Ordering::Relaxed);
+    if unhealthy > 0 && unhealthy * 2 >= shared.entries.len() {
+        stretch *= 2.0;
+    }
+    if stretch > 1.0 {
+        entry.period_stretches.fetch_add(1, Ordering::Relaxed);
+        next_period_ns = ((next_period_ns as f64) * stretch) as u64;
+    }
     entry.period_ns.store(next_period_ns, Ordering::Relaxed);
     let next_deadline_ns =
         finished_ns + next_period_ns + budget.throttle_at(wall).as_nanos() as u64;
@@ -818,6 +979,8 @@ fn execute_cycle(
         error,
         period_ns: next_period_ns,
         next_deadline_ns,
+        probe,
+        health: health_state,
     }
 }
 

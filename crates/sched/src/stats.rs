@@ -2,6 +2,7 @@
 //! missed-deadline and failure counters, and the aggregate
 //! [`SchedStats`] snapshot surfaced next to the artifact's dmesg block.
 
+use crate::health::HealthState;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -128,6 +129,20 @@ pub struct ModuleSchedStats {
     pub exposure: f64,
     /// Cycle-latency distribution.
     pub latency: LatencySnapshot,
+    /// Supervision state (Healthy / Degraded / Quarantined).
+    pub health: HealthState,
+    /// Consecutive failed cycles right now (0 after any success).
+    pub failure_streak: u32,
+    /// Times this module entered quarantine.
+    pub quarantines: u64,
+    /// Un-quarantine probes attempted (budget-exempt cycles).
+    pub probes: u64,
+    /// Times a success pulled the module back to Healthy.
+    pub recoveries: u64,
+    /// Cycles whose period was stretched by graceful degradation.
+    pub period_stretches: u64,
+    /// Rate-limited "cycle failed" lines swallowed for this module.
+    pub suppressed_logs: u64,
 }
 
 /// Aggregate scheduler counters (the `SchedStats` of the issue): what
@@ -155,6 +170,16 @@ pub struct SchedStats {
     /// Exposure refreshes that had to run a full gadget scan (one per
     /// *distinct* module text in a healthy fleet).
     pub exposure_scan_misses: u64,
+    /// Quarantine entries, summed over modules (0 for a healthy fleet).
+    pub quarantines: u64,
+    /// Un-quarantine probes, summed over modules.
+    pub probes: u64,
+    /// Recoveries back to Healthy, summed over modules.
+    pub recoveries: u64,
+    /// Graceful-degradation period stretches, summed over modules.
+    pub period_stretches: u64,
+    /// Rate-limited failure logs swallowed, summed over modules.
+    pub suppressed_logs: u64,
     /// Per-module breakdown.
     pub modules: Vec<ModuleSchedStats>,
 }

@@ -1,0 +1,127 @@
+//! Property tests for the module health state machine (DESIGN.md §16):
+//! backoff monotonicity, guaranteed un-quarantine probes, and streak
+//! reset on success — over arbitrary supervision configs and
+//! failure/success histories.
+
+use adelie_sched::{backoff_multiplier, HealthEvent, HealthState, ModuleHealth, SupervisionConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SupervisionConfig> {
+    (1u32..5, 0u32..8, 1u32..10).prop_map(|(degrade_after, extra, backoff_max_exp)| {
+        SupervisionConfig {
+            degrade_after,
+            quarantine_after: degrade_after + extra,
+            backoff_max_exp,
+            ..SupervisionConfig::default()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Backoff never shrinks as the failure streak grows, starts at 1
+    /// for sub-threshold streaks, and saturates at `2^backoff_max_exp`
+    /// — a longer streak can only mean equal-or-rarer retries, and the
+    /// retry period stays bounded (every module keeps getting probed).
+    #[test]
+    fn backoff_is_monotone_and_saturates(cfg in arb_config(), streak in 0u32..64) {
+        let here = backoff_multiplier(&cfg, streak);
+        let next = backoff_multiplier(&cfg, streak.saturating_add(1));
+        prop_assert!(here <= next, "backoff shrank: x{here} then x{next}");
+        prop_assert!(here >= 1);
+        prop_assert!(here <= 1u64 << cfg.backoff_max_exp.min(63));
+        if streak < cfg.degrade_after {
+            prop_assert_eq!(here, 1, "sub-threshold streaks must run at full rate");
+        }
+        if streak >= cfg.degrade_after + cfg.backoff_max_exp {
+            prop_assert_eq!(here, 1u64 << cfg.backoff_max_exp.min(63), "saturated");
+        }
+    }
+
+    /// Drive the state machine with an arbitrary failure run: the
+    /// state always matches the thresholds, quarantine is reached
+    /// exactly when the streak crosses `quarantine_after`, and the
+    /// quarantined backoff is finite — so the next probe deadline is
+    /// always bounded and the un-quarantine probe eventually fires.
+    #[test]
+    fn failures_descend_the_states_and_probes_stay_scheduled(
+        cfg in arb_config(),
+        failures in 1u32..64,
+    ) {
+        let mut health = ModuleHealth::default();
+        for i in 1..=failures {
+            let event = health.on_failure(&cfg);
+            prop_assert_eq!(health.streak, i);
+            let want = if i >= cfg.quarantine_after {
+                HealthState::Quarantined
+            } else if i >= cfg.degrade_after {
+                HealthState::Degraded
+            } else {
+                HealthState::Healthy
+            };
+            prop_assert_eq!(health.state, want, "after {} failures", i);
+            if i == cfg.quarantine_after {
+                prop_assert_eq!(event, HealthEvent::Quarantined);
+            }
+            // Whatever the state, the next attempt is a finite number
+            // of base periods away: nothing is benched forever.
+            let backoff = health.backoff(&cfg);
+            prop_assert!(backoff >= 1);
+            prop_assert!(backoff <= 1u64 << cfg.backoff_max_exp.min(63));
+        }
+        prop_assert_eq!(health.quarantines, u64::from(failures >= cfg.quarantine_after));
+    }
+
+    /// One success from any point in a failure history resets the
+    /// streak and returns the module to Healthy (emitting `Recovered`
+    /// iff it had left Healthy) — and the post-success backoff is back
+    /// to full rate.
+    #[test]
+    fn one_success_resets_the_streak(cfg in arb_config(), failures in 0u32..64) {
+        let mut health = ModuleHealth::default();
+        for _ in 0..failures {
+            health.on_failure(&cfg);
+        }
+        let was_unhealthy = health.state != HealthState::Healthy;
+        let event = health.on_success();
+        prop_assert_eq!(health.state, HealthState::Healthy);
+        prop_assert_eq!(health.streak, 0);
+        prop_assert_eq!(
+            event,
+            if was_unhealthy { HealthEvent::Recovered } else { HealthEvent::None }
+        );
+        prop_assert_eq!(health.recoveries, u64::from(was_unhealthy));
+        prop_assert_eq!(health.backoff(&cfg), 1, "recovered modules run at full rate");
+    }
+
+    /// Interleaved histories: replay an arbitrary success/failure
+    /// sequence against a reference model of the thresholds — the
+    /// machine is a pure function of the current streak.
+    #[test]
+    fn state_is_a_pure_function_of_the_streak(
+        cfg in arb_config(),
+        ops in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let mut health = ModuleHealth::default();
+        let mut streak = 0u32;
+        for ok in ops {
+            if ok {
+                health.on_success();
+                streak = 0;
+            } else {
+                health.on_failure(&cfg);
+                streak += 1;
+            }
+            let want = if streak >= cfg.quarantine_after {
+                HealthState::Quarantined
+            } else if streak >= cfg.degrade_after {
+                HealthState::Degraded
+            } else {
+                HealthState::Healthy
+            };
+            prop_assert_eq!(health.state, want);
+            prop_assert_eq!(health.streak, streak);
+        }
+    }
+}

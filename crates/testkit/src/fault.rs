@@ -15,6 +15,44 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::sync::Mutex;
 
+/// When a rule fires, expressed over a module's 0-based cycle
+/// *attempt* index (failed attempts count — that is what makes retry
+/// storms plannable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultSchedule {
+    /// A single attempt.
+    At(u64),
+    /// `count` consecutive attempts starting at `from` — a correlated
+    /// burst (transient backend outage).
+    Burst {
+        /// First attempt hit.
+        from: u64,
+        /// Number of consecutive attempts hit.
+        count: u64,
+    },
+    /// Every `period`-th attempt from `from` onward, forever — a
+    /// sustained fault storm (`period = 1` fails every attempt).
+    Every {
+        /// First attempt hit.
+        from: u64,
+        /// Stride between hits (0 is treated as 1).
+        period: u64,
+    },
+}
+
+impl FaultSchedule {
+    /// Whether `attempt` is on the schedule.
+    pub fn matches(&self, attempt: u64) -> bool {
+        match *self {
+            FaultSchedule::At(at) => attempt == at,
+            FaultSchedule::Burst { from, count } => attempt >= from && attempt - from < count,
+            FaultSchedule::Every { from, period } => {
+                attempt >= from && (attempt - from).is_multiple_of(period.max(1))
+            }
+        }
+    }
+}
+
 /// One injection rule.
 #[derive(Clone, Debug)]
 pub struct FaultRule {
@@ -22,9 +60,8 @@ pub struct FaultRule {
     pub module: Option<String>,
     /// Stage to deny.
     pub stage: CycleStage,
-    /// Which cycle *attempt* of the module to hit (0-based; failed
-    /// attempts count — that is what makes retry storms plannable).
-    pub attempt: u64,
+    /// Which cycle attempts of the module to hit.
+    pub schedule: FaultSchedule,
 }
 
 /// A rule that actually fired.
@@ -54,13 +91,30 @@ impl FaultPlan {
         Arc::new(FaultPlan::default())
     }
 
-    /// Add a rule: deny `stage` on `module`'s `attempt`-th cycle.
-    pub fn fail_at(&self, module: &str, stage: CycleStage, attempt: u64) {
+    /// Add a rule: deny `stage` on `module`'s cycles per `schedule`.
+    pub fn fail_on(&self, module: &str, stage: CycleStage, schedule: FaultSchedule) {
         self.rules.lock().unwrap().push(FaultRule {
             module: Some(module.to_string()),
             stage,
-            attempt,
+            schedule,
         });
+    }
+
+    /// Add a rule: deny `stage` on `module`'s `attempt`-th cycle.
+    pub fn fail_at(&self, module: &str, stage: CycleStage, attempt: u64) {
+        self.fail_on(module, stage, FaultSchedule::At(attempt));
+    }
+
+    /// Deny `stage` on `count` consecutive attempts of `module`
+    /// starting at `from` — a correlated fault burst.
+    pub fn fail_burst(&self, module: &str, stage: CycleStage, from: u64, count: u64) {
+        self.fail_on(module, stage, FaultSchedule::Burst { from, count });
+    }
+
+    /// Deny `stage` on every `period`-th attempt of `module` from
+    /// `from` onward — a sustained fault storm.
+    pub fn fail_sustained(&self, module: &str, stage: CycleStage, from: u64, period: u64) {
+        self.fail_on(module, stage, FaultSchedule::Every { from, period });
     }
 
     /// Add a rule matching any module.
@@ -68,7 +122,17 @@ impl FaultPlan {
         self.rules.lock().unwrap().push(FaultRule {
             module: None,
             stage,
-            attempt,
+            schedule: FaultSchedule::At(attempt),
+        });
+    }
+
+    /// Deny `stage` on `count` consecutive attempts of *any* module
+    /// starting at `from`.
+    pub fn fail_any_burst(&self, stage: CycleStage, from: u64, count: u64) {
+        self.rules.lock().unwrap().push(FaultRule {
+            module: None,
+            stage,
+            schedule: FaultSchedule::Burst { from, count },
         });
     }
 
@@ -100,7 +164,7 @@ impl CycleHooks for FaultPlan {
         };
         let denied = self.rules.lock().unwrap().iter().any(|r| {
             r.stage == stage
-                && r.attempt == attempt
+                && r.schedule.matches(attempt)
                 && r.module.as_deref().is_none_or(|m| m == module)
         });
         if denied {
@@ -114,4 +178,25 @@ impl CycleHooks for FaultPlan {
     }
 
     fn committed(&self, _commit: &CycleCommit<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_cover_their_attempts() {
+        assert!(FaultSchedule::At(3).matches(3));
+        assert!(!FaultSchedule::At(3).matches(4));
+        let burst = FaultSchedule::Burst { from: 2, count: 3 };
+        let hits: Vec<u64> = (0..8).filter(|&a| burst.matches(a)).collect();
+        assert_eq!(hits, vec![2, 3, 4]);
+        let storm = FaultSchedule::Every { from: 1, period: 3 };
+        let hits: Vec<u64> = (0..10).filter(|&a| storm.matches(a)).collect();
+        assert_eq!(hits, vec![1, 4, 7]);
+        // period 0 degrades to 1 (every attempt), not a div-by-zero.
+        let every = FaultSchedule::Every { from: 5, period: 0 };
+        assert!(every.matches(5) && every.matches(6));
+        assert!(!every.matches(4));
+    }
 }

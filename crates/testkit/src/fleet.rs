@@ -24,10 +24,13 @@
 //!   even while they still land in A ([`FleetSim::attack_cross_shard`]).
 
 use crate::oracle::{LayoutOracle, OracleReport};
-use crate::Attacker;
-use adelie_core::{Fleet, LoadedModule, Pinned};
-use adelie_kernel::{FleetConfig, KernelConfig, ShardedKernel};
-use adelie_sched::{FleetScheduler, Policy, SchedConfig, ShardSched, SimClock};
+use crate::{Attacker, FaultPlan, HookChain};
+use adelie_core::{Fleet, LoadedModule, Pinned, RecoveryReport};
+use adelie_kernel::{FleetConfig, KernelConfig, ReadPath, ShardedKernel};
+use adelie_sched::{
+    CycleReport, FleetScheduler, HealthState, Policy, SchedConfig, ShardSched, SimClock,
+    SupervisionConfig,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -52,6 +55,11 @@ pub struct FleetSimConfig {
     /// Module profiles replicated into each shard (module `p` of shard
     /// `i` is named `{p.name}_s{i}` and pinned there).
     pub modules_per_shard: Vec<ModuleProfile>,
+    /// Translation read path for every shard kernel (the snapshot walk
+    /// by default; `Locked` is the ablation baseline).
+    pub read_path: ReadPath,
+    /// Health state machine thresholds for every shard group.
+    pub supervision: SupervisionConfig,
 }
 
 impl Default for FleetSimConfig {
@@ -64,6 +72,8 @@ impl Default for FleetSimConfig {
             cycle_cost: Duration::from_micros(100),
             max_cpu_frac: f64::INFINITY,
             modules_per_shard: vec![ModuleProfile::hot("hot"), ModuleProfile::cold("cold")],
+            read_path: ReadPath::Snapshot,
+            supervision: SupervisionConfig::default(),
         }
     }
 }
@@ -78,6 +88,8 @@ pub struct FleetSim {
     pub sched: FleetScheduler,
     /// Per-shard layout oracles (own witness TLB each).
     pub oracles: Vec<Arc<LayoutOracle>>,
+    /// Per-shard fault injectors, chained ahead of each oracle.
+    pub faults: Vec<Arc<FaultPlan>>,
     /// Per-shard profiles (names already shard-suffixed).
     profiles: Vec<Vec<ModuleProfile>>,
     /// Per-shard module handles, profile order.
@@ -86,6 +98,12 @@ pub struct FleetSim {
     traffic: Vec<Vec<(u64, u64)>>,
     /// Cross-shard violations observed during the run.
     violations: Vec<String>,
+    /// Every `(shard, report)` the run stepped, in step order — the
+    /// raw material for quarantine/probe invariants and recovery
+    /// timing.
+    reports: Vec<(usize, CycleReport)>,
+    /// The scenario config, kept for shard rebuilds.
+    cfg: FleetSimConfig,
 }
 
 impl FleetSim {
@@ -104,6 +122,7 @@ impl FleetSim {
             shards: cfg.shards,
             base: KernelConfig {
                 seed: cfg.seed,
+                read_path: cfg.read_path,
                 ..KernelConfig::default()
             },
         });
@@ -143,11 +162,19 @@ impl FleetSim {
             modules.push(shard_modules);
         }
 
-        // One oracle per shard, hooked into that shard's registry.
+        // One fault plan + one oracle per shard, chained in that order
+        // (the injector denies a stage before the oracle would record
+        // the commit that never happens).
+        let faults: Vec<Arc<FaultPlan>> = (0..cfg.shards).map(|_| FaultPlan::new()).collect();
         let oracles: Vec<Arc<LayoutOracle>> = (0..cfg.shards)
             .map(|i| {
                 let oracle = LayoutOracle::new(fleet.kernel(i).clone(), clock.clone());
-                fleet.registry(i).set_cycle_hooks(oracle.clone());
+                fleet
+                    .registry(i)
+                    .set_cycle_hooks(Arc::new(HookChain::new(vec![
+                        faults[i].clone(),
+                        oracle.clone(),
+                    ])));
                 oracle
             })
             .collect();
@@ -163,12 +190,7 @@ impl FleetSim {
             .collect();
         let sched = FleetScheduler::spawn_stepped(
             shard_scheds,
-            SchedConfig {
-                workers: cfg.workers,
-                policy: cfg.policy.clone(),
-                max_cpu_frac: cfg.max_cpu_frac,
-                ..SchedConfig::default()
-            },
+            Self::sched_config(&cfg),
             clock.clone(),
             cfg.cycle_cost,
         );
@@ -192,16 +214,36 @@ impl FleetSim {
             clock,
             sched,
             oracles,
+            faults,
             profiles,
             modules,
             traffic,
             violations: Vec::new(),
+            reports: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The scheduler group config the scenario runs under (also used
+    /// verbatim for replacement groups after a shard rebuild).
+    fn sched_config(cfg: &FleetSimConfig) -> SchedConfig {
+        SchedConfig {
+            workers: cfg.workers,
+            policy: cfg.policy.clone(),
+            max_cpu_frac: cfg.max_cpu_frac,
+            supervision: cfg.supervision.clone(),
+            ..SchedConfig::default()
         }
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.modules.len()
+    }
+
+    /// Every `(shard, report)` stepped so far, in step order.
+    pub fn reports(&self) -> &[(usize, CycleReport)] {
+        &self.reports
     }
 
     /// The loaded module `name` (shard-suffixed) wherever it lives.
@@ -256,12 +298,88 @@ impl FleetSim {
                         ));
                     }
                 }
+                self.reports.push((stepped_shard, report));
             }
         }
         for s in 0..self.shards() {
             self.advance_traffic(s, end);
         }
         self.clock.advance_to(end);
+    }
+
+    /// Crash-recover shard `shard` end to end: rebuild its modules
+    /// from the fleet's install catalog ([`Fleet::recover_shard`] —
+    /// force-unload, reload, old spans vacated), tell the shard's
+    /// oracle each module was rebuilt out-of-band, refresh the
+    /// harness's module handles and traffic entry points (keeping
+    /// traffic cursors, so the virtual-time pacing is unbroken), and
+    /// replace the shard's scheduler group with a fresh one over the
+    /// rebuilt modules on the same clock and global budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet cannot rebuild every module of the shard
+    /// (a failed rebuild leaves the harness's handles dangling).
+    pub fn recover_shard(&mut self, shard: usize) -> RecoveryReport {
+        let report = self.fleet.recover_shard(shard).expect("recover shard");
+        assert!(
+            report.failed.is_empty(),
+            "shard {shard} rebuild left failures: {:?}",
+            report.failed
+        );
+        for name in &report.rebuilt {
+            self.oracles[shard].module_rebuilt(name);
+        }
+        // Fresh handles + entry VAs; traffic cursors survive the crash
+        // (virtual time does not rewind for a rebuilt shard).
+        let registry = self.fleet.registry(shard).clone();
+        self.modules[shard] = self.profiles[shard]
+            .iter()
+            .map(|p| registry.get(&p.name).expect("rebuilt module"))
+            .collect();
+        for (j, m) in self.modules[shard].iter().enumerate() {
+            let entry = m
+                .export(&format!("{}_entry", m.name))
+                .expect("rebuilt entry export");
+            self.traffic[shard][j].0 = entry;
+        }
+        let mods: Vec<(String, Policy)> = self.profiles[shard]
+            .iter()
+            .map(|p| (p.name.clone(), self.cfg.policy.clone()))
+            .collect();
+        self.sched.replace_group_stepped(
+            shard,
+            self.fleet.kernel(shard).clone(),
+            registry,
+            &mods,
+            Self::sched_config(&self.cfg),
+            self.clock.clone(),
+            self.cfg.cycle_cost,
+        );
+        report
+    }
+
+    /// The quarantine-execution invariant: once a report leaves a
+    /// module Quarantined, every later cycle of that module must be an
+    /// un-quarantine probe (`probe == true`) until a report moves it
+    /// out of Quarantined — a full-rate cycle in between means the
+    /// state machine kept burning budget on a module it claimed to
+    /// have benched. Returns violations (empty = clean).
+    pub fn check_quarantine_execution(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut last: HashMap<(usize, &str), HealthState> = HashMap::new();
+        for (shard, report) in &self.reports {
+            let key = (*shard, report.module.as_str());
+            if last.get(&key) == Some(&HealthState::Quarantined) && !report.probe {
+                violations.push(format!(
+                    "quarantined module executed: shard {shard}'s {} ran a \
+                     full-rate cycle while Quarantined (not a probe)",
+                    report.module
+                ));
+            }
+            last.insert(key, report.health);
+        }
+        violations
     }
 
     /// Check every module in every shard still computes correctly.
@@ -348,6 +466,9 @@ impl FleetSim {
 
         // Leak isolation holds at quiescence too.
         violations.extend(self.attack_cross_shard(self.clock.now_ns() ^ 0xF1EE7));
+
+        // Supervision: a quarantined module only ever probed.
+        violations.extend(self.check_quarantine_execution());
 
         OracleReport { violations }
     }

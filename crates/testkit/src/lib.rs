@@ -58,7 +58,7 @@ mod oracle;
 pub mod window;
 
 pub use attacker::{Attacker, FireOutcome, Leak, LeakKind};
-pub use fault::{FaultPlan, FaultRule, FiredFault};
+pub use fault::{FaultPlan, FaultRule, FaultSchedule, FiredFault};
 pub use fleet::{FleetSim, FleetSimConfig};
 pub use harness::{profile_spec, ModuleProfile, Sim, SimConfig};
 pub use oracle::{CommitRecord, LayoutOracle, OracleReport};

@@ -107,6 +107,12 @@ pub struct LayoutOracle {
     /// (module docs, #7). Weak: the registry owns the oracle as its
     /// cycle hooks, so a strong edge here would leak both.
     registry: Mutex<Option<std::sync::Weak<ModuleRegistry>>>,
+    /// `(module, base, span)` ranges vacated by out-of-band rebuilds
+    /// ([`LayoutOracle::module_rebuilt`]) rather than by cycles — shard
+    /// crash recovery tears a module down and reloads it outside the
+    /// commit stream. Re-probed at `verify_quiesced`: no stale mapping
+    /// may survive a shard rebuild.
+    rebuilt_spans: Mutex<Vec<(String, u64, u64)>>,
 }
 
 impl LayoutOracle {
@@ -124,8 +130,38 @@ impl LayoutOracle {
                 ..SpaceConfig::new()
             }),
             registry: Mutex::new(None),
+            rebuilt_spans: Mutex::new(Vec::new()),
             kernel,
         })
+    }
+
+    /// Tell the oracle `module` was rebuilt out-of-band (shard crash
+    /// recovery: force-unloaded and reloaded from the install catalog,
+    /// not moved by a cycle). Its last committed range is no longer
+    /// live — the oracle probes it for staleness *right now* (witness
+    /// TLB + direct translate) and again at `verify_quiesced`, and
+    /// stops treating it as the module's current base. Commit history
+    /// is kept: vacated-range checks still cover the pre-crash
+    /// timeline.
+    pub fn module_rebuilt(&self, module: &str) {
+        let Some((base, span)) = self.live.lock().unwrap().remove(module) else {
+            return; // never committed a move — nothing the oracle tracked
+        };
+        let mut violations = Vec::new();
+        self.probe_vacated(base, span, "after shard rebuild", &mut violations);
+        if self.kernel.space.translate(base, Access::Read).is_ok() {
+            violations.push(format!(
+                "stale mapping survives shard rebuild: {module}'s pre-crash base \
+                 {base:#x} is still mapped after recovery"
+            ));
+        }
+        if !violations.is_empty() {
+            self.violations.lock().unwrap().append(&mut violations);
+        }
+        self.rebuilt_spans
+            .lock()
+            .unwrap()
+            .push((module.to_string(), base, span));
     }
 
     /// Audit bound PLT slots (module docs, #7) at every commit of the
@@ -323,6 +359,25 @@ impl LayoutOracle {
                         c.module, c.at_ns
                     ));
                     break; // one line per stale range is enough
+                }
+            }
+        }
+        // Ranges vacated by out-of-band shard rebuilds get the same
+        // treatment as cycle-vacated ones: unmapped at quiescence, and
+        // the witness must have dropped them.
+        for (module, base, span) in self.rebuilt_spans.lock().unwrap().iter() {
+            self.probe_vacated(*base, *span, "at quiescence (rebuilt)", &mut violations);
+            for page in 0..(*span as usize / PAGE_SIZE) {
+                let va = base + (page * PAGE_SIZE) as u64;
+                if covered(va) {
+                    continue;
+                }
+                if self.kernel.space.translate(va, Access::Read).is_ok() {
+                    violations.push(format!(
+                        "stale mapping survives shard rebuild: {module} vacated \
+                         {va:#x} at recovery but it is still mapped at quiescence"
+                    ));
+                    break;
                 }
             }
         }

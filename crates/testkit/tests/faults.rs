@@ -48,7 +48,8 @@ fn pre_publish_stage_failures_roll_back_completely() {
             .filter(|r| r.module == "hot" && !r.ok())
             .collect();
         assert_eq!(failed.len(), 1, "{stage}: one failed cycle");
-        let msg = failed[0].error.as_deref().unwrap();
+        let err = failed[0].error.as_ref().unwrap();
+        let msg = err.to_string();
         assert!(msg.contains(want), "{stage}: `{msg}` lacks `{want}`");
 
         // Rollback: the failed attempt committed nothing — every other
