@@ -708,10 +708,14 @@ impl Fleet {
     /// Crash-recover shard `shard`: tear down every module it holds
     /// (forced — a crashed shard's exits don't get a vote) and rebuild
     /// each from the install catalog's stored object + options, in
-    /// name order (deterministic). The shard's pending repair tasks
-    /// are swept with it. Callers drive this from a
-    /// [`ShardWatchdog`](crate::ShardWatchdog) verdict, then rebuild
-    /// the shard's scheduler group.
+    /// name order (deterministic). Teardown covers what the shard's
+    /// registry *actually* holds, not just the catalog's records for
+    /// it — a half-migrated orphan's record points at the migration
+    /// destination, but its stale copy lives here and vanishes with
+    /// the rebuild. A pending repair task is dropped only once its
+    /// orphan is confirmed gone from the registry. Callers drive this
+    /// from a [`ShardWatchdog`](crate::ShardWatchdog) verdict, then
+    /// rebuild the shard's scheduler group.
     ///
     /// # Errors
     ///
@@ -723,40 +727,59 @@ impl Fleet {
             return Err(FleetError::UnknownShard(shard));
         }
         let mut catalog = self.catalog.lock();
+        let registry = &self.registries[shard];
+        // Tear down the union of the catalog's records for this shard
+        // and the registry's resident modules: a half-migrated orphan
+        // is resident here while its catalog record points at the
+        // migration destination, and a record whose module the
+        // registry lost still deserves a rebuild.
         let mut names: Vec<Arc<str>> = catalog
             .iter()
             .filter(|(_, rec)| rec.shard == shard)
             .map(|(n, _)| n.clone())
             .collect();
+        names.extend(registry.list().into_iter().map(Arc::<str>::from));
         names.sort();
-        let registry = &self.registries[shard];
+        names.dedup();
         let kernel = self.sharded.shard(shard);
         let mut report = RecoveryReport {
             shard,
             ..RecoveryReport::default()
         };
         for name in names {
-            // Record the spans the teardown vacates: the layout oracle
-            // probes them to prove no stale mapping survives rebuild.
+            let owned_here = catalog.get(&name).is_some_and(|rec| rec.shard == shard);
             if let Some(m) = registry.get(&name) {
                 let base = m.movable_base.load(Ordering::Acquire);
-                report
-                    .vacated
-                    .push((base, (m.movable.total_pages * PAGE_SIZE) as u64));
+                let mut spans = vec![(base, (m.movable.total_pages * PAGE_SIZE) as u64)];
                 if let Some(imm) = &m.immovable {
-                    report
-                        .vacated
-                        .push((imm.base, (imm.total_pages * PAGE_SIZE) as u64));
+                    spans.push((imm.base, (imm.total_pages * PAGE_SIZE) as u64));
                 }
                 if let Err(e) = registry.force_unload(&name) {
                     // Retire batch failed: the old mappings survive and
-                    // their frames are withheld. Reloading on top would
-                    // double-serve the name, so drop the module from
-                    // the fleet entirely.
+                    // their frames are withheld, so the spans are NOT
+                    // vacated — the oracle must not probe them as
+                    // reclaimed. Reloading on top would double-serve
+                    // the name, so drop the module from the fleet
+                    // entirely.
                     report.failed.push((name.to_string(), e));
-                    catalog.remove(&name);
+                    if owned_here {
+                        catalog.remove(&name);
+                    }
                     continue;
                 }
+                // Vacated only after the teardown actually unmapped the
+                // spans: the layout oracle probes them to prove no
+                // stale mapping survives rebuild.
+                report.vacated.extend(spans);
+            }
+            if !owned_here {
+                // Half-migrated orphan: the live copy serves from its
+                // destination shard, so sweeping the stale copy *is*
+                // the repair — nothing to rebuild here.
+                kernel.printk.log(format!(
+                    "fleet: swept orphan {name} during shard {shard} recovery"
+                ));
+                continue;
             }
             let rec = catalog
                 .get(&name)
@@ -769,8 +792,14 @@ impl Fleet {
                 }
             }
         }
-        // The rebuild swept the shard clean; its orphan tasks are moot.
-        self.repairs.lock().retain(|t| t.shard != shard);
+        // Drop a repair task only once its orphan is confirmed gone
+        // from the registry. (A retire-batch failure also removes the
+        // registry record — the frames are deliberately withheld and no
+        // retry can reclaim them, so dropping the task is right there
+        // too.)
+        self.repairs
+            .lock()
+            .retain(|t| t.shard != shard || registry.get(&t.module).is_some());
         kernel.printk.log(format!(
             "fleet: shard {shard} recovered ({} rebuilt, {} failed)",
             report.rebuilt.len(),
@@ -1143,6 +1172,72 @@ mod tests {
         assert!(fleet.registry(src).get("orph").is_none());
         // Admission reopens once the queue drains.
         fleet.install(&other_obj, &opts).unwrap();
+        assert!(fleet.verify_layout().is_empty());
+        assert!(fleet.verify_symbol_integrity().is_empty());
+    }
+
+    /// Regression: crash-recovering the shard that holds a
+    /// half-migrated orphan used to tear down only the modules the
+    /// catalog listed for that shard — the orphan's record points at
+    /// the migration destination, so its stale copy (and executable
+    /// mappings) survived the rebuild while its repair task was
+    /// dropped, leaking it permanently. Recovery must sweep what the
+    /// registry actually holds and drop the task only once the orphan
+    /// is confirmed gone.
+    #[test]
+    fn recover_shard_sweeps_migrate_orphans() {
+        let mut pins = HashMap::new();
+        pins.insert("orph".to_string(), 0);
+        pins.insert("mate".to_string(), 0);
+        let fleet = fleet(2, Box::new(Pinned::new(pins, 0)));
+        let opts = TransformOptions::rerandomizable(true);
+        let mut spec = stateful_spec("orph");
+        spec.funcs
+            .push(FuncSpec::exported("orph_exit", vec![MOp::Insn(Insn::Ud2)]));
+        spec.exit = Some("orph_exit".into());
+        let obj = transform(&spec, &opts).unwrap();
+        let (src, module) = fleet.install(&obj, &opts).unwrap();
+        assert_eq!(src, 0);
+        let mate = transform(&stateful_spec("mate"), &opts).unwrap();
+        fleet.install(&mate, &opts).unwrap();
+        let old_mov = module.movable_base.load(Ordering::Acquire);
+        let old_imm = module.immovable.as_ref().unwrap().base;
+        drop(module);
+        assert!(matches!(fleet.migrate("orph", 1), Err(FleetError::Unload(_))));
+        assert_eq!(fleet.pending_repairs(), 1);
+
+        let report = fleet.recover_shard(0).unwrap();
+        // Only the shard's own tenant is rebuilt; the orphan is swept,
+        // not reloaded (its live copy serves from shard 1).
+        assert_eq!(report.rebuilt, vec!["mate".to_string()]);
+        assert!(report.failed.is_empty());
+        assert!(
+            report.vacated.iter().any(|&(b, _)| b == old_mov)
+                && report.vacated.iter().any(|&(b, _)| b == old_imm),
+            "the orphan's spans must be vacated: {:?}",
+            report.vacated
+        );
+        assert_eq!(report.vacated.len(), 4, "orphan + mate, both parts");
+        let src_kernel = fleet.kernel(0);
+        assert!(src_kernel.space.translate(old_mov, Access::Read).is_err());
+        assert!(src_kernel.space.translate(old_imm, Access::Read).is_err());
+        assert!(fleet.registry(0).get("orph").is_none());
+        assert_eq!(
+            fleet.pending_repairs(),
+            0,
+            "the swept orphan's repair task must be dropped"
+        );
+        // The destination copy is untouched and still serving.
+        assert_eq!(fleet.shard_of("orph"), Some(1));
+        let dst_kernel = fleet.kernel(1).clone();
+        let mut vm = dst_kernel.vm();
+        let entry = fleet
+            .registry(1)
+            .get("orph")
+            .unwrap()
+            .export("orph_bump")
+            .unwrap();
+        assert_eq!(vm.call(entry, &[]).unwrap(), 1);
         assert!(fleet.verify_layout().is_empty());
         assert!(fleet.verify_symbol_integrity().is_empty());
     }

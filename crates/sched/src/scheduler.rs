@@ -949,15 +949,8 @@ fn execute_cycle(
     // stretch the period — under sustained budget pressure (for
     // policies that don't already consume pressure) and under fault
     // storms (a majority of the pool unhealthy).
-    let mut stretch = if pressure_aware {
-        1.0
-    } else {
-        pressure.clamp(1.0, MAX_PRESSURE_STRETCH)
-    };
     let unhealthy = shared.unhealthy.load(Ordering::Relaxed);
-    if unhealthy > 0 && unhealthy * 2 >= shared.entries.len() {
-        stretch *= 2.0;
-    }
+    let stretch = degradation_stretch(pressure_aware, pressure, unhealthy, shared.entries.len());
     if stretch > 1.0 {
         entry.period_stretches.fetch_add(1, Ordering::Relaxed);
         next_period_ns = ((next_period_ns as f64) * stretch) as u64;
@@ -982,6 +975,23 @@ fn execute_cycle(
         probe,
         health: health_state,
     }
+}
+
+/// The graceful-degradation stretch for one reschedule: budget
+/// pressure (for policies that don't already consume pressure
+/// themselves), doubled under a fault storm (a majority of the pool
+/// unhealthy) — with the *total* bounded by [`MAX_PRESSURE_STRETCH`],
+/// per `policy.rs`'s contract.
+fn degradation_stretch(pressure_aware: bool, pressure: f64, unhealthy: usize, pool: usize) -> f64 {
+    let mut stretch = if pressure_aware {
+        1.0
+    } else {
+        pressure.clamp(1.0, MAX_PRESSURE_STRETCH)
+    };
+    if unhealthy > 0 && unhealthy * 2 >= pool {
+        stretch = (stretch * 2.0).min(MAX_PRESSURE_STRETCH);
+    }
+    stretch
 }
 
 fn worker_loop(
@@ -1028,5 +1038,32 @@ fn worker_loop(
             idx,
             deadline_ns,
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{degradation_stretch, MAX_PRESSURE_STRETCH};
+
+    /// Regression: the fault-storm doubling used to be applied *after*
+    /// the pressure clamp, letting the total stretch reach
+    /// 2×MAX_PRESSURE_STRETCH — contradicting the documented bound.
+    #[test]
+    fn degradation_stretch_is_bounded() {
+        // No pressure, no storm: no stretch.
+        assert_eq!(degradation_stretch(false, 0.5, 0, 4), 1.0);
+        // Pressure alone clamps at the bound.
+        assert_eq!(degradation_stretch(false, 1e9, 0, 4), MAX_PRESSURE_STRETCH);
+        // The storm doubling applies below the bound...
+        assert_eq!(degradation_stretch(false, 3.0, 2, 4), 6.0);
+        assert_eq!(degradation_stretch(true, 1e9, 2, 4), 2.0);
+        // ...but never pushes the total past it.
+        assert_eq!(degradation_stretch(false, 1e9, 4, 4), MAX_PRESSURE_STRETCH);
+        assert_eq!(
+            degradation_stretch(false, MAX_PRESSURE_STRETCH - 1.0, 2, 4),
+            MAX_PRESSURE_STRETCH
+        );
+        // A minority of unhealthy modules is not a storm.
+        assert_eq!(degradation_stretch(false, 0.0, 1, 4), 1.0);
     }
 }

@@ -102,6 +102,10 @@ pub struct FleetSim {
     /// raw material for quarantine/probe invariants and recovery
     /// timing.
     reports: Vec<(usize, CycleReport)>,
+    /// `(reports.len() at rebuild, shard)` for every crash recovery:
+    /// a rebuilt shard's modules restart Healthy in a fresh group, so
+    /// health state observed before the mark must not carry across it.
+    recoveries: Vec<(usize, usize)>,
     /// The scenario config, kept for shard rebuilds.
     cfg: FleetSimConfig,
 }
@@ -220,6 +224,7 @@ impl FleetSim {
             traffic,
             violations: Vec::new(),
             reports: Vec::new(),
+            recoveries: Vec::new(),
             cfg,
         }
     }
@@ -356,6 +361,10 @@ impl FleetSim {
             self.clock.clone(),
             self.cfg.cycle_cost,
         );
+        // The replacement group starts every module Healthy: mark the
+        // epoch so the quarantine-execution checker forgets pre-crash
+        // health state for this shard.
+        self.recoveries.push((self.reports.len(), shard));
         report
     }
 
@@ -364,11 +373,22 @@ impl FleetSim {
     /// un-quarantine probe (`probe == true`) until a report moves it
     /// out of Quarantined — a full-rate cycle in between means the
     /// state machine kept burning budget on a module it claimed to
-    /// have benched. Returns violations (empty = clean).
+    /// have benched. A crash recovery resets the slate for its shard:
+    /// the rebuilt group starts every module Healthy, so a module
+    /// Quarantined before the rebuild may run full-rate after it.
+    /// Returns violations (empty = clean).
     pub fn check_quarantine_execution(&self) -> Vec<String> {
         let mut violations = Vec::new();
         let mut last: HashMap<(usize, &str), HealthState> = HashMap::new();
-        for (shard, report) in &self.reports {
+        let mut recoveries = self.recoveries.iter().peekable();
+        for (i, (shard, report)) in self.reports.iter().enumerate() {
+            while let Some(&&(at, rebuilt)) = recoveries.peek() {
+                if at > i {
+                    break;
+                }
+                last.retain(|&(s, _), _| s != rebuilt);
+                recoveries.next();
+            }
             let key = (*shard, report.module.as_str());
             if last.get(&key) == Some(&HealthState::Quarantined) && !report.probe {
                 violations.push(format!(

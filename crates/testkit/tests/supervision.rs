@@ -97,6 +97,39 @@ fn shard_crash_recovery_converges_clean() {
     sim.verify().assert_clean();
 }
 
+/// Regression: crash-recovering the shard of a *currently quarantined*
+/// module must not trip the quarantine-execution invariant — the
+/// rebuilt group starts the module Healthy, so its first post-rebuild
+/// full-rate cycle is legal, not a violation. (The checker used to
+/// carry pre-crash health state across the group replacement.)
+#[test]
+fn recovery_of_a_quarantined_shard_resets_health_state() {
+    let mut sim = storm_sim(5);
+    // Step until the storm benches hot_s0.
+    let mut waited_ms = 0u64;
+    while sim.sched.group(0).health_of("hot_s0") != Some(HealthState::Quarantined) {
+        sim.run_for(Duration::from_millis(20));
+        waited_ms += 20;
+        assert!(waited_ms < 2_000, "storm never quarantined hot_s0");
+    }
+    let mark = sim.reports().len();
+    sim.recover_shard(0);
+    assert_eq!(
+        sim.sched.group(0).health_of("hot_s0"),
+        Some(HealthState::Healthy),
+        "the rebuilt group must start the module Healthy"
+    );
+    sim.run_for(Duration::from_millis(300));
+    assert!(
+        sim.reports()[mark..]
+            .iter()
+            .any(|(s, r)| *s == 0 && r.module == "hot_s0" && !r.probe),
+        "the rebuilt module must cycle full-rate again"
+    );
+    sim.assert_modules_work();
+    sim.verify().assert_clean();
+}
+
 /// The determinism contract survives the supervision layer: the same
 /// seed replays the same storm — quarantines, probes, backoff jitter,
 /// recoveries, suppressed logs — to byte-identical stats, across three
