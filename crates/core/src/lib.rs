@@ -52,8 +52,8 @@ mod supervise;
 mod va;
 
 pub use fleet::{
-    AdmissionConfig, Fleet, FleetError, LoadWeighted, Pinned, RecoveryReport, RoundRobin,
-    ShardLoad, ShardPlacement,
+    AdmissionConfig, ColdTierConfig, ColdTierStats, Fleet, FleetError, LoadWeighted, Pinned,
+    RecoveryReport, RepairStats, RoundRobin, ShardLoad, ShardPlacement, MAX_REPAIR_BACKOFF_NS,
 };
 pub use hooks::{CycleCommit, CycleHooks, CycleStage};
 pub use loader::{LoadError, Loader};

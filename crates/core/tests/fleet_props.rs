@@ -3,7 +3,7 @@
 //! produce cross-shard VA overlap, a dangling fixed-GOT entry, or a
 //! module unreachable from its owning shard's symbol table.
 
-use adelie_core::{Fleet, LoadWeighted, Pinned, RoundRobin, ShardPlacement};
+use adelie_core::{ColdTierConfig, Fleet, LoadWeighted, Pinned, RoundRobin, ShardPlacement};
 use adelie_isa::{AluOp, Insn, Reg};
 use adelie_kernel::{layout, FleetConfig, ShardedKernel};
 use adelie_plugin::{transform, DataInit, DataSpec, FuncSpec, MOp, ModuleSpec, TransformOptions};
@@ -101,6 +101,75 @@ fn check_invariants(fleet: &Fleet, installed: &[String]) -> Option<String> {
     None
 }
 
+/// The invariants of a fleet with the cold tier enabled, where a
+/// catalog entry may legitimately be non-resident. Resident modules
+/// get the full treatment (visibility confined to the owner, GOT
+/// audit via `verify_symbol_integrity`, real execution); cold modules
+/// must be *gone* — resident nowhere, visible in no shard's symbol
+/// table — while staying in the catalog. No module may be resident in
+/// two registries at once (lost/duplicated check).
+fn check_cold_invariants(fleet: &Fleet, names: &[String]) -> Option<String> {
+    if let Some(v) = fleet.verify_layout().into_iter().next() {
+        return Some(v);
+    }
+    if let Some(v) = fleet.verify_symbol_integrity().first() {
+        return Some(v.clone());
+    }
+    for name in names {
+        let Some(owner) = fleet.shard_of(name) else {
+            return Some(format!("{name} vanished from the catalog"));
+        };
+        let export = format!("{name}_calc");
+        let resident_in: Vec<usize> = (0..fleet.len())
+            .filter(|&s| fleet.registry(s).get(name).is_some())
+            .collect();
+        if resident_in.len() > 1 {
+            return Some(format!("{name} duplicated across shards {resident_in:?}"));
+        }
+        if resident_in.first() == Some(&owner) {
+            for shard in 0..fleet.len() {
+                let visible = fleet.kernel(shard).symbols.lookup(&export).is_some();
+                if shard == owner && !visible {
+                    return Some(format!(
+                        "{name} unreachable from owning shard {owner}'s symbol table"
+                    ));
+                }
+                if shard != owner && visible {
+                    return Some(format!(
+                        "{name} leaked into shard {shard}'s symbol table (owner {owner})"
+                    ));
+                }
+            }
+            let module = fleet.registry(owner).get(name).expect("resident entry");
+            let entry = module.export(&export).expect("export");
+            let kernel = fleet.kernel(owner).clone();
+            let mut vm = kernel.vm();
+            match vm.call(entry, &[33]) {
+                Ok(42) => {}
+                other => {
+                    return Some(format!(
+                        "{name} misbehaves in owning shard {owner}: {other:?}"
+                    ))
+                }
+            }
+        } else {
+            if let Some(s) = resident_in.first() {
+                return Some(format!(
+                    "{name} resident in shard {s} but the catalog owner is {owner}"
+                ));
+            }
+            for shard in 0..fleet.len() {
+                if fleet.kernel(shard).symbols.lookup(&export).is_some() {
+                    return Some(format!(
+                        "cold module {name} still visible in shard {shard}'s symbol table"
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
 fn placement_for(kind: u8) -> Box<dyn ShardPlacement> {
     match kind % 3 {
         0 => Box::new(RoundRobin::new()),
@@ -166,6 +235,99 @@ proptest! {
         }
         // Drain: unload everything; every shard ends empty and clean.
         for name in installed.drain(..) {
+            fleet.unload(&name).unwrap();
+        }
+        prop_assert!(fleet.live_spans().is_empty());
+        prop_assert!(fleet.verify_symbol_integrity().is_empty());
+    }
+
+    /// The cold-tier contract under arbitrary op interleavings:
+    /// install / cold-register / call (demand fault-in) / evict /
+    /// idle+cap ticks / rebalance (migrate resident, retarget cold —
+    /// the primitives the autoscaler's split/merge batches are made
+    /// of) / unload. No module is ever lost or duplicated, layout and
+    /// symbol invariants hold throughout, and every faulted-in module
+    /// passes the GOT audit and actually executes.
+    #[test]
+    fn cold_tier_ops_preserve_catalog_and_layout_invariants(
+        shards in 2usize..4,
+        ops in proptest::collection::vec((0u8..7, 0usize..8, 0usize..8), 1..28)
+    ) {
+        let sharded = ShardedKernel::new(FleetConfig::seeded(shards, 0xC01D));
+        let fleet = Fleet::new(sharded, Box::new(RoundRobin::new()));
+        fleet.enable_cold_tier(ColdTierConfig {
+            idle_ns: 10_000,
+            max_resident: 4,
+        });
+        let opts = TransformOptions::rerandomizable(true);
+        let mut names: Vec<String> = Vec::new();
+        let mut minted = 0usize;
+        let mut now_ns = 0u64;
+        for (op, pick, dst) in ops {
+            now_ns += 5_000;
+            match op {
+                // Install resident, wherever placement says.
+                0 => {
+                    let name = format!("c{minted}");
+                    minted += 1;
+                    let obj = transform(&spec(&name), &opts).unwrap();
+                    fleet.install(&obj, &opts).unwrap();
+                    names.push(name);
+                }
+                // Register cold: catalog only, nothing materializes.
+                1 => {
+                    let name = format!("c{minted}");
+                    minted += 1;
+                    let obj = transform(&spec(&name), &opts).unwrap();
+                    fleet.register(&obj, &opts).unwrap();
+                    names.push(name);
+                }
+                // Call one: demand fault-in if cold, then execute.
+                2 if !names.is_empty() => {
+                    let name = &names[pick % names.len()];
+                    let (shard, module) = fleet.ensure_resident(name).unwrap();
+                    let entry = module.export(&format!("{name}_calc")).unwrap();
+                    let kernel = fleet.kernel(shard).clone();
+                    let mut vm = kernel.vm();
+                    prop_assert_eq!(vm.call(entry, &[33]).unwrap(), 42);
+                }
+                // Evict one (idempotent if already cold).
+                3 if !names.is_empty() => {
+                    let name = &names[pick % names.len()];
+                    fleet.evict(name).unwrap();
+                }
+                // Rebalance one: live-migrate residents, retarget cold
+                // records — exactly what a split/merge batch does.
+                4 if !names.is_empty() => {
+                    let name = &names[pick % names.len()];
+                    let owner = fleet.shard_of(name).unwrap();
+                    if fleet.registry(owner).get(name).is_some() {
+                        fleet.migrate(name, dst % shards).unwrap();
+                    } else {
+                        fleet.retarget(name, dst % shards).unwrap();
+                    }
+                }
+                // Unload one, cold or resident.
+                5 if !names.is_empty() => {
+                    let name = names.swap_remove(pick % names.len());
+                    fleet.unload(&name).unwrap();
+                }
+                // Let the idle clock bite: evict idle + over-cap
+                // residents in deterministic order.
+                _ => {
+                    fleet.cold_tick(now_ns);
+                }
+            }
+            if let Some(violation) = check_cold_invariants(&fleet, &names) {
+                prop_assert!(false, "invariant violated: {violation}");
+            }
+        }
+        // Accounting closes: every catalog entry is counted exactly
+        // once, as resident or cold.
+        let stats = fleet.cold_stats();
+        prop_assert_eq!(stats.resident + stats.cold, names.len());
+        // Drain: every shard ends empty and clean.
+        for name in names.drain(..) {
             fleet.unload(&name).unwrap();
         }
         prop_assert!(fleet.live_spans().is_empty());

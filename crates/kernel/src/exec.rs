@@ -180,10 +180,25 @@ impl<'k> Vm<'k> {
     /// no wrapped kernel function needs more, §3.4).
     pub fn call(&mut self, entry: u64, args: &[u64]) -> Result<u64, VmError> {
         assert!(args.len() <= 6, "System-V register args only");
+        let mut entry = entry;
         let saved_regs = self.regs;
         let saved_flags = self.flags;
         if self.depth == 0 {
             self.regs[Reg::Rsp.index() as usize] = self.stack_top;
+            // Demand fault: an outermost entry that no longer translates
+            // for execute may target an evicted cold-tier module. The
+            // loader faults it back in from its catalog record and hands
+            // back the (possibly relocated) address to continue at; the
+            // probe doubles as a TLB warm-up for the first fetch, so the
+            // resident fast path pays one gate check only.
+            if !layout::is_native(entry)
+                && self.kernel.has_demand_loader()
+                && self.translate(entry, Access::Exec).is_err()
+            {
+                if let Some(resolved) = self.kernel.demand_load(entry) {
+                    entry = resolved;
+                }
+            }
             // Telemetry for the re-randomization scheduler: outermost
             // entries only, so nested calls don't double-count.
             self.kernel.observe_call(entry);

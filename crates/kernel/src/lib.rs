@@ -61,6 +61,16 @@ use std::sync::Arc;
 /// rates (entries resolve to modules by immovable-part address range).
 pub type CallObserver = Arc<dyn Fn(u64) + Send + Sync>;
 
+/// Demand-fault handler consulted when an outermost [`Vm::call`]
+/// targets an entry that does not translate for execute access. The
+/// loader may materialize the backing module (the fleet's cold tier
+/// faults the module back in from its catalog record) and return the
+/// address execution should continue at — possibly different from the
+/// faulting one, since a reloaded movable part lands at a fresh
+/// randomized base. `None` means the fault stands and the call
+/// proceeds to raise the usual [`VmError::Fault`].
+pub type DemandLoader = Arc<dyn Fn(u64) -> Option<u64> + Send + Sync>;
+
 /// Which reclamation scheme backs `mr_start`/`mr_finish`/`mr_retire`.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub enum ReclaimerKind {
@@ -173,7 +183,12 @@ pub struct Kernel {
     rng: Mutex<SmallRng>,
     next_stack: AtomicU64,
     next_mmio_bar: AtomicU64,
-    call_observer: RwLock<Option<CallObserver>>,
+    /// `(token, callback)` pairs; token 0 is the scheduler's primary
+    /// slot (`set_call_observer` replaces it), higher tokens come from
+    /// `add_call_observer` (the fleet's cold-tier idle tracker).
+    call_observers: RwLock<Vec<(u64, CallObserver)>>,
+    next_observer_token: AtomicU64,
+    demand_loader: RwLock<Option<DemandLoader>>,
 }
 
 impl Kernel {
@@ -216,7 +231,9 @@ impl Kernel {
             rng: Mutex::new(SmallRng::seed_from_u64(config.seed)),
             next_stack: AtomicU64::new(layout::STACK_BASE),
             next_mmio_bar: AtomicU64::new(layout::MMIO_BASE),
-            call_observer: RwLock::new(None),
+            call_observers: RwLock::new(Vec::new()),
+            next_observer_token: AtomicU64::new(1),
+            demand_loader: RwLock::new(None),
             config,
         });
         register_base_natives(&kernel);
@@ -256,24 +273,70 @@ impl Kernel {
         first_mapped + (STACK_PAGES * PAGE_SIZE) as u64
     }
 
-    /// Install the per-call observer (replacing any previous one). The
-    /// callback runs on every *outermost* interpreted call, on the
-    /// calling thread — keep it cheap (a counter bump).
+    /// Install the primary per-call observer (replacing any previous
+    /// primary). The callback runs on every *outermost* interpreted
+    /// call, on the calling thread — keep it cheap (a counter bump).
     pub fn set_call_observer(&self, observer: CallObserver) {
-        *self.call_observer.write() = Some(observer);
+        let mut observers = self.call_observers.write();
+        observers.retain(|(token, _)| *token != 0);
+        observers.push((0, observer));
     }
 
-    /// Remove the per-call observer.
+    /// Remove the primary per-call observer.
     pub fn clear_call_observer(&self) {
-        *self.call_observer.write() = None;
+        self.call_observers.write().retain(|(token, _)| *token != 0);
     }
 
-    /// Invoke the observer, if any, for an outermost call to `entry`.
+    /// Install an *additional* per-call observer alongside the primary
+    /// slot; returns a token for [`Kernel::remove_call_observer`]. The
+    /// fleet's cold tier uses one to stamp per-module last-call times
+    /// without displacing the scheduler's telemetry hook.
+    pub fn add_call_observer(&self, observer: CallObserver) -> u64 {
+        let token = self.next_observer_token.fetch_add(1, Ordering::Relaxed);
+        self.call_observers.write().push((token, observer));
+        token
+    }
+
+    /// Remove an observer added with [`Kernel::add_call_observer`].
+    pub fn remove_call_observer(&self, token: u64) {
+        self.call_observers.write().retain(|(t, _)| *t != token);
+    }
+
+    /// Invoke every observer for an outermost call to `entry`.
     pub(crate) fn observe_call(&self, entry: u64) {
-        let observer = self.call_observer.read().clone();
-        if let Some(observer) = observer {
+        let observers: Vec<CallObserver> = self
+            .call_observers
+            .read()
+            .iter()
+            .map(|(_, o)| o.clone())
+            .collect();
+        for observer in observers {
             observer(entry);
         }
+    }
+
+    /// Install the demand-fault loader (replacing any previous one).
+    /// Consulted by [`Vm::call`] when an outermost entry address does
+    /// not translate for execute access — see [`DemandLoader`].
+    pub fn set_demand_loader(&self, loader: DemandLoader) {
+        *self.demand_loader.write() = Some(loader);
+    }
+
+    /// Remove the demand-fault loader.
+    pub fn clear_demand_loader(&self) {
+        *self.demand_loader.write() = None;
+    }
+
+    /// Whether a demand loader is installed (fast gate so the common
+    /// non-fleet call path skips the probe entirely).
+    pub(crate) fn has_demand_loader(&self) -> bool {
+        self.demand_loader.read().is_some()
+    }
+
+    /// Consult the demand loader, if any, for a faulting entry address.
+    pub(crate) fn demand_load(&self, entry: u64) -> Option<u64> {
+        let loader = self.demand_loader.read().clone();
+        loader.and_then(|loader| loader(entry))
     }
 
     /// A uniformly random u64 from the seeded kernel RNG.

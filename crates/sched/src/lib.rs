@@ -76,7 +76,9 @@ mod stats;
 
 pub use budget::BudgetController;
 pub use clock::{Clock, SimClock};
-pub use fleet::{FleetScheduler, ShardSched};
+pub use fleet::{
+    AutoscaleConfig, AutoscaleStats, Autoscaler, FleetScheduler, ScaleDecision, ShardSched,
+};
 pub use health::{
     backoff_multiplier, CycleError, HealthEvent, HealthState, ModuleHealth, SupervisionConfig,
 };

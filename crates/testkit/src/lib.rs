@@ -56,12 +56,14 @@ mod fleet;
 mod harness;
 mod oracle;
 pub mod window;
+mod workload;
 
 pub use attacker::{Attacker, FireOutcome, Leak, LeakKind};
 pub use fault::{FaultPlan, FaultRule, FaultSchedule, FiredFault};
 pub use fleet::{FleetSim, FleetSimConfig};
 pub use harness::{profile_spec, ModuleProfile, Sim, SimConfig};
 pub use oracle::{CommitRecord, LayoutOracle, OracleReport};
+pub use workload::{Workload, WorkloadConfig, ZipfSampler};
 
 use adelie_core::{CycleCommit, CycleHooks, CycleStage};
 use std::sync::Arc;

@@ -113,6 +113,14 @@ pub struct LayoutOracle {
     /// commit stream. Re-probed at `verify_quiesced`: no stale mapping
     /// may survive a shard rebuild.
     rebuilt_spans: Mutex<Vec<(String, u64, u64)>>,
+    /// `(base, span)` ranges vacated by cold-tier eviction
+    /// ([`LayoutOracle::module_evicted`]), keyed by module. Unlike
+    /// `rebuilt_spans` these are *conditional*: an evicted module's
+    /// spans must stay unmapped only until its first call demand-faults
+    /// it back in ([`LayoutOracle::module_faulted_in`] clears them).
+    /// Probed at eviction and re-probed at `verify_quiesced` for every
+    /// module still evicted.
+    evicted_spans: Mutex<HashMap<String, Vec<(u64, u64)>>>,
 }
 
 impl LayoutOracle {
@@ -131,6 +139,7 @@ impl LayoutOracle {
             }),
             registry: Mutex::new(None),
             rebuilt_spans: Mutex::new(Vec::new()),
+            evicted_spans: Mutex::new(HashMap::new()),
             kernel,
         })
     }
@@ -162,6 +171,53 @@ impl LayoutOracle {
             .lock()
             .unwrap()
             .push((module.to_string(), base, span));
+    }
+
+    /// Tell the oracle `module` was evicted by the cold tier: `spans`
+    /// are the `(base, span)` ranges its parts vacated (from
+    /// [`Fleet::evicted_spans`](adelie_core::Fleet::evicted_spans)).
+    /// They are probed for staleness *right now* (witness TLB + direct
+    /// translate) and at every `verify_quiesced` until
+    /// [`LayoutOracle::module_faulted_in`] reports the module resident
+    /// again — an evicted module's code must be genuinely gone, not
+    /// merely forgotten by the catalog.
+    pub fn module_evicted(&self, module: &str, spans: &[(u64, u64)]) {
+        self.live.lock().unwrap().remove(module);
+        let mut violations = Vec::new();
+        for &(base, span) in spans {
+            self.probe_vacated(base, span, "after cold-tier eviction", &mut violations);
+            if self.kernel.space.translate(base, Access::Read).is_ok() {
+                violations.push(format!(
+                    "stale mapping survives eviction: {module}'s part base {base:#x} \
+                     is still mapped after the cold tier unloaded it"
+                ));
+            }
+        }
+        if !violations.is_empty() {
+            self.violations.lock().unwrap().append(&mut violations);
+        }
+        self.evicted_spans
+            .lock()
+            .unwrap()
+            .insert(module.to_string(), spans.to_vec());
+    }
+
+    /// Tell the oracle `module` demand-faulted back in: its evicted
+    /// spans stop being asserted-unmapped (the allocator is free to
+    /// reuse them, including for the reload itself). The witness TLB is
+    /// probed one last time — whatever the fault-in path mapped, the
+    /// witness must not be serving translations the space has retired.
+    pub fn module_faulted_in(&self, module: &str) {
+        let Some(spans) = self.evicted_spans.lock().unwrap().remove(module) else {
+            return; // never reported evicted — nothing the oracle tracked
+        };
+        let mut violations = Vec::new();
+        for (base, span) in spans {
+            self.probe_vacated(base, span, "after demand fault-in", &mut violations);
+        }
+        if !violations.is_empty() {
+            self.violations.lock().unwrap().append(&mut violations);
+        }
     }
 
     /// Audit bound PLT slots (module docs, #7) at every commit of the
@@ -378,6 +434,30 @@ impl LayoutOracle {
                          {va:#x} at recovery but it is still mapped at quiescence"
                     ));
                     break;
+                }
+            }
+        }
+        // A module the cold tier evicted and that has NOT faulted back
+        // in must still have every vacated page unmapped — an "evicted"
+        // module whose code is still reachable defeats the tier's whole
+        // point. Pages re-covered by some module's current range are
+        // exempt (the allocator legitimately reuses freed windows).
+        for (module, spans) in self.evicted_spans.lock().unwrap().iter() {
+            for &(base, span) in spans {
+                self.probe_vacated(base, span, "at quiescence (evicted)", &mut violations);
+                for page in 0..(span as usize / PAGE_SIZE) {
+                    let va = base + (page * PAGE_SIZE) as u64;
+                    if covered(va) {
+                        continue;
+                    }
+                    if self.kernel.space.translate(va, Access::Read).is_ok() {
+                        violations.push(format!(
+                            "evicted module still mapped: {module} vacated {va:#x} \
+                             at eviction, never faulted back in, yet the page is \
+                             mapped at quiescence"
+                        ));
+                        break;
+                    }
                 }
             }
         }
